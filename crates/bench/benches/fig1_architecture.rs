@@ -1,0 +1,95 @@
+//! E1 / Figure 1: per-layer cost of the ForestView architecture.
+//!
+//! One group per architecture layer, bottom-up: file parsing (PCL), the
+//! merged dataset interface (3-D random access), analysis (clustering,
+//! search), synchronization (zoom-row construction), and visualization
+//! (desktop render). Together these are the columns of the architecture
+//! diagram; the bench shows where a session's time actually goes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use forestview::selection::SelectionOrigin;
+use forestview::Session;
+use fv_formats::pcl::{parse_pcl, write_pcl};
+use fv_synth::scenario::Scenario;
+use std::hint::black_box;
+
+const N_GENES: usize = 1000;
+
+fn prepared_session() -> Session {
+    let scenario = Scenario::three_datasets(N_GENES, 2007);
+    let mut session = Session::new();
+    for ds in scenario.datasets {
+        session.load_dataset(ds).unwrap();
+    }
+    session
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_architecture");
+    group.sample_size(10);
+
+    // Layer: dataset files (PCL parse of a 1000-gene dataset).
+    let scenario = Scenario::three_datasets(N_GENES, 2007);
+    let pcl_text = write_pcl(&scenario.datasets[0]);
+    group.bench_function("parse_pcl_1000x15", |b| {
+        b.iter(|| parse_pcl("bench", black_box(&pcl_text)).unwrap())
+    });
+
+    // Layer: merged dataset interface — 10k random 3-D accesses.
+    let session = prepared_session();
+    let merged = session.merged();
+    let genes: Vec<_> = merged.genes_in_any();
+    group.bench_function("merged_interface_10k_lookups", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..10_000usize {
+                let g = genes[(i * 37) % genes.len()];
+                let d = i % 3;
+                let col = (i * 13) % session.dataset(d).n_conditions();
+                if let Some(v) = merged.value(d, g, col) {
+                    acc += v;
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // Layer: analysis — clustering one pane and cross-dataset search.
+    group.bench_function("cluster_one_pane_1000", |b| {
+        b.iter_batched(
+            prepared_session,
+            |mut s| {
+                s.cluster_dataset(0, fv_cluster::Metric::Pearson, fv_cluster::Linkage::Average);
+                s
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let mut search_session = prepared_session();
+    group.bench_function("search_annotations", |b| {
+        b.iter(|| black_box(search_session.search_and_select("stress response")))
+    });
+
+    // Layer: synchronization — zoom rows for a 200-gene selection.
+    let mut sync_session = prepared_session();
+    let names: Vec<String> = (0..200).map(fv_synth::names::orf_name).collect();
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    sync_session.select_genes(&refs, SelectionOrigin::List);
+    group.bench_function("sync_zoom_rows_200sel_x3panes", |b| {
+        b.iter(|| {
+            for d in 0..3 {
+                black_box(forestview::sync::zoom_rows(&sync_session, d));
+            }
+        })
+    });
+
+    // Layer: visualization — desktop render of the synchronized session.
+    group.bench_function("render_desktop_800x600", |b| {
+        b.iter(|| black_box(forestview::renderer::render_desktop(&sync_session, 800, 600)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

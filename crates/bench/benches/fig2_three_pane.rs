@@ -1,0 +1,63 @@
+//! E2 / Figure 2: rendering the synchronized three-pane display.
+//!
+//! The paper's dataset-size range is "6,000 to 50,000 gene measurements
+//! over hundreds of experiments"; the series sweeps the gene count at the
+//! desktop resolutions ForestView targets. The quantity of interest is the
+//! frame time of a full synchronized render (global views with averaging
+//! downsample + zoom views + dendrograms + labels × 3 panes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forestview::renderer::render_desktop;
+use forestview::Session;
+use fv_synth::scenario::Scenario;
+use std::hint::black_box;
+
+fn session_for(n_genes: usize) -> Session {
+    let scenario = Scenario::three_datasets(n_genes, 2007);
+    let mut session = Session::new();
+    for ds in scenario.datasets {
+        session.load_dataset(ds).unwrap();
+    }
+    // Identity display order (clustering cost is fig1's subject; at 6k
+    // genes NN-chain dominates setup time, not render time).
+    session.select_region(0, 0, 60);
+    session
+}
+
+fn bench_three_pane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_three_pane_render");
+    group.sample_size(10);
+    for n_genes in [1000usize, 6000] {
+        let session = session_for(n_genes);
+        for (w, h, label) in [(800usize, 600usize, "800x600"), (1600, 1200, "1600x1200")] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("genes_{n_genes}"), label),
+                &session,
+                |b, s| b.iter(|| black_box(render_desktop(s, w, h))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pane_count(c: &mut Criterion) {
+    // "Scientists need to visualize tens of such datasets simultaneously":
+    // render cost versus the number of panes at fixed surface size.
+    let mut group = c.benchmark_group("fig2_pane_count");
+    group.sample_size(10);
+    for n_panes in [3usize, 8, 16] {
+        let scenario = Scenario::spell_compendium(1000, n_panes.max(3), 7);
+        let mut session = Session::new();
+        for ds in scenario.datasets.into_iter().take(n_panes) {
+            session.load_dataset(ds).unwrap();
+        }
+        session.select_region(0, 0, 40);
+        group.bench_function(format!("panes_{n_panes}_1600x1200"), |b| {
+            b.iter(|| black_box(render_desktop(&session, 1600, 1200)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_three_pane, bench_pane_count);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E3 / Figure 3: display-wall rendering and its scaling.
+//!
+//! Three series reproduce the figure's claims:
+//! 1. desktop vs wall frame time (the "two orders of magnitude more
+//!    pixels" axis — capacity ratios are printed alongside),
+//! 2. thread scaling of the tile-parallel renderer (the wall's render
+//!    cluster, collapsed into one machine),
+//! 3. the rayon scheduler vs the channel pipeline (how the real
+//!    distributed wall moved tiles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use forestview::pane::build_all;
+use forestview::renderer::{paint_scene, render_wall};
+use forestview::Session;
+use fv_synth::scenario::Scenario;
+use fv_wall::pipeline::render_pipeline;
+use fv_wall::{TileGrid, WallRenderer};
+use std::hint::black_box;
+
+fn session() -> Session {
+    let scenario = Scenario::three_datasets(2000, 2007);
+    let mut s = Session::new();
+    for ds in scenario.datasets {
+        s.load_dataset(ds).unwrap();
+    }
+    s.select_region(0, 0, 60);
+    s
+}
+
+fn bench_surfaces(c: &mut Criterion) {
+    let s = session();
+    let mut group = c.benchmark_group("fig3_surface_size");
+    group.sample_size(10);
+    let desktop = TileGrid::desktop();
+    let wall = TileGrid::princeton_wall();
+    eprintln!(
+        "[fig3] desktop {} px; princeton wall {} px (ratio {:.1}x); 6x4 HD wall ratio {:.1}x",
+        desktop.total_pixels(),
+        wall.total_pixels(),
+        wall.capacity_ratio(&desktop),
+        TileGrid::new(6, 4, 1920, 1080).capacity_ratio(&desktop),
+    );
+    for (name, grid) in [("desktop_2mp", desktop), ("princeton_wall_19mp", wall)] {
+        group.bench_function(name, |b| {
+            let mut renderer = WallRenderer::new(grid);
+            b.iter(|| black_box(render_wall(&s, &mut renderer)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let s = session();
+    let panes = build_all(&s);
+    let grid = TileGrid::princeton_wall();
+    let mut group = c.benchmark_group("fig3_thread_scaling");
+    group.sample_size(10);
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    for threads in [1usize, 2, 4, max] {
+        if threads > max {
+            continue;
+        }
+        group.bench_function(format!("threads_{threads}"), |b| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let mut renderer = WallRenderer::new(grid);
+            b.iter(|| {
+                pool.install(|| {
+                    renderer.render_frame(|fb, vp| {
+                        paint_scene(
+                            fb,
+                            &s,
+                            &panes,
+                            grid.wall_width(),
+                            grid.wall_height(),
+                            vp.x as i64,
+                            vp.y as i64,
+                        )
+                    })
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let s = session();
+    let panes = build_all(&s);
+    let grid = TileGrid::new(4, 3, 512, 384);
+    let w = grid.wall_width();
+    let h = grid.wall_height();
+    let paint = |fb: &mut fv_render::Framebuffer, vp: fv_wall::tile::Viewport| {
+        paint_scene(fb, &s, &panes, w, h, vp.x as i64, vp.y as i64)
+    };
+    let mut group = c.benchmark_group("fig3_scheduler");
+    group.sample_size(10);
+    group.bench_function("rayon_tiles", |b| {
+        let mut renderer = WallRenderer::new(grid);
+        b.iter(|| black_box(renderer.render_frame(paint)))
+    });
+    group.bench_function("channel_pipeline", |b| {
+        b.iter(|| black_box(render_pipeline(grid, 4, paint)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surfaces, bench_thread_scaling, bench_schedulers);
+criterion_main!(benches);

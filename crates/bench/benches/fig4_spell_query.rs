@@ -1,0 +1,108 @@
+//! E4 / Figure 4: SPELL query latency and index construction across
+//! compendium sizes, plus the recovery quality printed as a side channel
+//! (criterion measures time; the planted-truth precision verifies the
+//! search is doing its job while we time it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fv_spell::eval::precision_at_k;
+use fv_spell::{SpellConfig, SpellEngine};
+use fv_synth::names::orf_name;
+use fv_synth::scenario::Scenario;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn engine_for(scenario: &Scenario) -> SpellEngine {
+    let mut e = SpellEngine::new(SpellConfig::default());
+    for ds in &scenario.datasets {
+        e.add_dataset(ds);
+    }
+    e.finalize();
+    e
+}
+
+fn bench_query_vs_compendium_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_spell_query");
+    group.sample_size(10);
+    for n_datasets in [10usize, 30, 60] {
+        let scenario = Scenario::spell_compendium(2000, n_datasets, 42);
+        let engine = engine_for(&scenario);
+        let query: Vec<String> = scenario.truth.esr_induced()[..8]
+            .iter()
+            .map(|&g| orf_name(g))
+            .collect();
+        let refs: Vec<&str> = query.iter().map(|s| s.as_str()).collect();
+
+        // print quality so the bench doubles as a correctness record
+        let result = engine.query(&refs);
+        let ranked: Vec<String> = result
+            .top_new_genes(usize::MAX)
+            .iter()
+            .map(|g| g.gene.clone())
+            .collect();
+        let rrefs: Vec<&str> = ranked.iter().map(|s| s.as_str()).collect();
+        let truth_names: Vec<String> = scenario
+            .truth
+            .esr_induced()
+            .iter()
+            .map(|&g| orf_name(g))
+            .filter(|g| !query.contains(g))
+            .collect();
+        let truth: HashSet<&str> = truth_names.iter().map(|s| s.as_str()).collect();
+        eprintln!(
+            "[fig4] {} datasets: P@10 = {:.2}, measurements = {}",
+            n_datasets,
+            precision_at_k(&rrefs, &truth, 10),
+            engine.total_measurements(),
+        );
+
+        group.bench_function(format!("query_{n_datasets}_datasets"), |b| {
+            b.iter(|| black_box(engine.query(&refs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_spell_index");
+    group.sample_size(10);
+    let scenario = Scenario::spell_compendium(2000, 10, 42);
+    group.bench_function("index_10x2000", |b| {
+        b.iter(|| {
+            let mut e = SpellEngine::new(SpellConfig::default());
+            for ds in &scenario.datasets {
+                e.add_dataset(ds);
+            }
+            e.finalize();
+            black_box(e.n_genes())
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_size(c: &mut Criterion) {
+    // Larger query gene lists cost more in the weighting stage (pairwise
+    // coherence is quadratic in query size).
+    let mut group = c.benchmark_group("fig4_query_size");
+    group.sample_size(10);
+    let scenario = Scenario::spell_compendium(2000, 20, 42);
+    let engine = engine_for(&scenario);
+    for q in [3usize, 10, 30] {
+        let names: Vec<String> = scenario.truth.esr_induced()[..q]
+            .iter()
+            .map(|&g| orf_name(g))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        group.bench_function(format!("query_genes_{q}"), |b| {
+            b.iter(|| black_box(engine.query(&refs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_vs_compendium_size,
+    bench_index_build,
+    bench_query_size
+);
+criterion_main!(benches);

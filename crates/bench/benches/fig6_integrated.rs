@@ -1,0 +1,68 @@
+//! E6 / Figure 6: the integrated tri-tool workflow, end to end.
+//!
+//! One iteration = seed a selection → SPELL search → reorder panes →
+//! expand selection → GOLEM enrichment → local map → render all three
+//! panels and compose. This is the complete interactive loop the figure
+//! shows on screen, measured as a single latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use forestview::integrate::AnalysisSuite;
+use forestview::renderer::{compose_figure6, render_desktop, render_golem_map, render_spell_panel};
+use forestview::selection::SelectionOrigin;
+use forestview::Session;
+use fv_golem::EnrichmentConfig;
+use fv_spell::SpellConfig;
+use fv_synth::names::orf_name;
+use fv_synth::ontogen::generate_ontology;
+use fv_synth::scenario::Scenario;
+use std::hint::black_box;
+
+fn bench_integrated(c: &mut Criterion) {
+    let scenario = Scenario::three_datasets(1000, 2007);
+    let truth = scenario.truth.clone();
+    let mut session = Session::new();
+    for ds in scenario.datasets {
+        session.load_dataset(ds).unwrap();
+    }
+    session.cluster_all();
+    let onto = generate_ontology(&truth, 1500, 2007);
+    let prop = onto.annotations.propagate(&onto.dag);
+    let suite = AnalysisSuite::build(&session, SpellConfig::default(), onto.dag, prop);
+    let seed: Vec<String> = truth.esr_induced()[..6].iter().map(|&g| orf_name(g)).collect();
+    let refs: Vec<&str> = seed.iter().map(|s| s.as_str()).collect();
+
+    let mut group = c.benchmark_group("fig6_integrated");
+    group.sample_size(10);
+
+    group.bench_function("analysis_pipeline", |b| {
+        b.iter(|| {
+            session.select_genes(&refs, SelectionOrigin::List);
+            black_box(
+                suite
+                    .integrated_analysis(&mut session, 20, &EnrichmentConfig::default(), 2)
+                    .unwrap(),
+            )
+        })
+    });
+
+    session.select_genes(&refs, SelectionOrigin::List);
+    let out = suite
+        .integrated_analysis(&mut session, 20, &EnrichmentConfig::default(), 2)
+        .unwrap();
+    group.bench_function("render_tri_panel", |b| {
+        b.iter(|| {
+            let left = render_desktop(&session, 900, 700);
+            let spell = render_spell_panel(&out.spell, 440, 350);
+            let golem = match &out.map {
+                Some((m, l)) => render_golem_map(m, l, &suite.ontology, 440, 350),
+                None => unreachable!("enrichment present"),
+            };
+            black_box(compose_figure6(&left, &golem, &spell))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrated);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! E8 / Section 1 scale claims: throughput of the data substrate at the
+//! sizes the paper states (6k–50k genes × hundreds of conditions; the
+//! quarter-billion-measurement compendium runs via the
+//! `compendium_scale --full` example rather than criterion).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fv_expr::matrix::ExprMatrix;
+use fv_expr::normalize;
+use fv_synth::compendium::{generate_compendium, CompendiumSpec};
+use std::hint::black_box;
+
+fn matrix_of(n_rows: usize, n_cols: usize) -> ExprMatrix {
+    let vals: Vec<f32> = (0..n_rows * n_cols)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % 1000) as f32 / 100.0 - 5.0)
+        .collect();
+    ExprMatrix::from_rows(n_rows, n_cols, &vals).unwrap()
+}
+
+fn bench_normalization_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_normalize");
+    group.sample_size(10);
+    for (genes, conds) in [(6_000usize, 100usize), (20_000, 250), (50_000, 200)] {
+        let cells = genes * conds;
+        group.throughput(Throughput::Elements(cells as u64));
+        let m = matrix_of(genes, conds);
+        group.bench_function(format!("zscore_{genes}x{conds}"), |b| {
+            b.iter(|| {
+                let mut copy = m.clone();
+                normalize::zscore_rows(&mut copy);
+                black_box(copy.present_total())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compendium_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_compendium_generation");
+    group.sample_size(10);
+    for n_datasets in [10usize, 25] {
+        let spec = CompendiumSpec {
+            n_genes: 6000,
+            n_datasets,
+            conds_per_dataset: 60,
+            n_specific: 4,
+            specific_size: 80,
+            noise_sd: 0.35,
+            missing_fraction: 0.02,
+            seed: 5,
+        };
+        group.throughput(Throughput::Elements(
+            (spec.n_genes * spec.conds_per_dataset * n_datasets) as u64,
+        ));
+        group.bench_function(format!("generate_{n_datasets}x6000x60"), |b| {
+            b.iter(|| black_box(generate_compendium(&spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats_kernels(c: &mut Criterion) {
+    // The correlation kernel sits inside clustering, SPELL and the case
+    // study; its single-pair throughput bounds them all.
+    let mut group = c.benchmark_group("scale_stats_kernels");
+    group.sample_size(20);
+    let m = matrix_of(1000, 200);
+    group.bench_function("pearson_pair_200cols", |b| {
+        b.iter(|| black_box(fv_expr::stats::pearson_rows(&m, 0, &m, 1, 3)))
+    });
+    group.bench_function("spearman_pair_200cols", |b| {
+        b.iter(|| black_box(fv_expr::stats::spearman_rows(&m, 0, &m, 1, 3)))
+    });
+    group.bench_function("matrix_moments_200k_cells", |b| {
+        b.iter(|| black_box(fv_expr::stats::matrix_moments(&m).mean()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_normalization_throughput,
+    bench_compendium_generation,
+    bench_stats_kernels
+);
+criterion_main!(benches);

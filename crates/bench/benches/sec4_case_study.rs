@@ -1,0 +1,77 @@
+//! E7 / Section 4: the stress-response case-study workflow, timed.
+//!
+//! The paper contrasts ForestView's one-session workflow with "launch[ing]
+//! over a dozen independent instances of a program and continually cut and
+//! paste selections between instances". The measurable core is: select a
+//! cluster in one dataset, resolve it across all datasets (synchronized
+//! views), and quantify its cross-dataset coherence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use forestview::Session;
+use fv_expr::stats;
+use fv_synth::scenario::Scenario;
+use std::hint::black_box;
+
+fn bench_case_study(c: &mut Criterion) {
+    let scenario = Scenario::case_study(2000, 4);
+    let mut session = Session::new();
+    for ds in scenario.datasets {
+        session.load_dataset(ds).unwrap();
+    }
+    session.cluster_all();
+
+    let mut group = c.benchmark_group("sec4_case_study");
+    group.sample_size(10);
+
+    // The selection + cross-dataset resolution step.
+    group.bench_function("select_and_resolve_50_genes", |b| {
+        b.iter(|| {
+            session.select_region(2, 400, 450);
+            let mut measured = 0usize;
+            for d in 0..3 {
+                measured += forestview::sync::zoom_rows(&session, d)
+                    .iter()
+                    .filter(|r| r.is_some())
+                    .count();
+            }
+            black_box(measured)
+        })
+    });
+
+    // The coherence quantification (50-gene group, all pairs, stress pane).
+    session.select_region(2, 400, 450);
+    let names: Vec<String> = session
+        .selection()
+        .unwrap()
+        .genes()
+        .iter()
+        .map(|&g| session.merged().universe().name(g).to_string())
+        .collect();
+    group.bench_function("coherence_50_genes_stress_pane", |b| {
+        b.iter(|| {
+            let ds = session.dataset(0);
+            let rows: Vec<usize> = names.iter().filter_map(|g| ds.find_gene(g)).collect();
+            let mut sum = 0.0f64;
+            for i in 0..rows.len() - 1 {
+                for j in (i + 1)..rows.len() {
+                    if let Some(r) =
+                        stats::pearson_rows(&ds.matrix, rows[i], &ds.matrix, rows[j], 3)
+                    {
+                        sum += r;
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+
+    // The merged export the user hands to downstream analysis.
+    group.bench_function("export_merged_selection", |b| {
+        b.iter(|| black_box(session.export_merged_selection()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_study);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! fv-bench: criterion harness crate; see benches/ for targets.

@@ -1,0 +1,311 @@
+//! K-means flat clustering (k-means++ seeding).
+//!
+//! Cluster 3.0 offers k-means alongside hierarchical clustering, and
+//! ForestView's analysis menu exposes both; SPELL evaluation also uses flat
+//! clusters as query sets. Missing values are handled per-row: distances
+//! and centroid updates only use present cells.
+
+use fv_expr::matrix::ExprMatrix;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Cluster label per row, in `0..k`.
+    pub labels: Vec<usize>,
+    /// Cluster centroids, `k × n_cols`.
+    pub centroids: Vec<Vec<f32>>,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+    /// Final total within-cluster squared distance.
+    pub inertia: f64,
+}
+
+/// Tiny deterministic xorshift64* generator — keeps this crate free of a
+/// runtime `rand` dependency while making seeding explicit.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Squared Euclidean distance between a row and a centroid over the row's
+/// present cells, normalized by the number of present cells so rows with
+/// different missingness are comparable.
+fn row_centroid_dist2(m: &ExprMatrix, row: usize, centroid: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    let mut n = 0usize;
+    for (c, v) in m.present_in_row_iter(row) {
+        let d = v as f64 - centroid[c] as f64;
+        acc += d * d;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Run k-means on the rows of `m`.
+///
+/// `k` is clamped to `[1, n_rows]`. Seeding is k-means++ driven by `seed`;
+/// iteration stops when labels stabilize or after `max_iter` rounds.
+/// Panics if the matrix has zero rows.
+pub fn kmeans(m: &ExprMatrix, k: usize, seed: u64, max_iter: usize) -> KmeansResult {
+    let n = m.n_rows();
+    assert!(n > 0, "kmeans requires at least one row");
+    let k = k.clamp(1, n);
+    let cols = m.n_cols();
+    let mut rng = XorShift::new(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    let first = (rng.next_u64() % n as u64) as usize;
+    centroids.push(m.row_options(first).iter().map(|v| v.unwrap_or(0.0)).collect());
+    let mut d2: Vec<f64> = (0..n)
+        .map(|r| row_centroid_dist2(m, r, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            // all points coincide with some centroid: pick uniformly
+            (rng.next_u64() % n as u64) as usize
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut chosen = n - 1;
+            for (r, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = r;
+                    break;
+                }
+            }
+            chosen
+        };
+        let c: Vec<f32> = m.row_options(pick).iter().map(|v| v.unwrap_or(0.0)).collect();
+        for r in 0..n {
+            let nd = row_centroid_dist2(m, r, &c);
+            if nd < d2[r] {
+                d2[r] = nd;
+            }
+        }
+        centroids.push(c);
+    }
+
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0usize;
+    for it in 0..max_iter.max(1) {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for r in 0..n {
+            let mut best = (0usize, f64::INFINITY);
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = row_centroid_dist2(m, r, c);
+                if d < best.1 {
+                    best = (ci, d);
+                }
+            }
+            if labels[r] != best.0 {
+                labels[r] = best.0;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; cols]; k];
+        let mut counts = vec![vec![0usize; cols]; k];
+        let mut members = vec![0usize; k];
+        for r in 0..n {
+            members[labels[r]] += 1;
+            for (c, v) in m.present_in_row_iter(r) {
+                sums[labels[r]][c] += v as f64;
+                counts[labels[r]][c] += 1;
+            }
+        }
+        for ci in 0..k {
+            if members[ci] == 0 {
+                // Empty cluster: re-seed at the row farthest from its centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        row_centroid_dist2(m, a, &centroids[labels[a]])
+                            .partial_cmp(&row_centroid_dist2(m, b, &centroids[labels[b]]))
+                            .unwrap()
+                    })
+                    .unwrap();
+                centroids[ci] = m.row_options(far).iter().map(|v| v.unwrap_or(0.0)).collect();
+                continue;
+            }
+            for c in 0..cols {
+                if counts[ci][c] > 0 {
+                    centroids[ci][c] = (sums[ci][c] / counts[ci][c] as f64) as f32;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia: f64 = (0..n)
+        .map(|r| row_centroid_dist2(m, r, &centroids[labels[r]]))
+        .sum();
+    KmeansResult {
+        labels,
+        centroids,
+        iterations,
+        inertia,
+    }
+}
+
+/// Run k-means `n_init` times with seeds derived from `seed` and keep the
+/// run with the lowest inertia — the standard defence against bad local
+/// optima (scikit-learn's `n_init` behaviour).
+pub fn kmeans_restarts(
+    m: &ExprMatrix,
+    k: usize,
+    seed: u64,
+    n_init: usize,
+    max_iter: usize,
+) -> KmeansResult {
+    let mut best: Option<KmeansResult> = None;
+    for i in 0..n_init.max(1) {
+        let r = kmeans(m, k, seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15), max_iter);
+        if best.as_ref().map_or(true, |b| r.inertia < b.inertia) {
+            best = Some(r);
+        }
+    }
+    best.expect("n_init >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points2d(pts: &[(f32, f32)]) -> ExprMatrix {
+        let mut vals = Vec::with_capacity(pts.len() * 2);
+        for &(x, y) in pts {
+            vals.push(x);
+            vals.push(y);
+        }
+        ExprMatrix::from_rows(pts.len(), 2, &vals).unwrap()
+    }
+
+    #[test]
+    fn two_obvious_clusters() {
+        let m = points2d(&[
+            (0.0, 0.0),
+            (0.1, 0.1),
+            (0.2, 0.0),
+            (10.0, 10.0),
+            (10.1, 9.9),
+            (9.9, 10.1),
+        ]);
+        let r = kmeans(&m, 2, 42, 100);
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_eq!(r.labels[1], r.labels[2]);
+        assert_eq!(r.labels[3], r.labels[4]);
+        assert_ne!(r.labels[0], r.labels[3]);
+        assert!(r.inertia < 0.1);
+    }
+
+    #[test]
+    fn k_one_groups_all() {
+        let m = points2d(&[(0.0, 0.0), (4.0, 4.0)]);
+        let r = kmeans(&m, 1, 7, 50);
+        assert!(r.labels.iter().all(|&l| l == 0));
+        // centroid at the mean
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let m = points2d(&[(0.0, 0.0), (1.0, 1.0)]);
+        let r = kmeans(&m, 10, 1, 50);
+        assert!(r.centroids.len() <= 2);
+        // both points distinct → each its own cluster
+        assert_ne!(r.labels[0], r.labels[1]);
+        assert!(r.inertia < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = points2d(&[(0.0, 1.0), (2.0, 3.0), (8.0, 1.0), (7.0, 2.5), (0.5, 0.5)]);
+        let a = kmeans(&m, 2, 99, 100);
+        let b = kmeans(&m, 2, 99, 100);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn handles_missing_values() {
+        let mut m = points2d(&[(0.0, 0.0), (0.0, 0.0), (10.0, 10.0), (10.0, 10.0)]);
+        m.set_missing(0, 1); // first point only has x
+        let r = kmeans(&m, 2, 5, 100);
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_ne!(r.labels[0], r.labels[2]);
+    }
+
+    #[test]
+    fn inertia_nonincreasing_with_k() {
+        let m = points2d(&[
+            (0.0, 0.0),
+            (1.0, 0.5),
+            (5.0, 5.0),
+            (6.0, 5.5),
+            (10.0, 0.0),
+            (11.0, 0.5),
+        ]);
+        let i1 = kmeans_restarts(&m, 1, 3, 8, 200).inertia;
+        let i2 = kmeans_restarts(&m, 2, 3, 8, 200).inertia;
+        let i3 = kmeans_restarts(&m, 3, 3, 8, 200).inertia;
+        assert!(i2 <= i1 + 1e-9);
+        assert!(i3 <= i2 + 1e-9);
+        // optimal three-pair partition: 3 pairs × 0.3125 = 0.9375
+        assert!(i3 < 1.0, "restarts should find the three pairs: {i3}");
+    }
+
+    #[test]
+    fn restarts_never_worse_than_single_run() {
+        let m = points2d(&[
+            (0.0, 0.0),
+            (1.0, 0.5),
+            (5.0, 5.0),
+            (6.0, 5.5),
+            (10.0, 0.0),
+            (11.0, 0.5),
+        ]);
+        let single = kmeans(&m, 3, 3, 200).inertia;
+        let multi = kmeans_restarts(&m, 3, 3, 8, 200).inertia;
+        assert!(multi <= single + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_matrix_panics() {
+        let m = ExprMatrix::zeros(0, 2);
+        let _ = kmeans(&m, 2, 1, 10);
+    }
+
+    #[test]
+    fn labels_in_range() {
+        let m = points2d(&[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0), (9.0, 9.0)]);
+        let r = kmeans(&m, 3, 11, 100);
+        assert!(r.labels.iter().all(|&l| l < 3));
+        assert_eq!(r.labels.len(), 4);
+    }
+}

@@ -1,0 +1,404 @@
+//! The agglomerative merge tree (dendrogram).
+
+use std::fmt;
+
+/// Reference to a tree node: an original observation or a prior merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// Original observation (gene or array row) index.
+    Leaf(u32),
+    /// Index into the merge list.
+    Internal(u32),
+}
+
+/// One agglomerative merge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged subtree.
+    pub left: NodeRef,
+    /// Second merged subtree.
+    pub right: NodeRef,
+    /// Merge height (linkage distance).
+    pub height: f32,
+    /// Number of leaves under this node.
+    pub size: u32,
+}
+
+/// Errors from tree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Merge count must be `n_leaves − 1` (or 0 for n ≤ 1).
+    WrongMergeCount {
+        /// Leaves in the tree.
+        n_leaves: usize,
+        /// Merges supplied.
+        n_merges: usize,
+    },
+    /// A merge referenced a leaf index out of range.
+    BadLeaf(u32),
+    /// A merge referenced a merge at or after itself.
+    ForwardReference(u32),
+    /// A node was used as a child more than once.
+    Reused(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::WrongMergeCount { n_leaves, n_merges } => write!(
+                f,
+                "{n_leaves} leaves require {} merges, got {n_merges}",
+                n_leaves.saturating_sub(1)
+            ),
+            TreeError::BadLeaf(i) => write!(f, "leaf index {i} out of range"),
+            TreeError::ForwardReference(i) => write!(f, "merge references later merge {i}"),
+            TreeError::Reused(n) => write!(f, "node {n} used as child twice"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A validated dendrogram over `n_leaves` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTree {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl ClusterTree {
+    /// Validate and construct. Requirements: exactly `n_leaves − 1` merges;
+    /// every leaf/merge referenced at most once and merges only reference
+    /// earlier merges (so the list is a valid bottom-up construction).
+    pub fn new(n_leaves: usize, merges: Vec<Merge>) -> Result<Self, TreeError> {
+        let expected = n_leaves.saturating_sub(1);
+        if merges.len() != expected {
+            return Err(TreeError::WrongMergeCount {
+                n_leaves,
+                n_merges: merges.len(),
+            });
+        }
+        let mut leaf_used = vec![false; n_leaves];
+        let mut merge_used = vec![false; merges.len()];
+        for (mi, m) in merges.iter().enumerate() {
+            for child in [m.left, m.right] {
+                match child {
+                    NodeRef::Leaf(i) => {
+                        if i as usize >= n_leaves {
+                            return Err(TreeError::BadLeaf(i));
+                        }
+                        if leaf_used[i as usize] {
+                            return Err(TreeError::Reused(format!("leaf {i}")));
+                        }
+                        leaf_used[i as usize] = true;
+                    }
+                    NodeRef::Internal(i) => {
+                        if i as usize >= mi {
+                            return Err(TreeError::ForwardReference(i));
+                        }
+                        if merge_used[i as usize] {
+                            return Err(TreeError::Reused(format!("merge {i}")));
+                        }
+                        merge_used[i as usize] = true;
+                    }
+                }
+            }
+        }
+        Ok(ClusterTree { n_leaves, merges })
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge list, bottom-up.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// The root node (last merge), or the single leaf for n = 1.
+    pub fn root(&self) -> Option<NodeRef> {
+        if self.merges.is_empty() {
+            if self.n_leaves == 1 {
+                Some(NodeRef::Leaf(0))
+            } else {
+                None
+            }
+        } else {
+            Some(NodeRef::Internal(self.merges.len() as u32 - 1))
+        }
+    }
+
+    /// Leaves under `node`, left-to-right.
+    pub fn node_leaves(&self, node: NodeRef) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(node, &mut out, None);
+        out
+    }
+
+    fn collect_leaves(&self, node: NodeRef, out: &mut Vec<usize>, flip: Option<&[bool]>) {
+        match node {
+            NodeRef::Leaf(i) => out.push(i as usize),
+            NodeRef::Internal(i) => {
+                let m = &self.merges[i as usize];
+                let flipped = flip.map(|f| f[i as usize]).unwrap_or(false);
+                let (first, second) = if flipped {
+                    (m.right, m.left)
+                } else {
+                    (m.left, m.right)
+                };
+                self.collect_leaves(first, out, flip);
+                self.collect_leaves(second, out, flip);
+            }
+        }
+    }
+
+    /// Depth-first leaf order (left children first).
+    pub fn leaf_order(&self) -> Vec<usize> {
+        match self.root() {
+            Some(r) => self.node_leaves(r),
+            None => Vec::new(),
+        }
+    }
+
+    /// Leaf order under a per-merge child-flip mask (see [`crate::order`]).
+    pub fn leaf_order_flipped(&self, flip: &[bool]) -> Vec<usize> {
+        assert_eq!(flip.len(), self.merges.len(), "flip mask length mismatch");
+        match self.root() {
+            Some(r) => {
+                let mut out = Vec::with_capacity(self.n_leaves);
+                self.collect_leaves(r, &mut out, Some(flip));
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Assign each leaf to one of `k` flat clusters by cutting the `k − 1`
+    /// highest merges. Returns cluster labels `0..k` in order of first
+    /// appearance. `k` is clamped to `[1, n_leaves]`.
+    pub fn cut_k(&self, k: usize) -> Vec<usize> {
+        let k = k.clamp(1, self.n_leaves.max(1));
+        // Union the first n-1-(k-1) merges (lowest, since the linkage
+        // algorithm emits merges sorted by height).
+        let keep = self.merges.len().saturating_sub(k - 1);
+        self.cut_merges(keep)
+    }
+
+    /// Assign flat clusters by cutting all merges with height > `h`.
+    pub fn cut_height(&self, h: f32) -> Vec<usize> {
+        let keep = self.merges.iter().take_while(|m| m.height <= h).count();
+        // merges are sorted by height; anything after `keep` is above the cut
+        self.cut_merges(keep)
+    }
+
+    fn cut_merges(&self, keep: usize) -> Vec<usize> {
+        let mut uf = UnionFind::new(self.n_leaves);
+        // Map each merge to a representative leaf so later merges can union
+        // through internal references.
+        let mut rep: Vec<usize> = Vec::with_capacity(self.merges.len());
+        for (mi, m) in self.merges.iter().enumerate() {
+            let la = self.first_leaf(m.left, &rep);
+            let lb = self.first_leaf(m.right, &rep);
+            if mi < keep {
+                uf.union(la, lb);
+            }
+            rep.push(la);
+        }
+        // Relabel roots densely in order of first appearance.
+        let mut label = vec![usize::MAX; self.n_leaves];
+        let mut next = 0usize;
+        let mut out = Vec::with_capacity(self.n_leaves);
+        for i in 0..self.n_leaves {
+            let r = uf.find(i);
+            if label[r] == usize::MAX {
+                label[r] = next;
+                next += 1;
+            }
+            out.push(label[r]);
+        }
+        out
+    }
+
+    fn first_leaf(&self, node: NodeRef, rep: &[usize]) -> usize {
+        match node {
+            NodeRef::Leaf(i) => i as usize,
+            NodeRef::Internal(i) => rep[i as usize],
+        }
+    }
+
+    /// Maximum merge height (0 for trivial trees).
+    pub fn max_height(&self) -> f32 {
+        self.merges.iter().map(|m| m.height).fold(0.0, f32::max)
+    }
+}
+
+/// Minimal union-find with path halving.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(i: u32) -> NodeRef {
+        NodeRef::Leaf(i)
+    }
+
+    fn node(i: u32) -> NodeRef {
+        NodeRef::Internal(i)
+    }
+
+    /// ((0,1) at 1.0, (2,3) at 2.0, those two at 3.0)
+    fn four_leaf() -> ClusterTree {
+        ClusterTree::new(
+            4,
+            vec![
+                Merge { left: leaf(0), right: leaf(1), height: 1.0, size: 2 },
+                Merge { left: leaf(2), right: leaf(3), height: 2.0, size: 2 },
+                Merge { left: node(0), right: node(1), height: 3.0, size: 4 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_merge_count() {
+        let err = ClusterTree::new(3, vec![]).unwrap_err();
+        assert!(matches!(err, TreeError::WrongMergeCount { .. }));
+    }
+
+    #[test]
+    fn new_rejects_bad_leaf() {
+        let err = ClusterTree::new(
+            2,
+            vec![Merge { left: leaf(0), right: leaf(5), height: 1.0, size: 2 }],
+        )
+        .unwrap_err();
+        assert_eq!(err, TreeError::BadLeaf(5));
+    }
+
+    #[test]
+    fn new_rejects_forward_reference() {
+        let err = ClusterTree::new(
+            3,
+            vec![
+                Merge { left: leaf(0), right: node(1), height: 1.0, size: 2 },
+                Merge { left: leaf(1), right: leaf(2), height: 2.0, size: 2 },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, TreeError::ForwardReference(1));
+    }
+
+    #[test]
+    fn new_rejects_reuse() {
+        let err = ClusterTree::new(
+            3,
+            vec![
+                Merge { left: leaf(0), right: leaf(0), height: 1.0, size: 2 },
+                Merge { left: node(0), right: leaf(1), height: 2.0, size: 3 },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TreeError::Reused(_)));
+    }
+
+    #[test]
+    fn leaf_order_dfs() {
+        assert_eq!(four_leaf().leaf_order(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn leaf_order_flipped() {
+        let t = four_leaf();
+        // flip the root: right subtree first
+        assert_eq!(t.leaf_order_flipped(&[false, false, true]), vec![2, 3, 0, 1]);
+        // flip first merge only
+        assert_eq!(t.leaf_order_flipped(&[true, false, false]), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn node_leaves_subtree() {
+        let t = four_leaf();
+        assert_eq!(t.node_leaves(node(1)), vec![2, 3]);
+        assert_eq!(t.node_leaves(leaf(2)), vec![2]);
+    }
+
+    #[test]
+    fn cut_k_extremes() {
+        let t = four_leaf();
+        assert_eq!(t.cut_k(1), vec![0, 0, 0, 0]);
+        assert_eq!(t.cut_k(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cut_k_two() {
+        let t = four_leaf();
+        assert_eq!(t.cut_k(2), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn cut_k_clamps() {
+        let t = four_leaf();
+        assert_eq!(t.cut_k(0), t.cut_k(1));
+        assert_eq!(t.cut_k(99), t.cut_k(4));
+    }
+
+    #[test]
+    fn cut_height_thresholds() {
+        let t = four_leaf();
+        assert_eq!(t.cut_height(0.5), vec![0, 1, 2, 3]);
+        assert_eq!(t.cut_height(1.5), vec![0, 0, 1, 2]);
+        assert_eq!(t.cut_height(2.5), vec![0, 0, 1, 1]);
+        assert_eq!(t.cut_height(3.5), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn root_and_max_height() {
+        let t = four_leaf();
+        assert_eq!(t.root(), Some(node(2)));
+        assert_eq!(t.max_height(), 3.0);
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = ClusterTree::new(1, vec![]).unwrap();
+        assert_eq!(t.root(), Some(leaf(0)));
+        assert_eq!(t.leaf_order(), vec![0]);
+        assert_eq!(t.cut_k(1), vec![0]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = ClusterTree::new(0, vec![]).unwrap();
+        assert_eq!(t.root(), None);
+        assert!(t.leaf_order().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Session-level exports and textual reports.
+//!
+//! Beyond the raw exports in `fv-formats` (gene lists, merged tables),
+//! examples and the benchmark harness need a human-readable summary of a
+//! session — what is loaded, what is selected, what the panes show — to
+//! print alongside the image artifacts.
+
+use crate::session::Session;
+use crate::sync;
+
+/// One-paragraph textual summary of the session state.
+pub fn session_summary(session: &Session) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "ForestView session: {} dataset(s), {} genes in universe, {} total measurements\n",
+        session.n_datasets(),
+        session.merged().universe().len(),
+        session.merged().total_measurements(),
+    ));
+    for &d in session.dataset_order() {
+        let ds = session.dataset(d);
+        out.push_str(&format!(
+            "  pane {:>2}: {:<24} {:>6} genes x {:>4} conditions, {} clustered\n",
+            d,
+            ds.name,
+            ds.n_genes(),
+            ds.n_conditions(),
+            if session.gene_tree(d).is_some() { "" } else { "not" },
+        ));
+    }
+    match session.selection() {
+        Some(sel) => {
+            out.push_str(&format!(
+                "  selection: {} genes ({:?}), sync {}\n",
+                sel.len(),
+                sel.origin,
+                if session.sync_enabled() { "on" } else { "off" },
+            ));
+            for &d in session.dataset_order() {
+                let present = sync::zoom_rows(session, d)
+                    .iter()
+                    .filter(|r| r.is_some())
+                    .count();
+                out.push_str(&format!(
+                    "    {}: {present}/{} selected genes measured\n",
+                    session.dataset(d).name,
+                    sel.len(),
+                ));
+            }
+        }
+        None => out.push_str("  selection: none\n"),
+    }
+    out
+}
+
+/// Tab-separated table of the current selection's per-dataset coverage —
+/// the numbers behind the synchronized zoom views.
+pub fn selection_coverage_tsv(session: &Session) -> String {
+    let mut out = String::from("dataset\tmeasured\tselected\tcoverage\n");
+    let Some(sel) = session.selection() else {
+        return out;
+    };
+    for &d in session.dataset_order() {
+        let present = sync::zoom_rows(session, d)
+            .iter()
+            .filter(|r| r.is_some())
+            .count();
+        let frac = if sel.is_empty() {
+            0.0
+        } else {
+            present as f64 / sel.len() as f64
+        };
+        out.push_str(&format!(
+            "{}\t{present}\t{}\t{frac:.3}\n",
+            session.dataset(d).name,
+            sel.len(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::SelectionOrigin;
+    use fv_expr::{Dataset, ExprMatrix};
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        s.load_dataset(Dataset::with_default_meta("one", ExprMatrix::zeros(5, 3)))
+            .unwrap();
+        s.load_dataset(Dataset::with_default_meta("two", ExprMatrix::zeros(4, 2)))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn summary_mentions_datasets() {
+        let s = session();
+        let text = session_summary(&s);
+        assert!(text.contains("2 dataset(s)"));
+        assert!(text.contains("one"));
+        assert!(text.contains("two"));
+        assert!(text.contains("selection: none"));
+    }
+
+    #[test]
+    fn summary_reports_selection() {
+        let mut s = session();
+        s.select_genes(&["G1", "G2"], SelectionOrigin::List);
+        let text = session_summary(&s);
+        assert!(text.contains("selection: 2 genes"));
+        assert!(text.contains("sync on"));
+    }
+
+    #[test]
+    fn coverage_tsv_shape() {
+        let mut s = session();
+        s.select_genes(&["G0", "G4"], SelectionOrigin::List);
+        let tsv = selection_coverage_tsv(&s);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // "two" only has G0..G3 → 1 of 2 present
+        assert!(lines[2].starts_with("two\t1\t2\t0.5"));
+    }
+
+    #[test]
+    fn coverage_empty_without_selection() {
+        let s = session();
+        let tsv = selection_coverage_tsv(&s);
+        assert_eq!(tsv.lines().count(), 1);
+    }
+}

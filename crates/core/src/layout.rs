@@ -1,0 +1,224 @@
+//! Pane layout: dividing a display surface into vertical dataset panes.
+//!
+//! "The ForestView display is divided into multiple vertical panes, each
+//! pane displaying one dataset. Each dataset pane shows a global view of
+//! the whole genome and a zoom view showing details of selected genes"
+//! (paper, Section 2). Each pane stacks: title strip, global view (with
+//! the gene tree to its left), zoom view (with tree + annotation strip).
+
+/// A rectangle in surface coordinates (may be empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: usize,
+    /// Top edge.
+    pub y: usize,
+    /// Width.
+    pub w: usize,
+    /// Height.
+    pub h: usize,
+}
+
+impl Rect {
+    /// Whether the rectangle has zero area.
+    pub fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> usize {
+        self.w * self.h
+    }
+}
+
+/// The sub-regions of one dataset pane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaneLayout {
+    /// The whole pane.
+    pub pane: Rect,
+    /// Title strip at the top.
+    pub title: Rect,
+    /// Array (condition) dendrogram above the global view.
+    pub array_tree: Rect,
+    /// Gene dendrogram beside the global view.
+    pub global_tree: Rect,
+    /// Global (whole-dataset) heatmap.
+    pub global: Rect,
+    /// Zoom-view heatmap (selected genes).
+    pub zoom: Rect,
+    /// Annotation/label strip beside the zoom view.
+    pub labels: Rect,
+}
+
+/// Fixed layout constants (pixels).
+pub mod dims {
+    /// Title strip height.
+    pub const TITLE_H: usize = 12;
+    /// Gap between panes.
+    pub const PANE_GAP: usize = 4;
+    /// Dendrogram strip width (when shown).
+    pub const TREE_W: usize = 48;
+    /// Label strip width (when shown).
+    pub const LABEL_W: usize = 70;
+    /// Fraction of the content height given to the global view (per mille).
+    pub const GLOBAL_FRACTION_PM: usize = 550;
+    /// Vertical gap between global and zoom views.
+    pub const VIEW_GAP: usize = 4;
+    /// Array-dendrogram strip height (when shown).
+    pub const ARRAY_TREE_H: usize = 24;
+}
+
+/// Compute layouts for `n_panes` vertical panes across a `width × height`
+/// surface. `show_tree` / `show_labels` / `show_array_tree` reserve those
+/// strips.
+pub fn layout_panes(
+    width: usize,
+    height: usize,
+    n_panes: usize,
+    show_tree: bool,
+    show_labels: bool,
+    show_array_tree: bool,
+) -> Vec<PaneLayout> {
+    if n_panes == 0 || width == 0 || height == 0 {
+        return Vec::new();
+    }
+    let total_gap = dims::PANE_GAP * (n_panes.saturating_sub(1));
+    let pane_w = width.saturating_sub(total_gap) / n_panes;
+    let mut out = Vec::with_capacity(n_panes);
+    for p in 0..n_panes {
+        let x = p * (pane_w + dims::PANE_GAP);
+        let pane = Rect { x, y: 0, w: pane_w, h: height };
+        let title = Rect { x, y: 0, w: pane_w, h: dims::TITLE_H.min(height) };
+        let atree_h = if show_array_tree {
+            dims::ARRAY_TREE_H.min(height.saturating_sub(title.h) / 4)
+        } else {
+            0
+        };
+        let content_y = title.h + atree_h;
+        let content_h = height.saturating_sub(content_y);
+        let global_h = content_h * dims::GLOBAL_FRACTION_PM / 1000;
+        let zoom_y = content_y + global_h + dims::VIEW_GAP;
+        let zoom_h = (content_y + content_h).saturating_sub(zoom_y);
+
+        let tree_w = if show_tree { dims::TREE_W.min(pane_w / 4) } else { 0 };
+        let label_w = if show_labels { dims::LABEL_W.min(pane_w / 3) } else { 0 };
+
+        let array_tree = Rect {
+            x: x + tree_w,
+            y: title.h,
+            w: pane_w.saturating_sub(tree_w),
+            h: atree_h,
+        };
+        let global_tree = Rect { x, y: content_y, w: tree_w, h: global_h };
+        let global = Rect {
+            x: x + tree_w,
+            y: content_y,
+            w: pane_w.saturating_sub(tree_w),
+            h: global_h,
+        };
+        let zoom = Rect {
+            x: x + tree_w,
+            y: zoom_y,
+            w: pane_w.saturating_sub(tree_w + label_w),
+            h: zoom_h,
+        };
+        let labels = Rect {
+            x: x + pane_w.saturating_sub(label_w),
+            y: zoom_y,
+            w: label_w,
+            h: zoom_h,
+        };
+        out.push(PaneLayout {
+            pane,
+            title,
+            array_tree,
+            global_tree,
+            global,
+            zoom,
+            labels,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panes_tile_width() {
+        let l = layout_panes(1000, 600, 3, true, true, false);
+        assert_eq!(l.len(), 3);
+        for (i, p) in l.iter().enumerate() {
+            assert_eq!(p.pane.w, (1000 - 2 * dims::PANE_GAP) / 3);
+            if i > 0 {
+                assert!(p.pane.x >= l[i - 1].pane.x + l[i - 1].pane.w, "panes overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_within_pane() {
+        let l = layout_panes(900, 700, 2, true, true, false);
+        for p in &l {
+            for r in [p.title, p.global_tree, p.global, p.zoom, p.labels] {
+                assert!(r.x >= p.pane.x);
+                assert!(r.x + r.w <= p.pane.x + p.pane.w + 1);
+                assert!(r.y + r.h <= p.pane.y + p.pane.h);
+            }
+        }
+    }
+
+    #[test]
+    fn global_above_zoom() {
+        let l = layout_panes(800, 600, 1, false, false, false);
+        let p = &l[0];
+        assert!(p.global.y + p.global.h <= p.zoom.y);
+        assert!(p.global.h > 0 && p.zoom.h > 0);
+        // without tree/labels the heatmaps use the full pane width
+        assert_eq!(p.global.w, p.pane.w);
+        assert_eq!(p.zoom.w, p.pane.w);
+    }
+
+    #[test]
+    fn tree_and_labels_reserved() {
+        let l = layout_panes(800, 600, 1, true, true, false);
+        let p = &l[0];
+        assert_eq!(p.global_tree.w, dims::TREE_W);
+        assert_eq!(p.labels.w, dims::LABEL_W);
+        assert_eq!(p.global.x, p.pane.x + dims::TREE_W);
+        assert_eq!(p.zoom.w, p.pane.w - dims::TREE_W - dims::LABEL_W);
+    }
+
+    #[test]
+    fn array_tree_strip_reserved() {
+        let with = layout_panes(800, 600, 1, true, true, true);
+        let without = layout_panes(800, 600, 1, true, true, false);
+        let (p, q) = (&with[0], &without[0]);
+        assert_eq!(p.array_tree.h, dims::ARRAY_TREE_H);
+        assert_eq!(p.array_tree.y, dims::TITLE_H);
+        assert_eq!(p.array_tree.x, p.global.x, "array tree aligns with heatmap columns");
+        assert_eq!(p.array_tree.w, p.global.w);
+        // content shifts down by the strip height
+        assert_eq!(p.global.y, q.global.y + dims::ARRAY_TREE_H);
+        assert!(q.array_tree.is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(layout_panes(0, 100, 2, true, true, false).is_empty());
+        assert!(layout_panes(100, 100, 0, true, true, false).is_empty());
+        // tiny surface still produces non-panicking layout
+        let l = layout_panes(10, 8, 2, true, true, false);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn many_panes_wall_scale() {
+        // 24 panes across a 7680-wide wall: each pane ~300 px
+        let l = layout_panes(7680, 3072, 24, true, true, false);
+        assert_eq!(l.len(), 24);
+        assert!(l[23].pane.x + l[23].pane.w <= 7680);
+        assert!(l[0].zoom.w > 100);
+    }
+}

@@ -1,0 +1,57 @@
+//! # ForestView — scalable, dynamic analysis and visualization for genomic datasets
+//!
+//! This crate is the paper's primary contribution (Wallace et al., IPPS
+//! 2007): a multi-dataset microarray visualization and analysis application
+//! that "allows researchers to dynamically view and explore multiple
+//! microarray datasets at once, to see context within those datasets, to
+//! make comparisons between datasets, and provides an excellent platform
+//! for expansion with additional tools and techniques" (Section 1).
+//!
+//! The architecture follows Figure 1 exactly:
+//!
+//! ```text
+//!                     User Interface            →  [`command`]
+//!   Find genes │ Order datasets │ Export │ Search   [`search`], [`ordering`], [`export`]
+//!                  Dataset Analysis             →  [`integrate`] (SPELL, GOLEM)
+//!              Visualization Synchronization    →  [`sync`]
+//!          Gene Visualization 1 … n (panes)     →  [`pane`], [`renderer`]
+//!              Merged Dataset Interface         →  fv-expr's `MergedDatasets`
+//!                Dataset 1 … Dataset n          →  fv-expr / fv-formats
+//! ```
+//!
+//! The [`session::Session`] object owns the whole stack. Rendering targets
+//! either a desktop-sized framebuffer or a tiled display wall (`fv-wall`),
+//! scaling "from a desktop/laptop setting … to very large-format display
+//! devices" (Section 1).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use forestview::session::Session;
+//! use fv_expr::{Dataset, ExprMatrix};
+//!
+//! let mut session = Session::new();
+//! let m = ExprMatrix::from_rows(3, 2, &[1.0, -1.0, 0.5, 0.2, -0.8, 0.9]).unwrap();
+//! session.load_dataset(Dataset::with_default_meta("demo", m)).unwrap();
+//! session.cluster_all();
+//! let hits = session.search_and_select("G1");
+//! assert_eq!(hits, 1);
+//! let fb = forestview::renderer::render_desktop(&session, 320, 240);
+//! assert_eq!(fb.width(), 320);
+//! ```
+
+pub mod command;
+pub mod export;
+pub mod integrate;
+pub mod layout;
+pub mod ordering;
+pub mod pane;
+pub mod prefs;
+pub mod renderer;
+pub mod search;
+pub mod selection;
+pub mod session;
+pub mod sync;
+
+pub use selection::{Selection, SelectionOrigin};
+pub use session::Session;

@@ -1,0 +1,103 @@
+//! Dataset (pane) ordering policies — the "Order Datasets" box of Figure 1.
+//!
+//! Panes can be ordered by load order, by name, or by an external relevance
+//! score — the last is how SPELL results drive the display: "The datasets
+//! returned can be displayed in decreasing order of relevance to the
+//! query" (paper, Section 3).
+
+use crate::session::Session;
+
+/// How to order the panes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderPolicy {
+    /// The order datasets were loaded.
+    LoadOrder,
+    /// Alphabetical by dataset name.
+    ByName,
+    /// Decreasing external relevance; `scores[d]` scores dataset `d`.
+    /// Ties break by name.
+    ByRelevance(Vec<f32>),
+}
+
+/// Compute the pane order under a policy.
+pub fn compute_order(session: &Session, policy: &OrderPolicy) -> Vec<usize> {
+    let n = session.n_datasets();
+    let mut order: Vec<usize> = (0..n).collect();
+    match policy {
+        OrderPolicy::LoadOrder => {}
+        OrderPolicy::ByName => {
+            order.sort_by(|&a, &b| session.dataset(a).name.cmp(&session.dataset(b).name));
+        }
+        OrderPolicy::ByRelevance(scores) => {
+            assert_eq!(scores.len(), n, "one score per dataset");
+            order.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| session.dataset(a).name.cmp(&session.dataset(b).name))
+            });
+        }
+    }
+    order
+}
+
+/// Apply a policy to the session.
+pub fn apply_order(session: &mut Session, policy: &OrderPolicy) {
+    let order = compute_order(session, policy);
+    session.set_dataset_order(order);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_expr::{Dataset, ExprMatrix};
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        for name in ["zeta", "alpha", "mid"] {
+            s.load_dataset(Dataset::with_default_meta(name, ExprMatrix::zeros(2, 2)))
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn load_order_identity() {
+        let s = session();
+        assert_eq!(compute_order(&s, &OrderPolicy::LoadOrder), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn by_name_alphabetical() {
+        let s = session();
+        assert_eq!(compute_order(&s, &OrderPolicy::ByName), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn by_relevance_descending() {
+        let s = session();
+        let order = compute_order(&s, &OrderPolicy::ByRelevance(vec![0.1, 0.9, 0.5]));
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn relevance_ties_break_by_name() {
+        let s = session();
+        let order = compute_order(&s, &OrderPolicy::ByRelevance(vec![0.5, 0.5, 0.5]));
+        assert_eq!(order, vec![1, 2, 0]); // alpha, mid, zeta
+    }
+
+    #[test]
+    fn apply_order_updates_session() {
+        let mut s = session();
+        apply_order(&mut s, &OrderPolicy::ByName);
+        assert_eq!(s.dataset_order(), &[1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per dataset")]
+    fn wrong_score_count_panics() {
+        let s = session();
+        let _ = compute_order(&s, &OrderPolicy::ByRelevance(vec![0.5]));
+    }
+}

@@ -1,0 +1,225 @@
+//! Pane content: everything the renderer needs to paint one dataset pane.
+//!
+//! Building the content is separated from painting so the wall renderer can
+//! build once per frame and paint per tile, and so tests can assert on
+//! content without rasterizing.
+
+use crate::prefs::PanePrefs;
+use crate::session::Session;
+use crate::sync;
+use fv_render::dendro::{DendroChild, DendroMerge};
+
+/// Snapshot of one pane's displayable state.
+#[derive(Debug, Clone)]
+pub struct PaneContent {
+    /// Dataset index in the session.
+    pub dataset: usize,
+    /// Pane title (dataset name).
+    pub title: String,
+    /// Genes × conditions of the dataset.
+    pub n_rows: usize,
+    /// Condition count.
+    pub n_cols: usize,
+    /// Display row → matrix row.
+    pub display_order: Vec<usize>,
+    /// Display column → matrix column (array-tree order when clustered).
+    pub col_order: Vec<usize>,
+    /// Zoom-view rows (selection under sync rules); `None` = gap.
+    pub zoom_rows: Vec<Option<u32>>,
+    /// Display rows to mark in the global view.
+    pub marks: Vec<usize>,
+    /// Labels for the zoom rows (gene display labels; empty for gaps).
+    pub zoom_labels: Vec<String>,
+    /// Dendrogram merges (render form), if the dataset is clustered.
+    pub tree: Option<Vec<DendroMerge>>,
+    /// Leaf display positions for the dendrogram (matrix row → display pos).
+    pub leaf_pos: Vec<usize>,
+    /// Array dendrogram merges, if the conditions are clustered.
+    pub array_tree: Option<Vec<DendroMerge>>,
+    /// Column display positions (matrix col → display pos).
+    pub col_pos: Vec<usize>,
+    /// Effective preferences.
+    pub prefs: PanePrefs,
+}
+
+impl PaneContent {
+    /// Build the content snapshot for dataset `d`.
+    pub fn build(session: &Session, d: usize) -> PaneContent {
+        let ds = session.dataset(d);
+        let zoom_rows = sync::zoom_rows(session, d);
+        let zoom_labels = zoom_rows
+            .iter()
+            .map(|r| match r {
+                Some(row) => ds.genes[*row as usize].label().to_string(),
+                None => String::new(),
+            })
+            .collect();
+        let tree = session.gene_tree(d).map(|t| {
+            t.merges()
+                .iter()
+                .map(|m| DendroMerge {
+                    left: to_child(m.left),
+                    right: to_child(m.right),
+                    height: m.height,
+                })
+                .collect()
+        });
+        let leaf_pos = (0..ds.n_genes())
+            .map(|r| session.display_pos_of_row(d, r))
+            .collect();
+        let array_tree = session.array_tree(d).map(|t| {
+            t.merges()
+                .iter()
+                .map(|m| DendroMerge {
+                    left: to_child(m.left),
+                    right: to_child(m.right),
+                    height: m.height,
+                })
+                .collect()
+        });
+        let col_pos = {
+            let order = session.col_order(d);
+            let mut pos = vec![0usize; order.len()];
+            for (display, &col) in order.iter().enumerate() {
+                pos[col] = display;
+            }
+            pos
+        };
+        PaneContent {
+            dataset: d,
+            title: ds.name.clone(),
+            n_rows: ds.n_genes(),
+            n_cols: ds.n_conditions(),
+            display_order: session.display_order(d).to_vec(),
+            col_order: session.col_order(d).to_vec(),
+            zoom_rows,
+            marks: sync::global_marks(session, d),
+            zoom_labels,
+            tree,
+            leaf_pos,
+            array_tree,
+            col_pos,
+            prefs: session.prefs.for_dataset(d),
+        }
+    }
+
+    /// Expression value at (display row, display column) for the global
+    /// view — both axes go through their display orders.
+    pub fn global_value(&self, session: &Session, display_row: usize, display_col: usize) -> Option<f32> {
+        let row = *self.display_order.get(display_row)?;
+        let col = *self.col_order.get(display_col)?;
+        session.dataset(self.dataset).matrix.get(row, col)
+    }
+
+    /// Expression value at (zoom row, display column) for the zoom view.
+    pub fn zoom_value(&self, session: &Session, zoom_row: usize, display_col: usize) -> Option<f32> {
+        let row = (*self.zoom_rows.get(zoom_row)?)?;
+        let col = *self.col_order.get(display_col)?;
+        session.dataset(self.dataset).matrix.get(row as usize, col)
+    }
+}
+
+fn to_child(n: fv_cluster::tree::NodeRef) -> DendroChild {
+    match n {
+        fv_cluster::tree::NodeRef::Leaf(i) => DendroChild::Leaf(i as usize),
+        fv_cluster::tree::NodeRef::Internal(i) => DendroChild::Internal(i as usize),
+    }
+}
+
+/// Build contents for every pane in display order.
+pub fn build_all(session: &Session) -> Vec<PaneContent> {
+    session
+        .dataset_order()
+        .iter()
+        .map(|&d| PaneContent::build(session, d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::SelectionOrigin;
+    use fv_expr::meta::{ConditionMeta, GeneMeta};
+    use fv_expr::{Dataset, ExprMatrix};
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        let m = ExprMatrix::from_rows(3, 2, &[1.0, 2.0, 5.0, 6.0, -1.0, -2.0]).unwrap();
+        let genes = vec![
+            GeneMeta::new("G1", "AAA", "x"),
+            GeneMeta::new("G2", "", "y"),
+            GeneMeta::new("G3", "CCC", "z"),
+        ];
+        let conds = vec![ConditionMeta::new("c0"), ConditionMeta::new("c1")];
+        s.load_dataset(Dataset::new("demo", m, genes, conds).unwrap()).unwrap();
+        s
+    }
+
+    #[test]
+    fn build_basic_fields() {
+        let mut s = session();
+        s.select_genes(&["G3", "G1"], SelectionOrigin::List);
+        let c = PaneContent::build(&s, 0);
+        assert_eq!(c.title, "demo");
+        assert_eq!(c.n_rows, 3);
+        assert_eq!(c.n_cols, 2);
+        assert_eq!(c.zoom_rows, vec![Some(2), Some(0)]);
+        assert_eq!(c.zoom_labels, vec!["CCC", "AAA"]);
+        assert!(c.tree.is_none());
+    }
+
+    #[test]
+    fn labels_fall_back_to_id() {
+        let mut s = session();
+        s.select_genes(&["G2"], SelectionOrigin::List);
+        let c = PaneContent::build(&s, 0);
+        assert_eq!(c.zoom_labels, vec!["G2"]);
+    }
+
+    #[test]
+    fn values_read_through_display_order() {
+        let mut s = session();
+        s.select_genes(&["G2"], SelectionOrigin::List);
+        let c = PaneContent::build(&s, 0);
+        assert_eq!(c.global_value(&s, 1, 1), Some(6.0));
+        assert_eq!(c.zoom_value(&s, 0, 0), Some(5.0));
+        assert_eq!(c.zoom_value(&s, 5, 0), None);
+    }
+
+    #[test]
+    fn tree_converted_after_clustering() {
+        let mut s = session();
+        s.cluster_all();
+        let c = PaneContent::build(&s, 0);
+        let tree = c.tree.expect("clustered");
+        assert_eq!(tree.len(), 2);
+        assert_eq!(c.leaf_pos.len(), 3);
+    }
+
+    #[test]
+    fn col_order_applies_to_values() {
+        let mut s = session();
+        s.select_genes(&["G1"], SelectionOrigin::List);
+        s.cluster_arrays(0, fv_cluster::Metric::Euclidean, fv_cluster::Linkage::Average);
+        let c = PaneContent::build(&s, 0);
+        // values read through the (possibly permuted) column order
+        for display_col in 0..2 {
+            let mat_col = c.col_order[display_col];
+            assert_eq!(
+                c.global_value(&s, 0, display_col),
+                s.dataset(0).matrix.get(c.display_order[0], mat_col)
+            );
+        }
+    }
+
+    #[test]
+    fn build_all_follows_dataset_order() {
+        let mut s = session();
+        s.load_dataset(Dataset::with_default_meta("second", ExprMatrix::zeros(2, 2)))
+            .unwrap();
+        s.set_dataset_order(vec![1, 0]);
+        let all = build_all(&s);
+        assert_eq!(all[0].title, "second");
+        assert_eq!(all[1].title, "demo");
+    }
+}

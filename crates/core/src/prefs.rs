@@ -1,0 +1,138 @@
+//! Per-dataset display preferences.
+//!
+//! "ForestView also allows users to change user preferences on a
+//! per-dataset basis. For instance the scaling of the global and zoom view,
+//! the annotation information and the expression level colors can be
+//! adjusted independently for datasets or applied to all datasets."
+//! (paper, Section 2)
+
+use fv_render::{ColorScheme, ExpressionColorMap};
+use std::collections::HashMap;
+
+/// Display preferences for one dataset pane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PanePrefs {
+    /// Expression color map (scheme + contrast + missing color).
+    pub colormap: ExpressionColorMap,
+    /// Zoom-view cell height in pixels (row thickness).
+    pub zoom_cell_h: usize,
+    /// Zoom-view cell width in pixels.
+    pub zoom_cell_w: usize,
+    /// Whether the annotation column is drawn in the zoom view.
+    pub show_annotations: bool,
+    /// Whether the gene dendrogram is drawn (when the dataset is clustered).
+    pub show_gene_tree: bool,
+}
+
+impl Default for PanePrefs {
+    fn default() -> Self {
+        PanePrefs {
+            colormap: ExpressionColorMap::default(),
+            zoom_cell_h: 10,
+            zoom_cell_w: 6,
+            show_annotations: true,
+            show_gene_tree: true,
+        }
+    }
+}
+
+/// Preference store: a default plus per-dataset overrides.
+#[derive(Debug, Clone, Default)]
+pub struct PrefsStore {
+    default: PanePrefs,
+    overrides: HashMap<usize, PanePrefs>,
+}
+
+impl PrefsStore {
+    /// Store with library defaults.
+    pub fn new() -> Self {
+        PrefsStore {
+            default: PanePrefs::default(),
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Effective preferences for dataset `d`.
+    pub fn for_dataset(&self, d: usize) -> PanePrefs {
+        self.overrides.get(&d).copied().unwrap_or(self.default)
+    }
+
+    /// Override preferences for one dataset.
+    pub fn set_for_dataset(&mut self, d: usize, prefs: PanePrefs) {
+        self.overrides.insert(d, prefs);
+    }
+
+    /// Apply preferences to **all** datasets (clears overrides) — the
+    /// paper's "applied to all datasets" path.
+    pub fn set_for_all(&mut self, prefs: PanePrefs) {
+        self.default = prefs;
+        self.overrides.clear();
+    }
+
+    /// Convenience: change just the color scheme of one dataset.
+    pub fn set_scheme(&mut self, d: usize, scheme: ColorScheme) {
+        let mut p = self.for_dataset(d);
+        p.colormap.scheme = scheme;
+        self.set_for_dataset(d, p);
+    }
+
+    /// Convenience: change just the contrast of one dataset.
+    pub fn set_contrast(&mut self, d: usize, contrast: f32) {
+        let mut p = self.for_dataset(d);
+        p.colormap.contrast = contrast;
+        self.set_for_dataset(d, p);
+    }
+
+    /// Whether dataset `d` has an override.
+    pub fn has_override(&self, d: usize) -> bool {
+        self.overrides.contains_key(&d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_applies_everywhere() {
+        let s = PrefsStore::new();
+        assert_eq!(s.for_dataset(0), PanePrefs::default());
+        assert_eq!(s.for_dataset(99), PanePrefs::default());
+    }
+
+    #[test]
+    fn override_one_dataset() {
+        let mut s = PrefsStore::new();
+        let mut p = PanePrefs::default();
+        p.zoom_cell_h = 14;
+        s.set_for_dataset(2, p);
+        assert_eq!(s.for_dataset(2).zoom_cell_h, 14);
+        assert_eq!(s.for_dataset(1).zoom_cell_h, 10);
+        assert!(s.has_override(2));
+        assert!(!s.has_override(1));
+    }
+
+    #[test]
+    fn set_for_all_clears_overrides() {
+        let mut s = PrefsStore::new();
+        s.set_contrast(1, 5.0);
+        let mut p = PanePrefs::default();
+        p.zoom_cell_w = 9;
+        s.set_for_all(p);
+        assert_eq!(s.for_dataset(1).zoom_cell_w, 9);
+        assert_eq!(s.for_dataset(1).colormap.contrast, 3.0);
+        assert!(!s.has_override(1));
+    }
+
+    #[test]
+    fn scheme_and_contrast_shortcuts() {
+        let mut s = PrefsStore::new();
+        s.set_scheme(0, ColorScheme::RedBlue);
+        s.set_contrast(0, 2.0);
+        let p = s.for_dataset(0);
+        assert_eq!(p.colormap.scheme, ColorScheme::RedBlue);
+        assert_eq!(p.colormap.contrast, 2.0);
+        // other prefs untouched
+        assert!(p.show_annotations);
+    }
+}

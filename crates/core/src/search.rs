@@ -1,0 +1,134 @@
+//! Cross-dataset gene search.
+//!
+//! "Another method is to search over the gene annotation information by
+//! entering a list of search criteria. The search is conducted across all
+//! datasets and the synchronized results are displayed." (paper, Section 2)
+//!
+//! A query hits a gene if it is a (case-insensitive) substring of the
+//! gene's id, common name, or annotation in *any* dataset; multi-term
+//! queries (whitespace-separated) select the union of per-term hits,
+//! mirroring the "list of search criteria" the paper describes.
+
+use fv_expr::merged::MergedDatasets;
+use fv_expr::universe::GeneId;
+
+/// Genes matching `query` in any dataset, ordered by (dataset, row) of
+/// first match, deduplicated.
+pub fn search_genes(merged: &MergedDatasets, query: &str) -> Vec<GeneId> {
+    let mut out: Vec<GeneId> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for d in 0..merged.n_datasets() {
+        let hits = merged.dataset(d).search_genes(query);
+        for row in hits {
+            if let Some(g) = merged
+                .universe()
+                .lookup(&merged.dataset(d).genes[row].id)
+            {
+                if seen.insert(g) {
+                    out.push(g);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Union of [`search_genes`] over whitespace-separated terms.
+pub fn search_gene_list(merged: &MergedDatasets, criteria: &str) -> Vec<GeneId> {
+    let mut out: Vec<GeneId> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for term in criteria.split_whitespace() {
+        for g in search_genes(merged, term) {
+            if seen.insert(g) {
+                out.push(g);
+            }
+        }
+    }
+    out
+}
+
+/// Per-dataset matching rows (for highlighting hit positions pane by pane).
+pub fn search_rows_per_dataset(merged: &MergedDatasets, query: &str) -> Vec<Vec<usize>> {
+    merged.search_all(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_expr::matrix::ExprMatrix;
+    use fv_expr::meta::{ConditionMeta, GeneMeta};
+    use fv_expr::Dataset;
+
+    fn merged() -> MergedDatasets {
+        let mut m = MergedDatasets::new();
+        let mk = |name: &str, genes: Vec<GeneMeta>| {
+            let mat = ExprMatrix::zeros(genes.len(), 1);
+            Dataset::new(name, mat, genes, vec![ConditionMeta::new("c")]).unwrap()
+        };
+        m.add(mk(
+            "a",
+            vec![
+                GeneMeta::new("YAL005C", "SSA1", "cytoplasmic chaperone"),
+                GeneMeta::new("YBR072W", "HSP26", "small heat shock protein"),
+            ],
+        ))
+        .unwrap();
+        m.add(mk(
+            "b",
+            vec![
+                GeneMeta::new("YBR072W", "HSP26", "heat shock"),
+                GeneMeta::new("YLL026W", "HSP104", "disaggregase heat shock"),
+            ],
+        ))
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn search_unions_across_datasets() {
+        let m = merged();
+        let hits = search_genes(&m, "heat shock");
+        let names: Vec<&str> = hits.iter().map(|&g| m.universe().name(g)).collect();
+        assert_eq!(names, vec!["YBR072W", "YLL026W"]);
+    }
+
+    #[test]
+    fn search_dedups_shared_genes() {
+        let m = merged();
+        let hits = search_genes(&m, "HSP26");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn search_by_id_and_name() {
+        let m = merged();
+        assert_eq!(search_genes(&m, "yal005c").len(), 1);
+        assert_eq!(search_genes(&m, "ssa").len(), 1);
+        assert!(search_genes(&m, "zzz").is_empty());
+    }
+
+    #[test]
+    fn multi_term_criteria_union() {
+        let m = merged();
+        let hits = search_gene_list(&m, "SSA1 HSP104");
+        assert_eq!(hits.len(), 2);
+        // order follows term order then dataset order
+        let names: Vec<&str> = hits.iter().map(|&g| m.universe().name(g)).collect();
+        assert_eq!(names, vec!["YAL005C", "YLL026W"]);
+    }
+
+    #[test]
+    fn rows_per_dataset_positions() {
+        let m = merged();
+        let rows = search_rows_per_dataset(&m, "heat shock");
+        assert_eq!(rows[0], vec![1]);
+        assert_eq!(rows[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_query_no_hits() {
+        let m = merged();
+        assert!(search_genes(&m, "").is_empty());
+        assert!(search_gene_list(&m, "   ").is_empty());
+    }
+}

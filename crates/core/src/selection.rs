@@ -1,0 +1,156 @@
+//! The gene selection model.
+//!
+//! Section 2 lists three ways a gene subset is chosen: mouse-highlighting a
+//! region of one dataset's global view, searching annotations across all
+//! datasets, and accepting a list from an analysis application (SPELL,
+//! GOLEM, or any exported list). A [`Selection`] records both the genes
+//! (as universe ids, so it is meaningful in every pane) and its origin,
+//! which the UI displays and EXPERIMENTS.md logs.
+
+use fv_expr::universe::GeneId;
+
+/// Where a selection came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectionOrigin {
+    /// Mouse region in one dataset's global view: `(dataset, row range)`.
+    Region {
+        /// Source dataset index.
+        dataset: usize,
+        /// Start display row (inclusive).
+        start_row: usize,
+        /// End display row (exclusive).
+        end_row: usize,
+    },
+    /// Annotation/name search.
+    Search {
+        /// The query string.
+        query: String,
+    },
+    /// Provided by an analysis tool ("the most adaptive method is to
+    /// provide selection information from an analysis application").
+    Analysis {
+        /// Tool name, e.g. `SPELL`.
+        tool: String,
+    },
+    /// Explicit gene list (import/export path).
+    List,
+}
+
+/// An ordered set of selected genes.
+///
+/// Order matters: the zoom views render genes in selection order when
+/// synchronization is on, so the order is part of what the user sees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    genes: Vec<GeneId>,
+    /// Provenance.
+    pub origin: SelectionOrigin,
+}
+
+impl Selection {
+    /// Build a selection, deduplicating while preserving first-seen order.
+    pub fn new(genes: Vec<GeneId>, origin: SelectionOrigin) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let genes = genes.into_iter().filter(|g| seen.insert(*g)).collect();
+        Selection { genes, origin }
+    }
+
+    /// The selected genes in order.
+    pub fn genes(&self) -> &[GeneId] {
+        &self.genes
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+
+    /// Whether a gene is selected.
+    pub fn contains(&self, g: GeneId) -> bool {
+        self.genes.contains(&g)
+    }
+
+    /// Union with another gene list (preserving this selection's order,
+    /// appending new genes). Origin becomes `List`.
+    pub fn extend(&mut self, more: &[GeneId]) {
+        for &g in more {
+            if !self.contains(g) {
+                self.genes.push(g);
+            }
+        }
+        self.origin = SelectionOrigin::List;
+    }
+
+    /// Keep only genes also in `keep` (order preserved).
+    pub fn intersect(&mut self, keep: &[GeneId]) {
+        let set: std::collections::HashSet<GeneId> = keep.iter().copied().collect();
+        self.genes.retain(|g| set.contains(g));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u32) -> GeneId {
+        GeneId(i)
+    }
+
+    #[test]
+    fn new_dedups_preserving_order() {
+        let s = Selection::new(vec![g(3), g(1), g(3), g(2), g(1)], SelectionOrigin::List);
+        assert_eq!(s.genes(), &[g(3), g(1), g(2)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_empty() {
+        let s = Selection::new(vec![g(5)], SelectionOrigin::List);
+        assert!(s.contains(g(5)));
+        assert!(!s.contains(g(6)));
+        assert!(!s.is_empty());
+        let e = Selection::new(vec![], SelectionOrigin::List);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn extend_appends_new_only() {
+        let mut s = Selection::new(
+            vec![g(1), g(2)],
+            SelectionOrigin::Search { query: "hsp".into() },
+        );
+        s.extend(&[g(2), g(3)]);
+        assert_eq!(s.genes(), &[g(1), g(2), g(3)]);
+        assert_eq!(s.origin, SelectionOrigin::List);
+    }
+
+    #[test]
+    fn intersect_filters_in_order() {
+        let mut s = Selection::new(vec![g(1), g(2), g(3), g(4)], SelectionOrigin::List);
+        s.intersect(&[g(4), g(2)]);
+        assert_eq!(s.genes(), &[g(2), g(4)]);
+    }
+
+    #[test]
+    fn origin_region_fields() {
+        let s = Selection::new(
+            vec![g(0)],
+            SelectionOrigin::Region {
+                dataset: 1,
+                start_row: 10,
+                end_row: 20,
+            },
+        );
+        match s.origin {
+            SelectionOrigin::Region { dataset, start_row, end_row } => {
+                assert_eq!((dataset, start_row, end_row), (1, 10, 20));
+            }
+            _ => panic!("wrong origin"),
+        }
+    }
+}

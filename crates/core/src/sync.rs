@@ -1,0 +1,209 @@
+//! Visualization synchronization (the layer between analysis and panes in
+//! Figure 1).
+//!
+//! "When a set of genes is selected, the zoom view for each dataset shows
+//! the gene expression data in exactly the same order and same scroll
+//! position. This allows the user to scan horizontally across a row of
+//! expression data where each row corresponds to data for the same gene
+//! even though it crosses multiple datasets. If desired it is possible to
+//! turn off synchronous viewing in order to see the selected subsets in
+//! the underlying gene order of each dataset." (paper, Section 2)
+//!
+//! Synchronized mode keeps one row per selected gene in every pane, with
+//! **gaps** (blank rows) where a dataset does not measure the gene — that
+//! is what keeps the horizontal scan row-aligned. Unsynchronized mode shows
+//! each dataset's own subset in its own display (dendrogram) order, gap-free.
+
+use crate::session::Session;
+
+/// Zoom-view rows for dataset `d` under the session's sync setting:
+/// each entry is `Some(matrix_row)` or `None` for an alignment gap.
+pub fn zoom_rows(session: &Session, d: usize) -> Vec<Option<u32>> {
+    let Some(sel) = session.selection() else {
+        return Vec::new();
+    };
+    let merged = session.merged();
+    if session.sync_enabled() {
+        sel.genes()
+            .iter()
+            .map(|&g| merged.gene_row(d, g).map(|r| r as u32))
+            .collect()
+    } else {
+        // The dataset's own display order, restricted to selected genes.
+        let mut rows: Vec<u32> = sel
+            .genes()
+            .iter()
+            .filter_map(|&g| merged.gene_row(d, g).map(|r| r as u32))
+            .collect();
+        rows.sort_by_key(|&r| session.display_pos_of_row(d, r as usize));
+        rows.into_iter().map(Some).collect()
+    }
+}
+
+/// Zoom rows after applying the shared scroll offset: the window of
+/// `visible` rows starting at the session's scroll position.
+pub fn zoom_rows_scrolled(session: &Session, d: usize, visible: usize) -> Vec<Option<u32>> {
+    let rows = zoom_rows(session, d);
+    let start = session.scroll().min(rows.len());
+    rows.into_iter().skip(start).take(visible).collect()
+}
+
+/// Display-row positions of the selection in dataset `d`'s global view —
+/// where the highlight lines are drawn ("all of the other datasets will
+/// search for occurrences of those genes and highlight their position in
+/// the global view with a line").
+pub fn global_marks(session: &Session, d: usize) -> Vec<usize> {
+    let Some(sel) = session.selection() else {
+        return Vec::new();
+    };
+    let merged = session.merged();
+    sel.genes()
+        .iter()
+        .filter_map(|&g| merged.gene_row(d, g))
+        .map(|row| session.display_pos_of_row(d, row))
+        .collect()
+}
+
+/// Check that synchronized zoom rows are row-aligned across datasets:
+/// row `i` of every pane refers to the same gene (or a gap). Used by tests
+/// and debug assertions.
+pub fn verify_alignment(session: &Session) -> bool {
+    let Some(sel) = session.selection() else {
+        return true;
+    };
+    if !session.sync_enabled() {
+        return true;
+    }
+    let merged = session.merged();
+    for d in 0..session.n_datasets() {
+        let rows = zoom_rows(session, d);
+        if rows.len() != sel.len() {
+            return false;
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(r) = row {
+                let gene = sel.genes()[i];
+                if merged.gene_row(d, gene) != Some(*r as usize) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::SelectionOrigin;
+    use fv_expr::matrix::ExprMatrix;
+    use fv_expr::meta::{ConditionMeta, GeneMeta};
+    use fv_expr::Dataset;
+
+    fn ds(name: &str, ids: &[&str], n_cols: usize) -> Dataset {
+        let vals: Vec<f32> = (0..ids.len() * n_cols).map(|i| i as f32).collect();
+        let m = ExprMatrix::from_rows(ids.len(), n_cols, &vals).unwrap();
+        let genes = ids.iter().map(|&i| GeneMeta::id_only(i)).collect();
+        let conds = (0..n_cols).map(|c| ConditionMeta::new(format!("c{c}"))).collect();
+        Dataset::new(name, m, genes, conds).unwrap()
+    }
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        s.load_dataset(ds("a", &["G1", "G2", "G3", "G4"], 2)).unwrap();
+        // b measures G3, G1 (different order), not G2/G4; adds G5
+        s.load_dataset(ds("b", &["G3", "G5", "G1"], 2)).unwrap();
+        s
+    }
+
+    #[test]
+    fn sync_rows_follow_selection_order() {
+        let mut s = session();
+        s.select_genes(&["G2", "G3", "G1"], SelectionOrigin::List);
+        let a = zoom_rows(&s, 0);
+        assert_eq!(a, vec![Some(1), Some(2), Some(0)]);
+        let b = zoom_rows(&s, 1);
+        // G2 absent in b → gap; G3 row 0; G1 row 2
+        assert_eq!(b, vec![None, Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn sync_alignment_verified() {
+        let mut s = session();
+        s.select_genes(&["G1", "G2", "G3", "G4", "G5"], SelectionOrigin::List);
+        assert!(verify_alignment(&s));
+    }
+
+    #[test]
+    fn unsync_uses_dataset_order_no_gaps() {
+        let mut s = session();
+        s.select_genes(&["G1", "G3"], SelectionOrigin::List);
+        s.set_sync(false);
+        let b = zoom_rows(&s, 1);
+        // b's display order is load order: G3 (row 0) before G1 (row 2)
+        assert_eq!(b, vec![Some(0), Some(2)]);
+        assert!(b.iter().all(|r| r.is_some()));
+    }
+
+    #[test]
+    fn unsync_respects_clustered_display_order() {
+        let mut s = session();
+        s.select_genes(&["G1", "G2", "G3", "G4"], SelectionOrigin::List);
+        s.set_sync(false);
+        // Force a custom display order by clustering... dataset a has rows
+        // 0..3; after clustering the order may change, but the zoom rows
+        // must follow display positions exactly.
+        s.cluster_dataset(0, fv_cluster::Metric::Euclidean, fv_cluster::Linkage::Average);
+        let rows = zoom_rows(&s, 0);
+        let pos: Vec<usize> = rows
+            .iter()
+            .map(|r| s.display_pos_of_row(0, r.unwrap() as usize))
+            .collect();
+        let mut sorted = pos.clone();
+        sorted.sort_unstable();
+        assert_eq!(pos, sorted, "zoom rows must be in display order");
+    }
+
+    #[test]
+    fn no_selection_empty_rows() {
+        let s = session();
+        assert!(zoom_rows(&s, 0).is_empty());
+        assert!(global_marks(&s, 0).is_empty());
+        assert!(verify_alignment(&s));
+    }
+
+    #[test]
+    fn scrolled_window() {
+        let mut s = session();
+        s.select_genes(&["G1", "G2", "G3", "G4"], SelectionOrigin::List);
+        s.scroll_by(1);
+        let w = zoom_rows_scrolled(&s, 0, 2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0], Some(1)); // G2
+        assert_eq!(w[1], Some(2)); // G3
+    }
+
+    #[test]
+    fn scroll_same_window_position_across_panes() {
+        let mut s = session();
+        s.select_genes(&["G2", "G3"], SelectionOrigin::List);
+        s.scroll_by(1);
+        let a = zoom_rows_scrolled(&s, 0, 5);
+        let b = zoom_rows_scrolled(&s, 1, 5);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        // both panes now show G3's row (or its gap)
+        assert_eq!(a[0], Some(2));
+        assert_eq!(b[0], Some(0));
+    }
+
+    #[test]
+    fn global_marks_positions() {
+        let mut s = session();
+        s.select_genes(&["G3", "G5"], SelectionOrigin::List);
+        assert_eq!(global_marks(&s, 0), vec![2]); // only G3 in a
+        let mut marks_b = global_marks(&s, 1);
+        marks_b.sort_unstable();
+        assert_eq!(marks_b, vec![0, 1]); // G3 row 0, G5 row 1
+    }
+}

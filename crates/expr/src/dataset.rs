@@ -1,0 +1,215 @@
+//! A named expression dataset: matrix + gene/condition metadata.
+//!
+//! One `Dataset` is what ForestView shows as a single vertical pane
+//! (Figure 2): a global heatmap of every gene, a zoom view of the current
+//! selection, and annotation columns drawn from [`GeneMeta`].
+
+use crate::error::ExprError;
+use crate::matrix::ExprMatrix;
+use crate::meta::{ConditionMeta, GeneMeta};
+
+/// A named microarray dataset with per-row and per-column metadata.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name, e.g. `gasch_stress` — shown as the pane title.
+    pub name: String,
+    /// Expression values, genes × conditions.
+    pub matrix: ExprMatrix,
+    /// Per-gene metadata, length `matrix.n_rows()`.
+    pub genes: Vec<GeneMeta>,
+    /// Per-condition metadata, length `matrix.n_cols()`.
+    pub conditions: Vec<ConditionMeta>,
+}
+
+impl Dataset {
+    /// Assemble a dataset, validating that metadata lengths agree with the
+    /// matrix shape.
+    pub fn new(
+        name: impl Into<String>,
+        matrix: ExprMatrix,
+        genes: Vec<GeneMeta>,
+        conditions: Vec<ConditionMeta>,
+    ) -> Result<Self, ExprError> {
+        if genes.len() != matrix.n_rows() {
+            return Err(ExprError::MetaMismatch {
+                what: "genes",
+                expected: matrix.n_rows(),
+                actual: genes.len(),
+            });
+        }
+        if conditions.len() != matrix.n_cols() {
+            return Err(ExprError::MetaMismatch {
+                what: "conditions",
+                expected: matrix.n_cols(),
+                actual: conditions.len(),
+            });
+        }
+        Ok(Dataset {
+            name: name.into(),
+            matrix,
+            genes,
+            conditions,
+        })
+    }
+
+    /// Build a dataset from a matrix, synthesizing id-only gene metadata
+    /// (`G0`, `G1`, ...) and numbered condition labels. Convenient in tests.
+    pub fn with_default_meta(name: impl Into<String>, matrix: ExprMatrix) -> Self {
+        let genes = (0..matrix.n_rows())
+            .map(|r| GeneMeta::id_only(format!("G{r}")))
+            .collect();
+        let conditions = (0..matrix.n_cols())
+            .map(|c| ConditionMeta::new(format!("cond{c}")))
+            .collect();
+        Dataset {
+            name: name.into(),
+            matrix,
+            genes,
+            conditions,
+        }
+    }
+
+    /// Number of gene rows.
+    pub fn n_genes(&self) -> usize {
+        self.matrix.n_rows()
+    }
+
+    /// Number of condition columns.
+    pub fn n_conditions(&self) -> usize {
+        self.matrix.n_cols()
+    }
+
+    /// Total measurements (present cells).
+    pub fn n_measurements(&self) -> usize {
+        self.matrix.present_total()
+    }
+
+    /// Row index of the gene with the given id or common name
+    /// (exact, case-insensitive).
+    pub fn find_gene(&self, id_or_name: &str) -> Option<usize> {
+        self.genes.iter().position(|g| g.matches_exact(id_or_name))
+    }
+
+    /// Row indices of genes whose metadata contains `query` (substring,
+    /// case-insensitive) — the per-dataset half of ForestView's search.
+    pub fn search_genes(&self, query: &str) -> Vec<usize> {
+        self.genes
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.matches(query))
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// A new dataset containing only the given rows, in order. This is the
+    /// "load an exported selection back in as a dataset" operation from the
+    /// paper (Section 2).
+    pub fn subset_rows(&self, rows: &[usize], name: impl Into<String>) -> Result<Dataset, ExprError> {
+        let matrix = self.matrix.select_rows(rows)?;
+        let genes = rows.iter().map(|&r| self.genes[r].clone()).collect();
+        Ok(Dataset {
+            name: name.into(),
+            matrix,
+            genes,
+            conditions: self.conditions.clone(),
+        })
+    }
+
+    /// Condition labels as plain strings, in column order.
+    pub fn condition_labels(&self) -> Vec<&str> {
+        self.conditions.iter().map(|c| c.label.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let m = ExprMatrix::from_rows(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let genes = vec![
+            GeneMeta::new("YAL001C", "TFC3", "transcription factor"),
+            GeneMeta::new("YAL005C", "SSA1", "chaperone ATPase"),
+            GeneMeta::new("YBR072W", "HSP26", "small heat shock protein"),
+        ];
+        let conds = vec![ConditionMeta::new("heat 15m"), ConditionMeta::new("heat 30m")];
+        Dataset::new("stress", m, genes, conds).unwrap()
+    }
+
+    #[test]
+    fn new_validates_gene_meta_len() {
+        let m = ExprMatrix::zeros(2, 2);
+        let err = Dataset::new("x", m, vec![GeneMeta::id_only("a")], vec![
+            ConditionMeta::new("c0"),
+            ConditionMeta::new("c1"),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ExprError::MetaMismatch { what: "genes", .. }));
+    }
+
+    #[test]
+    fn new_validates_condition_meta_len() {
+        let m = ExprMatrix::zeros(1, 2);
+        let err = Dataset::new("x", m, vec![GeneMeta::id_only("a")], vec![ConditionMeta::new("c0")])
+            .unwrap_err();
+        assert!(matches!(err, ExprError::MetaMismatch { what: "conditions", .. }));
+    }
+
+    #[test]
+    fn default_meta_shapes() {
+        let d = Dataset::with_default_meta("t", ExprMatrix::zeros(4, 3));
+        assert_eq!(d.n_genes(), 4);
+        assert_eq!(d.n_conditions(), 3);
+        assert_eq!(d.genes[2].id, "G2");
+        assert_eq!(d.conditions[1].label, "cond1");
+    }
+
+    #[test]
+    fn find_gene_by_id_and_name() {
+        let d = sample();
+        assert_eq!(d.find_gene("YAL005C"), Some(1));
+        assert_eq!(d.find_gene("ssa1"), Some(1));
+        assert_eq!(d.find_gene("HSP26"), Some(2));
+        assert_eq!(d.find_gene("nope"), None);
+    }
+
+    #[test]
+    fn search_genes_substring() {
+        let d = sample();
+        assert_eq!(d.search_genes("heat shock"), vec![2]);
+        assert_eq!(d.search_genes("YAL"), vec![0, 1]);
+        assert!(d.search_genes("zzz").is_empty());
+    }
+
+    #[test]
+    fn subset_rows_carries_meta() {
+        let d = sample();
+        let s = d.subset_rows(&[2, 0], "picked").unwrap();
+        assert_eq!(s.name, "picked");
+        assert_eq!(s.n_genes(), 2);
+        assert_eq!(s.genes[0].name, "HSP26");
+        assert_eq!(s.genes[1].name, "TFC3");
+        assert_eq!(s.matrix.get(0, 0), Some(5.0));
+        assert_eq!(s.n_conditions(), 2);
+    }
+
+    #[test]
+    fn subset_rows_oob_is_error() {
+        let d = sample();
+        assert!(d.subset_rows(&[9], "bad").is_err());
+    }
+
+    #[test]
+    fn n_measurements_counts_present() {
+        let mut d = sample();
+        assert_eq!(d.n_measurements(), 6);
+        d.matrix.set_missing(0, 0);
+        assert_eq!(d.n_measurements(), 5);
+    }
+
+    #[test]
+    fn condition_labels_in_order() {
+        let d = sample();
+        assert_eq!(d.condition_labels(), vec!["heat 15m", "heat 30m"]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type shared by the expression-data substrate.
+
+use std::fmt;
+
+/// Errors produced by expression-matrix construction and access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// Row index out of bounds: `(index, n_rows)`.
+    RowOutOfBounds(usize, usize),
+    /// Column index out of bounds: `(index, n_cols)`.
+    ColOutOfBounds(usize, usize),
+    /// A constructor was handed data whose length disagrees with the
+    /// requested shape: `(expected, actual)`.
+    ShapeMismatch(usize, usize),
+    /// Metadata length disagrees with the matrix dimension it describes.
+    MetaMismatch {
+        /// What the metadata describes ("genes" or "conditions").
+        what: &'static str,
+        /// Matrix dimension.
+        expected: usize,
+        /// Metadata length.
+        actual: usize,
+    },
+    /// A dataset with this name is already registered in a merged view.
+    DuplicateDataset(String),
+    /// Operation requires at least one dataset / row / column.
+    Empty(&'static str),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::RowOutOfBounds(i, n) => {
+                write!(f, "row index {i} out of bounds for {n} rows")
+            }
+            ExprError::ColOutOfBounds(i, n) => {
+                write!(f, "column index {i} out of bounds for {n} columns")
+            }
+            ExprError::ShapeMismatch(exp, act) => {
+                write!(f, "shape mismatch: expected {exp} values, got {act}")
+            }
+            ExprError::MetaMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "metadata mismatch for {what}: matrix has {expected}, metadata has {actual}"
+            ),
+            ExprError::DuplicateDataset(name) => {
+                write!(f, "dataset {name:?} already registered")
+            }
+            ExprError::Empty(what) => write!(f, "operation requires non-empty {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_row_oob() {
+        let e = ExprError::RowOutOfBounds(7, 3);
+        assert_eq!(e.to_string(), "row index 7 out of bounds for 3 rows");
+    }
+
+    #[test]
+    fn display_col_oob() {
+        let e = ExprError::ColOutOfBounds(9, 2);
+        assert_eq!(e.to_string(), "column index 9 out of bounds for 2 columns");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = ExprError::ShapeMismatch(6, 5);
+        assert!(e.to_string().contains("expected 6"));
+        assert!(e.to_string().contains("got 5"));
+    }
+
+    #[test]
+    fn display_meta_mismatch() {
+        let e = ExprError::MetaMismatch {
+            what: "genes",
+            expected: 10,
+            actual: 9,
+        };
+        assert!(e.to_string().contains("genes"));
+    }
+
+    #[test]
+    fn display_duplicate_dataset() {
+        let e = ExprError::DuplicateDataset("gasch".into());
+        assert!(e.to_string().contains("gasch"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ExprError::Empty("datasets"));
+    }
+}

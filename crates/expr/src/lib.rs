@@ -1,0 +1,66 @@
+//! # fv-expr — expression-matrix substrate for ForestView
+//!
+//! This crate implements the data layer at the bottom of Figure 1 of
+//! *Scalable, Dynamic Analysis and Visualization for Genomic Datasets*
+//! (Wallace et al., IPPS 2007): the individual microarray datasets and the
+//! **merged dataset interface** that presents many datasets as one logical
+//! three-dimensional array (`dataset × gene × condition`) so that analysis
+//! routines can operate across all datasets uniformly.
+//!
+//! ## Contents
+//!
+//! - [`matrix::ExprMatrix`] — dense `f32` expression matrix with an explicit
+//!   missing-value bitmask (microarray data is dense with sporadic missing
+//!   spots; a mask keeps statistics exact without NaN propagation hazards).
+//! - [`meta`] — gene and condition metadata (names, annotations, weights).
+//! - [`dataset::Dataset`] — a named matrix plus metadata; the unit the
+//!   ForestView UI shows as one vertical pane.
+//! - [`universe::GeneUniverse`] — a gene-name interner assigning stable
+//!   [`universe::GeneId`]s so selections and searches cross datasets in O(1).
+//! - [`merged::MergedDatasets`] — the 3-D merged interface of Figure 1.
+//! - [`stats`] — Welford moments, Pearson/Spearman correlation, ranking.
+//! - [`normalize`] — log-transform, centering, z-scoring.
+//! - [`view`] — lightweight row/column views and row-subset submatrices.
+//!
+//! ## Example
+//!
+//! ```
+//! use fv_expr::prelude::*;
+//!
+//! let mut m = ExprMatrix::zeros(2, 3);
+//! m.set(0, 0, 1.0);
+//! m.set(0, 1, 2.0);
+//! m.set(0, 2, 3.0);
+//! m.set_missing(1, 1);
+//! assert_eq!(m.present_in_row(0), 3);
+//! assert_eq!(m.present_in_row(1), 2);
+//! ```
+
+pub mod dataset;
+pub mod error;
+pub mod matrix;
+pub mod merged;
+pub mod meta;
+pub mod normalize;
+pub mod stats;
+pub mod universe;
+pub mod view;
+
+pub use dataset::Dataset;
+pub use error::ExprError;
+pub use matrix::ExprMatrix;
+pub use merged::MergedDatasets;
+pub use meta::{ConditionMeta, GeneMeta};
+pub use universe::{GeneId, GeneUniverse};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::dataset::Dataset;
+    pub use crate::error::ExprError;
+    pub use crate::matrix::ExprMatrix;
+    pub use crate::merged::MergedDatasets;
+    pub use crate::meta::{ConditionMeta, GeneMeta};
+    pub use crate::stats;
+    pub use crate::universe::{GeneId, GeneUniverse};
+    pub use crate::view::{RowView, SubMatrix};
+}

@@ -1,0 +1,278 @@
+//! The **Merged Dataset Interface** of Figure 1.
+//!
+//! ForestView's analysis routines must "easily access the data" of all loaded
+//! datasets through "a simple three dimensional array interface" (paper,
+//! Section 2). `MergedDatasets` is that interface: it owns the loaded
+//! [`Dataset`]s, interns every gene into a shared [`GeneUniverse`], and keeps
+//! a per-dataset [`RowMap`] so `value(dataset, gene, condition)` resolves in
+//! O(1) regardless of row order differences between datasets.
+
+use crate::dataset::Dataset;
+use crate::error::ExprError;
+use crate::universe::{GeneId, GeneUniverse, RowMap};
+
+/// A collection of datasets unified behind a gene universe — the 3-D
+/// `dataset × gene × condition` interface of the paper's architecture.
+#[derive(Debug, Default, Clone)]
+pub struct MergedDatasets {
+    datasets: Vec<Dataset>,
+    universe: GeneUniverse,
+    row_maps: Vec<RowMap>,
+}
+
+impl MergedDatasets {
+    /// Empty collection.
+    pub fn new() -> Self {
+        MergedDatasets::default()
+    }
+
+    /// Register a dataset, interning its genes. Dataset names must be
+    /// unique because panes, preferences and exports address them by name.
+    /// If a dataset lists the same gene id twice, the first row wins (the
+    /// convention of Java TreeView's gene lookup).
+    pub fn add(&mut self, dataset: Dataset) -> Result<usize, ExprError> {
+        if self.datasets.iter().any(|d| d.name == dataset.name) {
+            return Err(ExprError::DuplicateDataset(dataset.name.clone()));
+        }
+        let mut map = RowMap::new();
+        for (row, gene) in dataset.genes.iter().enumerate() {
+            let id = self.universe.intern(&gene.id);
+            if map.row_of(id).is_none() {
+                map.insert(id, row);
+            }
+        }
+        self.datasets.push(dataset);
+        self.row_maps.push(map);
+        Ok(self.datasets.len() - 1)
+    }
+
+    /// Number of datasets loaded.
+    pub fn n_datasets(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// The shared gene universe.
+    pub fn universe(&self) -> &GeneUniverse {
+        &self.universe
+    }
+
+    /// Dataset by index.
+    pub fn dataset(&self, d: usize) -> &Dataset {
+        &self.datasets[d]
+    }
+
+    /// All datasets, in load order.
+    pub fn datasets(&self) -> &[Dataset] {
+        &self.datasets
+    }
+
+    /// Dataset index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.datasets.iter().position(|d| d.name == name)
+    }
+
+    /// Row of `gene` within dataset `d`, if measured there.
+    #[inline]
+    pub fn gene_row(&self, d: usize, gene: GeneId) -> Option<usize> {
+        self.row_maps[d].row_of(gene)
+    }
+
+    /// The 3-D accessor: expression of `gene` in condition `c` of dataset
+    /// `d`. `None` if the dataset lacks the gene, the column is out of
+    /// range, or the cell is missing.
+    #[inline]
+    pub fn value(&self, d: usize, gene: GeneId, c: usize) -> Option<f32> {
+        let row = self.gene_row(d, gene)?;
+        let ds = &self.datasets[d];
+        if c >= ds.matrix.n_cols() {
+            return None;
+        }
+        ds.matrix.get(row, c)
+    }
+
+    /// Which datasets measure `gene`.
+    pub fn datasets_with_gene(&self, gene: GeneId) -> Vec<usize> {
+        (0..self.datasets.len())
+            .filter(|&d| self.row_maps[d].contains(gene))
+            .collect()
+    }
+
+    /// Genes present in **every** dataset, in universe order.
+    pub fn genes_in_all(&self) -> Vec<GeneId> {
+        if self.datasets.is_empty() {
+            return Vec::new();
+        }
+        self.universe
+            .ids()
+            .filter(|&g| self.row_maps.iter().all(|m| m.contains(g)))
+            .collect()
+    }
+
+    /// Genes present in **at least one** dataset (the whole universe).
+    pub fn genes_in_any(&self) -> Vec<GeneId> {
+        self.universe.ids().collect()
+    }
+
+    /// Search every dataset's gene metadata for `query`; returns, per
+    /// dataset, the matching row indices. This powers the cross-dataset
+    /// annotation search described in Section 2.
+    pub fn search_all(&self, query: &str) -> Vec<Vec<usize>> {
+        self.datasets.iter().map(|d| d.search_genes(query)).collect()
+    }
+
+    /// Resolve gene names (exact id/common-name match in any dataset, or
+    /// an already-interned universe name) to universe ids, dropping those
+    /// not found anywhere.
+    pub fn resolve_genes(&self, names: &[&str]) -> Vec<GeneId> {
+        names
+            .iter()
+            .filter_map(|n| self.universe.lookup(n))
+            .collect()
+    }
+
+    /// Total present measurements across all datasets — the paper's
+    /// "quarter billion microarray measurements" scale metric.
+    pub fn total_measurements(&self) -> usize {
+        self.datasets.iter().map(|d| d.n_measurements()).sum()
+    }
+
+    /// Translate a set of row indices in dataset `d` into gene ids.
+    pub fn rows_to_genes(&self, d: usize, rows: &[usize]) -> Vec<GeneId> {
+        rows.iter()
+            .filter_map(|&r| {
+                self.datasets[d]
+                    .genes
+                    .get(r)
+                    .and_then(|g| self.universe.lookup(&g.id))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ExprMatrix;
+    use crate::meta::{ConditionMeta, GeneMeta};
+
+    fn ds(name: &str, ids: &[&str], vals: &[f32], n_cols: usize) -> Dataset {
+        let m = ExprMatrix::from_rows(ids.len(), n_cols, vals).unwrap();
+        let genes = ids.iter().map(|&i| GeneMeta::id_only(i)).collect();
+        let conds = (0..n_cols).map(|c| ConditionMeta::new(format!("c{c}"))).collect();
+        Dataset::new(name, m, genes, conds).unwrap()
+    }
+
+    fn merged() -> MergedDatasets {
+        let mut m = MergedDatasets::new();
+        m.add(ds("a", &["G1", "G2", "G3"], &[1., 2., 3., 4., 5., 6.], 2))
+            .unwrap();
+        // dataset b has G3 and G1 in different order, plus its own G4
+        m.add(ds("b", &["G3", "G4", "G1"], &[30., 40., 10.], 1)).unwrap();
+        m
+    }
+
+    #[test]
+    fn add_assigns_indices() {
+        let mut m = MergedDatasets::new();
+        let i0 = m.add(ds("a", &["G1"], &[1.0], 1)).unwrap();
+        let i1 = m.add(ds("b", &["G1"], &[2.0], 1)).unwrap();
+        assert_eq!((i0, i1), (0, 1));
+        assert_eq!(m.n_datasets(), 2);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut m = MergedDatasets::new();
+        m.add(ds("a", &["G1"], &[1.0], 1)).unwrap();
+        let err = m.add(ds("a", &["G2"], &[1.0], 1)).unwrap_err();
+        assert_eq!(err, ExprError::DuplicateDataset("a".into()));
+    }
+
+    #[test]
+    fn value_resolves_across_row_orders() {
+        let m = merged();
+        let g1 = m.universe().lookup("G1").unwrap();
+        let g3 = m.universe().lookup("G3").unwrap();
+        // dataset a: G1 row 0; dataset b: G1 row 2
+        assert_eq!(m.value(0, g1, 0), Some(1.0));
+        assert_eq!(m.value(1, g1, 0), Some(10.0));
+        assert_eq!(m.value(0, g3, 1), Some(6.0));
+        assert_eq!(m.value(1, g3, 0), Some(30.0));
+    }
+
+    #[test]
+    fn value_none_for_absent_gene_or_col() {
+        let m = merged();
+        let g4 = m.universe().lookup("G4").unwrap();
+        assert_eq!(m.value(0, g4, 0), None); // G4 not in dataset a
+        let g1 = m.universe().lookup("G1").unwrap();
+        assert_eq!(m.value(1, g1, 5), None); // col out of range
+    }
+
+    #[test]
+    fn datasets_with_gene_lists_correctly() {
+        let m = merged();
+        let g2 = m.universe().lookup("G2").unwrap();
+        let g3 = m.universe().lookup("G3").unwrap();
+        assert_eq!(m.datasets_with_gene(g2), vec![0]);
+        assert_eq!(m.datasets_with_gene(g3), vec![0, 1]);
+    }
+
+    #[test]
+    fn genes_in_all_intersection() {
+        let m = merged();
+        let names: Vec<&str> = m.genes_in_all().iter().map(|&g| m.universe().name(g)).collect();
+        assert_eq!(names, vec!["G1", "G3"]);
+    }
+
+    #[test]
+    fn genes_in_any_is_universe() {
+        let m = merged();
+        assert_eq!(m.genes_in_any().len(), 4);
+    }
+
+    #[test]
+    fn duplicate_gene_in_dataset_first_row_wins() {
+        let mut m = MergedDatasets::new();
+        m.add(ds("a", &["G1", "G1"], &[1.0, 2.0], 1)).unwrap();
+        let g1 = m.universe().lookup("G1").unwrap();
+        assert_eq!(m.gene_row(0, g1), Some(0));
+    }
+
+    #[test]
+    fn search_all_per_dataset() {
+        let m = merged();
+        let hits = m.search_all("G3");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], vec![2]);
+        assert_eq!(hits[1], vec![0]);
+    }
+
+    #[test]
+    fn resolve_genes_drops_unknown() {
+        let m = merged();
+        let ids = m.resolve_genes(&["G1", "NOPE", "g4"]);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn total_measurements_sums() {
+        let m = merged();
+        assert_eq!(m.total_measurements(), 6 + 3);
+    }
+
+    #[test]
+    fn rows_to_genes_roundtrip() {
+        let m = merged();
+        let genes = m.rows_to_genes(1, &[0, 2]);
+        let names: Vec<&str> = genes.iter().map(|&g| m.universe().name(g)).collect();
+        assert_eq!(names, vec!["G3", "G1"]);
+    }
+
+    #[test]
+    fn index_of_by_name() {
+        let m = merged();
+        assert_eq!(m.index_of("b"), Some(1));
+        assert_eq!(m.index_of("zzz"), None);
+    }
+}

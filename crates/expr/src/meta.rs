@@ -1,0 +1,149 @@
+//! Gene and condition metadata.
+//!
+//! PCL/CDT microarray files carry, per gene row, a unique identifier
+//! (e.g. the systematic ORF name `YAL005C`), a human-readable name
+//! (`SSA1`), a free-text annotation (`cytoplasmic ATPase chaperone ...`),
+//! and an optional weight; per condition column they carry a label
+//! (`heat shock 15 min`). ForestView's annotation search (Figure 2's
+//! "Find Genes by name" box) matches against all of these.
+
+/// Metadata for one gene row.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GeneMeta {
+    /// Unique systematic identifier, e.g. `YAL005C`.
+    pub id: String,
+    /// Common name, e.g. `SSA1`. May be empty.
+    pub name: String,
+    /// Free-text annotation / description. May be empty.
+    pub annotation: String,
+    /// Gene weight (the PCL `GWEIGHT` column); defaults to 1.
+    pub weight: f32,
+}
+
+impl GeneMeta {
+    /// Convenience constructor with weight 1.
+    pub fn new(id: impl Into<String>, name: impl Into<String>, annotation: impl Into<String>) -> Self {
+        GeneMeta {
+            id: id.into(),
+            name: name.into(),
+            annotation: annotation.into(),
+            weight: 1.0,
+        }
+    }
+
+    /// Minimal metadata carrying only the systematic id.
+    pub fn id_only(id: impl Into<String>) -> Self {
+        let id = id.into();
+        GeneMeta {
+            name: String::new(),
+            annotation: String::new(),
+            weight: 1.0,
+            id,
+        }
+    }
+
+    /// Case-insensitive match of `query` against id, name or annotation.
+    ///
+    /// This is the matching rule behind ForestView's cross-dataset gene
+    /// search: a query hits if it is a substring of any metadata field.
+    pub fn matches(&self, query: &str) -> bool {
+        if query.is_empty() {
+            return false;
+        }
+        let q = query.to_ascii_lowercase();
+        self.id.to_ascii_lowercase().contains(&q)
+            || self.name.to_ascii_lowercase().contains(&q)
+            || self.annotation.to_ascii_lowercase().contains(&q)
+    }
+
+    /// Exact (case-insensitive) match against id or name, used when a
+    /// search term must denote a single gene rather than a family.
+    pub fn matches_exact(&self, query: &str) -> bool {
+        self.id.eq_ignore_ascii_case(query) || (!self.name.is_empty() && self.name.eq_ignore_ascii_case(query))
+    }
+
+    /// Display label: the common name when present, otherwise the id.
+    pub fn label(&self) -> &str {
+        if self.name.is_empty() {
+            &self.id
+        } else {
+            &self.name
+        }
+    }
+}
+
+/// Metadata for one condition (array) column.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConditionMeta {
+    /// Column label, e.g. `heat shock 15 min`.
+    pub label: String,
+    /// Condition weight (the PCL `EWEIGHT` row); defaults to 1.
+    pub weight: f32,
+}
+
+impl ConditionMeta {
+    /// Convenience constructor with weight 1.
+    pub fn new(label: impl Into<String>) -> Self {
+        ConditionMeta {
+            label: label.into(),
+            weight: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sets_default_weight() {
+        let g = GeneMeta::new("YAL005C", "SSA1", "chaperone");
+        assert_eq!(g.weight, 1.0);
+        assert_eq!(g.id, "YAL005C");
+    }
+
+    #[test]
+    fn matches_any_field_case_insensitive() {
+        let g = GeneMeta::new("YAL005C", "SSA1", "cytoplasmic ATPase chaperone");
+        assert!(g.matches("yal005c"));
+        assert!(g.matches("ssa"));
+        assert!(g.matches("ATPASE"));
+        assert!(!g.matches("ribosome"));
+    }
+
+    #[test]
+    fn empty_query_never_matches() {
+        let g = GeneMeta::new("YAL005C", "SSA1", "x");
+        assert!(!g.matches(""));
+    }
+
+    #[test]
+    fn matches_exact_id_or_name() {
+        let g = GeneMeta::new("YAL005C", "SSA1", "chaperone");
+        assert!(g.matches_exact("yal005c"));
+        assert!(g.matches_exact("SSA1"));
+        assert!(!g.matches_exact("SSA")); // substring is not exact
+    }
+
+    #[test]
+    fn matches_exact_ignores_empty_name() {
+        let g = GeneMeta::id_only("YBR001W");
+        assert!(!g.matches_exact(""));
+        assert!(g.matches_exact("ybr001w"));
+    }
+
+    #[test]
+    fn label_prefers_common_name() {
+        let g = GeneMeta::new("YAL005C", "SSA1", "");
+        assert_eq!(g.label(), "SSA1");
+        let g2 = GeneMeta::id_only("YAL005C");
+        assert_eq!(g2.label(), "YAL005C");
+    }
+
+    #[test]
+    fn condition_meta_new() {
+        let c = ConditionMeta::new("heat 15m");
+        assert_eq!(c.label, "heat 15m");
+        assert_eq!(c.weight, 1.0);
+    }
+}

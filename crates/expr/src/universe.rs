@@ -1,0 +1,205 @@
+//! Gene universe: a string interner assigning stable integer ids to gene
+//! names so that cross-dataset operations (selection synchronization, SPELL
+//! scoring, search) work on `u32`s instead of string comparisons.
+//!
+//! Gene identifiers are matched **case-insensitively** (microarray files mix
+//! `YAL005C` / `yal005c`); the first-seen spelling is kept for display.
+
+use std::collections::HashMap;
+
+/// Stable identifier for a gene within a [`GeneUniverse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GeneId(pub u32);
+
+impl GeneId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interner from gene name to [`GeneId`].
+#[derive(Debug, Default, Clone)]
+pub struct GeneUniverse {
+    names: Vec<String>,
+    by_key: HashMap<String, GeneId>,
+}
+
+impl GeneUniverse {
+    /// Empty universe.
+    pub fn new() -> Self {
+        GeneUniverse::default()
+    }
+
+    fn key_of(name: &str) -> String {
+        name.trim().to_ascii_uppercase()
+    }
+
+    /// Intern a gene name, returning its stable id. Case-insensitive:
+    /// `ssa1` and `SSA1` intern to the same id.
+    pub fn intern(&mut self, name: &str) -> GeneId {
+        let key = Self::key_of(name);
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = GeneId(self.names.len() as u32);
+        self.names.push(name.trim().to_string());
+        self.by_key.insert(key, id);
+        id
+    }
+
+    /// Look up an already-interned gene.
+    pub fn lookup(&self, name: &str) -> Option<GeneId> {
+        self.by_key.get(&Self::key_of(name)).copied()
+    }
+
+    /// The display spelling of a gene id (first-seen spelling).
+    pub fn name(&self, id: GeneId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct genes interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterator over all ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = GeneId> + '_ {
+        (0..self.names.len() as u32).map(GeneId)
+    }
+}
+
+/// Map from [`GeneId`] to a row index within one dataset.
+///
+/// Stored as a dense `Vec<Option<u32>>` indexed by gene id so lookup during
+/// synchronized scrolling is a single indexed load. The vector grows lazily
+/// as the universe grows.
+#[derive(Debug, Clone, Default)]
+pub struct RowMap {
+    rows: Vec<Option<u32>>,
+}
+
+impl RowMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        RowMap::default()
+    }
+
+    /// Record that `gene` occupies `row` in this dataset.
+    pub fn insert(&mut self, gene: GeneId, row: usize) {
+        let idx = gene.index();
+        if idx >= self.rows.len() {
+            self.rows.resize(idx + 1, None);
+        }
+        self.rows[idx] = Some(row as u32);
+    }
+
+    /// The dataset row holding `gene`, if the dataset measures it.
+    #[inline]
+    pub fn row_of(&self, gene: GeneId) -> Option<usize> {
+        self.rows
+            .get(gene.index())
+            .copied()
+            .flatten()
+            .map(|r| r as usize)
+    }
+
+    /// Whether the dataset measures `gene`.
+    #[inline]
+    pub fn contains(&self, gene: GeneId) -> bool {
+        self.row_of(gene).is_some()
+    }
+
+    /// Number of genes mapped.
+    pub fn len(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Whether no genes are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|r| r.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut u = GeneUniverse::new();
+        let a = u.intern("YAL005C");
+        let b = u.intern("YAL005C");
+        assert_eq!(a, b);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn intern_case_insensitive() {
+        let mut u = GeneUniverse::new();
+        let a = u.intern("SSA1");
+        let b = u.intern("ssa1");
+        let c = u.intern(" Ssa1 ");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(u.name(a), "SSA1"); // first-seen spelling kept
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let mut u = GeneUniverse::new();
+        u.intern("YAL001C");
+        assert_eq!(u.lookup("YAL002W"), None);
+        assert!(u.lookup("yal001c").is_some());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut u = GeneUniverse::new();
+        let ids: Vec<GeneId> = (0..5).map(|i| u.intern(&format!("G{i}"))).collect();
+        assert_eq!(ids, vec![GeneId(0), GeneId(1), GeneId(2), GeneId(3), GeneId(4)]);
+        let listed: Vec<GeneId> = u.ids().collect();
+        assert_eq!(listed, ids);
+    }
+
+    #[test]
+    fn rowmap_insert_lookup() {
+        let mut rm = RowMap::new();
+        rm.insert(GeneId(10), 3);
+        assert_eq!(rm.row_of(GeneId(10)), Some(3));
+        assert_eq!(rm.row_of(GeneId(9)), None);
+        assert_eq!(rm.row_of(GeneId(100)), None); // beyond vector end
+        assert!(rm.contains(GeneId(10)));
+        assert_eq!(rm.len(), 1);
+    }
+
+    #[test]
+    fn rowmap_overwrite_keeps_latest() {
+        let mut rm = RowMap::new();
+        rm.insert(GeneId(0), 5);
+        rm.insert(GeneId(0), 7);
+        assert_eq!(rm.row_of(GeneId(0)), Some(7));
+        assert_eq!(rm.len(), 1);
+    }
+
+    #[test]
+    fn rowmap_empty() {
+        let rm = RowMap::new();
+        assert!(rm.is_empty());
+        assert_eq!(rm.len(), 0);
+    }
+
+    #[test]
+    fn universe_is_empty_transitions() {
+        let mut u = GeneUniverse::new();
+        assert!(u.is_empty());
+        u.intern("X");
+        assert!(!u.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Lightweight read-only views over expression matrices.
+//!
+//! The visualization layers never copy expression data: global and zoom
+//! painters walk [`RowView`]s, and a [`SubMatrix`] presents an arbitrary
+//! ordered subset of rows (a selection, or a synchronized gene ordering)
+//! without materializing it.
+
+use crate::matrix::ExprMatrix;
+
+/// Read-only view of one matrix row.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    matrix: &'a ExprMatrix,
+    row: usize,
+}
+
+impl<'a> RowView<'a> {
+    /// View of row `row` in `matrix`. Panics if out of bounds.
+    pub fn new(matrix: &'a ExprMatrix, row: usize) -> Self {
+        assert!(row < matrix.n_rows(), "row {row} out of bounds");
+        RowView { matrix, row }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.matrix.n_cols()
+    }
+
+    /// Whether the row has zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at column `c` if present.
+    #[inline]
+    pub fn get(&self, c: usize) -> Option<f32> {
+        self.matrix.get(self.row, c)
+    }
+
+    /// Underlying row index.
+    pub fn row_index(&self) -> usize {
+        self.row
+    }
+
+    /// Iterator over all columns as options.
+    pub fn iter(&self) -> impl Iterator<Item = Option<f32>> + 'a {
+        let m = self.matrix;
+        let r = self.row;
+        (0..m.n_cols()).map(move |c| m.get(r, c))
+    }
+}
+
+/// An ordered subset of rows of a parent matrix, by reference.
+///
+/// Row order is significant: this is how a synchronized gene ordering is
+/// presented to each dataset pane. Genes absent from the parent dataset are
+/// representable as gaps ([`SubMatrix::from_optional_rows`]), rendering as
+/// blank rows so synchronized panes stay row-aligned across datasets.
+#[derive(Debug, Clone)]
+pub struct SubMatrix<'a> {
+    parent: &'a ExprMatrix,
+    /// For each view row: `Some(parent_row)` or `None` for an alignment gap.
+    rows: Vec<Option<u32>>,
+}
+
+impl<'a> SubMatrix<'a> {
+    /// View of the given parent rows, in order. Panics on out-of-bounds.
+    pub fn new(parent: &'a ExprMatrix, rows: &[usize]) -> Self {
+        for &r in rows {
+            assert!(r < parent.n_rows(), "row {r} out of bounds");
+        }
+        SubMatrix {
+            parent,
+            rows: rows.iter().map(|&r| Some(r as u32)).collect(),
+        }
+    }
+
+    /// View where some positions are gaps (gene not measured here).
+    pub fn from_optional_rows(parent: &'a ExprMatrix, rows: Vec<Option<u32>>) -> Self {
+        for r in rows.iter().flatten() {
+            assert!((*r as usize) < parent.n_rows(), "row {r} out of bounds");
+        }
+        SubMatrix { parent, rows }
+    }
+
+    /// Number of view rows (including gaps).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (same as parent).
+    pub fn n_cols(&self) -> usize {
+        self.parent.n_cols()
+    }
+
+    /// Whether view row `r` is an alignment gap.
+    pub fn is_gap(&self, r: usize) -> bool {
+        self.rows[r].is_none()
+    }
+
+    /// Parent row index behind view row `r`, unless it is a gap.
+    pub fn parent_row(&self, r: usize) -> Option<usize> {
+        self.rows[r].map(|x| x as usize)
+    }
+
+    /// Value at `(r, c)`; `None` for gaps and missing cells alike.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        match self.rows[r] {
+            Some(pr) => self.parent.get(pr as usize, c),
+            None => None,
+        }
+    }
+
+    /// Materialize the view into an owned matrix (gaps become missing rows).
+    pub fn to_matrix(&self) -> ExprMatrix {
+        let mut out = ExprMatrix::missing(self.n_rows(), self.n_cols());
+        for r in 0..self.n_rows() {
+            if let Some(pr) = self.rows[r] {
+                for (c, v) in self.parent.present_in_row_iter(pr as usize) {
+                    out.set(r, c, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Count of non-gap rows.
+    pub fn n_real_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat() -> ExprMatrix {
+        ExprMatrix::from_rows(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn rowview_reads_through() {
+        let m = mat();
+        let v = RowView::new(&m, 1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(0), Some(3.0));
+        assert_eq!(v.get(1), Some(4.0));
+        assert_eq!(v.row_index(), 1);
+    }
+
+    #[test]
+    fn rowview_iter_collects() {
+        let mut m = mat();
+        m.set_missing(0, 1);
+        let v = RowView::new(&m, 0);
+        let vals: Vec<Option<f32>> = v.iter().collect();
+        assert_eq!(vals, vec![Some(1.0), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rowview_oob_panics() {
+        let m = mat();
+        let _ = RowView::new(&m, 5);
+    }
+
+    #[test]
+    fn submatrix_orders_rows() {
+        let m = mat();
+        let s = SubMatrix::new(&m, &[2, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.get(0, 0), Some(5.0));
+        assert_eq!(s.get(1, 1), Some(2.0));
+        assert_eq!(s.parent_row(0), Some(2));
+    }
+
+    #[test]
+    fn submatrix_gaps_read_none() {
+        let m = mat();
+        let s = SubMatrix::from_optional_rows(&m, vec![Some(0), None, Some(2)]);
+        assert!(s.is_gap(1));
+        assert_eq!(s.get(1, 0), None);
+        assert_eq!(s.get(2, 1), Some(6.0));
+        assert_eq!(s.n_real_rows(), 2);
+    }
+
+    #[test]
+    fn submatrix_to_matrix_materializes() {
+        let m = mat();
+        let s = SubMatrix::from_optional_rows(&m, vec![Some(1), None]);
+        let o = s.to_matrix();
+        assert_eq!(o.n_rows(), 2);
+        assert_eq!(o.get(0, 0), Some(3.0));
+        assert_eq!(o.get(1, 0), None);
+        assert_eq!(o.present_in_row(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn submatrix_oob_panics() {
+        let m = mat();
+        let _ = SubMatrix::new(&m, &[3]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the expression-matrix substrate.
+
+use fv_expr::matrix::ExprMatrix;
+use fv_expr::stats::{self, Welford};
+use proptest::prelude::*;
+
+prop_compose! {
+    /// A random matrix with a random missing mask.
+    fn arb_matrix()(
+        n_rows in 1usize..16,
+        n_cols in 1usize..12,
+        seed in any::<u64>(),
+        missing_bits in any::<u64>(),
+    ) -> ExprMatrix {
+        let mut m = ExprMatrix::missing(n_rows, n_cols);
+        let mut s = seed | 1;
+        for r in 0..n_rows {
+            for c in 0..n_cols {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                if (missing_bits >> ((r * n_cols + c) % 64)) & 1 == 0 {
+                    m.set(r, c, ((s % 1999) as f32 - 999.0) / 100.0);
+                }
+            }
+        }
+        m
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in arb_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_preserves_present_count(m in arb_matrix()) {
+        prop_assert_eq!(m.present_total(), m.transpose().present_total());
+    }
+
+    #[test]
+    fn select_all_rows_is_identity(m in arb_matrix()) {
+        let rows: Vec<usize> = (0..m.n_rows()).collect();
+        prop_assert_eq!(m.select_rows(&rows).unwrap(), m);
+    }
+
+    #[test]
+    fn select_rows_preserves_row_content(m in arb_matrix(), pick in any::<u64>()) {
+        let rows: Vec<usize> = (0..m.n_rows()).filter(|r| (pick >> (r % 64)) & 1 == 1).collect();
+        if rows.is_empty() { return Ok(()); }
+        let s = m.select_rows(&rows).unwrap();
+        for (new_r, &old_r) in rows.iter().enumerate() {
+            for c in 0..m.n_cols() {
+                prop_assert_eq!(s.get(new_r, c), m.get(old_r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_fraction_in_unit_range(m in arb_matrix()) {
+        let f = m.missing_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        let present = m.present_total();
+        prop_assert_eq!(present + (f * m.n_cells() as f64).round() as usize, m.n_cells());
+    }
+
+    #[test]
+    fn map_in_place_identity_is_noop(m in arb_matrix()) {
+        let mut copy = m.clone();
+        copy.map_in_place(|v| v);
+        prop_assert_eq!(copy, m);
+    }
+
+    #[test]
+    fn welford_merge_associative(xs in prop::collection::vec(-1e3f64..1e3, 1..60), split in 0usize..60) {
+        let split = split.min(xs.len());
+        let mut whole = Welford::new();
+        for &x in &xs { whole.push(x); }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance_sample() - whole.variance_sample()).abs()
+            < 1e-6 * (1.0 + whole.variance_sample()));
+    }
+
+    #[test]
+    fn pearson_symmetric_and_bounded(m in arb_matrix(), a in 0usize..16, b in 0usize..16) {
+        let a = a % m.n_rows();
+        let b = b % m.n_rows();
+        let r1 = stats::pearson_rows(&m, a, &m, b, 2);
+        let r2 = stats::pearson_rows(&m, b, &m, a, 2);
+        prop_assert_eq!(r1.is_some(), r2.is_some());
+        if let (Some(x), Some(y)) = (r1, r2) {
+            prop_assert!((x - y).abs() < 1e-12);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(
+        vals in prop::collection::vec(-50f32..50.0, 4..12),
+    ) {
+        // distinct-ish values: spearman(x, y) == spearman(x, 2y+5) exactly
+        let n = vals.len();
+        let mut both = vals.clone();
+        both.extend(vals.iter().map(|v| 2.0 * v + 5.0));
+        let m = ExprMatrix::from_rows(2, n, &both).unwrap();
+        if let Some(s) = stats::spearman_rows(&m, 0, &m, 1, 2) {
+            prop_assert!((s - 1.0).abs() < 1e-6, "monotone map must give rho=1, got {s}");
+        }
+    }
+
+    #[test]
+    fn fractional_ranks_are_valid(vals in prop::collection::vec(prop::option::of(-100f32..100.0), 1..30)) {
+        let ranks = stats::fractional_ranks(&vals);
+        prop_assert_eq!(ranks.len(), vals.len());
+        let present: Vec<f64> = ranks.iter().flatten().copied().collect();
+        let n = present.len() as f64;
+        if n > 0.0 {
+            // ranks sum to n(n+1)/2 regardless of ties
+            let sum: f64 = present.iter().sum();
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+            for &r in &present {
+                prop_assert!(r >= 1.0 && r <= n);
+            }
+        }
+        // missing stays missing
+        for (v, r) in vals.iter().zip(&ranks) {
+            prop_assert_eq!(v.is_none(), r.is_none());
+        }
+    }
+}

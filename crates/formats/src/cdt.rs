@@ -1,0 +1,307 @@
+//! CDT (clustered data table) files.
+//!
+//! A CDT is a PCL whose rows (and optionally columns) have been reordered
+//! by clustering, with extra identity columns linking into the paired
+//! `.gtr`/`.atr` tree files:
+//!
+//! ```text
+//! GID      ID       NAME      GWEIGHT  cond0  cond1 ...
+//! AID                         ARRY0X   ARRY1X ...          (if array tree)
+//! EWEIGHT                     1        1      ...
+//! GENE2X   YAL005C  SSA1 ...  1.0      0.45   1.21  ...
+//! ```
+//!
+//! `GENE<i>X` / `ARRY<j>X` indices refer to the *original* (pre-clustering)
+//! row and column positions, which is how the tree files and the reordered
+//! table stay linked.
+
+use crate::pcl::{format_weight, joined_name};
+use crate::FormatError;
+use fv_expr::matrix::ExprMatrix;
+use fv_expr::meta::{ConditionMeta, GeneMeta};
+use fv_expr::Dataset;
+
+/// A parsed CDT: the dataset (rows in clustered display order) plus the
+/// original-index identities needed to pair with GTR/ATR files.
+#[derive(Debug, Clone)]
+pub struct CdtFile {
+    /// The dataset, rows in the order the file lists them.
+    pub dataset: Dataset,
+    /// For each displayed row, the original leaf index (`GENE<i>X`), when a
+    /// gene tree is attached.
+    pub gene_leaf: Option<Vec<usize>>,
+    /// For each displayed column, the original leaf index (`ARRY<j>X`),
+    /// when an array tree is attached.
+    pub array_leaf: Option<Vec<usize>>,
+}
+
+fn parse_leaf_id(tok: &str, prefix: &str) -> Result<usize, FormatError> {
+    tok.trim()
+        .strip_prefix(prefix)
+        .and_then(|r| r.strip_suffix('X'))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| FormatError::UnknownNode(tok.trim().to_string()))
+}
+
+/// Parse CDT text.
+pub fn parse_cdt(name: &str, text: &str) -> Result<CdtFile, FormatError> {
+    let mut lines = text.lines().enumerate().peekable();
+    let (_, header) = lines.next().ok_or(FormatError::EmptyInput)?;
+    let head: Vec<&str> = header.split('\t').collect();
+    let has_gid = head.first().map(|c| c.eq_ignore_ascii_case("GID")) == Some(true);
+    let id_col = if has_gid { 1 } else { 0 };
+    let gweight_col = id_col + 2;
+    let has_gweight = head
+        .get(gweight_col)
+        .map(|c| c.eq_ignore_ascii_case("GWEIGHT"))
+        == Some(true);
+    let n_meta = if has_gweight { gweight_col + 1 } else { id_col + 2 };
+    let cond_labels: Vec<String> = head[n_meta..].iter().map(|s| s.to_string()).collect();
+    let n_cols = cond_labels.len();
+
+    let mut array_leaf: Option<Vec<usize>> = None;
+    let mut eweights = vec![1.0f32; n_cols];
+    let mut genes: Vec<GeneMeta> = Vec::new();
+    let mut gene_leaf_acc: Vec<usize> = Vec::new();
+    let mut rows: Vec<Vec<Option<f32>>> = Vec::new();
+
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let tag = fields[0].trim();
+        if tag.eq_ignore_ascii_case("AID") {
+            let mut leaves = Vec::with_capacity(n_cols);
+            for f in fields.iter().skip(n_meta).take(n_cols) {
+                leaves.push(parse_leaf_id(f, super::tree_files::ARRAY_PREFIX)?);
+            }
+            if leaves.len() != n_cols {
+                return Err(FormatError::RaggedRow(lineno + 1, n_meta + n_cols, fields.len()));
+            }
+            array_leaf = Some(leaves);
+            continue;
+        }
+        if tag.eq_ignore_ascii_case("EWEIGHT") {
+            for (c, f) in fields.iter().skip(n_meta).take(n_cols).enumerate() {
+                if !f.trim().is_empty() {
+                    eweights[c] = f
+                        .trim()
+                        .parse()
+                        .map_err(|_| FormatError::BadNumber(lineno + 1, f.to_string()))?;
+                }
+            }
+            continue;
+        }
+        if fields.len() != n_meta + n_cols {
+            return Err(FormatError::RaggedRow(lineno + 1, n_meta + n_cols, fields.len()));
+        }
+        if has_gid {
+            gene_leaf_acc.push(parse_leaf_id(fields[0], super::tree_files::GENE_PREFIX)?);
+        }
+        let id = fields[id_col].trim().to_string();
+        let name_field = fields[id_col + 1].trim();
+        let (gname, annotation) = match name_field.split_once(' ') {
+            Some((n, rest)) => (n.to_string(), rest.trim().to_string()),
+            None => (name_field.to_string(), String::new()),
+        };
+        let weight = if has_gweight && !fields[gweight_col].trim().is_empty() {
+            fields[gweight_col]
+                .trim()
+                .parse()
+                .map_err(|_| FormatError::BadNumber(lineno + 1, fields[gweight_col].to_string()))?
+        } else {
+            1.0
+        };
+        genes.push(GeneMeta {
+            id,
+            name: gname,
+            annotation,
+            weight,
+        });
+        let mut row = Vec::with_capacity(n_cols);
+        for f in &fields[n_meta..] {
+            let t = f.trim();
+            if t.is_empty() {
+                row.push(None);
+            } else {
+                let v: f32 = t
+                    .parse()
+                    .map_err(|_| FormatError::BadNumber(lineno + 1, t.to_string()))?;
+                row.push(if v.is_finite() { Some(v) } else { None });
+            }
+        }
+        rows.push(row);
+    }
+
+    let matrix = if rows.is_empty() {
+        ExprMatrix::missing(0, n_cols)
+    } else {
+        ExprMatrix::from_option_rows(&rows).map_err(|_| FormatError::RaggedRow(0, n_cols, 0))?
+    };
+    let conditions = cond_labels
+        .into_iter()
+        .zip(eweights)
+        .map(|(label, weight)| ConditionMeta { label, weight })
+        .collect();
+    let dataset = Dataset::new(name, matrix, genes, conditions)
+        .map_err(|e| FormatError::BadTree(e.to_string()))?;
+    Ok(CdtFile {
+        dataset,
+        gene_leaf: if has_gid { Some(gene_leaf_acc) } else { None },
+        array_leaf,
+    })
+}
+
+/// Serialize a dataset (already in display order) as CDT text.
+///
+/// `gene_leaf[i]` gives the original leaf index of displayed row `i`
+/// (omit for no gene tree); likewise `array_leaf` for columns.
+pub fn write_cdt(
+    ds: &Dataset,
+    gene_leaf: Option<&[usize]>,
+    array_leaf: Option<&[usize]>,
+) -> String {
+    let mut out = String::new();
+    if gene_leaf.is_some() {
+        out.push_str("GID\t");
+    }
+    out.push_str("ID\tNAME\tGWEIGHT");
+    for c in &ds.conditions {
+        out.push('\t');
+        out.push_str(&c.label);
+    }
+    out.push('\n');
+    let lead_tabs = if gene_leaf.is_some() { 3 } else { 2 };
+    if let Some(al) = array_leaf {
+        out.push_str("AID");
+        for _ in 0..lead_tabs {
+            out.push('\t');
+        }
+        for &a in al {
+            out.push('\t');
+            out.push_str(&format!("ARRY{a}X"));
+        }
+        out.push('\n');
+    }
+    out.push_str("EWEIGHT");
+    for _ in 0..lead_tabs {
+        out.push('\t');
+    }
+    for c in &ds.conditions {
+        out.push('\t');
+        out.push_str(&format_weight(c.weight));
+    }
+    out.push('\n');
+    for (r, g) in ds.genes.iter().enumerate() {
+        if let Some(gl) = gene_leaf {
+            out.push_str(&format!("GENE{}X\t", gl[r]));
+        }
+        out.push_str(&g.id);
+        out.push('\t');
+        out.push_str(&joined_name(g));
+        out.push('\t');
+        out.push_str(&format_weight(g.weight));
+        for c in 0..ds.matrix.n_cols() {
+            out.push('\t');
+            if let Some(v) = ds.matrix.get(r, c) {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_expr::matrix::ExprMatrix;
+
+    fn sample() -> Dataset {
+        let m = ExprMatrix::from_rows(2, 2, &[0.5, -1.0, 2.0, 0.0]).unwrap();
+        Dataset::new(
+            "s",
+            m,
+            vec![
+                GeneMeta::new("YAL005C", "SSA1", "chaperone"),
+                GeneMeta::new("YBR072W", "HSP26", "heat shock"),
+            ],
+            vec![ConditionMeta::new("c0"), ConditionMeta::new("c1")],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_with_trees_has_gid_and_aid() {
+        let text = write_cdt(&sample(), Some(&[1, 0]), Some(&[0, 1]));
+        assert!(text.starts_with("GID\tID\tNAME\tGWEIGHT\tc0\tc1\n"));
+        assert!(text.contains("AID\t\t\t\tARRY0X\tARRY1X\n"));
+        assert!(text.contains("GENE1X\tYAL005C"));
+    }
+
+    #[test]
+    fn roundtrip_with_trees() {
+        let text = write_cdt(&sample(), Some(&[1, 0]), Some(&[1, 0]));
+        let cdt = parse_cdt("s", &text).unwrap();
+        assert_eq!(cdt.gene_leaf, Some(vec![1, 0]));
+        assert_eq!(cdt.array_leaf, Some(vec![1, 0]));
+        assert_eq!(cdt.dataset.n_genes(), 2);
+        assert_eq!(cdt.dataset.genes[0].name, "SSA1");
+        assert_eq!(cdt.dataset.matrix.get(1, 0), Some(2.0));
+    }
+
+    #[test]
+    fn roundtrip_without_trees() {
+        let text = write_cdt(&sample(), None, None);
+        assert!(text.starts_with("ID\tNAME"));
+        let cdt = parse_cdt("s", &text).unwrap();
+        assert_eq!(cdt.gene_leaf, None);
+        assert_eq!(cdt.array_leaf, None);
+        assert_eq!(cdt.dataset.n_genes(), 2);
+    }
+
+    #[test]
+    fn parse_missing_cells() {
+        let text = "GID\tID\tNAME\tGWEIGHT\tc0\nEWEIGHT\t\t\t\t1\nGENE0X\tg1\tX\t1\t\n";
+        let cdt = parse_cdt("s", &text).unwrap();
+        assert_eq!(cdt.dataset.matrix.get(0, 0), None);
+    }
+
+    #[test]
+    fn parse_bad_gid_is_error() {
+        let text = "GID\tID\tNAME\tGWEIGHT\tc0\nBOGUS\tg1\tX\t1\t0.5\n";
+        assert!(matches!(
+            parse_cdt("s", text),
+            Err(FormatError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn parse_bad_aid_is_error() {
+        let text = "GID\tID\tNAME\tGWEIGHT\tc0\nAID\t\t\t\tWRONG\n";
+        assert!(parse_cdt("s", text).is_err());
+    }
+
+    #[test]
+    fn cdt_pairs_with_gtr_ordering() {
+        // Cluster a small dataset, write CDT in tree order, parse back and
+        // confirm leaf identities invert the permutation.
+        use fv_cluster::{cluster, Linkage, Metric};
+        let m = ExprMatrix::from_rows(
+            3,
+            4,
+            &[1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0, 1.1, 2.1, 3.1, 4.1],
+        )
+        .unwrap();
+        let ds = Dataset::with_default_meta("d", m);
+        let tree = cluster(&ds.matrix, Metric::Pearson, Linkage::Average);
+        let order = tree.leaf_order();
+        let reordered = ds.subset_rows(&order, "d_clustered").unwrap();
+        let text = write_cdt(&reordered, Some(&order), None);
+        let cdt = parse_cdt("d", &text).unwrap();
+        assert_eq!(cdt.gene_leaf.as_deref(), Some(order.as_slice()));
+        // Row 0 of the CDT is the gene that was at original index order[0].
+        assert_eq!(cdt.dataset.genes[0].id, ds.genes[order[0]].id);
+    }
+}

@@ -1,0 +1,102 @@
+//! File-format sniffing.
+
+/// Recognized dataset file formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileFormat {
+    /// Plain PCL expression table.
+    Pcl,
+    /// Clustered data table (has `GID` column and/or `AID` row).
+    Cdt,
+    /// Gene tree file (`NODE…X` merge lines).
+    Gtr,
+    /// Array tree file.
+    Atr,
+    /// Not recognized.
+    Unknown,
+}
+
+/// Sniff the format of `text` from its first non-empty lines.
+pub fn detect_format(text: &str) -> FileFormat {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let Some(first) = lines.next() else {
+        return FileFormat::Unknown;
+    };
+    let fields: Vec<&str> = first.split('\t').collect();
+    let f0 = fields.first().map(|s| s.trim()).unwrap_or("");
+
+    if f0.starts_with("NODE") && f0.ends_with('X') && fields.len() >= 4 {
+        // GTR vs ATR: look at the leaf prefix used by children.
+        let children = [fields[1].trim(), fields[2].trim()];
+        if children.iter().any(|c| c.starts_with("ARRY")) {
+            return FileFormat::Atr;
+        }
+        return FileFormat::Gtr;
+    }
+    if f0.eq_ignore_ascii_case("GID") {
+        return FileFormat::Cdt;
+    }
+    if f0.eq_ignore_ascii_case("ID") || f0.eq_ignore_ascii_case("YORF") || f0.eq_ignore_ascii_case("UID") {
+        // An AID row anywhere near the top also marks a CDT.
+        for l in text.lines().take(4) {
+            if l.split('\t').next().map(|t| t.trim().eq_ignore_ascii_case("AID")) == Some(true) {
+                return FileFormat::Cdt;
+            }
+        }
+        return FileFormat::Pcl;
+    }
+    FileFormat::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_pcl() {
+        let t = "ID\tNAME\tGWEIGHT\tc1\ng\tX\t1\t0.5\n";
+        assert_eq!(detect_format(t), FileFormat::Pcl);
+        let t2 = "YORF\tNAME\tGWEIGHT\tc1\n";
+        assert_eq!(detect_format(t2), FileFormat::Pcl);
+    }
+
+    #[test]
+    fn detects_cdt_by_gid() {
+        let t = "GID\tID\tNAME\tGWEIGHT\tc1\n";
+        assert_eq!(detect_format(t), FileFormat::Cdt);
+    }
+
+    #[test]
+    fn detects_cdt_by_aid_row() {
+        let t = "ID\tNAME\tGWEIGHT\tc1\nAID\t\t\tARRY0X\n";
+        assert_eq!(detect_format(t), FileFormat::Cdt);
+    }
+
+    #[test]
+    fn detects_gtr_and_atr() {
+        assert_eq!(
+            detect_format("NODE0X\tGENE0X\tGENE1X\t0.9\n"),
+            FileFormat::Gtr
+        );
+        assert_eq!(
+            detect_format("NODE0X\tARRY0X\tARRY1X\t0.9\n"),
+            FileFormat::Atr
+        );
+        assert_eq!(
+            detect_format("NODE1X\tNODE0X\tARRY2X\t0.5\n"),
+            FileFormat::Atr
+        );
+    }
+
+    #[test]
+    fn unknown_for_garbage() {
+        assert_eq!(detect_format(""), FileFormat::Unknown);
+        assert_eq!(detect_format("hello world\n"), FileFormat::Unknown);
+        assert_eq!(detect_format("NODE0X\tonly_three\tfields\n"), FileFormat::Unknown);
+    }
+
+    #[test]
+    fn skips_leading_blank_lines() {
+        let t = "\n\nID\tNAME\tGWEIGHT\tc1\n";
+        assert_eq!(detect_format(t), FileFormat::Pcl);
+    }
+}

@@ -1,0 +1,182 @@
+//! ForestView's export paths.
+//!
+//! "When an interesting gene subset is identified, the user can export the
+//! gene list, and if desired all of the expression data, for further
+//! analysis in another application. This subset can also be loaded into the
+//! ForestView display as a dataset." (paper, Section 2). The merged-dataset
+//! export produces one wide table whose columns are prefixed by dataset
+//! name, which is also the "Export Merged Dataset" box of Figure 1.
+
+use fv_expr::merged::MergedDatasets;
+use fv_expr::universe::GeneId;
+use fv_expr::Dataset;
+
+/// Export a gene list as plain text, one systematic id per line.
+pub fn export_gene_list(merged: &MergedDatasets, genes: &[GeneId]) -> String {
+    let mut out = String::new();
+    for &g in genes {
+        out.push_str(merged.universe().name(g));
+        out.push('\n');
+    }
+    out
+}
+
+/// Export a gene list with annotations (TSV: id, name, annotation), pulling
+/// metadata from the first dataset that measures each gene.
+pub fn export_gene_list_annotated(merged: &MergedDatasets, genes: &[GeneId]) -> String {
+    let mut out = String::from("ID\tNAME\tANNOTATION\n");
+    for &g in genes {
+        let id_name = merged.universe().name(g);
+        let mut name = "";
+        let mut ann = "";
+        for d in 0..merged.n_datasets() {
+            if let Some(row) = merged.gene_row(d, g) {
+                let gm = &merged.dataset(d).genes[row];
+                name = &gm.name;
+                ann = &gm.annotation;
+                break;
+            }
+        }
+        out.push_str(&format!("{id_name}\t{name}\t{ann}\n"));
+    }
+    out
+}
+
+/// Export the expression of `genes` across **all** datasets as one wide
+/// tab-delimited table. Columns are `dataset::condition`; cells for genes a
+/// dataset does not measure are blank, exactly like missing values.
+pub fn export_merged(merged: &MergedDatasets, genes: &[GeneId]) -> String {
+    let mut out = String::from("ID");
+    for d in 0..merged.n_datasets() {
+        let ds = merged.dataset(d);
+        for c in &ds.conditions {
+            out.push('\t');
+            out.push_str(&ds.name);
+            out.push_str("::");
+            out.push_str(&c.label);
+        }
+    }
+    out.push('\n');
+    for &g in genes {
+        out.push_str(merged.universe().name(g));
+        for d in 0..merged.n_datasets() {
+            let ds = merged.dataset(d);
+            for c in 0..ds.matrix.n_cols() {
+                out.push('\t');
+                if let Some(v) = merged.value(d, g, c) {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Materialize a selection as a new [`Dataset`] drawn from one dataset —
+/// the "load the subset back into the display" path. Genes the dataset does
+/// not measure are skipped.
+pub fn selection_as_dataset(
+    merged: &MergedDatasets,
+    dataset_index: usize,
+    genes: &[GeneId],
+    name: &str,
+) -> Dataset {
+    let ds = merged.dataset(dataset_index);
+    let rows: Vec<usize> = genes
+        .iter()
+        .filter_map(|&g| merged.gene_row(dataset_index, g))
+        .collect();
+    ds.subset_rows(&rows, name)
+        .expect("rows from gene_row are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_expr::matrix::ExprMatrix;
+    use fv_expr::meta::{ConditionMeta, GeneMeta};
+
+    fn merged() -> MergedDatasets {
+        let mut m = MergedDatasets::new();
+        let m1 = ExprMatrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        m.add(Dataset::new(
+            "alpha",
+            m1,
+            vec![
+                GeneMeta::new("G1", "AAA", "first gene"),
+                GeneMeta::new("G2", "BBB", "second gene"),
+            ],
+            vec![ConditionMeta::new("t0"), ConditionMeta::new("t1")],
+        )
+        .unwrap())
+        .unwrap();
+        let m2 = ExprMatrix::from_rows(1, 1, &[9.0]).unwrap();
+        m.add(Dataset::new(
+            "beta",
+            m2,
+            vec![GeneMeta::id_only("G2")],
+            vec![ConditionMeta::new("x")],
+        )
+        .unwrap())
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn gene_list_plain() {
+        let m = merged();
+        let ids = m.resolve_genes(&["G2", "G1"]);
+        let text = export_gene_list(&m, &ids);
+        assert_eq!(text, "G2\nG1\n");
+    }
+
+    #[test]
+    fn gene_list_annotated_pulls_first_meta() {
+        let m = merged();
+        let ids = m.resolve_genes(&["G2"]);
+        let text = export_gene_list_annotated(&m, &ids);
+        assert!(text.contains("G2\tBBB\tsecond gene"));
+    }
+
+    #[test]
+    fn merged_export_header_prefixes() {
+        let m = merged();
+        let ids = m.resolve_genes(&["G1"]);
+        let text = export_merged(&m, &ids);
+        let header = text.lines().next().unwrap();
+        assert_eq!(header, "ID\talpha::t0\talpha::t1\tbeta::x");
+    }
+
+    #[test]
+    fn merged_export_blank_for_absent_gene() {
+        let m = merged();
+        let ids = m.resolve_genes(&["G1", "G2"]);
+        let text = export_merged(&m, &ids);
+        let lines: Vec<&str> = text.lines().collect();
+        // G1 is not in beta → trailing blank field
+        assert_eq!(lines[1], "G1\t1\t2\t");
+        assert_eq!(lines[2], "G2\t3\t4\t9");
+    }
+
+    #[test]
+    fn selection_as_dataset_subsets() {
+        let m = merged();
+        let ids = m.resolve_genes(&["G2", "G1"]);
+        let ds = selection_as_dataset(&m, 0, &ids, "picked");
+        assert_eq!(ds.name, "picked");
+        assert_eq!(ds.n_genes(), 2);
+        assert_eq!(ds.genes[0].id, "G2");
+        // beta only has G2
+        let ds2 = selection_as_dataset(&m, 1, &ids, "picked2");
+        assert_eq!(ds2.n_genes(), 1);
+    }
+
+    #[test]
+    fn empty_selection_exports_header_only() {
+        let m = merged();
+        let text = export_merged(&m, &[]);
+        assert_eq!(text.lines().count(), 1);
+        assert!(export_gene_list(&m, &[]).is_empty());
+    }
+}

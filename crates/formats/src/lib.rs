@@ -1,0 +1,62 @@
+//! # fv-formats — microarray file formats for ForestView
+//!
+//! "At the bottom level are the microarray datasets typically accessed
+//! through cdt or pcl files" (paper, Section 2). This crate reads and
+//! writes those formats so ForestView interoperates with the Cluster /
+//! Java TreeView ecosystem the paper builds on:
+//!
+//! - [`pcl`] — the tab-delimited PCL expression table
+//!   (`ID NAME GWEIGHT cond…` header, optional `EWEIGHT` row, blank cells
+//!   for missing values),
+//! - [`cdt`] — clustered data tables (PCL plus `GID` column / `AID` row
+//!   carrying tree leaf identities, rows in dendrogram order),
+//! - [`tree_files`] — `.gtr` / `.atr` dendrogram files pairing with a CDT,
+//! - [`export`] — ForestView's exports: gene lists and merged datasets
+//!   ("the user can export the gene list, and if desired all of the
+//!   expression data", Section 2),
+//! - [`detect`] — format sniffing for drag-and-drop style loading.
+
+pub mod cdt;
+pub mod detect;
+pub mod export;
+pub mod pcl;
+pub mod tree_files;
+
+pub use detect::{detect_format, FileFormat};
+pub use pcl::{parse_pcl, write_pcl};
+
+use std::fmt;
+
+/// Errors from format parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Input had no header line.
+    EmptyInput,
+    /// Header lacked a required column: the payload names it.
+    MissingColumn(String),
+    /// A data row had the wrong number of fields: `(line, expected, actual)`.
+    RaggedRow(usize, usize, usize),
+    /// A numeric field failed to parse: `(line, text)`.
+    BadNumber(usize, String),
+    /// A tree file referenced an unknown node id.
+    UnknownNode(String),
+    /// A tree file is structurally invalid (e.g. not a single tree).
+    BadTree(String),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::EmptyInput => write!(f, "empty input"),
+            FormatError::MissingColumn(c) => write!(f, "missing required column {c:?}"),
+            FormatError::RaggedRow(l, e, a) => {
+                write!(f, "line {l}: expected {e} fields, got {a}")
+            }
+            FormatError::BadNumber(l, t) => write!(f, "line {l}: bad number {t:?}"),
+            FormatError::UnknownNode(n) => write!(f, "unknown tree node {n:?}"),
+            FormatError::BadTree(m) => write!(f, "invalid tree: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}

@@ -1,0 +1,277 @@
+//! PCL (pre-clustering) expression tables.
+//!
+//! Layout (tab-delimited):
+//!
+//! ```text
+//! ID      NAME      GWEIGHT  heat 15m  heat 30m  ...
+//! EWEIGHT                    1         1         ...
+//! YAL005C SSA1 ...  1.0      0.45      1.21      ...
+//! ```
+//!
+//! The `GWEIGHT` column and `EWEIGHT` row are optional; blank value cells
+//! are missing measurements. `NAME` conventionally holds
+//! `COMMON_NAME description...`; we split on the first space so both the
+//! common name and the annotation are searchable.
+
+use crate::FormatError;
+use fv_expr::matrix::ExprMatrix;
+use fv_expr::meta::{ConditionMeta, GeneMeta};
+use fv_expr::Dataset;
+
+/// Parse PCL text into a [`Dataset`] with the given name.
+pub fn parse_pcl(name: &str, text: &str) -> Result<Dataset, FormatError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(FormatError::EmptyInput)?;
+    let head: Vec<&str> = header.split('\t').collect();
+    if head.len() < 2 {
+        return Err(FormatError::MissingColumn("NAME".into()));
+    }
+    // Meta columns: ID, NAME, then GWEIGHT if present.
+    let has_gweight = head.get(2).map(|c| c.eq_ignore_ascii_case("GWEIGHT")) == Some(true);
+    let n_meta = if has_gweight { 3 } else { 2 };
+    let cond_labels: Vec<String> = head[n_meta..].iter().map(|s| s.to_string()).collect();
+    let n_cols = cond_labels.len();
+
+    let mut genes: Vec<GeneMeta> = Vec::new();
+    let mut rows: Vec<Vec<Option<f32>>> = Vec::new();
+    let mut eweights: Vec<f32> = vec![1.0; n_cols];
+
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields[0].eq_ignore_ascii_case("EWEIGHT") {
+            for (c, f) in fields.iter().skip(n_meta).take(n_cols).enumerate() {
+                if !f.trim().is_empty() {
+                    eweights[c] = f
+                        .trim()
+                        .parse()
+                        .map_err(|_| FormatError::BadNumber(lineno + 1, f.to_string()))?;
+                }
+            }
+            continue;
+        }
+        if fields.len() != n_meta + n_cols {
+            return Err(FormatError::RaggedRow(
+                lineno + 1,
+                n_meta + n_cols,
+                fields.len(),
+            ));
+        }
+        let id = fields[0].trim().to_string();
+        let name_field = fields[1].trim();
+        let (gene_name, annotation) = match name_field.split_once(' ') {
+            Some((n, rest)) => (n.to_string(), rest.trim().to_string()),
+            None => (name_field.to_string(), String::new()),
+        };
+        let weight = if has_gweight && !fields[2].trim().is_empty() {
+            fields[2]
+                .trim()
+                .parse()
+                .map_err(|_| FormatError::BadNumber(lineno + 1, fields[2].to_string()))?
+        } else {
+            1.0
+        };
+        genes.push(GeneMeta {
+            id,
+            name: gene_name,
+            annotation,
+            weight,
+        });
+        let mut row: Vec<Option<f32>> = Vec::with_capacity(n_cols);
+        for f in &fields[n_meta..] {
+            let t = f.trim();
+            if t.is_empty() {
+                row.push(None);
+            } else {
+                let v: f32 = t
+                    .parse()
+                    .map_err(|_| FormatError::BadNumber(lineno + 1, t.to_string()))?;
+                row.push(if v.is_finite() { Some(v) } else { None });
+            }
+        }
+        rows.push(row);
+    }
+
+    let matrix = ExprMatrix::from_option_rows(&rows)
+        .map_err(|_| FormatError::RaggedRow(0, n_cols, 0))?;
+    // A fully empty PCL still needs the right column count.
+    let matrix = if rows.is_empty() {
+        ExprMatrix::missing(0, n_cols)
+    } else {
+        matrix
+    };
+    let conditions = cond_labels
+        .into_iter()
+        .zip(eweights)
+        .map(|(label, weight)| ConditionMeta { label, weight })
+        .collect();
+    Dataset::new(name, matrix, genes, conditions)
+        .map_err(|e| FormatError::BadTree(e.to_string()))
+}
+
+/// Serialize a [`Dataset`] to PCL text (always includes GWEIGHT/EWEIGHT).
+pub fn write_pcl(ds: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str("ID\tNAME\tGWEIGHT");
+    for c in &ds.conditions {
+        out.push('\t');
+        out.push_str(&c.label);
+    }
+    out.push('\n');
+    out.push_str("EWEIGHT\t\t");
+    for c in &ds.conditions {
+        out.push('\t');
+        out.push_str(&format_weight(c.weight));
+    }
+    out.push('\n');
+    for (r, g) in ds.genes.iter().enumerate() {
+        out.push_str(&g.id);
+        out.push('\t');
+        out.push_str(&joined_name(g));
+        out.push('\t');
+        out.push_str(&format_weight(g.weight));
+        for c in 0..ds.matrix.n_cols() {
+            out.push('\t');
+            if let Some(v) = ds.matrix.get(r, c) {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+pub(crate) fn joined_name(g: &GeneMeta) -> String {
+    if g.annotation.is_empty() {
+        g.name.clone()
+    } else if g.name.is_empty() {
+        g.annotation.clone()
+    } else {
+        format!("{} {}", g.name, g.annotation)
+    }
+}
+
+pub(crate) fn format_weight(w: f32) -> String {
+    if (w - w.round()).abs() < 1e-6 {
+        format!("{}", w.round() as i64)
+    } else {
+        format!("{w}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "ID\tNAME\tGWEIGHT\theat 15m\theat 30m\n\
+EWEIGHT\t\t\t1\t0.5\n\
+YAL005C\tSSA1 cytoplasmic chaperone\t1\t0.45\t1.21\n\
+YBR072W\tHSP26 small heat shock protein\t1\t\t2.0\n\
+YCL050C\tAPA1 diadenosine\t2\t-0.3\t-0.9\n";
+
+    #[test]
+    fn parse_shapes() {
+        let d = parse_pcl("stress", SAMPLE).unwrap();
+        assert_eq!(d.name, "stress");
+        assert_eq!(d.n_genes(), 3);
+        assert_eq!(d.n_conditions(), 2);
+        assert_eq!(d.condition_labels(), vec!["heat 15m", "heat 30m"]);
+    }
+
+    #[test]
+    fn parse_values_and_missing() {
+        let d = parse_pcl("s", SAMPLE).unwrap();
+        assert_eq!(d.matrix.get(0, 0), Some(0.45));
+        assert_eq!(d.matrix.get(1, 0), None); // blank cell
+        assert_eq!(d.matrix.get(1, 1), Some(2.0));
+    }
+
+    #[test]
+    fn parse_meta_splits_name() {
+        let d = parse_pcl("s", SAMPLE).unwrap();
+        assert_eq!(d.genes[0].name, "SSA1");
+        assert_eq!(d.genes[0].annotation, "cytoplasmic chaperone");
+        assert_eq!(d.genes[2].weight, 2.0);
+    }
+
+    #[test]
+    fn parse_eweight_row() {
+        let d = parse_pcl("s", SAMPLE).unwrap();
+        assert_eq!(d.conditions[0].weight, 1.0);
+        assert_eq!(d.conditions[1].weight, 0.5);
+    }
+
+    #[test]
+    fn parse_without_gweight_column() {
+        let text = "ID\tNAME\tc1\tc2\ng1\tFOO desc\t1.0\t2.0\n";
+        let d = parse_pcl("s", text).unwrap();
+        assert_eq!(d.n_conditions(), 2);
+        assert_eq!(d.genes[0].weight, 1.0);
+        assert_eq!(d.matrix.get(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn parse_rejects_ragged() {
+        let text = "ID\tNAME\tGWEIGHT\tc1\tc2\ng1\tX\t1\t0.5\n";
+        assert!(matches!(
+            parse_pcl("s", text),
+            Err(FormatError::RaggedRow(2, 5, 4))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_number() {
+        let text = "ID\tNAME\tGWEIGHT\tc1\ng1\tX\t1\tnot_a_number\n";
+        assert!(matches!(parse_pcl("s", text), Err(FormatError::BadNumber(2, _))));
+    }
+
+    #[test]
+    fn parse_empty_input() {
+        assert!(matches!(parse_pcl("s", ""), Err(FormatError::EmptyInput)));
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let text = "ID\tNAME\tGWEIGHT\tc1\n\ng1\tX\t1\t0.5\n\n";
+        let d = parse_pcl("s", text).unwrap();
+        assert_eq!(d.n_genes(), 1);
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let d1 = parse_pcl("s", SAMPLE).unwrap();
+        let text = write_pcl(&d1);
+        let d2 = parse_pcl("s", &text).unwrap();
+        assert_eq!(d1.n_genes(), d2.n_genes());
+        assert_eq!(d1.n_conditions(), d2.n_conditions());
+        for r in 0..d1.n_genes() {
+            assert_eq!(d1.genes[r].id, d2.genes[r].id);
+            assert_eq!(d1.genes[r].name, d2.genes[r].name);
+            for c in 0..d1.n_conditions() {
+                match (d1.matrix.get(r, c), d2.matrix.get(r, c)) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6),
+                    (None, None) => {}
+                    other => panic!("mask mismatch at ({r},{c}): {other:?}"),
+                }
+            }
+        }
+        assert_eq!(d1.conditions[1].weight, d2.conditions[1].weight);
+    }
+
+    #[test]
+    fn zero_gene_pcl() {
+        let text = "ID\tNAME\tGWEIGHT\tc1\tc2\n";
+        let d = parse_pcl("s", text).unwrap();
+        assert_eq!(d.n_genes(), 0);
+        assert_eq!(d.n_conditions(), 2);
+    }
+
+    #[test]
+    fn infinite_value_becomes_missing() {
+        let text = "ID\tNAME\tGWEIGHT\tc1\ng1\tX\t1\tinf\n";
+        let d = parse_pcl("s", text).unwrap();
+        assert_eq!(d.matrix.get(0, 0), None);
+    }
+}

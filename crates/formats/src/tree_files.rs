@@ -1,0 +1,239 @@
+//! GTR/ATR dendrogram files.
+//!
+//! A `.gtr` file pairs with a clustered `.cdt`: each line records one merge,
+//! bottom-up, as `NODE<k>X  child  child  score`, where children are
+//! `GENE<i>X` leaves or earlier `NODE<j>X` merges, and `score` is the
+//! *similarity* at the merge (TreeView convention: correlation, so
+//! `score = 1 − height` for correlation distances). `.atr` files are
+//! identical with `ARRY<i>X` leaves.
+
+use crate::FormatError;
+use fv_cluster::tree::{ClusterTree, Merge, NodeRef};
+use std::collections::HashMap;
+
+/// Leaf id prefix for gene trees (`GENE3X`).
+pub const GENE_PREFIX: &str = "GENE";
+/// Leaf id prefix for array trees (`ARRY3X`).
+pub const ARRAY_PREFIX: &str = "ARRY";
+
+/// Serialize a tree as GTR/ATR text. `leaf_prefix` is [`GENE_PREFIX`] or
+/// [`ARRAY_PREFIX`]. Heights are converted to similarity scores
+/// (`1 − height`).
+pub fn write_tree(tree: &ClusterTree, leaf_prefix: &str) -> String {
+    let mut out = String::new();
+    for (i, m) in tree.merges().iter().enumerate() {
+        let child = |n: NodeRef| -> String {
+            match n {
+                NodeRef::Leaf(l) => format!("{leaf_prefix}{l}X"),
+                NodeRef::Internal(k) => format!("NODE{k}X"),
+            }
+        };
+        out.push_str(&format!(
+            "NODE{i}X\t{}\t{}\t{}\n",
+            child(m.left),
+            child(m.right),
+            1.0 - m.height
+        ));
+    }
+    out
+}
+
+/// Parse GTR/ATR text into a [`ClusterTree`].
+///
+/// `n_leaves` must match the paired CDT's row (or column) count; leaves not
+/// mentioned in the file are rejected as a structural error unless the tree
+/// is empty.
+pub fn parse_tree(text: &str, leaf_prefix: &str, n_leaves: usize) -> Result<ClusterTree, FormatError> {
+    let mut merges: Vec<Merge> = Vec::new();
+    let mut node_ids: HashMap<String, usize> = HashMap::new();
+    let mut sizes: Vec<u32> = Vec::new();
+
+    let parse_child = |tok: &str,
+                       node_ids: &HashMap<String, usize>,
+                       sizes: &[u32]|
+     -> Result<(NodeRef, u32), FormatError> {
+        let t = tok.trim();
+        if let Some(rest) = t.strip_prefix(leaf_prefix) {
+            let num = rest
+                .strip_suffix('X')
+                .ok_or_else(|| FormatError::UnknownNode(t.to_string()))?;
+            let i: u32 = num
+                .parse()
+                .map_err(|_| FormatError::UnknownNode(t.to_string()))?;
+            if i as usize >= n_leaves {
+                return Err(FormatError::BadTree(format!(
+                    "leaf {t} out of range for {n_leaves} leaves"
+                )));
+            }
+            Ok((NodeRef::Leaf(i), 1))
+        } else if t.starts_with("NODE") {
+            let &idx = node_ids
+                .get(t)
+                .ok_or_else(|| FormatError::UnknownNode(t.to_string()))?;
+            Ok((NodeRef::Internal(idx as u32), sizes[idx]))
+        } else {
+            Err(FormatError::UnknownNode(t.to_string()))
+        }
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 4 {
+            return Err(FormatError::RaggedRow(lineno + 1, 4, fields.len()));
+        }
+        let (left, sl) = parse_child(fields[1], &node_ids, &sizes)?;
+        let (right, sr) = parse_child(fields[2], &node_ids, &sizes)?;
+        let score: f32 = fields[3]
+            .trim()
+            .parse()
+            .map_err(|_| FormatError::BadNumber(lineno + 1, fields[3].to_string()))?;
+        let idx = merges.len();
+        node_ids.insert(fields[0].trim().to_string(), idx);
+        sizes.push(sl + sr);
+        merges.push(Merge {
+            left,
+            right,
+            height: 1.0 - score,
+            size: sl + sr,
+        });
+    }
+
+    ClusterTree::new(n_leaves, merges).map_err(|e| FormatError::BadTree(e.to_string()))
+}
+
+/// Convert a [`ClusterTree`] into the plain merge triples the renderer's
+/// dendrogram painter consumes: `(left, right, height)` with child encoding
+/// `(is_leaf, index)`.
+pub fn tree_to_plain_merges(tree: &ClusterTree) -> Vec<((bool, usize), (bool, usize), f32)> {
+    tree.merges()
+        .iter()
+        .map(|m| {
+            let enc = |n: NodeRef| match n {
+                NodeRef::Leaf(i) => (true, i as usize),
+                NodeRef::Internal(i) => (false, i as usize),
+            };
+            (enc(m.left), enc(m.right), m.height)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(i: u32) -> NodeRef {
+        NodeRef::Leaf(i)
+    }
+
+    fn node(i: u32) -> NodeRef {
+        NodeRef::Internal(i)
+    }
+
+    fn sample_tree() -> ClusterTree {
+        ClusterTree::new(
+            3,
+            vec![
+                Merge { left: leaf(0), right: leaf(2), height: 0.1, size: 2 },
+                Merge { left: node(0), right: leaf(1), height: 0.6, size: 3 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_gtr_format() {
+        let text = write_tree(&sample_tree(), GENE_PREFIX);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "NODE0X\tGENE0X\tGENE2X\t0.9");
+        assert!(lines[1].starts_with("NODE1X\tNODE0X\tGENE1X\t"));
+    }
+
+    #[test]
+    fn roundtrip_gtr() {
+        let t1 = sample_tree();
+        let text = write_tree(&t1, GENE_PREFIX);
+        let t2 = parse_tree(&text, GENE_PREFIX, 3).unwrap();
+        assert_eq!(t1.n_leaves(), t2.n_leaves());
+        assert_eq!(t1.merges().len(), t2.merges().len());
+        for (a, b) in t1.merges().iter().zip(t2.merges()) {
+            assert_eq!(a.left, b.left);
+            assert_eq!(a.right, b.right);
+            assert!((a.height - b.height).abs() < 1e-6);
+            assert_eq!(a.size, b.size);
+        }
+    }
+
+    #[test]
+    fn roundtrip_atr() {
+        let t1 = sample_tree();
+        let text = write_tree(&t1, ARRAY_PREFIX);
+        assert!(text.contains("ARRY0X"));
+        let t2 = parse_tree(&text, ARRAY_PREFIX, 3).unwrap();
+        assert_eq!(t2.merges().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_node() {
+        let text = "NODE0X\tGENE0X\tNODE9X\t0.5\n";
+        assert!(matches!(
+            parse_tree(text, GENE_PREFIX, 2),
+            Err(FormatError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_leaf() {
+        let text = "NODE0X\tGENE0X\tGENE7X\t0.5\n";
+        assert!(matches!(
+            parse_tree(text, GENE_PREFIX, 2),
+            Err(FormatError::BadTree(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_leaf_prefix() {
+        let text = "NODE0X\tARRY0X\tARRY1X\t0.5\n";
+        assert!(parse_tree(text, GENE_PREFIX, 2).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_short_row() {
+        let text = "NODE0X\tGENE0X\tGENE1X\n";
+        assert!(matches!(
+            parse_tree(text, GENE_PREFIX, 2),
+            Err(FormatError::RaggedRow(1, 4, 3))
+        ));
+    }
+
+    #[test]
+    fn parse_validates_leaf_count() {
+        // tree over 3 leaves but n_leaves=4 → missing merge
+        let text = write_tree(&sample_tree(), GENE_PREFIX);
+        assert!(matches!(
+            parse_tree(&text, GENE_PREFIX, 4),
+            Err(FormatError::BadTree(_))
+        ));
+    }
+
+    #[test]
+    fn empty_tree_file() {
+        let t = parse_tree("", GENE_PREFIX, 0).unwrap();
+        assert_eq!(t.n_leaves(), 0);
+        let t1 = parse_tree("", GENE_PREFIX, 1).unwrap();
+        assert_eq!(t1.n_leaves(), 1);
+    }
+
+    #[test]
+    fn plain_merges_encoding() {
+        let pm = tree_to_plain_merges(&sample_tree());
+        assert_eq!(pm.len(), 2);
+        assert_eq!(pm[0].0, (true, 0));
+        assert_eq!(pm[0].1, (true, 2));
+        assert_eq!(pm[1].0, (false, 0));
+        assert!((pm[1].2 - 0.6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,103 @@
+//! Multiple-hypothesis correction.
+//!
+//! Enrichment tests run over thousands of GO terms simultaneously; GOLEM
+//! reports both the conservative Bonferroni bound and Benjamini–Hochberg
+//! false-discovery-rate q-values.
+
+/// Bonferroni-adjusted p-values: `min(1, p * m)` over `m` tests.
+pub fn bonferroni(pvals: &[f64]) -> Vec<f64> {
+    let m = pvals.len() as f64;
+    pvals.iter().map(|&p| (p * m).min(1.0)).collect()
+}
+
+/// Benjamini–Hochberg q-values.
+///
+/// Sort p-values ascending, compute `p_i * m / rank_i`, then enforce
+/// monotonicity from the largest rank downward. Returned in the input order.
+pub fn benjamini_hochberg(pvals: &[f64]) -> Vec<f64> {
+    let m = pvals.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| pvals[a].partial_cmp(&pvals[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut q = vec![0.0f64; m];
+    let mut running_min = 1.0f64;
+    for rank_from_top in (0..m).rev() {
+        let idx = order[rank_from_top];
+        let rank = rank_from_top + 1;
+        let val = (pvals[idx] * m as f64 / rank as f64).min(1.0);
+        running_min = running_min.min(val);
+        q[idx] = running_min;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bonferroni_scales_and_clamps() {
+        let q = bonferroni(&[0.01, 0.2, 0.6]);
+        assert!((q[0] - 0.03).abs() < 1e-12);
+        assert!((q[1] - 0.6).abs() < 1e-12);
+        assert_eq!(q[2], 1.0);
+    }
+
+    #[test]
+    fn bonferroni_empty() {
+        assert!(bonferroni(&[]).is_empty());
+    }
+
+    #[test]
+    fn bh_single_pvalue_unchanged() {
+        let q = benjamini_hochberg(&[0.04]);
+        assert!((q[0] - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bh_known_example() {
+        // classic example: p = .01, .02, .03, .04, .05 (m=5)
+        // q_i = p_i * 5 / i → .05, .05, .05, .05, .05
+        let q = benjamini_hochberg(&[0.01, 0.02, 0.03, 0.04, 0.05]);
+        for &v in &q {
+            assert!((v - 0.05).abs() < 1e-12, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn bh_monotone_in_p() {
+        let p = [0.001, 0.3, 0.04, 0.9, 0.02];
+        let q = benjamini_hochberg(&p);
+        // q order must follow p order
+        let mut pairs: Vec<(f64, f64)> = p.iter().copied().zip(q.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bh_bounded_by_bonferroni() {
+        let p = [0.002, 0.08, 0.01, 0.5, 0.03, 0.2];
+        let q = benjamini_hochberg(&p);
+        let b = bonferroni(&p);
+        for i in 0..p.len() {
+            assert!(q[i] <= b[i] + 1e-12, "q must not exceed bonferroni");
+            assert!(q[i] >= p[i] - 1e-12, "q must not fall below raw p");
+        }
+    }
+
+    #[test]
+    fn bh_preserves_input_order() {
+        let p = [0.5, 0.001];
+        let q = benjamini_hochberg(&p);
+        assert!(q[1] < q[0]);
+    }
+
+    #[test]
+    fn bh_empty() {
+        assert!(benjamini_hochberg(&[]).is_empty());
+    }
+}

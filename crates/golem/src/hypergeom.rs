@@ -1,0 +1,201 @@
+//! Hypergeometric tail probabilities in log space.
+//!
+//! GO enrichment asks: drawing `n` genes (the cluster) from a population of
+//! `N` genes of which `K` are annotated to a term, what is the probability
+//! of seeing `k` or more annotated genes? Cluster sizes are hundreds and
+//! populations thousands, so everything is computed with log-factorials to
+//! avoid overflow, and the survival sum runs over at most `min(K, n)` terms.
+
+/// Natural log of `n!` via `ln Γ(n+1)` (Lanczos approximation).
+pub fn ln_factorial(n: u64) -> f64 {
+    // Small values from a table for exactness where tests care most.
+    const TABLE: [f64; 11] = [
+        0.0,
+        0.0,
+        0.6931471805599453,
+        1.791759469228055,
+        3.1780538303479458,
+        4.787491742782046,
+        6.579251212010101,
+        8.525161361065415,
+        10.60460290274525,
+        12.801827480081469,
+        15.104412573075516,
+    ];
+    if (n as usize) < TABLE.len() {
+        return TABLE[n as usize];
+    }
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Lanczos ln Γ(x) for x > 0.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument");
+    // g = 7, n = 9 Lanczos coefficients.
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// log of the binomial coefficient C(n, k); `-inf` when k > n.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Hypergeometric PMF: P(X = k) for `k` annotated among `n` drawn from a
+/// population `N` containing `K` annotated.
+pub fn pmf(n_population: u64, k_annotated: u64, n_drawn: u64, k: u64) -> f64 {
+    if k > k_annotated || k > n_drawn || n_drawn > n_population {
+        return 0.0;
+    }
+    let rest = n_drawn - k;
+    if rest > n_population - k_annotated {
+        return 0.0;
+    }
+    let ln_p = ln_choose(k_annotated, k) + ln_choose(n_population - k_annotated, rest)
+        - ln_choose(n_population, n_drawn);
+    ln_p.exp()
+}
+
+/// Upper tail (enrichment p-value): P(X ≥ k). Clamped to `[0, 1]`.
+pub fn sf(n_population: u64, k_annotated: u64, n_drawn: u64, k: u64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let hi = k_annotated.min(n_drawn);
+    let mut p = 0.0;
+    for x in k..=hi {
+        p += pmf(n_population, k_annotated, n_drawn, x);
+    }
+    p.clamp(0.0, 1.0)
+}
+
+/// Lower tail (depletion p-value): P(X ≤ k). Clamped to `[0, 1]`.
+pub fn cdf(n_population: u64, k_annotated: u64, n_drawn: u64, k: u64) -> f64 {
+    let mut p = 0.0;
+    for x in 0..=k.min(k_annotated).min(n_drawn) {
+        p += pmf(n_population, k_annotated, n_drawn, x);
+    }
+    p.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_small_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120.0f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_large_stirling_regime() {
+        // 170! is the f64 overflow edge for naive factorials; logs are fine.
+        let lf = ln_factorial(170);
+        assert!((lf - 706.5731).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        let lg = ln_gamma(0.5);
+        assert!((lg - (std::f64::consts::PI.sqrt()).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_values() {
+        assert!((ln_choose(5, 2) - 10.0f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(52, 5) - 2598960.0f64.ln()).abs() < 1e-8);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(7, 0), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let (n, big_k, n_draw) = (50u64, 12u64, 20u64);
+        let total: f64 = (0..=n_draw).map(|k| pmf(n, big_k, n_draw, k)).sum();
+        assert!((total - 1.0).abs() < 1e-10, "total {total}");
+    }
+
+    #[test]
+    fn pmf_known_value() {
+        // Urn: N=10, K=4 white, draw n=5, P(k=2 white) = C(4,2)C(6,3)/C(10,5)
+        let expect = (6.0 * 20.0) / 252.0;
+        assert!((pmf(10, 4, 5, 2) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_impossible_cases_zero() {
+        assert_eq!(pmf(10, 4, 5, 6), 0.0); // k > n_drawn... also > K
+        assert_eq!(pmf(10, 4, 5, 5), 0.0); // only 4 annotated exist
+        assert_eq!(pmf(10, 9, 5, 0), 0.0); // must draw ≥4 annotated
+    }
+
+    #[test]
+    fn sf_and_cdf_complementary() {
+        let (n, big_k, n_draw) = (40u64, 10u64, 15u64);
+        for k in 0..=10 {
+            let lhs = sf(n, big_k, n_draw, k + 1) + cdf(n, big_k, n_draw, k);
+            assert!((lhs - 1.0).abs() < 1e-9, "k={k}: {lhs}");
+        }
+    }
+
+    #[test]
+    fn sf_at_zero_is_one() {
+        assert_eq!(sf(100, 10, 5, 0), 1.0);
+    }
+
+    #[test]
+    fn sf_monotone_decreasing_in_k() {
+        let mut last = 1.0;
+        for k in 0..=8 {
+            let p = sf(60, 12, 18, k);
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn enrichment_signal_detected() {
+        // Population 6000, 100 annotated; a 50-gene cluster with 20
+        // annotated is astronomically enriched.
+        let p = sf(6000, 100, 50, 20);
+        assert!(p < 1e-15, "p = {p}");
+        // while 1 of 50 is unremarkable
+        let p1 = sf(6000, 100, 50, 1);
+        assert!(p1 > 0.3, "p1 = {p1}");
+    }
+
+    #[test]
+    fn large_population_no_overflow() {
+        let p = sf(50_000, 2_000, 500, 40);
+        assert!(p.is_finite());
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,289 @@
+//! Layered layout for local exploration maps.
+//!
+//! Sugiyama-style drawing specialized to GOLEM's needs (Figure 5 shows the
+//! GO hierarchy drawn in layers): nodes are layered by ontology depth
+//! (parents above children, matching the mental model of GO), crossings are
+//! reduced by barycenter sweeps, and coordinates come out in the unit
+//! square so any renderer can scale them to pixels.
+
+use crate::map::LocalMap;
+use fv_ontology::term::TermId;
+use std::collections::HashMap;
+
+/// A positioned node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutNode {
+    /// The term.
+    pub term: TermId,
+    /// Layer index (0 = shallowest in the map).
+    pub layer: usize,
+    /// Horizontal position in `[0, 1]`.
+    pub x: f32,
+    /// Vertical position in `[0, 1]` (layer center).
+    pub y: f32,
+}
+
+/// A laid-out local map.
+#[derive(Debug, Clone)]
+pub struct MapLayout {
+    /// Positioned nodes, same order as the map's nodes.
+    pub nodes: Vec<LayoutNode>,
+    /// Edges as index pairs into `nodes`: (child_idx, parent_idx).
+    pub edges: Vec<(usize, usize)>,
+    /// Number of layers.
+    pub n_layers: usize,
+}
+
+impl MapLayout {
+    /// Position of a term, if present.
+    pub fn position(&self, term: TermId) -> Option<(f32, f32)> {
+        self.nodes
+            .iter()
+            .find(|n| n.term == term)
+            .map(|n| (n.x, n.y))
+    }
+
+    /// Count of edge crossings between adjacent layers (layout quality
+    /// metric used by tests and the ablation bench).
+    pub fn crossings(&self) -> usize {
+        // For each pair of edges between the same layer pair, count inversions.
+        let mut count = 0;
+        for (i, &(c1, p1)) in self.edges.iter().enumerate() {
+            for &(c2, p2) in &self.edges[i + 1..] {
+                let (a, b) = (&self.nodes[c1], &self.nodes[p1]);
+                let (c, d) = (&self.nodes[c2], &self.nodes[p2]);
+                if a.layer == c.layer && b.layer == d.layer && a.layer != b.layer {
+                    let x1 = (a.x, b.x);
+                    let x2 = (c.x, d.x);
+                    if (x1.0 < x2.0 && x1.1 > x2.1) || (x1.0 > x2.0 && x1.1 < x2.1) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Lay out a local map. `barycenter_passes` controls crossing-reduction
+/// effort (0 keeps the initial order — the ablation baseline).
+pub fn layout_map(map: &LocalMap, barycenter_passes: usize) -> MapLayout {
+    let n = map.nodes.len();
+    if n == 0 {
+        return MapLayout {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            n_layers: 0,
+        };
+    }
+    let index_of: HashMap<TermId, usize> =
+        map.nodes.iter().enumerate().map(|(i, n)| (n.term, i)).collect();
+
+    // Layer = ontology depth, compressed to consecutive integers.
+    let mut depths: Vec<u32> = map.nodes.iter().map(|n| n.depth).collect();
+    let mut uniq = depths.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let layer_of_depth: HashMap<u32, usize> =
+        uniq.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+    for d in &mut depths {
+        *d = layer_of_depth[d] as u32;
+    }
+    let n_layers = uniq.len();
+
+    // Initial per-layer order: map node order (distance-sorted).
+    let mut layers: Vec<Vec<usize>> = vec![Vec::new(); n_layers];
+    for (i, &d) in depths.iter().enumerate() {
+        layers[d as usize].push(i);
+    }
+
+    // Adjacency for barycenter sweeps: edges are (child, parent) — child is
+    // on a deeper layer.
+    let edges_idx: Vec<(usize, usize)> = map
+        .edges
+        .iter()
+        .map(|&(c, p)| (index_of[&c], index_of[&p]))
+        .collect();
+    let mut parents_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut children_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(c, p) in &edges_idx {
+        parents_of[c].push(p);
+        children_of[p].push(c);
+    }
+
+    let mut pos_in_layer = vec![0usize; n];
+    let refresh = |layers: &[Vec<usize>], pos: &mut [usize]| {
+        for layer in layers {
+            for (slot, &node) in layer.iter().enumerate() {
+                pos[node] = slot;
+            }
+        }
+    };
+    refresh(&layers, &mut pos_in_layer);
+
+    for pass in 0..barycenter_passes {
+        let downward = pass % 2 == 0;
+        let order: Box<dyn Iterator<Item = usize>> = if downward {
+            Box::new(1..n_layers)
+        } else {
+            Box::new((0..n_layers.saturating_sub(1)).rev())
+        };
+        for li in order {
+            let anchors = |node: usize| -> &Vec<usize> {
+                if downward {
+                    &parents_of[node]
+                } else {
+                    &children_of[node]
+                }
+            };
+            let mut keyed: Vec<(f64, usize)> = layers[li]
+                .iter()
+                .map(|&node| {
+                    let adj = anchors(node);
+                    let bary = if adj.is_empty() {
+                        pos_in_layer[node] as f64
+                    } else {
+                        adj.iter().map(|&a| pos_in_layer[a] as f64).sum::<f64>() / adj.len() as f64
+                    };
+                    (bary, node)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            layers[li] = keyed.into_iter().map(|(_, node)| node).collect();
+            refresh(&layers, &mut pos_in_layer);
+        }
+    }
+
+    // Coordinates: x spreads nodes evenly within the layer; y by layer.
+    let mut nodes_out: Vec<LayoutNode> = map
+        .nodes
+        .iter()
+        .map(|n| LayoutNode {
+            term: n.term,
+            layer: 0,
+            x: 0.0,
+            y: 0.0,
+        })
+        .collect();
+    for (li, layer) in layers.iter().enumerate() {
+        let w = layer.len();
+        for (slot, &node) in layer.iter().enumerate() {
+            nodes_out[node].layer = li;
+            nodes_out[node].x = (slot as f32 + 0.5) / w as f32;
+            nodes_out[node].y = if n_layers == 1 {
+                0.5
+            } else {
+                (li as f32 + 0.5) / n_layers as f32
+            };
+        }
+    }
+
+    MapLayout {
+        nodes: nodes_out,
+        edges: edges_idx,
+        n_layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::build_local_map;
+    use fv_ontology::dag::{DagBuilder, OntologyDag, RelType};
+    use fv_ontology::term::{Namespace, Term};
+
+    fn dag() -> (OntologyDag, Vec<TermId>) {
+        // R with children A,B; A with children C,D; B with child E.
+        let mut b = DagBuilder::new();
+        let names = ["R", "A", "B", "C", "D", "E"];
+        let ids: Vec<TermId> = names
+            .iter()
+            .map(|n| b.add_term(Term::new(format!("GO:{n}"), *n, Namespace::BiologicalProcess)).unwrap())
+            .collect();
+        b.add_edge(ids[1], ids[0], RelType::IsA);
+        b.add_edge(ids[2], ids[0], RelType::IsA);
+        b.add_edge(ids[3], ids[1], RelType::IsA);
+        b.add_edge(ids[4], ids[1], RelType::IsA);
+        b.add_edge(ids[5], ids[2], RelType::IsA);
+        (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn layers_follow_depth() {
+        let (g, ids) = dag();
+        let m = build_local_map(&g, ids[0], 3, &[]);
+        let l = layout_map(&m, 2);
+        assert_eq!(l.n_layers, 3);
+        let root = l.nodes.iter().find(|n| n.term == ids[0]).unwrap();
+        let leaf = l.nodes.iter().find(|n| n.term == ids[3]).unwrap();
+        assert_eq!(root.layer, 0);
+        assert_eq!(leaf.layer, 2);
+        assert!(root.y < leaf.y);
+    }
+
+    #[test]
+    fn coordinates_in_unit_square() {
+        let (g, ids) = dag();
+        let m = build_local_map(&g, ids[1], 2, &[]);
+        let l = layout_map(&m, 3);
+        for n in &l.nodes {
+            assert!((0.0..=1.0).contains(&n.x), "x = {}", n.x);
+            assert!((0.0..=1.0).contains(&n.y), "y = {}", n.y);
+        }
+    }
+
+    #[test]
+    fn same_layer_distinct_x() {
+        let (g, ids) = dag();
+        let m = build_local_map(&g, ids[0], 3, &[]);
+        let l = layout_map(&m, 2);
+        for li in 0..l.n_layers {
+            let xs: Vec<f32> = l.nodes.iter().filter(|n| n.layer == li).map(|n| n.x).collect();
+            for i in 0..xs.len() {
+                for j in (i + 1)..xs.len() {
+                    assert!((xs[i] - xs[j]).abs() > 1e-6, "layer {li} overlaps");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_reference_valid_nodes() {
+        let (g, ids) = dag();
+        let m = build_local_map(&g, ids[0], 3, &[]);
+        let l = layout_map(&m, 1);
+        assert_eq!(l.edges.len(), m.edges.len());
+        for &(c, p) in &l.edges {
+            assert!(c < l.nodes.len() && p < l.nodes.len());
+            assert!(l.nodes[c].layer > l.nodes[p].layer, "child below parent");
+        }
+    }
+
+    #[test]
+    fn barycenter_no_worse_than_none() {
+        let (g, ids) = dag();
+        let m = build_local_map(&g, ids[0], 3, &[]);
+        let base = layout_map(&m, 0).crossings();
+        let improved = layout_map(&m, 4).crossings();
+        assert!(improved <= base, "barycenter increased crossings: {base} -> {improved}");
+    }
+
+    #[test]
+    fn empty_map_layout() {
+        let (g, ids) = dag();
+        let m = build_local_map(&g, ids[0], 0, &[]);
+        let l = layout_map(&m, 2);
+        assert_eq!(l.nodes.len(), 1);
+        assert_eq!(l.n_layers, 1);
+        assert_eq!(l.nodes[0].y, 0.5);
+    }
+
+    #[test]
+    fn position_lookup() {
+        let (g, ids) = dag();
+        let m = build_local_map(&g, ids[0], 1, &[]);
+        let l = layout_map(&m, 1);
+        assert!(l.position(ids[0]).is_some());
+        assert!(l.position(ids[3]).is_none()); // radius 1 excludes grandchildren
+    }
+}

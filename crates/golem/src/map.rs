@@ -1,0 +1,247 @@
+//! Local exploration map construction.
+//!
+//! GOLEM's signature view: pick a focus term (typically a top enrichment
+//! hit), take the ontology neighbourhood within a hop radius, and annotate
+//! every node with its enrichment statistics so the display can color by
+//! significance. The result is pure structure + statistics; layout happens
+//! in [`crate::layout`] and pixels in the application layer.
+
+use crate::enrich::EnrichmentResult;
+use fv_ontology::dag::OntologyDag;
+use fv_ontology::query::{hop_distances, induced_edges};
+use fv_ontology::term::TermId;
+use std::collections::HashMap;
+
+/// One node of a local map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapNode {
+    /// The term.
+    pub term: TermId,
+    /// Hop distance from the focus term.
+    pub distance: u32,
+    /// Depth of the term in the full ontology.
+    pub depth: u32,
+    /// Enrichment p-value if this term was among the supplied results.
+    pub p_value: Option<f64>,
+    /// Query overlap if enriched.
+    pub overlap: Option<usize>,
+}
+
+/// A radius-bounded neighbourhood of the ontology around a focus term.
+#[derive(Debug, Clone)]
+pub struct LocalMap {
+    /// The focus term.
+    pub focus: TermId,
+    /// Hop radius used.
+    pub radius: u32,
+    /// Nodes, sorted by (distance, term id). The focus is always first.
+    pub nodes: Vec<MapNode>,
+    /// (child, parent) edges with both endpoints in the map.
+    pub edges: Vec<(TermId, TermId)>,
+}
+
+impl LocalMap {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Find a node by term.
+    pub fn node(&self, term: TermId) -> Option<&MapNode> {
+        self.nodes.iter().find(|n| n.term == term)
+    }
+
+    /// Terms in the map.
+    pub fn terms(&self) -> Vec<TermId> {
+        self.nodes.iter().map(|n| n.term).collect()
+    }
+}
+
+/// Build the local exploration map around `focus` with the given hop
+/// `radius`, attaching statistics from `enrichment` where available.
+pub fn build_local_map(
+    dag: &OntologyDag,
+    focus: TermId,
+    radius: u32,
+    enrichment: &[EnrichmentResult],
+) -> LocalMap {
+    let dist = hop_distances(dag, focus);
+    let by_term: HashMap<TermId, &EnrichmentResult> =
+        enrichment.iter().map(|r| (r.term, r)).collect();
+
+    let mut nodes: Vec<MapNode> = dag
+        .ids()
+        .filter_map(|t| {
+            let d = dist[t.index()]?;
+            if d > radius || dag.term(t).obsolete {
+                return None;
+            }
+            let stat = by_term.get(&t);
+            Some(MapNode {
+                term: t,
+                distance: d,
+                depth: dag.depth(t),
+                p_value: stat.map(|r| r.p_value),
+                overlap: stat.map(|r| r.overlap),
+            })
+        })
+        .collect();
+    nodes.sort_by_key(|n| (n.distance, n.term));
+
+    let terms: Vec<TermId> = nodes.iter().map(|n| n.term).collect();
+    let edges = induced_edges(dag, &terms);
+    LocalMap {
+        focus,
+        radius,
+        nodes,
+        edges,
+    }
+}
+
+/// Build a map containing the focus plus the top `k` enrichment hits and
+/// the connecting paths (every node on a shortest ancestor path between a
+/// hit and the focus's namespace root is included). This is the "show my
+/// results in context" view of GOLEM.
+pub fn build_results_map(
+    dag: &OntologyDag,
+    enrichment: &[EnrichmentResult],
+    k: usize,
+) -> Option<LocalMap> {
+    let top: Vec<&EnrichmentResult> = enrichment.iter().take(k).collect();
+    let focus = top.first()?.term;
+    // Include every hit, all its ancestors, with distances measured from the
+    // focus term (unreachable nodes get distance = depth as a fallback).
+    let mut include: Vec<TermId> = Vec::new();
+    for r in &top {
+        include.push(r.term);
+        include.extend(fv_ontology::query::ancestors(dag, r.term));
+    }
+    include.sort_unstable();
+    include.dedup();
+
+    let dist = hop_distances(dag, focus);
+    let by_term: HashMap<TermId, &EnrichmentResult> =
+        enrichment.iter().map(|r| (r.term, r)).collect();
+    let mut nodes: Vec<MapNode> = include
+        .iter()
+        .map(|&t| MapNode {
+            term: t,
+            distance: dist[t.index()].unwrap_or(dag.depth(t)),
+            depth: dag.depth(t),
+            p_value: by_term.get(&t).map(|r| r.p_value),
+            overlap: by_term.get(&t).map(|r| r.overlap),
+        })
+        .collect();
+    nodes.sort_by_key(|n| (n.distance, n.term));
+    let edges = induced_edges(dag, &include);
+    Some(LocalMap {
+        focus,
+        radius: nodes.iter().map(|n| n.distance).max().unwrap_or(0),
+        nodes,
+        edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_ontology::dag::{DagBuilder, RelType};
+    use fv_ontology::term::{Namespace, Term};
+
+    /// R ← A ← C, R ← B, C ← D (chain depth 3)
+    fn dag() -> (OntologyDag, [TermId; 5]) {
+        let mut b = DagBuilder::new();
+        let names = ["R", "A", "B", "C", "D"];
+        let ids: Vec<TermId> = names
+            .iter()
+            .map(|n| b.add_term(Term::new(format!("GO:{n}"), *n, Namespace::BiologicalProcess)).unwrap())
+            .collect();
+        b.add_edge(ids[1], ids[0], RelType::IsA); // A → R
+        b.add_edge(ids[2], ids[0], RelType::IsA); // B → R
+        b.add_edge(ids[3], ids[1], RelType::IsA); // C → A
+        b.add_edge(ids[4], ids[3], RelType::IsA); // D → C
+        (b.build().unwrap(), [ids[0], ids[1], ids[2], ids[3], ids[4]])
+    }
+
+    fn fake_result(term: TermId, p: f64) -> EnrichmentResult {
+        EnrichmentResult {
+            term,
+            overlap: 5,
+            annotated: 10,
+            query_size: 20,
+            population: 100,
+            p_value: p,
+            p_bonferroni: p,
+            q_value: p,
+            fold: 2.5,
+        }
+    }
+
+    #[test]
+    fn radius_bounds_map() {
+        let (g, [r, a, b, c, d]) = dag();
+        let m0 = build_local_map(&g, a, 0, &[]);
+        assert_eq!(m0.terms(), vec![a]);
+        let m1 = build_local_map(&g, a, 1, &[]);
+        assert_eq!(m1.terms().len(), 3); // a + parent r + child c
+        assert!(m1.node(r).is_some());
+        assert!(m1.node(c).is_some());
+        assert!(m1.node(b).is_none());
+        let m2 = build_local_map(&g, a, 2, &[]);
+        assert_eq!(m2.terms().len(), 5);
+        assert_eq!(m2.node(d).unwrap().distance, 2);
+    }
+
+    #[test]
+    fn focus_first_in_nodes() {
+        let (g, [_, a, ..]) = dag();
+        let m = build_local_map(&g, a, 2, &[]);
+        assert_eq!(m.nodes[0].term, a);
+        assert_eq!(m.nodes[0].distance, 0);
+    }
+
+    #[test]
+    fn enrichment_attached() {
+        let (g, [_, a, _, c, _]) = dag();
+        let res = vec![fake_result(c, 1e-8)];
+        let m = build_local_map(&g, a, 1, &res);
+        assert_eq!(m.node(c).unwrap().p_value, Some(1e-8));
+        assert_eq!(m.node(c).unwrap().overlap, Some(5));
+        assert_eq!(m.node(a).unwrap().p_value, None);
+    }
+
+    #[test]
+    fn edges_induced_only() {
+        let (g, [r, a, _, c, _]) = dag();
+        let m = build_local_map(&g, a, 1, &[]);
+        assert!(m.edges.contains(&(a, r)));
+        assert!(m.edges.contains(&(c, a)));
+        assert_eq!(m.edges.len(), 2);
+    }
+
+    #[test]
+    fn results_map_includes_ancestor_paths() {
+        let (g, [r, a, _, c, d]) = dag();
+        let res = vec![fake_result(d, 1e-9), fake_result(c, 1e-4)];
+        let m = build_results_map(&g, &res, 2).unwrap();
+        // D's ancestors C, A, R all included.
+        for t in [r, a, c, d] {
+            assert!(m.node(t).is_some(), "missing {t:?}");
+        }
+        assert_eq!(m.focus, d);
+        assert_eq!(m.node(d).unwrap().p_value, Some(1e-9));
+    }
+
+    #[test]
+    fn results_map_empty_input() {
+        let (g, _) = dag();
+        assert!(build_results_map(&g, &[], 3).is_none());
+    }
+
+    #[test]
+    fn node_depth_recorded() {
+        let (g, [_, a, _, _, d]) = dag();
+        let m = build_local_map(&g, a, 3, &[]);
+        assert_eq!(m.node(d).unwrap().depth, 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the enrichment statistics.
+
+use fv_golem::correct::{benjamini_hochberg, bonferroni};
+use fv_golem::hypergeom::{cdf, ln_choose, pmf, sf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pmf_is_distribution(n_pop in 1u64..200, k_ann_frac in 0.0f64..1.0, n_draw_frac in 0.0f64..1.0) {
+        let k_ann = (n_pop as f64 * k_ann_frac) as u64;
+        let n_draw = (n_pop as f64 * n_draw_frac) as u64;
+        let total: f64 = (0..=n_draw).map(|k| pmf(n_pop, k_ann, n_draw, k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "pmf sums to {total}");
+    }
+
+    #[test]
+    fn sf_cdf_complement(n_pop in 1u64..120, k_ann in 0u64..120, n_draw in 0u64..120, k in 0u64..120) {
+        let k_ann = k_ann.min(n_pop);
+        let n_draw = n_draw.min(n_pop);
+        let k = k.min(n_draw);
+        let lhs = cdf(n_pop, k_ann, n_draw, k) + sf(n_pop, k_ann, n_draw, k + 1);
+        prop_assert!((lhs - 1.0).abs() < 1e-8, "complement violated: {lhs}");
+    }
+
+    #[test]
+    fn sf_monotone_nonincreasing(n_pop in 2u64..120, k_ann in 1u64..120, n_draw in 1u64..120) {
+        let k_ann = k_ann.min(n_pop);
+        let n_draw = n_draw.min(n_pop);
+        let mut last = 1.0f64;
+        for k in 0..=n_draw.min(k_ann) {
+            let p = sf(n_pop, k_ann, n_draw, k);
+            prop_assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn hypergeom_symmetry(n_pop in 1u64..80, k_ann in 0u64..80, n_draw in 0u64..80, k in 0u64..80) {
+        // swapping the roles of "annotated" and "drawn" leaves pmf unchanged
+        let k_ann = k_ann.min(n_pop);
+        let n_draw = n_draw.min(n_pop);
+        let k = k.min(k_ann.min(n_draw));
+        let a = pmf(n_pop, k_ann, n_draw, k);
+        let b = pmf(n_pop, n_draw, k_ann, k);
+        prop_assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_choose_pascal(n in 1u64..60, k in 0u64..60) {
+        // C(n,k) = C(n-1,k-1) + C(n-1,k) in log space (via exp)
+        let k = k.min(n);
+        if k == 0 || k == n { return Ok(()); }
+        let lhs = ln_choose(n, k).exp();
+        let rhs = ln_choose(n - 1, k - 1).exp() + ln_choose(n - 1, k).exp();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.max(1.0));
+    }
+
+    #[test]
+    fn bh_between_raw_and_bonferroni(pvals in prop::collection::vec(0.0f64..=1.0, 1..40)) {
+        let q = benjamini_hochberg(&pvals);
+        let b = bonferroni(&pvals);
+        for i in 0..pvals.len() {
+            prop_assert!(q[i] >= pvals[i] - 1e-12, "q below raw p");
+            prop_assert!(q[i] <= b[i] + 1e-12, "q above bonferroni");
+            prop_assert!((0.0..=1.0).contains(&q[i]));
+        }
+    }
+
+    #[test]
+    fn bh_order_preserving(pvals in prop::collection::vec(0.0f64..=1.0, 2..40)) {
+        let q = benjamini_hochberg(&pvals);
+        let mut pairs: Vec<(f64, f64)> = pvals.iter().copied().zip(q.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-12, "q not monotone in p");
+        }
+    }
+
+    #[test]
+    fn bonferroni_idempotent_on_saturated(pvals in prop::collection::vec(0.5f64..=1.0, 3..20)) {
+        // with m ≥ 2 every p ≥ 0.5 saturates to 1.0
+        let b = bonferroni(&pvals);
+        prop_assert!(b.iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,355 @@
+//! Column-major dense `f64` matrix.
+//!
+//! Column-major layout keeps column operations (the unit of one-sided Jacobi
+//! SVD and Householder QR) contiguous.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// Dense column-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// Column-major storage: element (r, c) lives at `c * n_rows + r`.
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.n_rows, self.n_cols)?;
+        for r in 0..self.n_rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.n_cols.min(8) {
+                write!(f, "{:10.4} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Matrix {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from row-major data (the natural literal order in source code).
+    pub fn from_rows(n_rows: usize, n_cols: usize, rows: &[f64]) -> Self {
+        assert_eq!(rows.len(), n_rows * n_cols, "shape mismatch");
+        let mut m = Matrix::zeros(n_rows, n_cols);
+        for r in 0..n_rows {
+            for c in 0..n_cols {
+                m.set(r, c, rows[r * n_cols + c]);
+            }
+        }
+        m
+    }
+
+    /// Build a diagonal matrix from the given entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.n_rows && c < self.n_cols);
+        self.data[c * self.n_rows + r]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.n_rows && c < self.n_cols);
+        self.data[c * self.n_rows + r] = v;
+    }
+
+    /// Contiguous slice of column `c`.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f64] {
+        &self.data[c * self.n_rows..(c + 1) * self.n_rows]
+    }
+
+    /// Mutable slice of column `c`.
+    #[inline]
+    pub fn col_mut(&mut self, c: usize) -> &mut [f64] {
+        &mut self.data[c * self.n_rows..(c + 1) * self.n_rows]
+    }
+
+    /// Copy of row `r`.
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        (0..self.n_cols).map(|c| self.get(r, c)).collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.n_cols, self.n_rows);
+        for c in 0..self.n_cols {
+            for r in 0..self.n_rows {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.n_cols, other.n_rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.n_rows, self.n_cols, other.n_rows, other.n_cols
+        );
+        let mut out = Matrix::zeros(self.n_rows, other.n_cols);
+        // (i,j) += A(i,k) B(k,j), looping k outermost over B's columns for
+        // cache-friendly column-major access.
+        for j in 0..other.n_cols {
+            let bcol = other.col(j);
+            let ocol = out.col_mut(j);
+            for (k, &bkj) in bcol.iter().enumerate() {
+                if bkj == 0.0 {
+                    continue;
+                }
+                let acol = &self.data[k * self.n_rows..(k + 1) * self.n_rows];
+                for i in 0..self.n_rows {
+                    ocol[i] += acol[i] * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.n_cols, x.len(), "matvec shape mismatch");
+        let mut y = vec![0.0; self.n_rows];
+        for (c, &xc) in x.iter().enumerate() {
+            if xc == 0.0 {
+                continue;
+            }
+            for (r, &a) in self.col(c).iter().enumerate() {
+                y[r] += a * xc;
+            }
+        }
+        y
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Max absolute element difference with another matrix of equal shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.n_rows, other.n_rows);
+        assert_eq!(self.n_cols, other.n_cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Scale every element in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.n_rows, rhs.n_rows);
+        assert_eq!(self.n_cols, rhs.n_cols);
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+            *o += r;
+        }
+        out
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.n_rows, rhs.n_rows);
+        assert_eq!(self.n_cols, rhs.n_cols);
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+            *o -= r;
+        }
+        out
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale(s);
+        out
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Normalize a vector in place; returns its prior norm. Zero vectors are
+/// left untouched and report 0.
+pub fn normalize_in_place(a: &mut [f64]) -> f64 {
+    let n = norm2(a);
+    if n > 0.0 {
+        for v in a.iter_mut() {
+            *v /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_get() {
+        let m = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn col_is_contiguous() {
+        let m = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.col(0), &[1.0, 3.0]);
+        assert_eq!(m.col(1), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Matrix::from_rows(3, 3, &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let i = Matrix::identity(3);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_rows(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.n_rows(), 2);
+        assert_eq!(c.n_cols(), 2);
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_bad_shapes_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(2, 2, &[1., 2., 3., 4.]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(2, 2, &[3.0, 0.0, 4.0, 0.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(1, 2, &[1.0, 2.0]);
+        let b = Matrix::from_rows(1, 2, &[3.0, 5.0]);
+        assert_eq!((&a + &b).row(0), vec![4.0, 7.0]);
+        assert_eq!((&b - &a).row(0), vec![2.0, 3.0]);
+        assert_eq!((&a * 2.0).row(0), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_known() {
+        let a = Matrix::from_rows(1, 2, &[1.0, 2.0]);
+        let b = Matrix::from_rows(1, 2, &[1.5, 1.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn from_diag_builds() {
+        let d = Matrix::from_diag(&[2.0, 3.0]);
+        assert_eq!(d.get(0, 0), 2.0);
+        assert_eq!(d.get(1, 1), 3.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        let mut v = vec![3.0, 4.0];
+        let n = normalize_in_place(&mut v);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize_in_place(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+}

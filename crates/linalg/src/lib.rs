@@ -1,0 +1,29 @@
+//! # fv-linalg — small dense linear algebra for ForestView's analysis engines
+//!
+//! SPELL's signal-balancing step (Hibbs et al. 2007, paper reference [8])
+//! reconstructs each dataset from its dominant singular vectors so that one
+//! overwhelming biological signal cannot drown the search. That requires an
+//! SVD; rather than pulling a heavyweight BLAS dependency into an otherwise
+//! self-contained reproduction, this crate implements the handful of dense
+//! kernels the analysis layer needs:
+//!
+//! - [`dense::Matrix`] — column-major `f64` matrix with the usual ops,
+//! - [`qr`] — Householder QR decomposition,
+//! - [`svd`] — one-sided Jacobi SVD (accurate for the small-to-medium
+//!   condition-count matrices microarray datasets produce),
+//! - [`power`] — power iteration for the dominant eigenpair,
+//! - [`solve`] — linear solves via QR.
+//!
+//! Matrices here are `f64` (not the `f32` of expression storage): these
+//! routines run on per-dataset condition-count-sized problems where the
+//! extra precision is cheap and appreciated.
+
+pub mod dense;
+pub mod power;
+pub mod qr;
+pub mod solve;
+pub mod svd;
+
+pub use dense::Matrix;
+pub use qr::QrDecomposition;
+pub use svd::Svd;

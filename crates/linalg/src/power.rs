@@ -1,0 +1,109 @@
+//! Power iteration for the dominant eigenpair of a symmetric matrix.
+//!
+//! Used as an independent cross-check of the Jacobi SVD (σ₁² equals the top
+//! eigenvalue of AᵀA) and for quick dominant-signal estimates when a full
+//! decomposition is unnecessary.
+
+use crate::dense::{dot, normalize_in_place, Matrix};
+
+/// Dominant eigenvalue and unit eigenvector of a square matrix, by power
+/// iteration with a deterministic start vector.
+///
+/// `max_iter` bounds the work; `tol` is the convergence threshold on the
+/// eigenvector update norm. For symmetric positive semi-definite input
+/// (e.g. Gram matrices) convergence is reliable unless the top two
+/// eigenvalues coincide, in which case any vector in their span is returned.
+pub fn dominant_eigenpair(a: &Matrix, max_iter: usize, tol: f64) -> (f64, Vec<f64>) {
+    assert_eq!(a.n_rows(), a.n_cols(), "power iteration needs a square matrix");
+    let n = a.n_rows();
+    if n == 0 {
+        return (0.0, Vec::new());
+    }
+    // Deterministic, non-degenerate start: varying entries avoid being
+    // orthogonal to the dominant eigenvector for typical matrices.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.01).collect();
+    normalize_in_place(&mut v);
+    let mut lambda = 0.0;
+    for _ in 0..max_iter {
+        let mut w = a.matvec(&v);
+        let norm = normalize_in_place(&mut w);
+        if norm == 0.0 {
+            return (0.0, v); // a annihilates v: zero matrix direction
+        }
+        // Rayleigh quotient for the eigenvalue estimate.
+        let av = a.matvec(&w);
+        lambda = dot(&w, &av);
+        let delta: f64 = w
+            .iter()
+            .zip(&v)
+            .map(|(x, y)| {
+                let d = x - y;
+                let s = x + y; // handle sign flip for negative eigenvalues
+                d.abs().min(s.abs())
+            })
+            .fold(0.0, f64::max);
+        v = w;
+        if delta < tol {
+            break;
+        }
+    }
+    (lambda, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_dominant_eigenpair() {
+        let a = Matrix::from_diag(&[5.0, 2.0, 1.0]);
+        let (lambda, v) = dominant_eigenpair(&a, 200, 1e-12);
+        assert!((lambda - 5.0).abs() < 1e-9);
+        assert!(v[0].abs() > 0.999);
+        assert!(v[1].abs() < 1e-4);
+    }
+
+    #[test]
+    fn symmetric_known_eigenvalue() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(2, 2, &[2., 1., 1., 2.]);
+        let (lambda, v) = dominant_eigenpair(&a, 500, 1e-13);
+        assert!((lambda - 3.0).abs() < 1e-9);
+        // eigenvector ∝ (1,1)/√2
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        assert!((v[0] - v[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_matrix_returns_zero() {
+        let a = Matrix::zeros(3, 3);
+        let (lambda, v) = dominant_eigenpair(&a, 50, 1e-12);
+        assert_eq!(lambda, 0.0);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Matrix::zeros(0, 0);
+        let (lambda, v) = dominant_eigenpair(&a, 10, 1e-12);
+        assert_eq!(lambda, 0.0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn eigen_residual_is_small() {
+        let a = Matrix::from_rows(3, 3, &[4., 1., 0., 1., 3., 1., 0., 1., 2.]);
+        let (lambda, v) = dominant_eigenpair(&a, 1000, 1e-14);
+        let av = a.matvec(&v);
+        for i in 0..3 {
+            assert!((av[i] - lambda * v[i]).abs() < 1e-7, "residual at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let a = Matrix::zeros(2, 3);
+        let _ = dominant_eigenpair(&a, 10, 1e-10);
+    }
+}

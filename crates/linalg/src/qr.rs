@@ -1,0 +1,170 @@
+//! Householder QR decomposition.
+//!
+//! Used by [`crate::solve`] for least-squares fits and by tests as an
+//! independent check on the SVD. Plain, allocation-light Householder
+//! reflections; adequate for the condition-count-sized systems ForestView's
+//! analysis layer produces.
+
+use crate::dense::Matrix;
+
+/// QR decomposition `A = Q R` with `Q` orthogonal (m×m) and `R` upper
+/// trapezoidal (m×n).
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Orthogonal factor, m×m.
+    pub q: Matrix,
+    /// Upper-trapezoidal factor, m×n.
+    pub r: Matrix,
+}
+
+/// Compute the QR decomposition of `a` by Householder reflections.
+pub fn qr(a: &Matrix) -> QrDecomposition {
+    let m = a.n_rows();
+    let n = a.n_cols();
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+    let steps = n.min(m.saturating_sub(1));
+
+    let mut v = vec![0.0; m];
+    for k in 0..steps {
+        // Householder vector for column k below the diagonal.
+        let mut norm_x = 0.0;
+        for i in k..m {
+            let x = r.get(i, k);
+            norm_x += x * x;
+        }
+        let norm_x = norm_x.sqrt();
+        if norm_x == 0.0 {
+            continue;
+        }
+        let alpha = if r.get(k, k) >= 0.0 { -norm_x } else { norm_x };
+        for i in 0..m {
+            v[i] = if i < k { 0.0 } else { r.get(i, k) };
+        }
+        v[k] -= alpha;
+        let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+
+        // R ← (I − 2 v vᵀ / vᵀv) R
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * r.get(i, j);
+            }
+            let f = 2.0 * dot / vnorm2;
+            for i in k..m {
+                let cur = r.get(i, j);
+                r.set(i, j, cur - f * v[i]);
+            }
+        }
+        // Q ← Q (I − 2 v vᵀ / vᵀv)
+        for i in 0..m {
+            let mut dot = 0.0;
+            for l in k..m {
+                dot += q.get(i, l) * v[l];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for l in k..m {
+                let cur = q.get(i, l);
+                q.set(i, l, cur - f * v[l]);
+            }
+        }
+    }
+    // Clean tiny subdiagonal residue so R is exactly triangular for
+    // downstream back-substitution.
+    for c in 0..n {
+        for rr in (c + 1)..m {
+            if r.get(rr, c).abs() < 1e-13 {
+                r.set(rr, c, 0.0);
+            }
+        }
+    }
+    QrDecomposition { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::dot;
+
+    fn reconstruct(d: &QrDecomposition) -> Matrix {
+        d.q.matmul(&d.r)
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert!(
+            a.max_abs_diff(b) < tol,
+            "matrices differ by {}",
+            a.max_abs_diff(b)
+        );
+    }
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let a = Matrix::from_rows(3, 3, &[12., -51., 4., 6., 167., -68., -4., 24., -41.]);
+        let d = qr(&a);
+        assert_close(&reconstruct(&d), &a, 1e-9);
+    }
+
+    #[test]
+    fn qr_q_is_orthogonal() {
+        let a = Matrix::from_rows(3, 3, &[2., 0., 1., 1., 3., 2., 0., 1., 4.]);
+        let d = qr(&a);
+        let qtq = d.q.transpose().matmul(&d.q);
+        assert_close(&qtq, &Matrix::identity(3), 1e-10);
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let a = Matrix::from_rows(4, 3, &[1., 2., 3., 4., 5., 6., 7., 8., 10., 2., 1., 0.]);
+        let d = qr(&a);
+        for c in 0..3 {
+            for r in (c + 1)..4 {
+                assert!(
+                    d.r.get(r, c).abs() < 1e-9,
+                    "R({r},{c}) = {} not ~0",
+                    d.r.get(r, c)
+                );
+            }
+        }
+        assert_close(&reconstruct(&d), &a, 1e-9);
+    }
+
+    #[test]
+    fn qr_tall_matrix() {
+        let a = Matrix::from_rows(5, 2, &[1., 0., 1., 1., 1., 2., 1., 3., 1., 4.]);
+        let d = qr(&a);
+        assert_close(&reconstruct(&d), &a, 1e-10);
+    }
+
+    #[test]
+    fn qr_rank_deficient_does_not_blow_up() {
+        // column 1 = 2 * column 0
+        let a = Matrix::from_rows(3, 2, &[1., 2., 2., 4., 3., 6.]);
+        let d = qr(&a);
+        assert_close(&reconstruct(&d), &a, 1e-10);
+        // the second diagonal of R should be ~0 (rank 1)
+        assert!(d.r.get(1, 1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_identity() {
+        let i = Matrix::identity(4);
+        let d = qr(&i);
+        assert_close(&reconstruct(&d), &i, 1e-12);
+    }
+
+    #[test]
+    fn qr_columns_of_q_orthonormal() {
+        let a = Matrix::from_rows(3, 3, &[3., 1., 0., 1., 3., 1., 0., 1., 3.]);
+        let d = qr(&a);
+        for i in 0..3 {
+            assert!((dot(d.q.col(i), d.q.col(i)) - 1.0).abs() < 1e-10);
+            for j in (i + 1)..3 {
+                assert!(dot(d.q.col(i), d.q.col(j)).abs() < 1e-10);
+            }
+        }
+    }
+}

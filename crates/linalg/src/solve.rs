@@ -1,0 +1,97 @@
+//! Linear solves and least squares via QR.
+
+use crate::dense::Matrix;
+use crate::qr::qr;
+
+/// Solve `A x = b` for square, full-rank `A` via QR and back-substitution.
+/// Returns `None` when `A` is (numerically) singular.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.n_rows(), a.n_cols(), "solve requires a square matrix");
+    assert_eq!(a.n_rows(), b.len(), "rhs length mismatch");
+    lstsq(a, b)
+}
+
+/// Least-squares solution of `min ‖A x − b‖₂` for m ≥ n via QR.
+/// Returns `None` when `A` is rank-deficient at working precision.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let m = a.n_rows();
+    let n = a.n_cols();
+    assert!(m >= n, "lstsq requires rows >= cols");
+    assert_eq!(m, b.len(), "rhs length mismatch");
+    let d = qr(a);
+    // y = Qᵀ b (first n entries matter)
+    let qt = d.q.transpose();
+    let y = qt.matvec(b);
+    // Back-substitute R x = y over the leading n×n block.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let rii = d.r.get(i, i);
+        if rii.abs() < 1e-12 {
+            return None;
+        }
+        let mut s = y[i];
+        for j in (i + 1)..n {
+            s -= d.r.get(i, j) * x[j];
+        }
+        x[i] = s / rii;
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3
+        let a = Matrix::from_rows(2, 2, &[2., 1., 1., 3.]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_identity() {
+        let i = Matrix::identity(3);
+        let x = solve(&i, &[7.0, -2.0, 0.5]).unwrap();
+        assert_eq!(x, vec![7.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = Matrix::from_rows(2, 2, &[1., 2., 2., 4.]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn lstsq_line_fit() {
+        // Fit y = c0 + c1 t through (0,1), (1,3), (2,5): exact line 1 + 2t.
+        let a = Matrix::from_rows(3, 2, &[1., 0., 1., 1., 1., 2.]);
+        let x = lstsq(&a, &[1.0, 3.0, 5.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_noisy() {
+        // Residual of LS solution must be orthogonal to column space.
+        let a = Matrix::from_rows(4, 2, &[1., 0., 1., 1., 1., 2., 1., 3.]);
+        let b = [0.9, 3.2, 4.8, 7.1];
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = (0..4).map(|i| b[i] - ax[i]).collect();
+        // Aᵀ r ≈ 0
+        let at_r = a.transpose().matvec(&resid);
+        for v in at_r {
+            assert!(v.abs() < 1e-9, "normal equations violated: {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn solve_bad_rhs_panics() {
+        let a = Matrix::identity(2);
+        let _ = solve(&a, &[1.0]);
+    }
+}

@@ -1,0 +1,309 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! Jacobi SVD orthogonalizes pairs of columns of `A` by plane rotations
+//! until all pairs are orthogonal; the column norms are then the singular
+//! values. It is simple, numerically robust, and delivers high relative
+//! accuracy — a good fit for the moderate sizes ForestView needs (SPELL
+//! balances datasets with tens-to-hundreds of conditions).
+//!
+//! For matrices with more columns than rows we decompose the transpose and
+//! swap the factors, keeping the sweep count bounded by the smaller
+//! dimension.
+
+use crate::dense::{dot, Matrix};
+
+/// Thin SVD `A = U Σ Vᵀ` with `U` m×k, `Σ` diagonal k×k (stored as a
+/// vector), `V` n×k, where `k = min(m, n)`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, m×k, orthonormal columns.
+    pub u: Matrix,
+    /// Singular values, descending, length k.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, n×k, orthonormal columns.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstruct `U Σ Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.sigma.len();
+        let mut us = self.u.clone();
+        for j in 0..k {
+            let s = self.sigma[j];
+            for v in us.col_mut(j) {
+                *v *= s;
+            }
+        }
+        us.matmul(&self.v.transpose())
+    }
+
+    /// Reconstruct keeping only the top `r` singular triples — the
+    /// rank-`r` approximation SPELL's signal balancing uses.
+    pub fn reconstruct_rank(&self, r: usize) -> Matrix {
+        let k = self.sigma.len().min(r);
+        let m = self.u.n_rows();
+        let n = self.v.n_rows();
+        let mut out = Matrix::zeros(m, n);
+        for t in 0..k {
+            let s = self.sigma[t];
+            if s == 0.0 {
+                continue;
+            }
+            let uc = self.u.col(t);
+            let vc = self.v.col(t);
+            for j in 0..n {
+                let svj = s * vc[j];
+                if svj == 0.0 {
+                    continue;
+                }
+                let ocol = out.col_mut(j);
+                for i in 0..m {
+                    ocol[i] += uc[i] * svj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Effective numerical rank at tolerance `tol` relative to σ₁.
+    pub fn rank(&self, tol: f64) -> usize {
+        let s1 = self.sigma.first().copied().unwrap_or(0.0);
+        if s1 == 0.0 {
+            return 0;
+        }
+        self.sigma.iter().filter(|&&s| s > tol * s1).count()
+    }
+
+    /// Fraction of total squared singular value mass captured by the top
+    /// `r` values (the "energy" of a rank-r approximation).
+    pub fn energy_fraction(&self, r: usize) -> f64 {
+        let total: f64 = self.sigma.iter().map(|s| s * s).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let kept: f64 = self.sigma.iter().take(r).map(|s| s * s).sum();
+        kept / total
+    }
+}
+
+/// Maximum Jacobi sweeps before declaring convergence failure.
+const MAX_SWEEPS: usize = 60;
+
+/// Compute the thin SVD of `a` by one-sided Jacobi rotations.
+pub fn svd(a: &Matrix) -> Svd {
+    if a.n_cols() > a.n_rows() {
+        // Decompose Aᵀ = U' Σ V'ᵀ, then A = V' Σ U'ᵀ.
+        let t = svd(&a.transpose());
+        return Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        };
+    }
+    let m = a.n_rows();
+    let n = a.n_cols();
+    let mut u = a.clone(); // columns will be rotated into orthogonality
+    let mut v = Matrix::identity(n);
+
+    let eps = 1e-14;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (alpha, beta, gamma);
+                {
+                    let cp = u.col(p);
+                    let cq = u.col(q);
+                    alpha = dot(cp, cp);
+                    beta = dot(cq, cq);
+                    gamma = dot(cp, cq);
+                }
+                if alpha == 0.0 || beta == 0.0 {
+                    continue;
+                }
+                let denom = (alpha * beta).sqrt();
+                if denom > 0.0 {
+                    off = off.max(gamma.abs() / denom);
+                }
+                if gamma.abs() <= eps * denom {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p,q) off-diagonal of AᵀA.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let up = u.get(i, p);
+                    let uq = u.get(i, q);
+                    u.set(i, p, c * up - s * uq);
+                    u.set(i, q, s * up + c * uq);
+                }
+                for i in 0..n {
+                    let vp = v.get(i, p);
+                    let vq = v.get(i, q);
+                    v.set(i, p, c * vp - s * vq);
+                    v.set(i, q, s * vp + c * vq);
+                }
+            }
+        }
+        if off < 1e-12 {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalize U's columns.
+    let mut sigma: Vec<f64> = (0..n).map(|j| dot(u.col(j), u.col(j)).sqrt()).collect();
+    for j in 0..n {
+        if sigma[j] > 0.0 {
+            let s = sigma[j];
+            for x in u.col_mut(j) {
+                *x /= s;
+            }
+        }
+    }
+
+    // Sort triples by descending singular value.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    let mut u_sorted = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    let mut s_sorted = vec![0.0; n];
+    for (new_j, &old_j) in order.iter().enumerate() {
+        s_sorted[new_j] = sigma[old_j];
+        u_sorted.col_mut(new_j).copy_from_slice(u.col(old_j));
+        v_sorted.col_mut(new_j).copy_from_slice(v.col(old_j));
+    }
+    sigma = s_sorted;
+
+    Svd {
+        u: u_sorted,
+        sigma,
+        v: v_sorted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        let d = a.max_abs_diff(b);
+        assert!(d < tol, "matrices differ by {d}");
+    }
+
+    fn assert_orthonormal_cols(m: &Matrix, tol: f64) {
+        for i in 0..m.n_cols() {
+            let nii = dot(m.col(i), m.col(i));
+            // zero columns allowed for zero singular values
+            if nii.abs() < tol {
+                continue;
+            }
+            assert!((nii - 1.0).abs() < tol, "col {i} norm² = {nii}");
+            for j in (i + 1)..m.n_cols() {
+                let d = dot(m.col(i), m.col(j)).abs();
+                assert!(d < tol, "cols {i},{j} dot = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_square() {
+        let a = Matrix::from_rows(3, 3, &[4., 0., 0., 0., 3., 0., 0., 0., 2.]);
+        let d = svd(&a);
+        assert_close(&d.reconstruct(), &a, 1e-10);
+        assert!((d.sigma[0] - 4.0).abs() < 1e-10);
+        assert!((d.sigma[1] - 3.0).abs() < 1e-10);
+        assert!((d.sigma[2] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn svd_general_matrix() {
+        let a = Matrix::from_rows(
+            4,
+            3,
+            &[1., 2., 3., -4., 5., 6., 7., -8., 9., 2., 2., 2.],
+        );
+        let d = svd(&a);
+        assert_close(&d.reconstruct(), &a, 1e-9);
+        assert_orthonormal_cols(&d.u, 1e-9);
+        assert_orthonormal_cols(&d.v, 1e-9);
+        // descending
+        for w in d.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_wide_matrix_via_transpose() {
+        let a = Matrix::from_rows(2, 5, &[1., 0., 2., 0., 3., 0., 4., 0., 5., 0.]);
+        let d = svd(&a);
+        assert_eq!(d.u.n_rows(), 2);
+        assert_eq!(d.v.n_rows(), 5);
+        assert_eq!(d.sigma.len(), 2);
+        assert_close(&d.reconstruct(), &a, 1e-9);
+    }
+
+    #[test]
+    fn svd_rank_one() {
+        // outer product → rank 1
+        let a = Matrix::from_rows(3, 3, &[1., 2., 3., 2., 4., 6., 3., 6., 9.]);
+        let d = svd(&a);
+        assert_eq!(d.rank(1e-9), 1);
+        assert_close(&d.reconstruct(), &a, 1e-9);
+        // rank-1 reconstruction is exact here
+        assert_close(&d.reconstruct_rank(1), &a, 1e-9);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::zeros(3, 2);
+        let d = svd(&a);
+        assert_eq!(d.rank(1e-12), 0);
+        assert!(d.sigma.iter().all(|&s| s == 0.0));
+        assert_close(&d.reconstruct(), &a, 1e-12);
+    }
+
+    #[test]
+    fn singular_values_match_eigen_of_gram() {
+        // σᵢ² are eigenvalues of AᵀA; verify the largest against power iteration.
+        let a = Matrix::from_rows(3, 2, &[2., 0., 1., 1., 0., 2.]);
+        let d = svd(&a);
+        let gram = a.transpose().matmul(&a);
+        let (lambda, _) = crate::power::dominant_eigenpair(&gram, 500, 1e-12);
+        assert!((d.sigma[0] * d.sigma[0] - lambda).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rank_r_truncation_energy() {
+        let a = Matrix::from_rows(3, 3, &[10., 0., 0., 0., 1., 0., 0., 0., 0.1]);
+        let d = svd(&a);
+        let e1 = d.energy_fraction(1);
+        assert!(e1 > 0.98, "dominant direction holds most energy: {e1}");
+        assert!((d.energy_fraction(3) - 1.0).abs() < 1e-12);
+        // rank-1 approximation should keep the (0,0) block
+        let r1 = d.reconstruct_rank(1);
+        assert!((r1.get(0, 0) - 10.0).abs() < 1e-8);
+        assert!(r1.get(1, 1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn svd_identity() {
+        let i = Matrix::identity(4);
+        let d = svd(&i);
+        for s in &d.sigma {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert_close(&d.reconstruct(), &i, 1e-10);
+    }
+
+    #[test]
+    fn svd_tall_thin() {
+        let a = Matrix::from_rows(6, 1, &[1., 2., 3., 4., 5., 6.]);
+        let d = svd(&a);
+        let expected = (1.0f64 + 4.0 + 9.0 + 16.0 + 25.0 + 36.0).sqrt();
+        assert!((d.sigma[0] - expected).abs() < 1e-10);
+        assert_close(&d.reconstruct(), &a, 1e-10);
+    }
+}

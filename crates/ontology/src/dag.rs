@@ -1,0 +1,383 @@
+//! The ontology DAG: terms plus `is_a` / `part_of` edges.
+//!
+//! Edges point **child → parent** (the OBO convention: `is_a: GO:xxxx`
+//! names the parent). The builder validates that the graph is acyclic at
+//! construction so every traversal downstream can assume termination.
+
+use crate::term::{Term, TermId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Relationship type between a child term and a parent term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelType {
+    /// `is_a` subsumption.
+    IsA,
+    /// `part_of` composition.
+    PartOf,
+}
+
+impl RelType {
+    /// The OBO spelling.
+    pub fn as_obo(&self) -> &'static str {
+        match self {
+            RelType::IsA => "is_a",
+            RelType::PartOf => "part_of",
+        }
+    }
+}
+
+/// Errors from DAG construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A relationship referenced an accession that was never defined.
+    UnknownAccession(String),
+    /// The same accession was defined twice.
+    DuplicateAccession(String),
+    /// The edge set contains a cycle through the named accession.
+    CycleDetected(String),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownAccession(a) => write!(f, "unknown accession {a:?}"),
+            DagError::DuplicateAccession(a) => write!(f, "duplicate accession {a:?}"),
+            DagError::CycleDetected(a) => write!(f, "cycle detected involving {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Builder for an [`OntologyDag`].
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    terms: Vec<Term>,
+    by_acc: HashMap<String, TermId>,
+    edges: Vec<(TermId, TermId, RelType)>, // (child, parent, rel)
+    pending: Vec<(String, String, RelType)>,
+}
+
+impl DagBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        DagBuilder::default()
+    }
+
+    /// Add a term; accessions must be unique.
+    pub fn add_term(&mut self, term: Term) -> Result<TermId, DagError> {
+        if self.by_acc.contains_key(&term.accession) {
+            return Err(DagError::DuplicateAccession(term.accession.clone()));
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.by_acc.insert(term.accession.clone(), id);
+        self.terms.push(term);
+        Ok(id)
+    }
+
+    /// Add an edge by term ids.
+    pub fn add_edge(&mut self, child: TermId, parent: TermId, rel: RelType) {
+        self.edges.push((child, parent, rel));
+    }
+
+    /// Add an edge by accessions; resolved at [`DagBuilder::build`] time so
+    /// stanzas may reference terms defined later in the file.
+    pub fn add_edge_by_accession(&mut self, child: &str, parent: &str, rel: RelType) {
+        self.pending
+            .push((child.to_string(), parent.to_string(), rel));
+    }
+
+    /// Validate and freeze into an immutable DAG.
+    pub fn build(mut self) -> Result<OntologyDag, DagError> {
+        for (c, p, rel) in std::mem::take(&mut self.pending) {
+            let ci = *self
+                .by_acc
+                .get(&c)
+                .ok_or(DagError::UnknownAccession(c.clone()))?;
+            let pi = *self
+                .by_acc
+                .get(&p)
+                .ok_or(DagError::UnknownAccession(p.clone()))?;
+            self.edges.push((ci, pi, rel));
+        }
+        let n = self.terms.len();
+        let mut parents: Vec<Vec<(TermId, RelType)>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<(TermId, RelType)>> = vec![Vec::new(); n];
+        for &(c, p, rel) in &self.edges {
+            parents[c.index()].push((p, rel));
+            children[p.index()].push((c, rel));
+        }
+        // Deduplicate and sort adjacency for deterministic traversal.
+        for adj in parents.iter_mut().chain(children.iter_mut()) {
+            adj.sort_by_key(|&(t, r)| (t, r.as_obo()));
+            adj.dedup();
+        }
+
+        // Kahn's algorithm over child→parent edges: peel nodes whose
+        // unprocessed-parent count is zero (roots first), walking downward.
+        let mut remaining: Vec<usize> = (0..n).map(|i| parents[i].len()).collect();
+        let mut stack: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let mut topo: Vec<TermId> = Vec::with_capacity(n);
+        while let Some(i) = stack.pop() {
+            topo.push(TermId(i as u32));
+            for &(child, _) in &children[i] {
+                let ci = child.index();
+                remaining[ci] -= 1;
+                if remaining[ci] == 0 {
+                    stack.push(ci);
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck = (0..n).find(|&i| remaining[i] > 0).unwrap();
+            return Err(DagError::CycleDetected(self.terms[stuck].accession.clone()));
+        }
+
+        // Depth: shortest hop count from any root (root depth 0), computed
+        // in topological order (parents before children).
+        let mut depth = vec![0u32; n];
+        for &t in &topo {
+            let i = t.index();
+            if !parents[i].is_empty() {
+                depth[i] = parents[i]
+                    .iter()
+                    .map(|&(p, _)| depth[p.index()] + 1)
+                    .min()
+                    .unwrap();
+            }
+        }
+
+        Ok(OntologyDag {
+            terms: self.terms,
+            by_acc: self.by_acc,
+            parents,
+            children,
+            topo_root_first: topo,
+            depth,
+        })
+    }
+}
+
+/// Immutable, validated ontology DAG.
+#[derive(Debug, Clone)]
+pub struct OntologyDag {
+    terms: Vec<Term>,
+    by_acc: HashMap<String, TermId>,
+    parents: Vec<Vec<(TermId, RelType)>>,
+    children: Vec<Vec<(TermId, RelType)>>,
+    /// Topological order with roots first.
+    topo_root_first: Vec<TermId>,
+    depth: Vec<u32>,
+}
+
+impl OntologyDag {
+    /// Number of terms.
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.parents.iter().map(|p| p.len()).sum()
+    }
+
+    /// Term metadata by id.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Resolve an accession.
+    pub fn lookup(&self, accession: &str) -> Option<TermId> {
+        self.by_acc.get(accession).copied()
+    }
+
+    /// Direct parents (with relationship types).
+    pub fn parents(&self, id: TermId) -> &[(TermId, RelType)] {
+        &self.parents[id.index()]
+    }
+
+    /// Direct children (with relationship types).
+    pub fn children(&self, id: TermId) -> &[(TermId, RelType)] {
+        &self.children[id.index()]
+    }
+
+    /// Terms with no parents.
+    pub fn roots(&self) -> Vec<TermId> {
+        (0..self.terms.len())
+            .filter(|&i| self.parents[i].is_empty())
+            .map(|i| TermId(i as u32))
+            .collect()
+    }
+
+    /// Terms with no children.
+    pub fn leaves(&self) -> Vec<TermId> {
+        (0..self.terms.len())
+            .filter(|&i| self.children[i].is_empty())
+            .map(|i| TermId(i as u32))
+            .collect()
+    }
+
+    /// Topological order, roots first. Parents always precede children.
+    pub fn topological_order(&self) -> &[TermId] {
+        &self.topo_root_first
+    }
+
+    /// Minimum hop distance from a root.
+    pub fn depth(&self, id: TermId) -> u32 {
+        self.depth[id.index()]
+    }
+
+    /// All term ids.
+    pub fn ids(&self) -> impl Iterator<Item = TermId> + '_ {
+        (0..self.terms.len() as u32).map(TermId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Namespace;
+
+    fn t(acc: &str) -> Term {
+        Term::new(acc, format!("name {acc}"), Namespace::BiologicalProcess)
+    }
+
+    /// Diamond: D → B → A, D → C → A.
+    fn diamond() -> OntologyDag {
+        let mut b = DagBuilder::new();
+        let a = b.add_term(t("GO:A")).unwrap();
+        let bb = b.add_term(t("GO:B")).unwrap();
+        let c = b.add_term(t("GO:C")).unwrap();
+        let d = b.add_term(t("GO:D")).unwrap();
+        b.add_edge(bb, a, RelType::IsA);
+        b.add_edge(c, a, RelType::IsA);
+        b.add_edge(d, bb, RelType::IsA);
+        b.add_edge(d, c, RelType::PartOf);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let g = diamond();
+        assert_eq!(g.n_terms(), 4);
+        assert_eq!(g.n_edges(), 4);
+        let a = g.lookup("GO:A").unwrap();
+        let d = g.lookup("GO:D").unwrap();
+        assert_eq!(g.roots(), vec![a]);
+        assert_eq!(g.leaves(), vec![d]);
+        assert_eq!(g.parents(d).len(), 2);
+        assert_eq!(g.children(a).len(), 2);
+    }
+
+    #[test]
+    fn depth_shortest_path() {
+        let g = diamond();
+        assert_eq!(g.depth(g.lookup("GO:A").unwrap()), 0);
+        assert_eq!(g.depth(g.lookup("GO:B").unwrap()), 1);
+        assert_eq!(g.depth(g.lookup("GO:D").unwrap()), 2);
+    }
+
+    #[test]
+    fn topo_parents_before_children() {
+        let g = diamond();
+        let order = g.topological_order();
+        let pos: std::collections::HashMap<TermId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for id in g.ids() {
+            for &(p, _) in g.parents(id) {
+                assert!(pos[&p] < pos[&id], "parent after child in topo order");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = DagBuilder::new();
+        let x = b.add_term(t("GO:X")).unwrap();
+        let y = b.add_term(t("GO:Y")).unwrap();
+        b.add_edge(x, y, RelType::IsA);
+        b.add_edge(y, x, RelType::IsA);
+        assert!(matches!(b.build(), Err(DagError::CycleDetected(_))));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = DagBuilder::new();
+        let x = b.add_term(t("GO:X")).unwrap();
+        b.add_edge(x, x, RelType::IsA);
+        assert!(matches!(b.build(), Err(DagError::CycleDetected(_))));
+    }
+
+    #[test]
+    fn duplicate_accession_rejected() {
+        let mut b = DagBuilder::new();
+        b.add_term(t("GO:X")).unwrap();
+        assert_eq!(
+            b.add_term(t("GO:X")).unwrap_err(),
+            DagError::DuplicateAccession("GO:X".into())
+        );
+    }
+
+    #[test]
+    fn pending_edge_unknown_accession() {
+        let mut b = DagBuilder::new();
+        b.add_term(t("GO:X")).unwrap();
+        b.add_edge_by_accession("GO:X", "GO:NOPE", RelType::IsA);
+        assert_eq!(
+            b.build().unwrap_err(),
+            DagError::UnknownAccession("GO:NOPE".into())
+        );
+    }
+
+    #[test]
+    fn pending_edges_forward_reference() {
+        let mut b = DagBuilder::new();
+        b.add_edge_by_accession("GO:CHILD", "GO:PARENT", RelType::IsA);
+        b.add_term(t("GO:CHILD")).unwrap();
+        b.add_term(t("GO:PARENT")).unwrap();
+        let g = b.build().unwrap();
+        let c = g.lookup("GO:CHILD").unwrap();
+        let p = g.lookup("GO:PARENT").unwrap();
+        assert_eq!(g.parents(c), &[(p, RelType::IsA)]);
+    }
+
+    #[test]
+    fn duplicate_edges_deduplicated() {
+        let mut b = DagBuilder::new();
+        let x = b.add_term(t("GO:X")).unwrap();
+        let y = b.add_term(t("GO:Y")).unwrap();
+        b.add_edge(x, y, RelType::IsA);
+        b.add_edge(x, y, RelType::IsA);
+        let g = b.build().unwrap();
+        assert_eq!(g.parents(x).len(), 1);
+    }
+
+    #[test]
+    fn same_pair_different_rels_kept() {
+        let mut b = DagBuilder::new();
+        let x = b.add_term(t("GO:X")).unwrap();
+        let y = b.add_term(t("GO:Y")).unwrap();
+        b.add_edge(x, y, RelType::IsA);
+        b.add_edge(x, y, RelType::PartOf);
+        let g = b.build().unwrap();
+        assert_eq!(g.parents(x).len(), 2);
+    }
+
+    #[test]
+    fn empty_dag_ok() {
+        let g = DagBuilder::new().build().unwrap();
+        assert_eq!(g.n_terms(), 0);
+        assert!(g.roots().is_empty());
+    }
+
+    #[test]
+    fn multiple_roots() {
+        let mut b = DagBuilder::new();
+        b.add_term(t("GO:R1")).unwrap();
+        b.add_term(t("GO:R2")).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.roots().len(), 2);
+        assert_eq!(g.leaves().len(), 2);
+    }
+}

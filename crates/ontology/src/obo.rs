@@ -1,0 +1,327 @@
+//! Parser and writer for the OBO-flavoured flat-file format GO ships in.
+//!
+//! We implement the subset GOLEM needs: `[Term]` stanzas with `id`, `name`,
+//! `namespace`, `def`, `is_a`, `relationship: part_of`, and `is_obsolete`.
+//! Unknown tags and stanza types are skipped, matching how real OBO
+//! consumers tolerate format evolution. Obsolete terms are parsed but get
+//! no edges (GO strips relationships from obsolete terms).
+
+use crate::dag::{DagBuilder, DagError, OntologyDag, RelType};
+use crate::term::{Namespace, Term, TermId};
+use std::fmt;
+
+/// Errors from OBO parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OboError {
+    /// A `[Term]` stanza ended without an `id:` tag (line number given).
+    MissingId(usize),
+    /// Graph-level validation failed after parsing.
+    Dag(DagError),
+}
+
+impl fmt::Display for OboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OboError::MissingId(line) => write!(f, "[Term] stanza near line {line} has no id:"),
+            OboError::Dag(e) => write!(f, "ontology graph invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OboError {}
+
+impl From<DagError> for OboError {
+    fn from(e: DagError) -> Self {
+        OboError::Dag(e)
+    }
+}
+
+#[derive(Default)]
+struct Stanza {
+    id: Option<String>,
+    name: String,
+    namespace: Namespace,
+    definition: String,
+    obsolete: bool,
+    is_a: Vec<String>,
+    part_of: Vec<String>,
+    start_line: usize,
+}
+
+/// Parse OBO text into a validated [`OntologyDag`].
+pub fn parse_obo(text: &str) -> Result<OntologyDag, OboError> {
+    let mut builder = DagBuilder::new();
+    let mut current: Option<Stanza> = None;
+    let mut in_term_stanza = false;
+
+    let flush = |stanza: Option<Stanza>, builder: &mut DagBuilder| -> Result<(), OboError> {
+        if let Some(s) = stanza {
+            let id = s.id.ok_or(OboError::MissingId(s.start_line))?;
+            let term = Term {
+                accession: id.clone(),
+                name: s.name,
+                namespace: s.namespace,
+                definition: s.definition,
+                obsolete: s.obsolete,
+            };
+            builder.add_term(term)?;
+            if !s.obsolete {
+                for p in s.is_a {
+                    builder.add_edge_by_accession(&id, &p, RelType::IsA);
+                }
+                for p in s.part_of {
+                    builder.add_edge_by_accession(&id, &p, RelType::PartOf);
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        // Strip trailing comments (unescaped `!`), then whitespace.
+        let line = match raw.find('!') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(current.take(), &mut builder)?;
+            in_term_stanza = line == "[Term]";
+            if in_term_stanza {
+                current = Some(Stanza {
+                    start_line: lineno + 1,
+                    ..Stanza::default()
+                });
+            }
+            continue;
+        }
+        if !in_term_stanza {
+            continue; // header lines or non-Term stanzas
+        }
+        let Some(stanza) = current.as_mut() else {
+            continue;
+        };
+        let Some((tag, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match tag.trim() {
+            "id" => stanza.id = Some(value.to_string()),
+            "name" => stanza.name = value.to_string(),
+            "namespace" => {
+                if let Some(ns) = Namespace::from_obo(value) {
+                    stanza.namespace = ns;
+                }
+            }
+            "def" => {
+                // def: "text" [refs] — keep the quoted part.
+                let def = value
+                    .split('"')
+                    .nth(1)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| value.to_string());
+                stanza.definition = def;
+            }
+            "is_a" => {
+                // is_a: GO:0008150 (name after ! already stripped)
+                if let Some(acc) = value.split_whitespace().next() {
+                    stanza.is_a.push(acc.to_string());
+                }
+            }
+            "relationship" => {
+                // relationship: part_of GO:0008150
+                let mut parts = value.split_whitespace();
+                if parts.next() == Some("part_of") {
+                    if let Some(acc) = parts.next() {
+                        stanza.part_of.push(acc.to_string());
+                    }
+                }
+            }
+            "is_obsolete" => stanza.obsolete = value == "true",
+            _ => {}
+        }
+    }
+    flush(current.take(), &mut builder)?;
+    Ok(builder.build()?)
+}
+
+/// Serialize a DAG back to OBO text (stable order: term id order).
+pub fn write_obo(dag: &OntologyDag) -> String {
+    let mut out = String::with_capacity(dag.n_terms() * 96);
+    out.push_str("format-version: 1.2\nontology: fv\n");
+    for id in dag.ids() {
+        let t = dag.term(id);
+        out.push_str("\n[Term]\n");
+        out.push_str(&format!("id: {}\n", t.accession));
+        out.push_str(&format!("name: {}\n", t.name));
+        out.push_str(&format!("namespace: {}\n", t.namespace.as_obo()));
+        if !t.definition.is_empty() {
+            out.push_str(&format!("def: \"{}\" []\n", t.definition));
+        }
+        if t.obsolete {
+            out.push_str("is_obsolete: true\n");
+        }
+        for &(p, rel) in dag.parents(id) {
+            let pacc = &dag.term(p).accession;
+            match rel {
+                RelType::IsA => out.push_str(&format!("is_a: {pacc}\n")),
+                RelType::PartOf => out.push_str(&format!("relationship: part_of {pacc}\n")),
+            }
+        }
+    }
+    out
+}
+
+/// Accessions of all non-obsolete terms, in id order (handy for tests).
+pub fn live_accessions(dag: &OntologyDag) -> Vec<&str> {
+    dag.ids()
+        .filter(|&i| !dag.term(i).obsolete)
+        .map(|i| dag.term(i).accession.as_str())
+        .collect()
+}
+
+/// Look up several accessions at once, ignoring unknowns.
+pub fn lookup_many(dag: &OntologyDag, accessions: &[&str]) -> Vec<TermId> {
+    accessions.iter().filter_map(|a| dag.lookup(a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"format-version: 1.2
+ontology: go
+
+[Term]
+id: GO:0008150
+name: biological_process
+namespace: biological_process
+def: "Any process specifically pertinent to the functioning of integrated living units." [GOC:go_curators]
+
+[Term]
+id: GO:0006950
+name: response to stress
+namespace: biological_process
+is_a: GO:0008150 ! biological_process
+
+[Term]
+id: GO:0009408
+name: response to heat
+namespace: biological_process
+is_a: GO:0006950 ! response to stress
+relationship: part_of GO:0008150 ! biological_process
+
+[Term]
+id: GO:0000001
+name: old term
+namespace: biological_process
+is_obsolete: true
+is_a: GO:0008150
+
+[Typedef]
+id: part_of
+name: part of
+"#;
+
+    #[test]
+    fn parse_counts() {
+        let g = parse_obo(SAMPLE).unwrap();
+        assert_eq!(g.n_terms(), 4);
+        // obsolete term's edges dropped: 1 (stress→bp) + 2 (heat→stress, heat part_of bp)
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn parse_relationships() {
+        let g = parse_obo(SAMPLE).unwrap();
+        let heat = g.lookup("GO:0009408").unwrap();
+        let stress = g.lookup("GO:0006950").unwrap();
+        let bp = g.lookup("GO:0008150").unwrap();
+        let parents = g.parents(heat);
+        assert!(parents.contains(&(stress, RelType::IsA)));
+        assert!(parents.contains(&(bp, RelType::PartOf)));
+    }
+
+    #[test]
+    fn parse_def_extracts_quoted() {
+        let g = parse_obo(SAMPLE).unwrap();
+        let bp = g.lookup("GO:0008150").unwrap();
+        assert!(g.term(bp).definition.starts_with("Any process"));
+    }
+
+    #[test]
+    fn obsolete_flag_and_no_edges() {
+        let g = parse_obo(SAMPLE).unwrap();
+        let old = g.lookup("GO:0000001").unwrap();
+        assert!(g.term(old).obsolete);
+        assert!(g.parents(old).is_empty());
+    }
+
+    #[test]
+    fn typedef_stanza_skipped() {
+        let g = parse_obo(SAMPLE).unwrap();
+        assert!(g.lookup("part_of").is_none());
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let text = "[Term]\nid: GO:1 ! trailing comment\nname: x\n";
+        let g = parse_obo(text).unwrap();
+        assert!(g.lookup("GO:1").is_some());
+    }
+
+    #[test]
+    fn missing_id_is_error() {
+        let text = "[Term]\nname: anonymous\n";
+        assert!(matches!(parse_obo(text), Err(OboError::MissingId(_))));
+    }
+
+    #[test]
+    fn unknown_parent_is_error() {
+        let text = "[Term]\nid: GO:1\nname: a\nis_a: GO:MISSING\n";
+        assert!(matches!(
+            parse_obo(text),
+            Err(OboError::Dag(DagError::UnknownAccession(_)))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g1 = parse_obo(SAMPLE).unwrap();
+        let text = write_obo(&g1);
+        let g2 = parse_obo(&text).unwrap();
+        assert_eq!(g1.n_terms(), g2.n_terms());
+        assert_eq!(g1.n_edges(), g2.n_edges());
+        for id in g1.ids() {
+            let acc = &g1.term(id).accession;
+            let id2 = g2.lookup(acc).expect("term survives roundtrip");
+            assert_eq!(g1.term(id).name, g2.term(id2).name);
+            assert_eq!(g1.term(id).obsolete, g2.term(id2).obsolete);
+            assert_eq!(g1.parents(id).len(), g2.parents(id2).len());
+        }
+    }
+
+    #[test]
+    fn lookup_many_ignores_unknown() {
+        let g = parse_obo(SAMPLE).unwrap();
+        let ids = lookup_many(&g, &["GO:0008150", "GO:NOPE", "GO:0009408"]);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn live_accessions_excludes_obsolete() {
+        let g = parse_obo(SAMPLE).unwrap();
+        let acc = live_accessions(&g);
+        assert_eq!(acc.len(), 3);
+        assert!(!acc.contains(&"GO:0000001"));
+    }
+
+    #[test]
+    fn empty_input_parses_empty_dag() {
+        let g = parse_obo("").unwrap();
+        assert_eq!(g.n_terms(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Traversal queries over the ontology DAG.
+//!
+//! These are the graph operations behind GOLEM's local exploration map:
+//! ancestor/descendant closures, radius-bounded neighbourhoods, and lowest
+//! common ancestors (used to relate two enriched terms).
+
+use crate::dag::OntologyDag;
+use crate::term::TermId;
+use std::collections::{HashSet, VecDeque};
+
+/// All ancestors of `start` (excluding `start` itself), unordered.
+pub fn ancestors(dag: &OntologyDag, start: TermId) -> Vec<TermId> {
+    let mut seen: HashSet<TermId> = HashSet::new();
+    let mut queue: VecDeque<TermId> = VecDeque::new();
+    queue.push_back(start);
+    while let Some(t) = queue.pop_front() {
+        for &(p, _) in dag.parents(t) {
+            if seen.insert(p) {
+                queue.push_back(p);
+            }
+        }
+    }
+    let mut v: Vec<TermId> = seen.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// All descendants of `start` (excluding `start` itself), unordered.
+pub fn descendants(dag: &OntologyDag, start: TermId) -> Vec<TermId> {
+    let mut seen: HashSet<TermId> = HashSet::new();
+    let mut queue: VecDeque<TermId> = VecDeque::new();
+    queue.push_back(start);
+    while let Some(t) = queue.pop_front() {
+        for &(c, _) in dag.children(t) {
+            if seen.insert(c) {
+                queue.push_back(c);
+            }
+        }
+    }
+    let mut v: Vec<TermId> = seen.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Terms within `radius` undirected hops of `focus`, including `focus`.
+/// This is the node set of a GOLEM local exploration map.
+pub fn neighbourhood(dag: &OntologyDag, focus: TermId, radius: u32) -> Vec<TermId> {
+    let mut dist: Vec<Option<u32>> = vec![None; dag.n_terms()];
+    dist[focus.index()] = Some(0);
+    let mut queue: VecDeque<TermId> = VecDeque::new();
+    queue.push_back(focus);
+    while let Some(t) = queue.pop_front() {
+        let d = dist[t.index()].unwrap();
+        if d == radius {
+            continue;
+        }
+        let nbrs = dag
+            .parents(t)
+            .iter()
+            .map(|&(p, _)| p)
+            .chain(dag.children(t).iter().map(|&(c, _)| c));
+        for n in nbrs {
+            if dist[n.index()].is_none() {
+                dist[n.index()] = Some(d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    let mut v: Vec<TermId> = (0..dag.n_terms() as u32)
+        .map(TermId)
+        .filter(|t| dist[t.index()].is_some())
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Undirected hop distance from `focus` for every term in the DAG
+/// (`None` = unreachable). Used to annotate local-map nodes with distance.
+pub fn hop_distances(dag: &OntologyDag, focus: TermId) -> Vec<Option<u32>> {
+    let mut dist: Vec<Option<u32>> = vec![None; dag.n_terms()];
+    dist[focus.index()] = Some(0);
+    let mut queue: VecDeque<TermId> = VecDeque::new();
+    queue.push_back(focus);
+    while let Some(t) = queue.pop_front() {
+        let d = dist[t.index()].unwrap();
+        let nbrs = dag
+            .parents(t)
+            .iter()
+            .map(|&(p, _)| p)
+            .chain(dag.children(t).iter().map(|&(c, _)| c));
+        for n in nbrs {
+            if dist[n.index()].is_none() {
+                dist[n.index()] = Some(d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+/// Lowest common ancestors of `a` and `b`: the common ancestors (including
+/// `a`/`b` themselves) of maximal depth. GO is a DAG, so there may be several.
+pub fn lowest_common_ancestors(dag: &OntologyDag, a: TermId, b: TermId) -> Vec<TermId> {
+    let mut anc_a: HashSet<TermId> = ancestors(dag, a).into_iter().collect();
+    anc_a.insert(a);
+    let mut anc_b: HashSet<TermId> = ancestors(dag, b).into_iter().collect();
+    anc_b.insert(b);
+    let common: Vec<TermId> = anc_a.intersection(&anc_b).copied().collect();
+    let max_depth = common.iter().map(|&t| dag.depth(t)).max();
+    match max_depth {
+        None => Vec::new(),
+        Some(d) => {
+            let mut v: Vec<TermId> = common
+                .into_iter()
+                .filter(|&t| dag.depth(t) == d)
+                .collect();
+            v.sort_unstable();
+            v
+        }
+    }
+}
+
+/// Every (child, parent) edge with both endpoints inside `nodes`.
+/// These are the edges a local exploration map draws.
+pub fn induced_edges(dag: &OntologyDag, nodes: &[TermId]) -> Vec<(TermId, TermId)> {
+    let set: HashSet<TermId> = nodes.iter().copied().collect();
+    let mut edges = Vec::new();
+    for &n in nodes {
+        for &(p, _) in dag.parents(n) {
+            if set.contains(&p) {
+                edges.push((n, p));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{DagBuilder, RelType};
+    use crate::term::{Namespace, Term};
+
+    /// Build:        R
+    ///              / \
+    ///             A   B
+    ///            / \ /
+    ///           C   D
+    ///           |
+    ///           E
+    fn dag() -> (OntologyDag, [TermId; 6]) {
+        let mut b = DagBuilder::new();
+        let names = ["R", "A", "B", "C", "D", "E"];
+        let ids: Vec<TermId> = names
+            .iter()
+            .map(|n| {
+                b.add_term(Term::new(format!("GO:{n}"), *n, Namespace::BiologicalProcess))
+                    .unwrap()
+            })
+            .collect();
+        let [r, a, bb, c, d, e] = [ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]];
+        b.add_edge(a, r, RelType::IsA);
+        b.add_edge(bb, r, RelType::IsA);
+        b.add_edge(c, a, RelType::IsA);
+        b.add_edge(d, a, RelType::IsA);
+        b.add_edge(d, bb, RelType::IsA);
+        b.add_edge(e, c, RelType::IsA);
+        (b.build().unwrap(), [r, a, bb, c, d, e])
+    }
+
+    #[test]
+    fn ancestors_closure() {
+        let (g, [r, a, _, c, _, e]) = dag();
+        assert_eq!(ancestors(&g, e), vec![r, a, c]);
+        assert_eq!(ancestors(&g, r), vec![]);
+    }
+
+    #[test]
+    fn descendants_closure() {
+        let (g, [_, a, _, c, d, e]) = dag();
+        assert_eq!(descendants(&g, a), vec![c, d, e]);
+        assert_eq!(descendants(&g, e), vec![]);
+    }
+
+    #[test]
+    fn ancestors_multi_parent() {
+        let (g, [r, a, bb, _, d, _]) = dag();
+        assert_eq!(ancestors(&g, d), vec![r, a, bb]);
+    }
+
+    #[test]
+    fn neighbourhood_radius_zero_is_self() {
+        let (g, [_, a, ..]) = dag();
+        assert_eq!(neighbourhood(&g, a, 0), vec![a]);
+    }
+
+    #[test]
+    fn neighbourhood_radius_one() {
+        let (g, [r, a, _, c, d, _]) = dag();
+        let n = neighbourhood(&g, a, 1);
+        assert_eq!(n, vec![r, a, c, d]);
+    }
+
+    #[test]
+    fn neighbourhood_radius_two_covers_graph() {
+        let (g, ids) = dag();
+        let n = neighbourhood(&g, ids[1], 2);
+        assert_eq!(n.len(), 6); // whole graph within 2 hops of A
+    }
+
+    #[test]
+    fn hop_distances_match_neighbourhood() {
+        let (g, [_, a, ..]) = dag();
+        let d = hop_distances(&g, a);
+        let n1 = neighbourhood(&g, a, 1);
+        for t in g.ids() {
+            let within = d[t.index()].map(|x| x <= 1).unwrap_or(false);
+            assert_eq!(within, n1.contains(&t));
+        }
+    }
+
+    #[test]
+    fn lca_simple() {
+        let (g, [_, a, _, c, d, e]) = dag();
+        // C and D share ancestor A (depth 1) and R (depth 0) → LCA = A
+        assert_eq!(lowest_common_ancestors(&g, c, d), vec![a]);
+        // E under C: LCA(E, D) = A as well
+        assert_eq!(lowest_common_ancestors(&g, e, d), vec![a]);
+    }
+
+    #[test]
+    fn lca_of_ancestor_descendant_is_ancestor() {
+        let (g, [_, a, _, _, _, e]) = dag();
+        assert_eq!(lowest_common_ancestors(&g, a, e), vec![a]);
+    }
+
+    #[test]
+    fn lca_self() {
+        let (g, [_, a, ..]) = dag();
+        assert_eq!(lowest_common_ancestors(&g, a, a), vec![a]);
+    }
+
+    #[test]
+    fn lca_disjoint_roots_empty() {
+        let mut b = DagBuilder::new();
+        let x = b.add_term(Term::new("GO:X", "x", Namespace::BiologicalProcess)).unwrap();
+        let y = b.add_term(Term::new("GO:Y", "y", Namespace::BiologicalProcess)).unwrap();
+        let g = b.build().unwrap();
+        assert!(lowest_common_ancestors(&g, x, y).is_empty());
+    }
+
+    #[test]
+    fn induced_edges_subset() {
+        let (g, [r, a, _, c, d, _]) = dag();
+        let nodes = vec![r, a, c, d];
+        let e = induced_edges(&g, &nodes);
+        assert!(e.contains(&(a, r)));
+        assert!(e.contains(&(c, a)));
+        assert!(e.contains(&(d, a)));
+        // d→bb excluded because bb not in node set
+        assert_eq!(e.len(), 3);
+    }
+}

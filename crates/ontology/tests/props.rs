@@ -1,0 +1,138 @@
+//! Property-based tests of the ontology DAG and annotation propagation.
+
+use fv_ontology::annotations::AnnotationSet;
+use fv_ontology::dag::{DagBuilder, OntologyDag, RelType};
+use fv_ontology::query::{ancestors, descendants, hop_distances, neighbourhood};
+use fv_ontology::term::{Namespace, Term, TermId};
+use proptest::prelude::*;
+
+// A random DAG: term i (i ≥ 1) picks 1–2 parents among terms < i, so the
+// structure is acyclic by construction but has multi-parent nodes.
+prop_compose! {
+    fn arb_dag()(
+        n in 2usize..40,
+        parent_picks in prop::collection::vec((any::<u64>(), any::<bool>()), 40),
+    ) -> OntologyDag {
+        let mut b = DagBuilder::new();
+        for i in 0..n {
+            b.add_term(Term::new(format!("GO:{i:04}"), format!("term {i}"), Namespace::BiologicalProcess)).unwrap();
+        }
+        for i in 1..n {
+            let (pick, second) = parent_picks[i % parent_picks.len()];
+            let p1 = (pick as usize) % i;
+            b.add_edge(TermId(i as u32), TermId(p1 as u32), RelType::IsA);
+            if second && i > 1 {
+                let p2 = ((pick >> 32) as usize) % i;
+                if p2 != p1 {
+                    b.add_edge(TermId(i as u32), TermId(p2 as u32), RelType::PartOf);
+                }
+            }
+        }
+        b.build().expect("construction is acyclic")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn topo_order_respects_edges(dag in arb_dag()) {
+        let order = dag.topological_order();
+        prop_assert_eq!(order.len(), dag.n_terms());
+        let pos: std::collections::HashMap<TermId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for t in dag.ids() {
+            for &(p, _) in dag.parents(t) {
+                prop_assert!(pos[&p] < pos[&t], "parent after child");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_min_parent_depth_plus_one(dag in arb_dag()) {
+        for t in dag.ids() {
+            let parents = dag.parents(t);
+            if parents.is_empty() {
+                prop_assert_eq!(dag.depth(t), 0);
+            } else {
+                let expect = parents.iter().map(|&(p, _)| dag.depth(p) + 1).min().unwrap();
+                prop_assert_eq!(dag.depth(t), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_descendants_dual(dag in arb_dag(), a in any::<u32>(), b in any::<u32>()) {
+        let n = dag.n_terms() as u32;
+        let x = TermId(a % n);
+        let y = TermId(b % n);
+        let x_anc = ancestors(&dag, x);
+        let y_desc = descendants(&dag, y);
+        // y ∈ ancestors(x) ⟺ x ∈ descendants(y)
+        prop_assert_eq!(x_anc.contains(&y), y_desc.contains(&x));
+    }
+
+    #[test]
+    fn neighbourhood_monotone_in_radius(dag in arb_dag(), f in any::<u32>()) {
+        let focus = TermId(f % dag.n_terms() as u32);
+        let mut last: Vec<TermId> = vec![focus];
+        for r in 0..4u32 {
+            let nb = neighbourhood(&dag, focus, r);
+            for t in &last {
+                prop_assert!(nb.contains(t), "radius {r} lost a node");
+            }
+            last = nb;
+        }
+    }
+
+    #[test]
+    fn hop_distances_triangle(dag in arb_dag(), f in any::<u32>()) {
+        let focus = TermId(f % dag.n_terms() as u32);
+        let dist = hop_distances(&dag, focus);
+        prop_assert_eq!(dist[focus.index()], Some(0));
+        // each node's distance differs by exactly ≤1 from some neighbour
+        for t in dag.ids() {
+            if t == focus { continue; }
+            if let Some(d) = dist[t.index()] {
+                let nbrs: Vec<TermId> = dag
+                    .parents(t).iter().map(|&(p, _)| p)
+                    .chain(dag.children(t).iter().map(|&(c, _)| c))
+                    .collect();
+                prop_assert!(
+                    nbrs.iter().any(|n| dist[n.index()] == Some(d - 1)),
+                    "no neighbour at distance {}", d - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_closure(dag in arb_dag(), annotations in prop::collection::vec((any::<u32>(), any::<u32>()), 1..60)) {
+        let n = dag.n_terms() as u32;
+        let mut ann = AnnotationSet::new();
+        for (g, t) in &annotations {
+            ann.annotate(&format!("g{}", g % 10), TermId(t % n));
+        }
+        let prop_ann = ann.propagate(&dag);
+        // Invariant 1: parent count ≥ child count (genes flow upward).
+        for t in dag.ids() {
+            for &(p, _) in dag.parents(t) {
+                prop_assert!(
+                    prop_ann.count(p) >= prop_ann.count(t),
+                    "parent {} has fewer genes than child {}",
+                    dag.term(p).accession, dag.term(t).accession
+                );
+            }
+        }
+        // Invariant 2: direct annotation implies propagated annotation at
+        // every ancestor.
+        for (g, t) in &annotations {
+            let gene = format!("g{}", g % 10);
+            let term = TermId(t % n);
+            prop_assert!(prop_ann.is_annotated(&gene, term));
+            for anc in ancestors(&dag, term) {
+                prop_assert!(prop_ann.is_annotated(&gene, anc));
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! RGB color type and blending helpers.
+
+/// 24-bit RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Construct from channels.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Black.
+    pub const BLACK: Rgb = Rgb::new(0, 0, 0);
+    /// White.
+    pub const WHITE: Rgb = Rgb::new(255, 255, 255);
+    /// Pure red (classic "induced" microarray color).
+    pub const RED: Rgb = Rgb::new(255, 0, 0);
+    /// Pure green (classic "repressed" microarray color).
+    pub const GREEN: Rgb = Rgb::new(0, 255, 0);
+    /// Pure blue.
+    pub const BLUE: Rgb = Rgb::new(0, 0, 255);
+    /// Yellow.
+    pub const YELLOW: Rgb = Rgb::new(255, 255, 0);
+    /// The neutral gray used for missing values in TreeView-style displays.
+    pub const MISSING_GRAY: Rgb = Rgb::new(128, 128, 128);
+
+    /// Linear interpolation between two colors, `t` clamped to `[0,1]`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| -> u8 {
+            let v = a as f32 + (b as f32 - a as f32) * t;
+            v.round().clamp(0.0, 255.0) as u8
+        };
+        Rgb::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+    }
+
+    /// Average of a non-empty slice of colors (componentwise), used when a
+    /// global-view pixel covers several matrix cells. Returns black for an
+    /// empty slice.
+    pub fn average(colors: &[Rgb]) -> Rgb {
+        if colors.is_empty() {
+            return Rgb::BLACK;
+        }
+        let n = colors.len() as u32;
+        let (mut r, mut g, mut b) = (0u32, 0u32, 0u32);
+        for c in colors {
+            r += c.r as u32;
+            g += c.g as u32;
+            b += c.b as u32;
+        }
+        Rgb::new((r / n) as u8, (g / n) as u8, (b / n) as u8)
+    }
+
+    /// Pack into `0x00RRGGBB`.
+    pub fn to_u32(self) -> u32 {
+        ((self.r as u32) << 16) | ((self.g as u32) << 8) | self.b as u32
+    }
+
+    /// Unpack from `0x00RRGGBB`.
+    pub fn from_u32(v: u32) -> Rgb {
+        Rgb::new(((v >> 16) & 0xff) as u8, ((v >> 8) & 0xff) as u8, (v & 0xff) as u8)
+    }
+
+    /// Perceived luminance (ITU-R BT.601), 0–255.
+    pub fn luminance(self) -> f32 {
+        0.299 * self.r as f32 + 0.587 * self.g as f32 + 0.114 * self.b as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(Rgb::BLACK.lerp(Rgb::WHITE, 0.0), Rgb::BLACK);
+        assert_eq!(Rgb::BLACK.lerp(Rgb::WHITE, 1.0), Rgb::WHITE);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let mid = Rgb::BLACK.lerp(Rgb::WHITE, 0.5);
+        assert!((mid.r as i32 - 128).abs() <= 1);
+        assert_eq!(mid.r, mid.g);
+        assert_eq!(mid.g, mid.b);
+    }
+
+    #[test]
+    fn lerp_clamps_t() {
+        assert_eq!(Rgb::RED.lerp(Rgb::GREEN, -3.0), Rgb::RED);
+        assert_eq!(Rgb::RED.lerp(Rgb::GREEN, 7.0), Rgb::GREEN);
+    }
+
+    #[test]
+    fn average_of_same_is_same() {
+        let c = Rgb::new(10, 20, 30);
+        assert_eq!(Rgb::average(&[c, c, c]), c);
+    }
+
+    #[test]
+    fn average_mixes() {
+        let avg = Rgb::average(&[Rgb::BLACK, Rgb::WHITE]);
+        assert_eq!(avg, Rgb::new(127, 127, 127));
+        assert_eq!(Rgb::average(&[]), Rgb::BLACK);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let c = Rgb::new(0x12, 0x34, 0x56);
+        assert_eq!(c.to_u32(), 0x123456);
+        assert_eq!(Rgb::from_u32(0x123456), c);
+    }
+
+    #[test]
+    fn luminance_ordering() {
+        assert!(Rgb::WHITE.luminance() > Rgb::MISSING_GRAY.luminance());
+        assert!(Rgb::MISSING_GRAY.luminance() > Rgb::BLACK.luminance());
+        assert!(Rgb::GREEN.luminance() > Rgb::BLUE.luminance());
+    }
+}

@@ -1,0 +1,178 @@
+//! Expression-value color scales.
+//!
+//! Microarray heatmaps map log-ratio values onto a diverging scale: negative
+//! (repressed) values toward one pole, positive (induced) toward the other,
+//! zero black. The paper notes ForestView lets users adjust "the expression
+//! level colors ... independently for datasets or applied to all datasets"
+//! (Section 2); [`ExpressionColorMap`] is that per-dataset preference object.
+
+use crate::color::Rgb;
+
+/// The classic diverging schemes TreeView offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ColorScheme {
+    /// Green (negative) → black (zero) → red (positive). The canonical
+    /// two-channel microarray false-color scheme.
+    #[default]
+    RedGreen,
+    /// Blue (negative) → black → red (positive), friendlier to red-green
+    /// color blindness.
+    RedBlue,
+    /// Blue (negative) → black → yellow (positive).
+    YellowBlue,
+    /// Grayscale: black (negative pole) → white (positive pole), sequential.
+    Grayscale,
+}
+
+impl ColorScheme {
+    /// Pole colors `(negative, zero, positive)`.
+    fn poles(self) -> (Rgb, Rgb, Rgb) {
+        match self {
+            ColorScheme::RedGreen => (Rgb::GREEN, Rgb::BLACK, Rgb::RED),
+            ColorScheme::RedBlue => (Rgb::BLUE, Rgb::BLACK, Rgb::RED),
+            ColorScheme::YellowBlue => (Rgb::BLUE, Rgb::BLACK, Rgb::YELLOW),
+            ColorScheme::Grayscale => (Rgb::BLACK, Rgb::new(128, 128, 128), Rgb::WHITE),
+        }
+    }
+
+    /// All schemes, for UI cycling and tests.
+    pub fn all() -> [ColorScheme; 4] {
+        [
+            ColorScheme::RedGreen,
+            ColorScheme::RedBlue,
+            ColorScheme::YellowBlue,
+            ColorScheme::Grayscale,
+        ]
+    }
+}
+
+/// Maps an expression value to a color given a scheme, a contrast (the
+/// absolute value that saturates the scale) and a missing-value color.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpressionColorMap {
+    /// Diverging scheme.
+    pub scheme: ColorScheme,
+    /// Absolute expression value at which the scale saturates. TreeView's
+    /// default contrast is 3.0 (log₂ units).
+    pub contrast: f32,
+    /// Color for missing cells.
+    pub missing: Rgb,
+}
+
+impl Default for ExpressionColorMap {
+    fn default() -> Self {
+        ExpressionColorMap {
+            scheme: ColorScheme::RedGreen,
+            contrast: 3.0,
+            missing: Rgb::MISSING_GRAY,
+        }
+    }
+}
+
+impl ExpressionColorMap {
+    /// New map with the given scheme and contrast.
+    pub fn new(scheme: ColorScheme, contrast: f32) -> Self {
+        assert!(contrast > 0.0, "contrast must be positive");
+        ExpressionColorMap {
+            scheme,
+            contrast,
+            missing: Rgb::MISSING_GRAY,
+        }
+    }
+
+    /// Color for a present value.
+    pub fn map(&self, value: f32) -> Rgb {
+        let (neg, zero, pos) = self.scheme.poles();
+        let t = (value / self.contrast).clamp(-1.0, 1.0);
+        if t >= 0.0 {
+            zero.lerp(pos, t)
+        } else {
+            zero.lerp(neg, -t)
+        }
+    }
+
+    /// Color for an optional value (missing → missing color).
+    pub fn map_option(&self, value: Option<f32>) -> Rgb {
+        match value {
+            Some(v) => self.map(v),
+            None => self.missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_maps_to_zero_pole() {
+        let m = ExpressionColorMap::default();
+        assert_eq!(m.map(0.0), Rgb::BLACK);
+    }
+
+    #[test]
+    fn saturation_at_contrast() {
+        let m = ExpressionColorMap::new(ColorScheme::RedGreen, 2.0);
+        assert_eq!(m.map(2.0), Rgb::RED);
+        assert_eq!(m.map(5.0), Rgb::RED); // beyond contrast stays saturated
+        assert_eq!(m.map(-2.0), Rgb::GREEN);
+        assert_eq!(m.map(-9.0), Rgb::GREEN);
+    }
+
+    #[test]
+    fn monotone_in_value() {
+        // Red channel must be nondecreasing in value on the positive side.
+        let m = ExpressionColorMap::default();
+        let mut last = 0u8;
+        for i in 0..=30 {
+            let v = i as f32 * 0.1;
+            let c = m.map(v);
+            assert!(c.r >= last, "red channel decreased at {v}");
+            assert_eq!(c.g, 0);
+            last = c.r;
+        }
+    }
+
+    #[test]
+    fn negative_side_uses_negative_pole() {
+        let m = ExpressionColorMap::default();
+        let c = m.map(-1.5);
+        assert!(c.g > 0);
+        assert_eq!(c.r, 0);
+    }
+
+    #[test]
+    fn missing_maps_to_gray() {
+        let m = ExpressionColorMap::default();
+        assert_eq!(m.map_option(None), Rgb::MISSING_GRAY);
+        assert_eq!(m.map_option(Some(0.0)), Rgb::BLACK);
+    }
+
+    #[test]
+    fn schemes_have_distinct_positive_poles() {
+        let v = 10.0; // saturating
+        let reds = ExpressionColorMap::new(ColorScheme::RedGreen, 3.0).map(v);
+        let yellow = ExpressionColorMap::new(ColorScheme::YellowBlue, 3.0).map(v);
+        let gray = ExpressionColorMap::new(ColorScheme::Grayscale, 3.0).map(v);
+        assert_eq!(reds, Rgb::RED);
+        assert_eq!(yellow, Rgb::YELLOW);
+        assert_eq!(gray, Rgb::WHITE);
+    }
+
+    #[test]
+    fn grayscale_zero_is_midgray() {
+        let m = ExpressionColorMap::new(ColorScheme::Grayscale, 3.0);
+        assert_eq!(m.map(0.0), Rgb::new(128, 128, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "contrast must be positive")]
+    fn zero_contrast_panics() {
+        let _ = ExpressionColorMap::new(ColorScheme::RedGreen, 0.0);
+    }
+
+    #[test]
+    fn all_schemes_listed() {
+        assert_eq!(ColorScheme::all().len(), 4);
+    }
+}

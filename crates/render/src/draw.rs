@@ -1,0 +1,157 @@
+//! Line and shape primitives (Bresenham).
+
+use crate::color::Rgb;
+use crate::framebuffer::Framebuffer;
+
+/// Draw a line segment from `(x0, y0)` to `(x1, y1)` inclusive.
+pub fn line(fb: &mut Framebuffer, x0: i64, y0: i64, x1: i64, y1: i64, color: Rgb) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        fb.put(x, y, color);
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Horizontal line `[x0, x1]` at height `y` (endpoints in either order).
+pub fn hline(fb: &mut Framebuffer, x0: i64, x1: i64, y: i64, color: Rgb) {
+    let (a, b) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+    for x in a..=b {
+        fb.put(x, y, color);
+    }
+}
+
+/// Vertical line `[y0, y1]` at `x` (endpoints in either order).
+pub fn vline(fb: &mut Framebuffer, x: i64, y0: i64, y1: i64, color: Rgb) {
+    let (a, b) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+    for y in a..=b {
+        fb.put(x, y, color);
+    }
+}
+
+/// Rectangle outline for `[x, x+w) × [y, y+h)`.
+pub fn rect_outline(fb: &mut Framebuffer, x: i64, y: i64, w: usize, h: usize, color: Rgb) {
+    if w == 0 || h == 0 {
+        return;
+    }
+    let x1 = x + w as i64 - 1;
+    let y1 = y + h as i64 - 1;
+    hline(fb, x, x1, y, color);
+    hline(fb, x, x1, y1, color);
+    vline(fb, x, y, y1, color);
+    vline(fb, x1, y, y1, color);
+}
+
+/// Connected polyline through the given points.
+pub fn polyline(fb: &mut Framebuffer, points: &[(i64, i64)], color: Rgb) {
+    for pair in points.windows(2) {
+        line(fb, pair[0].0, pair[0].1, pair[1].0, pair[1].1, color);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_horizontal() {
+        let mut fb = Framebuffer::new(8, 3);
+        line(&mut fb, 1, 1, 5, 1, Rgb::RED);
+        assert_eq!(fb.count_pixels(Rgb::RED), 5);
+        for x in 1..=5 {
+            assert_eq!(fb.get(x, 1), Some(Rgb::RED));
+        }
+    }
+
+    #[test]
+    fn line_vertical_and_reversed() {
+        let mut fb = Framebuffer::new(3, 8);
+        line(&mut fb, 1, 6, 1, 2, Rgb::GREEN); // reversed endpoints
+        assert_eq!(fb.count_pixels(Rgb::GREEN), 5);
+    }
+
+    #[test]
+    fn line_diagonal() {
+        let mut fb = Framebuffer::new(5, 5);
+        line(&mut fb, 0, 0, 4, 4, Rgb::WHITE);
+        for i in 0..5 {
+            assert_eq!(fb.get(i, i), Some(Rgb::WHITE));
+        }
+        assert_eq!(fb.count_pixels(Rgb::WHITE), 5);
+    }
+
+    #[test]
+    fn line_single_point() {
+        let mut fb = Framebuffer::new(3, 3);
+        line(&mut fb, 1, 1, 1, 1, Rgb::BLUE);
+        assert_eq!(fb.count_pixels(Rgb::BLUE), 1);
+    }
+
+    #[test]
+    fn line_clips_outside() {
+        let mut fb = Framebuffer::new(4, 4);
+        line(&mut fb, -2, -2, 6, 6, Rgb::RED);
+        // Only the in-bounds diagonal is drawn.
+        assert_eq!(fb.count_pixels(Rgb::RED), 4);
+    }
+
+    #[test]
+    fn hline_vline_order_independent() {
+        let mut fb = Framebuffer::new(6, 6);
+        hline(&mut fb, 4, 1, 0, Rgb::RED);
+        vline(&mut fb, 0, 4, 1, Rgb::BLUE);
+        assert_eq!(fb.count_pixels(Rgb::RED), 4);
+        assert_eq!(fb.count_pixels(Rgb::BLUE), 4);
+    }
+
+    #[test]
+    fn rect_outline_perimeter() {
+        let mut fb = Framebuffer::new(8, 8);
+        rect_outline(&mut fb, 1, 1, 4, 3, Rgb::YELLOW);
+        // perimeter of 4x3 = 2*4 + 2*3 - 4 corners counted once = 10
+        assert_eq!(fb.count_pixels(Rgb::YELLOW), 10);
+        assert_eq!(fb.get(2, 2), Some(Rgb::BLACK)); // interior untouched
+    }
+
+    #[test]
+    fn rect_outline_degenerate() {
+        let mut fb = Framebuffer::new(4, 4);
+        rect_outline(&mut fb, 0, 0, 0, 5, Rgb::RED);
+        assert_eq!(fb.count_pixels(Rgb::RED), 0);
+        rect_outline(&mut fb, 1, 1, 1, 1, Rgb::RED);
+        assert_eq!(fb.count_pixels(Rgb::RED), 1);
+    }
+
+    #[test]
+    fn polyline_connects() {
+        let mut fb = Framebuffer::new(10, 10);
+        polyline(&mut fb, &[(0, 0), (3, 0), (3, 3)], Rgb::WHITE);
+        assert_eq!(fb.get(1, 0), Some(Rgb::WHITE));
+        assert_eq!(fb.get(3, 2), Some(Rgb::WHITE));
+        // L-shape: 4 + 4 - 1 shared corner = 7
+        assert_eq!(fb.count_pixels(Rgb::WHITE), 7);
+    }
+
+    #[test]
+    fn polyline_empty_and_single() {
+        let mut fb = Framebuffer::new(4, 4);
+        polyline(&mut fb, &[], Rgb::RED);
+        polyline(&mut fb, &[(1, 1)], Rgb::RED);
+        assert_eq!(fb.count_pixels(Rgb::RED), 0);
+    }
+}

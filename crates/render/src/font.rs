@@ -1,0 +1,222 @@
+//! Embedded 5×7 bitmap font for labels and annotations.
+//!
+//! ForestView panes label genes, conditions and datasets; GOLEM labels GO
+//! terms. A tiny embedded font keeps the renderer dependency-free. Glyphs
+//! cover digits, letters (lowercase renders as uppercase, the TreeView
+//! convention for compact gene labels) and common punctuation; anything
+//! else renders as a hollow box.
+
+use crate::color::Rgb;
+use crate::framebuffer::Framebuffer;
+
+/// Glyph cell width in pixels (excluding 1px advance gap).
+pub const GLYPH_W: usize = 5;
+/// Glyph cell height in pixels.
+pub const GLYPH_H: usize = 7;
+/// Horizontal advance per character.
+pub const ADVANCE: usize = GLYPH_W + 1;
+
+type Glyph = [u8; GLYPH_H];
+
+const UNKNOWN: Glyph = [0b11111, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11111];
+
+fn glyph(ch: char) -> Glyph {
+    let c = ch.to_ascii_uppercase();
+    match c {
+        'A' => [0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001],
+        'B' => [0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110],
+        'C' => [0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110],
+        'D' => [0b11110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11110],
+        'E' => [0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111],
+        'F' => [0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000],
+        'G' => [0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111],
+        'H' => [0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001],
+        'I' => [0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+        'J' => [0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100],
+        'K' => [0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001],
+        'L' => [0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111],
+        'M' => [0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001],
+        'N' => [0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001],
+        'O' => [0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110],
+        'P' => [0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000],
+        'Q' => [0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101],
+        'R' => [0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001],
+        'S' => [0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110],
+        'T' => [0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100],
+        'U' => [0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110],
+        'V' => [0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100],
+        'W' => [0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b11011, 0b10001],
+        'X' => [0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001],
+        'Y' => [0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100],
+        'Z' => [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111],
+        '0' => [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+        '1' => [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+        '2' => [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+        '3' => [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+        '4' => [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+        '5' => [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+        '6' => [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+        '7' => [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+        '8' => [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+        '9' => [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+        ' ' => [0; 7],
+        '.' => [0, 0, 0, 0, 0, 0b01100, 0b01100],
+        ',' => [0, 0, 0, 0, 0b00100, 0b00100, 0b01000],
+        ':' => [0, 0b01100, 0b01100, 0, 0b01100, 0b01100, 0],
+        ';' => [0, 0b01100, 0b01100, 0, 0b01100, 0b00100, 0b01000],
+        '-' => [0, 0, 0, 0b01110, 0, 0, 0],
+        '_' => [0, 0, 0, 0, 0, 0, 0b11111],
+        '/' => [0b00001, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b10000],
+        '\\' => [0b10000, 0b10000, 0b01000, 0b00100, 0b00010, 0b00001, 0b00001],
+        '(' => [0b00010, 0b00100, 0b01000, 0b01000, 0b01000, 0b00100, 0b00010],
+        ')' => [0b01000, 0b00100, 0b00010, 0b00010, 0b00010, 0b00100, 0b01000],
+        '%' => [0b11001, 0b11010, 0b00010, 0b00100, 0b01000, 0b01011, 0b10011],
+        '+' => [0, 0b00100, 0b00100, 0b11111, 0b00100, 0b00100, 0],
+        '=' => [0, 0, 0b11111, 0, 0b11111, 0, 0],
+        '<' => [0b00010, 0b00100, 0b01000, 0b10000, 0b01000, 0b00100, 0b00010],
+        '>' => [0b01000, 0b00100, 0b00010, 0b00001, 0b00010, 0b00100, 0b01000],
+        '!' => [0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0, 0b00100],
+        '?' => [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0, 0b00100],
+        '*' => [0, 0b10101, 0b01110, 0b11111, 0b01110, 0b10101, 0],
+        '\'' => [0b00100, 0b00100, 0, 0, 0, 0, 0],
+        '"' => [0b01010, 0b01010, 0, 0, 0, 0, 0],
+        '#' => [0b01010, 0b01010, 0b11111, 0b01010, 0b11111, 0b01010, 0b01010],
+        '[' => [0b01110, 0b01000, 0b01000, 0b01000, 0b01000, 0b01000, 0b01110],
+        ']' => [0b01110, 0b00010, 0b00010, 0b00010, 0b00010, 0b00010, 0b01110],
+        '|' => [0b00100; 7],
+        _ => UNKNOWN,
+    }
+}
+
+/// Draw `text` with its top-left corner at `(x, y)` at integer `scale`
+/// (scale 1 = 5×7 pixels per glyph). Returns the x coordinate just past the
+/// rendered text.
+pub fn draw_text(fb: &mut Framebuffer, x: i64, y: i64, text: &str, color: Rgb, scale: usize) -> i64 {
+    let scale = scale.max(1);
+    let mut cx = x;
+    for ch in text.chars() {
+        let g = glyph(ch);
+        for (row, bits) in g.iter().enumerate() {
+            for col in 0..GLYPH_W {
+                if (bits >> (GLYPH_W - 1 - col)) & 1 == 1 {
+                    fb.fill_rect(
+                        cx + (col * scale) as i64,
+                        y + (row * scale) as i64,
+                        scale,
+                        scale,
+                        color,
+                    );
+                }
+            }
+        }
+        cx += (ADVANCE * scale) as i64;
+    }
+    cx
+}
+
+/// Pixel width of `text` at the given scale.
+pub fn text_width(text: &str, scale: usize) -> usize {
+    text.chars().count() * ADVANCE * scale.max(1)
+}
+
+/// Truncate `text` (appending `..`) so it fits within `max_px` at `scale`.
+pub fn fit_text(text: &str, max_px: usize, scale: usize) -> String {
+    if text_width(text, scale) <= max_px {
+        return text.to_string();
+    }
+    let adv = ADVANCE * scale.max(1);
+    let budget = max_px / adv;
+    if budget <= 2 {
+        return text.chars().take(budget).collect();
+    }
+    let mut s: String = text.chars().take(budget - 2).collect();
+    s.push_str("..");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_single_char_pixel_count() {
+        let mut fb = Framebuffer::new(10, 10);
+        // 'I' = 3 + 1 + 1 + 1 + 1 + 1 + 3 = 11 pixels
+        draw_text(&mut fb, 0, 0, "I", Rgb::WHITE, 1);
+        assert_eq!(fb.count_pixels(Rgb::WHITE), 11);
+    }
+
+    #[test]
+    fn lowercase_same_as_uppercase() {
+        let mut a = Framebuffer::new(8, 8);
+        let mut b = Framebuffer::new(8, 8);
+        draw_text(&mut a, 0, 0, "g", Rgb::WHITE, 1);
+        draw_text(&mut b, 0, 0, "G", Rgb::WHITE, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn advance_position() {
+        let mut fb = Framebuffer::new(30, 10);
+        let end = draw_text(&mut fb, 2, 1, "AB", Rgb::WHITE, 1);
+        assert_eq!(end, 2 + 2 * ADVANCE as i64);
+    }
+
+    #[test]
+    fn scale_doubles_area() {
+        let mut fb1 = Framebuffer::new(20, 20);
+        let mut fb2 = Framebuffer::new(20, 20);
+        draw_text(&mut fb1, 0, 0, "T", Rgb::WHITE, 1);
+        draw_text(&mut fb2, 0, 0, "T", Rgb::WHITE, 2);
+        assert_eq!(fb2.count_pixels(Rgb::WHITE), 4 * fb1.count_pixels(Rgb::WHITE));
+    }
+
+    #[test]
+    fn unknown_char_renders_box() {
+        let mut fb = Framebuffer::new(8, 8);
+        draw_text(&mut fb, 0, 0, "~", Rgb::WHITE, 1);
+        // hollow box: two full 5px rows + five 2px side rows = 20
+        assert_eq!(fb.count_pixels(Rgb::WHITE), 20);
+    }
+
+    #[test]
+    fn space_draws_nothing() {
+        let mut fb = Framebuffer::new(8, 8);
+        draw_text(&mut fb, 0, 0, " ", Rgb::WHITE, 1);
+        assert_eq!(fb.count_pixels(Rgb::WHITE), 0);
+    }
+
+    #[test]
+    fn text_width_measures() {
+        assert_eq!(text_width("ABC", 1), 18);
+        assert_eq!(text_width("", 1), 0);
+        assert_eq!(text_width("A", 3), 18);
+    }
+
+    #[test]
+    fn fit_text_truncates() {
+        assert_eq!(fit_text("YAL005C", 100, 1), "YAL005C");
+        let t = fit_text("YAL005C", 5 * ADVANCE, 1);
+        assert_eq!(t, "YAL..");
+        assert!(text_width(&t, 1) <= 5 * ADVANCE);
+    }
+
+    #[test]
+    fn fit_text_tiny_budget() {
+        assert_eq!(fit_text("ABCDEF", ADVANCE, 1), "A");
+        assert_eq!(fit_text("ABCDEF", 0, 1), "");
+    }
+
+    #[test]
+    fn digits_render_distinct() {
+        let mut imgs = Vec::new();
+        for d in ['0', '1', '8'] {
+            let mut fb = Framebuffer::new(8, 8);
+            draw_text(&mut fb, 0, 0, &d.to_string(), Rgb::WHITE, 1);
+            imgs.push(fb);
+        }
+        assert_ne!(imgs[0], imgs[1]);
+        assert_ne!(imgs[0], imgs[2]);
+        assert_ne!(imgs[1], imgs[2]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Image encoding: binary PPM (P6) and uncompressed 24-bit BMP writers,
+//! plus a PPM decoder used by tests and examples to verify artifacts.
+
+use crate::color::Rgb;
+use crate::framebuffer::Framebuffer;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Errors from image decoding.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a valid P6 PPM.
+    BadFormat(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+            ImageError::BadFormat(m) => write!(f, "bad image format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<io::Error> for ImageError {
+    fn from(e: io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// Encode as binary PPM (P6).
+pub fn encode_ppm(fb: &Framebuffer) -> Vec<u8> {
+    let header = format!("P6\n{} {}\n255\n", fb.width(), fb.height());
+    let mut out = Vec::with_capacity(header.len() + fb.bytes().len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(fb.bytes());
+    out
+}
+
+/// Write a PPM file.
+pub fn write_ppm(fb: &Framebuffer, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode_ppm(fb))
+}
+
+/// Decode a binary PPM (P6) produced by [`encode_ppm`].
+pub fn decode_ppm(bytes: &[u8]) -> Result<Framebuffer, ImageError> {
+    // Parse "P6\n<w> <h>\n255\n" allowing arbitrary whitespace and comments.
+    let mut pos = 0usize;
+    let mut token = |bytes: &[u8]| -> Result<String, ImageError> {
+        // skip whitespace and comments
+        loop {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let start = pos;
+        while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(ImageError::BadFormat("unexpected end of header".into()));
+        }
+        Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+    };
+
+    let magic = token(bytes)?;
+    if magic != "P6" {
+        return Err(ImageError::BadFormat(format!("magic {magic:?}, want P6")));
+    }
+    let w: usize = token(bytes)?
+        .parse()
+        .map_err(|_| ImageError::BadFormat("bad width".into()))?;
+    let h: usize = token(bytes)?
+        .parse()
+        .map_err(|_| ImageError::BadFormat("bad height".into()))?;
+    let maxval: usize = token(bytes)?
+        .parse()
+        .map_err(|_| ImageError::BadFormat("bad maxval".into()))?;
+    if maxval != 255 {
+        return Err(ImageError::BadFormat(format!("maxval {maxval}, want 255")));
+    }
+    // Exactly one whitespace byte separates header from pixel data.
+    pos += 1;
+    let need = w * h * 3;
+    if bytes.len() < pos + need {
+        return Err(ImageError::BadFormat(format!(
+            "pixel data truncated: need {need}, have {}",
+            bytes.len().saturating_sub(pos)
+        )));
+    }
+    let mut fb = Framebuffer::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let i = pos + (y * w + x) * 3;
+            fb.put(
+                x as i64,
+                y as i64,
+                Rgb::new(bytes[i], bytes[i + 1], bytes[i + 2]),
+            );
+        }
+    }
+    Ok(fb)
+}
+
+/// Read a PPM file.
+pub fn read_ppm(path: impl AsRef<Path>) -> Result<Framebuffer, ImageError> {
+    let bytes = std::fs::read(path)?;
+    decode_ppm(&bytes)
+}
+
+/// Encode as an uncompressed 24-bit bottom-up BMP.
+pub fn encode_bmp(fb: &Framebuffer) -> Vec<u8> {
+    let w = fb.width();
+    let h = fb.height();
+    let row_bytes = w * 3;
+    let pad = (4 - row_bytes % 4) % 4;
+    let pixel_bytes = (row_bytes + pad) * h;
+    let file_size = 54 + pixel_bytes;
+
+    let mut out = Vec::with_capacity(file_size);
+    // BITMAPFILEHEADER
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&(file_size as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&54u32.to_le_bytes()); // pixel offset
+    // BITMAPINFOHEADER
+    out.extend_from_slice(&40u32.to_le_bytes());
+    out.extend_from_slice(&(w as i32).to_le_bytes());
+    out.extend_from_slice(&(h as i32).to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // planes
+    out.extend_from_slice(&24u16.to_le_bytes()); // bpp
+    out.extend_from_slice(&0u32.to_le_bytes()); // BI_RGB
+    out.extend_from_slice(&(pixel_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes()); // 72 dpi
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    // Pixel rows, bottom-up, BGR, padded to 4 bytes.
+    let data = fb.bytes();
+    for y in (0..h).rev() {
+        for x in 0..w {
+            let i = (y * w + x) * 3;
+            out.push(data[i + 2]); // B
+            out.push(data[i + 1]); // G
+            out.push(data[i]); // R
+        }
+        out.extend(std::iter::repeat(0u8).take(pad));
+    }
+    out
+}
+
+/// Write a BMP file.
+pub fn write_bmp(fb: &Framebuffer, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode_bmp(fb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Framebuffer {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.put(0, 0, Rgb::RED);
+        fb.put(1, 0, Rgb::GREEN);
+        fb.put(2, 0, Rgb::BLUE);
+        fb.put(0, 1, Rgb::WHITE);
+        fb.put(2, 1, Rgb::new(1, 2, 3));
+        fb
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let fb = sample();
+        let bytes = encode_ppm(&fb);
+        let back = decode_ppm(&bytes).unwrap();
+        assert_eq!(back, fb);
+    }
+
+    #[test]
+    fn ppm_header_shape() {
+        let fb = Framebuffer::new(7, 5);
+        let bytes = encode_ppm(&fb);
+        assert!(bytes.starts_with(b"P6\n7 5\n255\n"));
+        assert_eq!(bytes.len(), 11 + 7 * 5 * 3);
+    }
+
+    #[test]
+    fn ppm_decode_with_comment() {
+        let mut input = b"P6\n# a comment\n2 1\n255\n".to_vec();
+        input.extend_from_slice(&[255, 0, 0, 0, 255, 0]);
+        let fb = decode_ppm(&input).unwrap();
+        assert_eq!(fb.get(0, 0), Some(Rgb::RED));
+        assert_eq!(fb.get(1, 0), Some(Rgb::GREEN));
+    }
+
+    #[test]
+    fn ppm_decode_rejects_bad_magic() {
+        assert!(matches!(
+            decode_ppm(b"P3\n1 1\n255\n   "),
+            Err(ImageError::BadFormat(_))
+        ));
+    }
+
+    #[test]
+    fn ppm_decode_rejects_truncation() {
+        let input = b"P6\n4 4\n255\nxx".to_vec();
+        assert!(matches!(decode_ppm(&input), Err(ImageError::BadFormat(_))));
+    }
+
+    #[test]
+    fn ppm_file_roundtrip() {
+        let dir = std::env::temp_dir().join("fv_render_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ppm");
+        let fb = sample();
+        write_ppm(&fb, &path).unwrap();
+        let back = read_ppm(&path).unwrap();
+        assert_eq!(back, fb);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bmp_header_and_size() {
+        let fb = Framebuffer::new(3, 2); // row 9 bytes → pad 3
+        let bytes = encode_bmp(&fb);
+        assert_eq!(&bytes[0..2], b"BM");
+        let expect = 54 + (9 + 3) * 2;
+        assert_eq!(bytes.len(), expect);
+        let size = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+        assert_eq!(size as usize, expect);
+    }
+
+    #[test]
+    fn bmp_pixel_order_bottom_up_bgr() {
+        let mut fb = Framebuffer::new(1, 2);
+        fb.put(0, 0, Rgb::new(10, 20, 30)); // top row
+        fb.put(0, 1, Rgb::new(40, 50, 60)); // bottom row
+        let bytes = encode_bmp(&fb);
+        // first stored row is the bottom image row, BGR order
+        assert_eq!(&bytes[54..57], &[60, 50, 40]);
+    }
+
+    #[test]
+    fn bmp_no_padding_when_aligned() {
+        let fb = Framebuffer::new(4, 1); // 12 bytes, already aligned
+        let bytes = encode_bmp(&fb);
+        assert_eq!(bytes.len(), 54 + 12);
+    }
+}

@@ -1,0 +1,430 @@
+//! The SPELL compendium engine.
+//!
+//! Owns the prepared datasets, resolves query gene names across them, and
+//! produces the two ordered lists the paper integrates into ForestView:
+//! "The datasets returned can be displayed in decreasing order of relevance
+//! to the query, and the top n genes can be selected and highlighted within
+//! each dataset" (Section 3).
+
+use crate::balance::{compute_balance_scales, Balancing};
+use crate::prep::PreparedDataset;
+use crate::rank::{combine_rankings, dataset_gene_scores, RankedGene};
+use crate::weight::all_weights;
+use fv_expr::matrix::ExprMatrix;
+use fv_expr::Dataset;
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SpellConfig {
+    /// Signal balancing mode (see [`crate::balance`]).
+    pub balancing: Balancing,
+    /// Datasets whose query coherence falls below this weight are excluded
+    /// from ranking (0 keeps everything non-negative).
+    pub min_dataset_weight: f32,
+}
+
+impl Default for SpellConfig {
+    fn default() -> Self {
+        SpellConfig {
+            balancing: Balancing::TopSingular,
+            min_dataset_weight: 0.0,
+        }
+    }
+}
+
+/// A dataset's relevance to a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRelevance {
+    /// Index into the engine's dataset list.
+    pub dataset: usize,
+    /// Dataset name.
+    pub name: String,
+    /// Query-coherence weight (≥ 0).
+    pub weight: f32,
+    /// Query genes found in this dataset.
+    pub query_genes_present: usize,
+}
+
+/// The output of a SPELL query: the paper's two ordered lists.
+#[derive(Debug, Clone)]
+pub struct SpellResult {
+    /// Datasets in decreasing relevance order.
+    pub datasets: Vec<DatasetRelevance>,
+    /// Genes in decreasing score order (query genes included, flagged).
+    pub genes: Vec<RankedGene>,
+    /// Query gene names that were found somewhere in the compendium.
+    pub query_found: Vec<String>,
+    /// Query gene names found nowhere.
+    pub query_missing: Vec<String>,
+}
+
+impl SpellResult {
+    /// The top `n` non-query genes — the additions SPELL proposes.
+    pub fn top_new_genes(&self, n: usize) -> Vec<&RankedGene> {
+        self.genes.iter().filter(|g| !g.in_query).take(n).collect()
+    }
+}
+
+/// The compendium index.
+#[derive(Debug)]
+pub struct SpellEngine {
+    config: SpellConfig,
+    datasets: Vec<PreparedDataset>,
+    /// Universe gene names in first-seen order.
+    gene_names: Vec<String>,
+    name_to_idx: HashMap<String, usize>,
+    /// Per dataset: universe index → row index.
+    row_maps: Vec<Vec<Option<u32>>>,
+    /// Per-dataset balance factors (1.0 until finalized).
+    balance: Vec<f32>,
+    finalized: bool,
+}
+
+impl SpellEngine {
+    /// Empty engine.
+    pub fn new(config: SpellConfig) -> Self {
+        SpellEngine {
+            config,
+            datasets: Vec::new(),
+            gene_names: Vec::new(),
+            name_to_idx: HashMap::new(),
+            row_maps: Vec::new(),
+            balance: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> usize {
+        let key = name.trim().to_ascii_uppercase();
+        if let Some(&i) = self.name_to_idx.get(&key) {
+            return i;
+        }
+        let i = self.gene_names.len();
+        self.gene_names.push(name.trim().to_string());
+        self.name_to_idx.insert(key, i);
+        i
+    }
+
+    /// Add a dataset from a raw matrix and gene id list.
+    pub fn add_matrix(&mut self, name: &str, matrix: &ExprMatrix, gene_ids: Vec<String>) {
+        assert!(!self.finalized, "cannot add datasets after finalize()");
+        let prepared = PreparedDataset::from_matrix(name, matrix, gene_ids.clone());
+        let mut map: Vec<Option<u32>> = vec![None; self.gene_names.len()];
+        for (row, id) in gene_ids.iter().enumerate() {
+            let u = self.intern(id);
+            if u >= map.len() {
+                map.resize(u + 1, None);
+            }
+            if map[u].is_none() {
+                map[u] = Some(row as u32);
+            }
+        }
+        self.datasets.push(prepared);
+        self.row_maps.push(map);
+    }
+
+    /// Add a dataset from the expression substrate's [`Dataset`].
+    pub fn add_dataset(&mut self, ds: &Dataset) {
+        let ids: Vec<String> = ds.genes.iter().map(|g| g.id.clone()).collect();
+        self.add_matrix(&ds.name, &ds.matrix, ids);
+    }
+
+    /// Compute balance factors and freeze the index. Must be called before
+    /// [`SpellEngine::query`]; further `add_*` calls panic.
+    pub fn finalize(&mut self) {
+        if !self.finalized {
+            self.balance = compute_balance_scales(&self.datasets, self.config.balancing);
+            // Bring all row maps up to the final universe size.
+            let n = self.gene_names.len();
+            for m in &mut self.row_maps {
+                m.resize(n, None);
+            }
+            self.finalized = true;
+        }
+    }
+
+    /// Number of datasets indexed.
+    pub fn n_datasets(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Number of distinct genes indexed.
+    pub fn n_genes(&self) -> usize {
+        self.gene_names.len()
+    }
+
+    /// Total measurements across the compendium (paper scale metric).
+    pub fn total_measurements(&self) -> usize {
+        self.datasets.iter().map(|d| d.n_genes() * d.n_cols()).sum()
+    }
+
+    /// Dataset accessor.
+    pub fn dataset(&self, d: usize) -> &PreparedDataset {
+        &self.datasets[d]
+    }
+
+    /// Run a query. Panics if [`SpellEngine::finalize`] was not called.
+    pub fn query(&self, query_genes: &[&str]) -> SpellResult {
+        assert!(self.finalized, "finalize() the engine before querying");
+        // Resolve query names to universe indices.
+        let mut found: Vec<usize> = Vec::new();
+        let mut query_found = Vec::new();
+        let mut query_missing = Vec::new();
+        for &g in query_genes {
+            match self.name_to_idx.get(&g.trim().to_ascii_uppercase()) {
+                Some(&u) => {
+                    if !found.contains(&u) {
+                        found.push(u);
+                        query_found.push(self.gene_names[u].clone());
+                    }
+                }
+                None => query_missing.push(g.to_string()),
+            }
+        }
+        if found.is_empty() {
+            return SpellResult {
+                datasets: Vec::new(),
+                genes: Vec::new(),
+                query_found,
+                query_missing,
+            };
+        }
+
+        // Per-dataset query rows.
+        let query_rows: Vec<Vec<usize>> = self
+            .row_maps
+            .iter()
+            .map(|map| {
+                found
+                    .iter()
+                    .filter_map(|&u| map[u].map(|r| r as usize))
+                    .collect()
+            })
+            .collect();
+
+        // Coherence weights (true correlations), thresholded. These drive
+        // the *reported* dataset relevance order. The aggregation below
+        // additionally multiplies in the balance factors, damping
+        // signal-dense datasets without distorting relevance.
+        let mut weights = all_weights(&self.datasets, &query_rows);
+        for w in &mut weights {
+            if *w < self.config.min_dataset_weight {
+                *w = 0.0;
+            }
+        }
+        let effective: Vec<f32> = weights
+            .iter()
+            .zip(&self.balance)
+            .map(|(&w, &b)| w * b)
+            .collect();
+
+        // Per-dataset scores in dataset-row space, then mapped into the
+        // universe for combination.
+        let n_universe = self.gene_names.len();
+        let per_dataset: Vec<Vec<Option<f32>>> = self
+            .datasets
+            .iter()
+            .enumerate()
+            .map(|(d, ds)| {
+                if effective[d] <= 0.0 {
+                    return vec![None; n_universe];
+                }
+                let row_scores = dataset_gene_scores(ds, &query_rows[d]);
+                let map = &self.row_maps[d];
+                (0..n_universe)
+                    .map(|u| map[u].and_then(|r| row_scores[r as usize]))
+                    .collect()
+            })
+            .collect();
+
+        let query_set: Vec<bool> = {
+            let mut v = vec![false; n_universe];
+            for &u in &found {
+                v[u] = true;
+            }
+            v
+        };
+        let genes = combine_rankings(&per_dataset, &effective, &self.gene_names, &query_set);
+
+        let mut datasets: Vec<DatasetRelevance> = self
+            .datasets
+            .iter()
+            .enumerate()
+            .map(|(d, ds)| DatasetRelevance {
+                dataset: d,
+                name: ds.name.clone(),
+                weight: weights[d],
+                query_genes_present: query_rows[d].len(),
+            })
+            .collect();
+        datasets.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+
+        SpellResult {
+            datasets,
+            genes,
+            query_found,
+            query_missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Compendium with a planted module: genes M0..M4 share a pattern in
+    /// dataset "signal"; dataset "noise" has unrelated values; dataset
+    /// "anti" has the module genes anti-correlated (coherence 0).
+    fn engine(balancing: Balancing) -> SpellEngine {
+        let mut e = SpellEngine::new(SpellConfig {
+            balancing,
+            min_dataset_weight: 0.0,
+        });
+        let cols = 8;
+        let pattern: Vec<f32> = (0..cols).map(|c| (c as f32 * 0.9).sin() * 2.0).collect();
+        // signal: M0..M4 follow pattern + small phase jitter; X0..X4 random-ish
+        let mut vals = Vec::new();
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            for (c, &p) in pattern.iter().enumerate() {
+                vals.push(p + 0.05 * ((i * 7 + c) % 5) as f32);
+            }
+            ids.push(format!("M{i}"));
+        }
+        for i in 0..5 {
+            for c in 0..cols {
+                vals.push((((i * 31 + c * 17) % 13) as f32) * 0.7 - 4.0);
+            }
+            ids.push(format!("X{i}"));
+        }
+        let m = ExprMatrix::from_rows(10, cols, &vals).unwrap();
+        e.add_matrix("signal", &m, ids);
+
+        // noise dataset: same genes, shuffled values
+        let mut nvals = Vec::new();
+        for i in 0..10 {
+            for c in 0..cols {
+                nvals.push((((i * 13 + c * 29 + 5) % 11) as f32) * 0.9 - 4.5);
+            }
+        }
+        let nm = ExprMatrix::from_rows(10, cols, &nvals).unwrap();
+        let nids: Vec<String> = (0..5)
+            .map(|i| format!("M{i}"))
+            .chain((0..5).map(|i| format!("X{i}")))
+            .collect();
+        e.add_matrix("noise", &nm, nids);
+        e.finalize();
+        e
+    }
+
+    #[test]
+    fn signal_dataset_ranked_first() {
+        let e = engine(Balancing::None);
+        let r = e.query(&["M0", "M1", "M2"]);
+        assert_eq!(r.datasets[0].name, "signal");
+        assert!(r.datasets[0].weight > 0.8);
+        assert!(r.datasets[0].weight > r.datasets[1].weight);
+    }
+
+    #[test]
+    fn module_genes_ranked_top() {
+        let e = engine(Balancing::None);
+        let r = e.query(&["M0", "M1", "M2"]);
+        // remaining module genes M3, M4 should lead the non-query ranking
+        let top: Vec<&str> = r.top_new_genes(2).iter().map(|g| g.gene.as_str()).collect();
+        assert!(top.contains(&"M3"), "top: {top:?}");
+        assert!(top.contains(&"M4"), "top: {top:?}");
+    }
+
+    #[test]
+    fn query_genes_flagged() {
+        let e = engine(Balancing::None);
+        let r = e.query(&["M0", "M1", "M2"]);
+        for g in &r.genes {
+            assert_eq!(
+                g.in_query,
+                ["M0", "M1", "M2"].contains(&g.gene.as_str()),
+                "{}",
+                g.gene
+            );
+        }
+    }
+
+    #[test]
+    fn missing_query_genes_reported() {
+        let e = engine(Balancing::None);
+        let r = e.query(&["M0", "M1", "NOPE"]);
+        assert_eq!(r.query_missing, vec!["NOPE".to_string()]);
+        assert_eq!(r.query_found.len(), 2);
+    }
+
+    #[test]
+    fn all_unknown_query_empty_result() {
+        let e = engine(Balancing::None);
+        let r = e.query(&["ZZZ"]);
+        assert!(r.genes.is_empty());
+        assert!(r.datasets.is_empty());
+    }
+
+    #[test]
+    fn duplicate_query_genes_deduped() {
+        let e = engine(Balancing::None);
+        let r = e.query(&["M0", "m0", "M1"]);
+        assert_eq!(r.query_found.len(), 2);
+    }
+
+    #[test]
+    fn balancing_preserves_recovery() {
+        let e = engine(Balancing::TopSingular);
+        let r = e.query(&["M0", "M1", "M2"]);
+        let top: Vec<&str> = r.top_new_genes(2).iter().map(|g| g.gene.as_str()).collect();
+        assert!(top.contains(&"M3") && top.contains(&"M4"), "top: {top:?}");
+    }
+
+    #[test]
+    fn min_weight_threshold_drops_noise() {
+        let mut e = SpellEngine::new(SpellConfig {
+            balancing: Balancing::None,
+            min_dataset_weight: 0.5,
+        });
+        let cols = 8;
+        let pattern: Vec<f32> = (0..cols).map(|c| c as f32).collect();
+        let mut vals = Vec::new();
+        for i in 0..3 {
+            for &p in &pattern {
+                vals.push(p + i as f32 * 0.01);
+            }
+        }
+        let m = ExprMatrix::from_rows(3, cols, &vals).unwrap();
+        e.add_matrix("coherent", &m, vec!["A".into(), "B".into(), "C".into()]);
+        // weakly coherent dataset
+        let wv: Vec<f32> = (0..3 * cols).map(|i| ((i * 37 % 19) as f32) - 9.0).collect();
+        let wm = ExprMatrix::from_rows(3, cols, &wv).unwrap();
+        e.add_matrix("weak", &wm, vec!["A".into(), "B".into(), "C".into()]);
+        e.finalize();
+        let r = e.query(&["A", "B"]);
+        let weak = r.datasets.iter().find(|d| d.name == "weak").unwrap();
+        assert_eq!(weak.weight, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize")]
+    fn query_before_finalize_panics() {
+        let e = SpellEngine::new(SpellConfig::default());
+        let _ = e.query(&["A"]);
+    }
+
+    #[test]
+    fn counts_and_measurements() {
+        let e = engine(Balancing::None);
+        assert_eq!(e.n_datasets(), 2);
+        assert_eq!(e.n_genes(), 10);
+        assert_eq!(e.total_measurements(), 2 * 10 * 8);
+    }
+}

@@ -1,0 +1,124 @@
+//! Retrieval-quality metrics.
+//!
+//! The reproduction benches verify SPELL's behaviour by planting a
+//! co-expression module, querying with part of it, and measuring how well
+//! the rest is recovered. These are the standard ranked-retrieval metrics
+//! for that protocol.
+
+use std::collections::HashSet;
+
+/// Fraction of the top `k` ranked names that are relevant.
+/// Returns 0 for `k == 0` or an empty ranking.
+pub fn precision_at_k(ranked: &[&str], relevant: &HashSet<&str>, k: usize) -> f64 {
+    if k == 0 || ranked.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(ranked.len());
+    let hits = ranked[..k].iter().filter(|g| relevant.contains(*g)).count();
+    hits as f64 / k as f64
+}
+
+/// Fraction of all relevant items found in the top `k`.
+pub fn recall_at_k(ranked: &[&str], relevant: &HashSet<&str>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(ranked.len());
+    let hits = ranked[..k].iter().filter(|g| relevant.contains(*g)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Average precision: mean of precision@rank over the ranks of relevant
+/// items, normalized by the number of relevant items (AP = area under the
+/// precision-recall curve for a single query).
+pub fn average_precision(ranked: &[&str], relevant: &HashSet<&str>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut acc = 0.0f64;
+    for (i, g) in ranked.iter().enumerate() {
+        if relevant.contains(g) {
+            hits += 1;
+            acc += hits as f64 / (i + 1) as f64;
+        }
+    }
+    acc / relevant.len() as f64
+}
+
+/// Rank (1-based) of the first relevant item, if any.
+pub fn first_relevant_rank(ranked: &[&str], relevant: &HashSet<&str>) -> Option<usize> {
+    ranked
+        .iter()
+        .position(|g| relevant.contains(g))
+        .map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(items: &[&'static str]) -> HashSet<&'static str> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_perfect_prefix() {
+        let ranked = ["a", "b", "c", "d"];
+        let r = rel(&["a", "b"]);
+        assert_eq!(precision_at_k(&ranked, &r, 2), 1.0);
+        assert_eq!(precision_at_k(&ranked, &r, 4), 0.5);
+    }
+
+    #[test]
+    fn precision_k_beyond_len_clamps() {
+        let ranked = ["a"];
+        let r = rel(&["a"]);
+        assert_eq!(precision_at_k(&ranked, &r, 10), 1.0);
+    }
+
+    #[test]
+    fn precision_edge_cases() {
+        let r = rel(&["a"]);
+        assert_eq!(precision_at_k(&[], &r, 5), 0.0);
+        assert_eq!(precision_at_k(&["a"], &r, 0), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_fraction() {
+        let ranked = ["a", "x", "b", "y"];
+        let r = rel(&["a", "b", "c"]);
+        assert!((recall_at_k(&ranked, &r, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&ranked, &rel(&[]), 3), 0.0);
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        let ranked = ["a", "b", "x", "y"];
+        let r = rel(&["a", "b"]);
+        assert!((average_precision(&ranked, &r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_known_value() {
+        // relevant at ranks 1 and 3: AP = (1/1 + 2/3)/2 = 5/6
+        let ranked = ["a", "x", "b"];
+        let r = rel(&["a", "b"]);
+        assert!((average_precision(&ranked, &r) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_missing_items_penalized() {
+        // only one of two relevant items ever retrieved
+        let ranked = ["a", "x", "y"];
+        let r = rel(&["a", "b"]);
+        assert!((average_precision(&ranked, &r) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_relevant_rank_found() {
+        let ranked = ["x", "y", "a"];
+        assert_eq!(first_relevant_rank(&ranked, &rel(&["a"])), Some(3));
+        assert_eq!(first_relevant_rank(&ranked, &rel(&["z"])), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Query-coherence dataset weighting.
+//!
+//! SPELL's "key contribution lies in that rather than searching through a
+//! collection of data by text matches, SPELL uses the information within
+//! the data" (paper, Section 3): a dataset matters for a query exactly to
+//! the extent the query genes co-express *in that dataset*. The weight is
+//! the mean pairwise correlation among the query genes present there,
+//! clamped at zero (anti-coherent datasets are ignored rather than
+//! penalized, per Hibbs et al.).
+
+use crate::prep::PreparedDataset;
+
+/// Weight of one dataset for a query given as row indices into the dataset.
+///
+/// Returns 0 when fewer than two valid query rows are present.
+pub fn dataset_weight(ds: &PreparedDataset, query_rows: &[usize]) -> f32 {
+    let valid: Vec<usize> = query_rows
+        .iter()
+        .copied()
+        .filter(|&r| ds.is_valid(r))
+        .collect();
+    if valid.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for i in 0..valid.len() - 1 {
+        for j in (i + 1)..valid.len() {
+            sum += ds.corr(valid[i], valid[j]) as f64;
+            n += 1;
+        }
+    }
+    ((sum / n as f64) as f32).max(0.0)
+}
+
+/// Weights for all datasets; `query_rows_per_dataset[d]` lists the query's
+/// row indices within dataset `d` (genes absent from the dataset omitted).
+pub fn all_weights(
+    datasets: &[PreparedDataset],
+    query_rows_per_dataset: &[Vec<usize>],
+) -> Vec<f32> {
+    assert_eq!(datasets.len(), query_rows_per_dataset.len());
+    datasets
+        .iter()
+        .zip(query_rows_per_dataset)
+        .map(|(ds, rows)| dataset_weight(ds, rows))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_expr::matrix::ExprMatrix;
+
+    fn prep(vals: &[f32], rows: usize, cols: usize) -> PreparedDataset {
+        let m = ExprMatrix::from_rows(rows, cols, vals).unwrap();
+        let ids = (0..rows).map(|i| format!("G{i}")).collect();
+        PreparedDataset::from_matrix("d", &m, ids)
+    }
+
+    #[test]
+    fn coherent_query_high_weight() {
+        // rows 0,1,2 share a pattern
+        let p = prep(
+            &[
+                1.0, 2.0, 3.0, 4.0, //
+                1.1, 2.1, 3.1, 4.1, //
+                0.9, 1.9, 2.9, 3.9, //
+                4.0, 1.0, 3.0, 2.0,
+            ],
+            4,
+            4,
+        );
+        let w = dataset_weight(&p, &[0, 1, 2]);
+        assert!(w > 0.95, "coherent weight {w}");
+    }
+
+    #[test]
+    fn incoherent_query_low_weight() {
+        let p = prep(
+            &[
+                1.0, 2.0, 3.0, 4.0, //
+                4.0, 3.0, 2.0, 1.0, // anti-correlated with row 0
+            ],
+            2,
+            4,
+        );
+        let w = dataset_weight(&p, &[0, 1]);
+        assert_eq!(w, 0.0, "anti-coherence clamps to zero");
+    }
+
+    #[test]
+    fn single_present_gene_zero_weight() {
+        let p = prep(&[1.0, 2.0, 3.0, 4.0], 1, 4);
+        assert_eq!(dataset_weight(&p, &[0]), 0.0);
+        assert_eq!(dataset_weight(&p, &[]), 0.0);
+    }
+
+    #[test]
+    fn invalid_rows_excluded() {
+        // row 1 constant → invalid after prep
+        let p = prep(
+            &[
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 5.0, 5.0, 5.0, //
+                1.2, 2.2, 3.2, 4.2,
+            ],
+            3,
+            4,
+        );
+        let w_all = dataset_weight(&p, &[0, 1, 2]);
+        let w_pair = dataset_weight(&p, &[0, 2]);
+        assert!((w_all - w_pair).abs() < 1e-6);
+        assert_eq!(dataset_weight(&p, &[0, 1]), 0.0); // only one valid row
+    }
+
+    #[test]
+    fn all_weights_shapes() {
+        let a = prep(&[1.0, 2.0, 3.0, 4.0, 1.1, 2.1, 3.1, 4.1], 2, 4);
+        let b = prep(&[1.0, 2.0, 3.0, 4.0, 4.2, 3.1, 2.4, 1.3], 2, 4);
+        let ws = all_weights(&[a, b], &[vec![0, 1], vec![0, 1]]);
+        assert_eq!(ws.len(), 2);
+        assert!(ws[0] > 0.9);
+        assert_eq!(ws[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn all_weights_length_mismatch_panics() {
+        let a = prep(&[1.0, 2.0, 3.0, 4.0], 1, 4);
+        let _ = all_weights(&[a], &[]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of SPELL's preparation and ranking layers.
+
+use fv_expr::matrix::ExprMatrix;
+use fv_spell::prep::PreparedDataset;
+use fv_spell::rank::{combine_rankings, dataset_gene_scores};
+use fv_spell::weight::dataset_weight;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_prepared()(
+        n_rows in 2usize..16,
+        n_cols in 4usize..12,
+        seed in any::<u64>(),
+    ) -> PreparedDataset {
+        let mut vals = Vec::with_capacity(n_rows * n_cols);
+        let mut s = seed | 1;
+        for _ in 0..n_rows * n_cols {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            vals.push(((s % 2001) as f32 - 1000.0) / 150.0);
+        }
+        let m = ExprMatrix::from_rows(n_rows, n_cols, &vals).unwrap();
+        let ids = (0..n_rows).map(|i| format!("G{i}")).collect();
+        PreparedDataset::from_matrix("prop", &m, ids)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prepared_rows_unit_or_zero(p in arb_prepared()) {
+        for r in 0..p.n_genes() {
+            let n2: f32 = p.row(r).iter().map(|v| v * v).sum();
+            if p.is_valid(r) {
+                prop_assert!((n2 - 1.0).abs() < 1e-4, "row {r} norm² {n2}");
+            } else {
+                prop_assert_eq!(n2, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn corr_bounded_and_symmetric(p in arb_prepared(), a in any::<usize>(), b in any::<usize>()) {
+        let a = a % p.n_genes();
+        let b = b % p.n_genes();
+        let c1 = p.corr(a, b);
+        let c2 = p.corr(b, a);
+        prop_assert!((c1 - c2).abs() < 1e-6);
+        prop_assert!(c1 >= -1.0 - 1e-4 && c1 <= 1.0 + 1e-4, "corr {c1} out of range");
+        if p.is_valid(a) {
+            prop_assert!((p.corr(a, a) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn weight_nonnegative_and_bounded(p in arb_prepared(), picks in any::<u64>()) {
+        let rows: Vec<usize> = (0..p.n_genes()).filter(|r| (picks >> (r % 64)) & 1 == 1).collect();
+        let w = dataset_weight(&p, &rows);
+        prop_assert!(w >= 0.0);
+        prop_assert!(w <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn scores_bounded(p in arb_prepared(), picks in any::<u64>()) {
+        let rows: Vec<usize> = (0..p.n_genes()).filter(|r| (picks >> (r % 64)) & 1 == 1).collect();
+        let scores = dataset_gene_scores(&p, &rows);
+        prop_assert_eq!(scores.len(), p.n_genes());
+        for s in scores.into_iter().flatten() {
+            prop_assert!(s >= -1.0 - 1e-3 && s <= 1.0 + 1e-3, "score {s} out of range");
+        }
+    }
+
+    #[test]
+    fn combined_ranking_sorted_and_complete(
+        scores in prop::collection::vec(prop::collection::vec(prop::option::of(-1.0f32..1.0), 8), 1..5),
+        weights in prop::collection::vec(0.0f32..2.0, 1..5),
+    ) {
+        let d = scores.len().min(weights.len());
+        let scores = &scores[..d];
+        let weights = &weights[..d];
+        let names: Vec<String> = (0..8).map(|i| format!("G{i}")).collect();
+        let query = vec![false; 8];
+        let ranked = combine_rankings(scores, weights, &names, &query);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-6);
+        }
+        // every ranked gene was measured in ≥1 positively-weighted dataset
+        for g in &ranked {
+            prop_assert!(g.n_datasets >= 1);
+        }
+        // no duplicates
+        let mut names_out: Vec<&str> = ranked.iter().map(|g| g.gene.as_str()).collect();
+        names_out.sort_unstable();
+        names_out.dedup();
+        prop_assert_eq!(names_out.len(), ranked.len());
+    }
+
+    #[test]
+    fn weighted_scores_are_convex_combinations(
+        s1 in -1.0f32..1.0, s2 in -1.0f32..1.0,
+        w1 in 0.01f32..2.0, w2 in 0.01f32..2.0,
+    ) {
+        let per = vec![vec![Some(s1)], vec![Some(s2)]];
+        let names = vec!["A".to_string()];
+        let ranked = combine_rankings(&per, &[w1, w2], &names, &[false]);
+        let expect = (w1 * s1 + w2 * s2) / (w1 + w2);
+        prop_assert!((ranked[0].score - expect).abs() < 1e-5);
+        // bounded by inputs (convexity)
+        let lo = s1.min(s2) - 1e-5;
+        let hi = s1.max(s2) + 1e-5;
+        prop_assert!(ranked[0].score >= lo && ranked[0].score <= hi);
+    }
+}

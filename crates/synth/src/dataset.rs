@@ -1,0 +1,439 @@
+//! Dataset generators: stress time courses, nutrient-limitation chemostats,
+//! knockout compendia, and generic compendium members.
+//!
+//! Every generator follows the same model. A condition carries an *activity
+//! level* for each planted module; gene `g`'s log₂-ratio in condition `c` is
+//!
+//! ```text
+//! value(g, c) = load(g) · signed_amplitude(module(g)) · activity(c, module(g))
+//!             + N(0, noise_sd)
+//! ```
+//!
+//! where `load(g)` is a fixed per-gene responsiveness (so the same gene
+//! responds consistently across datasets — the property that makes
+//! cross-dataset correlation, and hence the Section-4 analysis, work), and
+//! ESR-repressed modules contribute with negative sign. Rows are emitted in
+//! a per-dataset shuffled order: real datasets never agree on row order,
+//! which is exactly what ForestView's merged interface and synchronized
+//! views exist to handle.
+
+use crate::modules::{GroundTruth, ModuleKind};
+use crate::names;
+use fv_expr::matrix::ExprMatrix;
+use fv_expr::meta::{ConditionMeta, GeneMeta};
+use fv_expr::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise / missingness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Standard deviation of the additive Gaussian noise (log₂ units).
+    pub noise_sd: f32,
+    /// Fraction of cells marked missing, in `[0, 1)`.
+    pub missing_fraction: f32,
+    /// Seed for this dataset's randomness.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            noise_sd: 0.35,
+            missing_fraction: 0.02,
+            seed: 1,
+        }
+    }
+}
+
+/// One condition: display label plus per-module activity levels.
+#[derive(Debug, Clone)]
+pub struct CondSpec {
+    /// Column label, e.g. `heat shock 15 min`.
+    pub label: String,
+    /// Activity of each module (indexed like `truth.modules`), in `[0, 1]`
+    /// typically; negative collapses a module.
+    pub activity: Vec<f32>,
+}
+
+/// Standard normal via Box–Muller (rand 0.8 has no Gaussian distribution
+/// without the `rand_distr` crate, which we avoid pulling in).
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Fixed per-gene responsiveness in ~N(1, 0.15), derived from the gene
+/// index alone so it is identical across datasets.
+pub fn gene_load(gene: usize) -> f32 {
+    // splitmix64 hash → uniform → mild spread around 1.0
+    let mut z = (gene as u64).wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    let u = (z >> 11) as f32 / (1u64 << 53) as f32;
+    0.7 + 0.6 * u // uniform in [0.7, 1.3]
+}
+
+fn signed_amplitude(kind: ModuleKind, amplitude: f32) -> f32 {
+    match kind {
+        ModuleKind::EsrRepressed => -amplitude,
+        _ => amplitude,
+    }
+}
+
+/// Synthesize a dataset from condition specs. Rows are shuffled with the
+/// config seed; gene metadata carries the universe index in its ORF name.
+pub fn synthesize(
+    name: &str,
+    truth: &GroundTruth,
+    conditions: &[CondSpec],
+    cfg: &GenConfig,
+) -> Dataset {
+    let n = truth.n_genes;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Shuffled row order.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+
+    let mut matrix = ExprMatrix::zeros(n, conditions.len());
+    for (row, &g) in order.iter().enumerate() {
+        let load = gene_load(g);
+        let contribution = truth.membership[g].map(|mi| {
+            let m = &truth.modules[mi];
+            (mi, signed_amplitude(m.kind, m.amplitude))
+        });
+        for (c, cond) in conditions.iter().enumerate() {
+            let signal = match contribution {
+                Some((mi, amp)) => load * amp * cond.activity[mi],
+                None => 0.0,
+            };
+            let v = signal + cfg.noise_sd * gaussian(&mut rng);
+            if cfg.missing_fraction > 0.0 && rng.gen::<f32>() < cfg.missing_fraction {
+                matrix.set_missing(row, c);
+            } else {
+                matrix.set(row, c, v);
+            }
+        }
+    }
+
+    let genes: Vec<GeneMeta> = order
+        .iter()
+        .map(|&g| GeneMeta {
+            id: names::orf_name(g),
+            name: names::common_name(g),
+            annotation: names::annotation_text(g, truth.module_name_of(g)),
+            weight: 1.0,
+        })
+        .collect();
+    let conds: Vec<ConditionMeta> = conditions
+        .iter()
+        .map(|c| ConditionMeta::new(c.label.clone()))
+        .collect();
+    Dataset::new(name, matrix, genes, conds).expect("generated shapes agree")
+}
+
+/// Index of the first specific module whose name contains `needle`.
+fn specific_module(truth: &GroundTruth, needle: &str) -> Option<usize> {
+    truth
+        .modules
+        .iter()
+        .position(|m| m.kind == ModuleKind::Specific && m.name.contains(needle))
+}
+
+/// Gasch-style environmental stress time courses: for each stress family,
+/// a 5-point ramp activating the ESR plus the family's specific module.
+pub fn stress_dataset(name: &str, truth: &GroundTruth, cfg: &GenConfig) -> Dataset {
+    const RAMP: [(u32, f32); 5] = [(0, 0.0), (5, 0.4), (15, 0.8), (30, 1.0), (60, 0.7)];
+    const FAMILIES: [(&str, &str); 3] = [
+        ("heat shock", "heat shock"),
+        ("oxidative", "oxidative"),
+        ("osmotic", "osmotic"),
+    ];
+    let n_mod = truth.modules.len();
+    let mut conds = Vec::new();
+    for (label, needle) in FAMILIES {
+        let sm = specific_module(truth, needle);
+        for (minutes, level) in RAMP {
+            let mut act = vec![0.0f32; n_mod];
+            act[0] = level; // ESR induced
+            act[1] = level; // ESR repressed (sign handled by amplitude)
+            if let Some(s) = sm {
+                act[s] = level;
+            }
+            conds.push(CondSpec {
+                label: format!("{label} {minutes} min"),
+                activity: act,
+            });
+        }
+    }
+    synthesize(name, truth, &conds, cfg)
+}
+
+/// Brauer/Saldanha-style chemostat nutrient limitations: six nutrients ×
+/// dilution rates; slower growth means stronger ESR, and two nutrients
+/// additionally drive their matching specific modules.
+pub fn nutrient_limitation_dataset(name: &str, truth: &GroundTruth, cfg: &GenConfig) -> Dataset {
+    const NUTRIENTS: [&str; 6] = ["glucose", "nitrogen", "phosphate", "sulfur", "leucine", "uracil"];
+    const DILUTIONS: [f32; 4] = [0.05, 0.1, 0.2, 0.3];
+    let n_mod = truth.modules.len();
+    let nitrogen_m = specific_module(truth, "nitrogen");
+    let phosphate_m = specific_module(truth, "phosphate");
+    let mut conds = Vec::new();
+    for nutrient in NUTRIENTS {
+        for d in DILUTIONS {
+            // growth rate ∝ dilution in a chemostat; ESR strength rises as
+            // growth slows (Brauer's growth-rate signature).
+            let esr = 1.0 - d / 0.3;
+            let mut act = vec![0.0f32; n_mod];
+            act[0] = esr;
+            act[1] = esr;
+            if nutrient == "nitrogen" {
+                if let Some(m) = nitrogen_m {
+                    act[m] = 0.8;
+                }
+            }
+            if nutrient == "phosphate" {
+                if let Some(m) = phosphate_m {
+                    act[m] = 0.8;
+                }
+            }
+            conds.push(CondSpec {
+                label: format!("{nutrient} limited D={d}"),
+                activity: act,
+            });
+        }
+    }
+    synthesize(name, truth, &conds, cfg)
+}
+
+/// Hughes-style knockout compendium: each condition deletes one gene. When
+/// the deleted gene belongs to a module, that module collapses (negative
+/// activity); independently, a fraction of knockouts are *slow growers*
+/// whose profile is dominated by the general stress response — the
+/// confound the Section-4 case study untangles.
+pub fn knockout_dataset(
+    name: &str,
+    truth: &GroundTruth,
+    n_knockouts: usize,
+    slow_grower_fraction: f32,
+    cfg: &GenConfig,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0DE_5EED);
+    let n_mod = truth.modules.len();
+    let mut conds = Vec::new();
+    for k in 0..n_knockouts {
+        // Alternate module-member knockouts and random ones so the module
+        // collapse signal is well represented.
+        let gene = if k % 2 == 0 && !truth.modules[k % n_mod].genes.is_empty() {
+            let m = &truth.modules[k % n_mod];
+            m.genes[rng.gen_range(0..m.genes.len())]
+        } else {
+            rng.gen_range(0..truth.n_genes)
+        };
+        let mut act = vec![0.0f32; n_mod];
+        if let Some(mi) = truth.membership[gene] {
+            act[mi] = -0.9; // deleting a member collapses its module
+        }
+        if rng.gen::<f32>() < slow_grower_fraction {
+            act[0] = 0.85;
+            act[1] = 0.85;
+        }
+        conds.push(CondSpec {
+            label: format!("ko {}", names::orf_name(gene)),
+            activity: act,
+        });
+    }
+    synthesize(name, truth, &conds, cfg)
+}
+
+/// A generic compendium member: each condition activates the ESR with
+/// probability 0.3 and one random specific module with probability 0.5.
+pub fn generic_dataset(
+    name: &str,
+    truth: &GroundTruth,
+    n_conditions: usize,
+    cfg: &GenConfig,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6E6E);
+    let n_mod = truth.modules.len();
+    let mut conds = Vec::new();
+    for c in 0..n_conditions {
+        let mut act = vec![0.0f32; n_mod];
+        if rng.gen::<f32>() < 0.3 {
+            let level = rng.gen_range(0.5..1.0);
+            act[0] = level;
+            act[1] = level;
+        }
+        if n_mod > 2 && rng.gen::<f32>() < 0.5 {
+            let m = rng.gen_range(2..n_mod);
+            act[m] = rng.gen_range(0.5..1.0);
+        }
+        conds.push(CondSpec {
+            label: format!("experiment {c}"),
+            activity: act,
+        });
+    }
+    synthesize(name, truth, &conds, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::plant_modules;
+    use fv_expr::stats;
+
+    fn truth() -> GroundTruth {
+        plant_modules(400, 3, 25, 9)
+    }
+
+    fn find_rows(ds: &Dataset, genes: &[usize]) -> Vec<usize> {
+        genes
+            .iter()
+            .filter_map(|&g| ds.find_gene(&names::orf_name(g)))
+            .collect()
+    }
+
+    #[test]
+    fn stress_dataset_shapes() {
+        let t = truth();
+        let ds = stress_dataset("stress", &t, &GenConfig::default());
+        assert_eq!(ds.n_genes(), 400);
+        assert_eq!(ds.n_conditions(), 15); // 3 families × 5 points
+        assert!(ds.condition_labels()[1].contains("heat shock 5 min"));
+    }
+
+    #[test]
+    fn esr_genes_induced_under_stress() {
+        let t = truth();
+        let ds = stress_dataset("stress", &t, &GenConfig { noise_sd: 0.1, missing_fraction: 0.0, seed: 3 });
+        let rows = find_rows(&ds, t.esr_induced());
+        // At the strongest time point (30 min heat = column 3) ESR genes sit
+        // well above zero on average.
+        let mean: f64 = rows
+            .iter()
+            .map(|&r| ds.matrix.get(r, 3).unwrap() as f64)
+            .sum::<f64>()
+            / rows.len() as f64;
+        assert!(mean > 1.5, "ESR induction mean {mean}");
+        // and repressed genes below zero
+        let rrows = find_rows(&ds, t.esr_repressed());
+        let rmean: f64 = rrows
+            .iter()
+            .map(|&r| ds.matrix.get(r, 3).unwrap() as f64)
+            .sum::<f64>()
+            / rrows.len() as f64;
+        assert!(rmean < -1.0, "ESR repression mean {rmean}");
+    }
+
+    #[test]
+    fn module_genes_correlate_within_dataset() {
+        let t = truth();
+        let ds = stress_dataset("s", &t, &GenConfig { noise_sd: 0.2, missing_fraction: 0.0, seed: 4 });
+        let rows = find_rows(&ds, &t.esr_induced()[..6]);
+        let mut corrs = Vec::new();
+        for i in 0..rows.len() - 1 {
+            for j in (i + 1)..rows.len() {
+                if let Some(r) = stats::pearson_rows(&ds.matrix, rows[i], &ds.matrix, rows[j], 3) {
+                    corrs.push(r);
+                }
+            }
+        }
+        let mean = corrs.iter().sum::<f64>() / corrs.len() as f64;
+        assert!(mean > 0.7, "within-module correlation {mean}");
+    }
+
+    #[test]
+    fn rows_are_shuffled_per_dataset() {
+        let t = truth();
+        let a = stress_dataset("a", &t, &GenConfig { seed: 1, ..GenConfig::default() });
+        let b = stress_dataset("b", &t, &GenConfig { seed: 2, ..GenConfig::default() });
+        let ids_a: Vec<&str> = a.genes.iter().take(20).map(|g| g.id.as_str()).collect();
+        let ids_b: Vec<&str> = b.genes.iter().take(20).map(|g| g.id.as_str()).collect();
+        assert_ne!(ids_a, ids_b, "row orders should differ between datasets");
+    }
+
+    #[test]
+    fn nutrient_dataset_slow_growth_activates_esr() {
+        let t = truth();
+        let ds = nutrient_limitation_dataset("nl", &t, &GenConfig { noise_sd: 0.1, missing_fraction: 0.0, seed: 5 });
+        assert_eq!(ds.n_conditions(), 24);
+        let rows = find_rows(&ds, &t.esr_induced()[..10]);
+        // column 0 = glucose D=0.05 (slow, stressed); column 3 = D=0.3 (fast)
+        let slow: f64 = rows.iter().map(|&r| ds.matrix.get(r, 0).unwrap() as f64).sum::<f64>() / 10.0;
+        let fast: f64 = rows.iter().map(|&r| ds.matrix.get(r, 3).unwrap() as f64).sum::<f64>() / 10.0;
+        assert!(slow > fast + 1.0, "slow {slow} vs fast {fast}");
+    }
+
+    #[test]
+    fn knockout_collapses_module() {
+        let t = truth();
+        let ds = knockout_dataset("ko", &t, 40, 0.0, &GenConfig { noise_sd: 0.1, missing_fraction: 0.0, seed: 6 });
+        assert_eq!(ds.n_conditions(), 40);
+        // Find a knockout column that names an ESR-induced member; its
+        // module-mates should be negative there.
+        let esr: std::collections::HashSet<usize> = t.esr_induced().iter().copied().collect();
+        let col = (0..ds.n_conditions()).find(|&c| {
+            let label = &ds.conditions[c].label;
+            let orf = label.strip_prefix("ko ").unwrap();
+            (0..t.n_genes).any(|g| esr.contains(&g) && names::orf_name(g) == orf)
+        });
+        if let Some(c) = col {
+            let rows = find_rows(&ds, &t.esr_induced()[..10]);
+            let mean: f64 = rows.iter().map(|&r| ds.matrix.get(r, c).unwrap() as f64).sum::<f64>() / 10.0;
+            assert!(mean < -1.0, "collapsed module mean {mean}");
+        } else {
+            panic!("no ESR knockout generated");
+        }
+    }
+
+    #[test]
+    fn slow_growers_show_stress_signature() {
+        let t = truth();
+        let ds = knockout_dataset("ko", &t, 60, 1.0, &GenConfig { noise_sd: 0.1, missing_fraction: 0.0, seed: 7 });
+        let rows = find_rows(&ds, &t.esr_induced()[..10]);
+        // with every knockout a slow grower, ESR genes average positive
+        let mut total = 0.0f64;
+        let mut n = 0usize;
+        for &r in &rows {
+            for c in 0..ds.n_conditions() {
+                if let Some(v) = ds.matrix.get(r, c) {
+                    total += v as f64;
+                    n += 1;
+                }
+            }
+        }
+        assert!(total / n as f64 > 1.0);
+    }
+
+    #[test]
+    fn missing_fraction_respected() {
+        let t = truth();
+        let ds = generic_dataset("g", &t, 30, &GenConfig { noise_sd: 0.3, missing_fraction: 0.1, seed: 8 });
+        let frac = ds.matrix.missing_fraction();
+        assert!((frac - 0.1).abs() < 0.02, "missing fraction {frac}");
+    }
+
+    #[test]
+    fn generator_deterministic() {
+        let t = truth();
+        let cfg = GenConfig::default();
+        let a = generic_dataset("g", &t, 10, &cfg);
+        let b = generic_dataset("g", &t, 10, &cfg);
+        assert_eq!(a.matrix, b.matrix);
+    }
+
+    #[test]
+    fn gene_load_stable_and_bounded() {
+        for g in [0usize, 17, 999, 123456] {
+            let l = gene_load(g);
+            assert_eq!(l, gene_load(g));
+            assert!((0.7..=1.3).contains(&l));
+        }
+    }
+}

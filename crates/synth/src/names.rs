@@ -1,0 +1,93 @@
+//! Yeast-like gene naming.
+//!
+//! Systematic names follow the *S. cerevisiae* ORF convention:
+//! `Y<chromosome A–P><arm L|R><3-digit index><strand W|C>`, e.g.
+//! `YAL005C`. Common names are three uppercase letters plus a number
+//! (`HSP12`). Deterministic: gene `i` always gets the same names.
+
+/// Systematic ORF-style name for gene index `i`.
+pub fn orf_name(i: usize) -> String {
+    const CHROMS: [char; 16] = [
+        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P',
+    ];
+    let strand = if i % 2 == 0 { 'W' } else { 'C' };
+    let arm = if (i / 2) % 2 == 0 { 'L' } else { 'R' };
+    let chrom = CHROMS[(i / 4) % 16];
+    let num = (i / 128) + 1 + (i % 128) * 0; // stable 3+ digit block per 128 genes
+    let idx = (i % 128) + 1 + num * 0;
+    // Combine blocks so names stay unique for large i: the numeric field
+    // carries both the within-block index and the block number.
+    let numeric = (i / (16 * 4)) * 128 + (i % 128) + 1;
+    let _ = (num, idx);
+    format!("Y{chrom}{arm}{numeric:03}{strand}")
+}
+
+/// Common (gene-symbol) name for gene index `i`.
+pub fn common_name(i: usize) -> String {
+    const PREFIXES: [&str; 24] = [
+        "HSP", "SSA", "RPL", "RPS", "CTT", "TPS", "GPD", "ENO", "PGK", "ADH", "CYC", "COX",
+        "ATP", "PMA", "SNF", "GAL", "MIG", "TUP", "MSN", "YAP", "SOD", "TRX", "GRX", "PHO",
+    ];
+    format!("{}{}", PREFIXES[i % PREFIXES.len()], i / PREFIXES.len() + 1)
+}
+
+/// Annotation text for gene `i`, mentioning its module role so that
+/// ForestView's annotation search has realistic material to match.
+pub fn annotation_text(i: usize, module: Option<&str>) -> String {
+    match module {
+        Some(m) => format!("protein involved in {m}; ORF index {i}"),
+        None => format!("uncharacterized protein; ORF index {i}"),
+    }
+}
+
+/// The first `n` ORF names.
+pub fn orf_names(n: usize) -> Vec<String> {
+    (0..n).map(orf_name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn orf_name_format() {
+        let n = orf_name(0);
+        assert_eq!(n.len(), 7);
+        assert!(n.starts_with('Y'));
+        assert!(n.ends_with('W') || n.ends_with('C'));
+        let arm = n.chars().nth(2).unwrap();
+        assert!(arm == 'L' || arm == 'R');
+    }
+
+    #[test]
+    fn orf_names_unique_at_scale() {
+        let names = orf_names(50_000);
+        let set: HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), 50_000, "ORF names must be unique");
+    }
+
+    #[test]
+    fn orf_name_deterministic() {
+        assert_eq!(orf_name(1234), orf_name(1234));
+        assert_ne!(orf_name(1), orf_name(2));
+    }
+
+    #[test]
+    fn common_names_plausible() {
+        let c = common_name(0);
+        assert!(c.starts_with("HSP"));
+        assert_eq!(common_name(24), "HSP2");
+        // unique across a realistic range
+        let set: HashSet<String> = (0..10_000).map(common_name).collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn annotation_mentions_module() {
+        let a = annotation_text(5, Some("oxidative stress response"));
+        assert!(a.contains("oxidative stress response"));
+        let b = annotation_text(5, None);
+        assert!(b.contains("uncharacterized"));
+    }
+}

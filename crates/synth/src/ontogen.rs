@@ -1,0 +1,221 @@
+//! GO-like ontology generation aligned with planted modules.
+//!
+//! GOLEM needs a hierarchy and annotations. We build one whose *leaf* terms
+//! correspond to the planted modules (so enrichment of a recovered module
+//! is discoverable), embedded in a filler hierarchy of realistic size and
+//! branching, with genes annotated to their module's term plus background
+//! annotations spread over filler terms.
+
+use crate::modules::GroundTruth;
+use crate::names;
+use fv_ontology::annotations::AnnotationSet;
+use fv_ontology::dag::{DagBuilder, OntologyDag, RelType};
+use fv_ontology::term::{Namespace, Term, TermId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated ontology bundle.
+#[derive(Debug)]
+pub struct GeneratedOntology {
+    /// The DAG.
+    pub dag: OntologyDag,
+    /// Direct annotations (un-propagated).
+    pub annotations: AnnotationSet,
+    /// Term ids corresponding to each planted module (same order as
+    /// `truth.modules`).
+    pub module_terms: Vec<TermId>,
+}
+
+/// Generate an ontology of roughly `n_filler` filler terms plus one leaf
+/// term per planted module.
+///
+/// Structure: a root, a small layer of top categories, filler terms
+/// attached by preferential chains (each term picks a parent among earlier
+/// terms, keeping depth realistic), occasional `part_of` second parents
+/// (GO is a DAG, not a tree), and the module terms attached under the
+/// "response to stimulus" category.
+pub fn generate_ontology(truth: &GroundTruth, n_filler: usize, seed: u64) -> GeneratedOntology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::new();
+    let mut next_acc = 0usize;
+    let acc = |next_acc: &mut usize| -> String {
+        let s = format!("GO:{:07}", *next_acc);
+        *next_acc += 1;
+        s
+    };
+
+    let root = b
+        .add_term(Term::new(acc(&mut next_acc), "biological_process", Namespace::BiologicalProcess))
+        .unwrap();
+    const CATEGORIES: [&str; 5] = [
+        "response to stimulus",
+        "metabolic process",
+        "cellular component organization",
+        "transport",
+        "gene expression",
+    ];
+    let cats: Vec<TermId> = CATEGORIES
+        .iter()
+        .map(|name| {
+            let t = b
+                .add_term(Term::new(acc(&mut next_acc), *name, Namespace::BiologicalProcess))
+                .unwrap();
+            b.add_edge(t, root, RelType::IsA);
+            t
+        })
+        .collect();
+
+    // Filler terms: parent chosen among all existing non-root terms,
+    // biased toward recent ones to produce chains (depth) as well as
+    // bushes (breadth).
+    let mut filler: Vec<TermId> = Vec::with_capacity(n_filler);
+    let mut all_attachable: Vec<TermId> = cats.clone();
+    for i in 0..n_filler {
+        let t = b
+            .add_term(Term::new(
+                acc(&mut next_acc),
+                format!("filler process {i}"),
+                Namespace::BiologicalProcess,
+            ))
+            .unwrap();
+        let parent = if rng.gen::<f32>() < 0.5 && !filler.is_empty() {
+            // chain: attach under a recent filler term
+            let lo = filler.len().saturating_sub(20);
+            filler[rng.gen_range(lo..filler.len())]
+        } else {
+            all_attachable[rng.gen_range(0..all_attachable.len())]
+        };
+        b.add_edge(t, parent, RelType::IsA);
+        // occasional second parent (part_of) makes it a true DAG
+        if rng.gen::<f32>() < 0.15 {
+            let second = all_attachable[rng.gen_range(0..all_attachable.len())];
+            if second != parent {
+                b.add_edge(t, second, RelType::PartOf);
+            }
+        }
+        filler.push(t);
+        all_attachable.push(t);
+    }
+
+    // Module terms under "response to stimulus".
+    let stimulus = cats[0];
+    let module_terms: Vec<TermId> = truth
+        .modules
+        .iter()
+        .map(|m| {
+            let t = b
+                .add_term(Term::new(acc(&mut next_acc), m.name.clone(), Namespace::BiologicalProcess))
+                .unwrap();
+            b.add_edge(t, stimulus, RelType::IsA);
+            t
+        })
+        .collect();
+
+    let dag = b.build().expect("generated ontology is acyclic");
+
+    // Annotations: module genes to their module term; every gene gets 1–3
+    // background annotations on filler terms.
+    let mut ann = AnnotationSet::new();
+    for g in 0..truth.n_genes {
+        let gene = names::orf_name(g);
+        ann.ensure_gene(&gene);
+        if let Some(mi) = truth.membership[g] {
+            ann.annotate(&gene, module_terms[mi]);
+        }
+        if !filler.is_empty() {
+            let extra = rng.gen_range(1..=3);
+            for _ in 0..extra {
+                let t = filler[rng.gen_range(0..filler.len())];
+                ann.annotate(&gene, t);
+            }
+        }
+    }
+
+    GeneratedOntology {
+        dag,
+        annotations: ann,
+        module_terms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::plant_modules;
+
+    fn setup() -> (GroundTruth, GeneratedOntology) {
+        let truth = plant_modules(300, 3, 25, 17);
+        let onto = generate_ontology(&truth, 200, 17);
+        (truth, onto)
+    }
+
+    #[test]
+    fn sizes_and_structure() {
+        let (truth, o) = setup();
+        // 1 root + 5 categories + 200 filler + module terms
+        assert_eq!(o.dag.n_terms(), 206 + truth.modules.len());
+        assert_eq!(o.module_terms.len(), truth.modules.len());
+        assert_eq!(o.dag.roots().len(), 1);
+    }
+
+    #[test]
+    fn module_genes_annotated_to_module_terms() {
+        let (truth, o) = setup();
+        let prop = o.annotations.propagate(&o.dag);
+        for (mi, m) in truth.modules.iter().enumerate() {
+            let t = o.module_terms[mi];
+            assert_eq!(prop.count(t), m.genes.len(), "module {}", m.name);
+            let g0 = names::orf_name(m.genes[0]);
+            assert!(prop.is_annotated(&g0, t));
+        }
+    }
+
+    #[test]
+    fn propagation_reaches_root() {
+        let (truth, o) = setup();
+        let prop = o.annotations.propagate(&o.dag);
+        let root = o.dag.roots()[0];
+        // every gene has ≥1 annotation → root covers the whole population
+        assert_eq!(prop.count(root), truth.n_genes);
+    }
+
+    #[test]
+    fn dag_has_multi_parent_terms() {
+        let (_, o) = setup();
+        let multi = o.dag.ids().filter(|&t| o.dag.parents(t).len() > 1).count();
+        assert!(multi > 5, "expected part_of second parents, found {multi}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let truth = plant_modules(100, 2, 15, 3);
+        let a = generate_ontology(&truth, 50, 3);
+        let b = generate_ontology(&truth, 50, 3);
+        assert_eq!(a.dag.n_terms(), b.dag.n_terms());
+        assert_eq!(a.dag.n_edges(), b.dag.n_edges());
+        let pa = a.annotations.propagate(&a.dag);
+        let pb = b.annotations.propagate(&b.dag);
+        for t in a.dag.ids() {
+            assert_eq!(pa.count(t), pb.count(t));
+        }
+    }
+
+    #[test]
+    fn enrichment_of_planted_module_detected() {
+        // end-to-end sanity: GOLEM enrichment must find the module term.
+        let (truth, o) = setup();
+        let prop = o.annotations.propagate(&o.dag);
+        let m = &truth.modules[2];
+        let genes: Vec<String> = m.genes.iter().take(15).map(|&g| names::orf_name(g)).collect();
+        let refs: Vec<&str> = genes.iter().map(|s| s.as_str()).collect();
+        let res = fv_golem::enrich(
+            &o.dag,
+            &prop,
+            &refs,
+            &fv_golem::EnrichmentConfig::default(),
+        );
+        assert!(!res.is_empty());
+        assert_eq!(res[0].term, o.module_terms[2], "module term should top the list");
+        assert!(res[0].p_bonferroni < 1e-10);
+    }
+}

@@ -1,0 +1,31 @@
+//! # fv-wall — display-wall simulator
+//!
+//! The paper runs ForestView on Princeton's scalable display wall (Figure 3)
+//! to buy "about two orders of magnitude" more pixels than a desktop
+//! (Section 1). We do not have a projector cluster; per the reproduction's
+//! substitution rule this crate simulates one faithfully at the level that
+//! matters for the paper's claims — pixels, partitioning, parallelism and
+//! distribution cost:
+//!
+//! - [`tile`] — tile grids (a wall is `tiles_x × tiles_y` fixed-resolution
+//!   tiles) with the Princeton-wall and desktop presets,
+//! - [`renderer`] — rayon-parallel per-tile rendering against any painter
+//!   callback, plus compositing into a single full-wall surface,
+//! - [`damage`] — dirty-rectangle tracking so dynamic interaction (pan,
+//!   zoom, selection) re-renders only what changed,
+//! - [`pipeline`] — an alternative crossbeam channel-based tile pipeline
+//!   (producer/worker/compositor), the ablation counterpart to the rayon
+//!   scheduler,
+//! - [`net`] — a distribution cost model (per-message latency + bandwidth)
+//!   for shipping rendered tiles to their display nodes,
+//! - [`stats`] — per-frame counters.
+
+pub mod damage;
+pub mod net;
+pub mod pipeline;
+pub mod renderer;
+pub mod stats;
+pub mod tile;
+
+pub use renderer::WallRenderer;
+pub use tile::TileGrid;

@@ -1,0 +1,127 @@
+//! Channel-based tile pipeline — the alternative scheduler.
+//!
+//! The rayon renderer ([`crate::renderer`]) uses work-stealing over tiles.
+//! This module implements the explicit producer / worker / compositor
+//! pipeline a distributed wall actually runs (each display node pulls tile
+//! jobs, renders, and ships the result), using crossbeam channels and
+//! scoped threads. Ablation A4 compares the two.
+
+use crate::stats::FrameStats;
+use crate::tile::TileGrid;
+use crossbeam::channel;
+use fv_render::Framebuffer;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Render a full wall frame through an `n_workers`-thread tile pipeline.
+/// Returns the composited wall image and frame stats.
+pub fn render_pipeline<F>(
+    grid: TileGrid,
+    n_workers: usize,
+    paint: F,
+) -> (Framebuffer, FrameStats)
+where
+    F: Fn(&mut Framebuffer, crate::tile::Viewport) + Sync,
+{
+    let start = Instant::now();
+    let n_workers = n_workers.max(1);
+    let (job_tx, job_rx) = channel::bounded::<usize>(grid.n_tiles());
+    let (done_tx, done_rx) = channel::bounded::<(usize, Framebuffer)>(grid.n_tiles());
+
+    // The compositor target is shared behind a mutex; workers ship whole
+    // tiles, the compositor blits. parking_lot keeps the uncontended path
+    // cheap (tiles arrive mostly serialized through the channel anyway).
+    let wall = Mutex::new(Framebuffer::new(grid.wall_width(), grid.wall_height()));
+    let paint = &paint;
+
+    std::thread::scope(|scope| {
+        // Producer: enqueue every tile index.
+        for i in 0..grid.n_tiles() {
+            job_tx.send(i).expect("queue sized for all tiles");
+        }
+        drop(job_tx);
+
+        // Workers.
+        for _ in 0..n_workers {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok(i) = job_rx.recv() {
+                    let vp = grid.tile_viewport_linear(i);
+                    let mut fb = Framebuffer::new(grid.tile_w, grid.tile_h);
+                    paint(&mut fb, vp);
+                    if done_tx.send((i, fb)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+
+        // Compositor (this thread).
+        while let Ok((i, fb)) = done_rx.recv() {
+            let vp = grid.tile_viewport_linear(i);
+            wall.lock().blit(&fb, vp.x as i64, vp.y as i64);
+        }
+    });
+
+    let pixels = grid.total_pixels();
+    let stats = FrameStats {
+        tiles_rendered: grid.n_tiles(),
+        pixels_rendered: pixels,
+        bytes_shipped: pixels * 3,
+        render_time: start.elapsed(),
+    };
+    (wall.into_inner(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::renderer::WallRenderer;
+    use crate::tile::Viewport;
+    use fv_render::color::Rgb;
+
+    fn coordinate_paint(fb: &mut Framebuffer, vp: Viewport) {
+        for y in 0..vp.h {
+            for x in 0..vp.w {
+                let wx = (vp.x + x) as u8;
+                let wy = (vp.y + y) as u8;
+                fb.put(x as i64, y as i64, Rgb::new(wx, wy, wx.wrapping_add(wy)));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_rayon_renderer() {
+        let grid = TileGrid::new(4, 3, 8, 8);
+        let (wall, stats) = render_pipeline(grid, 3, coordinate_paint);
+        let mut reference = WallRenderer::new(grid);
+        reference.render_frame(coordinate_paint);
+        assert_eq!(wall, reference.composite());
+        assert_eq!(stats.tiles_rendered, 12);
+    }
+
+    #[test]
+    fn single_worker_correct() {
+        let grid = TileGrid::new(2, 2, 5, 5);
+        let (wall, _) = render_pipeline(grid, 1, coordinate_paint);
+        assert_eq!(wall.get(0, 0), Some(Rgb::new(0, 0, 0)));
+        assert_eq!(wall.get(9, 9), Some(Rgb::new(9, 9, 18)));
+    }
+
+    #[test]
+    fn worker_count_oversubscription_ok() {
+        let grid = TileGrid::new(2, 1, 4, 4);
+        let (wall, stats) = render_pipeline(grid, 16, coordinate_paint);
+        assert_eq!(stats.tiles_rendered, 2);
+        assert_eq!(wall.width(), 8);
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let grid = TileGrid::new(1, 1, 4, 4);
+        let (wall, _) = render_pipeline(grid, 0, coordinate_paint);
+        assert_eq!(wall.height(), 4);
+    }
+}

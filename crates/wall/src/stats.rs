@@ -1,0 +1,74 @@
+//! Per-frame render statistics.
+
+use std::time::Duration;
+
+/// Counters for one rendered wall frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FrameStats {
+    /// Tiles actually repainted this frame.
+    pub tiles_rendered: usize,
+    /// Pixels actually repainted.
+    pub pixels_rendered: usize,
+    /// Bytes that would cross the network to display nodes (3 B/pixel for
+    /// repainted regions).
+    pub bytes_shipped: usize,
+    /// Wall-clock render time.
+    pub render_time: Duration,
+}
+
+impl FrameStats {
+    /// Accumulate another frame's counters (durations add).
+    pub fn accumulate(&mut self, other: &FrameStats) {
+        self.tiles_rendered += other.tiles_rendered;
+        self.pixels_rendered += other.pixels_rendered;
+        self.bytes_shipped += other.bytes_shipped;
+        self.render_time += other.render_time;
+    }
+
+    /// Pixels per second, 0 when no time elapsed.
+    pub fn pixels_per_second(&self) -> f64 {
+        let s = self.render_time.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.pixels_rendered as f64 / s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_adds() {
+        let mut a = FrameStats {
+            tiles_rendered: 2,
+            pixels_rendered: 100,
+            bytes_shipped: 300,
+            render_time: Duration::from_millis(5),
+        };
+        let b = FrameStats {
+            tiles_rendered: 1,
+            pixels_rendered: 50,
+            bytes_shipped: 150,
+            render_time: Duration::from_millis(3),
+        };
+        a.accumulate(&b);
+        assert_eq!(a.tiles_rendered, 3);
+        assert_eq!(a.pixels_rendered, 150);
+        assert_eq!(a.bytes_shipped, 450);
+        assert_eq!(a.render_time, Duration::from_millis(8));
+    }
+
+    #[test]
+    fn pixels_per_second() {
+        let s = FrameStats {
+            pixels_rendered: 1000,
+            render_time: Duration::from_millis(100),
+            ..Default::default()
+        };
+        assert!((s.pixels_per_second() - 10_000.0).abs() < 1.0);
+        assert_eq!(FrameStats::default().pixels_per_second(), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! E8 / Section 1 scale claims: "well over a quarter billion microarray
+//! measurements", datasets of "6,000 to 50,000 gene measurements over
+//! hundreds of experiments", "tens of such datasets simultaneously".
+//!
+//! Builds compendia of increasing size, reporting generation, indexing and
+//! query throughput. The default run stays laptop-sized; pass `--full` to
+//! push to the quarter-billion-measurement mark (needs ~2 GB RAM).
+//!
+//! Run with `cargo run --release --example compendium_scale [--full]`.
+
+use fv_spell::{SpellConfig, SpellEngine};
+use fv_synth::compendium::{generate_compendium, total_measurements, CompendiumSpec};
+use fv_synth::names::orf_name;
+use std::time::Instant;
+
+fn run(spec: &CompendiumSpec) {
+    let t0 = Instant::now();
+    let (datasets, truth) = generate_compendium(spec);
+    let gen_time = t0.elapsed();
+    let measurements = total_measurements(&datasets);
+
+    let t1 = Instant::now();
+    let mut engine = SpellEngine::new(SpellConfig::default());
+    for ds in &datasets {
+        engine.add_dataset(ds);
+    }
+    engine.finalize();
+    let index_time = t1.elapsed();
+
+    let query: Vec<String> = truth.esr_induced()[..8].iter().map(|&g| orf_name(g)).collect();
+    let refs: Vec<&str> = query.iter().map(|s| s.as_str()).collect();
+    let t2 = Instant::now();
+    let result = engine.query(&refs);
+    let query_time = t2.elapsed();
+
+    println!(
+        "{:>3} datasets x {:>6} genes x {:>4} conds | {:>12} measurements | gen {:>8.2?} | index {:>8.2?} | query {:>8.2?} | top ds {}",
+        spec.n_datasets,
+        spec.n_genes,
+        spec.conds_per_dataset,
+        measurements,
+        gen_time,
+        index_time,
+        query_time,
+        result.datasets.first().map(|d| d.name.as_str()).unwrap_or("-"),
+    );
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    println!("compendium scale sweep (paper claims: tens of datasets, 6k-50k genes, hundreds of conditions, 2.5e8 measurements)");
+
+    let base = CompendiumSpec {
+        n_specific: 4,
+        specific_size: 40,
+        noise_sd: 0.35,
+        missing_fraction: 0.02,
+        seed: 8,
+        ..CompendiumSpec::default()
+    };
+    // Sweep: datasets × genes × conditions.
+    run(&CompendiumSpec { n_genes: 2000, n_datasets: 10, conds_per_dataset: 40, ..base });
+    run(&CompendiumSpec { n_genes: 6000, n_datasets: 20, conds_per_dataset: 60, ..base });
+    run(&CompendiumSpec { n_genes: 6000, n_datasets: 40, conds_per_dataset: 80, ..base });
+
+    if full {
+        // 50 datasets × 20 000 genes × 250 conditions = 2.5e8 cells — the
+        // paper's quarter-billion mark.
+        run(&CompendiumSpec {
+            n_genes: 20_000,
+            n_datasets: 50,
+            conds_per_dataset: 250,
+            ..base
+        });
+    } else {
+        println!("(pass --full for the quarter-billion-measurement run)");
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 5 reproduction: a GOLEM local exploration map.
+//!
+//! Generates a GO-like ontology aligned with the planted modules, runs
+//! hypergeometric enrichment of a gene cluster, prints the enrichment
+//! table (term, overlap, p, Bonferroni, BH q), and renders the local
+//! exploration map around the top hit.
+//!
+//! Run with `cargo run --release --example golem_enrichment [n_filler_terms]`.
+
+use forestview::renderer::render_golem_map;
+use forestview_repro::artifact_dir;
+use fv_golem::layout::layout_map;
+use fv_golem::map::build_local_map;
+use fv_golem::{enrich, EnrichmentConfig};
+use fv_render::image::write_ppm;
+use fv_synth::modules::plant_modules;
+use fv_synth::names::orf_name;
+use fv_synth::ontogen::generate_ontology;
+use std::time::Instant;
+
+fn main() {
+    let n_filler: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000);
+
+    let truth = plant_modules(3000, 4, 50, 7);
+    println!("generating ontology with ~{n_filler} filler terms...");
+    let onto = generate_ontology(&truth, n_filler, 7);
+    let t0 = Instant::now();
+    let prop = onto.annotations.propagate(&onto.dag);
+    println!(
+        "{} terms, {} edges; propagation took {:?}",
+        onto.dag.n_terms(),
+        onto.dag.n_edges(),
+        t0.elapsed()
+    );
+
+    // Query: 30 genes of the "heat shock response" module plus 10 random
+    // background genes (a realistic noisy cluster).
+    let module = &truth.modules[2];
+    let mut query: Vec<String> = module.genes[..30].iter().map(|&g| orf_name(g)).collect();
+    for g in 0..10 {
+        query.push(orf_name(g * 97 + 11));
+    }
+    let refs: Vec<&str> = query.iter().map(|s| s.as_str()).collect();
+
+    let t1 = Instant::now();
+    let results = enrich(&onto.dag, &prop, &refs, &EnrichmentConfig::default());
+    println!(
+        "enrichment over {} candidate terms took {:?}\n",
+        onto.dag.n_terms(),
+        t1.elapsed()
+    );
+
+    println!("top enriched terms:");
+    println!("{:<34} {:>5} {:>6} {:>10} {:>10} {:>10}", "term", "k", "K", "p", "bonf", "q");
+    for r in results.iter().take(8) {
+        println!(
+            "{:<34} {:>5} {:>6} {:>10.2e} {:>10.2e} {:>10.2e}",
+            onto.dag.term(r.term).name,
+            r.overlap,
+            r.annotated,
+            r.p_value,
+            r.p_bonferroni,
+            r.q_value
+        );
+    }
+
+    // The local exploration map around the top hit (radius 2, like the
+    // GOLEM screenshot in Figure 5).
+    let focus = results[0].term;
+    let map = build_local_map(&onto.dag, focus, 2, &results);
+    let layout = layout_map(&map, 3);
+    println!(
+        "\nlocal map around {:?}: {} nodes, {} edges, {} layers, {} crossings",
+        onto.dag.term(focus).name,
+        map.n_nodes(),
+        map.edges.len(),
+        layout.n_layers,
+        layout.crossings()
+    );
+    let fb = render_golem_map(&map, &layout, &onto.dag, 800, 600);
+    let path = artifact_dir().join("fig5_golem_map.ppm");
+    write_ppm(&fb, &path).expect("artifact");
+    println!("wrote {}", path.display());
+}

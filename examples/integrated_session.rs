@@ -1,0 +1,81 @@
+//! Figure 6 reproduction: "The ForestView system (left) viewed with two
+//! other microarray analysis and visualization tools, GOLEM (upper right)
+//! and SPELL (lower right)."
+//!
+//! Runs the full integrated pipeline: seed a selection, SPELL-search the
+//! compendium, reorder the panes by dataset relevance, pull the top genes
+//! into the selection, enrich the result against the ontology with GOLEM,
+//! and compose the tri-panel figure.
+//!
+//! Run with `cargo run --release --example integrated_session [n_genes]`.
+
+use forestview::integrate::AnalysisSuite;
+use forestview::renderer::{compose_figure6, render_desktop, render_golem_map, render_spell_panel};
+use forestview::selection::SelectionOrigin;
+use forestview::Session;
+use forestview_repro::artifact_dir;
+use fv_golem::EnrichmentConfig;
+use fv_render::image::write_ppm;
+use fv_spell::SpellConfig;
+use fv_synth::names::orf_name;
+use fv_synth::ontogen::generate_ontology;
+use fv_synth::scenario::Scenario;
+
+fn main() {
+    let n_genes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+
+    // Session over the three-dataset scenario.
+    let scenario = Scenario::three_datasets(n_genes, 2007);
+    let truth = scenario.truth.clone();
+    let mut session = Session::new();
+    for ds in scenario.datasets {
+        session.load_dataset(ds).expect("unique names");
+    }
+    session.cluster_all();
+
+    // Analysis suite: SPELL index over the session + generated ontology.
+    let onto = generate_ontology(&truth, 1200, 2007);
+    let prop = onto.annotations.propagate(&onto.dag);
+    let suite = AnalysisSuite::build(&session, SpellConfig::default(), onto.dag, prop);
+
+    // Seed the workflow with six ESR genes, as a biologist would paste in.
+    let seed: Vec<String> = truth.esr_induced()[..6].iter().map(|&g| orf_name(g)).collect();
+    let refs: Vec<&str> = seed.iter().map(|s| s.as_str()).collect();
+    session.select_genes(&refs, SelectionOrigin::List);
+    println!("seeded selection with {:?}...", &seed[..3]);
+
+    // The integrated pipeline (SPELL → pane order → selection → GOLEM).
+    let out = suite
+        .integrated_analysis(&mut session, 20, &EnrichmentConfig::default(), 2)
+        .expect("selection present");
+
+    println!("\nSPELL dataset order:");
+    for d in out.spell.datasets.iter().take(5) {
+        println!("  {:<24} weight {:.3}", d.name, d.weight);
+    }
+    println!("\nGOLEM top terms for the expanded selection:");
+    for r in out.enrichment.iter().take(5) {
+        println!(
+            "  {:<40} p={:.2e} q={:.2e}",
+            suite.ontology.term(r.term).name,
+            r.p_value,
+            r.q_value
+        );
+    }
+
+    // Compose the tri-panel artifact.
+    let left = render_desktop(&session, 900, 700);
+    let spell_panel = render_spell_panel(&out.spell, 440, 350);
+    let golem_panel = match &out.map {
+        Some((map, layout)) => render_golem_map(map, layout, &suite.ontology, 440, 350),
+        None => fv_render::Framebuffer::new(440, 350),
+    };
+    let fig6 = compose_figure6(&left, &golem_panel, &spell_panel);
+    let path = artifact_dir().join("fig6_integrated.ppm");
+    write_ppm(&fig6, &path).expect("artifact");
+    println!("\nwrote {} ({}x{})", path.display(), fig6.width(), fig6.height());
+    print!("\n{}", forestview::export::session_summary(&session));
+}

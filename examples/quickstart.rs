@@ -1,0 +1,52 @@
+//! Quickstart: load a PCL file, cluster it, select some genes, render a
+//! pane, export the selection — the 60-second tour of the public API.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use forestview::renderer::render_desktop;
+use forestview::Session;
+use forestview_repro::artifact_dir;
+use fv_formats::pcl::parse_pcl;
+use fv_render::image::write_ppm;
+
+/// A tiny embedded PCL file: 8 genes × 4 heat-shock time points, with the
+/// blank cell in the HSP104 row demonstrating missing-value handling.
+const PCL: &str = "\
+ID\tNAME\tGWEIGHT\theat 0m\theat 15m\theat 30m\theat 60m
+EWEIGHT\t\t\t1\t1\t1\t1
+YAL005C\tSSA1 cytosolic chaperone\t1\t0.1\t1.8\t2.4\t1.9
+YLL026W\tHSP104 disaggregase\t1\t0.0\t\t2.9\t2.2
+YBR072W\tHSP26 small heat shock protein\t1\t-0.1\t2.2\t3.1\t2.5
+YFL014W\tHSP12 membrane protein\t1\t0.2\t1.9\t2.6\t2.0
+YGR192C\tTDH3 glyceraldehyde dehydrogenase\t1\t0.0\t-0.2\t-0.4\t-0.1
+YLR044C\tPDC1 pyruvate decarboxylase\t1\t0.1\t-0.3\t-0.5\t-0.2
+YOL086C\tADH1 alcohol dehydrogenase\t1\t-0.1\t-0.4\t-0.6\t-0.3
+YKL060C\tFBA1 aldolase\t1\t0.0\t-0.1\t-0.3\t-0.2
+";
+
+fn main() {
+    // 1. Parse the PCL into a dataset and load it into a session.
+    let dataset = parse_pcl("heat_shock_demo", PCL).expect("valid PCL");
+    let mut session = Session::new();
+    session.load_dataset(dataset).expect("unique dataset name");
+
+    // 2. Hierarchically cluster the genes (Pearson distance, average
+    //    linkage — the microarray defaults); the pane now displays rows in
+    //    dendrogram leaf order.
+    session.cluster_all();
+
+    // 3. Search the annotations — this is ForestView's cross-dataset gene
+    //    search — and select the hits.
+    let n = session.search_and_select("heat shock");
+    println!("search 'heat shock' selected {n} gene(s)");
+
+    // 4. Render the pane (global + zoom views, dendrogram, labels).
+    let fb = render_desktop(&session, 640, 480);
+    let path = artifact_dir().join("quickstart.ppm");
+    write_ppm(&fb, &path).expect("write artifact");
+    println!("rendered session to {}", path.display());
+
+    // 5. Export the selection for downstream tools.
+    print!("{}", forestview::export::session_summary(&session));
+    println!("--- exported gene list ---\n{}", session.export_gene_list());
+}

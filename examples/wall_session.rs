@@ -1,0 +1,84 @@
+//! Figure 3 reproduction: the ForestView session on the display wall.
+//!
+//! Renders the same session on a desktop surface and on the simulated
+//! Princeton 6×4 projector wall, reporting the pixel-capacity ratio the
+//! paper's Section 1 claims ("about two orders of magnitude" for large
+//! walls), tile-parallel render throughput, and the network cost of
+//! shipping the frame to display nodes.
+//!
+//! Run with `cargo run --release --example wall_session [n_genes]`.
+
+use forestview::renderer::{render_desktop, render_wall};
+use forestview::Session;
+use forestview_repro::artifact_dir;
+use fv_render::image::write_ppm;
+use fv_synth::scenario::Scenario;
+use fv_wall::net::NetworkModel;
+use fv_wall::{TileGrid, WallRenderer};
+use std::time::Instant;
+
+fn main() {
+    let n_genes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let scenario = Scenario::three_datasets(n_genes, 2007);
+    let mut session = Session::new();
+    for ds in scenario.datasets {
+        session.load_dataset(ds).expect("unique names");
+    }
+    session.cluster_all();
+    session.select_region(0, 0, 60);
+
+    // Desktop reference: the paper's 2-megapixel display.
+    let desk = TileGrid::desktop();
+    let t0 = Instant::now();
+    let desk_fb = render_desktop(&session, desk.wall_width(), desk.wall_height());
+    let desk_time = t0.elapsed();
+    println!(
+        "desktop  {:>4}x{:<4} ({:>9} px) rendered in {:?}",
+        desk.wall_width(),
+        desk.wall_height(),
+        desk.total_pixels(),
+        desk_time
+    );
+
+    // The Princeton wall: 6×4 XGA projectors, tiles rendered in parallel.
+    let wall_grid = TileGrid::princeton_wall();
+    let mut wall = WallRenderer::new(wall_grid);
+    let stats = render_wall(&session, &mut wall);
+    println!(
+        "wall     {:>4}x{:<4} ({:>9} px) rendered in {:?} across {} tiles ({:.1} Mpx/s)",
+        wall_grid.wall_width(),
+        wall_grid.wall_height(),
+        wall_grid.total_pixels(),
+        stats.render_time,
+        stats.tiles_rendered,
+        stats.pixels_per_second() / 1e6,
+    );
+    println!(
+        "capacity ratio wall/desktop: {:.1}x (2000-era wall); a 6x4 full-HD wall reaches {:.1}x",
+        wall_grid.capacity_ratio(&desk),
+        TileGrid::new(6, 4, 1920, 1080).capacity_ratio(&desk),
+    );
+
+    // Network shipping cost for the frame (per-tile links, gigabit).
+    let net = NetworkModel::gigabit();
+    let ship = net.frame_time(
+        stats.tiles_rendered,
+        stats.bytes_shipped,
+        wall_grid.n_tiles(),
+    );
+    println!(
+        "frame distribution: {} MB over {} links -> {:?}",
+        stats.bytes_shipped / 1_000_000,
+        wall_grid.n_tiles(),
+        ship
+    );
+
+    // Artifacts: the desktop frame and a downscaled wall composite (the
+    // full wall PPM would be ~57 MB; we save one tile plus the desktop).
+    write_ppm(&desk_fb, artifact_dir().join("fig3_desktop.ppm")).expect("artifact");
+    write_ppm(wall.tile(9), artifact_dir().join("fig3_wall_tile9.ppm")).expect("artifact");
+    println!("wrote fig3_desktop.ppm and fig3_wall_tile9.ppm to artifacts/");
+}

@@ -1,0 +1,193 @@
+//! `fvtool` — command-line front end to the ForestView reproduction.
+//!
+//! Drives the library the way a user without a display would: load PCL/CDT
+//! files, cluster them, render session frames to PPM, run SPELL queries and
+//! GOLEM enrichment against files on disk.
+//!
+//! ```text
+//! fvtool render  <out.ppm> <w> <h> <file.pcl>...     render a session frame
+//! fvtool cluster <in.pcl> <out_prefix>               write .cdt/.gtr/.atr
+//! fvtool impute  <in.pcl> <out.pcl> [k]              KNN-impute missing cells
+//! fvtool search  <query> <file.pcl>...               cross-dataset gene search
+//! fvtool spell   <gene,gene,...> <file.pcl>...       SPELL query over files
+//! fvtool demo    <out_dir>                           write a synthetic demo workspace
+//! ```
+
+use forestview::Session;
+use fv_cluster::{Linkage, Metric};
+use fv_formats::pcl::{parse_pcl, write_pcl};
+use fv_formats::{detect_format, FileFormat};
+use fv_render::image::write_ppm;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fvtool render  <out.ppm> <w> <h> <file.pcl>...\n  \
+         fvtool cluster <in.pcl> <out_prefix>\n  \
+         fvtool impute  <in.pcl> <out.pcl> [k]\n  \
+         fvtool search  <query> <file.pcl>...\n  \
+         fvtool spell   <gene,gene,...> <file.pcl>...\n  \
+         fvtool demo    <out_dir>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<fv_expr::Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    match detect_format(&text) {
+        FileFormat::Pcl => parse_pcl(&name, &text).map_err(|e| format!("{path}: {e}")),
+        FileFormat::Cdt => fv_formats::cdt::parse_cdt(&name, &text)
+            .map(|c| c.dataset)
+            .map_err(|e| format!("{path}: {e}")),
+        other => Err(format!("{path}: unsupported format {other:?}")),
+    }
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let [out, w, h, files @ ..] = args else {
+        return Err("render needs <out.ppm> <w> <h> <files...>".into());
+    };
+    let (w, h): (usize, usize) = (
+        w.parse().map_err(|_| "bad width")?,
+        h.parse().map_err(|_| "bad height")?,
+    );
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut session = Session::new();
+    for f in files {
+        session.load_dataset(load(f)?).map_err(|e| e.to_string())?;
+    }
+    session.cluster_all();
+    let fb = forestview::renderer::render_desktop(&session, w, h);
+    write_ppm(&fb, out).map_err(|e| e.to_string())?;
+    println!("wrote {out} ({w}x{h}, {} panes)", session.n_datasets());
+    print!("{}", forestview::export::session_summary(&session));
+    Ok(())
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let [input, prefix] = args else {
+        return Err("cluster needs <in.pcl> <out_prefix>".into());
+    };
+    let ds = load(input)?;
+    let mut session = Session::new();
+    session.load_dataset(ds).map_err(|e| e.to_string())?;
+    session.cluster_dataset(0, Metric::Pearson, Linkage::Average);
+    session.cluster_arrays(0, Metric::Pearson, Linkage::Average);
+    let (cdt, gtr, atr) = session.export_clustered_cdt(0);
+    std::fs::write(format!("{prefix}.cdt"), cdt).map_err(|e| e.to_string())?;
+    if let Some(g) = gtr {
+        std::fs::write(format!("{prefix}.gtr"), g).map_err(|e| e.to_string())?;
+    }
+    if let Some(a) = atr {
+        std::fs::write(format!("{prefix}.atr"), a).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {prefix}.cdt / .gtr / .atr");
+    Ok(())
+}
+
+fn cmd_impute(args: &[String]) -> Result<(), String> {
+    let (input, output, k) = match args {
+        [i, o] => (i, o, 10usize),
+        [i, o, k] => (i, o, k.parse().map_err(|_| "bad k")?),
+        _ => return Err("impute needs <in.pcl> <out.pcl> [k]".into()),
+    };
+    let mut ds = load(input)?;
+    let stats = fv_cluster::impute::knn_impute(&mut ds.matrix, k, Metric::Euclidean);
+    std::fs::write(output, write_pcl(&ds)).map_err(|e| e.to_string())?;
+    println!(
+        "filled {}/{} missing cells with k={k}; wrote {output}",
+        stats.filled, stats.missing_before
+    );
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let [query, files @ ..] = args else {
+        return Err("search needs <query> <files...>".into());
+    };
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut session = Session::new();
+    for f in files {
+        session.load_dataset(load(f)?).map_err(|e| e.to_string())?;
+    }
+    let n = session.search_and_select(query);
+    println!("{n} gene(s) match {query:?} across {} dataset(s):", session.n_datasets());
+    print!("{}", session.export_gene_list());
+    print!("{}", forestview::export::selection_coverage_tsv(&session));
+    Ok(())
+}
+
+fn cmd_spell(args: &[String]) -> Result<(), String> {
+    let [genes, files @ ..] = args else {
+        return Err("spell needs <gene,gene,...> <files...>".into());
+    };
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut engine = fv_spell::SpellEngine::new(fv_spell::SpellConfig::default());
+    for f in files {
+        engine.add_dataset(&load(f)?);
+    }
+    engine.finalize();
+    let query: Vec<&str> = genes.split(',').map(|s| s.trim()).collect();
+    let result = engine.query(&query);
+    if !result.query_missing.is_empty() {
+        eprintln!("warning: not found: {:?}", result.query_missing);
+    }
+    println!("datasets by relevance:");
+    for d in &result.datasets {
+        println!("  {:<28} weight {:.3}", d.name, d.weight);
+    }
+    println!("top genes:");
+    for g in result.top_new_genes(20) {
+        println!("  {:<12} score {:.3} ({} datasets)", g.gene, g.score, g.n_datasets);
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let [dir] = args else {
+        return Err("demo needs <out_dir>".into());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let scenario = fv_synth::scenario::Scenario::three_datasets(800, 2007);
+    for ds in &scenario.datasets {
+        let path = format!("{dir}/{}.pcl", ds.name);
+        std::fs::write(&path, write_pcl(ds)).map_err(|e| e.to_string())?;
+        println!("wrote {path} ({} genes x {} conditions)", ds.n_genes(), ds.n_conditions());
+    }
+    println!("try: fvtool render {dir}/session.ppm 1600 1200 {dir}/*.pcl");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "render" => cmd_render(rest),
+        "cluster" => cmd_cluster(rest),
+        "impute" => cmd_impute(rest),
+        "search" => cmd_search(rest),
+        "spell" => cmd_spell(rest),
+        "demo" => cmd_demo(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fvtool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

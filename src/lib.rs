@@ -1,0 +1,37 @@
+//! # forestview-repro — reproduction suite façade
+//!
+//! This crate hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`) for the ForestView reproduction. The
+//! library surface simply re-exports the workspace crates so examples and
+//! downstream experiments can reach everything through one dependency.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-figure reproduction records.
+
+pub use forestview;
+pub use fv_cluster as cluster;
+pub use fv_expr as expr;
+pub use fv_formats as formats;
+pub use fv_golem as golem;
+pub use fv_linalg as linalg;
+pub use fv_ontology as ontology;
+pub use fv_render as render;
+pub use fv_spell as spell;
+pub use fv_synth as synth;
+pub use fv_wall as wall;
+
+/// Directory examples write image/text artifacts into (created on demand).
+pub fn artifact_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("artifacts");
+    std::fs::create_dir_all(&dir).expect("create artifacts directory");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn artifact_dir_exists_after_call() {
+        let d = super::artifact_dir();
+        assert!(d.is_dir());
+    }
+}

@@ -1,0 +1,120 @@
+//! E1 / Figure 1: the software architecture end-to-end.
+//!
+//! Data flows bottom-up through every layer of Figure 1: PCL files →
+//! datasets → merged dataset interface → analysis (cluster, search, order,
+//! export) → visualization synchronization → gene visualization panes.
+//! This test drives one payload through all of them and checks each layer's
+//! contract on the way.
+
+use forestview::command::{apply, Command};
+use forestview::renderer::render_desktop;
+use forestview::Session;
+use fv_cluster::{Linkage, Metric};
+use fv_formats::pcl::{parse_pcl, write_pcl};
+use fv_formats::{detect_format, FileFormat};
+use fv_render::color::Rgb;
+use fv_synth::scenario::Scenario;
+
+#[test]
+fn full_stack_pcl_to_pixels() {
+    // Layer 0: datasets as PCL text (round-trip through the file format so
+    // the file layer is genuinely in the path).
+    let scenario = Scenario::three_datasets(300, 99);
+    let mut session = Session::new();
+    for ds in &scenario.datasets {
+        let text = write_pcl(ds);
+        assert_eq!(detect_format(&text), FileFormat::Pcl);
+        let parsed = parse_pcl(&ds.name, &text).expect("own PCL must parse");
+        assert_eq!(parsed.n_genes(), ds.n_genes());
+        session.load_dataset(parsed).expect("unique name");
+    }
+
+    // Layer 1: merged dataset interface — the 3-D accessor works across
+    // datasets with different row orders.
+    let merged = session.merged();
+    assert_eq!(merged.n_datasets(), 3);
+    let g = merged.universe().lookup(&fv_synth::names::orf_name(0)).unwrap();
+    let in_all = merged.datasets_with_gene(g);
+    assert_eq!(in_all, vec![0, 1, 2], "every dataset measures every gene");
+    assert!(merged.total_measurements() > 0);
+
+    // Layer 2: analysis — clustering and search.
+    session.cluster_dataset(0, Metric::Pearson, Linkage::Average);
+    assert!(session.gene_tree(0).is_some());
+    let hits = session.search_and_select("general stress response");
+    assert!(hits > 0, "annotation search must find planted module text");
+
+    // Layer 3: synchronization — alignment invariant holds.
+    assert!(forestview::sync::verify_alignment(&session));
+
+    // Layer 4: visualization — pixels come out.
+    let fb = render_desktop(&session, 480, 360);
+    assert!(fb.count_pixels(Rgb::BLACK) < 480 * 360, "render produced pixels");
+
+    // Exports close the loop (Figure 1's export boxes).
+    let list = session.export_gene_list();
+    assert_eq!(list.lines().count(), hits);
+    let table = session.export_merged_selection();
+    assert_eq!(table.lines().count(), hits + 1);
+}
+
+#[test]
+fn command_stream_drives_all_layers() {
+    let scenario = Scenario::three_datasets(200, 5);
+    let mut session = Session::new();
+    for ds in scenario.datasets {
+        session.load_dataset(ds).unwrap();
+    }
+    let script = [
+        Command::ClusterAll,
+        Command::SelectRegion {
+            dataset: 0,
+            start_frac: 0.1,
+            end_frac: 0.3,
+        },
+        Command::ToggleSync,
+        Command::ToggleSync,
+        Command::Scroll(5),
+        Command::OrderByName,
+        Command::SetContrast {
+            dataset: Some(1),
+            contrast: 2.0,
+        },
+    ];
+    for cmd in &script {
+        let out = apply(&mut session, cmd, 800, 600);
+        assert!(
+            !out.damage.is_empty(),
+            "every command must invalidate something: {cmd:?}"
+        );
+    }
+    assert!(session.sync_enabled());
+    assert_eq!(session.scroll(), 5);
+    assert_eq!(
+        session.dataset_order(),
+        &[1, 0, 2],
+        "brauer, gasch, hughes alphabetical"
+    );
+}
+
+#[test]
+fn selection_roundtrip_as_new_pane() {
+    // Export a selection and reload it as a dataset — the paper's
+    // "loaded into the ForestView display as a dataset" workflow.
+    let scenario = Scenario::three_datasets(150, 11);
+    let mut session = Session::new();
+    for ds in scenario.datasets {
+        session.load_dataset(ds).unwrap();
+    }
+    session.select_region(0, 10, 30);
+    let before = session.n_datasets();
+    let idx = session
+        .selection_as_new_dataset(0, "my_cluster")
+        .unwrap()
+        .unwrap();
+    assert_eq!(session.n_datasets(), before + 1);
+    assert_eq!(session.dataset(idx).name, "my_cluster");
+    assert_eq!(session.dataset(idx).n_genes(), 20);
+    // The new pane participates in synchronized viewing immediately.
+    assert!(forestview::sync::verify_alignment(&session));
+}

@@ -1,0 +1,166 @@
+//! End-to-end tests of the `fvtool` command-line front end: the binary a
+//! downstream user would actually script against.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fvtool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fvtool"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fvtool_test_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn demo_cluster_render_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let d = dir.to_str().unwrap();
+
+    // demo: write PCL files
+    let out = fvtool().args(["demo", d]).output().unwrap();
+    assert!(out.status.success(), "demo failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stress = dir.join("gasch_stress.pcl");
+    assert!(stress.exists());
+
+    // cluster: produce cdt/gtr/atr
+    let prefix = dir.join("clustered");
+    let out = fvtool()
+        .args(["cluster", stress.to_str().unwrap(), prefix.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "cluster failed: {}", String::from_utf8_lossy(&out.stderr));
+    for ext in ["cdt", "gtr", "atr"] {
+        assert!(dir.join(format!("clustered.{ext}")).exists(), "missing .{ext}");
+    }
+    // the CDT must parse and pair with its trees
+    let cdt_text = std::fs::read_to_string(dir.join("clustered.cdt")).unwrap();
+    let cdt = fv_formats::cdt::parse_cdt("c", &cdt_text).unwrap();
+    let gtr_text = std::fs::read_to_string(dir.join("clustered.gtr")).unwrap();
+    let tree = fv_formats::tree_files::parse_tree(
+        &gtr_text,
+        fv_formats::tree_files::GENE_PREFIX,
+        cdt.dataset.n_genes(),
+    )
+    .unwrap();
+    // The CDT row order is the flip-improved leaf order; GTR does not
+    // encode flips (TreeView treats the CDT order as authoritative). The
+    // invariant is tree-consistency: every subtree of the parsed tree
+    // occupies a CONTIGUOUS block of the CDT's row order.
+    let gene_leaf = cdt.gene_leaf.as_deref().unwrap();
+    let mut pos = vec![0usize; gene_leaf.len()];
+    for (display, &leaf) in gene_leaf.iter().enumerate() {
+        pos[leaf] = display;
+    }
+    for mi in 0..tree.merges().len() {
+        let leaves = tree.node_leaves(fv_cluster::tree::NodeRef::Internal(mi as u32));
+        let mut positions: Vec<usize> = leaves.iter().map(|&l| pos[l]).collect();
+        positions.sort_unstable();
+        let span = positions.last().unwrap() - positions.first().unwrap() + 1;
+        assert_eq!(
+            span,
+            positions.len(),
+            "subtree {mi} is not contiguous in the CDT row order"
+        );
+    }
+
+    // render: produce a decodable PPM
+    let ppm = dir.join("session.ppm");
+    let out = fvtool()
+        .args([
+            "render",
+            ppm.to_str().unwrap(),
+            "320",
+            "240",
+            stress.to_str().unwrap(),
+            dir.join("brauer_nutrient.pcl").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "render failed: {}", String::from_utf8_lossy(&out.stderr));
+    let img = fv_render::image::read_ppm(&ppm).unwrap();
+    assert_eq!((img.width(), img.height()), (320, 240));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn search_and_spell_produce_output() {
+    let dir = tmpdir("search");
+    let d = dir.to_str().unwrap();
+    assert!(fvtool().args(["demo", d]).output().unwrap().status.success());
+    let files: Vec<String> = ["gasch_stress", "brauer_nutrient", "hughes_knockout"]
+        .iter()
+        .map(|n| dir.join(format!("{n}.pcl")).to_str().unwrap().to_string())
+        .collect();
+
+    let out = fvtool()
+        .args(["search", "stress response"])
+        .args(&files)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gene(s) match"));
+    assert!(stdout.contains("coverage"));
+
+    // take two gene ids from the search output as a SPELL query
+    let genes: Vec<&str> = stdout
+        .lines()
+        .skip(1)
+        .take(2)
+        .map(|l| l.trim())
+        .filter(|l| l.starts_with('Y'))
+        .collect();
+    if genes.len() == 2 {
+        let q = format!("{},{}", genes[0], genes[1]);
+        let out = fvtool().args(["spell", &q]).args(&files).output().unwrap();
+        assert!(out.status.success(), "spell failed: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("datasets by relevance"));
+        assert!(stdout.contains("top genes"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn impute_fills_missing_cells() {
+    let dir = tmpdir("impute");
+    // hand-written PCL with one missing cell
+    let pcl = "ID\tNAME\tGWEIGHT\tc0\tc1\tc2\tc3\n\
+EWEIGHT\t\t\t1\t1\t1\t1\n\
+G1\tA\t1\t1.0\t2.0\t3.0\t4.0\n\
+G2\tB\t1\t1.1\t2.1\t\t4.1\n\
+G3\tC\t1\t0.9\t1.9\t2.9\t3.9\n";
+    let input = dir.join("in.pcl");
+    let output = dir.join("out.pcl");
+    std::fs::write(&input, pcl).unwrap();
+    let out = fvtool()
+        .args([
+            "impute",
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("filled 1/1"));
+    let ds = fv_formats::pcl::parse_pcl("out", &std::fs::read_to_string(&output).unwrap()).unwrap();
+    let v = ds.matrix.get(1, 2).expect("cell imputed");
+    assert!((v - 2.95).abs() < 0.2, "imputed value {v} should be near 2.95");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = fvtool().output().unwrap();
+    assert!(!out.status.success());
+    let out = fvtool().args(["bogus_command"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = fvtool().args(["render", "x.ppm"]).output().unwrap();
+    assert!(!out.status.success());
+}

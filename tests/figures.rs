@@ -1,0 +1,139 @@
+//! Smoke reproduction of every figure pipeline at test-friendly sizes:
+//! each figure's code path must run, produce non-blank deterministic
+//! output, and expose the structure the paper's figure shows.
+
+use forestview::integrate::AnalysisSuite;
+use forestview::renderer::{
+    compose_figure6, render_desktop, render_golem_map, render_spell_panel, render_wall,
+};
+use forestview::selection::SelectionOrigin;
+use forestview::Session;
+use fv_golem::layout::layout_map;
+use fv_golem::map::build_local_map;
+use fv_golem::{enrich, EnrichmentConfig};
+use fv_render::color::Rgb;
+use fv_render::image::{decode_ppm, encode_ppm};
+use fv_spell::{SpellConfig, SpellEngine};
+use fv_synth::names::orf_name;
+use fv_synth::ontogen::generate_ontology;
+use fv_synth::scenario::Scenario;
+use fv_wall::{TileGrid, WallRenderer};
+
+fn session_with_selection(n_genes: usize, seed: u64) -> (Session, fv_synth::modules::GroundTruth) {
+    let scenario = Scenario::three_datasets(n_genes, seed);
+    let truth = scenario.truth.clone();
+    let mut session = Session::new();
+    for ds in scenario.datasets {
+        session.load_dataset(ds).unwrap();
+    }
+    session.cluster_all();
+    session.select_region(0, 5, 25);
+    (session, truth)
+}
+
+#[test]
+fn fig2_three_pane_synchronized_render() {
+    let (session, _) = session_with_selection(150, 1);
+    let fb = render_desktop(&session, 600, 400);
+    // Non-blank, and deterministic across repeated renders.
+    assert!(fb.count_pixels(Rgb::BLACK) < 600 * 400);
+    let fb2 = render_desktop(&session, 600, 400);
+    assert_eq!(fb, fb2, "rendering must be deterministic");
+    // PPM encode/decode round-trips the artifact.
+    let bytes = encode_ppm(&fb);
+    assert_eq!(decode_ppm(&bytes).unwrap(), fb);
+}
+
+#[test]
+fn fig3_wall_equals_desktop_and_scales() {
+    let (session, _) = session_with_selection(120, 2);
+    let grid = TileGrid::new(3, 2, 120, 90);
+    let mut wall = WallRenderer::new(grid);
+    let stats = render_wall(&session, &mut wall);
+    assert_eq!(stats.tiles_rendered, 6);
+    let direct = render_desktop(&session, 360, 180);
+    assert_eq!(wall.composite(), direct, "tile seams must be invisible");
+}
+
+#[test]
+fn fig4_spell_two_ordered_lists() {
+    let scenario = Scenario::spell_compendium(200, 6, 3);
+    let mut engine = SpellEngine::new(SpellConfig::default());
+    for ds in &scenario.datasets {
+        engine.add_dataset(ds);
+    }
+    engine.finalize();
+    let query: Vec<String> = scenario.truth.esr_induced()[..5]
+        .iter()
+        .map(|&g| orf_name(g))
+        .collect();
+    let refs: Vec<&str> = query.iter().map(|s| s.as_str()).collect();
+    let result = engine.query(&refs);
+    // ordered dataset list
+    for w in result.datasets.windows(2) {
+        assert!(w[0].weight >= w[1].weight);
+    }
+    // ordered gene list
+    for w in result.genes.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+    // panel renders
+    let panel = render_spell_panel(&result, 300, 220);
+    assert!(panel.count_pixels(Rgb::BLACK) < 300 * 220);
+}
+
+#[test]
+fn fig5_golem_map_renders_hierarchy() {
+    let truth = fv_synth::modules::plant_modules(200, 2, 20, 9);
+    let onto = generate_ontology(&truth, 80, 9);
+    let prop = onto.annotations.propagate(&onto.dag);
+    let genes: Vec<String> = truth.modules[2].genes[..12].iter().map(|&g| orf_name(g)).collect();
+    let refs: Vec<&str> = genes.iter().map(|s| s.as_str()).collect();
+    let results = enrich(&onto.dag, &prop, &refs, &EnrichmentConfig::default());
+    assert!(!results.is_empty());
+    let map = build_local_map(&onto.dag, results[0].term, 2, &results);
+    let layout = layout_map(&map, 2);
+    assert!(map.n_nodes() >= 3, "local map should include context");
+    let fb = render_golem_map(&map, &layout, &onto.dag, 320, 240);
+    assert!(fb.count_pixels(Rgb::BLACK) < 320 * 240);
+}
+
+#[test]
+fn fig6_integrated_composition() {
+    let (mut session, truth) = session_with_selection(200, 6);
+    let onto = generate_ontology(&truth, 100, 6);
+    let prop = onto.annotations.propagate(&onto.dag);
+    let suite = AnalysisSuite::build(&session, SpellConfig::default(), onto.dag, prop);
+    let seed: Vec<String> = truth.esr_induced()[..5].iter().map(|&g| orf_name(g)).collect();
+    let refs: Vec<&str> = seed.iter().map(|s| s.as_str()).collect();
+    session.select_genes(&refs, SelectionOrigin::List);
+    let out = suite
+        .integrated_analysis(&mut session, 10, &EnrichmentConfig::default(), 2)
+        .unwrap();
+
+    let left = render_desktop(&session, 300, 240);
+    let spell = render_spell_panel(&out.spell, 150, 120);
+    let golem = match &out.map {
+        Some((m, l)) => render_golem_map(m, l, &suite.ontology, 150, 120),
+        None => panic!("enrichment should produce a map"),
+    };
+    let fig = compose_figure6(&left, &golem, &spell);
+    assert_eq!(fig.width(), 450);
+    assert_eq!(fig.height(), 240);
+    // Each quadrant contributed pixels.
+    assert!(fig.crop(0, 0, 300, 240).count_pixels(Rgb::BLACK) < 300 * 240);
+    assert!(fig.crop(300, 0, 150, 120).count_pixels(Rgb::BLACK) < 150 * 120);
+    assert!(fig.crop(300, 120, 150, 120).count_pixels(Rgb::BLACK) < 150 * 120);
+}
+
+#[test]
+fn figures_deterministic_across_runs() {
+    // Same seeds → byte-identical figure artifacts (the reproducibility
+    // guarantee EXPERIMENTS.md relies on).
+    let (s1, _) = session_with_selection(100, 42);
+    let (s2, _) = session_with_selection(100, 42);
+    assert_eq!(
+        encode_ppm(&render_desktop(&s1, 200, 150)),
+        encode_ppm(&render_desktop(&s2, 200, 150))
+    );
+}

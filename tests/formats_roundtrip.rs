@@ -1,0 +1,126 @@
+//! Property-based round-trip tests of the file-format layer.
+//!
+//! PCL/CDT/GTR files are the interchange with the Cluster/TreeView
+//! ecosystem; writing and re-parsing must preserve every value, mask bit
+//! and tree edge for arbitrary inputs.
+
+use fv_cluster::{cluster, Linkage, Metric};
+use fv_expr::matrix::ExprMatrix;
+use fv_expr::meta::{ConditionMeta, GeneMeta};
+use fv_expr::Dataset;
+use fv_formats::cdt::{parse_cdt, write_cdt};
+use fv_formats::pcl::{parse_pcl, write_pcl};
+use fv_formats::tree_files::{parse_tree, write_tree, GENE_PREFIX};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_dataset()(
+        n_rows in 1usize..12,
+        n_cols in 1usize..8,
+        seed in any::<u64>(),
+        missing in prop::collection::vec(any::<bool>(), 0..96),
+    ) -> Dataset {
+        let mut vals = Vec::with_capacity(n_rows * n_cols);
+        let mut s = seed | 1;
+        for _ in 0..n_rows * n_cols {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            vals.push(((s % 2001) as f32 - 1000.0) / 128.0);
+        }
+        let mut m = ExprMatrix::from_rows(n_rows, n_cols, &vals).unwrap();
+        for (i, &kill) in missing.iter().enumerate() {
+            if kill && i < n_rows * n_cols {
+                m.set_missing(i / n_cols, i % n_cols);
+            }
+        }
+        let genes = (0..n_rows)
+            .map(|r| GeneMeta::new(format!("Y{r:03}W"), format!("GEN{r}"), format!("annotation {r}")))
+            .collect();
+        let conds = (0..n_cols).map(|c| ConditionMeta::new(format!("cond {c}"))).collect();
+        Dataset::new("prop", m, genes, conds).unwrap()
+    }
+}
+
+fn matrices_equal(a: &ExprMatrix, b: &ExprMatrix) -> bool {
+    if a.n_rows() != b.n_rows() || a.n_cols() != b.n_cols() {
+        return false;
+    }
+    for r in 0..a.n_rows() {
+        for c in 0..a.n_cols() {
+            match (a.get(r, c), b.get(r, c)) {
+                (Some(x), Some(y)) => {
+                    if (x - y).abs() > 1e-4 {
+                        return false;
+                    }
+                }
+                (None, None) => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pcl_roundtrip(ds in arb_dataset()) {
+        let text = write_pcl(&ds);
+        let back = parse_pcl("prop", &text).unwrap();
+        prop_assert!(matrices_equal(&ds.matrix, &back.matrix));
+        for (a, b) in ds.genes.iter().zip(&back.genes) {
+            prop_assert_eq!(&a.id, &b.id);
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.annotation, &b.annotation);
+        }
+        for (a, b) in ds.conditions.iter().zip(&back.conditions) {
+            prop_assert_eq!(&a.label, &b.label);
+        }
+    }
+
+    #[test]
+    fn cdt_roundtrip_with_leaf_ids(ds in arb_dataset()) {
+        let n = ds.n_genes();
+        let gene_leaf: Vec<usize> = (0..n).rev().collect();
+        let array_leaf: Vec<usize> = (0..ds.n_conditions()).collect();
+        let text = write_cdt(&ds, Some(&gene_leaf), Some(&array_leaf));
+        let back = parse_cdt("prop", &text).unwrap();
+        prop_assert!(matrices_equal(&ds.matrix, &back.dataset.matrix));
+        prop_assert_eq!(back.gene_leaf, Some(gene_leaf));
+        prop_assert_eq!(back.array_leaf, Some(array_leaf));
+    }
+
+    #[test]
+    fn gtr_roundtrip_from_real_clustering(ds in arb_dataset()) {
+        // Cluster the generated dataset and round-trip the resulting tree.
+        let tree = cluster(&ds.matrix, Metric::Euclidean, Linkage::Average);
+        let text = write_tree(&tree, GENE_PREFIX);
+        let back = parse_tree(&text, GENE_PREFIX, ds.n_genes()).unwrap();
+        prop_assert_eq!(tree.n_leaves(), back.n_leaves());
+        prop_assert_eq!(tree.merges().len(), back.merges().len());
+        for (a, b) in tree.merges().iter().zip(back.merges()) {
+            prop_assert_eq!(a.left, b.left);
+            prop_assert_eq!(a.right, b.right);
+            prop_assert!((a.height - b.height).abs() < 1e-4);
+        }
+        // Leaf order — what the CDT row order is derived from — survives.
+        prop_assert_eq!(tree.leaf_order(), back.leaf_order());
+    }
+
+    #[test]
+    fn pcl_parse_never_panics_on_mutations(
+        ds in arb_dataset(),
+        cut in 0usize..400,
+    ) {
+        // Truncating the text at an arbitrary byte must produce Ok or Err,
+        // never a panic.
+        let text = write_pcl(&ds);
+        let cut = cut.min(text.len());
+        // avoid splitting a UTF-8 char (our format is ASCII, but be safe)
+        if text.is_char_boundary(cut) {
+            let _ = parse_pcl("prop", &text[..cut]);
+        }
+    }
+}

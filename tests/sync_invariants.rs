@@ -1,0 +1,140 @@
+//! Property-based tests of the synchronization layer's invariants.
+//!
+//! The paper's synchronized-view contract: the same gene order and scroll
+//! position in every pane, with absent genes shown as gaps. These
+//! properties must hold for *any* datasets and *any* selection, so we let
+//! proptest generate both.
+
+use forestview::selection::SelectionOrigin;
+use forestview::sync;
+use forestview::Session;
+use fv_expr::matrix::ExprMatrix;
+use fv_expr::meta::{ConditionMeta, GeneMeta};
+use fv_expr::Dataset;
+use proptest::prelude::*;
+
+/// Build a dataset whose gene ids are drawn from a shared pool `P0..P<pool>`
+/// with the given permutation-ish mapping, so datasets overlap partially.
+fn dataset(name: &str, gene_idx: &[usize], n_cols: usize, value_seed: u64) -> Dataset {
+    let n = gene_idx.len();
+    let vals: Vec<f32> = (0..n * n_cols)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(value_seed);
+            ((x >> 33) % 1000) as f32 / 100.0 - 5.0
+        })
+        .collect();
+    let m = ExprMatrix::from_rows(n, n_cols, &vals).unwrap();
+    let genes = gene_idx
+        .iter()
+        .map(|&g| GeneMeta::new(format!("P{g}"), format!("N{g}"), "synthetic"))
+        .collect();
+    let conds = (0..n_cols)
+        .map(|c| ConditionMeta::new(format!("c{c}")))
+        .collect();
+    Dataset::new(name, m, genes, conds).unwrap()
+}
+
+prop_compose! {
+    /// Gene subsets of a pool of 30, one per dataset, each 1..20 genes.
+    fn arb_gene_sets()(sets in prop::collection::vec(
+        prop::collection::btree_set(0usize..30, 1..20), 1..4))
+        -> Vec<Vec<usize>>
+    {
+        sets.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sync_rows_align_for_any_selection(
+        gene_sets in arb_gene_sets(),
+        selection in prop::collection::vec(0usize..30, 1..15),
+        sync_on in any::<bool>(),
+    ) {
+        let mut session = Session::new();
+        for (i, set) in gene_sets.iter().enumerate() {
+            session.load_dataset(dataset(&format!("d{i}"), set, 3, i as u64)).unwrap();
+        }
+        let names: Vec<String> = selection.iter().map(|g| format!("P{g}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        session.select_genes(&refs, SelectionOrigin::List);
+        session.set_sync(sync_on);
+
+        // Invariant 1: alignment verifies in sync mode.
+        prop_assert!(sync::verify_alignment(&session));
+
+        let sel_len = session.selection().map(|s| s.len()).unwrap_or(0);
+        for d in 0..session.n_datasets() {
+            let rows = sync::zoom_rows(&session, d);
+            if sync_on {
+                // Invariant 2: sync mode has exactly one row per selected gene.
+                prop_assert_eq!(rows.len(), sel_len);
+            } else {
+                // Invariant 3: unsync mode has no gaps and only measured genes.
+                prop_assert!(rows.iter().all(|r| r.is_some()));
+                prop_assert!(rows.len() <= sel_len);
+                // Invariant 4: rows follow the dataset's display order.
+                let pos: Vec<usize> = rows
+                    .iter()
+                    .map(|r| session.display_pos_of_row(d, r.unwrap() as usize))
+                    .collect();
+                let mut sorted = pos.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(pos, sorted);
+            }
+            // Invariant 5: every non-gap row actually holds a selected gene.
+            for r in rows.iter().flatten() {
+                let id = &session.dataset(d).genes[*r as usize].id;
+                let gid = session.merged().universe().lookup(id).unwrap();
+                prop_assert!(session.selection().unwrap().contains(gid));
+            }
+        }
+    }
+
+    #[test]
+    fn marks_point_at_selected_genes(
+        gene_sets in arb_gene_sets(),
+        selection in prop::collection::vec(0usize..30, 1..10),
+    ) {
+        let mut session = Session::new();
+        for (i, set) in gene_sets.iter().enumerate() {
+            session.load_dataset(dataset(&format!("d{i}"), set, 3, 7 + i as u64)).unwrap();
+        }
+        let names: Vec<String> = selection.iter().map(|g| format!("P{g}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        session.select_genes(&refs, SelectionOrigin::List);
+        for d in 0..session.n_datasets() {
+            let marks = sync::global_marks(&session, d);
+            // every mark is a valid display position pointing at a selected gene
+            for &pos in &marks {
+                let gid = session.gene_at_display_row(d, pos).unwrap();
+                prop_assert!(session.selection().unwrap().contains(gid));
+            }
+            // mark count = number of selected genes measured in d
+            let measured = sync::zoom_rows(&session, d)
+                .iter()
+                .filter(|r| r.is_some())
+                .count();
+            prop_assert_eq!(marks.len(), measured);
+        }
+    }
+
+    #[test]
+    fn scroll_never_out_of_range(
+        n_sel in 1usize..12,
+        deltas in prop::collection::vec(-20i64..20, 0..12),
+    ) {
+        let set: Vec<usize> = (0..20).collect();
+        let mut session = Session::new();
+        session.load_dataset(dataset("d", &set, 3, 1)).unwrap();
+        let names: Vec<String> = (0..n_sel).map(|g| format!("P{g}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        session.select_genes(&refs, SelectionOrigin::List);
+        for d in deltas {
+            session.scroll_by(d);
+            prop_assert!(session.scroll() < n_sel.max(1));
+        }
+    }
+}
