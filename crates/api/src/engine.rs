@@ -1,0 +1,787 @@
+//! The execution engine: one [`Session`] driven entirely through
+//! [`Request`]s.
+//!
+//! `Engine` is the seam between the protocol and the application core.
+//! Single requests execute immediately; [`Engine::execute_batch`] applies
+//! a whole request stream with **one layout/damage pass for the entire
+//! batch** — the coalescing that makes replayed scripts and future
+//! network transports cheap, since damage resolution (pane layout) is the
+//! per-command fixed cost.
+//!
+//! The engine owns lazily-built analysis state: a SPELL index rebuilt only
+//! when dataset contents change (a version counter tracks mutations), and
+//! an optional GOLEM ontology context attached by
+//! [`Mutation::BuildOntology`].
+
+use crate::error::ApiError;
+use crate::request::{Mutation, NormalizeMethod, Query, Request, SelectionExport};
+use crate::response::{
+    DamageRect, DatasetRow, EnrichmentRow, Response, SessionInfoData, SpellDatasetRow, SpellGeneRow,
+};
+use forestview::command::{self, DamageClass};
+use forestview::Session;
+use fv_golem::{enrich, EnrichmentConfig};
+use fv_ontology::annotations::PropagatedAnnotations;
+use fv_ontology::dag::OntologyDag;
+use fv_spell::{SpellConfig, SpellEngine};
+use fv_synth::modules::GroundTruth;
+use fv_synth::ontogen::generate_ontology;
+use fv_synth::scenario::Scenario;
+use std::path::Path;
+
+/// Default scene dimensions damage rectangles are resolved against.
+pub const DEFAULT_SCENE: (usize, usize) = (1280, 960);
+
+/// Outcome of a batch execution: per-request responses plus the single
+/// coalesced damage set for all mutations in the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One response per request, in order.
+    pub responses: Vec<Response>,
+    /// Deduplicated union of all mutation damage, resolved in one layout
+    /// pass after the last request.
+    pub damage: Vec<DamageRect>,
+}
+
+struct GolemContext {
+    dag: OntologyDag,
+    annotations: PropagatedAnnotations,
+}
+
+/// One session behind the request/response protocol.
+pub struct Engine {
+    session: Session,
+    scene: (usize, usize),
+    /// Bumped by every mutation that can change expression values or the
+    /// dataset roster; invalidates the SPELL index.
+    dataset_version: u64,
+    spell: Option<(u64, SpellEngine)>,
+    golem: Option<GolemContext>,
+    truth: Option<GroundTruth>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Engine over an empty session with the default scene size.
+    pub fn new() -> Self {
+        Engine::with_scene(DEFAULT_SCENE.0, DEFAULT_SCENE.1)
+    }
+
+    /// Engine over an empty session; damage resolves against
+    /// `scene_w × scene_h`.
+    pub fn with_scene(scene_w: usize, scene_h: usize) -> Self {
+        Engine {
+            session: Session::new(),
+            scene: (scene_w, scene_h),
+            dataset_version: 0,
+            spell: None,
+            golem: None,
+            truth: None,
+        }
+    }
+
+    /// Read access to the underlying session (rendering helpers, tests).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Scene dimensions damage is resolved against.
+    pub fn scene(&self) -> (usize, usize) {
+        self.scene
+    }
+
+    /// Execute one request.
+    pub fn execute(&mut self, request: &Request) -> Result<Response, ApiError> {
+        match request {
+            Request::Mutate(m) => {
+                let (response, class) = self.perform_mutation(m)?;
+                // Only `Applied` carries rectangles on the wire; for the
+                // data-management mutations the damage class is implied by
+                // the response kind, so skip the layout pass entirely.
+                match (response, class) {
+                    (Response::Applied { selection_len, .. }, Some(class)) => {
+                        let rects = command::resolve_damage(
+                            &self.session,
+                            class,
+                            self.scene.0,
+                            self.scene.1,
+                        );
+                        Ok(Response::Applied {
+                            selection_len,
+                            damage: rects.into_iter().map(DamageRect::from).collect(),
+                        })
+                    }
+                    (other, _) => Ok(other),
+                }
+            }
+            Request::Query(q) => self.run_query(q),
+        }
+    }
+
+    /// Execute a request stream with one layout/damage pass for the whole
+    /// batch. Fails fast: the first error aborts the batch (mutations
+    /// already performed stay performed — the protocol has no rollback).
+    pub fn execute_batch(&mut self, requests: &[Request]) -> Result<BatchOutcome, ApiError> {
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut classes: Vec<DamageClass> = Vec::new();
+        for request in requests {
+            match request {
+                Request::Mutate(m) => {
+                    let (response, class) = self.perform_mutation(m)?;
+                    if let Some(class) = class {
+                        classes.push(class);
+                    }
+                    responses.push(response);
+                }
+                Request::Query(q) => responses.push(self.run_query(q)?),
+            }
+        }
+        let damage =
+            command::resolve_damage_batch(&self.session, &classes, self.scene.0, self.scene.1);
+        Ok(BatchOutcome {
+            responses,
+            damage: damage.into_iter().map(DamageRect::from).collect(),
+        })
+    }
+
+    /// Apply a mutation without resolving damage. Returns the response
+    /// (with empty damage for `Applied`) and the damage class, if any.
+    fn perform_mutation(
+        &mut self,
+        mutation: &Mutation,
+    ) -> Result<(Response, Option<DamageClass>), ApiError> {
+        match mutation {
+            Mutation::Command(cmd) => {
+                self.validate_command(cmd)?;
+                let class = command::perform(&mut self.session, cmd);
+                if matches!(cmd, forestview::command::Command::ClusterAll) {
+                    // Re-clustering reorders rows; SPELL indexes by gene id
+                    // and is unaffected, but cheap invalidation is safer
+                    // than reasoning about every future command.
+                    self.dataset_version += 1;
+                }
+                Ok((
+                    Response::Applied {
+                        selection_len: self.session.selection().map(|s| s.len()),
+                        damage: Vec::new(),
+                    },
+                    Some(class),
+                ))
+            }
+            Mutation::LoadDataset { path } => {
+                let ds = load_dataset_file(path)?;
+                let (name, genes, conditions) = (ds.name.clone(), ds.n_genes(), ds.n_conditions());
+                let idx = self.session.load_dataset(ds)?;
+                self.dataset_version += 1;
+                Ok((
+                    Response::Loaded {
+                        dataset: idx,
+                        name,
+                        genes,
+                        conditions,
+                    },
+                    Some(DamageClass::Full),
+                ))
+            }
+            Mutation::LoadScenario { n_genes, seed } => {
+                if *n_genes == 0 {
+                    return Err(ApiError::invalid("scenario needs at least one gene"));
+                }
+                let scenario = Scenario::three_datasets(*n_genes, *seed);
+                let names: Vec<String> = scenario.datasets.iter().map(|d| d.name.clone()).collect();
+                for ds in scenario.datasets {
+                    self.session.load_dataset(ds)?;
+                }
+                self.truth = Some(scenario.truth);
+                self.dataset_version += 1;
+                Ok((
+                    Response::ScenarioLoaded {
+                        names,
+                        n_genes: *n_genes,
+                    },
+                    Some(DamageClass::Full),
+                ))
+            }
+            Mutation::LoadCompendium {
+                n_genes,
+                n_datasets,
+                seed,
+            } => {
+                if *n_genes == 0 || *n_datasets == 0 {
+                    return Err(ApiError::invalid(
+                        "compendium needs at least one gene and one dataset",
+                    ));
+                }
+                let scenario = Scenario::spell_compendium(*n_genes, *n_datasets, *seed);
+                let names: Vec<String> = scenario.datasets.iter().map(|d| d.name.clone()).collect();
+                for ds in scenario.datasets {
+                    self.session.load_dataset(ds)?;
+                }
+                self.truth = Some(scenario.truth);
+                self.dataset_version += 1;
+                Ok((
+                    Response::ScenarioLoaded {
+                        names,
+                        n_genes: *n_genes,
+                    },
+                    Some(DamageClass::Full),
+                ))
+            }
+            Mutation::BuildOntology { n_filler, seed } => {
+                let truth = self.truth.as_ref().ok_or_else(|| {
+                    ApiError::missing_context(
+                        "ontology generation needs scenario ground truth; run `scenario` first",
+                    )
+                })?;
+                let generated = generate_ontology(truth, *n_filler, *seed);
+                let annotations = generated.annotations.propagate(&generated.dag);
+                let terms = generated.dag.ids().count();
+                self.golem = Some(GolemContext {
+                    dag: generated.dag,
+                    annotations,
+                });
+                Ok((Response::OntologyReady { terms }, None))
+            }
+            Mutation::Impute { dataset, k } => {
+                self.check_dataset(*dataset)?;
+                if *k == 0 {
+                    return Err(ApiError::invalid("impute needs k >= 1"));
+                }
+                // KNN imputation always uses Euclidean neighbours — the
+                // session's cluster metric is a *clustering* setting and
+                // must not silently change imputed values.
+                let stats = fv_cluster::impute::knn_impute(
+                    self.session.dataset_matrix_mut(*dataset),
+                    *k,
+                    fv_cluster::distance::Metric::Euclidean,
+                );
+                self.dataset_version += 1;
+                Ok((
+                    Response::Imputed {
+                        filled: stats.filled,
+                        missing_before: stats.missing_before,
+                    },
+                    Some(DamageClass::SinglePane(*dataset)),
+                ))
+            }
+            Mutation::Normalize { dataset, method } => {
+                let targets: Vec<usize> = match dataset {
+                    Some(d) => {
+                        self.check_dataset(*d)?;
+                        vec![*d]
+                    }
+                    None => (0..self.session.n_datasets()).collect(),
+                };
+                for &d in &targets {
+                    let m = self.session.dataset_matrix_mut(d);
+                    match method {
+                        NormalizeMethod::Log2 => fv_expr::normalize::log2_transform(m),
+                        NormalizeMethod::CenterRows => fv_expr::normalize::mean_center_rows(m),
+                        NormalizeMethod::MedianCenterRows => {
+                            fv_expr::normalize::median_center_rows(m)
+                        }
+                        NormalizeMethod::ZscoreRows => fv_expr::normalize::zscore_rows(m),
+                    }
+                }
+                self.dataset_version += 1;
+                let class = match dataset {
+                    Some(d) => DamageClass::SinglePane(*d),
+                    None => DamageClass::Full,
+                };
+                Ok((
+                    Response::Normalized {
+                        datasets: targets.len(),
+                    },
+                    Some(class),
+                ))
+            }
+            Mutation::ClusterArrays { dataset } => {
+                self.check_dataset(*dataset)?;
+                // The FIRST array tree in the session turns on the
+                // array-tree strip, which shifts every pane's content down
+                // (see forestview::layout) — that repaints the whole scene,
+                // not just this pane.
+                let first_array_tree =
+                    (0..self.session.n_datasets()).all(|d| self.session.array_tree(d).is_none());
+                let (metric, linkage) = self.session.cluster_settings();
+                self.session.cluster_arrays(*dataset, metric, linkage);
+                let class = if first_array_tree {
+                    DamageClass::Full
+                } else {
+                    DamageClass::SinglePane(*dataset)
+                };
+                Ok((Response::ArraysClustered { dataset: *dataset }, Some(class)))
+            }
+        }
+    }
+
+    fn run_query(&mut self, query: &Query) -> Result<Response, ApiError> {
+        match query {
+            Query::Search { query } => {
+                let merged = self.session.merged();
+                let genes = forestview::search::search_genes(merged, query)
+                    .into_iter()
+                    .map(|g| merged.universe().name(g).to_string())
+                    .collect();
+                Ok(Response::SearchHits { genes })
+            }
+            Query::Spell { genes, top_n } => {
+                if genes.is_empty() {
+                    return Err(ApiError::invalid("spell needs at least one query gene"));
+                }
+                if self.session.n_datasets() == 0 {
+                    return Err(ApiError::invalid("spell needs at least one loaded dataset"));
+                }
+                self.ensure_spell_index();
+                let (_, engine) = self.spell.as_ref().expect("index just ensured");
+                let refs: Vec<&str> = genes.iter().map(|s| s.as_str()).collect();
+                let result = engine.query(&refs);
+                Ok(Response::SpellRanking {
+                    datasets: result
+                        .datasets
+                        .iter()
+                        .map(|d| SpellDatasetRow {
+                            name: d.name.clone(),
+                            weight: d.weight,
+                            query_genes_present: d.query_genes_present,
+                        })
+                        .collect(),
+                    genes: result
+                        .top_new_genes(*top_n)
+                        .into_iter()
+                        .map(|g| SpellGeneRow {
+                            gene: g.gene.clone(),
+                            score: g.score,
+                            n_datasets: g.n_datasets,
+                        })
+                        .collect(),
+                    query_missing: result.query_missing.clone(),
+                })
+            }
+            Query::Enrich { genes, max_terms } => {
+                let golem = self.golem.as_ref().ok_or_else(|| {
+                    ApiError::missing_context("enrichment needs an ontology; run `ontology` first")
+                })?;
+                let names: Vec<String> = match genes {
+                    Some(g) => g.clone(),
+                    None => {
+                        let sel = self.session.selection().ok_or_else(|| {
+                            ApiError::invalid("enrich over selection, but nothing is selected")
+                        })?;
+                        sel.genes()
+                            .iter()
+                            .map(|&g| self.session.merged().universe().name(g).to_string())
+                            .collect()
+                    }
+                };
+                let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+                let results = enrich(
+                    &golem.dag,
+                    &golem.annotations,
+                    &refs,
+                    &EnrichmentConfig::default(),
+                );
+                Ok(Response::Enrichment {
+                    rows: results
+                        .iter()
+                        .take(*max_terms)
+                        .map(|r| EnrichmentRow {
+                            accession: golem.dag.term(r.term).accession.clone(),
+                            name: golem.dag.term(r.term).name.clone(),
+                            p_value: r.p_value,
+                            q_value: r.q_value,
+                            overlap: r.overlap,
+                            annotated: r.annotated,
+                        })
+                        .collect(),
+                })
+            }
+            Query::Render {
+                width,
+                height,
+                path,
+            } => {
+                if *width == 0 || *height == 0 {
+                    return Err(ApiError::invalid("render needs nonzero dimensions"));
+                }
+                let fb = forestview::renderer::render_desktop(&self.session, *width, *height);
+                if let Some(p) = path {
+                    fv_render::image::write_ppm(&fb, p)
+                        .map_err(|e| ApiError::io(format!("{p}: {e}")))?;
+                }
+                Ok(Response::Frame {
+                    width: *width,
+                    height: *height,
+                    panes: self.session.n_datasets(),
+                    checksum: fnv1a(fb.bytes()),
+                    path: path.clone(),
+                })
+            }
+            Query::ExportCdt { dataset, prefix } => {
+                self.check_dataset(*dataset)?;
+                let (cdt, gtr, atr) = self.session.export_clustered_cdt(*dataset);
+                let mut files = Vec::new();
+                if let Some(prefix) = prefix {
+                    let cdt_path = format!("{prefix}.cdt");
+                    std::fs::write(&cdt_path, &cdt)
+                        .map_err(|e| ApiError::io(format!("{cdt_path}: {e}")))?;
+                    files.push(cdt_path);
+                    if let Some(g) = &gtr {
+                        let p = format!("{prefix}.gtr");
+                        std::fs::write(&p, g).map_err(|e| ApiError::io(format!("{p}: {e}")))?;
+                        files.push(p);
+                    }
+                    if let Some(a) = &atr {
+                        let p = format!("{prefix}.atr");
+                        std::fs::write(&p, a).map_err(|e| ApiError::io(format!("{p}: {e}")))?;
+                        files.push(p);
+                    }
+                }
+                Ok(Response::CdtExported {
+                    dataset: *dataset,
+                    files,
+                    cdt_bytes: cdt.len(),
+                    has_gtr: gtr.is_some(),
+                    has_atr: atr.is_some(),
+                })
+            }
+            Query::ExportPcl { dataset, path } => {
+                self.check_dataset(*dataset)?;
+                let ds = self.session.dataset(*dataset);
+                std::fs::write(path, fv_formats::pcl::write_pcl(ds))
+                    .map_err(|e| ApiError::io(format!("{path}: {e}")))?;
+                Ok(Response::PclExported {
+                    dataset: *dataset,
+                    path: path.clone(),
+                    genes: ds.n_genes(),
+                    conditions: ds.n_conditions(),
+                })
+            }
+            Query::ExportSelection { what } => {
+                let text = match what {
+                    SelectionExport::GeneList => self.session.export_gene_list(),
+                    SelectionExport::Merged => self.session.export_merged_selection(),
+                    SelectionExport::Coverage => {
+                        forestview::export::selection_coverage_tsv(&self.session)
+                    }
+                };
+                Ok(Response::Text { text })
+            }
+            Query::SessionInfo => {
+                let s = &self.session;
+                Ok(Response::SessionInfo(SessionInfoData {
+                    n_datasets: s.n_datasets(),
+                    universe_genes: s.merged().universe().len(),
+                    total_measurements: s.merged().total_measurements(),
+                    selection_len: s.selection().map(|sel| sel.len()),
+                    sync_enabled: s.sync_enabled(),
+                    scroll: s.scroll(),
+                    dataset_order: s.dataset_order().to_vec(),
+                    summary: forestview::export::session_summary(s),
+                }))
+            }
+            Query::ListDatasets => {
+                let s = &self.session;
+                Ok(Response::Datasets {
+                    rows: (0..s.n_datasets())
+                        .map(|d| {
+                            let ds = s.dataset(d);
+                            DatasetRow {
+                                dataset: d,
+                                name: ds.name.clone(),
+                                genes: ds.n_genes(),
+                                conditions: ds.n_conditions(),
+                                gene_clustered: s.gene_tree(d).is_some(),
+                                array_clustered: s.array_tree(d).is_some(),
+                            }
+                        })
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    /// Commands index datasets without their own bounds checks (the
+    /// session panics); validate up front so the API reports typed errors.
+    fn validate_command(&self, cmd: &forestview::command::Command) -> Result<(), ApiError> {
+        use forestview::command::Command;
+        match cmd {
+            Command::SelectRegion { dataset, .. } => self.check_dataset(*dataset),
+            Command::SetContrast {
+                dataset: Some(d), ..
+            } => self.check_dataset(*d),
+            Command::OrderByRelevance(scores) => {
+                if scores.len() != self.session.n_datasets() {
+                    return Err(ApiError::invalid(format!(
+                        "relevance ordering needs one score per dataset ({} given, {} loaded)",
+                        scores.len(),
+                        self.session.n_datasets()
+                    )));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn check_dataset(&self, d: usize) -> Result<(), ApiError> {
+        if d >= self.session.n_datasets() {
+            return Err(ApiError::not_found(format!(
+                "dataset {d} (session has {})",
+                self.session.n_datasets()
+            )));
+        }
+        Ok(())
+    }
+
+    /// (Re)build the SPELL index when dataset contents changed since the
+    /// last build.
+    fn ensure_spell_index(&mut self) {
+        let stale = match &self.spell {
+            Some((v, _)) => *v != self.dataset_version,
+            None => true,
+        };
+        if stale {
+            let mut engine = SpellEngine::new(SpellConfig::default());
+            for d in 0..self.session.n_datasets() {
+                engine.add_dataset(self.session.dataset(d));
+            }
+            engine.finalize();
+            self.spell = Some((self.dataset_version, engine));
+        }
+    }
+}
+
+/// Load a PCL or CDT dataset from disk, named after the file stem.
+pub fn load_dataset_file(path: &str) -> Result<fv_expr::Dataset, ApiError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ApiError::io(format!("{path}: {e}")))?;
+    let name = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    match fv_formats::detect_format(&text) {
+        fv_formats::FileFormat::Pcl => fv_formats::pcl::parse_pcl(&name, &text)
+            .map_err(|e| ApiError::format(format!("{path}: {e}"))),
+        fv_formats::FileFormat::Cdt => fv_formats::cdt::parse_cdt(&name, &text)
+            .map(|c| c.dataset)
+            .map_err(|e| ApiError::format(format!("{path}: {e}"))),
+        other => Err(ApiError::format(format!(
+            "{path}: unsupported format {other:?}"
+        ))),
+    }
+}
+
+/// FNV-1a over raw bytes; the frame checksum of [`Response::Frame`].
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forestview::command::Command;
+
+    fn loaded_engine() -> Engine {
+        let mut e = Engine::with_scene(800, 600);
+        e.execute(&Request::Mutate(Mutation::LoadScenario {
+            n_genes: 120,
+            seed: 7,
+        }))
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn scenario_then_info() {
+        let mut e = loaded_engine();
+        let info = e.execute(&Request::Query(Query::SessionInfo)).unwrap();
+        match info {
+            Response::SessionInfo(data) => {
+                assert_eq!(data.n_datasets, 3);
+                assert_eq!(data.universe_genes, 120);
+                assert!(data.sync_enabled);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn command_mutations_report_damage() {
+        let mut e = loaded_engine();
+        let r = e
+            .execute(&Request::Mutate(Mutation::Command(Command::Search(
+                "stress".into(),
+            ))))
+            .unwrap();
+        match r {
+            Response::Applied {
+                selection_len,
+                damage,
+            } => {
+                assert!(selection_len.unwrap_or(0) > 0);
+                assert!(!damage.is_empty());
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_dataset_index_is_typed_error() {
+        let mut e = loaded_engine();
+        let err = e
+            .execute(&Request::Mutate(Mutation::Impute { dataset: 9, k: 3 }))
+            .unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::NotFound);
+    }
+
+    #[test]
+    fn enrich_without_ontology_is_missing_context() {
+        let mut e = loaded_engine();
+        let err = e
+            .execute(&Request::Query(Query::Enrich {
+                genes: Some(vec!["YAL001C".into()]),
+                max_terms: 5,
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::MissingContext);
+    }
+
+    #[test]
+    fn ontology_enables_enrich() {
+        let mut e = loaded_engine();
+        e.execute(&Request::Mutate(Mutation::BuildOntology {
+            n_filler: 60,
+            seed: 7,
+        }))
+        .unwrap();
+        e.execute(&Request::Mutate(Mutation::Command(Command::Search(
+            "general stress response".into(),
+        ))))
+        .unwrap();
+        let r = e
+            .execute(&Request::Query(Query::Enrich {
+                genes: None,
+                max_terms: 5,
+            }))
+            .unwrap();
+        match r {
+            Response::Enrichment { rows } => assert!(!rows.is_empty()),
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spell_index_caches_until_mutation() {
+        let mut e = loaded_engine();
+        let q = Request::Query(Query::Spell {
+            genes: vec![fv_synth::names::orf_name(0)],
+            top_n: 5,
+        });
+        e.execute(&q).unwrap();
+        let v1 = e.spell.as_ref().unwrap().0;
+        e.execute(&q).unwrap();
+        assert_eq!(e.spell.as_ref().unwrap().0, v1, "cache reused");
+        e.execute(&Request::Mutate(Mutation::Normalize {
+            dataset: None,
+            method: NormalizeMethod::CenterRows,
+        }))
+        .unwrap();
+        e.execute(&q).unwrap();
+        assert_ne!(e.spell.as_ref().unwrap().0, v1, "cache rebuilt");
+    }
+
+    #[test]
+    fn batch_damage_is_single_pass_union() {
+        // The same request stream through a batch and through singles must
+        // mutate identically, and the batch damage must equal the
+        // deduplicated union of the singles' damage.
+        let script = vec![
+            Request::Mutate(Mutation::Command(Command::SelectRegion {
+                dataset: 0,
+                start_frac: 0.0,
+                end_frac: 0.4,
+            })),
+            Request::Mutate(Mutation::Command(Command::Scroll(2))),
+            Request::Mutate(Mutation::Command(Command::SetContrast {
+                dataset: Some(1),
+                contrast: 2.0,
+            })),
+        ];
+        let mut seq = loaded_engine();
+        let mut union: Vec<DamageRect> = Vec::new();
+        for r in &script {
+            if let Response::Applied { damage, .. } = seq.execute(r).unwrap() {
+                for d in damage {
+                    if !union.contains(&d) {
+                        union.push(d);
+                    }
+                }
+            }
+        }
+        let mut batched = loaded_engine();
+        let outcome = batched.execute_batch(&script).unwrap();
+        assert_eq!(outcome.damage, union);
+        assert_eq!(
+            batched.session().selection().map(|s| s.len()),
+            seq.session().selection().map(|s| s.len())
+        );
+        assert_eq!(batched.session().scroll(), seq.session().scroll());
+    }
+
+    #[test]
+    fn first_array_tree_damages_whole_scene() {
+        // The first array tree toggles the array-tree strip, shifting
+        // every pane's content — the damage must cover the whole scene,
+        // not just the clustered pane. Later array trees are pane-local.
+        let mut e = loaded_engine();
+        let first = e
+            .execute_batch(&[Request::Mutate(Mutation::ClusterArrays { dataset: 0 })])
+            .unwrap();
+        assert_eq!(
+            first.damage,
+            vec![DamageRect {
+                x: 0,
+                y: 0,
+                w: 800,
+                h: 600
+            }]
+        );
+        let second = e
+            .execute_batch(&[Request::Mutate(Mutation::ClusterArrays { dataset: 1 })])
+            .unwrap();
+        assert_eq!(second.damage.len(), 1);
+        assert_ne!(second.damage, first.damage, "later trees are pane-local");
+    }
+
+    #[test]
+    fn render_checksum_deterministic() {
+        let mut a = loaded_engine();
+        let mut b = loaded_engine();
+        let q = Request::Query(Query::Render {
+            width: 320,
+            height: 240,
+            path: None,
+        });
+        let (ra, rb) = (a.execute(&q).unwrap(), b.execute(&q).unwrap());
+        assert_eq!(ra, rb);
+        match ra {
+            Response::Frame {
+                checksum, panes, ..
+            } => {
+                assert_ne!(checksum, 0);
+                assert_eq!(panes, 3);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+}

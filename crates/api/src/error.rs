@@ -1,0 +1,161 @@
+//! Typed API errors with stable, machine-readable codes.
+//!
+//! Every failure surfaced by the engine carries an [`ErrorCode`] that is
+//! part of the wire protocol: front ends branch on the code (and map it to
+//! a process exit code), never on the message text. Messages are for
+//! humans and may change; codes may not.
+
+use std::fmt;
+
+/// Stable error codes. The `as_str` names are wire-visible and frozen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Malformed request text or arguments (wire-level).
+    Parse,
+    /// Request is well-formed but invalid for the current state
+    /// (bad dataset index, missing selection where one is required, …).
+    InvalidRequest,
+    /// Named entity (dataset, session) does not exist.
+    NotFound,
+    /// A name that must be unique already exists.
+    AlreadyExists,
+    /// Filesystem failure (open, read, write).
+    Io,
+    /// Input file contents not recognized / not parseable.
+    Format,
+    /// Query needs state that has not been built (ontology, scenario
+    /// ground truth).
+    MissingContext,
+    /// Internal invariant violation — a bug, not a user error.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Frozen wire name of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "E_PARSE",
+            ErrorCode::InvalidRequest => "E_INVALID",
+            ErrorCode::NotFound => "E_NOT_FOUND",
+            ErrorCode::AlreadyExists => "E_EXISTS",
+            ErrorCode::Io => "E_IO",
+            ErrorCode::Format => "E_FORMAT",
+            ErrorCode::MissingContext => "E_MISSING_CONTEXT",
+            ErrorCode::Internal => "E_INTERNAL",
+        }
+    }
+
+    /// Process exit code a CLI should use for this error class. Usage
+    /// errors get 2 (the conventional "bad invocation"), I/O and format
+    /// problems get the sysexits-style 66/65, everything else 1.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorCode::Parse | ErrorCode::InvalidRequest => 2,
+            ErrorCode::Format => 65,
+            ErrorCode::Io | ErrorCode::NotFound => 66,
+            ErrorCode::AlreadyExists => 73,
+            ErrorCode::MissingContext => 78,
+            ErrorCode::Internal => 70,
+        }
+    }
+}
+
+/// An API failure: stable code + human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Stable, wire-visible error class.
+    pub code: ErrorCode,
+    /// Human-readable detail; not part of the stable surface.
+    pub message: String,
+}
+
+impl ApiError {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ApiError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Parse, message)
+    }
+
+    pub fn invalid(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::InvalidRequest, message)
+    }
+
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::NotFound, message)
+    }
+
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Io, message)
+    }
+
+    pub fn format(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Format, message)
+    }
+
+    pub fn missing_context(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::MissingContext, message)
+    }
+
+    /// Exit code a CLI process should terminate with.
+    pub fn exit_code(&self) -> u8 {
+        self.code.exit_code()
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<fv_expr::ExprError> for ApiError {
+    fn from(e: fv_expr::ExprError) -> Self {
+        let code = match &e {
+            fv_expr::ExprError::DuplicateDataset(_) => ErrorCode::AlreadyExists,
+            _ => ErrorCode::InvalidRequest,
+        };
+        ApiError::new(code, e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ApiError {
+    fn from(e: std::io::Error) -> Self {
+        ApiError::new(ErrorCode::Io, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(ErrorCode::Parse.as_str(), "E_PARSE");
+        assert_eq!(ErrorCode::NotFound.as_str(), "E_NOT_FOUND");
+        assert_eq!(ErrorCode::MissingContext.as_str(), "E_MISSING_CONTEXT");
+    }
+
+    #[test]
+    fn exit_codes_distinguish_classes() {
+        assert_eq!(ApiError::parse("x").exit_code(), 2);
+        assert_eq!(ApiError::io("x").exit_code(), 66);
+        assert_eq!(ApiError::format("x").exit_code(), 65);
+        assert_ne!(
+            ApiError::missing_context("x").exit_code(),
+            ApiError::parse("x").exit_code()
+        );
+    }
+
+    #[test]
+    fn display_includes_code_and_message() {
+        let e = ApiError::not_found("dataset 7");
+        assert_eq!(e.to_string(), "E_NOT_FOUND: dataset 7");
+    }
+}

@@ -1,0 +1,303 @@
+//! Multi-session hub: many named engines behind one dispatch surface.
+//!
+//! `EngineHub` is the seam where horizontal scaling attaches. Today it is
+//! an in-process map from [`SessionId`] to [`Engine`]; a network transport
+//! (the next planned layer — see ROADMAP.md) serializes requests with the
+//! wire codec, routes them here by session id, and shards hubs across
+//! workers without the protocol changing shape.
+
+use crate::codec::{format_response, parse_script, ScriptItem};
+use crate::engine::{BatchOutcome, Engine};
+use crate::error::ApiError;
+use crate::request::Request;
+use crate::response::Response;
+use std::collections::BTreeMap;
+
+/// Name of an engine session within a hub. Session names are single
+/// whitespace-free tokens (enforced by [`SessionId::new`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(String);
+
+impl SessionId {
+    /// Validate and wrap a session name.
+    pub fn new(name: impl Into<String>) -> Result<SessionId, ApiError> {
+        let name = name.into();
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(ApiError::invalid(format!(
+                "session names are non-empty single tokens, got {name:?}"
+            )));
+        }
+        Ok(SessionId(name))
+    }
+
+    /// The session name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One executed script line in a transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranscriptEntry {
+    /// 1-based line number in the script source.
+    pub line_no: usize,
+    /// Session the request ran against.
+    pub session: SessionId,
+    /// The executed request.
+    pub request: Request,
+    /// Its response.
+    pub response: Response,
+}
+
+impl TranscriptEntry {
+    /// Canonical transcript block for this entry:
+    /// `<session>:<line>> <canonical request>` followed by the formatted
+    /// response, newline-terminated. The single source of the transcript
+    /// shape — both [`ScriptOutcome::transcript`] and streaming front ends
+    /// (`fvtool script`) emit exactly this.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}> {}\n{}\n",
+            self.session,
+            self.line_no,
+            crate::codec::format_request(&self.request),
+            format_response(&self.response)
+        )
+    }
+}
+
+/// Result of replaying a script through a hub.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptOutcome {
+    /// Executed lines, in order.
+    pub entries: Vec<TranscriptEntry>,
+}
+
+impl ScriptOutcome {
+    /// Deterministic text transcript: the concatenated
+    /// [`TranscriptEntry::render`] blocks of every executed request.
+    pub fn transcript(&self) -> String {
+        self.entries.iter().map(TranscriptEntry::render).collect()
+    }
+}
+
+/// Many named engine sessions; the default session is `"main"`.
+pub struct EngineHub {
+    scene: (usize, usize),
+    sessions: BTreeMap<SessionId, Engine>,
+}
+
+impl Default for EngineHub {
+    fn default() -> Self {
+        EngineHub::new()
+    }
+}
+
+impl EngineHub {
+    /// Hub whose engines use the default scene size.
+    pub fn new() -> Self {
+        EngineHub::with_scene(
+            crate::engine::DEFAULT_SCENE.0,
+            crate::engine::DEFAULT_SCENE.1,
+        )
+    }
+
+    /// Hub whose engines resolve damage against `scene_w × scene_h`.
+    pub fn with_scene(scene_w: usize, scene_h: usize) -> Self {
+        EngineHub {
+            scene: (scene_w, scene_h),
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// The default session id.
+    pub fn default_session() -> SessionId {
+        SessionId("main".to_string())
+    }
+
+    /// Session ids, sorted by name.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions.keys().cloned().collect()
+    }
+
+    /// Number of live sessions.
+    pub fn n_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The engine behind `id`, created empty on first use.
+    pub fn engine(&mut self, id: &SessionId) -> &mut Engine {
+        let scene = self.scene;
+        self.sessions
+            .entry(id.clone())
+            .or_insert_with(|| Engine::with_scene(scene.0, scene.1))
+    }
+
+    /// Read-only engine access; `None` until the session exists.
+    pub fn get(&self, id: &SessionId) -> Option<&Engine> {
+        self.sessions.get(id)
+    }
+
+    /// Drop a session and everything it owns. Returns whether it existed.
+    pub fn close(&mut self, id: &SessionId) -> bool {
+        self.sessions.remove(id).is_some()
+    }
+
+    /// Execute one request against a named session.
+    pub fn execute_on(&mut self, id: &SessionId, request: &Request) -> Result<Response, ApiError> {
+        self.engine(id).execute(request)
+    }
+
+    /// Execute a batch against a named session (one layout/damage pass).
+    pub fn execute_batch_on(
+        &mut self,
+        id: &SessionId,
+        requests: &[Request],
+    ) -> Result<BatchOutcome, ApiError> {
+        self.engine(id).execute_batch(requests)
+    }
+
+    /// Replay a wire-format script. `use <name>` lines switch (and create)
+    /// sessions; requests run against the current session, starting at
+    /// `"main"`. Stops at the first error, reporting its script line.
+    pub fn run_script(&mut self, text: &str) -> Result<ScriptOutcome, ApiError> {
+        let mut entries = Vec::new();
+        self.run_script_streaming(text, |e| entries.push(e.clone()))?;
+        Ok(ScriptOutcome { entries })
+    }
+
+    /// Like [`EngineHub::run_script`], but hands each executed entry to
+    /// `sink` as soon as its response exists — so a front end can emit the
+    /// transcript incrementally, and the already-executed prefix survives
+    /// a mid-script error (mutations are not rolled back; the transcript
+    /// should not pretend they never ran).
+    pub fn run_script_streaming(
+        &mut self,
+        text: &str,
+        mut sink: impl FnMut(&TranscriptEntry),
+    ) -> Result<(), ApiError> {
+        let lines = parse_script(text)?;
+        let mut current = EngineHub::default_session();
+        for line in lines {
+            match line.item {
+                ScriptItem::Use(name) => {
+                    current = SessionId::new(name)?;
+                    // touch it so `use` alone materializes the session
+                    self.engine(&current);
+                }
+                ScriptItem::Request(request) => {
+                    let response = self.execute_on(&current, &request).map_err(|e| {
+                        ApiError::new(e.code, format!("line {}: {}", line.line_no, e.message))
+                    })?;
+                    sink(&TranscriptEntry {
+                        line_no: line.line_no,
+                        session: current.clone(),
+                        request,
+                        response,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Mutation, Query};
+
+    #[test]
+    fn sessions_isolated() {
+        let mut hub = EngineHub::with_scene(640, 480);
+        let a = SessionId::new("a").unwrap();
+        let b = SessionId::new("b").unwrap();
+        hub.execute_on(
+            &a,
+            &Request::Mutate(Mutation::LoadScenario {
+                n_genes: 60,
+                seed: 1,
+            }),
+        )
+        .unwrap();
+        let info_a = hub
+            .execute_on(&a, &Request::Query(Query::SessionInfo))
+            .unwrap();
+        let info_b = hub
+            .execute_on(&b, &Request::Query(Query::SessionInfo))
+            .unwrap();
+        match (info_a, info_b) {
+            (Response::SessionInfo(ia), Response::SessionInfo(ib)) => {
+                assert_eq!(ia.n_datasets, 3);
+                assert_eq!(ib.n_datasets, 0, "session b must be untouched");
+            }
+            other => panic!("wrong responses: {other:?}"),
+        }
+        assert_eq!(hub.n_sessions(), 2);
+        assert!(hub.close(&b));
+        assert!(!hub.close(&b));
+    }
+
+    #[test]
+    fn script_switches_sessions() {
+        let mut hub = EngineHub::with_scene(640, 480);
+        let script = "\
+# two sessions side by side
+scenario 60 1
+use other
+scenario 60 2
+search_select stress
+use main
+session_info
+";
+        let out = hub.run_script(script).unwrap();
+        assert_eq!(out.entries.len(), 4);
+        assert_eq!(out.entries[0].session.as_str(), "main");
+        assert_eq!(out.entries[1].session.as_str(), "other");
+        assert_eq!(out.entries[3].session.as_str(), "main");
+        let transcript = out.transcript();
+        assert!(transcript.contains("main:2> scenario 60 1"));
+        assert!(transcript.contains("other:5> search_select stress"));
+    }
+
+    #[test]
+    fn script_errors_name_the_line() {
+        let mut hub = EngineHub::new();
+        let err = hub.run_script("scenario 60 1\nimpute 99 3\n").unwrap_err();
+        assert!(err.message.contains("line 2"), "{}", err.message);
+        assert_eq!(err.code, crate::error::ErrorCode::NotFound);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let script = "\
+scenario 120 7
+set_metric euclidean
+set_linkage ward
+cluster_all
+search_select general stress response
+scroll 2
+render 320 240
+session_info
+";
+        let mut h1 = EngineHub::with_scene(800, 600);
+        let mut h2 = EngineHub::with_scene(800, 600);
+        let t1 = h1.run_script(script).unwrap().transcript();
+        let t2 = h2.run_script(script).unwrap().transcript();
+        assert_eq!(t1, t2);
+        assert!(t1.contains("frame 320x240 panes=3"));
+    }
+
+    #[test]
+    fn bad_session_names_rejected() {
+        assert!(SessionId::new("").is_err());
+        assert!(SessionId::new("two words").is_err());
+        assert!(SessionId::new("ok-name_1").is_ok());
+    }
+}

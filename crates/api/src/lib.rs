@@ -1,0 +1,69 @@
+//! # fv-api — the unified request/response protocol and execution engine
+//!
+//! Every front end of the ForestView reproduction (the `fvtool` CLI,
+//! examples, tests, and the future network server) drives sessions through
+//! one typed, serializable surface defined here. The paper's ForestView is
+//! a single-user GUI whose interactions are mouse events; this crate is
+//! what turns the reproduction into a *system*: one source of truth for
+//! what the application can be asked, with many expressions (Rust values,
+//! wire text, replayable script files).
+//!
+//! ## Layering
+//!
+//! ```text
+//!   front ends          fvtool · examples · tests · (network, later)
+//!        │ Request / Response / ApiError        [`request`], [`response`], [`error`]
+//!        ▼
+//!   EngineHub           named sessions, script replay        [`hub`]
+//!        │ SessionId routing
+//!        ▼
+//!   Engine              single session, batch damage         [`engine`]
+//!        │ Command perform + one damage pass per batch
+//!        ▼
+//!   forestview core     Session · command · renderer · export
+//! ```
+//!
+//! The wire codec ([`codec`]) converts between the typed surface and
+//! line-oriented text: `parse_script` / `parse_request` inbound,
+//! `format_request` / `format_response` outbound. `parse(format(r)) == r`
+//! holds for every request — the protocol is replayable by construction.
+//!
+//! ## Example
+//!
+//! ```
+//! use fv_api::{Engine, Request, Mutation, Query, Response};
+//! use forestview::command::Command;
+//!
+//! let mut engine = Engine::with_scene(800, 600);
+//! engine
+//!     .execute(&Request::Mutate(Mutation::LoadScenario { n_genes: 60, seed: 1 }))
+//!     .unwrap();
+//! // Batches coalesce damage: one layout pass for the whole stream.
+//! let outcome = engine
+//!     .execute_batch(&[
+//!         Request::Mutate(Mutation::Command(Command::ClusterAll)),
+//!         Request::Mutate(Mutation::Command(Command::Search("stress".into()))),
+//!         Request::Query(Query::SessionInfo),
+//!     ])
+//!     .unwrap();
+//! assert_eq!(outcome.responses.len(), 3);
+//! assert!(!outcome.damage.is_empty());
+//! match &outcome.responses[2] {
+//!     Response::SessionInfo(info) => assert_eq!(info.n_datasets, 3),
+//!     other => panic!("unexpected: {other:?}"),
+//! }
+//! ```
+
+pub mod codec;
+pub mod engine;
+pub mod error;
+pub mod hub;
+pub mod request;
+pub mod response;
+
+pub use codec::{format_request, format_response, parse_request, parse_script};
+pub use engine::{BatchOutcome, Engine};
+pub use error::{ApiError, ErrorCode};
+pub use hub::{EngineHub, ScriptOutcome, SessionId};
+pub use request::{Mutation, NormalizeMethod, Query, Request, SelectionExport};
+pub use response::Response;

@@ -1,0 +1,322 @@
+//! Wire-codec round-trip property tests: `parse(format(req)) == req` for
+//! every [`Request`] variant, through both the single-request parser and
+//! the script parser. The generators cover the documented lexical domain
+//! (tokens without whitespace/commas, free text without leading/trailing
+//! whitespace) — the codec's losslessness contract.
+
+use forestview::command::Command;
+use fv_api::codec::{format_request, parse_request, parse_script, ScriptItem};
+use fv_api::{Mutation, NormalizeMethod, Query, Request, SelectionExport};
+use fv_cluster::distance::Metric;
+use fv_cluster::linkage::Linkage;
+use proptest::prelude::*;
+use proptest::strategy::FnStrategy;
+use proptest::test_runner::TestRng;
+
+/// A wire-safe token: no whitespace, no commas, not `-` (the empty-list
+/// sentinel), not `all` (the all-datasets sentinel).
+fn arb_token() -> impl Strategy<Value = String> {
+    FnStrategy::new(|rng: &mut TestRng| {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.";
+        let len = 1 + rng.below(11) as usize;
+        let s: String = (0..len)
+            .map(|_| CHARS[rng.below(CHARS.len() as u64) as usize] as char)
+            .collect();
+        if s == "-" || s == "all" {
+            "tok".to_string()
+        } else {
+            s
+        }
+    })
+}
+
+/// A path-ish token (may contain `/`).
+fn arb_path() -> impl Strategy<Value = String> {
+    FnStrategy::new(|rng: &mut TestRng| {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_./";
+        let len = 1 + rng.below(19) as usize;
+        let s: String = (0..len).map(|_| rng_char(rng, CHARS)).collect();
+        // keep it a clean token: no leading '-' (sentinel confusion)
+        format!("p{s}")
+    })
+}
+
+fn rng_char(rng: &mut TestRng, chars: &[u8]) -> char {
+    chars[rng.below(chars.len() as u64) as usize] as char
+}
+
+/// Free text: space-separated tokens, no leading/trailing whitespace
+/// (the codec's documented constraint for trailing-text fields).
+fn arb_text() -> impl Strategy<Value = String> {
+    FnStrategy::new(|rng: &mut TestRng| {
+        let words = 1 + rng.below(4) as usize;
+        (0..words)
+            .map(|_| {
+                const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+                let len = 1 + rng.below(7) as usize;
+                (0..len).map(|_| rng_char(rng, CHARS)).collect::<String>()
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+fn arb_gene_list() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(arb_token(), 0..5)
+}
+
+/// Finite, sign-varied floats; `{:?}` round-trips any finite float, so
+/// the exact distribution only needs to exercise breadth.
+fn arb_f32() -> impl Strategy<Value = f32> {
+    FnStrategy::new(|rng: &mut TestRng| {
+        let v = (rng.unit_f64() as f32 - 0.5) * 2000.0;
+        // include exact-integer and tiny values on some draws
+        match rng.below(4) {
+            0 => v.round(),
+            1 => v / 1.0e4,
+            _ => v,
+        }
+    })
+}
+
+fn arb_linkage() -> impl Strategy<Value = Linkage> {
+    prop_oneof![
+        Just(Linkage::Single),
+        Just(Linkage::Complete),
+        Just(Linkage::Average),
+        Just(Linkage::Ward),
+    ]
+}
+
+fn arb_metric() -> impl Strategy<Value = Metric> {
+    prop_oneof![
+        Just(Metric::Pearson),
+        Just(Metric::AbsPearson),
+        Just(Metric::Uncentered),
+        Just(Metric::Spearman),
+        Just(Metric::Euclidean),
+    ]
+}
+
+fn arb_normalize_method() -> impl Strategy<Value = NormalizeMethod> {
+    prop_oneof![
+        Just(NormalizeMethod::Log2),
+        Just(NormalizeMethod::CenterRows),
+        Just(NormalizeMethod::MedianCenterRows),
+        Just(NormalizeMethod::ZscoreRows),
+    ]
+}
+
+fn arb_selection_export() -> impl Strategy<Value = SelectionExport> {
+    prop_oneof![
+        Just(SelectionExport::GeneList),
+        Just(SelectionExport::Merged),
+        Just(SelectionExport::Coverage),
+    ]
+}
+
+prop_compose! {
+    fn arb_target()(d in 0usize..10, all in any::<bool>()) -> Option<usize> {
+        if all { None } else { Some(d) }
+    }
+}
+
+/// Every Request variant, with generated payloads.
+fn arb_request() -> impl Strategy<Value = Request> {
+    let cmd: Vec<Box<dyn Strategy<Value = Request>>> = vec![
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Command::SelectRegion {
+                dataset: rng.below(8) as usize,
+                start_frac: (rng.unit_f64() as f32).clamp(0.0, 1.0),
+                end_frac: (rng.unit_f64() as f32).clamp(0.0, 1.0),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let genes = arb_gene_list().generate(rng);
+            Request::from(Command::SelectGenes(genes))
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Command::Search(arb_text().generate(rng)))
+        })),
+        Box::new(Just(Request::from(Command::ClearSelection))),
+        Box::new(Just(Request::from(Command::ToggleSync))),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Command::Scroll(rng.next_u64() as i64 % 10_000))
+        })),
+        Box::new(Just(Request::from(Command::OrderByName))),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let n = rng.below(5) as usize;
+            let scores: Vec<f32> = (0..n).map(|_| arb_f32().generate(rng)).collect();
+            Request::from(Command::OrderByRelevance(scores))
+        })),
+        Box::new(Just(Request::from(Command::ClusterAll))),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Command::SetContrast {
+                dataset: arb_target().generate(rng),
+                contrast: arb_f32().generate(rng),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Command::SetLinkage(arb_linkage().generate(rng)))
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Command::SetMetric(arb_metric().generate(rng)))
+        })),
+    ];
+    let mutations: Vec<Box<dyn Strategy<Value = Request>>> = vec![
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Mutation::LoadDataset {
+                path: arb_path().generate(rng),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Mutation::LoadScenario {
+                n_genes: 1 + rng.below(5000) as usize,
+                seed: rng.next_u64(),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Mutation::LoadCompendium {
+                n_genes: 1 + rng.below(5000) as usize,
+                n_datasets: 1 + rng.below(100) as usize,
+                seed: rng.next_u64(),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Mutation::BuildOntology {
+                n_filler: rng.below(2000) as usize,
+                seed: rng.next_u64(),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Mutation::Impute {
+                dataset: rng.below(8) as usize,
+                k: 1 + rng.below(30) as usize,
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Mutation::Normalize {
+                dataset: arb_target().generate(rng),
+                method: arb_normalize_method().generate(rng),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Mutation::ClusterArrays {
+                dataset: rng.below(8) as usize,
+            })
+        })),
+    ];
+    let queries: Vec<Box<dyn Strategy<Value = Request>>> = vec![
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Query::Search {
+                query: arb_text().generate(rng),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let mut genes = arb_gene_list().generate(rng);
+            if genes.is_empty() {
+                genes.push("YAL001C".into());
+            }
+            Request::from(Query::Spell {
+                genes,
+                top_n: rng.below(200) as usize,
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let genes = if rng.below(2) == 0 {
+                None
+            } else {
+                let mut g = arb_gene_list().generate(rng);
+                if g.is_empty() {
+                    g.push("YBR002W".into());
+                }
+                Some(g)
+            };
+            Request::from(Query::Enrich {
+                genes,
+                max_terms: rng.below(50) as usize,
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let path = if rng.below(2) == 0 {
+                None
+            } else {
+                Some(arb_path().generate(rng))
+            };
+            Request::from(Query::Render {
+                width: 1 + rng.below(4000) as usize,
+                height: 1 + rng.below(4000) as usize,
+                path,
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let prefix = if rng.below(2) == 0 {
+                None
+            } else {
+                Some(arb_path().generate(rng))
+            };
+            Request::from(Query::ExportCdt {
+                dataset: rng.below(8) as usize,
+                prefix,
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Query::ExportPcl {
+                dataset: rng.below(8) as usize,
+                path: arb_path().generate(rng),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Request::from(Query::ExportSelection {
+                what: arb_selection_export().generate(rng),
+            })
+        })),
+        Box::new(Just(Request::from(Query::SessionInfo))),
+        Box::new(Just(Request::from(Query::ListDatasets))),
+    ];
+    let mut all = cmd;
+    all.extend(mutations);
+    all.extend(queries);
+    proptest::strategy::OneOf::new(all)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn format_then_parse_is_identity(req in arb_request()) {
+        let line = format_request(&req);
+        let parsed = parse_request(&line);
+        prop_assert!(parsed.is_ok(), "format produced unparseable {line:?}: {parsed:?}");
+        prop_assert_eq!(parsed.unwrap(), req.clone(), "line was {}", line);
+        // canonical form is a fixed point
+        let parsed_again = parse_request(&line).unwrap();
+        prop_assert_eq!(format_request(&parsed_again), line);
+    }
+
+    #[test]
+    fn script_parser_agrees_with_request_parser(reqs in prop::collection::vec(arb_request(), 1..10)) {
+        let text: String = reqs
+            .iter()
+            .map(|r| format!("{}\n", format_request(r)))
+            .collect();
+        let lines = parse_script(&text).unwrap();
+        prop_assert_eq!(lines.len(), reqs.len());
+        for (line, req) in lines.iter().zip(&reqs) {
+            match &line.item {
+                ScriptItem::Request(parsed) => prop_assert_eq!(parsed, req),
+                other => prop_assert!(false, "unexpected item {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scripts_survive_comments_and_whitespace(reqs in prop::collection::vec(arb_request(), 1..6)) {
+        let mut text = String::from("# header comment\n\n");
+        for r in &reqs {
+            text.push_str(&format!("  {}  \n# trailing note\n\n", format_request(r)));
+        }
+        let lines = parse_script(&text).unwrap();
+        prop_assert_eq!(lines.len(), reqs.len());
+    }
+}

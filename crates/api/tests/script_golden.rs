@@ -1,0 +1,41 @@
+//! Golden-file test: a multi-command wire script drives synthetic
+//! sessions through the [`EngineHub`], and the full transcript (canonical
+//! request echo + formatted responses, frame checksum included) must be
+//! byte-identical to the checked-in golden file.
+//!
+//! Regenerate after intentional protocol changes with:
+//! `UPDATE_GOLDEN=1 cargo test -p fv-api --test script_golden`
+
+use fv_api::EngineHub;
+
+const SCRIPT: &str = include_str!("data/session.fvs");
+const GOLDEN_PATH: &str = "tests/data/session.golden";
+
+#[test]
+fn script_transcript_matches_golden() {
+    let mut hub = EngineHub::with_scene(800, 600);
+    let transcript = hub
+        .run_script(SCRIPT)
+        .expect("script executes")
+        .transcript();
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &transcript).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        transcript, golden,
+        "transcript drifted from golden; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn script_replay_is_deterministic_across_hubs() {
+    let mut h1 = EngineHub::with_scene(800, 600);
+    let mut h2 = EngineHub::with_scene(800, 600);
+    let t1 = h1.run_script(SCRIPT).unwrap().transcript();
+    let t2 = h2.run_script(SCRIPT).unwrap().transcript();
+    assert_eq!(t1, t2);
+}

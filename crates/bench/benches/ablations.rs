@@ -106,10 +106,19 @@ fn a3_weighting_ablation(c: &mut Criterion) {
         .collect();
     let names: Vec<String> = (0..n_genes).map(fv_synth::names::orf_name).collect();
     let query_set = vec![false; n_genes];
-    let coherence: Vec<f32> = (0..n_datasets).map(|d| (d as f32 + 1.0) / n_datasets as f32).collect();
+    let coherence: Vec<f32> = (0..n_datasets)
+        .map(|d| (d as f32 + 1.0) / n_datasets as f32)
+        .collect();
     let uniform = vec![1.0f32; n_datasets];
     group.bench_function("weighted_combine_20x5000", |b| {
-        b.iter(|| black_box(combine_rankings(&per_dataset, &coherence, &names, &query_set)))
+        b.iter(|| {
+            black_box(combine_rankings(
+                &per_dataset,
+                &coherence,
+                &names,
+                &query_set,
+            ))
+        })
     });
     group.bench_function("uniform_combine_20x5000", |b| {
         b.iter(|| black_box(combine_rankings(&per_dataset, &uniform, &names, &query_set)))
@@ -122,7 +131,9 @@ fn a4_parallel_ablation(c: &mut Criterion) {
     group.sample_size(10);
     let scenario = Scenario::three_datasets(1200, 5);
     let m = &scenario.datasets[0].matrix;
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     for threads in [1usize, max] {
         group.bench_function(format!("pearson_matrix_1200_threads_{threads}"), |b| {
             let pool = rayon::ThreadPoolBuilder::new()

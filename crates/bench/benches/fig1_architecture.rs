@@ -85,7 +85,13 @@ fn bench_layers(c: &mut Criterion) {
 
     // Layer: visualization — desktop render of the synchronized session.
     group.bench_function("render_desktop_800x600", |b| {
-        b.iter(|| black_box(forestview::renderer::render_desktop(&sync_session, 800, 600)))
+        b.iter(|| {
+            black_box(forestview::renderer::render_desktop(
+                &sync_session,
+                800,
+                600,
+            ))
+        })
     });
 
     group.finish();

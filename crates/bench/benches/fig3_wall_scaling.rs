@@ -55,7 +55,9 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let grid = TileGrid::princeton_wall();
     let mut group = c.benchmark_group("fig3_thread_scaling");
     group.sample_size(10);
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     for threads in [1usize, 2, 4, max] {
         if threads > max {
             continue;
@@ -107,5 +109,10 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_surfaces, bench_thread_scaling, bench_schedulers);
+criterion_group!(
+    benches,
+    bench_surfaces,
+    bench_thread_scaling,
+    bench_schedulers
+);
 criterion_main!(benches);

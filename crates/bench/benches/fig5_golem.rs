@@ -39,7 +39,14 @@ fn bench_golem(c: &mut Criterion) {
         .collect();
     let refs: Vec<&str> = cluster.iter().map(|s| s.as_str()).collect();
     group.bench_function("enrich_200gene_cluster_5k_terms", |b| {
-        b.iter(|| black_box(enrich(&onto.dag, &prop, &refs, &EnrichmentConfig::default())))
+        b.iter(|| {
+            black_box(enrich(
+                &onto.dag,
+                &prop,
+                &refs,
+                &EnrichmentConfig::default(),
+            ))
+        })
     });
 
     let results = enrich(&onto.dag, &prop, &refs, &EnrichmentConfig::default());

@@ -28,7 +28,10 @@ fn bench_integrated(c: &mut Criterion) {
     let onto = generate_ontology(&truth, 1500, 2007);
     let prop = onto.annotations.propagate(&onto.dag);
     let suite = AnalysisSuite::build(&session, SpellConfig::default(), onto.dag, prop);
-    let seed: Vec<String> = truth.esr_induced()[..6].iter().map(|&g| orf_name(g)).collect();
+    let seed: Vec<String> = truth.esr_induced()[..6]
+        .iter()
+        .map(|&g| orf_name(g))
+        .collect();
     let refs: Vec<&str> = seed.iter().map(|s| s.as_str()).collect();
 
     let mut group = c.benchmark_group("fig6_integrated");

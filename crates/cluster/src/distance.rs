@@ -83,7 +83,10 @@ impl CondensedMatrix {
         F: Fn(usize, usize) -> f32 + Sync,
     {
         if n < 2 {
-            return CondensedMatrix { n, data: Vec::new() };
+            return CondensedMatrix {
+                n,
+                data: Vec::new(),
+            };
         }
         // Each row i owns the contiguous segment for pairs (i, i+1..n).
         let rows: Vec<Vec<f32>> = (0..n - 1)
@@ -163,11 +166,15 @@ mod tests {
     #[test]
     fn pearson_distance_range() {
         // identical → 0, anti-correlated → 2
-        let m = mat(3, 4, &[
-            1.0, 2.0, 3.0, 4.0, //
-            2.0, 4.0, 6.0, 8.0, //
-            4.0, 3.0, 2.0, 1.0,
-        ]);
+        let m = mat(
+            3,
+            4,
+            &[
+                1.0, 2.0, 3.0, 4.0, //
+                2.0, 4.0, 6.0, 8.0, //
+                4.0, 3.0, 2.0, 1.0,
+            ],
+        );
         assert!(Metric::Pearson.distance(&m, 0, 1).abs() < 1e-6);
         assert!((Metric::Pearson.distance(&m, 0, 2) - 2.0).abs() < 1e-6);
     }
@@ -281,11 +288,15 @@ mod tests {
 
     #[test]
     fn distance_symmetry() {
-        let m = mat(3, 5, &[
-            0.1, 0.9, -0.3, 2.0, 1.1, //
-            -1.0, 0.2, 0.4, 0.4, -2.2, //
-            3.0, -0.5, 0.0, 1.0, 0.7,
-        ]);
+        let m = mat(
+            3,
+            5,
+            &[
+                0.1, 0.9, -0.3, 2.0, 1.1, //
+                -1.0, 0.2, 0.4, 0.4, -2.2, //
+                3.0, -0.5, 0.0, 1.0, 0.7,
+            ],
+        );
         for metric in [
             Metric::Pearson,
             Metric::AbsPearson,

@@ -102,7 +102,9 @@ pub fn row_mean_impute(m: &mut ExprMatrix) -> ImputeStats {
     let mut filled = 0usize;
     // column means as fallback
     let t = m.transpose();
-    let col_means: Vec<Option<f64>> = (0..n_cols).map(|c| fv_expr::stats::row_mean(&t, c)).collect();
+    let col_means: Vec<Option<f64>> = (0..n_cols)
+        .map(|c| fv_expr::stats::row_mean(&t, c))
+        .collect();
     for r in 0..m.n_rows() {
         let mean = fv_expr::stats::row_mean(m, r);
         for c in 0..n_cols {
@@ -191,7 +193,8 @@ mod tests {
 
     #[test]
     fn column_missing_everywhere_stays_missing() {
-        let mut m = ExprMatrix::from_rows(3, 3, &[1.0, 0.0, 2.0, 1.1, 0.0, 2.1, 0.9, 0.0, 1.9]).unwrap();
+        let mut m =
+            ExprMatrix::from_rows(3, 3, &[1.0, 0.0, 2.0, 1.1, 0.0, 2.1, 0.9, 0.0, 1.9]).unwrap();
         for r in 0..3 {
             m.set_missing(r, 1);
         }

@@ -76,7 +76,12 @@ pub fn kmeans(m: &ExprMatrix, k: usize, seed: u64, max_iter: usize) -> KmeansRes
     // k-means++ seeding.
     let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
     let first = (rng.next_u64() % n as u64) as usize;
-    centroids.push(m.row_options(first).iter().map(|v| v.unwrap_or(0.0)).collect());
+    centroids.push(
+        m.row_options(first)
+            .iter()
+            .map(|v| v.unwrap_or(0.0))
+            .collect(),
+    );
     let mut d2: Vec<f64> = (0..n)
         .map(|r| row_centroid_dist2(m, r, &centroids[0]))
         .collect();
@@ -97,7 +102,11 @@ pub fn kmeans(m: &ExprMatrix, k: usize, seed: u64, max_iter: usize) -> KmeansRes
             }
             chosen
         };
-        let c: Vec<f32> = m.row_options(pick).iter().map(|v| v.unwrap_or(0.0)).collect();
+        let c: Vec<f32> = m
+            .row_options(pick)
+            .iter()
+            .map(|v| v.unwrap_or(0.0))
+            .collect();
         for r in 0..n {
             let nd = row_centroid_dist2(m, r, &c);
             if nd < d2[r] {
@@ -147,7 +156,11 @@ pub fn kmeans(m: &ExprMatrix, k: usize, seed: u64, max_iter: usize) -> KmeansRes
                             .unwrap()
                     })
                     .unwrap();
-                centroids[ci] = m.row_options(far).iter().map(|v| v.unwrap_or(0.0)).collect();
+                centroids[ci] = m
+                    .row_options(far)
+                    .iter()
+                    .map(|v| v.unwrap_or(0.0))
+                    .collect();
                 continue;
             }
             for c in 0..cols {
@@ -184,8 +197,13 @@ pub fn kmeans_restarts(
 ) -> KmeansResult {
     let mut best: Option<KmeansResult> = None;
     for i in 0..n_init.max(1) {
-        let r = kmeans(m, k, seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15), max_iter);
-        if best.as_ref().map_or(true, |b| r.inertia < b.inertia) {
+        let r = kmeans(
+            m,
+            k,
+            seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            max_iter,
+        );
+        if best.as_ref().is_none_or(|b| r.inertia < b.inertia) {
             best = Some(r);
         }
     }

@@ -68,7 +68,9 @@ pub fn cluster_condensed(mut d: CondensedMatrix, linkage: Linkage) -> ClusterTre
 
     for _ in 0..n - 1 {
         if chain.is_empty() {
-            let start = (0..n).find(|&i| active[i]).expect("an active cluster exists");
+            let start = (0..n)
+                .find(|&i| active[i])
+                .expect("an active cluster exists");
             chain.push(start);
         }
         // Extend the chain until a reciprocal nearest-neighbor pair appears.
@@ -211,7 +213,12 @@ mod tests {
     fn heights_monotone_nondecreasing() {
         let xs: Vec<f32> = (0..32).map(|i| ((i * 79 % 131) as f32) * 0.37).collect();
         let m = points(&xs);
-        for link in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for link in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let t = cluster(&m, Metric::Euclidean, link);
             let mut last = f32::NEG_INFINITY;
             for mg in t.merges() {
@@ -240,7 +247,12 @@ mod tests {
     #[test]
     fn two_well_separated_groups_recovered() {
         let m = points(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
-        for link in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for link in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let t = cluster(&m, Metric::Euclidean, link);
             let labels = t.cut_k(2);
             assert_eq!(labels[0], labels[1]);
@@ -266,9 +278,17 @@ mod tests {
 
     #[test]
     fn tiny_inputs() {
-        let t0 = cluster(&ExprMatrix::zeros(0, 3), Metric::Euclidean, Linkage::Average);
+        let t0 = cluster(
+            &ExprMatrix::zeros(0, 3),
+            Metric::Euclidean,
+            Linkage::Average,
+        );
         assert_eq!(t0.n_leaves(), 0);
-        let t1 = cluster(&ExprMatrix::zeros(1, 3), Metric::Euclidean, Linkage::Average);
+        let t1 = cluster(
+            &ExprMatrix::zeros(1, 3),
+            Metric::Euclidean,
+            Linkage::Average,
+        );
         assert_eq!(t1.n_leaves(), 1);
         let t2 = cluster(&points(&[0.0, 2.0]), Metric::Euclidean, Linkage::Average);
         assert_eq!(t2.merges().len(), 1);

@@ -12,10 +12,7 @@ use crate::tree::ClusterTree;
 
 /// Summed distance between adjacent leaves of `order` under `d`.
 pub fn adjacent_cost(order: &[usize], d: &CondensedMatrix) -> f64 {
-    order
-        .windows(2)
-        .map(|w| d.get(w[0], w[1]) as f64)
-        .sum()
+    order.windows(2).map(|w| d.get(w[0], w[1]) as f64).sum()
 }
 
 /// Greedy flip passes: for each internal node (bottom-up), flip its children
@@ -93,7 +90,10 @@ mod tests {
         let before = adjacent_cost(&t.leaf_order(), &d);
         let (order, _) = improve_order(&t, &d, 5);
         let after = adjacent_cost(&order, &d);
-        assert!(after <= before + 1e-9, "cost increased: {before} -> {after}");
+        assert!(
+            after <= before + 1e-9,
+            "cost increased: {before} -> {after}"
+        );
     }
 
     #[test]

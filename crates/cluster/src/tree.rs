@@ -280,9 +280,24 @@ mod tests {
         ClusterTree::new(
             4,
             vec![
-                Merge { left: leaf(0), right: leaf(1), height: 1.0, size: 2 },
-                Merge { left: leaf(2), right: leaf(3), height: 2.0, size: 2 },
-                Merge { left: node(0), right: node(1), height: 3.0, size: 4 },
+                Merge {
+                    left: leaf(0),
+                    right: leaf(1),
+                    height: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    left: leaf(2),
+                    right: leaf(3),
+                    height: 2.0,
+                    size: 2,
+                },
+                Merge {
+                    left: node(0),
+                    right: node(1),
+                    height: 3.0,
+                    size: 4,
+                },
             ],
         )
         .unwrap()
@@ -298,7 +313,12 @@ mod tests {
     fn new_rejects_bad_leaf() {
         let err = ClusterTree::new(
             2,
-            vec![Merge { left: leaf(0), right: leaf(5), height: 1.0, size: 2 }],
+            vec![Merge {
+                left: leaf(0),
+                right: leaf(5),
+                height: 1.0,
+                size: 2,
+            }],
         )
         .unwrap_err();
         assert_eq!(err, TreeError::BadLeaf(5));
@@ -309,8 +329,18 @@ mod tests {
         let err = ClusterTree::new(
             3,
             vec![
-                Merge { left: leaf(0), right: node(1), height: 1.0, size: 2 },
-                Merge { left: leaf(1), right: leaf(2), height: 2.0, size: 2 },
+                Merge {
+                    left: leaf(0),
+                    right: node(1),
+                    height: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    left: leaf(1),
+                    right: leaf(2),
+                    height: 2.0,
+                    size: 2,
+                },
             ],
         )
         .unwrap_err();
@@ -322,8 +352,18 @@ mod tests {
         let err = ClusterTree::new(
             3,
             vec![
-                Merge { left: leaf(0), right: leaf(0), height: 1.0, size: 2 },
-                Merge { left: node(0), right: leaf(1), height: 2.0, size: 3 },
+                Merge {
+                    left: leaf(0),
+                    right: leaf(0),
+                    height: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    left: node(0),
+                    right: leaf(1),
+                    height: 2.0,
+                    size: 3,
+                },
             ],
         )
         .unwrap_err();
@@ -339,9 +379,15 @@ mod tests {
     fn leaf_order_flipped() {
         let t = four_leaf();
         // flip the root: right subtree first
-        assert_eq!(t.leaf_order_flipped(&[false, false, true]), vec![2, 3, 0, 1]);
+        assert_eq!(
+            t.leaf_order_flipped(&[false, false, true]),
+            vec![2, 3, 0, 1]
+        );
         // flip first merge only
-        assert_eq!(t.leaf_order_flipped(&[true, false, false]), vec![1, 0, 2, 3]);
+        assert_eq!(
+            t.leaf_order_flipped(&[true, false, false]),
+            vec![1, 0, 2, 3]
+        );
     }
 
     #[test]

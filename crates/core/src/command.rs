@@ -12,6 +12,8 @@ use crate::layout::{layout_panes, PaneLayout};
 use crate::ordering::{apply_order, OrderPolicy};
 use crate::selection::SelectionOrigin;
 use crate::session::Session;
+use fv_cluster::distance::Metric;
+use fv_cluster::linkage::Linkage;
 use fv_wall::tile::Viewport;
 
 /// A user interaction.
@@ -50,6 +52,13 @@ pub enum Command {
         /// New contrast.
         contrast: f32,
     },
+    /// Set the linkage criterion used by subsequent clustering, so the
+    /// cluster parameters are part of the replayable stream rather than
+    /// hardcoded at call sites. Takes effect at the next `ClusterAll`.
+    SetLinkage(Linkage),
+    /// Set the distance metric used by subsequent clustering; companion
+    /// to [`Command::SetLinkage`].
+    SetMetric(Metric),
 }
 
 /// What a command changed.
@@ -99,13 +108,28 @@ fn full_damage(scene_w: usize, scene_h: usize) -> Vec<Viewport> {
     }]
 }
 
-/// Apply a command to the session, reporting damage for a scene laid out
-/// at `scene_w × scene_h`.
-pub fn apply(session: &mut Session, cmd: &Command, scene_w: usize, scene_h: usize) -> Outcome {
-    let n = session.dataset_order().len();
-    let show_atree = (0..session.n_datasets()).any(|d| session.array_tree(d).is_some());
-    let layouts = layout_panes(scene_w, scene_h, n, true, true, show_atree);
-    let damage = match cmd {
+/// Which scene regions a command invalidates, independent of scene
+/// dimensions. Resolved to concrete rectangles by [`resolve_damage`] in a
+/// single layout pass — the seam that lets a batch of commands share one
+/// layout computation instead of paying one per command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DamageClass {
+    /// Zoom views, label gutters, and global-view marks of every pane.
+    ZoomAndMarks,
+    /// Zoom views and label gutters only (scrolling, sync toggles).
+    ZoomOnly,
+    /// The whole scene.
+    Full,
+    /// A single dataset's pane (by dataset index, not pane position).
+    SinglePane(usize),
+    /// Nothing repaints (settings that take effect on a later command).
+    None,
+}
+
+/// Mutate the session according to `cmd` and report the damage class —
+/// the layout-free half of [`apply`].
+pub fn perform(session: &mut Session, cmd: &Command) -> DamageClass {
+    match cmd {
         Command::SelectRegion {
             dataset,
             start_frac,
@@ -115,62 +139,135 @@ pub fn apply(session: &mut Session, cmd: &Command, scene_w: usize, scene_h: usiz
             let a = ((start_frac.clamp(0.0, 1.0)) * rows as f32) as usize;
             let b = ((end_frac.clamp(0.0, 1.0)) * rows as f32) as usize;
             session.select_region(*dataset, a.min(b), a.max(b));
-            zoom_and_marks_damage(&layouts)
+            DamageClass::ZoomAndMarks
         }
         Command::SelectGenes(names) => {
             let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
             session.select_genes(&refs, SelectionOrigin::List);
-            zoom_and_marks_damage(&layouts)
+            DamageClass::ZoomAndMarks
         }
         Command::Search(q) => {
             session.search_and_select(q);
-            zoom_and_marks_damage(&layouts)
+            DamageClass::ZoomAndMarks
         }
         Command::ClearSelection => {
             session.clear_selection();
-            zoom_and_marks_damage(&layouts)
+            DamageClass::ZoomAndMarks
         }
         Command::ToggleSync => {
             session.toggle_sync();
-            zoom_only_damage(&layouts)
+            DamageClass::ZoomOnly
         }
         Command::Scroll(delta) => {
             session.scroll_by(*delta);
-            zoom_only_damage(&layouts)
+            DamageClass::ZoomOnly
         }
         Command::OrderByName => {
             apply_order(session, &OrderPolicy::ByName);
-            full_damage(scene_w, scene_h)
+            DamageClass::Full
         }
         Command::OrderByRelevance(scores) => {
             apply_order(session, &OrderPolicy::ByRelevance(scores.clone()));
-            full_damage(scene_w, scene_h)
+            DamageClass::Full
         }
         Command::ClusterAll => {
             session.cluster_all();
-            full_damage(scene_w, scene_h)
+            DamageClass::Full
         }
         Command::SetContrast { dataset, contrast } => match dataset {
             Some(d) => {
                 session.prefs.set_contrast(*d, *contrast);
-                // only this dataset's pane is dirty
-                let pos = session.dataset_order().iter().position(|&x| x == *d);
-                match pos {
-                    Some(p) => vec![rect_to_vp(layouts[p].pane)],
-                    None => Vec::new(),
-                }
+                DamageClass::SinglePane(*d)
             }
             None => {
                 let mut prefs = session.prefs.for_dataset(0);
                 prefs.colormap.contrast = *contrast;
                 session.prefs.set_for_all(prefs);
-                full_damage(scene_w, scene_h)
+                DamageClass::Full
             }
         },
-    };
+        Command::SetLinkage(linkage) => {
+            session.set_linkage(*linkage);
+            DamageClass::None
+        }
+        Command::SetMetric(metric) => {
+            session.set_metric(*metric);
+            DamageClass::None
+        }
+    }
+}
+
+/// Current pane layouts for a `scene_w × scene_h` scene.
+fn scene_layouts(session: &Session, scene_w: usize, scene_h: usize) -> Vec<PaneLayout> {
+    let n = session.dataset_order().len();
+    let show_atree = (0..session.n_datasets()).any(|d| session.array_tree(d).is_some());
+    layout_panes(scene_w, scene_h, n, true, true, show_atree)
+}
+
+fn class_damage(
+    session: &Session,
+    layouts: &[PaneLayout],
+    class: DamageClass,
+    scene_w: usize,
+    scene_h: usize,
+) -> Vec<Viewport> {
+    match class {
+        DamageClass::ZoomAndMarks => zoom_and_marks_damage(layouts),
+        DamageClass::ZoomOnly => zoom_only_damage(layouts),
+        DamageClass::Full => full_damage(scene_w, scene_h),
+        DamageClass::SinglePane(d) => {
+            let pos = session.dataset_order().iter().position(|&x| x == d);
+            match pos {
+                Some(p) => vec![rect_to_vp(layouts[p].pane)],
+                None => Vec::new(),
+            }
+        }
+        DamageClass::None => Vec::new(),
+    }
+}
+
+/// Resolve one damage class to scene rectangles, running layout once.
+pub fn resolve_damage(
+    session: &Session,
+    class: DamageClass,
+    scene_w: usize,
+    scene_h: usize,
+) -> Vec<Viewport> {
+    let layouts = scene_layouts(session, scene_w, scene_h);
+    class_damage(session, &layouts, class, scene_w, scene_h)
+}
+
+/// Resolve many damage classes against ONE layout pass, returning the
+/// deduplicated union of their rectangles. Full-scene damage short-circuits
+/// to a single covering rectangle.
+pub fn resolve_damage_batch(
+    session: &Session,
+    classes: &[DamageClass],
+    scene_w: usize,
+    scene_h: usize,
+) -> Vec<Viewport> {
+    if classes.iter().any(|c| matches!(c, DamageClass::Full)) {
+        return full_damage(scene_w, scene_h);
+    }
+    let layouts = scene_layouts(session, scene_w, scene_h);
+    let mut rects: Vec<Viewport> = Vec::new();
+    for &class in classes {
+        for r in class_damage(session, &layouts, class, scene_w, scene_h) {
+            if !rects.contains(&r) {
+                rects.push(r);
+            }
+        }
+    }
+    rects
+}
+
+/// Apply a command to the session, reporting damage for a scene laid out
+/// at `scene_w × scene_h`.
+pub fn apply(session: &mut Session, cmd: &Command, scene_w: usize, scene_h: usize) -> Outcome {
+    let class = perform(session, cmd);
     Outcome {
         selection_len: session.selection().map(|s| s.len()),
-        damage,
+        damage: resolve_damage(session, class, scene_w, scene_h),
     }
 }
 
@@ -196,7 +293,8 @@ mod tests {
         let mut s = Session::new();
         let vals: Vec<f32> = (0..20 * 4).map(|i| (i % 7) as f32 - 3.0).collect();
         let m = ExprMatrix::from_rows(20, 4, &vals).unwrap();
-        s.load_dataset(Dataset::with_default_meta("a", m.clone())).unwrap();
+        s.load_dataset(Dataset::with_default_meta("a", m.clone()))
+            .unwrap();
         s.load_dataset(Dataset::with_default_meta("b", m)).unwrap();
         s
     }
@@ -237,14 +335,22 @@ mod tests {
     #[test]
     fn scroll_damage_excludes_global() {
         let mut s = session();
-        apply(&mut s, &Command::SelectGenes(vec!["G1".into(), "G2".into(), "G3".into()]), 800, 600);
+        apply(
+            &mut s,
+            &Command::SelectGenes(vec!["G1".into(), "G2".into(), "G3".into()]),
+            800,
+            600,
+        );
         let out = apply(&mut s, &Command::Scroll(1), 800, 600);
         // zoom+labels per pane = 4 rects for 2 panes; none should be the
         // global region
         let layouts = layout_panes(800, 600, 2, true, true, false);
         for d in &out.damage {
             for l in &layouts {
-                assert_ne!((d.x, d.y, d.w, d.h), (l.global.x, l.global.y, l.global.w, l.global.h));
+                assert_ne!(
+                    (d.x, d.y, d.w, d.h),
+                    (l.global.x, l.global.y, l.global.w, l.global.h)
+                );
             }
         }
     }
@@ -253,7 +359,15 @@ mod tests {
     fn cluster_all_full_damage() {
         let mut s = session();
         let out = apply(&mut s, &Command::ClusterAll, 640, 480);
-        assert_eq!(out.damage, vec![Viewport { x: 0, y: 0, w: 640, h: 480 }]);
+        assert_eq!(
+            out.damage,
+            vec![Viewport {
+                x: 0,
+                y: 0,
+                w: 640,
+                h: 480
+            }]
+        );
         assert!(s.gene_tree(0).is_some());
     }
 
@@ -319,5 +433,65 @@ mod tests {
         let mut s = session();
         let out = apply(&mut s, &Command::Search("G5".into()), 640, 480);
         assert_eq!(out.selection_len, Some(1));
+    }
+
+    #[test]
+    fn cluster_settings_commands_update_session() {
+        let mut s = session();
+        let out = apply(&mut s, &Command::SetLinkage(Linkage::Ward), 640, 480);
+        assert!(out.damage.is_empty(), "settings change repaints nothing");
+        apply(&mut s, &Command::SetMetric(Metric::Euclidean), 640, 480);
+        assert_eq!(s.cluster_settings(), (Metric::Euclidean, Linkage::Ward));
+        // the settings drive the next ClusterAll
+        apply(&mut s, &Command::ClusterAll, 640, 480);
+        assert!(s.gene_tree(0).is_some());
+    }
+
+    #[test]
+    fn batch_damage_matches_sequential_union() {
+        let mut a = session();
+        let mut b = session();
+        let script = [
+            Command::SelectRegion {
+                dataset: 0,
+                start_frac: 0.0,
+                end_frac: 0.5,
+            },
+            Command::Scroll(1),
+            Command::SetContrast {
+                dataset: Some(1),
+                contrast: 1.4,
+            },
+        ];
+        // Sequential: one layout pass per command.
+        let mut sequential: Vec<Viewport> = Vec::new();
+        for cmd in &script {
+            for r in apply(&mut a, cmd, 800, 600).damage {
+                if !sequential.contains(&r) {
+                    sequential.push(r);
+                }
+            }
+        }
+        // Batched: perform all, then one layout pass.
+        let classes: Vec<DamageClass> = script.iter().map(|c| perform(&mut b, c)).collect();
+        let batched = resolve_damage_batch(&b, &classes, 800, 600);
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn batch_full_damage_short_circuits() {
+        let mut s = session();
+        let classes = [DamageClass::ZoomOnly, DamageClass::Full];
+        let damage = resolve_damage_batch(&s, &classes, 640, 480);
+        assert_eq!(
+            damage,
+            vec![Viewport {
+                x: 0,
+                y: 0,
+                w: 640,
+                h: 480
+            }]
+        );
+        let _ = &mut s;
     }
 }

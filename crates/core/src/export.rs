@@ -25,7 +25,11 @@ pub fn session_summary(session: &Session) -> String {
             ds.name,
             ds.n_genes(),
             ds.n_conditions(),
-            if session.gene_tree(d).is_some() { "" } else { "not" },
+            if session.gene_tree(d).is_some() {
+                ""
+            } else {
+                "not"
+            },
         ));
     }
     match session.selection() {

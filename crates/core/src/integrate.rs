@@ -56,11 +56,7 @@ impl AnalysisSuite {
     /// Run SPELL seeded from the current selection; reorder panes by
     /// relevance and select the query plus the `top_n` best new genes.
     /// Returns the raw result (`None` if there is no selection).
-    pub fn spell_from_selection(
-        &self,
-        session: &mut Session,
-        top_n: usize,
-    ) -> Option<SpellResult> {
+    pub fn spell_from_selection(&self, session: &mut Session, top_n: usize) -> Option<SpellResult> {
         let sel = session.selection()?;
         let names: Vec<String> = sel
             .genes()
@@ -258,7 +254,9 @@ mod tests {
         assert!(sel.len() > 5 && sel.len() <= 15);
         assert_eq!(
             sel.origin,
-            SelectionOrigin::Analysis { tool: "SPELL".into() }
+            SelectionOrigin::Analysis {
+                tool: "SPELL".into()
+            }
         );
         // top dataset should be coherent for ESR genes (stress or nutrient)
         assert!(result.datasets[0].weight > 0.0);
@@ -277,11 +275,8 @@ mod tests {
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         session.select_genes(&refs, SelectionOrigin::List);
         let result = suite.spell_from_selection(&mut session, 20).unwrap();
-        let esr: std::collections::HashSet<String> = truth
-            .esr_induced()
-            .iter()
-            .map(|&g| orf_name(g))
-            .collect();
+        let esr: std::collections::HashSet<String> =
+            truth.esr_induced().iter().map(|&g| orf_name(g)).collect();
         // Only esr.len() − 5 non-query members exist to recover; perfect
         // recovery places all of them in the top ranks.
         let remaining = esr.len() - 5;
@@ -387,7 +382,10 @@ mod tests {
     #[test]
     fn spell_iterative_grows_query_monotonically() {
         let (_, suite, truth) = setup();
-        let seed: Vec<String> = truth.esr_induced()[..4].iter().map(|&g| orf_name(g)).collect();
+        let seed: Vec<String> = truth.esr_induced()[..4]
+            .iter()
+            .map(|&g| orf_name(g))
+            .collect();
         let refs: Vec<&str> = seed.iter().map(|s| s.as_str()).collect();
         let (result, grown) = suite.spell_iterative(&refs, 2, 5);
         assert!(grown.len() > 4, "query should grow: {}", grown.len());

@@ -87,8 +87,18 @@ pub fn layout_panes(
     let mut out = Vec::with_capacity(n_panes);
     for p in 0..n_panes {
         let x = p * (pane_w + dims::PANE_GAP);
-        let pane = Rect { x, y: 0, w: pane_w, h: height };
-        let title = Rect { x, y: 0, w: pane_w, h: dims::TITLE_H.min(height) };
+        let pane = Rect {
+            x,
+            y: 0,
+            w: pane_w,
+            h: height,
+        };
+        let title = Rect {
+            x,
+            y: 0,
+            w: pane_w,
+            h: dims::TITLE_H.min(height),
+        };
         let atree_h = if show_array_tree {
             dims::ARRAY_TREE_H.min(height.saturating_sub(title.h) / 4)
         } else {
@@ -100,8 +110,16 @@ pub fn layout_panes(
         let zoom_y = content_y + global_h + dims::VIEW_GAP;
         let zoom_h = (content_y + content_h).saturating_sub(zoom_y);
 
-        let tree_w = if show_tree { dims::TREE_W.min(pane_w / 4) } else { 0 };
-        let label_w = if show_labels { dims::LABEL_W.min(pane_w / 3) } else { 0 };
+        let tree_w = if show_tree {
+            dims::TREE_W.min(pane_w / 4)
+        } else {
+            0
+        };
+        let label_w = if show_labels {
+            dims::LABEL_W.min(pane_w / 3)
+        } else {
+            0
+        };
 
         let array_tree = Rect {
             x: x + tree_w,
@@ -109,7 +127,12 @@ pub fn layout_panes(
             w: pane_w.saturating_sub(tree_w),
             h: atree_h,
         };
-        let global_tree = Rect { x, y: content_y, w: tree_w, h: global_h };
+        let global_tree = Rect {
+            x,
+            y: content_y,
+            w: tree_w,
+            h: global_h,
+        };
         let global = Rect {
             x: x + tree_w,
             y: content_y,
@@ -152,7 +175,10 @@ mod tests {
         for (i, p) in l.iter().enumerate() {
             assert_eq!(p.pane.w, (1000 - 2 * dims::PANE_GAP) / 3);
             if i > 0 {
-                assert!(p.pane.x >= l[i - 1].pane.x + l[i - 1].pane.w, "panes overlap");
+                assert!(
+                    p.pane.x >= l[i - 1].pane.x + l[i - 1].pane.w,
+                    "panes overlap"
+                );
             }
         }
     }
@@ -197,7 +223,10 @@ mod tests {
         let (p, q) = (&with[0], &without[0]);
         assert_eq!(p.array_tree.h, dims::ARRAY_TREE_H);
         assert_eq!(p.array_tree.y, dims::TITLE_H);
-        assert_eq!(p.array_tree.x, p.global.x, "array tree aligns with heatmap columns");
+        assert_eq!(
+            p.array_tree.x, p.global.x,
+            "array tree aligns with heatmap columns"
+        );
         assert_eq!(p.array_tree.w, p.global.w);
         // content shifts down by the strip height
         assert_eq!(p.global.y, q.global.y + dims::ARRAY_TREE_H);

@@ -105,14 +105,24 @@ impl PaneContent {
 
     /// Expression value at (display row, display column) for the global
     /// view — both axes go through their display orders.
-    pub fn global_value(&self, session: &Session, display_row: usize, display_col: usize) -> Option<f32> {
+    pub fn global_value(
+        &self,
+        session: &Session,
+        display_row: usize,
+        display_col: usize,
+    ) -> Option<f32> {
         let row = *self.display_order.get(display_row)?;
         let col = *self.col_order.get(display_col)?;
         session.dataset(self.dataset).matrix.get(row, col)
     }
 
     /// Expression value at (zoom row, display column) for the zoom view.
-    pub fn zoom_value(&self, session: &Session, zoom_row: usize, display_col: usize) -> Option<f32> {
+    pub fn zoom_value(
+        &self,
+        session: &Session,
+        zoom_row: usize,
+        display_col: usize,
+    ) -> Option<f32> {
         let row = (*self.zoom_rows.get(zoom_row)?)?;
         let col = *self.col_order.get(display_col)?;
         session.dataset(self.dataset).matrix.get(row as usize, col)
@@ -151,7 +161,8 @@ mod tests {
             GeneMeta::new("G3", "CCC", "z"),
         ];
         let conds = vec![ConditionMeta::new("c0"), ConditionMeta::new("c1")];
-        s.load_dataset(Dataset::new("demo", m, genes, conds).unwrap()).unwrap();
+        s.load_dataset(Dataset::new("demo", m, genes, conds).unwrap())
+            .unwrap();
         s
     }
 
@@ -200,7 +211,11 @@ mod tests {
     fn col_order_applies_to_values() {
         let mut s = session();
         s.select_genes(&["G1"], SelectionOrigin::List);
-        s.cluster_arrays(0, fv_cluster::Metric::Euclidean, fv_cluster::Linkage::Average);
+        s.cluster_arrays(
+            0,
+            fv_cluster::Metric::Euclidean,
+            fv_cluster::Linkage::Average,
+        );
         let c = PaneContent::build(&s, 0);
         // values read through the (possibly permuted) column order
         for display_col in 0..2 {
@@ -215,8 +230,11 @@ mod tests {
     #[test]
     fn build_all_follows_dataset_order() {
         let mut s = session();
-        s.load_dataset(Dataset::with_default_meta("second", ExprMatrix::zeros(2, 2)))
-            .unwrap();
+        s.load_dataset(Dataset::with_default_meta(
+            "second",
+            ExprMatrix::zeros(2, 2),
+        ))
+        .unwrap();
         s.set_dataset_order(vec![1, 0]);
         let all = build_all(&s);
         assert_eq!(all[0].title, "second");

@@ -103,8 +103,10 @@ mod tests {
     #[test]
     fn override_one_dataset() {
         let mut s = PrefsStore::new();
-        let mut p = PanePrefs::default();
-        p.zoom_cell_h = 14;
+        let p = PanePrefs {
+            zoom_cell_h: 14,
+            ..PanePrefs::default()
+        };
         s.set_for_dataset(2, p);
         assert_eq!(s.for_dataset(2).zoom_cell_h, 14);
         assert_eq!(s.for_dataset(1).zoom_cell_h, 10);
@@ -116,8 +118,10 @@ mod tests {
     fn set_for_all_clears_overrides() {
         let mut s = PrefsStore::new();
         s.set_contrast(1, 5.0);
-        let mut p = PanePrefs::default();
-        p.zoom_cell_w = 9;
+        let p = PanePrefs {
+            zoom_cell_w: 9,
+            ..PanePrefs::default()
+        };
         s.set_for_all(p);
         assert_eq!(s.for_dataset(1).zoom_cell_w, 9);
         assert_eq!(s.for_dataset(1).colormap.contrast, 3.0);

@@ -44,10 +44,19 @@ pub fn paint_scene(
     origin_x: i64,
     origin_y: i64,
 ) {
-    let show_tree = panes.iter().any(|p| p.tree.is_some() && p.prefs.show_gene_tree);
+    let show_tree = panes
+        .iter()
+        .any(|p| p.tree.is_some() && p.prefs.show_gene_tree);
     let show_labels = panes.iter().any(|p| p.prefs.show_annotations);
     let show_atree = panes.iter().any(|p| p.array_tree.is_some());
-    let layouts = layout_panes(scene_w, scene_h, panes.len(), show_tree, show_labels, show_atree);
+    let layouts = layout_panes(
+        scene_w,
+        scene_h,
+        panes.len(),
+        show_tree,
+        show_labels,
+        show_atree,
+    );
     for (content, lay) in panes.iter().zip(&layouts) {
         paint_pane(fb, session, content, lay, origin_x, origin_y);
     }
@@ -65,9 +74,23 @@ fn paint_pane(
     let ty = |y: usize| y as i64 - oy;
 
     // Pane border and title.
-    draw::rect_outline(fb, tx(lay.pane.x), ty(lay.pane.y), lay.pane.w, lay.pane.h, BORDER);
+    draw::rect_outline(
+        fb,
+        tx(lay.pane.x),
+        ty(lay.pane.y),
+        lay.pane.w,
+        lay.pane.h,
+        BORDER,
+    );
     let title = font::fit_text(&c.title, lay.title.w.saturating_sub(4), 1);
-    font::draw_text(fb, tx(lay.title.x + 2), ty(lay.title.y + 2), &title, TITLE, 1);
+    font::draw_text(
+        fb,
+        tx(lay.title.x + 2),
+        ty(lay.title.y + 2),
+        &title,
+        TITLE,
+        1,
+    );
 
     // Global view: whole dataset in display order, downsampled with
     // averaging.
@@ -196,9 +219,7 @@ pub fn render_wall(session: &Session, wall: &mut WallRenderer) -> FrameStats {
     let w = wall.grid().wall_width();
     let h = wall.grid().wall_height();
     let panes = build_all(session);
-    wall.render_frame(|fb, vp| {
-        paint_scene(fb, session, &panes, w, h, vp.x as i64, vp.y as i64)
-    })
+    wall.render_frame(|fb, vp| paint_scene(fb, session, &panes, w, h, vp.x as i64, vp.y as i64))
 }
 
 /// Render a GOLEM local exploration map (Figure 5): layered DAG with nodes
@@ -239,9 +260,22 @@ pub fn render_golem_map(
         };
         let is_focus = node.term == map.focus;
         let half = if is_focus { 5 } else { 3 };
-        fb.fill_rect(x - half, y - half, (half * 2) as usize, (half * 2) as usize, color);
+        fb.fill_rect(
+            x - half,
+            y - half,
+            (half * 2) as usize,
+            (half * 2) as usize,
+            color,
+        );
         if is_focus {
-            draw::rect_outline(&mut fb, x - half - 1, y - half - 1, (half * 2 + 2) as usize, (half * 2 + 2) as usize, MARK);
+            draw::rect_outline(
+                &mut fb,
+                x - half - 1,
+                y - half - 1,
+                (half * 2 + 2) as usize,
+                (half * 2 + 2) as usize,
+                MARK,
+            );
         }
         let name = font::fit_text(&dag.term(node.term).name, 90, 1);
         font::draw_text(&mut fb, x + half + 2, y - 3, &name, LABEL, 1);
@@ -263,11 +297,22 @@ pub fn render_spell_panel(result: &SpellResult, width: usize, height: usize) -> 
         .map(|d| d.weight)
         .fold(0.0f32, f32::max)
         .max(f32::MIN_POSITIVE);
-    for d in result.datasets.iter().take((height.saturating_sub(20)) / 10 / 2) {
+    for d in result
+        .datasets
+        .iter()
+        .take((height.saturating_sub(20)) / 10 / 2)
+    {
         let w = ((d.weight / wmax) * bar_max_w as f32) as usize;
         fb.fill_rect(bar_x, y, w.max(1), 6, Rgb::new(80, 160, 255));
         let label = font::fit_text(&d.name, width / 2 - 8, 1);
-        font::draw_text(&mut fb, bar_x + bar_max_w as i64 + 6, y - 1, &label, LABEL, 1);
+        font::draw_text(
+            &mut fb,
+            bar_x + bar_max_w as i64 + 6,
+            y - 1,
+            &label,
+            LABEL,
+            1,
+        );
         y += 10;
     }
     // Top genes on the right half... below the bars.
@@ -276,7 +321,14 @@ pub fn render_spell_panel(result: &SpellResult, width: usize, height: usize) -> 
     gy += 10;
     for g in result.top_new_genes(((height as i64 - gy) / 9).max(0) as usize) {
         let line = format!("{} {:.3}", g.gene, g.score);
-        font::draw_text(&mut fb, 8, gy, &font::fit_text(&line, width - 12, 1), LABEL, 1);
+        font::draw_text(
+            &mut fb,
+            8,
+            gy,
+            &font::fit_text(&line, width - 12, 1),
+            LABEL,
+            1,
+        );
         gy += 9;
     }
     fb
@@ -291,9 +343,7 @@ pub fn compose_figure6(
 ) -> Framebuffer {
     let right_w = golem.width().max(spell.width());
     let w = forestview.width() + right_w;
-    let h = forestview
-        .height()
-        .max(golem.height() + spell.height());
+    let h = forestview.height().max(golem.height() + spell.height());
     let mut out = Framebuffer::new(w, h);
     out.blit(forestview, 0, 0);
     out.blit(golem, forestview.width() as i64, 0);
@@ -314,8 +364,10 @@ mod tests {
             .map(|i| ((i * 13 % 17) as f32 - 8.0) * 0.4)
             .collect();
         let m = ExprMatrix::from_rows(40, 6, &vals).unwrap();
-        s.load_dataset(Dataset::with_default_meta("alpha", m.clone())).unwrap();
-        s.load_dataset(Dataset::with_default_meta("beta", m)).unwrap();
+        s.load_dataset(Dataset::with_default_meta("alpha", m.clone()))
+            .unwrap();
+        s.load_dataset(Dataset::with_default_meta("beta", m))
+            .unwrap();
         s.cluster_all();
         s.select_region(0, 5, 15);
         s
@@ -391,8 +443,16 @@ mod tests {
     fn array_clustering_changes_render() {
         let mut s = session();
         let before = render_desktop(&s, 300, 200);
-        s.cluster_arrays(0, fv_cluster::Metric::Euclidean, fv_cluster::Linkage::Average);
-        s.cluster_arrays(1, fv_cluster::Metric::Euclidean, fv_cluster::Linkage::Average);
+        s.cluster_arrays(
+            0,
+            fv_cluster::Metric::Euclidean,
+            fv_cluster::Linkage::Average,
+        );
+        s.cluster_arrays(
+            1,
+            fv_cluster::Metric::Euclidean,
+            fv_cluster::Linkage::Average,
+        );
         let after = render_desktop(&s, 300, 200);
         // The array-tree strip appears and (usually) columns permute.
         assert_ne!(before, after);
@@ -410,8 +470,12 @@ mod tests {
         use fv_ontology::dag::{DagBuilder, RelType};
         use fv_ontology::term::{Namespace, Term};
         let mut b = DagBuilder::new();
-        let root = b.add_term(Term::new("GO:1", "root", Namespace::BiologicalProcess)).unwrap();
-        let child = b.add_term(Term::new("GO:2", "stress", Namespace::BiologicalProcess)).unwrap();
+        let root = b
+            .add_term(Term::new("GO:1", "root", Namespace::BiologicalProcess))
+            .unwrap();
+        let child = b
+            .add_term(Term::new("GO:2", "stress", Namespace::BiologicalProcess))
+            .unwrap();
         b.add_edge(child, root, RelType::IsA);
         let dag = b.build().unwrap();
         let map = build_local_map(&dag, child, 2, &[]);

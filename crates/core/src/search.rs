@@ -20,10 +20,7 @@ pub fn search_genes(merged: &MergedDatasets, query: &str) -> Vec<GeneId> {
     for d in 0..merged.n_datasets() {
         let hits = merged.dataset(d).search_genes(query);
         for row in hits {
-            if let Some(g) = merged
-                .universe()
-                .lookup(&merged.dataset(d).genes[row].id)
-            {
+            if let Some(g) = merged.universe().lookup(&merged.dataset(d).genes[row].id) {
                 if seen.insert(g) {
                     out.push(g);
                 }

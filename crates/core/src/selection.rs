@@ -122,7 +122,9 @@ mod tests {
     fn extend_appends_new_only() {
         let mut s = Selection::new(
             vec![g(1), g(2)],
-            SelectionOrigin::Search { query: "hsp".into() },
+            SelectionOrigin::Search {
+                query: "hsp".into(),
+            },
         );
         s.extend(&[g(2), g(3)]);
         assert_eq!(s.genes(), &[g(1), g(2), g(3)]);
@@ -147,7 +149,11 @@ mod tests {
             },
         );
         match s.origin {
-            SelectionOrigin::Region { dataset, start_row, end_row } => {
+            SelectionOrigin::Region {
+                dataset,
+                start_row,
+                end_row,
+            } => {
                 assert_eq!((dataset, start_row, end_row), (1, 10, 20));
             }
             _ => panic!("wrong origin"),

@@ -40,6 +40,10 @@ pub struct Session {
     col_order: Vec<Vec<usize>>,
     /// Shared zoom scroll offset (in zoom rows).
     scroll: usize,
+    /// Distance metric used by parameterless clustering entry points.
+    metric: Metric,
+    /// Linkage criterion used by parameterless clustering entry points.
+    linkage: Linkage,
 }
 
 impl Default for Session {
@@ -63,6 +67,8 @@ impl Session {
             array_trees: Vec::new(),
             col_order: Vec::new(),
             scroll: 0,
+            metric: Metric::Pearson,
+            linkage: Linkage::Average,
         }
     }
 
@@ -95,6 +101,14 @@ impl Session {
         self.merged.dataset(d)
     }
 
+    /// Mutable access to dataset `d`'s expression matrix for
+    /// shape-preserving in-place transforms (imputation, normalization).
+    /// Existing dendrograms are kept; callers that change values should
+    /// re-cluster to refresh display orders.
+    pub fn dataset_matrix_mut(&mut self, d: usize) -> &mut fv_expr::ExprMatrix {
+        self.merged.matrix_mut(d)
+    }
+
     /// Pane order (indices into the dataset list).
     pub fn dataset_order(&self) -> &[usize] {
         &self.dataset_order
@@ -102,10 +116,17 @@ impl Session {
 
     /// Reorder panes. `order` must be a permutation of `0..n_datasets`.
     pub fn set_dataset_order(&mut self, order: Vec<usize>) {
-        assert_eq!(order.len(), self.n_datasets(), "order must cover all datasets");
+        assert_eq!(
+            order.len(),
+            self.n_datasets(),
+            "order must cover all datasets"
+        );
         let mut seen = vec![false; self.n_datasets()];
         for &d in &order {
-            assert!(d < self.n_datasets() && !seen[d], "order must be a permutation");
+            assert!(
+                d < self.n_datasets() && !seen[d],
+                "order must be a permutation"
+            );
             seen[d] = true;
         }
         self.dataset_order = order;
@@ -149,12 +170,31 @@ impl Session {
         self.gene_trees[d] = Some(tree);
     }
 
-    /// Cluster every dataset with the microarray defaults
-    /// (Pearson distance, average linkage).
+    /// Cluster every dataset with the session's current cluster settings
+    /// (the microarray defaults — Pearson distance, average linkage —
+    /// unless changed via [`Session::set_metric`] / [`Session::set_linkage`]).
     pub fn cluster_all(&mut self) {
+        let (metric, linkage) = self.cluster_settings();
         for d in 0..self.n_datasets() {
-            self.cluster_dataset(d, Metric::Pearson, Linkage::Average);
+            self.cluster_dataset(d, metric, linkage);
         }
+    }
+
+    /// Current `(metric, linkage)` pair used by parameterless clustering.
+    pub fn cluster_settings(&self) -> (Metric, Linkage) {
+        (self.metric, self.linkage)
+    }
+
+    /// Set the distance metric for subsequent parameterless clustering.
+    /// Already-clustered datasets keep their trees until re-clustered.
+    pub fn set_metric(&mut self, metric: Metric) {
+        self.metric = metric;
+    }
+
+    /// Set the linkage criterion for subsequent parameterless clustering.
+    /// Already-clustered datasets keep their trees until re-clustered.
+    pub fn set_linkage(&mut self, linkage: Linkage) {
+        self.linkage = linkage;
     }
 
     /// Array (condition) dendrogram of dataset `d`, if clustered.
@@ -193,9 +233,15 @@ impl Session {
             .expect("display order in bounds");
         let reordered = Dataset::new(
             reordered.name.clone(),
-            reordered.matrix.select_cols(col_order).expect("col order in bounds"),
+            reordered
+                .matrix
+                .select_cols(col_order)
+                .expect("col order in bounds"),
             reordered.genes.clone(),
-            col_order.iter().map(|&c| ds.conditions[c].clone()).collect(),
+            col_order
+                .iter()
+                .map(|&c| ds.conditions[c].clone())
+                .collect(),
         )
         .expect("shapes agree");
         let gene_leaf = self.gene_trees[d].as_ref().map(|_| row_order.as_slice());
@@ -303,7 +349,10 @@ impl Session {
     /// Scroll the synchronized zoom views by `delta` rows, clamped to the
     /// selection size.
     pub fn scroll_by(&mut self, delta: i64) {
-        let max = self.selection.as_ref().map_or(0, |s| s.len().saturating_sub(1));
+        let max = self
+            .selection
+            .as_ref()
+            .map_or(0, |s| s.len().saturating_sub(1));
         let next = self.scroll as i64 + delta;
         self.scroll = next.clamp(0, max as i64) as usize;
     }
@@ -329,7 +378,11 @@ impl Session {
     /// Load the current selection back in as a new dataset drawn from
     /// dataset `d` (Section 2's "loaded into the ForestView display as a
     /// dataset"). Returns the new dataset index.
-    pub fn selection_as_new_dataset(&mut self, d: usize, name: &str) -> Result<Option<usize>, ExprError> {
+    pub fn selection_as_new_dataset(
+        &mut self,
+        d: usize,
+        name: &str,
+    ) -> Result<Option<usize>, ExprError> {
         let Some(sel) = &self.selection else {
             return Ok(None);
         };
@@ -350,7 +403,9 @@ mod tests {
             .iter()
             .map(|&i| GeneMeta::new(i, format!("N{i}"), format!("annotation for {i}")))
             .collect();
-        let conds = (0..n_cols).map(|c| ConditionMeta::new(format!("c{c}"))).collect();
+        let conds = (0..n_cols)
+            .map(|c| ConditionMeta::new(format!("c{c}")))
+            .collect();
         Dataset::new(name, m, genes, conds).unwrap()
     }
 
@@ -392,7 +447,9 @@ mod tests {
         s.cluster_dataset(0, Metric::Pearson, Linkage::Average);
         let order = s.display_order(0).to_vec();
         // correlated pairs (0,1) and (2,3) must be adjacent
-        let pos: Vec<usize> = (0..4).map(|r| order.iter().position(|&x| x == r).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|r| order.iter().position(|&x| x == r).unwrap())
+            .collect();
         assert_eq!((pos[0] as i64 - pos[1] as i64).abs(), 1);
         assert_eq!((pos[2] as i64 - pos[3] as i64).abs(), 1);
         assert!(s.gene_tree(0).is_some());
@@ -532,9 +589,19 @@ mod tests {
         assert!(s.array_tree(0).is_some());
         let order = s.col_order(0).to_vec();
         // similar condition pairs end up adjacent
-        let pos: Vec<usize> = (0..4).map(|c| order.iter().position(|&x| x == c).unwrap()).collect();
-        assert_eq!((pos[0] as i64 - pos[3] as i64).abs(), 1, "c0/c3 adjacent: {order:?}");
-        assert_eq!((pos[1] as i64 - pos[2] as i64).abs(), 1, "c1/c2 adjacent: {order:?}");
+        let pos: Vec<usize> = (0..4)
+            .map(|c| order.iter().position(|&x| x == c).unwrap())
+            .collect();
+        assert_eq!(
+            (pos[0] as i64 - pos[3] as i64).abs(),
+            1,
+            "c0/c3 adjacent: {order:?}"
+        );
+        assert_eq!(
+            (pos[1] as i64 - pos[2] as i64).abs(),
+            1,
+            "c1/c2 adjacent: {order:?}"
+        );
     }
 
     #[test]
@@ -564,7 +631,10 @@ mod tests {
         assert_eq!(at.n_leaves(), 4);
         // first CDT row is the gene that sits first in display order
         let first_orig = s.display_order(0)[0];
-        assert_eq!(parsed.dataset.genes[0].id, s.dataset(0).genes[first_orig].id);
+        assert_eq!(
+            parsed.dataset.genes[0].id,
+            s.dataset(0).genes[first_orig].id
+        );
     }
 
     #[test]

@@ -104,13 +104,16 @@ mod tests {
         let vals: Vec<f32> = (0..ids.len() * n_cols).map(|i| i as f32).collect();
         let m = ExprMatrix::from_rows(ids.len(), n_cols, &vals).unwrap();
         let genes = ids.iter().map(|&i| GeneMeta::id_only(i)).collect();
-        let conds = (0..n_cols).map(|c| ConditionMeta::new(format!("c{c}"))).collect();
+        let conds = (0..n_cols)
+            .map(|c| ConditionMeta::new(format!("c{c}")))
+            .collect();
         Dataset::new(name, m, genes, conds).unwrap()
     }
 
     fn session() -> Session {
         let mut s = Session::new();
-        s.load_dataset(ds("a", &["G1", "G2", "G3", "G4"], 2)).unwrap();
+        s.load_dataset(ds("a", &["G1", "G2", "G3", "G4"], 2))
+            .unwrap();
         // b measures G3, G1 (different order), not G2/G4; adds G5
         s.load_dataset(ds("b", &["G3", "G5", "G1"], 2)).unwrap();
         s
@@ -153,7 +156,11 @@ mod tests {
         // Force a custom display order by clustering... dataset a has rows
         // 0..3; after clustering the order may change, but the zoom rows
         // must follow display positions exactly.
-        s.cluster_dataset(0, fv_cluster::Metric::Euclidean, fv_cluster::Linkage::Average);
+        s.cluster_dataset(
+            0,
+            fv_cluster::Metric::Euclidean,
+            fv_cluster::Linkage::Average,
+        );
         let rows = zoom_rows(&s, 0);
         let pos: Vec<usize> = rows
             .iter()

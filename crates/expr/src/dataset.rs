@@ -104,7 +104,11 @@ impl Dataset {
     /// A new dataset containing only the given rows, in order. This is the
     /// "load an exported selection back in as a dataset" operation from the
     /// paper (Section 2).
-    pub fn subset_rows(&self, rows: &[usize], name: impl Into<String>) -> Result<Dataset, ExprError> {
+    pub fn subset_rows(
+        &self,
+        rows: &[usize],
+        name: impl Into<String>,
+    ) -> Result<Dataset, ExprError> {
         let matrix = self.matrix.select_rows(rows)?;
         let genes = rows.iter().map(|&r| self.genes[r].clone()).collect();
         Ok(Dataset {
@@ -132,17 +136,22 @@ mod tests {
             GeneMeta::new("YAL005C", "SSA1", "chaperone ATPase"),
             GeneMeta::new("YBR072W", "HSP26", "small heat shock protein"),
         ];
-        let conds = vec![ConditionMeta::new("heat 15m"), ConditionMeta::new("heat 30m")];
+        let conds = vec![
+            ConditionMeta::new("heat 15m"),
+            ConditionMeta::new("heat 30m"),
+        ];
         Dataset::new("stress", m, genes, conds).unwrap()
     }
 
     #[test]
     fn new_validates_gene_meta_len() {
         let m = ExprMatrix::zeros(2, 2);
-        let err = Dataset::new("x", m, vec![GeneMeta::id_only("a")], vec![
-            ConditionMeta::new("c0"),
-            ConditionMeta::new("c1"),
-        ])
+        let err = Dataset::new(
+            "x",
+            m,
+            vec![GeneMeta::id_only("a")],
+            vec![ConditionMeta::new("c0"), ConditionMeta::new("c1")],
+        )
         .unwrap_err();
         assert!(matches!(err, ExprError::MetaMismatch { what: "genes", .. }));
     }
@@ -150,9 +159,20 @@ mod tests {
     #[test]
     fn new_validates_condition_meta_len() {
         let m = ExprMatrix::zeros(1, 2);
-        let err = Dataset::new("x", m, vec![GeneMeta::id_only("a")], vec![ConditionMeta::new("c0")])
-            .unwrap_err();
-        assert!(matches!(err, ExprError::MetaMismatch { what: "conditions", .. }));
+        let err = Dataset::new(
+            "x",
+            m,
+            vec![GeneMeta::id_only("a")],
+            vec![ConditionMeta::new("c0")],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ExprError::MetaMismatch {
+                what: "conditions",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl ExprMatrix {
     }
 
     fn trim_mask_tail(mask: &mut [u64], cells: usize) {
-        if cells % 64 != 0 {
+        if !cells.is_multiple_of(64) {
             if let Some(last) = mask.last_mut() {
                 *last &= (1u64 << (cells % 64)) - 1;
             }

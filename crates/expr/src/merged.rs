@@ -66,6 +66,14 @@ impl MergedDatasets {
         &self.datasets
     }
 
+    /// Mutable access to a dataset's expression matrix, for in-place
+    /// transforms (imputation, normalization). Shape-preserving only: the
+    /// gene universe and metadata are keyed by row/column counts, so
+    /// callers must not change the matrix dimensions.
+    pub fn matrix_mut(&mut self, d: usize) -> &mut crate::matrix::ExprMatrix {
+        &mut self.datasets[d].matrix
+    }
+
     /// Dataset index by name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
         self.datasets.iter().position(|d| d.name == name)
@@ -117,7 +125,10 @@ impl MergedDatasets {
     /// dataset, the matching row indices. This powers the cross-dataset
     /// annotation search described in Section 2.
     pub fn search_all(&self, query: &str) -> Vec<Vec<usize>> {
-        self.datasets.iter().map(|d| d.search_genes(query)).collect()
+        self.datasets
+            .iter()
+            .map(|d| d.search_genes(query))
+            .collect()
     }
 
     /// Resolve gene names (exact id/common-name match in any dataset, or
@@ -158,7 +169,9 @@ mod tests {
     fn ds(name: &str, ids: &[&str], vals: &[f32], n_cols: usize) -> Dataset {
         let m = ExprMatrix::from_rows(ids.len(), n_cols, vals).unwrap();
         let genes = ids.iter().map(|&i| GeneMeta::id_only(i)).collect();
-        let conds = (0..n_cols).map(|c| ConditionMeta::new(format!("c{c}"))).collect();
+        let conds = (0..n_cols)
+            .map(|c| ConditionMeta::new(format!("c{c}")))
+            .collect();
         Dataset::new(name, m, genes, conds).unwrap()
     }
 
@@ -167,7 +180,8 @@ mod tests {
         m.add(ds("a", &["G1", "G2", "G3"], &[1., 2., 3., 4., 5., 6.], 2))
             .unwrap();
         // dataset b has G3 and G1 in different order, plus its own G4
-        m.add(ds("b", &["G3", "G4", "G1"], &[30., 40., 10.], 1)).unwrap();
+        m.add(ds("b", &["G3", "G4", "G1"], &[30., 40., 10.], 1))
+            .unwrap();
         m
     }
 
@@ -221,7 +235,11 @@ mod tests {
     #[test]
     fn genes_in_all_intersection() {
         let m = merged();
-        let names: Vec<&str> = m.genes_in_all().iter().map(|&g| m.universe().name(g)).collect();
+        let names: Vec<&str> = m
+            .genes_in_all()
+            .iter()
+            .map(|&g| m.universe().name(g))
+            .collect();
         assert_eq!(names, vec!["G1", "G3"]);
     }
 

@@ -22,7 +22,11 @@ pub struct GeneMeta {
 
 impl GeneMeta {
     /// Convenience constructor with weight 1.
-    pub fn new(id: impl Into<String>, name: impl Into<String>, annotation: impl Into<String>) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        name: impl Into<String>,
+        annotation: impl Into<String>,
+    ) -> Self {
         GeneMeta {
             id: id.into(),
             name: name.into(),
@@ -59,7 +63,8 @@ impl GeneMeta {
     /// Exact (case-insensitive) match against id or name, used when a
     /// search term must denote a single gene rather than a family.
     pub fn matches_exact(&self, query: &str) -> bool {
-        self.id.eq_ignore_ascii_case(query) || (!self.name.is_empty() && self.name.eq_ignore_ascii_case(query))
+        self.id.eq_ignore_ascii_case(query)
+            || (!self.name.is_empty() && self.name.eq_ignore_ascii_case(query))
     }
 
     /// Display label: the common name when present, otherwise the id.

@@ -215,7 +215,9 @@ mod tests {
         // The rayon-parallel z-score must equal a serial reference.
         let n = 500;
         let cols = 37;
-        let vals: Vec<f32> = (0..n * cols).map(|i| ((i * 31 % 97) as f32) * 0.1).collect();
+        let vals: Vec<f32> = (0..n * cols)
+            .map(|i| ((i * 31 % 97) as f32) * 0.1)
+            .collect();
         let mut a = mat(n, cols, &vals);
         let mut b = a.clone();
         zscore_rows(&mut a);
@@ -225,7 +227,11 @@ mod tests {
             let (mean, sd) = (w.mean(), w.stddev_sample());
             let cs: Vec<(usize, f32)> = b.present_in_row_iter(r).collect();
             for (c, v) in cs {
-                let z = if sd > 0.0 { (v as f64 - mean) / sd } else { v as f64 - mean };
+                let z = if sd > 0.0 {
+                    (v as f64 - mean) / sd
+                } else {
+                    v as f64 - mean
+                };
                 b.set(r, c, z as f32);
             }
         }

@@ -278,12 +278,9 @@ pub fn spearman_rows(
     let mut va: Vec<Option<f32>> = Vec::with_capacity(ma.n_cols());
     let mut vb: Vec<Option<f32>> = Vec::with_capacity(ma.n_cols());
     for c in 0..ma.n_cols() {
-        match (ma.get(ra, c), mb.get(rb, c)) {
-            (Some(x), Some(y)) => {
-                va.push(Some(x));
-                vb.push(Some(y));
-            }
-            _ => {}
+        if let (Some(x), Some(y)) = (ma.get(ra, c), mb.get(rb, c)) {
+            va.push(Some(x));
+            vb.push(Some(y));
         }
     }
     if va.len() < min_overlap.max(2) {

@@ -163,7 +163,10 @@ mod tests {
     fn ids_are_dense_and_ordered() {
         let mut u = GeneUniverse::new();
         let ids: Vec<GeneId> = (0..5).map(|i| u.intern(&format!("G{i}"))).collect();
-        assert_eq!(ids, vec![GeneId(0), GeneId(1), GeneId(2), GeneId(3), GeneId(4)]);
+        assert_eq!(
+            ids,
+            vec![GeneId(0), GeneId(1), GeneId(2), GeneId(3), GeneId(4)]
+        );
         let listed: Vec<GeneId> = u.ids().collect();
         assert_eq!(listed, ids);
     }

@@ -55,7 +55,11 @@ pub fn parse_cdt(name: &str, text: &str) -> Result<CdtFile, FormatError> {
         .get(gweight_col)
         .map(|c| c.eq_ignore_ascii_case("GWEIGHT"))
         == Some(true);
-    let n_meta = if has_gweight { gweight_col + 1 } else { id_col + 2 };
+    let n_meta = if has_gweight {
+        gweight_col + 1
+    } else {
+        id_col + 2
+    };
     let cond_labels: Vec<String> = head[n_meta..].iter().map(|s| s.to_string()).collect();
     let n_cols = cond_labels.len();
 
@@ -77,7 +81,11 @@ pub fn parse_cdt(name: &str, text: &str) -> Result<CdtFile, FormatError> {
                 leaves.push(parse_leaf_id(f, super::tree_files::ARRAY_PREFIX)?);
             }
             if leaves.len() != n_cols {
-                return Err(FormatError::RaggedRow(lineno + 1, n_meta + n_cols, fields.len()));
+                return Err(FormatError::RaggedRow(
+                    lineno + 1,
+                    n_meta + n_cols,
+                    fields.len(),
+                ));
             }
             array_leaf = Some(leaves);
             continue;
@@ -94,7 +102,11 @@ pub fn parse_cdt(name: &str, text: &str) -> Result<CdtFile, FormatError> {
             continue;
         }
         if fields.len() != n_meta + n_cols {
-            return Err(FormatError::RaggedRow(lineno + 1, n_meta + n_cols, fields.len()));
+            return Err(FormatError::RaggedRow(
+                lineno + 1,
+                n_meta + n_cols,
+                fields.len(),
+            ));
         }
         if has_gid {
             gene_leaf_acc.push(parse_leaf_id(fields[0], super::tree_files::GENE_PREFIX)?);
@@ -264,7 +276,7 @@ mod tests {
     #[test]
     fn parse_missing_cells() {
         let text = "GID\tID\tNAME\tGWEIGHT\tc0\nEWEIGHT\t\t\t\t1\nGENE0X\tg1\tX\t1\t\n";
-        let cdt = parse_cdt("s", &text).unwrap();
+        let cdt = parse_cdt("s", text).unwrap();
         assert_eq!(cdt.dataset.matrix.get(0, 0), None);
     }
 

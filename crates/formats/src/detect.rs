@@ -35,10 +35,17 @@ pub fn detect_format(text: &str) -> FileFormat {
     if f0.eq_ignore_ascii_case("GID") {
         return FileFormat::Cdt;
     }
-    if f0.eq_ignore_ascii_case("ID") || f0.eq_ignore_ascii_case("YORF") || f0.eq_ignore_ascii_case("UID") {
+    if f0.eq_ignore_ascii_case("ID")
+        || f0.eq_ignore_ascii_case("YORF")
+        || f0.eq_ignore_ascii_case("UID")
+    {
         // An AID row anywhere near the top also marks a CDT.
         for l in text.lines().take(4) {
-            if l.split('\t').next().map(|t| t.trim().eq_ignore_ascii_case("AID")) == Some(true) {
+            if l.split('\t')
+                .next()
+                .map(|t| t.trim().eq_ignore_ascii_case("AID"))
+                == Some(true)
+            {
                 return FileFormat::Cdt;
             }
         }
@@ -91,7 +98,10 @@ mod tests {
     fn unknown_for_garbage() {
         assert_eq!(detect_format(""), FileFormat::Unknown);
         assert_eq!(detect_format("hello world\n"), FileFormat::Unknown);
-        assert_eq!(detect_format("NODE0X\tonly_three\tfields\n"), FileFormat::Unknown);
+        assert_eq!(
+            detect_format("NODE0X\tonly_three\tfields\n"),
+            FileFormat::Unknown
+        );
     }
 
     #[test]

@@ -100,25 +100,29 @@ mod tests {
     fn merged() -> MergedDatasets {
         let mut m = MergedDatasets::new();
         let m1 = ExprMatrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
-        m.add(Dataset::new(
-            "alpha",
-            m1,
-            vec![
-                GeneMeta::new("G1", "AAA", "first gene"),
-                GeneMeta::new("G2", "BBB", "second gene"),
-            ],
-            vec![ConditionMeta::new("t0"), ConditionMeta::new("t1")],
+        m.add(
+            Dataset::new(
+                "alpha",
+                m1,
+                vec![
+                    GeneMeta::new("G1", "AAA", "first gene"),
+                    GeneMeta::new("G2", "BBB", "second gene"),
+                ],
+                vec![ConditionMeta::new("t0"), ConditionMeta::new("t1")],
+            )
+            .unwrap(),
         )
-        .unwrap())
         .unwrap();
         let m2 = ExprMatrix::from_rows(1, 1, &[9.0]).unwrap();
-        m.add(Dataset::new(
-            "beta",
-            m2,
-            vec![GeneMeta::id_only("G2")],
-            vec![ConditionMeta::new("x")],
+        m.add(
+            Dataset::new(
+                "beta",
+                m2,
+                vec![GeneMeta::id_only("G2")],
+                vec![ConditionMeta::new("x")],
+            )
+            .unwrap(),
         )
-        .unwrap())
         .unwrap();
         m
     }

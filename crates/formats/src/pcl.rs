@@ -94,8 +94,8 @@ pub fn parse_pcl(name: &str, text: &str) -> Result<Dataset, FormatError> {
         rows.push(row);
     }
 
-    let matrix = ExprMatrix::from_option_rows(&rows)
-        .map_err(|_| FormatError::RaggedRow(0, n_cols, 0))?;
+    let matrix =
+        ExprMatrix::from_option_rows(&rows).map_err(|_| FormatError::RaggedRow(0, n_cols, 0))?;
     // A fully empty PCL still needs the right column count.
     let matrix = if rows.is_empty() {
         ExprMatrix::missing(0, n_cols)
@@ -107,8 +107,7 @@ pub fn parse_pcl(name: &str, text: &str) -> Result<Dataset, FormatError> {
         .zip(eweights)
         .map(|(label, weight)| ConditionMeta { label, weight })
         .collect();
-    Dataset::new(name, matrix, genes, conditions)
-        .map_err(|e| FormatError::BadTree(e.to_string()))
+    Dataset::new(name, matrix, genes, conditions).map_err(|e| FormatError::BadTree(e.to_string()))
 }
 
 /// Serialize a [`Dataset`] to PCL text (always includes GWEIGHT/EWEIGHT).
@@ -224,7 +223,10 @@ YCL050C\tAPA1 diadenosine\t2\t-0.3\t-0.9\n";
     #[test]
     fn parse_rejects_bad_number() {
         let text = "ID\tNAME\tGWEIGHT\tc1\ng1\tX\t1\tnot_a_number\n";
-        assert!(matches!(parse_pcl("s", text), Err(FormatError::BadNumber(2, _))));
+        assert!(matches!(
+            parse_pcl("s", text),
+            Err(FormatError::BadNumber(2, _))
+        ));
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn write_tree(tree: &ClusterTree, leaf_prefix: &str) -> String {
 /// `n_leaves` must match the paired CDT's row (or column) count; leaves not
 /// mentioned in the file are rejected as a structural error unless the tree
 /// is empty.
-pub fn parse_tree(text: &str, leaf_prefix: &str, n_leaves: usize) -> Result<ClusterTree, FormatError> {
+pub fn parse_tree(
+    text: &str,
+    leaf_prefix: &str,
+    n_leaves: usize,
+) -> Result<ClusterTree, FormatError> {
     let mut merges: Vec<Merge> = Vec::new();
     let mut node_ids: HashMap<String, usize> = HashMap::new();
     let mut sizes: Vec<u32> = Vec::new();
@@ -104,10 +108,16 @@ pub fn parse_tree(text: &str, leaf_prefix: &str, n_leaves: usize) -> Result<Clus
     ClusterTree::new(n_leaves, merges).map_err(|e| FormatError::BadTree(e.to_string()))
 }
 
+/// A merge child as `(is_leaf, index)`.
+pub type PlainChild = (bool, usize);
+
+/// A plain merge triple: `(left, right, height)`.
+pub type PlainMerge = (PlainChild, PlainChild, f32);
+
 /// Convert a [`ClusterTree`] into the plain merge triples the renderer's
 /// dendrogram painter consumes: `(left, right, height)` with child encoding
 /// `(is_leaf, index)`.
-pub fn tree_to_plain_merges(tree: &ClusterTree) -> Vec<((bool, usize), (bool, usize), f32)> {
+pub fn tree_to_plain_merges(tree: &ClusterTree) -> Vec<PlainMerge> {
     tree.merges()
         .iter()
         .map(|m| {
@@ -136,8 +146,18 @@ mod tests {
         ClusterTree::new(
             3,
             vec![
-                Merge { left: leaf(0), right: leaf(2), height: 0.1, size: 2 },
-                Merge { left: node(0), right: leaf(1), height: 0.6, size: 3 },
+                Merge {
+                    left: leaf(0),
+                    right: leaf(2),
+                    height: 0.1,
+                    size: 2,
+                },
+                Merge {
+                    left: node(0),
+                    right: leaf(1),
+                    height: 0.6,
+                    size: 3,
+                },
             ],
         )
         .unwrap()

@@ -20,7 +20,11 @@ pub fn benjamini_hochberg(pvals: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| pvals[a].partial_cmp(&pvals[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        pvals[a]
+            .partial_cmp(&pvals[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut q = vec![0.0f64; m];
     let mut running_min = 1.0f64;
     for rank_from_top in (0..m).rev() {

@@ -157,10 +157,18 @@ mod tests {
     /// g0..g9 heat, g10..g19 stress(only), g20..39 other.
     fn setup() -> (OntologyDag, PropagatedAnnotations) {
         let mut b = DagBuilder::new();
-        let root = b.add_term(Term::new("GO:R", "root", Namespace::BiologicalProcess)).unwrap();
-        let stress = b.add_term(Term::new("GO:S", "stress", Namespace::BiologicalProcess)).unwrap();
-        let heat = b.add_term(Term::new("GO:H", "heat", Namespace::BiologicalProcess)).unwrap();
-        let other = b.add_term(Term::new("GO:O", "other", Namespace::BiologicalProcess)).unwrap();
+        let root = b
+            .add_term(Term::new("GO:R", "root", Namespace::BiologicalProcess))
+            .unwrap();
+        let stress = b
+            .add_term(Term::new("GO:S", "stress", Namespace::BiologicalProcess))
+            .unwrap();
+        let heat = b
+            .add_term(Term::new("GO:H", "heat", Namespace::BiologicalProcess))
+            .unwrap();
+        let other = b
+            .add_term(Term::new("GO:O", "other", Namespace::BiologicalProcess))
+            .unwrap();
         b.add_edge(stress, root, RelType::IsA);
         b.add_edge(heat, stress, RelType::IsA);
         b.add_edge(other, root, RelType::IsA);
@@ -201,7 +209,12 @@ mod tests {
     fn random_query_not_significant() {
         let (dag, p) = setup();
         // one gene from each bucket
-        let res = enrich(&dag, &p, &["g0", "g15", "g25", "g35"], &EnrichmentConfig::default());
+        let res = enrich(
+            &dag,
+            &p,
+            &["g0", "g15", "g25", "g35"],
+            &EnrichmentConfig::default(),
+        );
         for r in &res {
             assert!(r.p_bonferroni > 0.05, "{:?}", r);
         }
@@ -221,7 +234,12 @@ mod tests {
     #[test]
     fn unknown_query_genes_dropped() {
         let (dag, p) = setup();
-        let res = enrich(&dag, &p, &["g0", "g1", "nope", "zzz"], &EnrichmentConfig::default());
+        let res = enrich(
+            &dag,
+            &p,
+            &["g0", "g1", "nope", "zzz"],
+            &EnrichmentConfig::default(),
+        );
         assert!(res.iter().all(|r| r.query_size == 2));
     }
 

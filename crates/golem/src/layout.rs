@@ -76,8 +76,12 @@ pub fn layout_map(map: &LocalMap, barycenter_passes: usize) -> MapLayout {
             n_layers: 0,
         };
     }
-    let index_of: HashMap<TermId, usize> =
-        map.nodes.iter().enumerate().map(|(i, n)| (n.term, i)).collect();
+    let index_of: HashMap<TermId, usize> = map
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.term, i))
+        .collect();
 
     // Layer = ontology depth, compressed to consecutive integers.
     let mut depths: Vec<u32> = map.nodes.iter().map(|n| n.depth).collect();
@@ -198,7 +202,14 @@ mod tests {
         let names = ["R", "A", "B", "C", "D", "E"];
         let ids: Vec<TermId> = names
             .iter()
-            .map(|n| b.add_term(Term::new(format!("GO:{n}"), *n, Namespace::BiologicalProcess)).unwrap())
+            .map(|n| {
+                b.add_term(Term::new(
+                    format!("GO:{n}"),
+                    *n,
+                    Namespace::BiologicalProcess,
+                ))
+                .unwrap()
+            })
             .collect();
         b.add_edge(ids[1], ids[0], RelType::IsA);
         b.add_edge(ids[2], ids[0], RelType::IsA);
@@ -238,7 +249,12 @@ mod tests {
         let m = build_local_map(&g, ids[0], 3, &[]);
         let l = layout_map(&m, 2);
         for li in 0..l.n_layers {
-            let xs: Vec<f32> = l.nodes.iter().filter(|n| n.layer == li).map(|n| n.x).collect();
+            let xs: Vec<f32> = l
+                .nodes
+                .iter()
+                .filter(|n| n.layer == li)
+                .map(|n| n.x)
+                .collect();
             for i in 0..xs.len() {
                 for j in (i + 1)..xs.len() {
                     assert!((xs[i] - xs[j]).abs() > 1e-6, "layer {li} overlaps");
@@ -265,7 +281,10 @@ mod tests {
         let m = build_local_map(&g, ids[0], 3, &[]);
         let base = layout_map(&m, 0).crossings();
         let improved = layout_map(&m, 4).crossings();
-        assert!(improved <= base, "barycenter increased crossings: {base} -> {improved}");
+        assert!(
+            improved <= base,
+            "barycenter increased crossings: {base} -> {improved}"
+        );
     }
 
     #[test]

@@ -154,7 +154,14 @@ mod tests {
         let names = ["R", "A", "B", "C", "D"];
         let ids: Vec<TermId> = names
             .iter()
-            .map(|n| b.add_term(Term::new(format!("GO:{n}"), *n, Namespace::BiologicalProcess)).unwrap())
+            .map(|n| {
+                b.add_term(Term::new(
+                    format!("GO:{n}"),
+                    *n,
+                    Namespace::BiologicalProcess,
+                ))
+                .unwrap()
+            })
             .collect();
         b.add_edge(ids[1], ids[0], RelType::IsA); // A → R
         b.add_edge(ids[2], ids[0], RelType::IsA); // B → R

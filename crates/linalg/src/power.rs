@@ -14,7 +14,11 @@ use crate::dense::{dot, normalize_in_place, Matrix};
 /// (e.g. Gram matrices) convergence is reliable unless the top two
 /// eigenvalues coincide, in which case any vector in their span is returned.
 pub fn dominant_eigenpair(a: &Matrix, max_iter: usize, tol: f64) -> (f64, Vec<f64>) {
-    assert_eq!(a.n_rows(), a.n_cols(), "power iteration needs a square matrix");
+    assert_eq!(
+        a.n_rows(),
+        a.n_cols(),
+        "power iteration needs a square matrix"
+    );
     let n = a.n_rows();
     if n == 0 {
         return (0.0, Vec::new());

@@ -220,11 +220,7 @@ mod tests {
 
     #[test]
     fn svd_general_matrix() {
-        let a = Matrix::from_rows(
-            4,
-            3,
-            &[1., 2., 3., -4., 5., 6., 7., -8., 9., 2., 2., 2.],
-        );
+        let a = Matrix::from_rows(4, 3, &[1., 2., 3., -4., 5., 6., 7., -8., 9., 2., 2., 2.]);
         let d = svd(&a);
         assert_close(&d.reconstruct(), &a, 1e-9);
         assert_orthonormal_cols(&d.u, 1e-9);

@@ -150,10 +150,7 @@ impl PropagatedAnnotations {
     /// (the overlap statistic enrichment tests need). Unknown gene names
     /// are ignored.
     pub fn count_overlap(&self, term: TermId, genes: &[&str]) -> usize {
-        genes
-            .iter()
-            .filter(|g| self.is_annotated(g, term))
-            .count()
+        genes.iter().filter(|g| self.is_annotated(g, term)).count()
     }
 
     /// Resolve a gene name to the internal population index.
@@ -171,11 +168,21 @@ mod tests {
     /// A → B → D and A → C → D (diamond with D the leaf), plus lone E.
     fn dag() -> (OntologyDag, TermId, TermId, TermId, TermId, TermId) {
         let mut b = DagBuilder::new();
-        let a = b.add_term(Term::new("GO:A", "a", Namespace::BiologicalProcess)).unwrap();
-        let bb = b.add_term(Term::new("GO:B", "b", Namespace::BiologicalProcess)).unwrap();
-        let c = b.add_term(Term::new("GO:C", "c", Namespace::BiologicalProcess)).unwrap();
-        let d = b.add_term(Term::new("GO:D", "d", Namespace::BiologicalProcess)).unwrap();
-        let e = b.add_term(Term::new("GO:E", "e", Namespace::BiologicalProcess)).unwrap();
+        let a = b
+            .add_term(Term::new("GO:A", "a", Namespace::BiologicalProcess))
+            .unwrap();
+        let bb = b
+            .add_term(Term::new("GO:B", "b", Namespace::BiologicalProcess))
+            .unwrap();
+        let c = b
+            .add_term(Term::new("GO:C", "c", Namespace::BiologicalProcess))
+            .unwrap();
+        let d = b
+            .add_term(Term::new("GO:D", "d", Namespace::BiologicalProcess))
+            .unwrap();
+        let e = b
+            .add_term(Term::new("GO:E", "e", Namespace::BiologicalProcess))
+            .unwrap();
         b.add_edge(bb, a, RelType::IsA);
         b.add_edge(c, a, RelType::IsA);
         b.add_edge(d, bb, RelType::IsA);
@@ -202,7 +209,11 @@ mod tests {
         ann.annotate("g1", d);
         let p = ann.propagate(&g);
         for t in [a, b, c, d] {
-            assert!(p.is_annotated("g1", t), "g1 should reach {:?}", g.term(t).accession);
+            assert!(
+                p.is_annotated("g1", t),
+                "g1 should reach {:?}",
+                g.term(t).accession
+            );
             assert_eq!(p.count(t), 1);
         }
     }

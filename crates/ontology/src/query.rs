@@ -110,10 +110,7 @@ pub fn lowest_common_ancestors(dag: &OntologyDag, a: TermId, b: TermId) -> Vec<T
     match max_depth {
         None => Vec::new(),
         Some(d) => {
-            let mut v: Vec<TermId> = common
-                .into_iter()
-                .filter(|&t| dag.depth(t) == d)
-                .collect();
+            let mut v: Vec<TermId> = common.into_iter().filter(|&t| dag.depth(t) == d).collect();
             v.sort_unstable();
             v
         }
@@ -156,8 +153,12 @@ mod tests {
         let ids: Vec<TermId> = names
             .iter()
             .map(|n| {
-                b.add_term(Term::new(format!("GO:{n}"), *n, Namespace::BiologicalProcess))
-                    .unwrap()
+                b.add_term(Term::new(
+                    format!("GO:{n}"),
+                    *n,
+                    Namespace::BiologicalProcess,
+                ))
+                .unwrap()
             })
             .collect();
         let [r, a, bb, c, d, e] = [ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]];
@@ -245,8 +246,12 @@ mod tests {
     #[test]
     fn lca_disjoint_roots_empty() {
         let mut b = DagBuilder::new();
-        let x = b.add_term(Term::new("GO:X", "x", Namespace::BiologicalProcess)).unwrap();
-        let y = b.add_term(Term::new("GO:Y", "y", Namespace::BiologicalProcess)).unwrap();
+        let x = b
+            .add_term(Term::new("GO:X", "x", Namespace::BiologicalProcess))
+            .unwrap();
+        let y = b
+            .add_term(Term::new("GO:Y", "y", Namespace::BiologicalProcess))
+            .unwrap();
         let g = b.build().unwrap();
         assert!(lowest_common_ancestors(&g, x, y).is_empty());
     }

@@ -71,7 +71,11 @@ pub struct Term {
 
 impl Term {
     /// Convenience constructor for a non-obsolete term with empty definition.
-    pub fn new(accession: impl Into<String>, name: impl Into<String>, namespace: Namespace) -> Self {
+    pub fn new(
+        accession: impl Into<String>,
+        name: impl Into<String>,
+        namespace: Namespace,
+    ) -> Self {
         Term {
             accession: accession.into(),
             name: name.into(),
@@ -96,17 +100,27 @@ mod tests {
             assert_eq!(Namespace::from_obo(ns.as_obo()), Some(ns));
         }
         assert_eq!(Namespace::from_obo("bogus"), None);
-        assert_eq!(Namespace::from_obo(" biological_process "), Some(Namespace::BiologicalProcess));
+        assert_eq!(
+            Namespace::from_obo(" biological_process "),
+            Some(Namespace::BiologicalProcess)
+        );
     }
 
     #[test]
     fn display_matches_obo() {
-        assert_eq!(Namespace::MolecularFunction.to_string(), "molecular_function");
+        assert_eq!(
+            Namespace::MolecularFunction.to_string(),
+            "molecular_function"
+        );
     }
 
     #[test]
     fn term_new_defaults() {
-        let t = Term::new("GO:0006950", "response to stress", Namespace::BiologicalProcess);
+        let t = Term::new(
+            "GO:0006950",
+            "response to stress",
+            Namespace::BiologicalProcess,
+        );
         assert!(!t.obsolete);
         assert!(t.definition.is_empty());
         assert_eq!(t.accession, "GO:0006950");

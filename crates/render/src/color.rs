@@ -39,7 +39,11 @@ impl Rgb {
             let v = a as f32 + (b as f32 - a as f32) * t;
             v.round().clamp(0.0, 255.0) as u8
         };
-        Rgb::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+        Rgb::new(
+            mix(self.r, other.r),
+            mix(self.g, other.g),
+            mix(self.b, other.b),
+        )
     }
 
     /// Average of a non-empty slice of colors (componentwise), used when a
@@ -66,7 +70,11 @@ impl Rgb {
 
     /// Unpack from `0x00RRGGBB`.
     pub fn from_u32(v: u32) -> Rgb {
-        Rgb::new(((v >> 16) & 0xff) as u8, ((v >> 8) & 0xff) as u8, (v & 0xff) as u8)
+        Rgb::new(
+            ((v >> 16) & 0xff) as u8,
+            ((v >> 8) & 0xff) as u8,
+            (v & 0xff) as u8,
+        )
     }
 
     /// Perceived luminance (ITU-R BT.601), 0–255.

@@ -107,12 +107,8 @@ pub fn paint_dendrogram_at(
     // Leaf-axis pixel center of a display slot.
     let slot_center = |slot: usize| -> i64 {
         match orientation {
-            Orientation::Horizontal => {
-                ry + (slot * rh / n_leaves + rh / (2 * n_leaves)) as i64
-            }
-            Orientation::Vertical => {
-                rx + (slot * rw / n_leaves + rw / (2 * n_leaves)) as i64
-            }
+            Orientation::Horizontal => ry + (slot * rh / n_leaves + rh / (2 * n_leaves)) as i64,
+            Orientation::Vertical => rx + (slot * rw / n_leaves + rw / (2 * n_leaves)) as i64,
         }
     };
     // Height-axis pixel for a merge height (leaves at height 0).
@@ -184,7 +180,10 @@ mod tests {
             Orientation::Horizontal,
             Rgb::WHITE,
         );
-        assert!(fb.count_pixels(Rgb::WHITE) > 10, "bracket should span region");
+        assert!(
+            fb.count_pixels(Rgb::WHITE) > 10,
+            "bracket should span region"
+        );
         // Leaves at right edge: stems start at x=9
         assert_eq!(fb.get(9, 2), Some(Rgb::WHITE));
         assert_eq!(fb.get(9, 6), Some(Rgb::WHITE));
@@ -241,8 +240,22 @@ mod tests {
         let mut a = Framebuffer::new(10, 8);
         let mut b = Framebuffer::new(10, 8);
         let m = two_leaf_tree();
-        paint_dendrogram(&mut a, Region::new(0, 0, 10, 8), &m, &[0, 1], Orientation::Horizontal, Rgb::WHITE);
-        paint_dendrogram(&mut b, Region::new(0, 0, 10, 8), &m, &[1, 0], Orientation::Horizontal, Rgb::WHITE);
+        paint_dendrogram(
+            &mut a,
+            Region::new(0, 0, 10, 8),
+            &m,
+            &[0, 1],
+            Orientation::Horizontal,
+            Rgb::WHITE,
+        );
+        paint_dendrogram(
+            &mut b,
+            Region::new(0, 0, 10, 8),
+            &m,
+            &[1, 0],
+            Orientation::Horizontal,
+            Rgb::WHITE,
+        );
         // Same pixel count (symmetric tree) — but same image too since
         // swapping two symmetric leaves mirrors onto itself.
         assert_eq!(a.count_pixels(Rgb::WHITE), b.count_pixels(Rgb::WHITE));
@@ -251,8 +264,22 @@ mod tests {
     #[test]
     fn empty_inputs_noop() {
         let mut fb = Framebuffer::new(4, 4);
-        paint_dendrogram(&mut fb, Region::new(0, 0, 4, 4), &[], &[], Orientation::Horizontal, Rgb::WHITE);
-        paint_dendrogram(&mut fb, Region::new(0, 0, 4, 4), &[], &[0], Orientation::Horizontal, Rgb::WHITE);
+        paint_dendrogram(
+            &mut fb,
+            Region::new(0, 0, 4, 4),
+            &[],
+            &[],
+            Orientation::Horizontal,
+            Rgb::WHITE,
+        );
+        paint_dendrogram(
+            &mut fb,
+            Region::new(0, 0, 4, 4),
+            &[],
+            &[0],
+            Orientation::Horizontal,
+            Rgb::WHITE,
+        );
         assert_eq!(fb.count_pixels(Rgb::WHITE), 0);
     }
 
@@ -277,17 +304,49 @@ mod tests {
         // of a full-scene paint. A truncating midpoint division used to
         // shift stems by 1px across tile boundaries.
         let merges = vec![
-            DendroMerge { left: DendroChild::Leaf(0), right: DendroChild::Leaf(3), height: 0.4 },
-            DendroMerge { left: DendroChild::Leaf(1), right: DendroChild::Internal(0), height: 0.7 },
-            DendroMerge { left: DendroChild::Leaf(2), right: DendroChild::Internal(1), height: 1.3 },
+            DendroMerge {
+                left: DendroChild::Leaf(0),
+                right: DendroChild::Leaf(3),
+                height: 0.4,
+            },
+            DendroMerge {
+                left: DendroChild::Leaf(1),
+                right: DendroChild::Internal(0),
+                height: 0.7,
+            },
+            DendroMerge {
+                left: DendroChild::Leaf(2),
+                right: DendroChild::Internal(1),
+                height: 1.3,
+            },
         ];
         let leaf_pos = [2usize, 0, 3, 1];
         let (rx, ry, rw, rh) = (5i64, 7i64, 33usize, 57usize);
         let mut full = Framebuffer::new(64, 80);
-        paint_dendrogram_at(&mut full, rx, ry, rw, rh, &merges, &leaf_pos, Orientation::Horizontal, Rgb::WHITE);
+        paint_dendrogram_at(
+            &mut full,
+            rx,
+            ry,
+            rw,
+            rh,
+            &merges,
+            &leaf_pos,
+            Orientation::Horizontal,
+            Rgb::WHITE,
+        );
         for (ox, oy) in [(10i64, 20i64), (3, 50), (30, 7)] {
             let mut tile = Framebuffer::new(20, 20);
-            paint_dendrogram_at(&mut tile, rx - ox, ry - oy, rw, rh, &merges, &leaf_pos, Orientation::Horizontal, Rgb::WHITE);
+            paint_dendrogram_at(
+                &mut tile,
+                rx - ox,
+                ry - oy,
+                rw,
+                rh,
+                &merges,
+                &leaf_pos,
+                Orientation::Horizontal,
+                Rgb::WHITE,
+            );
             for y in 0..20i64 {
                 for x in 0..20i64 {
                     assert_eq!(
@@ -308,11 +367,22 @@ mod tests {
             height: 0.0,
         }];
         let mut fb = Framebuffer::new(10, 8);
-        paint_dendrogram(&mut fb, Region::new(0, 0, 10, 8), &merges, &[0, 1], Orientation::Horizontal, Rgb::WHITE);
+        paint_dendrogram(
+            &mut fb,
+            Region::new(0, 0, 10, 8),
+            &merges,
+            &[0, 1],
+            Orientation::Horizontal,
+            Rgb::WHITE,
+        );
         // Everything collapses to the right edge column.
         for x in 0..9 {
             for y in 0..8 {
-                assert_ne!(fb.get(x, y), Some(Rgb::WHITE), "unexpected pixel at {x},{y}");
+                assert_ne!(
+                    fb.get(x, y),
+                    Some(Rgb::WHITE),
+                    "unexpected pixel at {x},{y}"
+                );
             }
         }
         assert!(fb.count_pixels(Rgb::WHITE) > 0);

@@ -133,7 +133,10 @@ impl Framebuffer {
     /// Extract the rectangle `[x, x+w) × [y, y+h)` as a new framebuffer.
     /// The rectangle must lie fully inside the surface.
     pub fn crop(&self, x: usize, y: usize, w: usize, h: usize) -> Framebuffer {
-        assert!(x + w <= self.width && y + h <= self.height, "crop out of bounds");
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "crop out of bounds"
+        );
         let mut out = Framebuffer::new(w, h);
         for yy in 0..h {
             let src_i = ((y + yy) * self.width + x) * 3;
@@ -146,10 +149,7 @@ impl Framebuffer {
     /// Parallel iterator over `(row_index, row_bytes)` for scanline-parallel
     /// painting.
     pub fn par_rows_mut(&mut self) -> impl IndexedParallelIterator<Item = (usize, &mut [u8])> {
-        self.data
-            .par_chunks_exact_mut(self.width * 3)
-            .enumerate()
-            .map(|(y, row)| (y, row))
+        self.data.par_chunks_exact_mut(self.width * 3).enumerate()
     }
 
     /// Write a pixel into a raw row slice obtained from

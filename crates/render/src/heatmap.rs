@@ -11,10 +11,9 @@
 //! data structure (matrix, submatrix view, merged interface) can be painted
 //! without copies.
 
+use crate::color::Rgb;
 use crate::colormap::ExpressionColorMap;
 use crate::framebuffer::Framebuffer;
-use crate::color::Rgb;
-use rayon::prelude::*;
 
 /// A target rectangle within a framebuffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,11 +82,7 @@ pub fn paint_zoom_at<F>(
         return;
     }
     // Skip entirely-offscreen regions early.
-    if x + w as i64 <= 0
-        || y + h as i64 <= 0
-        || x >= fb.width() as i64
-        || y >= fb.height() as i64
-    {
+    if x + w as i64 <= 0 || y + h as i64 <= 0 || x >= fb.width() as i64 || y >= fb.height() as i64 {
         return;
     }
     for r in 0..n_rows {
@@ -100,7 +95,13 @@ pub fn paint_zoom_at<F>(
             let x0 = x + (c * w / n_cols) as i64;
             let x1 = x + ((c + 1) * w / n_cols) as i64;
             let color = map.map_option(src(r, c));
-            fb.fill_rect(x0, y0, (x1 - x0).max(1) as usize, (y1 - y0).max(1) as usize, color);
+            fb.fill_rect(
+                x0,
+                y0,
+                (x1 - x0).max(1) as usize,
+                (y1 - y0).max(1) as usize,
+                color,
+            );
         }
     }
 }
@@ -209,13 +210,7 @@ pub fn paint_global_at<F>(
 /// — ForestView highlights the selected genes' positions in every dataset's
 /// global view this way ("highlight their position in the global view with
 /// a line", Section 2).
-pub fn mark_rows(
-    fb: &mut Framebuffer,
-    region: Region,
-    n_rows: usize,
-    rows: &[usize],
-    color: Rgb,
-) {
+pub fn mark_rows(fb: &mut Framebuffer, region: Region, n_rows: usize, rows: &[usize], color: Rgb) {
     if n_rows == 0 || region.h == 0 {
         return;
     }
@@ -329,8 +324,22 @@ mod tests {
     #[test]
     fn zoom_empty_inputs_noop() {
         let mut fb = Framebuffer::new(4, 4);
-        paint_zoom(&mut fb, Region::new(0, 0, 4, 4), 0, 3, |_, _| Some(1.0), &map());
-        paint_zoom(&mut fb, Region::new(0, 0, 0, 0), 3, 3, |_, _| Some(1.0), &map());
+        paint_zoom(
+            &mut fb,
+            Region::new(0, 0, 4, 4),
+            0,
+            3,
+            |_, _| Some(1.0),
+            &map(),
+        );
+        paint_zoom(
+            &mut fb,
+            Region::new(0, 0, 0, 0),
+            3,
+            3,
+            |_, _| Some(1.0),
+            &map(),
+        );
         assert_eq!(fb.count_pixels(Rgb::BLACK), 16);
     }
 
@@ -367,14 +376,7 @@ mod tests {
     #[test]
     fn global_all_missing_pixel_gray() {
         let mut fb = Framebuffer::new(2, 2);
-        paint_global(
-            &mut fb,
-            Region::new(0, 0, 2, 2),
-            4,
-            4,
-            |_, _| None,
-            &map(),
-        );
+        paint_global(&mut fb, Region::new(0, 0, 2, 2), 4, 4, |_, _| None, &map());
         assert_eq!(fb.count_pixels(Rgb::MISSING_GRAY), 4);
     }
 
@@ -436,7 +438,7 @@ mod tests {
         assert_eq!(pixel_to_row(region, 1000, 20), Some(100));
         assert_eq!(pixel_to_row(region, 1000, 9), None); // above region
         assert_eq!(pixel_to_row(region, 1000, 110), None); // below region
-        // last pixel clamps to last row
+                                                           // last pixel clamps to last row
         assert_eq!(pixel_to_row(region, 50, 109), Some(49));
     }
 

@@ -136,7 +136,7 @@ pub fn encode_bmp(fb: &Framebuffer) -> Vec<u8> {
     out.extend_from_slice(&(file_size as u32).to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // reserved
     out.extend_from_slice(&54u32.to_le_bytes()); // pixel offset
-    // BITMAPINFOHEADER
+                                                 // BITMAPINFOHEADER
     out.extend_from_slice(&40u32.to_le_bytes());
     out.extend_from_slice(&(w as i32).to_le_bytes());
     out.extend_from_slice(&(h as i32).to_le_bytes());
@@ -157,7 +157,7 @@ pub fn encode_bmp(fb: &Framebuffer) -> Vec<u8> {
             out.push(data[i + 1]); // G
             out.push(data[i]); // R
         }
-        out.extend(std::iter::repeat(0u8).take(pad));
+        out.extend(std::iter::repeat_n(0u8, pad));
     }
     out
 }

@@ -116,7 +116,7 @@ proptest! {
         ox in 0i64..20, oy in 0i64..20,
     ) {
         let src = |r: usize, c: usize| {
-            if (r + c) % 7 == 0 { None } else { Some(((r * 13 + c * 5) % 11) as f32 - 5.0) }
+            if (r + c).is_multiple_of(7) { None } else { Some(((r * 13 + c * 5) % 11) as f32 - 5.0) }
         };
         let map = ExpressionColorMap::default();
         let (w, h) = (18usize, 22usize);
@@ -140,10 +140,10 @@ proptest! {
     fn fill_rect_count_matches_clip(x in -10i64..20, y in -10i64..20, w in 0usize..15, h in 0usize..15) {
         let mut fb = Framebuffer::new(12, 12);
         fb.fill_rect(x, y, w, h, Rgb::BLUE);
-        let x0 = x.max(0).min(12) as usize;
-        let y0 = y.max(0).min(12) as usize;
-        let x1 = ((x + w as i64).max(0).min(12)) as usize;
-        let y1 = ((y + h as i64).max(0).min(12)) as usize;
+        let x0 = x.clamp(0, 12) as usize;
+        let y0 = y.clamp(0, 12) as usize;
+        let x1 = (x + w as i64).clamp(0, 12) as usize;
+        let y1 = (y + h as i64).clamp(0, 12) as usize;
         let expect = x1.saturating_sub(x0) * y1.saturating_sub(y0);
         prop_assert_eq!(fb.count_pixels(Rgb::BLUE), expect);
     }

@@ -1,0 +1,250 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no crate registry, so the workspace vendors a
+//! minimal benchmarking harness with criterion's API shape: benchmark
+//! groups, `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Timing is a simple best-of-N wall-clock measurement printed per
+//! benchmark — no statistics, HTML reports, or regression tracking.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, reported alongside the time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing for `iter_batched`; the shim re-runs setup per iteration
+/// regardless of the hint.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(function_id: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Trait unifying `&str` and `BenchmarkId` arguments.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    /// Iterations per sample (tuned by the harness).
+    iters: u64,
+    /// Best observed per-iteration time.
+    best: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the best per-iteration time over the run.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            if dt < self.best {
+                self.best = dt;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup` (setup excluded).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            if dt < self.best {
+                self.best = dt;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion's floor is 10 samples; the shim scales iterations down
+        // aggressively since it reports best-of-N, not distributions.
+        self.samples = (n as u64).clamp(1, 20);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<N: IntoBenchmarkId>(
+        &mut self,
+        id: N,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.samples,
+            best: Duration::MAX,
+        };
+        f(&mut b);
+        self.report(&id.into_id(), b.best);
+        self
+    }
+
+    pub fn bench_with_input<N: IntoBenchmarkId, I: ?Sized>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.samples,
+            best: Duration::MAX,
+        };
+        f(&mut b, input);
+        self.report(&id.into_id(), b.best);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, best: Duration) {
+        let rate = match (self.throughput, best.as_secs_f64()) {
+            (Some(Throughput::Elements(n)), s) if s > 0.0 => {
+                format!("  ({:.3e} elem/s)", n as f64 / s)
+            }
+            (Some(Throughput::Bytes(n)), s) if s > 0.0 => {
+                format!("  ({:.3e} B/s)", n as f64 / s)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: best {best:?}{rate}", self.name);
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

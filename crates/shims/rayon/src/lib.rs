@@ -1,0 +1,189 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! The build environment has no crate registry, so the workspace vendors an
+//! API-compatible subset of rayon's `prelude`. The `par_*` entry points
+//! return **sequential** standard-library iterators: every adapter chain
+//! written against rayon (`map`, `filter_map`, `enumerate`, `for_each`,
+//! `collect`, …) type-checks and produces identical results, just without
+//! work-stealing. Thread-level parallelism in this workspace comes from the
+//! explicit channel pipeline in `fv-wall` (std threads), which this shim
+//! does not touch.
+//!
+//! When a real registry is available, deleting this crate and taking
+//! `rayon` from crates.io restores the parallel implementations without
+//! any source change elsewhere.
+
+pub mod prelude {
+    /// `par_iter` / `par_iter_mut` / `par_chunks_exact_mut` on slices (and,
+    /// via deref, `Vec`).
+    pub trait ParallelSliceExt<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_exact_mut(&mut self, chunk: usize) -> std::slice::ChunksExactMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_exact_mut(&mut self, chunk: usize) -> std::slice::ChunksExactMut<'_, T> {
+            self.chunks_exact_mut(chunk)
+        }
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk)
+        }
+    }
+
+    /// `into_par_iter` on anything iterable (ranges, `Vec`, …).
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// rayon-only adapters grafted onto every sequential iterator so
+    /// `par_iter()` chains keep type-checking.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// rayon's `flat_map_iter` — sequentially identical to `flat_map`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Splitting granularity hint; meaningless sequentially.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Splitting granularity hint; meaningless sequentially.
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+
+    /// Marker for rayon's indexed parallel iterators, usable in
+    /// `impl IndexedParallelIterator<Item = …>` return position. Every
+    /// sequential iterator qualifies in the shim.
+    pub trait IndexedParallelIterator: Iterator {}
+
+    impl<I: Iterator> IndexedParallelIterator for I {}
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never produced by the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Shimmed thread pool: `install` runs the closure on the calling thread.
+pub struct ThreadPool {
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.n_threads
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`'s common calls.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    n_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { n_threads: 0 }
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.n_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n_threads: if self.n_threads == 0 {
+                1
+            } else {
+                self.n_threads
+            },
+        })
+    }
+}
+
+/// `rayon::join` — sequential in the shim.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// `rayon::current_num_threads` — the shim never forks.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chains_match_sequential() {
+        let v = [1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+
+        let mut buf = vec![0u8; 6];
+        buf.par_chunks_exact_mut(2).enumerate().for_each(|(i, c)| {
+            c[0] = i as u8;
+            c[1] = i as u8 + 10;
+        });
+        assert_eq!(buf, vec![0, 10, 1, 11, 2, 12]);
+
+        let flat: Vec<usize> = [1usize, 2].par_iter().flat_map_iter(|&n| 0..n).collect();
+        assert_eq!(flat, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 42), 42);
+    }
+}

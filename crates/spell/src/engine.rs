@@ -404,7 +404,9 @@ mod tests {
         let m = ExprMatrix::from_rows(3, cols, &vals).unwrap();
         e.add_matrix("coherent", &m, vec!["A".into(), "B".into(), "C".into()]);
         // weakly coherent dataset
-        let wv: Vec<f32> = (0..3 * cols).map(|i| ((i * 37 % 19) as f32) - 9.0).collect();
+        let wv: Vec<f32> = (0..3 * cols)
+            .map(|i| ((i * 37 % 19) as f32) - 9.0)
+            .collect();
         let wm = ExprMatrix::from_rows(3, cols, &wv).unwrap();
         e.add_matrix("weak", &wm, vec!["A".into(), "B".into(), "C".into()]);
         e.finalize();

@@ -118,7 +118,9 @@ impl PreparedDataset {
 
     /// Row index of a gene id (linear scan; engines keep their own maps).
     pub fn find_gene(&self, id: &str) -> Option<usize> {
-        self.gene_ids.iter().position(|g| g.eq_ignore_ascii_case(id))
+        self.gene_ids
+            .iter()
+            .position(|g| g.eq_ignore_ascii_case(id))
     }
 }
 
@@ -153,7 +155,11 @@ mod tests {
         let a: Vec<f32> = (0..6).map(|c| m.get(0, c).unwrap()).collect();
         let b: Vec<f32> = (0..6).map(|c| m.get(1, c).unwrap()).collect();
         let exact = fv_expr::stats::pearson_dense(&a, &b).unwrap() as f32;
-        assert!((p.corr(0, 1) - exact).abs() < 1e-4, "{} vs {exact}", p.corr(0, 1));
+        assert!(
+            (p.corr(0, 1) - exact).abs() < 1e-4,
+            "{} vs {exact}",
+            p.corr(0, 1)
+        );
     }
 
     #[test]

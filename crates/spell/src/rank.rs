@@ -168,10 +168,7 @@ mod tests {
 
     #[test]
     fn combine_weighted_mean() {
-        let per = vec![
-            vec![Some(1.0), Some(0.0)],
-            vec![Some(0.0), Some(1.0)],
-        ];
+        let per = vec![vec![Some(1.0), Some(0.0)], vec![Some(0.0), Some(1.0)]];
         let names = vec!["A".to_string(), "B".to_string()];
         let ranked = combine_rankings(&per, &[3.0, 1.0], &names, &[false, false]);
         // A: (3*1 + 1*0)/4 = 0.75 ; B: (3*0 + 1*1)/4 = 0.25

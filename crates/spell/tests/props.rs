@@ -48,7 +48,7 @@ proptest! {
         let c1 = p.corr(a, b);
         let c2 = p.corr(b, a);
         prop_assert!((c1 - c2).abs() < 1e-6);
-        prop_assert!(c1 >= -1.0 - 1e-4 && c1 <= 1.0 + 1e-4, "corr {c1} out of range");
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c1), "corr {c1} out of range");
         if p.is_valid(a) {
             prop_assert!((p.corr(a, a) - 1.0).abs() < 1e-4);
         }
@@ -68,7 +68,7 @@ proptest! {
         let scores = dataset_gene_scores(&p, &rows);
         prop_assert_eq!(scores.len(), p.n_genes());
         for s in scores.into_iter().flatten() {
-            prop_assert!(s >= -1.0 - 1e-3 && s <= 1.0 + 1e-3, "score {s} out of range");
+            prop_assert!((-1.0 - 1e-3..=1.0 + 1e-3).contains(&s), "score {s} out of range");
         }
     }
 

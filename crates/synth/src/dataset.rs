@@ -179,7 +179,14 @@ pub fn stress_dataset(name: &str, truth: &GroundTruth, cfg: &GenConfig) -> Datas
 /// dilution rates; slower growth means stronger ESR, and two nutrients
 /// additionally drive their matching specific modules.
 pub fn nutrient_limitation_dataset(name: &str, truth: &GroundTruth, cfg: &GenConfig) -> Dataset {
-    const NUTRIENTS: [&str; 6] = ["glucose", "nitrogen", "phosphate", "sulfur", "leucine", "uracil"];
+    const NUTRIENTS: [&str; 6] = [
+        "glucose",
+        "nitrogen",
+        "phosphate",
+        "sulfur",
+        "leucine",
+        "uracil",
+    ];
     const DILUTIONS: [f32; 4] = [0.05, 0.1, 0.2, 0.3];
     let n_mod = truth.modules.len();
     let nitrogen_m = specific_module(truth, "nitrogen");
@@ -311,7 +318,15 @@ mod tests {
     #[test]
     fn esr_genes_induced_under_stress() {
         let t = truth();
-        let ds = stress_dataset("stress", &t, &GenConfig { noise_sd: 0.1, missing_fraction: 0.0, seed: 3 });
+        let ds = stress_dataset(
+            "stress",
+            &t,
+            &GenConfig {
+                noise_sd: 0.1,
+                missing_fraction: 0.0,
+                seed: 3,
+            },
+        );
         let rows = find_rows(&ds, t.esr_induced());
         // At the strongest time point (30 min heat = column 3) ESR genes sit
         // well above zero on average.
@@ -334,7 +349,15 @@ mod tests {
     #[test]
     fn module_genes_correlate_within_dataset() {
         let t = truth();
-        let ds = stress_dataset("s", &t, &GenConfig { noise_sd: 0.2, missing_fraction: 0.0, seed: 4 });
+        let ds = stress_dataset(
+            "s",
+            &t,
+            &GenConfig {
+                noise_sd: 0.2,
+                missing_fraction: 0.0,
+                seed: 4,
+            },
+        );
         let rows = find_rows(&ds, &t.esr_induced()[..6]);
         let mut corrs = Vec::new();
         for i in 0..rows.len() - 1 {
@@ -351,8 +374,22 @@ mod tests {
     #[test]
     fn rows_are_shuffled_per_dataset() {
         let t = truth();
-        let a = stress_dataset("a", &t, &GenConfig { seed: 1, ..GenConfig::default() });
-        let b = stress_dataset("b", &t, &GenConfig { seed: 2, ..GenConfig::default() });
+        let a = stress_dataset(
+            "a",
+            &t,
+            &GenConfig {
+                seed: 1,
+                ..GenConfig::default()
+            },
+        );
+        let b = stress_dataset(
+            "b",
+            &t,
+            &GenConfig {
+                seed: 2,
+                ..GenConfig::default()
+            },
+        );
         let ids_a: Vec<&str> = a.genes.iter().take(20).map(|g| g.id.as_str()).collect();
         let ids_b: Vec<&str> = b.genes.iter().take(20).map(|g| g.id.as_str()).collect();
         assert_ne!(ids_a, ids_b, "row orders should differ between datasets");
@@ -361,19 +398,45 @@ mod tests {
     #[test]
     fn nutrient_dataset_slow_growth_activates_esr() {
         let t = truth();
-        let ds = nutrient_limitation_dataset("nl", &t, &GenConfig { noise_sd: 0.1, missing_fraction: 0.0, seed: 5 });
+        let ds = nutrient_limitation_dataset(
+            "nl",
+            &t,
+            &GenConfig {
+                noise_sd: 0.1,
+                missing_fraction: 0.0,
+                seed: 5,
+            },
+        );
         assert_eq!(ds.n_conditions(), 24);
         let rows = find_rows(&ds, &t.esr_induced()[..10]);
         // column 0 = glucose D=0.05 (slow, stressed); column 3 = D=0.3 (fast)
-        let slow: f64 = rows.iter().map(|&r| ds.matrix.get(r, 0).unwrap() as f64).sum::<f64>() / 10.0;
-        let fast: f64 = rows.iter().map(|&r| ds.matrix.get(r, 3).unwrap() as f64).sum::<f64>() / 10.0;
+        let slow: f64 = rows
+            .iter()
+            .map(|&r| ds.matrix.get(r, 0).unwrap() as f64)
+            .sum::<f64>()
+            / 10.0;
+        let fast: f64 = rows
+            .iter()
+            .map(|&r| ds.matrix.get(r, 3).unwrap() as f64)
+            .sum::<f64>()
+            / 10.0;
         assert!(slow > fast + 1.0, "slow {slow} vs fast {fast}");
     }
 
     #[test]
     fn knockout_collapses_module() {
         let t = truth();
-        let ds = knockout_dataset("ko", &t, 40, 0.0, &GenConfig { noise_sd: 0.1, missing_fraction: 0.0, seed: 6 });
+        let ds = knockout_dataset(
+            "ko",
+            &t,
+            40,
+            0.0,
+            &GenConfig {
+                noise_sd: 0.1,
+                missing_fraction: 0.0,
+                seed: 6,
+            },
+        );
         assert_eq!(ds.n_conditions(), 40);
         // Find a knockout column that names an ESR-induced member; its
         // module-mates should be negative there.
@@ -385,7 +448,11 @@ mod tests {
         });
         if let Some(c) = col {
             let rows = find_rows(&ds, &t.esr_induced()[..10]);
-            let mean: f64 = rows.iter().map(|&r| ds.matrix.get(r, c).unwrap() as f64).sum::<f64>() / 10.0;
+            let mean: f64 = rows
+                .iter()
+                .map(|&r| ds.matrix.get(r, c).unwrap() as f64)
+                .sum::<f64>()
+                / 10.0;
             assert!(mean < -1.0, "collapsed module mean {mean}");
         } else {
             panic!("no ESR knockout generated");
@@ -395,7 +462,17 @@ mod tests {
     #[test]
     fn slow_growers_show_stress_signature() {
         let t = truth();
-        let ds = knockout_dataset("ko", &t, 60, 1.0, &GenConfig { noise_sd: 0.1, missing_fraction: 0.0, seed: 7 });
+        let ds = knockout_dataset(
+            "ko",
+            &t,
+            60,
+            1.0,
+            &GenConfig {
+                noise_sd: 0.1,
+                missing_fraction: 0.0,
+                seed: 7,
+            },
+        );
         let rows = find_rows(&ds, &t.esr_induced()[..10]);
         // with every knockout a slow grower, ESR genes average positive
         let mut total = 0.0f64;
@@ -414,7 +491,16 @@ mod tests {
     #[test]
     fn missing_fraction_respected() {
         let t = truth();
-        let ds = generic_dataset("g", &t, 30, &GenConfig { noise_sd: 0.3, missing_fraction: 0.1, seed: 8 });
+        let ds = generic_dataset(
+            "g",
+            &t,
+            30,
+            &GenConfig {
+                noise_sd: 0.3,
+                missing_fraction: 0.1,
+                seed: 8,
+            },
+        );
         let frac = ds.matrix.missing_fraction();
         assert!((frac - 0.1).abs() < 0.02, "missing fraction {frac}");
     }

@@ -10,23 +10,20 @@ pub fn orf_name(i: usize) -> String {
     const CHROMS: [char; 16] = [
         'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P',
     ];
-    let strand = if i % 2 == 0 { 'W' } else { 'C' };
-    let arm = if (i / 2) % 2 == 0 { 'L' } else { 'R' };
+    let strand = if i.is_multiple_of(2) { 'W' } else { 'C' };
+    let arm = if (i / 2).is_multiple_of(2) { 'L' } else { 'R' };
     let chrom = CHROMS[(i / 4) % 16];
-    let num = (i / 128) + 1 + (i % 128) * 0; // stable 3+ digit block per 128 genes
-    let idx = (i % 128) + 1 + num * 0;
     // Combine blocks so names stay unique for large i: the numeric field
     // carries both the within-block index and the block number.
     let numeric = (i / (16 * 4)) * 128 + (i % 128) + 1;
-    let _ = (num, idx);
     format!("Y{chrom}{arm}{numeric:03}{strand}")
 }
 
 /// Common (gene-symbol) name for gene index `i`.
 pub fn common_name(i: usize) -> String {
     const PREFIXES: [&str; 24] = [
-        "HSP", "SSA", "RPL", "RPS", "CTT", "TPS", "GPD", "ENO", "PGK", "ADH", "CYC", "COX",
-        "ATP", "PMA", "SNF", "GAL", "MIG", "TUP", "MSN", "YAP", "SOD", "TRX", "GRX", "PHO",
+        "HSP", "SSA", "RPL", "RPS", "CTT", "TPS", "GPD", "ENO", "PGK", "ADH", "CYC", "COX", "ATP",
+        "PMA", "SNF", "GAL", "MIG", "TUP", "MSN", "YAP", "SOD", "TRX", "GRX", "PHO",
     ];
     format!("{}{}", PREFIXES[i % PREFIXES.len()], i / PREFIXES.len() + 1)
 }

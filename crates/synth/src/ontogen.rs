@@ -45,7 +45,11 @@ pub fn generate_ontology(truth: &GroundTruth, n_filler: usize, seed: u64) -> Gen
     };
 
     let root = b
-        .add_term(Term::new(acc(&mut next_acc), "biological_process", Namespace::BiologicalProcess))
+        .add_term(Term::new(
+            acc(&mut next_acc),
+            "biological_process",
+            Namespace::BiologicalProcess,
+        ))
         .unwrap();
     const CATEGORIES: [&str; 5] = [
         "response to stimulus",
@@ -58,7 +62,11 @@ pub fn generate_ontology(truth: &GroundTruth, n_filler: usize, seed: u64) -> Gen
         .iter()
         .map(|name| {
             let t = b
-                .add_term(Term::new(acc(&mut next_acc), *name, Namespace::BiologicalProcess))
+                .add_term(Term::new(
+                    acc(&mut next_acc),
+                    *name,
+                    Namespace::BiologicalProcess,
+                ))
                 .unwrap();
             b.add_edge(t, root, RelType::IsA);
             t
@@ -104,7 +112,11 @@ pub fn generate_ontology(truth: &GroundTruth, n_filler: usize, seed: u64) -> Gen
         .iter()
         .map(|m| {
             let t = b
-                .add_term(Term::new(acc(&mut next_acc), m.name.clone(), Namespace::BiologicalProcess))
+                .add_term(Term::new(
+                    acc(&mut next_acc),
+                    m.name.clone(),
+                    Namespace::BiologicalProcess,
+                ))
                 .unwrap();
             b.add_edge(t, stimulus, RelType::IsA);
             t
@@ -206,16 +218,19 @@ mod tests {
         let (truth, o) = setup();
         let prop = o.annotations.propagate(&o.dag);
         let m = &truth.modules[2];
-        let genes: Vec<String> = m.genes.iter().take(15).map(|&g| names::orf_name(g)).collect();
+        let genes: Vec<String> = m
+            .genes
+            .iter()
+            .take(15)
+            .map(|&g| names::orf_name(g))
+            .collect();
         let refs: Vec<&str> = genes.iter().map(|s| s.as_str()).collect();
-        let res = fv_golem::enrich(
-            &o.dag,
-            &prop,
-            &refs,
-            &fv_golem::EnrichmentConfig::default(),
-        );
+        let res = fv_golem::enrich(&o.dag, &prop, &refs, &fv_golem::EnrichmentConfig::default());
         assert!(!res.is_empty());
-        assert_eq!(res[0].term, o.module_terms[2], "module term should top the list");
+        assert_eq!(
+            res[0].term, o.module_terms[2],
+            "module term should top the list"
+        );
         assert!(res[0].p_bonferroni < 1e-10);
     }
 }

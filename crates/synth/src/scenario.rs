@@ -107,7 +107,10 @@ mod tests {
     fn case_study_preset_names() {
         let s = Scenario::case_study(300, 5);
         let names: Vec<&str> = s.datasets.iter().map(|d| d.name.as_str()).collect();
-        assert_eq!(names, vec!["gasch_stress", "brauer_nutrient", "hughes_knockout"]);
+        assert_eq!(
+            names,
+            vec!["gasch_stress", "brauer_nutrient", "hughes_knockout"]
+        );
     }
 
     #[test]

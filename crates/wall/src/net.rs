@@ -46,16 +46,21 @@ impl NetworkModel {
     /// assuming the per-tile links run in parallel across `parallel_links`
     /// (display nodes each have their own NIC; the sender serializes onto
     /// `parallel_links` independent paths round-robin).
-    pub fn frame_time(&self, n_messages: usize, total_bytes: usize, parallel_links: usize) -> Duration {
+    pub fn frame_time(
+        &self,
+        n_messages: usize,
+        total_bytes: usize,
+        parallel_links: usize,
+    ) -> Duration {
         if n_messages == 0 {
             return Duration::ZERO;
         }
         let links = parallel_links.max(1).min(n_messages);
         let msgs_per_link = n_messages.div_ceil(links);
         let bytes_per_link = total_bytes.div_ceil(links);
-        let per_link = self.latency * msgs_per_link as u32
-            + Duration::from_secs_f64(bytes_per_link as f64 / self.bandwidth_bps);
-        per_link
+
+        self.latency * msgs_per_link as u32
+            + Duration::from_secs_f64(bytes_per_link as f64 / self.bandwidth_bps)
     }
 }
 

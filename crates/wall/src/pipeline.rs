@@ -15,11 +15,7 @@ use std::time::Instant;
 
 /// Render a full wall frame through an `n_workers`-thread tile pipeline.
 /// Returns the composited wall image and frame stats.
-pub fn render_pipeline<F>(
-    grid: TileGrid,
-    n_workers: usize,
-    paint: F,
-) -> (Framebuffer, FrameStats)
+pub fn render_pipeline<F>(grid: TileGrid, n_workers: usize, paint: F) -> (Framebuffer, FrameStats)
 where
     F: Fn(&mut Framebuffer, crate::tile::Viewport) + Sync,
 {

@@ -47,13 +47,10 @@ impl WallRenderer {
     {
         let start = Instant::now();
         let grid = self.grid;
-        self.tiles
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(i, fb)| {
-                let vp = grid.tile_viewport_linear(i);
-                paint(fb, vp);
-            });
+        self.tiles.par_iter_mut().enumerate().for_each(|(i, fb)| {
+            let vp = grid.tile_viewport_linear(i);
+            paint(fb, vp);
+        });
         let pixels = grid.total_pixels();
         FrameStats {
             tiles_rendered: grid.n_tiles(),
@@ -179,7 +176,12 @@ mod tests {
         let mut r = WallRenderer::new(grid);
         r.render_frame(coordinate_paint);
         // Dirty rect inside tile (1,1) only.
-        let dirty = vec![Viewport { x: 12, y: 12, w: 3, h: 3 }];
+        let dirty = vec![Viewport {
+            x: 12,
+            y: 12,
+            w: 3,
+            h: 3,
+        }];
         let stats = r.render_damage(&dirty, coordinate_paint);
         assert_eq!(stats.tiles_rendered, 1);
         assert_eq!(stats.pixels_rendered, 100);
@@ -190,7 +192,12 @@ mod tests {
         let grid = TileGrid::new(4, 4, 10, 10);
         let mut r = WallRenderer::new(grid);
         // Rect crossing the vertical boundary between tiles (0,0) and (1,0).
-        let dirty = vec![Viewport { x: 8, y: 2, w: 4, h: 4 }];
+        let dirty = vec![Viewport {
+            x: 8,
+            y: 2,
+            w: 4,
+            h: 4,
+        }];
         let stats = r.render_damage(&dirty, coordinate_paint);
         assert_eq!(stats.tiles_rendered, 2);
     }
@@ -208,7 +215,12 @@ mod tests {
         let grid = TileGrid::new(2, 1, 8, 8);
         let mut r = WallRenderer::new(grid);
         r.render_frame(|fb, _| fb.clear(Rgb::BLACK));
-        let dirty = vec![Viewport { x: 0, y: 0, w: 1, h: 1 }];
+        let dirty = vec![Viewport {
+            x: 0,
+            y: 0,
+            w: 1,
+            h: 1,
+        }];
         r.render_damage(&dirty, |fb, _| fb.clear(Rgb::RED));
         // tile 0 repainted red, tile 1 untouched black
         assert_eq!(r.tile(0).get(0, 0), Some(Rgb::RED));

@@ -181,13 +181,36 @@ mod tests {
 
     #[test]
     fn viewport_contains_and_intersect() {
-        let a = Viewport { x: 0, y: 0, w: 10, h: 10 };
-        let b = Viewport { x: 5, y: 5, w: 10, h: 10 };
+        let a = Viewport {
+            x: 0,
+            y: 0,
+            w: 10,
+            h: 10,
+        };
+        let b = Viewport {
+            x: 5,
+            y: 5,
+            w: 10,
+            h: 10,
+        };
         assert!(a.contains(9, 9));
         assert!(!a.contains(10, 9));
         let i = a.intersect(&b).unwrap();
-        assert_eq!(i, Viewport { x: 5, y: 5, w: 5, h: 5 });
-        let c = Viewport { x: 20, y: 20, w: 3, h: 3 };
+        assert_eq!(
+            i,
+            Viewport {
+                x: 5,
+                y: 5,
+                w: 5,
+                h: 5
+            }
+        );
+        let c = Viewport {
+            x: 20,
+            y: 20,
+            w: 3,
+            h: 3,
+        };
         assert!(a.intersect(&c).is_none());
     }
 

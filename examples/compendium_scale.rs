@@ -27,7 +27,10 @@ fn run(spec: &CompendiumSpec) {
     engine.finalize();
     let index_time = t1.elapsed();
 
-    let query: Vec<String> = truth.esr_induced()[..8].iter().map(|&g| orf_name(g)).collect();
+    let query: Vec<String> = truth.esr_induced()[..8]
+        .iter()
+        .map(|&g| orf_name(g))
+        .collect();
     let refs: Vec<&str> = query.iter().map(|s| s.as_str()).collect();
     let t2 = Instant::now();
     let result = engine.query(&refs);
@@ -59,9 +62,24 @@ fn main() {
         ..CompendiumSpec::default()
     };
     // Sweep: datasets × genes × conditions.
-    run(&CompendiumSpec { n_genes: 2000, n_datasets: 10, conds_per_dataset: 40, ..base });
-    run(&CompendiumSpec { n_genes: 6000, n_datasets: 20, conds_per_dataset: 60, ..base });
-    run(&CompendiumSpec { n_genes: 6000, n_datasets: 40, conds_per_dataset: 80, ..base });
+    run(&CompendiumSpec {
+        n_genes: 2000,
+        n_datasets: 10,
+        conds_per_dataset: 40,
+        ..base
+    });
+    run(&CompendiumSpec {
+        n_genes: 6000,
+        n_datasets: 20,
+        conds_per_dataset: 60,
+        ..base
+    });
+    run(&CompendiumSpec {
+        n_genes: 6000,
+        n_datasets: 40,
+        conds_per_dataset: 80,
+        ..base
+    });
 
     if full {
         // 50 datasets × 20 000 genes × 250 conditions = 2.5e8 cells — the

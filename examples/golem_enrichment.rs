@@ -54,7 +54,10 @@ fn main() {
     );
 
     println!("top enriched terms:");
-    println!("{:<34} {:>5} {:>6} {:>10} {:>10} {:>10}", "term", "k", "K", "p", "bonf", "q");
+    println!(
+        "{:<34} {:>5} {:>6} {:>10} {:>10} {:>10}",
+        "term", "k", "K", "p", "bonf", "q"
+    );
     for r in results.iter().take(8) {
         println!(
             "{:<34} {:>5} {:>6} {:>10.2e} {:>10.2e} {:>10.2e}",

@@ -2,24 +2,27 @@
 //! other microarray analysis and visualization tools, GOLEM (upper right)
 //! and SPELL (lower right)."
 //!
-//! Runs the full integrated pipeline: seed a selection, SPELL-search the
-//! compendium, reorder the panes by dataset relevance, pull the top genes
-//! into the selection, enrich the result against the ontology with GOLEM,
-//! and compose the tri-panel figure.
+//! Ported to the `fv-api` protocol: every session interaction — loading
+//! the scenario, clustering, seeding the selection, the SPELL search, the
+//! relevance reordering, the expanded selection, and the GOLEM enrichment
+//! — is a typed [`fv_api::Request`] executed by an [`fv_api::Engine`], so
+//! the whole workflow below could equally arrive as a `fvtool script`
+//! file or over a future network transport. Only the tri-panel figure
+//! composition at the end touches the view layer directly.
 //!
 //! Run with `cargo run --release --example integrated_session [n_genes]`.
 
-use forestview::integrate::AnalysisSuite;
+use forestview::command::Command;
 use forestview::renderer::{compose_figure6, render_desktop, render_golem_map, render_spell_panel};
-use forestview::selection::SelectionOrigin;
-use forestview::Session;
 use forestview_repro::artifact_dir;
-use fv_golem::EnrichmentConfig;
+use fv_api::{Engine, Mutation, Query, Request, Response};
+use fv_golem::{enrich, EnrichmentConfig};
 use fv_render::image::write_ppm;
-use fv_spell::SpellConfig;
 use fv_synth::names::orf_name;
 use fv_synth::ontogen::generate_ontology;
 use fv_synth::scenario::Scenario;
+
+const SEED: u64 = 2007;
 
 fn main() {
     let n_genes: usize = std::env::args()
@@ -27,55 +30,132 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1500);
 
-    // Session over the three-dataset scenario.
-    let scenario = Scenario::three_datasets(n_genes, 2007);
-    let truth = scenario.truth.clone();
-    let mut session = Session::new();
-    for ds in scenario.datasets {
-        session.load_dataset(ds).expect("unique names");
-    }
-    session.cluster_all();
-
-    // Analysis suite: SPELL index over the session + generated ontology.
-    let onto = generate_ontology(&truth, 1200, 2007);
-    let prop = onto.annotations.propagate(&onto.dag);
-    let suite = AnalysisSuite::build(&session, SpellConfig::default(), onto.dag, prop);
+    // The engine owns the session; the scenario and ontology are seeded,
+    // so a locally regenerated copy of the ground truth names the same
+    // genes the engine's datasets contain.
+    let truth = Scenario::three_datasets(n_genes, SEED).truth.clone();
+    let mut engine = Engine::with_scene(900, 700);
+    let run =
+        |engine: &mut Engine, request: Request| engine.execute(&request).expect("request failed");
+    run(
+        &mut engine,
+        Mutation::LoadScenario {
+            n_genes,
+            seed: SEED,
+        }
+        .into(),
+    );
+    run(
+        &mut engine,
+        Mutation::BuildOntology {
+            n_filler: 1200,
+            seed: SEED,
+        }
+        .into(),
+    );
+    run(&mut engine, Command::ClusterAll.into());
 
     // Seed the workflow with six ESR genes, as a biologist would paste in.
-    let seed: Vec<String> = truth.esr_induced()[..6].iter().map(|&g| orf_name(g)).collect();
-    let refs: Vec<&str> = seed.iter().map(|s| s.as_str()).collect();
-    session.select_genes(&refs, SelectionOrigin::List);
-    println!("seeded selection with {:?}...", &seed[..3]);
+    let seed_genes: Vec<String> = truth.esr_induced()[..6]
+        .iter()
+        .map(|&g| orf_name(g))
+        .collect();
+    run(&mut engine, Command::SelectGenes(seed_genes.clone()).into());
+    println!("seeded selection with {:?}...", &seed_genes[..3]);
 
-    // The integrated pipeline (SPELL → pane order → selection → GOLEM).
-    let out = suite
-        .integrated_analysis(&mut session, 20, &EnrichmentConfig::default(), 2)
-        .expect("selection present");
+    // SPELL over the compendium (pure query)...
+    let Response::SpellRanking {
+        datasets,
+        genes,
+        query_missing,
+    } = run(
+        &mut engine,
+        Query::Spell {
+            genes: seed_genes.clone(),
+            top_n: 20,
+        }
+        .into(),
+    )
+    else {
+        unreachable!("spell query returns a ranking")
+    };
+
+    // ...drives the pane order (relevance scores, one per dataset) and the
+    // expanded selection (query + top hits), exactly the paper's
+    // SPELL → ForestView flow — but expressed as replayable requests.
+    let mut scores = vec![0.0f32; 3];
+    for row in &datasets {
+        if let Some(d) = engine.session().merged().index_of(&row.name) {
+            scores[d] = row.weight;
+        }
+    }
+    run(&mut engine, Command::OrderByRelevance(scores).into());
+    let mut selected = seed_genes.clone();
+    selected.extend(genes.iter().map(|g| g.gene.clone()));
+    run(&mut engine, Command::SelectGenes(selected).into());
 
     println!("\nSPELL dataset order:");
-    for d in out.spell.datasets.iter().take(5) {
+    for d in datasets.iter().take(5) {
         println!("  {:<24} weight {:.3}", d.name, d.weight);
     }
+
+    // GOLEM enrichment of the expanded selection, through the API.
+    let Response::Enrichment { rows } = run(
+        &mut engine,
+        Query::Enrich {
+            genes: None,
+            max_terms: 10,
+        }
+        .into(),
+    ) else {
+        unreachable!("enrich query returns a table")
+    };
     println!("\nGOLEM top terms for the expanded selection:");
-    for r in out.enrichment.iter().take(5) {
-        println!(
-            "  {:<40} p={:.2e} q={:.2e}",
-            suite.ontology.term(r.term).name,
-            r.p_value,
-            r.q_value
-        );
+    for r in rows.iter().take(5) {
+        println!("  {:<40} p={:.2e} q={:.2e}", r.name, r.p_value, r.q_value);
     }
 
-    // Compose the tri-panel artifact.
-    let left = render_desktop(&session, 900, 700);
-    let spell_panel = render_spell_panel(&out.spell, 440, 350);
-    let golem_panel = match &out.map {
-        Some((map, layout)) => render_golem_map(map, layout, &suite.ontology, 440, 350),
+    // ── view layer: compose the tri-panel artifact ──────────────────────
+    // The figure needs the ontology DAG and full enrichment statistics;
+    // both are deterministic functions of the seed, so regenerate them.
+    let onto = generate_ontology(&truth, 1200, SEED);
+    let prop = onto.annotations.propagate(&onto.dag);
+    let sel_names: Vec<String> = engine
+        .session()
+        .selection()
+        .expect("selection present")
+        .genes()
+        .iter()
+        .map(|&g| engine.session().merged().universe().name(g).to_string())
+        .collect();
+    let refs: Vec<&str> = sel_names.iter().map(|s| s.as_str()).collect();
+    let enrichment = enrich(&onto.dag, &prop, &refs, &EnrichmentConfig::default());
+
+    let left = render_desktop(engine.session(), 900, 700);
+    let spell_result =
+        fv_api::response::spell_result_from_rows(&datasets, &genes, &seed_genes, query_missing);
+    let spell_panel = render_spell_panel(&spell_result, 440, 350);
+    let golem_panel = match enrichment.first() {
+        Some(top) => {
+            let map = fv_golem::map::build_local_map(&onto.dag, top.term, 2, &enrichment);
+            let layout = fv_golem::layout::layout_map(&map, 2);
+            render_golem_map(&map, &layout, &onto.dag, 440, 350)
+        }
         None => fv_render::Framebuffer::new(440, 350),
     };
     let fig6 = compose_figure6(&left, &golem_panel, &spell_panel);
     let path = artifact_dir().join("fig6_integrated.ppm");
     write_ppm(&fig6, &path).expect("artifact");
-    println!("\nwrote {} ({}x{})", path.display(), fig6.width(), fig6.height());
-    print!("\n{}", forestview::export::session_summary(&session));
+    println!(
+        "\nwrote {} ({}x{})",
+        path.display(),
+        fig6.width(),
+        fig6.height()
+    );
+
+    // Close with the session summary, through the API like everything else.
+    let Response::SessionInfo(info) = run(&mut engine, Query::SessionInfo.into()) else {
+        unreachable!("session_info returns a summary")
+    };
+    print!("\n{}", info.summary);
 }

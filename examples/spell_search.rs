@@ -1,22 +1,26 @@
 //! Figure 4 reproduction: a SPELL search over a compendium.
 //!
-//! Builds a compendium of datasets over a shared universe with a planted
-//! stress-response module, queries SPELL with a handful of module genes,
-//! and prints the two ordered lists the web interface of Figure 4 shows —
-//! datasets by relevance and genes by weighted correlation — plus the
-//! planted-truth recovery metrics the reproduction uses for verification.
+//! Ported to the `fv-api` protocol: the compendium is loaded with a
+//! `compendium` mutation and queried with a `spell` query through an
+//! [`fv_api::Engine`] — the same requests a `fvtool script` file or a
+//! remote client would send. Printed are the two ordered lists the web
+//! interface of Figure 4 shows — datasets by relevance and genes by
+//! weighted correlation — plus the planted-truth recovery metrics the
+//! reproduction uses for verification.
 //!
 //! Run with `cargo run --release --example spell_search [n_datasets] [n_genes]`.
 
 use forestview::renderer::render_spell_panel;
 use forestview_repro::artifact_dir;
+use fv_api::{Engine, Mutation, Query, Request, Response};
 use fv_render::image::write_ppm;
 use fv_spell::eval::{average_precision, precision_at_k};
-use fv_spell::{SpellConfig, SpellEngine};
 use fv_synth::names::orf_name;
 use fv_synth::scenario::Scenario;
 use std::collections::HashSet;
 use std::time::Instant;
+
+const SEED: u64 = 42;
 
 fn main() {
     let n_datasets: usize = std::env::args()
@@ -29,32 +33,54 @@ fn main() {
         .unwrap_or(2000);
 
     println!("building compendium: {n_datasets} datasets x {n_genes} genes...");
-    let scenario = Scenario::spell_compendium(n_genes, n_datasets, 42);
+    let mut engine = Engine::new();
     let t0 = Instant::now();
-    let mut engine = SpellEngine::new(SpellConfig::default());
-    for ds in &scenario.datasets {
-        engine.add_dataset(ds);
-    }
-    engine.finalize();
+    engine
+        .execute(&Request::from(Mutation::LoadCompendium {
+            n_genes,
+            n_datasets,
+            seed: SEED,
+        }))
+        .expect("compendium loads");
+    let Response::SessionInfo(info) = engine
+        .execute(&Request::from(Query::SessionInfo))
+        .expect("session_info")
+    else {
+        unreachable!("session_info returns a summary")
+    };
     println!(
-        "indexed {} measurements in {:?}",
-        engine.total_measurements(),
+        "loaded {} measurements in {:?} (SPELL index builds lazily on first query)",
+        info.total_measurements,
         t0.elapsed()
     );
 
-    // Query: 8 genes from the planted ESR module.
-    let query: Vec<String> = scenario.truth.esr_induced()[..8]
+    // Query: 8 genes from the planted ESR module. The scenario is seeded,
+    // so regenerating it locally names the same planted genes the engine's
+    // datasets contain.
+    let truth = Scenario::spell_compendium(n_genes, n_datasets, SEED).truth;
+    let query: Vec<String> = truth.esr_induced()[..8]
         .iter()
         .map(|&g| orf_name(g))
         .collect();
-    let refs: Vec<&str> = query.iter().map(|s| s.as_str()).collect();
     let t1 = Instant::now();
-    let result = engine.query(&refs);
+    let Response::SpellRanking {
+        datasets,
+        genes,
+        query_missing,
+    } = engine
+        .execute(&Request::from(Query::Spell {
+            genes: query.clone(),
+            top_n: usize::MAX,
+        }))
+        .expect("spell query")
+    else {
+        unreachable!("spell returns a ranking")
+    };
     let latency = t1.elapsed();
     println!("query {:?} answered in {latency:?}", &query[..3]);
 
     println!("\ndatasets by relevance (top 10):");
-    for d in result.datasets.iter().take(10) {
+    for d in datasets.iter().take(10) {
         println!(
             "  {:<24} weight {:.3}  ({} query genes present)",
             d.name, d.weight, d.query_genes_present
@@ -62,14 +88,13 @@ fn main() {
     }
 
     println!("\ntop 15 genes (excluding query):");
-    let esr: HashSet<String> = scenario
-        .truth
-        .esr_induced()
-        .iter()
-        .map(|&g| orf_name(g))
-        .collect();
-    for g in result.top_new_genes(15) {
-        let marker = if esr.contains(&g.gene) { "ESR*" } else { "    " };
+    let esr: HashSet<String> = truth.esr_induced().iter().map(|&g| orf_name(g)).collect();
+    for g in genes.iter().take(15) {
+        let marker = if esr.contains(&g.gene) {
+            "ESR*"
+        } else {
+            "    "
+        };
         println!(
             "  {marker} {:<10} score {:.3} over {} datasets",
             g.gene, g.score, g.n_datasets
@@ -77,12 +102,7 @@ fn main() {
     }
 
     // Recovery metrics against the planted truth.
-    let ranked: Vec<String> = result
-        .top_new_genes(usize::MAX)
-        .iter()
-        .map(|g| g.gene.clone())
-        .collect();
-    let ranked_refs: Vec<&str> = ranked.iter().map(|s| s.as_str()).collect();
+    let ranked: Vec<&str> = genes.iter().map(|g| g.gene.as_str()).collect();
     let truth_set: HashSet<&str> = esr
         .iter()
         .filter(|g| !query.contains(g))
@@ -90,12 +110,15 @@ fn main() {
         .collect();
     println!(
         "\nplanted-module recovery: P@10 {:.2}  P@25 {:.2}  AP {:.3}  ({} members hidden)",
-        precision_at_k(&ranked_refs, &truth_set, 10),
-        precision_at_k(&ranked_refs, &truth_set, 25),
-        average_precision(&ranked_refs, &truth_set),
+        precision_at_k(&ranked, &truth_set, 10),
+        precision_at_k(&ranked, &truth_set, 25),
+        average_precision(&ranked, &truth_set),
         truth_set.len(),
     );
 
+    // View layer: the Figure-4 panel consumes the classic SpellResult
+    // shape; rebuild it from the protocol rows.
+    let result = fv_api::response::spell_result_from_rows(&datasets, &genes, &query, query_missing);
     let panel = render_spell_panel(&result, 480, 360);
     let path = artifact_dir().join("fig4_spell_panel.ppm");
     write_ppm(&panel, &path).expect("artifact");

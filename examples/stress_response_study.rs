@@ -59,7 +59,10 @@ fn main() {
     // clustering has gathered correlated genes together.
     let anchor = orf_name(truth.esr_induced()[0]);
     let ko = 2usize;
-    let row = session.dataset(ko).find_gene(&anchor).expect("gene present");
+    let row = session
+        .dataset(ko)
+        .find_gene(&anchor)
+        .expect("gene present");
     let pos = session.display_pos_of_row(ko, row);
     let n = session.select_region(ko, pos.saturating_sub(25), pos + 25);
     println!("selected {n} genes around {anchor} in the knockout pane");
@@ -99,7 +102,9 @@ fn main() {
     let rand_refs: Vec<&str> = rand_names.iter().map(|s| s.as_str()).collect();
     let sel_stress = group_coherence(&session, 0, &sel_refs);
     let rand_stress = group_coherence(&session, 0, &rand_refs);
-    println!("\nstress-pane coherence: selection {sel_stress:+.3} vs random group {rand_stress:+.3}");
+    println!(
+        "\nstress-pane coherence: selection {sel_stress:+.3} vs random group {rand_stress:+.3}"
+    );
     println!(
         "=> the cluster found in the KNOCKOUT data {} a strong correlated pattern in the STRESS data",
         if sel_stress > 0.3 && sel_stress > rand_stress + 0.2 {

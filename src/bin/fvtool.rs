@@ -1,8 +1,10 @@
 //! `fvtool` — command-line front end to the ForestView reproduction.
 //!
-//! Drives the library the way a user without a display would: load PCL/CDT
-//! files, cluster them, render session frames to PPM, run SPELL queries and
-//! GOLEM enrichment against files on disk.
+//! A thin client of `fv-api`: every subcommand builds typed
+//! [`fv_api::Request`]s and executes them through an [`fv_api::Engine`]
+//! (or, for `script`, an [`fv_api::EngineHub`]), then formats the typed
+//! responses. No session logic lives here — the CLI is one of several
+//! interchangeable expressions of the same protocol.
 //!
 //! ```text
 //! fvtool render  <out.ppm> <w> <h> <file.pcl>...     render a session frame
@@ -11,14 +13,14 @@
 //! fvtool search  <query> <file.pcl>...               cross-dataset gene search
 //! fvtool spell   <gene,gene,...> <file.pcl>...       SPELL query over files
 //! fvtool demo    <out_dir>                           write a synthetic demo workspace
+//! fvtool script  <file.fvs>                          replay a request script
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage/parse errors, otherwise the stable
+//! per-class codes of [`fv_api::ErrorCode::exit_code`].
 
-use forestview::Session;
-use fv_cluster::{Linkage, Metric};
-use fv_formats::pcl::{parse_pcl, write_pcl};
-use fv_formats::{detect_format, FileFormat};
-use fv_render::image::write_ppm;
-use std::path::Path;
+use forestview::command::Command;
+use fv_api::{ApiError, Engine, EngineHub, Mutation, Query, Request, Response, SelectionExport};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -28,144 +30,211 @@ fn usage() -> ExitCode {
          fvtool impute  <in.pcl> <out.pcl> [k]\n  \
          fvtool search  <query> <file.pcl>...\n  \
          fvtool spell   <gene,gene,...> <file.pcl>...\n  \
-         fvtool demo    <out_dir>"
+         fvtool demo    <out_dir>\n  \
+         fvtool script  <file.fvs>"
     );
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<fv_expr::Dataset, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let name = Path::new(path)
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| path.to_string());
-    match detect_format(&text) {
-        FileFormat::Pcl => parse_pcl(&name, &text).map_err(|e| format!("{path}: {e}")),
-        FileFormat::Cdt => fv_formats::cdt::parse_cdt(&name, &text)
-            .map(|c| c.dataset)
-            .map_err(|e| format!("{path}: {e}")),
-        other => Err(format!("{path}: unsupported format {other:?}")),
-    }
-}
-
-fn cmd_render(args: &[String]) -> Result<(), String> {
-    let [out, w, h, files @ ..] = args else {
-        return Err("render needs <out.ppm> <w> <h> <files...>".into());
-    };
-    let (w, h): (usize, usize) = (
-        w.parse().map_err(|_| "bad width")?,
-        h.parse().map_err(|_| "bad height")?,
-    );
-    if files.is_empty() {
-        return Err("no input files".into());
-    }
-    let mut session = Session::new();
+/// Load every file into the engine's session.
+fn load_files(engine: &mut Engine, files: &[String]) -> Result<(), ApiError> {
     for f in files {
-        session.load_dataset(load(f)?).map_err(|e| e.to_string())?;
+        engine.execute(&Request::Mutate(Mutation::LoadDataset { path: f.clone() }))?;
     }
-    session.cluster_all();
-    let fb = forestview::renderer::render_desktop(&session, w, h);
-    write_ppm(&fb, out).map_err(|e| e.to_string())?;
-    println!("wrote {out} ({w}x{h}, {} panes)", session.n_datasets());
-    print!("{}", forestview::export::session_summary(&session));
     Ok(())
 }
 
-fn cmd_cluster(args: &[String]) -> Result<(), String> {
-    let [input, prefix] = args else {
-        return Err("cluster needs <in.pcl> <out_prefix>".into());
+/// Run a query whose response must be `Text`.
+fn text_of(engine: &mut Engine, what: SelectionExport) -> Result<String, ApiError> {
+    match engine.execute(&Request::Query(Query::ExportSelection { what }))? {
+        Response::Text { text } => Ok(text),
+        other => unexpected("text export", &other),
+    }
+}
+
+fn unexpected<T>(wanted: &str, got: &Response) -> Result<T, ApiError> {
+    Err(ApiError::new(
+        fv_api::ErrorCode::Internal,
+        format!("engine returned a non-{wanted} response: {got:?}"),
+    ))
+}
+
+fn cmd_render(args: &[String]) -> Result<(), ApiError> {
+    let [out, w, h, files @ ..] = args else {
+        return Err(ApiError::invalid(
+            "render needs <out.ppm> <w> <h> <files...>",
+        ));
     };
-    let ds = load(input)?;
-    let mut session = Session::new();
-    session.load_dataset(ds).map_err(|e| e.to_string())?;
-    session.cluster_dataset(0, Metric::Pearson, Linkage::Average);
-    session.cluster_arrays(0, Metric::Pearson, Linkage::Average);
-    let (cdt, gtr, atr) = session.export_clustered_cdt(0);
-    std::fs::write(format!("{prefix}.cdt"), cdt).map_err(|e| e.to_string())?;
-    if let Some(g) = gtr {
-        std::fs::write(format!("{prefix}.gtr"), g).map_err(|e| e.to_string())?;
+    let (w, h): (usize, usize) = (
+        w.parse().map_err(|_| ApiError::parse("bad width"))?,
+        h.parse().map_err(|_| ApiError::parse("bad height"))?,
+    );
+    if files.is_empty() {
+        return Err(ApiError::invalid("no input files"));
     }
-    if let Some(a) = atr {
-        std::fs::write(format!("{prefix}.atr"), a).map_err(|e| e.to_string())?;
+    let mut engine = Engine::new();
+    load_files(&mut engine, files)?;
+    engine.execute(&Request::Mutate(Mutation::Command(Command::ClusterAll)))?;
+    let frame = engine.execute(&Request::Query(Query::Render {
+        width: w,
+        height: h,
+        path: Some(out.clone()),
+    }))?;
+    let Response::Frame { panes, .. } = frame else {
+        return unexpected("frame", &frame);
+    };
+    println!("wrote {out} ({w}x{h}, {panes} panes)");
+    match engine.execute(&Request::Query(Query::SessionInfo))? {
+        Response::SessionInfo(info) => print!("{}", info.summary),
+        other => return unexpected("session-info", &other),
     }
+    Ok(())
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), ApiError> {
+    let [input, prefix] = args else {
+        return Err(ApiError::invalid("cluster needs <in.pcl> <out_prefix>"));
+    };
+    let mut engine = Engine::new();
+    load_files(&mut engine, std::slice::from_ref(input))?;
+    engine.execute(&Request::Mutate(Mutation::Command(Command::ClusterAll)))?;
+    engine.execute(&Request::Mutate(Mutation::ClusterArrays { dataset: 0 }))?;
+    engine.execute(&Request::Query(Query::ExportCdt {
+        dataset: 0,
+        prefix: Some(prefix.clone()),
+    }))?;
     println!("wrote {prefix}.cdt / .gtr / .atr");
     Ok(())
 }
 
-fn cmd_impute(args: &[String]) -> Result<(), String> {
+fn cmd_impute(args: &[String]) -> Result<(), ApiError> {
     let (input, output, k) = match args {
         [i, o] => (i, o, 10usize),
-        [i, o, k] => (i, o, k.parse().map_err(|_| "bad k")?),
-        _ => return Err("impute needs <in.pcl> <out.pcl> [k]".into()),
+        [i, o, k] => (i, o, k.parse().map_err(|_| ApiError::parse("bad k"))?),
+        _ => return Err(ApiError::invalid("impute needs <in.pcl> <out.pcl> [k]")),
     };
-    let mut ds = load(input)?;
-    let stats = fv_cluster::impute::knn_impute(&mut ds.matrix, k, Metric::Euclidean);
-    std::fs::write(output, write_pcl(&ds)).map_err(|e| e.to_string())?;
-    println!(
-        "filled {}/{} missing cells with k={k}; wrote {output}",
-        stats.filled, stats.missing_before
-    );
+    let mut engine = Engine::new();
+    load_files(&mut engine, std::slice::from_ref(input))?;
+    let imputed = engine.execute(&Request::Mutate(Mutation::Impute { dataset: 0, k }))?;
+    let Response::Imputed {
+        filled,
+        missing_before,
+    } = imputed
+    else {
+        return unexpected("imputation", &imputed);
+    };
+    engine.execute(&Request::Query(Query::ExportPcl {
+        dataset: 0,
+        path: output.clone(),
+    }))?;
+    println!("filled {filled}/{missing_before} missing cells with k={k}; wrote {output}");
     Ok(())
 }
 
-fn cmd_search(args: &[String]) -> Result<(), String> {
+fn cmd_search(args: &[String]) -> Result<(), ApiError> {
     let [query, files @ ..] = args else {
-        return Err("search needs <query> <files...>".into());
+        return Err(ApiError::invalid("search needs <query> <files...>"));
     };
     if files.is_empty() {
-        return Err("no input files".into());
+        return Err(ApiError::invalid("no input files"));
     }
-    let mut session = Session::new();
-    for f in files {
-        session.load_dataset(load(f)?).map_err(|e| e.to_string())?;
-    }
-    let n = session.search_and_select(query);
-    println!("{n} gene(s) match {query:?} across {} dataset(s):", session.n_datasets());
-    print!("{}", session.export_gene_list());
-    print!("{}", forestview::export::selection_coverage_tsv(&session));
+    let mut engine = Engine::new();
+    load_files(&mut engine, files)?;
+    let applied = engine.execute(&Request::Mutate(Mutation::Command(Command::Search(
+        query.clone(),
+    ))))?;
+    let Response::Applied { selection_len, .. } = applied else {
+        return unexpected("applied", &applied);
+    };
+    let n = selection_len.unwrap_or(0);
+    println!(
+        "{n} gene(s) match {query:?} across {} dataset(s):",
+        files.len()
+    );
+    print!("{}", text_of(&mut engine, SelectionExport::GeneList)?);
+    print!("{}", text_of(&mut engine, SelectionExport::Coverage)?);
     Ok(())
 }
 
-fn cmd_spell(args: &[String]) -> Result<(), String> {
+fn cmd_spell(args: &[String]) -> Result<(), ApiError> {
     let [genes, files @ ..] = args else {
-        return Err("spell needs <gene,gene,...> <files...>".into());
+        return Err(ApiError::invalid("spell needs <gene,gene,...> <files...>"));
     };
     if files.is_empty() {
-        return Err("no input files".into());
+        return Err(ApiError::invalid("no input files"));
     }
-    let mut engine = fv_spell::SpellEngine::new(fv_spell::SpellConfig::default());
-    for f in files {
-        engine.add_dataset(&load(f)?);
-    }
-    engine.finalize();
-    let query: Vec<&str> = genes.split(',').map(|s| s.trim()).collect();
-    let result = engine.query(&query);
-    if !result.query_missing.is_empty() {
-        eprintln!("warning: not found: {:?}", result.query_missing);
+    let mut engine = Engine::new();
+    load_files(&mut engine, files)?;
+    let query: Vec<String> = genes.split(',').map(|s| s.trim().to_string()).collect();
+    let ranking = engine.execute(&Request::Query(Query::Spell {
+        genes: query,
+        top_n: 20,
+    }))?;
+    let Response::SpellRanking {
+        datasets,
+        genes,
+        query_missing,
+    } = ranking
+    else {
+        return unexpected("spell", &ranking);
+    };
+    if !query_missing.is_empty() {
+        eprintln!("warning: not found: {query_missing:?}");
     }
     println!("datasets by relevance:");
-    for d in &result.datasets {
+    for d in &datasets {
         println!("  {:<28} weight {:.3}", d.name, d.weight);
     }
     println!("top genes:");
-    for g in result.top_new_genes(20) {
-        println!("  {:<12} score {:.3} ({} datasets)", g.gene, g.score, g.n_datasets);
+    for g in &genes {
+        println!(
+            "  {:<12} score {:.3} ({} datasets)",
+            g.gene, g.score, g.n_datasets
+        );
     }
     Ok(())
 }
 
-fn cmd_demo(args: &[String]) -> Result<(), String> {
+fn cmd_demo(args: &[String]) -> Result<(), ApiError> {
     let [dir] = args else {
-        return Err("demo needs <out_dir>".into());
+        return Err(ApiError::invalid("demo needs <out_dir>"));
     };
-    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    let scenario = fv_synth::scenario::Scenario::three_datasets(800, 2007);
-    for ds in &scenario.datasets {
-        let path = format!("{dir}/{}.pcl", ds.name);
-        std::fs::write(&path, write_pcl(ds)).map_err(|e| e.to_string())?;
-        println!("wrote {path} ({} genes x {} conditions)", ds.n_genes(), ds.n_conditions());
+    std::fs::create_dir_all(dir).map_err(|e| ApiError::io(format!("{dir}: {e}")))?;
+    let mut engine = Engine::new();
+    let loaded = engine.execute(&Request::Mutate(Mutation::LoadScenario {
+        n_genes: 800,
+        seed: 2007,
+    }))?;
+    let Response::ScenarioLoaded { names, .. } = loaded else {
+        return unexpected("scenario", &loaded);
+    };
+    for (d, name) in names.iter().enumerate() {
+        let path = format!("{dir}/{name}.pcl");
+        let exported = engine.execute(&Request::Query(Query::ExportPcl {
+            dataset: d,
+            path: path.clone(),
+        }))?;
+        let Response::PclExported {
+            genes, conditions, ..
+        } = exported
+        else {
+            return unexpected("pcl export", &exported);
+        };
+        println!("wrote {path} ({genes} genes x {conditions} conditions)");
     }
     println!("try: fvtool render {dir}/session.ppm 1600 1200 {dir}/*.pcl");
+    Ok(())
+}
+
+fn cmd_script(args: &[String]) -> Result<(), ApiError> {
+    let [path] = args else {
+        return Err(ApiError::invalid("script needs <file.fvs>"));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| ApiError::io(format!("{path}: {e}")))?;
+    let mut hub = EngineHub::new();
+    // Stream entries as they execute so the transcript of the completed
+    // prefix survives a mid-script error (mutations are not rolled back).
+    hub.run_script_streaming(&text, |entry| print!("{}", entry.render()))?;
     Ok(())
 }
 
@@ -181,13 +250,14 @@ fn main() -> ExitCode {
         "search" => cmd_search(rest),
         "spell" => cmd_spell(rest),
         "demo" => cmd_demo(rest),
+        "script" => cmd_script(rest),
         _ => return usage(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("fvtool: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,14 +1,41 @@
 //! # forestview-repro — reproduction suite façade
 //!
-//! This crate hosts the runnable examples (`examples/`) and cross-crate
+//! This crate hosts the runnable examples (`examples/`), the `fvtool`
+//! command-line front end (`src/bin/fvtool.rs`), and cross-crate
 //! integration tests (`tests/`) for the ForestView reproduction. The
 //! library surface simply re-exports the workspace crates so examples and
 //! downstream experiments can reach everything through one dependency.
+//!
+//! ## How the system is driven
+//!
+//! Since the `fv-api` redesign, every front end speaks one typed,
+//! serializable protocol instead of calling session methods directly:
+//!
+//! ```text
+//!   fvtool CLI ─┐
+//!   examples  ──┼── Request/Response ──► fv_api::EngineHub ──► fv_api::Engine ──► forestview::Session
+//!   scripts   ──┘        (wire codec: parse_script / format_response)
+//! ```
+//!
+//! - [`api`] (`fv-api`) — the [`api::Request`] / [`api::Response`] enums,
+//!   typed [`api::ApiError`] codes, the single-session [`api::Engine`]
+//!   (with one layout/damage pass per batch), the multi-session
+//!   [`api::EngineHub`], and the line-oriented wire codec that makes
+//!   request streams replayable from text files (`fvtool script`).
+//!   See `crates/api/README.md` for the protocol grammar.
+//! - [`forestview`] — the application core the engine executes against:
+//!   session state, interaction commands, panes, synchronization,
+//!   rendering.
+//! - The remaining crates are the paper's subsystems: data substrate
+//!   (`fv-expr`, `fv-formats`), analysis (`fv-cluster`, `fv-spell`,
+//!   `fv-golem`, `fv-linalg`, `fv-ontology`), visualization (`fv-render`,
+//!   `fv-wall`), and synthetic data (`fv-synth`).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! per-figure reproduction records.
 
 pub use forestview;
+pub use fv_api as api;
 pub use fv_cluster as cluster;
 pub use fv_expr as expr;
 pub use fv_formats as formats;
@@ -33,5 +60,11 @@ mod tests {
     fn artifact_dir_exists_after_call() {
         let d = super::artifact_dir();
         assert!(d.is_dir());
+    }
+
+    #[test]
+    fn api_reachable_through_facade() {
+        let req = crate::api::parse_request("cluster_all").unwrap();
+        assert!(req.is_mutation());
     }
 }

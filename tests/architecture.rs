@@ -33,7 +33,10 @@ fn full_stack_pcl_to_pixels() {
     // datasets with different row orders.
     let merged = session.merged();
     assert_eq!(merged.n_datasets(), 3);
-    let g = merged.universe().lookup(&fv_synth::names::orf_name(0)).unwrap();
+    let g = merged
+        .universe()
+        .lookup(&fv_synth::names::orf_name(0))
+        .unwrap();
     let in_all = merged.datasets_with_gene(g);
     assert_eq!(in_all, vec![0, 1, 2], "every dataset measures every gene");
     assert!(merged.total_measurements() > 0);
@@ -49,7 +52,10 @@ fn full_stack_pcl_to_pixels() {
 
     // Layer 4: visualization — pixels come out.
     let fb = render_desktop(&session, 480, 360);
-    assert!(fb.count_pixels(Rgb::BLACK) < 480 * 360, "render produced pixels");
+    assert!(
+        fb.count_pixels(Rgb::BLACK) < 480 * 360,
+        "render produced pixels"
+    );
 
     // Exports close the loop (Figure 1's export boxes).
     let list = session.export_gene_list();

@@ -106,7 +106,10 @@ fn specific_module_does_not_generalize() {
         .collect();
     let c_stress = coherence(&session, 0, &names);
     let c_nutrient = coherence(&session, 1, &names);
-    assert!(c_stress > 0.4, "heat module coheres under stress: {c_stress}");
+    assert!(
+        c_stress > 0.4,
+        "heat module coheres under stress: {c_stress}"
+    );
     assert!(
         c_nutrient < c_stress - 0.2,
         "heat module should not cohere under nutrient limitation: {c_nutrient} vs {c_stress}"

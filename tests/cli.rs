@@ -22,19 +22,34 @@ fn demo_cluster_render_roundtrip() {
 
     // demo: write PCL files
     let out = fvtool().args(["demo", d]).output().unwrap();
-    assert!(out.status.success(), "demo failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "demo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stress = dir.join("gasch_stress.pcl");
     assert!(stress.exists());
 
     // cluster: produce cdt/gtr/atr
     let prefix = dir.join("clustered");
     let out = fvtool()
-        .args(["cluster", stress.to_str().unwrap(), prefix.to_str().unwrap()])
+        .args([
+            "cluster",
+            stress.to_str().unwrap(),
+            prefix.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "cluster failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "cluster failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for ext in ["cdt", "gtr", "atr"] {
-        assert!(dir.join(format!("clustered.{ext}")).exists(), "missing .{ext}");
+        assert!(
+            dir.join(format!("clustered.{ext}")).exists(),
+            "missing .{ext}"
+        );
     }
     // the CDT must parse and pair with its trees
     let cdt_text = std::fs::read_to_string(dir.join("clustered.cdt")).unwrap();
@@ -80,7 +95,11 @@ fn demo_cluster_render_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "render failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "render failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let img = fv_render::image::read_ppm(&ppm).unwrap();
     assert_eq!((img.width(), img.height()), (320, 240));
 
@@ -91,7 +110,12 @@ fn demo_cluster_render_roundtrip() {
 fn search_and_spell_produce_output() {
     let dir = tmpdir("search");
     let d = dir.to_str().unwrap();
-    assert!(fvtool().args(["demo", d]).output().unwrap().status.success());
+    assert!(fvtool()
+        .args(["demo", d])
+        .output()
+        .unwrap()
+        .status
+        .success());
     let files: Vec<String> = ["gasch_stress", "brauer_nutrient", "hughes_knockout"]
         .iter()
         .map(|n| dir.join(format!("{n}.pcl")).to_str().unwrap().to_string())
@@ -118,7 +142,11 @@ fn search_and_spell_produce_output() {
     if genes.len() == 2 {
         let q = format!("{},{}", genes[0], genes[1]);
         let out = fvtool().args(["spell", &q]).args(&files).output().unwrap();
-        assert!(out.status.success(), "spell failed: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "spell failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("datasets by relevance"));
         assert!(stdout.contains("top genes"));
@@ -147,11 +175,18 @@ G3\tC\t1\t0.9\t1.9\t2.9\t3.9\n";
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("filled 1/1"));
     let ds = fv_formats::pcl::parse_pcl("out", &std::fs::read_to_string(&output).unwrap()).unwrap();
     let v = ds.matrix.get(1, 2).expect("cell imputed");
-    assert!((v - 2.95).abs() < 0.2, "imputed value {v} should be near 2.95");
+    assert!(
+        (v - 2.95).abs() < 0.2,
+        "imputed value {v} should be near 2.95"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -163,4 +198,109 @@ fn bad_usage_exits_nonzero() {
     assert!(!out.status.success());
     let out = fvtool().args(["render", "x.ppm"]).output().unwrap();
     assert!(!out.status.success());
+}
+
+#[test]
+fn script_replays_mixed_requests_deterministically() {
+    let dir = tmpdir("script");
+    // ≥ 8 mixed mutation/query requests, two sessions, through EngineHub.
+    let script = "\
+# replayable session script
+scenario 200 7
+set_metric euclidean
+set_linkage ward
+cluster_all
+search_select general stress response
+scroll 2
+list_datasets
+use second
+scenario 120 9
+search ribosome
+use main
+export_selection coverage
+render 320 240
+session_info
+";
+    let path = dir.join("session.fvs");
+    std::fs::write(&path, script).unwrap();
+
+    let run = || {
+        let out = fvtool()
+            .args(["script", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "script failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "script replay must be deterministic");
+
+    // transcript structure: session-tagged request echo + responses
+    assert!(first.contains("main:2> scenario 200 7"), "{first}");
+    assert!(first.contains("second:10> scenario 120 9"));
+    assert!(first.contains("applied selection="));
+    assert!(first.contains("frame 320x240 panes=3 checksum="));
+    assert!(first.contains("session datasets=3"));
+    assert!(first.contains("datasets n=3"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn script_errors_carry_exit_codes_and_lines() {
+    let dir = tmpdir("script_err");
+    // line 2 refers to a dataset that does not exist → E_NOT_FOUND (66)
+    let path = dir.join("bad.fvs");
+    std::fs::write(&path, "scenario 60 1\nimpute 99 3\n").unwrap();
+    let out = fvtool()
+        .args(["script", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(66));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("E_NOT_FOUND"), "{err}");
+    assert!(err.contains("line 2"), "{err}");
+
+    // parse failures exit 2
+    let path2 = dir.join("parse.fvs");
+    std::fs::write(&path2, "definitely_not_a_request\n").unwrap();
+    let out = fvtool()
+        .args(["script", path2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // missing script file → E_IO (66)
+    let out = fvtool()
+        .args(["script", "/nonexistent/x.fvs"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(66));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_failures_use_stable_exit_codes() {
+    // nonexistent input file → E_IO
+    let out = fvtool()
+        .args(["cluster", "/nonexistent/in.pcl", "/tmp/prefix"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(66));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("E_IO"));
+
+    // unparseable input → E_FORMAT
+    let dir = tmpdir("badformat");
+    let bad = dir.join("bad.pcl");
+    std::fs::write(&bad, "not\ta\tpcl\nat\tall\n").unwrap();
+    let out = fvtool()
+        .args(["search", "x", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -87,7 +87,10 @@ fn fig5_golem_map_renders_hierarchy() {
     let truth = fv_synth::modules::plant_modules(200, 2, 20, 9);
     let onto = generate_ontology(&truth, 80, 9);
     let prop = onto.annotations.propagate(&onto.dag);
-    let genes: Vec<String> = truth.modules[2].genes[..12].iter().map(|&g| orf_name(g)).collect();
+    let genes: Vec<String> = truth.modules[2].genes[..12]
+        .iter()
+        .map(|&g| orf_name(g))
+        .collect();
     let refs: Vec<&str> = genes.iter().map(|s| s.as_str()).collect();
     let results = enrich(&onto.dag, &prop, &refs, &EnrichmentConfig::default());
     assert!(!results.is_empty());
@@ -104,7 +107,10 @@ fn fig6_integrated_composition() {
     let onto = generate_ontology(&truth, 100, 6);
     let prop = onto.annotations.propagate(&onto.dag);
     let suite = AnalysisSuite::build(&session, SpellConfig::default(), onto.dag, prop);
-    let seed: Vec<String> = truth.esr_induced()[..5].iter().map(|&g| orf_name(g)).collect();
+    let seed: Vec<String> = truth.esr_induced()[..5]
+        .iter()
+        .map(|&g| orf_name(g))
+        .collect();
     let refs: Vec<&str> = seed.iter().map(|s| s.as_str()).collect();
     session.select_genes(&refs, SelectionOrigin::List);
     let out = suite

@@ -21,7 +21,11 @@ fn build_engine(scenario: &Scenario, balancing: Balancing) -> SpellEngine {
     engine
 }
 
-fn run_query(engine: &SpellEngine, scenario: &Scenario, n_query: usize) -> (Vec<String>, HashSet<String>) {
+fn run_query(
+    engine: &SpellEngine,
+    scenario: &Scenario,
+    n_query: usize,
+) -> (Vec<String>, HashSet<String>) {
     let query: Vec<String> = scenario.truth.esr_induced()[..n_query]
         .iter()
         .map(|&g| orf_name(g))
@@ -188,7 +192,10 @@ fn themed_datasets_rank_above_pure_noise_for_esr_query() {
     }
     engine.finalize();
 
-    let query: Vec<String> = truth.esr_induced()[..6].iter().map(|&g| orf_name(g)).collect();
+    let query: Vec<String> = truth.esr_induced()[..6]
+        .iter()
+        .map(|&g| orf_name(g))
+        .collect();
     let refs: Vec<&str> = query.iter().map(|s| s.as_str()).collect();
     let result = engine.query(&refs);
 

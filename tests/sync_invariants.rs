@@ -19,7 +19,9 @@ fn dataset(name: &str, gene_idx: &[usize], n_cols: usize, value_seed: u64) -> Da
     let n = gene_idx.len();
     let vals: Vec<f32> = (0..n * n_cols)
         .map(|i| {
-            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(value_seed);
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(value_seed);
             ((x >> 33) % 1000) as f32 / 100.0 - 5.0
         })
         .collect();

@@ -19,7 +19,11 @@ fn scene_paint(fb: &mut Framebuffer, vp: Viewport, salt: u8) {
             let wx = (vp.x + x) as u32;
             let wy = (vp.y + y) as u32;
             let v = (wx.wrapping_mul(31) ^ wy.wrapping_mul(17)) as u8 ^ salt;
-            fb.put(x as i64, y as i64, Rgb::new(v, v.wrapping_add(salt), wx as u8));
+            fb.put(
+                x as i64,
+                y as i64,
+                Rgb::new(v, v.wrapping_add(salt), wx as u8),
+            );
         }
     }
 }
