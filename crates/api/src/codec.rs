@@ -24,7 +24,7 @@ use crate::response::Response;
 use forestview::command::Command;
 
 /// Sentinel for empty lists and absent optionals on the wire.
-const NONE: &str = "-";
+pub(crate) const NONE: &str = "-";
 
 /// One parsed script line.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +33,63 @@ pub enum ScriptItem {
     Use(String),
     /// A request for the current session.
     Request(Request),
+}
+
+/// One parsed *wire* line: everything a script line can be, plus the
+/// transport-level control requests. Control lines are answered by the
+/// server itself (`ping` → `pong`, `shutdown` → `bye` + server stop,
+/// `close` → `closed <name>`) and never reach an engine's request
+/// surface; scripts deliberately reject them ([`parse_script`] treats
+/// control keywords as unknown requests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireItem {
+    /// A script item (`use` or a request).
+    Script(ScriptItem),
+    /// `ping` — liveness probe.
+    Ping,
+    /// `shutdown` — stop the server after acknowledging.
+    Shutdown,
+    /// `close` — drop the connection's current session (and everything it
+    /// owns), then fall back to the default session. How a one-shot
+    /// remote client avoids leaking its scratch session.
+    Close,
+}
+
+/// Parse one line as a network transport sees it: `Ok(None)` for blank
+/// lines and `#` comments (which produce no response frame), otherwise a
+/// [`WireItem`].
+pub fn parse_wire_line(raw: &str) -> Result<Option<WireItem>, ApiError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    if line == "ping" {
+        return Ok(Some(WireItem::Ping));
+    }
+    if line == "shutdown" {
+        return Ok(Some(WireItem::Shutdown));
+    }
+    if line == "close" {
+        return Ok(Some(WireItem::Close));
+    }
+    if let Some(name) = parse_use(line)? {
+        return Ok(Some(WireItem::Script(ScriptItem::Use(name))));
+    }
+    Ok(Some(WireItem::Script(ScriptItem::Request(parse_request(
+        line,
+    )?))))
+}
+
+/// `use <name>` → `Some(name)`; anything else → `None`.
+fn parse_use(line: &str) -> Result<Option<String>, ApiError> {
+    let Some(rest) = line.strip_prefix("use ") else {
+        return Ok(None);
+    };
+    let name = rest.trim();
+    if name.is_empty() || name.contains(char::is_whitespace) {
+        return Err(ApiError::parse("session names are single tokens"));
+    }
+    Ok(Some(name.to_string()))
 }
 
 /// A script line with its 1-based source line number (for error context).
@@ -54,19 +111,14 @@ pub fn parse_script(text: &str) -> Result<Vec<ScriptLine>, ApiError> {
             continue;
         }
         let line_no = i + 1;
-        let item = if let Some(rest) = line.strip_prefix("use ") {
-            let name = rest.trim();
-            if name.is_empty() || name.contains(char::is_whitespace) {
-                return Err(ApiError::parse(format!(
-                    "line {line_no}: session names are single tokens"
-                )));
-            }
-            ScriptItem::Use(name.to_string())
-        } else {
-            ScriptItem::Request(
+        let item = match parse_use(line)
+            .map_err(|e| ApiError::parse(format!("line {line_no}: {}", e.message)))?
+        {
+            Some(name) => ScriptItem::Use(name),
+            None => ScriptItem::Request(
                 parse_request(line)
                     .map_err(|e| ApiError::parse(format!("line {line_no}: {}", e.message)))?,
-            )
+            ),
         };
         out.push(ScriptLine { line_no, item });
     }
@@ -373,19 +425,21 @@ pub fn format_request(request: &Request) -> String {
 
 /// Canonical, deterministic text form of a response. Multi-line responses
 /// indent continuation lines by two spaces so transcripts stay parseable
-/// line-by-line. Floating-point statistics print with fixed precision —
-/// the transcript is a stable artifact, not a lossless encoding.
+/// line-by-line. The text is structured enough for
+/// [`crate::decode::parse_response`] to recover the typed response —
+/// network clients rely on this — with one documented loss: floating-point
+/// statistics print with fixed display precision (`{:.3}` / `{:.3e}`), so
+/// the decoder recovers the displayed value, not the original bits.
 pub fn format_response(response: &Response) -> String {
     match response {
         Response::Applied {
             selection_len,
             damage,
         } => {
-            let area: usize = damage.iter().map(|d| d.w * d.h).sum();
             format!(
-                "applied selection={} damage={} area={area}",
+                "applied selection={} damage={}",
                 opt_num(*selection_len),
-                damage.len()
+                format_rects(damage)
             )
         }
         Response::Loaded {
@@ -478,22 +532,30 @@ pub fn format_response(response: &Response) -> String {
             }
             out
         }
-        Response::SessionInfo(info) => format!(
-            "session datasets={} universe={} measurements={} selection={} sync={} scroll={} order={}",
-            info.n_datasets,
-            info.universe_genes,
-            info.total_measurements,
-            opt_num(info.selection_len),
-            if info.sync_enabled { "on" } else { "off" },
-            info.scroll,
-            format_list(
-                &info
-                    .dataset_order
-                    .iter()
-                    .map(|d| d.to_string())
-                    .collect::<Vec<_>>()
-            )
-        ),
+        Response::SessionInfo(info) => {
+            let mut out = format!(
+                "session datasets={} universe={} measurements={} selection={} sync={} scroll={} order={} summary_bytes={}",
+                info.n_datasets,
+                info.universe_genes,
+                info.total_measurements,
+                opt_num(info.selection_len),
+                if info.sync_enabled { "on" } else { "off" },
+                info.scroll,
+                format_list(
+                    &info
+                        .dataset_order
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                ),
+                info.summary.len()
+            );
+            for line in info.summary.lines() {
+                out.push_str("\n  ");
+                out.push_str(line);
+            }
+            out
+        }
         Response::Datasets { rows } => {
             let mut out = format!("datasets n={}", rows.len());
             for r in rows {
@@ -562,7 +624,7 @@ fn format_target(target: Option<usize>) -> String {
 }
 
 /// Comma-separated list; `-` is the empty list.
-fn parse_list(token: &str) -> Result<Vec<String>, ApiError> {
+pub(crate) fn parse_list(token: &str) -> Result<Vec<String>, ApiError> {
     if token.is_empty() {
         return Err(ApiError::parse("expected a comma-separated list (or `-`)"));
     }
@@ -601,6 +663,20 @@ fn format_trailing(keyword: &str, text: &str) -> String {
     } else {
         format!("{keyword} {text}")
     }
+}
+
+/// Damage rectangles as `x:y:w:h` items; `-` for no damage. Keeping the
+/// full rectangles on the wire (rather than a count/area digest) is what
+/// lets a remote client recover the exact [`Response::Applied`].
+fn format_rects(rects: &[crate::response::DamageRect]) -> String {
+    if rects.is_empty() {
+        return NONE.to_string();
+    }
+    rects
+        .iter()
+        .map(|r| format!("{}:{}:{}:{}", r.x, r.y, r.w, r.h))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn opt_num(v: Option<usize>) -> String {
@@ -740,11 +816,41 @@ mod tests {
         };
         assert_eq!(
             format_response(&applied),
-            "applied selection=4 damage=2 area=56"
+            "applied selection=4 damage=0:0:10:5,10:0:2:3"
         );
+        let empty = Response::Applied {
+            selection_len: None,
+            damage: vec![],
+        };
+        assert_eq!(format_response(&empty), "applied selection=- damage=-");
         let text = Response::Text {
             text: "G1\nG2\n".into(),
         };
         assert_eq!(format_response(&text), "text bytes=6\n  G1\n  G2");
+    }
+
+    #[test]
+    fn wire_lines_parse_controls_scripts_reject_them() {
+        assert_eq!(parse_wire_line("ping").unwrap(), Some(WireItem::Ping));
+        assert_eq!(
+            parse_wire_line(" shutdown ").unwrap(),
+            Some(WireItem::Shutdown)
+        );
+        assert_eq!(parse_wire_line("# comment").unwrap(), None);
+        assert_eq!(parse_wire_line("   ").unwrap(), None);
+        match parse_wire_line("use alpha").unwrap() {
+            Some(WireItem::Script(ScriptItem::Use(name))) => assert_eq!(name, "alpha"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(matches!(
+            parse_wire_line("cluster_all").unwrap(),
+            Some(WireItem::Script(ScriptItem::Request(_)))
+        ));
+        assert_eq!(parse_wire_line("close").unwrap(), Some(WireItem::Close));
+        assert!(parse_wire_line("wat 7").is_err());
+        // control keywords are transport-only: scripts reject them
+        assert!(parse_script("ping\n").is_err());
+        assert!(parse_script("shutdown\n").is_err());
+        assert!(parse_script("close\n").is_err());
     }
 }

@@ -43,6 +43,22 @@ pub struct BatchOutcome {
     pub damage: Vec<DamageRect>,
 }
 
+/// Outcome of a request *run* ([`Engine::execute_run`]): the responses of
+/// the completed prefix, plus the first error (with its request index) if
+/// the run stopped early. Unlike [`BatchOutcome`], each `Applied` response
+/// carries its own damage rectangles — byte-identical to what sequential
+/// [`Engine::execute`] calls would have produced — so a transport can
+/// relay per-request results while still sharing layout passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// One response per *completed* request, in order.
+    pub responses: Vec<Response>,
+    /// `(index of the failing request, its error)`, if the run aborted.
+    /// Requests after the index never executed; mutations before it stay
+    /// applied (the protocol has no rollback).
+    pub error: Option<(usize, ApiError)>,
+}
+
 struct GolemContext {
     dag: OntologyDag,
     annotations: PropagatedAnnotations,
@@ -147,6 +163,50 @@ impl Engine {
             responses,
             damage: damage.into_iter().map(DamageRect::from).collect(),
         })
+    }
+
+    /// Execute a request run: like sequential [`Engine::execute`] calls —
+    /// same responses, same per-request damage rectangles — but layout
+    /// passes are shared across the run via [`command::LayoutCache`], so a
+    /// run of layout-stable requests (the common interactive stream) pays
+    /// for ONE pane-layout pass instead of one per command. This is the
+    /// entry point network transports map contiguous same-session request
+    /// runs onto. Stops at the first error, keeping the completed prefix's
+    /// responses.
+    pub fn execute_run(&mut self, requests: &[Request]) -> RunOutcome {
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut layouts = command::LayoutCache::new(self.scene.0, self.scene.1);
+        for (i, request) in requests.iter().enumerate() {
+            let result = match request {
+                Request::Mutate(m) => {
+                    self.perform_mutation(m)
+                        .map(|(response, class)| match (response, class) {
+                            (Response::Applied { selection_len, .. }, Some(class)) => {
+                                let rects = layouts.resolve(&self.session, class);
+                                Response::Applied {
+                                    selection_len,
+                                    damage: rects.into_iter().map(DamageRect::from).collect(),
+                                }
+                            }
+                            (other, _) => other,
+                        })
+                }
+                Request::Query(q) => self.run_query(q),
+            };
+            match result {
+                Ok(r) => responses.push(r),
+                Err(e) => {
+                    return RunOutcome {
+                        responses,
+                        error: Some((i, e)),
+                    }
+                }
+            }
+        }
+        RunOutcome {
+            responses,
+            error: None,
+        }
     }
 
     /// Apply a mutation without resolving damage. Returns the response
@@ -761,6 +821,61 @@ mod tests {
             .unwrap();
         assert_eq!(second.damage.len(), 1);
         assert_ne!(second.damage, first.damage, "later trees are pane-local");
+    }
+
+    #[test]
+    fn run_matches_sequential_execution_exactly() {
+        // execute_run must produce byte-for-byte the responses (damage
+        // rects included) of sequential execute calls — including across
+        // layout changes mid-run (scenario load, first array tree,
+        // reordering) — while sharing layout passes where possible.
+        let script = vec![
+            Request::Mutate(Mutation::LoadScenario {
+                n_genes: 90,
+                seed: 3,
+            }),
+            Request::Mutate(Mutation::Command(Command::Search("stress".into()))),
+            Request::Mutate(Mutation::Command(Command::Scroll(1))),
+            Request::Mutate(Mutation::ClusterArrays { dataset: 0 }),
+            Request::Mutate(Mutation::Command(Command::SetContrast {
+                dataset: Some(1),
+                contrast: 2.0,
+            })),
+            Request::Mutate(Mutation::Command(Command::OrderByRelevance(vec![
+                0.2, 0.9, 0.4,
+            ]))),
+            Request::Mutate(Mutation::Command(Command::SelectRegion {
+                dataset: 2,
+                start_frac: 0.1,
+                end_frac: 0.6,
+            })),
+            Request::Query(Query::SessionInfo),
+        ];
+        let mut seq = Engine::with_scene(800, 600);
+        let expected: Vec<Response> = script.iter().map(|r| seq.execute(r).unwrap()).collect();
+        let mut run = Engine::with_scene(800, 600);
+        let outcome = run.execute_run(&script);
+        assert!(outcome.error.is_none());
+        assert_eq!(outcome.responses, expected);
+    }
+
+    #[test]
+    fn run_stops_at_first_error_keeping_prefix() {
+        let mut e = Engine::with_scene(800, 600);
+        let outcome = e.execute_run(&[
+            Request::Mutate(Mutation::LoadScenario {
+                n_genes: 60,
+                seed: 1,
+            }),
+            Request::Mutate(Mutation::Impute { dataset: 9, k: 3 }),
+            Request::Query(Query::SessionInfo),
+        ]);
+        assert_eq!(outcome.responses.len(), 1, "prefix before the error");
+        let (idx, err) = outcome.error.expect("run must report the error");
+        assert_eq!(idx, 1);
+        assert_eq!(err.code, crate::error::ErrorCode::NotFound);
+        // the mutation before the error stays applied
+        assert_eq!(e.session().n_datasets(), 3);
     }
 
     #[test]

@@ -45,6 +45,23 @@ impl ErrorCode {
         }
     }
 
+    /// Parse a frozen wire name back to its code — the inverse of
+    /// [`ErrorCode::as_str`], used by network clients decoding `err`
+    /// frames.
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "E_PARSE" => ErrorCode::Parse,
+            "E_INVALID" => ErrorCode::InvalidRequest,
+            "E_NOT_FOUND" => ErrorCode::NotFound,
+            "E_EXISTS" => ErrorCode::AlreadyExists,
+            "E_IO" => ErrorCode::Io,
+            "E_FORMAT" => ErrorCode::Format,
+            "E_MISSING_CONTEXT" => ErrorCode::MissingContext,
+            "E_INTERNAL" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
     /// Process exit code a CLI should use for this error class. Usage
     /// errors get 2 (the conventional "bad invocation"), I/O and format
     /// problems get the sysexits-style 66/65, everything else 1.
@@ -140,6 +157,23 @@ mod tests {
         assert_eq!(ErrorCode::Parse.as_str(), "E_PARSE");
         assert_eq!(ErrorCode::NotFound.as_str(), "E_NOT_FOUND");
         assert_eq!(ErrorCode::MissingContext.as_str(), "E_MISSING_CONTEXT");
+    }
+
+    #[test]
+    fn wire_names_roundtrip() {
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::InvalidRequest,
+            ErrorCode::NotFound,
+            ErrorCode::AlreadyExists,
+            ErrorCode::Io,
+            ErrorCode::Format,
+            ErrorCode::MissingContext,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire("E_NOPE"), None);
     }
 
     #[test]

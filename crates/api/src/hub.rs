@@ -7,11 +7,20 @@
 //! workers without the protocol changing shape.
 
 use crate::codec::{format_response, parse_script, ScriptItem};
-use crate::engine::{BatchOutcome, Engine};
+use crate::engine::{BatchOutcome, Engine, RunOutcome};
 use crate::error::ApiError;
 use crate::request::Request;
 use crate::response::Response;
 use std::collections::BTreeMap;
+
+// The hub (and everything under it) must be movable into worker threads —
+// it is the unit a sharded transport partitions sessions across. Compile-
+// time proof; a transport crate should not discover `!Send` at a distance.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<EngineHub>();
+    assert_send::<Engine>();
+};
 
 /// Name of an engine session within a hub. Session names are single
 /// whitespace-free tokens (enforced by [`SessionId::new`]).
@@ -163,6 +172,29 @@ impl EngineHub {
         self.engine(id).execute_batch(requests)
     }
 
+    /// Execute a request run against a named session — the entry point
+    /// both script replay and network transports use for contiguous
+    /// same-session request runs. Responses (damage rects included) are
+    /// identical to sequential [`EngineHub::execute_on`] calls, but
+    /// layout passes are shared across the run
+    /// (see [`Engine::execute_run`]).
+    ///
+    /// Session lifecycle: a session this call implicitly creates is
+    /// **rolled back** if the run's very first request fails — an error
+    /// must not leave a partially-created session behind. Once any
+    /// request has succeeded the session stays, whatever happens later
+    /// (mutations are never rolled back). A session materialized
+    /// beforehand (by `use`, [`EngineHub::engine`], or an earlier run) is
+    /// never removed.
+    pub fn execute_run_on(&mut self, id: &SessionId, requests: &[Request]) -> RunOutcome {
+        let created = !self.sessions.contains_key(id);
+        let outcome = self.engine(id).execute_run(requests);
+        if created && outcome.responses.is_empty() && outcome.error.is_some() {
+            self.sessions.remove(id);
+        }
+        outcome
+    }
+
     /// Replay a wire-format script. `use <name>` lines switch (and create)
     /// sessions; requests run against the current session, starting at
     /// `"main"`. Stops at the first error, reporting its script line.
@@ -177,6 +209,13 @@ impl EngineHub {
     /// transcript incrementally, and the already-executed prefix survives
     /// a mid-script error (mutations are not rolled back; the transcript
     /// should not pretend they never ran).
+    ///
+    /// Contiguous same-session request lines execute as one *run* via
+    /// [`EngineHub::execute_run_on`] — the exact grouping a network
+    /// transport applies — so local replay and remote serving share both
+    /// code path and semantics (including the rollback of a session whose
+    /// first-ever request fails). `use <name>` materializes its session
+    /// immediately and is itself never rolled back.
     pub fn run_script_streaming(
         &mut self,
         text: &str,
@@ -184,23 +223,42 @@ impl EngineHub {
     ) -> Result<(), ApiError> {
         let lines = parse_script(text)?;
         let mut current = EngineHub::default_session();
-        for line in lines {
-            match line.item {
+        let mut i = 0;
+        while i < lines.len() {
+            match &lines[i].item {
                 ScriptItem::Use(name) => {
-                    current = SessionId::new(name)?;
-                    // touch it so `use` alone materializes the session
+                    current = SessionId::new(name.clone())?;
+                    // `use` alone materializes the session
                     self.engine(&current);
+                    i += 1;
                 }
-                ScriptItem::Request(request) => {
-                    let response = self.execute_on(&current, &request).map_err(|e| {
-                        ApiError::new(e.code, format!("line {}: {}", line.line_no, e.message))
-                    })?;
-                    sink(&TranscriptEntry {
-                        line_no: line.line_no,
-                        session: current.clone(),
-                        request,
-                        response,
-                    });
+                ScriptItem::Request(_) => {
+                    let start = i;
+                    while i < lines.len() && matches!(lines[i].item, ScriptItem::Request(_)) {
+                        i += 1;
+                    }
+                    let requests: Vec<Request> = lines[start..i]
+                        .iter()
+                        .map(|l| match &l.item {
+                            ScriptItem::Request(r) => r.clone(),
+                            ScriptItem::Use(_) => unreachable!("run holds only requests"),
+                        })
+                        .collect();
+                    let outcome = self.execute_run_on(&current, &requests);
+                    for (j, response) in outcome.responses.iter().enumerate() {
+                        sink(&TranscriptEntry {
+                            line_no: lines[start + j].line_no,
+                            session: current.clone(),
+                            request: requests[j].clone(),
+                            response: response.clone(),
+                        });
+                    }
+                    if let Some((idx, e)) = outcome.error {
+                        return Err(ApiError::new(
+                            e.code,
+                            format!("line {}: {}", lines[start + idx].line_no, e.message),
+                        ));
+                    }
                 }
             }
         }
@@ -299,5 +357,97 @@ session_info
         assert!(SessionId::new("").is_err());
         assert!(SessionId::new("two words").is_err());
         assert!(SessionId::new("ok-name_1").is_ok());
+    }
+
+    #[test]
+    fn script_transcript_identical_to_per_request_execution() {
+        // Run-grouped replay must be byte-identical to naive per-request
+        // execution — the property the remote transport's conformance
+        // rests on.
+        let script = "\
+scenario 100 5
+cluster_all
+search_select stress
+scroll 2
+cluster_arrays 0
+set_contrast 1 2.0
+use other
+scenario 100 5
+order_by_relevance 0.3,0.9,0.1
+select_region 2 0.2 0.7
+session_info
+";
+        let mut grouped = EngineHub::with_scene(800, 600);
+        let run_transcript = grouped.run_script(script).unwrap().transcript();
+        // naive replay: one execute_on per parsed line
+        let mut naive = EngineHub::with_scene(800, 600);
+        let mut naive_transcript = String::new();
+        let mut current = EngineHub::default_session();
+        for line in crate::codec::parse_script(script).unwrap() {
+            match line.item {
+                crate::codec::ScriptItem::Use(name) => {
+                    current = SessionId::new(name).unwrap();
+                }
+                crate::codec::ScriptItem::Request(request) => {
+                    let response = naive.execute_on(&current, &request).unwrap();
+                    naive_transcript.push_str(
+                        &TranscriptEntry {
+                            line_no: line.line_no,
+                            session: current.clone(),
+                            request,
+                            response,
+                        }
+                        .render(),
+                    );
+                }
+            }
+        }
+        assert_eq!(run_transcript, naive_transcript);
+    }
+
+    #[test]
+    fn failed_first_request_rolls_back_created_session() {
+        // Regression (session-lifecycle semantics): a session implicitly
+        // created by a run whose FIRST request fails must not linger.
+        let mut hub = EngineHub::new();
+        let err = hub.run_script("impute 0 3\n").unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::NotFound);
+        assert_eq!(hub.n_sessions(), 0, "main must be rolled back");
+        // …but once any request succeeded, the session stays, error or not.
+        let err = hub.run_script("scenario 60 1\nimpute 99 3\n").unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::NotFound);
+        assert_eq!(hub.n_sessions(), 1, "main executed a request; it stays");
+    }
+
+    #[test]
+    fn use_materializes_and_survives_later_errors() {
+        // `use` is a materializing directive: the named session exists
+        // even if the script then dies on another session — documented
+        // semantics, pinned here.
+        let mut hub = EngineHub::new();
+        let err = hub
+            .run_script("use a\nscenario 60 1\nuse b\nuse main\nimpute 0 3\n")
+            .unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::NotFound);
+        let names: Vec<String> = hub.session_ids().iter().map(|s| s.to_string()).collect();
+        // `a` ran a request, `b` was materialized by `use`; `main`'s first
+        // request failed but `use main` had already materialized it.
+        assert_eq!(names, ["a", "b", "main"]);
+    }
+
+    #[test]
+    fn run_on_fresh_session_rolls_back_only_if_nothing_succeeded() {
+        let mut hub = EngineHub::new();
+        let id = SessionId::new("fresh").unwrap();
+        let outcome = hub.execute_run_on(
+            &id,
+            &[Request::Mutate(Mutation::Impute { dataset: 0, k: 3 })],
+        );
+        assert!(outcome.error.is_some());
+        assert_eq!(hub.n_sessions(), 0);
+        // empty run (the `use` materialization path) keeps the session
+        let outcome = hub.execute_run_on(&id, &[]);
+        assert!(outcome.error.is_none());
+        assert_eq!(hub.n_sessions(), 1);
     }
 }

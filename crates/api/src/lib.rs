@@ -55,14 +55,18 @@
 //! ```
 
 pub mod codec;
+pub mod decode;
 pub mod engine;
 pub mod error;
 pub mod hub;
 pub mod request;
 pub mod response;
 
-pub use codec::{format_request, format_response, parse_request, parse_script};
-pub use engine::{BatchOutcome, Engine};
+pub use codec::{
+    format_request, format_response, parse_request, parse_script, parse_wire_line, WireItem,
+};
+pub use decode::parse_response;
+pub use engine::{BatchOutcome, Engine, RunOutcome};
 pub use error::{ApiError, ErrorCode};
 pub use hub::{EngineHub, ScriptOutcome, SessionId};
 pub use request::{Mutation, NormalizeMethod, Query, Request, SelectionExport};

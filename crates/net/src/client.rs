@@ -1,0 +1,188 @@
+//! Client side of the transport: a typed request/response connection plus
+//! the pipelined remote script runner `fvtool script --remote` uses.
+
+use crate::frame::{read_reply, LineReader};
+use fv_api::codec::{ScriptItem, ScriptLine};
+use fv_api::{format_request, parse_response, parse_script, ApiError, Request, Response};
+use std::io::Write;
+use std::net::TcpStream;
+
+/// A connected client. One request at a time: [`Client::execute`] writes
+/// a line and blocks for its frame. (The script runner below pipelines
+/// instead.)
+pub struct Client {
+    reader: LineReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7007`).
+    pub fn connect(addr: &str) -> Result<Client, ApiError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ApiError::io(format!("connect {addr}: {e}")))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| ApiError::io(format!("clone stream: {e}")))?;
+        Ok(Client {
+            reader: LineReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw wire line and read its single reply frame. The outer
+    /// error is transport-level; the inner `Result` is the server's
+    /// answer.
+    pub fn roundtrip(&mut self, line: &str) -> Result<Result<String, ApiError>, ApiError> {
+        writeln!(self.writer, "{line}").map_err(|e| ApiError::io(format!("send: {e}")))?;
+        match read_reply(&mut self.reader)? {
+            Some(reply) => Ok(reply),
+            None => Err(ApiError::io("server closed the connection")),
+        }
+    }
+
+    /// Execute a typed request remotely: format → send → decode.
+    pub fn execute(&mut self, request: &Request) -> Result<Response, ApiError> {
+        let text = self.roundtrip(&format_request(request))??;
+        parse_response(&text)
+    }
+
+    /// Switch (and materialize) the connection's current session.
+    pub fn use_session(&mut self, name: &str) -> Result<(), ApiError> {
+        let reply = self.roundtrip(&format!("use {name}"))??;
+        if reply == format!("using {name}") {
+            Ok(())
+        } else {
+            Err(ApiError::io(format!("unexpected use reply {reply:?}")))
+        }
+    }
+
+    /// Drop the connection's current session server-side (the connection
+    /// falls back to the default session). How one-shot clients avoid
+    /// leaking scratch sessions.
+    pub fn close_session(&mut self) -> Result<(), ApiError> {
+        let reply = self.roundtrip("close")??;
+        if reply.starts_with("closed ") {
+            Ok(())
+        } else {
+            Err(ApiError::io(format!("unexpected close reply {reply:?}")))
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ApiError> {
+        let reply = self.roundtrip("ping")??;
+        if reply == "pong" {
+            Ok(())
+        } else {
+            Err(ApiError::io(format!("unexpected ping reply {reply:?}")))
+        }
+    }
+
+    /// Ask the server to stop (acknowledged with `bye` before it does).
+    pub fn shutdown_server(&mut self) -> Result<(), ApiError> {
+        let reply = self.roundtrip("shutdown")??;
+        if reply == "bye" {
+            Ok(())
+        } else {
+            Err(ApiError::io(format!("unexpected shutdown reply {reply:?}")))
+        }
+    }
+}
+
+/// Replay a script against a remote server, streaming transcript blocks
+/// to `sink` — the remote counterpart of `EngineHub::run_script_streaming`
+/// plus `TranscriptEntry::render`, producing byte-identical text: for
+/// each executed request, `<session>:<line>> <canonical request>\n` then
+/// the response text and a newline.
+///
+/// The whole script is parsed locally first (so parse errors carry the
+/// same line numbers as local replay, and nothing is sent for a bad
+/// script), then written to the socket in one pipelined burst while
+/// frames are read back in order. On a request error the runner stops —
+/// with the same `line N:`-prefixed error local replay produces — and
+/// drops the connection; lines already in flight may still execute
+/// server-side (mutations are never rolled back, same as a local
+/// mid-script error).
+pub fn run_script_remote(
+    addr: &str,
+    text: &str,
+    mut sink: impl FnMut(&str),
+) -> Result<(), ApiError> {
+    let lines = parse_script(text)?;
+    let stream =
+        TcpStream::connect(addr).map_err(|e| ApiError::io(format!("connect {addr}: {e}")))?;
+    let mut write_half = stream
+        .try_clone()
+        .map_err(|e| ApiError::io(format!("clone stream: {e}")))?;
+    let ctrl = stream
+        .try_clone()
+        .map_err(|e| ApiError::io(format!("clone stream: {e}")))?;
+    let mut reader = LineReader::new(stream);
+
+    // One burst: the server sees the whole script buffered and batches
+    // contiguous same-session runs. A writer thread keeps large scripts
+    // from deadlocking against un-drained responses.
+    let mut wire = String::new();
+    for line in &lines {
+        match &line.item {
+            ScriptItem::Use(name) => {
+                wire.push_str("use ");
+                wire.push_str(name);
+            }
+            ScriptItem::Request(request) => wire.push_str(&format_request(request)),
+        }
+        wire.push('\n');
+    }
+    let writer = std::thread::spawn(move || {
+        // A send failure surfaces as missing frames on the read side.
+        let _ = write_half.write_all(wire.as_bytes());
+        let _ = write_half.shutdown(std::net::Shutdown::Write);
+    });
+
+    let result = read_script_replies(&lines, &mut reader, &mut sink);
+    // Tear the socket down BEFORE joining the writer: after a mid-script
+    // error we stop draining responses, so for a large script the server
+    // can stall against our full receive path, stop reading, and leave
+    // the writer thread blocked in write_all forever. Killing the socket
+    // fails that write and lets the join complete. (Harmless on success —
+    // the writer already finished and half-closed.)
+    let _ = ctrl.shutdown(std::net::Shutdown::Both);
+    let _ = writer.join();
+    result
+}
+
+fn read_script_replies(
+    lines: &[ScriptLine],
+    reader: &mut LineReader<TcpStream>,
+    sink: &mut impl FnMut(&str),
+) -> Result<(), ApiError> {
+    let mut session = fv_api::EngineHub::default_session();
+    for line in lines {
+        let reply = read_reply(reader)?
+            .ok_or_else(|| ApiError::io("server closed the connection mid-script"))?;
+        match &line.item {
+            ScriptItem::Use(name) => {
+                // consume the `using` acknowledgement
+                reply.map_err(|e| decorate(line.line_no, e))?;
+                session = fv_api::SessionId::new(name.clone())?;
+            }
+            ScriptItem::Request(request) => match reply {
+                Ok(text) => sink(&format!(
+                    "{}:{}> {}\n{}\n",
+                    session,
+                    line.line_no,
+                    format_request(request),
+                    text
+                )),
+                Err(e) => return Err(decorate(line.line_no, e)),
+            },
+        }
+    }
+    Ok(())
+}
+
+/// Prefix a server-side error with its script line, matching the local
+/// `run_script` error shape exactly.
+fn decorate(line_no: usize, e: ApiError) -> ApiError {
+    ApiError::new(e.code, format!("line {line_no}: {}", e.message))
+}

@@ -1,0 +1,249 @@
+//! Line framing over a byte stream: bounded request lines inbound,
+//! `ok`/`err` response frames outbound.
+//!
+//! Requests are newline-terminated text lines (the `fv-api` wire
+//! grammar). Responses are framed so a client can recover multi-line
+//! response text without sniffing content:
+//!
+//! ```text
+//! ok <n>\n        n ≥ 1; the next n lines are the response text
+//! <line 1>\n
+//! …
+//! <line n>\n
+//!
+//! err <CODE> <message>\n     one line; CODE is a stable E_* error code
+//! ```
+//!
+//! Every non-blank, non-comment request line produces exactly one frame,
+//! in request order. Blank lines and `#` comments produce nothing (same
+//! as in scripts). Request lines longer than [`MAX_LINE`] bytes are
+//! rejected with `E_PARSE` and the connection is closed (there is no way
+//! to find the next line boundary safely); lines that are not valid
+//! UTF-8 are rejected with `E_PARSE` but the connection survives (the
+//! boundary is known).
+
+use fv_api::{ApiError, ErrorCode};
+use std::io::{self, Read, Write};
+
+/// Upper bound on one request line (bytes, excluding the newline). Longer
+/// lines are adversarial or corrupt, never legitimate requests.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// How reading one line can fail.
+#[derive(Debug)]
+pub enum LineError {
+    /// Line exceeded [`MAX_LINE`] before a newline appeared. Not
+    /// recoverable: the stream position within the oversized line is
+    /// unknown, so the connection must close.
+    TooLong,
+    /// Line bytes are not valid UTF-8. Recoverable: the line boundary
+    /// was found, so the next line can still be read.
+    BadUtf8,
+    /// Transport failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for LineError {
+    fn from(e: io::Error) -> Self {
+        LineError::Io(e)
+    }
+}
+
+/// Buffered line reader that exposes whether a complete line is already
+/// buffered — the hook the server uses to batch contiguous requests
+/// without ever blocking while holding a partial batch.
+pub struct LineReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; everything before it has been consumed.
+    start: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    pub fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::with_capacity(4096),
+            start: 0,
+        }
+    }
+
+    /// Whether a complete line is already buffered, i.e. the next
+    /// [`LineReader::read_line`] will return without touching the
+    /// transport.
+    pub fn has_buffered_line(&self) -> bool {
+        self.buf[self.start..].contains(&b'\n')
+    }
+
+    /// Read one line (without its terminator). `Ok(None)` is a clean EOF
+    /// at a line boundary; EOF in the middle of a line (a truncated
+    /// frame) also returns `Ok(None)`, discarding the partial line — a
+    /// disconnected peer cannot receive a response anyway.
+    pub fn read_line(&mut self) -> Result<Option<String>, LineError> {
+        loop {
+            if let Some(pos) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                let end = self.start + pos;
+                let line = &self.buf[self.start..end];
+                let line = std::str::from_utf8(line)
+                    .map(|s| s.trim_end_matches('\r').to_string())
+                    .map_err(|_| LineError::BadUtf8);
+                self.start = end + 1;
+                self.compact();
+                return line.map(Some);
+            }
+            if self.buf.len() - self.start > MAX_LINE {
+                return Err(LineError::TooLong);
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.inner.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.start > 8192 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Write a success frame for response text `body` (no trailing newline in
+/// `body`; the frame adds its own terminators).
+pub fn write_ok(w: &mut impl Write, body: &str) -> io::Result<()> {
+    let n = body.lines().count().max(1);
+    writeln!(w, "ok {n}")?;
+    writeln!(w, "{body}")
+}
+
+/// Write an error frame. Newlines in the message (impossible for errors
+/// built from wire input, but cheap to guarantee) are flattened so the
+/// frame stays one line.
+pub fn write_err(w: &mut impl Write, e: &ApiError) -> io::Result<()> {
+    let msg = e.message.replace(['\n', '\r'], " ");
+    writeln!(w, "err {} {}", e.code.as_str(), msg)
+}
+
+/// One response frame, as a client sees it.
+pub type Reply = Result<String, ApiError>;
+
+/// Read one response frame: `Ok(None)` on clean EOF, `Ok(Some(reply))`
+/// with the server's answer (success text or typed error), `Err` on a
+/// transport/framing failure.
+pub fn read_reply<R: Read>(reader: &mut LineReader<R>) -> Result<Option<Reply>, ApiError> {
+    let header = match reader.read_line() {
+        Ok(Some(h)) => h,
+        Ok(None) => return Ok(None),
+        Err(e) => return Err(transport_error(e)),
+    };
+    if let Some(rest) = header.strip_prefix("ok ") {
+        let n: usize = rest
+            .parse()
+            .map_err(|_| ApiError::parse(format!("bad frame header {header:?}")))?;
+        if n == 0 || n > MAX_LINE {
+            return Err(ApiError::parse(format!("bad frame line count {n}")));
+        }
+        let mut body = String::new();
+        for i in 0..n {
+            match reader.read_line() {
+                Ok(Some(line)) => {
+                    if i > 0 {
+                        body.push('\n');
+                    }
+                    body.push_str(&line);
+                }
+                Ok(None) => return Err(ApiError::io("connection closed mid-frame")),
+                Err(e) => return Err(transport_error(e)),
+            }
+        }
+        return Ok(Some(Ok(body)));
+    }
+    if let Some(rest) = header.strip_prefix("err ") {
+        let (code, message) = match rest.split_once(' ') {
+            Some((c, m)) => (c, m.to_string()),
+            None => (rest, String::new()),
+        };
+        let code = ErrorCode::from_wire(code)
+            .ok_or_else(|| ApiError::parse(format!("unknown error code in frame {header:?}")))?;
+        return Ok(Some(Err(ApiError::new(code, message))));
+    }
+    Err(ApiError::parse(format!(
+        "malformed frame header {header:?}"
+    )))
+}
+
+fn transport_error(e: LineError) -> ApiError {
+    match e {
+        LineError::TooLong => ApiError::parse("response line exceeds the frame limit"),
+        LineError::BadUtf8 => ApiError::parse("response line is not valid UTF-8"),
+        LineError::Io(e) => ApiError::io(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_split_and_buffering_is_visible() {
+        let data = b"alpha\nbeta\ngamma".to_vec();
+        let mut r = LineReader::new(&data[..]);
+        assert_eq!(r.read_line().unwrap(), Some("alpha".to_string()));
+        assert!(r.has_buffered_line(), "beta is already buffered");
+        assert_eq!(r.read_line().unwrap(), Some("beta".to_string()));
+        assert!(!r.has_buffered_line());
+        // trailing bytes without a newline are a truncated line → EOF
+        assert_eq!(r.read_line().unwrap(), None);
+    }
+
+    #[test]
+    fn crlf_is_tolerated() {
+        let data = b"alpha\r\nbeta\r\n".to_vec();
+        let mut r = LineReader::new(&data[..]);
+        assert_eq!(r.read_line().unwrap(), Some("alpha".to_string()));
+        assert_eq!(r.read_line().unwrap(), Some("beta".to_string()));
+    }
+
+    #[test]
+    fn oversized_line_is_too_long() {
+        let data = vec![b'a'; MAX_LINE + 2];
+        let mut r = LineReader::new(&data[..]);
+        assert!(matches!(r.read_line(), Err(LineError::TooLong)));
+    }
+
+    #[test]
+    fn bad_utf8_is_recoverable() {
+        let mut data = vec![0xff, 0xfe, b'\n'];
+        data.extend_from_slice(b"ok\n");
+        let mut r = LineReader::new(&data[..]);
+        assert!(matches!(r.read_line(), Err(LineError::BadUtf8)));
+        assert_eq!(r.read_line().unwrap(), Some("ok".to_string()));
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "one line").unwrap();
+        write_ok(&mut buf, "two\nlines").unwrap();
+        write_err(&mut buf, &ApiError::not_found("dataset 7")).unwrap();
+        let mut r = LineReader::new(&buf[..]);
+        assert_eq!(read_reply(&mut r).unwrap().unwrap().unwrap(), "one line");
+        assert_eq!(read_reply(&mut r).unwrap().unwrap().unwrap(), "two\nlines");
+        let err = read_reply(&mut r).unwrap().unwrap().unwrap_err();
+        assert_eq!(err.code, ErrorCode::NotFound);
+        assert_eq!(err.message, "dataset 7");
+        assert!(read_reply(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn newlines_in_error_messages_are_flattened() {
+        let mut buf = Vec::new();
+        write_err(&mut buf, &ApiError::invalid("multi\nline\nmessage")).unwrap();
+        let mut r = LineReader::new(&buf[..]);
+        let err = read_reply(&mut r).unwrap().unwrap().unwrap_err();
+        assert_eq!(err.message, "multi line message");
+    }
+}

@@ -1,0 +1,45 @@
+//! # fv-net — sharded TCP transport for the fv-api wire protocol
+//!
+//! This crate takes the `fv-api` request/response protocol across the
+//! process boundary: a std-only threaded TCP server that speaks the
+//! line-oriented wire codec over sockets, partitions sessions across N
+//! worker shards, and a client (plus remote script runner) that make
+//! `fvtool --remote` byte-identical to local execution.
+//!
+//! ```text
+//!   clients            fvtool --remote · Client · run_script_remote
+//!        │  request lines ▸ / ◂ ok|err frames        [`frame`]
+//!        ▼
+//!   Server             accept loop, one reader thread per connection
+//!        │  contiguous same-session runs             [`server`]
+//!        ▼
+//!   ShardPool          hash(SessionId) → shard; each worker owns one
+//!        │  EngineHub behind a channel               [`shard`]
+//!        ▼
+//!   fv-api             EngineHub::execute_run_on (shared layout passes)
+//! ```
+//!
+//! Guarantees:
+//! - **Per-connection ordering**: responses arrive in request order, one
+//!   frame per non-blank non-comment line.
+//! - **Session affinity**: a session's requests always execute on the
+//!   same shard, serialized; disjoint sessions on different shards run
+//!   concurrently.
+//! - **Coalescing survives the wire**: contiguous same-session request
+//!   runs map onto `EngineHub::execute_run_on`, sharing pane-layout
+//!   passes exactly like local script replay (which uses the same entry
+//!   point).
+//! - **Failure containment**: malformed or oversized lines produce typed
+//!   `E_PARSE` frames (closing the connection only when the line boundary
+//!   is lost); a panicking request costs its session, never the shard.
+//!
+//! See `crates/net/README.md` for the framing grammar and a quickstart.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod shard;
+
+pub use client::{run_script_remote, Client};
+pub use server::{Server, ServerConfig};
+pub use shard::shard_of;

@@ -1,0 +1,319 @@
+//! The threaded TCP server: accept loop, per-connection readers, and the
+//! contiguous-run batching that keeps damage coalescing alive over the
+//! wire.
+//!
+//! One reader thread per connection parses wire lines and routes requests
+//! to the owning shard (see [`crate::shard`]). Consecutive request lines
+//! for the connection's current session are collected into a *run* — the
+//! reader keeps appending for as long as another complete line is already
+//! buffered — and executed via `EngineHub::execute_run_on`, so a
+//! pipelined client's command stream pays one layout pass per run instead
+//! of one per request, with responses still per-request and in request
+//! order. Response order per connection always equals request order;
+//! requests from different connections to the *same* session serialize on
+//! the owning shard in arrival order.
+
+use crate::frame::{write_err, write_ok, LineError, LineReader, MAX_LINE};
+use crate::shard::{ShardHandles, ShardPool};
+use fv_api::codec::ScriptItem;
+use fv_api::{ApiError, EngineHub, Request, SessionId, WireItem};
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker shard count; sessions are hash-partitioned across shards.
+    pub shards: usize,
+    /// Scene dimensions every shard's hub resolves damage against.
+    pub scene: (usize, usize),
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            scene: fv_api::engine::DEFAULT_SCENE,
+        }
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    /// Stream clones of live connections keyed by connection id, so
+    /// shutdown can unblock their readers. Connections deregister on
+    /// exit — a lingering clone would hold the socket open (no FIN to
+    /// the peer) and leak an fd per connection.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`Server::shutdown`] (or send a `shutdown` line) and then
+/// [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    shards: usize,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving in background threads.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let shards = config.shards.max(1);
+        let accept = std::thread::Builder::new()
+            .name("fv-net-accept".into())
+            .spawn(move || accept_loop(listener, config, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr: local,
+            shards,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of worker shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Ask the server to stop: the accept loop exits, live connections
+    /// are shut down, shard workers drain and exit.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the server has fully stopped (after [`Server::shutdown`]
+    /// or a client's `shutdown` line).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, config: ServerConfig, shared: Arc<Shared>) {
+    let pool = ShardPool::spawn(config.shards, config.scene);
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn_id: u64 = 0;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    shared
+                        .conns
+                        .lock()
+                        .expect("conn registry")
+                        .push((conn_id, clone));
+                }
+                let handles = pool.handles();
+                let conn_shared = Arc::clone(&shared);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("fv-net-conn".into())
+                    .spawn(move || {
+                        handle_conn(stream, handles, &conn_shared);
+                        // Deregister so the registry clone does not hold
+                        // the socket open past the connection's life.
+                        conn_shared
+                            .conns
+                            .lock()
+                            .expect("conn registry")
+                            .retain(|(id, _)| *id != conn_id);
+                    })
+                {
+                    conn_threads.push(h);
+                }
+                // Opportunistically reap finished connection threads so a
+                // long-lived server does not accumulate handles.
+                conn_threads.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(_) => break,
+        }
+    }
+    // Shutdown: unblock every connection reader, wait for them, then let
+    // the shard workers drain.
+    for (_, conn) in shared.conns.lock().expect("conn registry").drain(..) {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    for h in conn_threads {
+        let _ = h.join();
+    }
+    pool.join();
+}
+
+fn handle_conn(stream: TcpStream, shards: ShardHandles, shared: &Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let mut session = EngineHub::default_session();
+    // Contiguous request lines for the current session, not yet executed.
+    let mut run: Vec<Request> = Vec::new();
+    loop {
+        // Never block on the transport while requests are pending: if no
+        // complete line is already buffered, execute the run now. This is
+        // the batching rule — runs grow exactly as far as the client has
+        // already pipelined.
+        if !reader.has_buffered_line()
+            && flush_run(&mut writer, &shards, &session, &mut run).is_err()
+        {
+            break;
+        }
+        let line = match reader.read_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(LineError::BadUtf8) => {
+                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
+                    break;
+                }
+                let e = ApiError::parse("request line is not valid UTF-8");
+                if write_err(&mut writer, &e)
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            Err(LineError::TooLong) => {
+                let e = ApiError::parse(format!("request line exceeds {MAX_LINE} bytes"));
+                let _ = write_err(&mut writer, &e).and_then(|_| writer.flush());
+                break;
+            }
+            Err(LineError::Io(_)) => break,
+        };
+        let item = match fv_api::parse_wire_line(&line) {
+            Ok(None) => continue,
+            Ok(Some(item)) => item,
+            Err(e) => {
+                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
+                    break;
+                }
+                if write_err(&mut writer, &e)
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+        };
+        match item {
+            WireItem::Script(ScriptItem::Request(request)) => {
+                // Executed by the top-of-loop flush once the pipeline
+                // would otherwise stall, or by a directive below.
+                run.push(request);
+            }
+            WireItem::Script(ScriptItem::Use(name)) => {
+                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
+                    break;
+                }
+                let reply = match SessionId::new(name) {
+                    Ok(id) => {
+                        // Materialize eagerly (the `use` semantics) on the
+                        // owning shard.
+                        session = id;
+                        let _ = shards.execute(&session, Vec::new());
+                        write_ok(&mut writer, &format!("using {session}"))
+                    }
+                    Err(e) => write_err(&mut writer, &e),
+                };
+                if reply.and_then(|_| writer.flush()).is_err() {
+                    break;
+                }
+            }
+            WireItem::Ping => {
+                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
+                    break;
+                }
+                if write_ok(&mut writer, "pong")
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            WireItem::Close => {
+                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
+                    break;
+                }
+                shards.close(&session);
+                let closed = std::mem::replace(&mut session, EngineHub::default_session());
+                if write_ok(&mut writer, &format!("closed {closed}"))
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            WireItem::Shutdown => {
+                let _ = flush_run(&mut writer, &shards, &session, &mut run);
+                let _ = write_ok(&mut writer, "bye").and_then(|_| writer.flush());
+                shared.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+    }
+}
+
+/// Execute the pending run (if any) and write its frames in request
+/// order. Errors only on transport failure — request errors become `err`
+/// frames. Every request in the run gets exactly one frame: when the run
+/// stops at an error, the never-executed tail gets explicit `skipped`
+/// error frames, so pipelined clients stay frame-synchronized whether or
+/// not they abort on errors.
+fn flush_run(
+    writer: &mut impl Write,
+    shards: &ShardHandles,
+    session: &SessionId,
+    run: &mut Vec<Request>,
+) -> std::io::Result<()> {
+    if run.is_empty() {
+        return Ok(());
+    }
+    let n = run.len();
+    let reply = shards.execute(session, std::mem::take(run));
+    for response in &reply.responses {
+        write_ok(writer, &fv_api::format_response(response))?;
+    }
+    if let Some((idx, e)) = reply.error {
+        write_err(writer, &e)?;
+        let skipped = ApiError::invalid(format!(
+            "skipped: request {} earlier in this pipelined run failed ({})",
+            idx + 1,
+            e.code.as_str()
+        ));
+        for _ in idx + 1..n {
+            write_err(writer, &skipped)?;
+        }
+    }
+    writer.flush()
+}

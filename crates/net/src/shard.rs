@@ -1,0 +1,241 @@
+//! Session sharding: N worker threads, each owning one [`EngineHub`].
+//!
+//! The hub is the sharding seam (see `crates/api/README.md`): sessions
+//! are partitioned by a stable hash of their name, so every request for a
+//! session lands on the same worker and sessions never need cross-shard
+//! coordination. Workers own their hub outright — connections talk to
+//! them over channels, so there is no lock to contend on or poison; a
+//! panicking request (an engine bug) costs the offending session, never
+//! the shard.
+
+use fv_api::engine::fnv1a;
+use fv_api::{ApiError, EngineHub, Request, RunOutcome, SessionId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+pub(crate) enum Job {
+    /// Execute a request run on the session (empty runs just materialize
+    /// it — the `use` semantics). Answered with the run's
+    /// [`RunOutcome`].
+    Run {
+        session: SessionId,
+        requests: Vec<Request>,
+        reply: mpsc::Sender<RunOutcome>,
+    },
+    /// Drop the session; replies whether it existed.
+    Close {
+        session: SessionId,
+        reply: mpsc::Sender<bool>,
+    },
+}
+
+/// Cloneable per-connection handle onto the shard workers.
+#[derive(Clone)]
+pub(crate) struct ShardHandles {
+    senders: Vec<mpsc::Sender<Job>>,
+}
+
+impl ShardHandles {
+    /// Which shard owns `id`: FNV-1a of the session name, mod shard
+    /// count. Stable across connections and server restarts.
+    pub fn shard_of(&self, id: &SessionId) -> usize {
+        shard_of(id, self.senders.len())
+    }
+
+    /// Execute a request run on the owning shard, blocking until the
+    /// shard replies. An empty `requests` still materializes the session
+    /// (the `use` semantics).
+    pub fn execute(&self, session: &SessionId, requests: Vec<Request>) -> RunOutcome {
+        let (tx, rx) = mpsc::channel();
+        let job = Job::Run {
+            session: session.clone(),
+            requests,
+            reply: tx,
+        };
+        if self.senders[self.shard_of(session)].send(job).is_err() {
+            return shard_down();
+        }
+        rx.recv().unwrap_or_else(|_| shard_down())
+    }
+
+    /// Drop a session on its owning shard; `false` if it did not exist
+    /// (or the shard is gone).
+    pub fn close(&self, session: &SessionId) -> bool {
+        let (tx, rx) = mpsc::channel();
+        let job = Job::Close {
+            session: session.clone(),
+            reply: tx,
+        };
+        if self.senders[self.shard_of(session)].send(job).is_err() {
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+}
+
+fn shard_down() -> RunOutcome {
+    RunOutcome {
+        responses: Vec::new(),
+        error: Some((
+            0,
+            ApiError::new(fv_api::ErrorCode::Internal, "shard worker is gone"),
+        )),
+    }
+}
+
+/// Stable shard routing function (exposed for tests and docs).
+pub fn shard_of(id: &SessionId, n_shards: usize) -> usize {
+    (fnv1a(id.as_str().as_bytes()) % n_shards.max(1) as u64) as usize
+}
+
+/// The worker threads plus the means to stop them. Workers exit when
+/// every [`ShardHandles`] clone is gone and [`ShardPool::join`] drops the
+/// originals.
+pub(crate) struct ShardPool {
+    handles: ShardHandles,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawn `n` workers, each with an empty [`EngineHub`] resolving
+    /// damage against `scene`.
+    pub fn spawn(n: usize, scene: (usize, usize)) -> ShardPool {
+        let n = n.max(1);
+        let mut senders = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fv-net-shard-{i}"))
+                    .spawn(move || worker(rx, scene))
+                    .expect("spawn shard worker"),
+            );
+        }
+        ShardPool {
+            handles: ShardHandles { senders },
+            workers,
+        }
+    }
+
+    pub fn handles(&self) -> ShardHandles {
+        self.handles.clone()
+    }
+
+    /// Drop the original senders and wait for the workers to drain and
+    /// exit. Callers must first ensure connection threads (which hold
+    /// handle clones) are done, or this blocks until they are.
+    pub fn join(self) {
+        drop(self.handles);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker(rx: mpsc::Receiver<Job>, scene: (usize, usize)) {
+    let mut hub = EngineHub::with_scene(scene.0, scene.1);
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Close { session, reply } => {
+                let _ = reply.send(hub.close(&session));
+            }
+            Job::Run {
+                session,
+                requests,
+                reply,
+            } => {
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| hub.execute_run_on(&session, &requests)));
+                let out = outcome.unwrap_or_else(|_| {
+                    // An engine panic means the session's state is
+                    // suspect; drop the session so the shard (and its
+                    // other sessions) stays healthy, and report a typed
+                    // internal error.
+                    hub.close(&session);
+                    RunOutcome {
+                        responses: Vec::new(),
+                        error: Some((
+                            0,
+                            ApiError::new(
+                                fv_api::ErrorCode::Internal,
+                                format!("request panicked; session {session} was dropped"),
+                            ),
+                        )),
+                    }
+                });
+                // The connection may already be gone; that is not the
+                // shard's problem.
+                let _ = reply.send(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_api::{Mutation, Query};
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for name in ["main", "alpha", "s0", "s1", "s2", "s3"] {
+            let id = SessionId::new(name).unwrap();
+            let s = shard_of(&id, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(&id, 4), "routing must be deterministic");
+        }
+        assert_eq!(shard_of(&SessionId::new("x").unwrap(), 0), 0);
+    }
+
+    #[test]
+    fn pool_executes_and_isolates_sessions() {
+        let pool = ShardPool::spawn(4, (640, 480));
+        let handles = pool.handles();
+        let a = SessionId::new("a").unwrap();
+        let b = SessionId::new("b").unwrap();
+        let reply = handles.execute(
+            &a,
+            vec![Request::Mutate(Mutation::LoadScenario {
+                n_genes: 60,
+                seed: 1,
+            })],
+        );
+        assert!(reply.error.is_none());
+        let reply = handles.execute(&b, vec![Request::Query(Query::SessionInfo)]);
+        assert!(reply.error.is_none());
+        match &reply.responses[0] {
+            fv_api::Response::SessionInfo(info) => assert_eq!(info.n_datasets, 0),
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert!(handles.close(&a), "a existed");
+        assert!(!handles.close(&a), "a already closed");
+        drop(handles);
+        pool.join();
+    }
+
+    #[test]
+    fn failed_run_reports_index_and_prefix() {
+        let pool = ShardPool::spawn(2, (640, 480));
+        let handles = pool.handles();
+        let s = SessionId::new("s").unwrap();
+        let reply = handles.execute(
+            &s,
+            vec![
+                Request::Mutate(Mutation::LoadScenario {
+                    n_genes: 60,
+                    seed: 1,
+                }),
+                Request::Mutate(Mutation::Impute { dataset: 9, k: 3 }),
+            ],
+        );
+        assert_eq!(reply.responses.len(), 1);
+        let (idx, err) = reply.error.unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(err.code, fv_api::ErrorCode::NotFound);
+        drop(handles);
+        pool.join();
+    }
+}

@@ -1,0 +1,246 @@
+//! Adversarial framing: malformed lines, oversized requests, truncated
+//! frames, binary garbage, and mid-script disconnects must produce typed
+//! `E_PARSE`/`E_INVALID` frames (or a clean connection close) and must
+//! never poison a shard — sessions on the same shard keep working, and
+//! new connections keep being served. Includes a property test over
+//! byte-mangled valid scripts.
+
+use fv_net::frame::{read_reply, LineReader, MAX_LINE};
+use fv_net::{Client, Server, ServerConfig};
+use proptest::test_runner::TestRng;
+use std::io::Write;
+use std::net::TcpStream;
+
+fn server() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 4,
+            scene: (800, 600),
+        },
+    )
+    .expect("bind")
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    for (line, code) in [
+        ("wat 7", fv_api::ErrorCode::Parse),
+        ("scroll", fv_api::ErrorCode::Parse),
+        ("scroll abc", fv_api::ErrorCode::Parse),
+        ("select_region 0 0.5", fv_api::ErrorCode::Parse),
+        ("set_linkage diagonal", fv_api::ErrorCode::Parse),
+        ("use two words", fv_api::ErrorCode::Parse),
+        ("spell 5 YAL001C", fv_api::ErrorCode::InvalidRequest), // parses; invalid without datasets
+    ] {
+        let err = client
+            .roundtrip(line)
+            .expect("transport stays up")
+            .expect_err("server must reject");
+        assert_eq!(err.code, code, "line {line:?}");
+    }
+    // the same connection still works
+    client.roundtrip("scenario 60 1").unwrap().unwrap();
+    let info = client.roundtrip("session_info").unwrap().unwrap();
+    assert!(info.starts_with("session datasets=3"));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn execution_errors_do_not_poison_the_session_or_shard() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.use_session("victim").unwrap();
+    client.roundtrip("scenario 60 1").unwrap().unwrap();
+    let err = client
+        .roundtrip("impute 9 3")
+        .unwrap()
+        .expect_err("bad dataset index");
+    assert_eq!(err.code, fv_api::ErrorCode::NotFound);
+    // state before the error is intact, further requests fine
+    let info = client.roundtrip("session_info").unwrap().unwrap();
+    assert!(info.starts_with("session datasets=3"));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_request_line_is_rejected_then_closed() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut write_half = stream.try_clone().unwrap();
+    let mut reader = LineReader::new(stream);
+    // MAX_LINE+ bytes without a newline
+    let blob = vec![b'a'; MAX_LINE + 128];
+    write_half.write_all(&blob).unwrap();
+    write_half.flush().unwrap();
+    let reply = read_reply(&mut reader)
+        .expect("typed frame, not a hangup")
+        .expect("a frame arrives");
+    let err = reply.expect_err("oversized line is an error");
+    assert_eq!(err.code, fv_api::ErrorCode::Parse);
+    assert!(err.message.contains("exceeds"), "{}", err.message);
+    // …and the connection closes (no way to resync)
+    assert!(read_reply(&mut reader).unwrap().is_none());
+    // the server keeps serving new connections
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn binary_garbage_is_rejected_but_the_line_boundary_recovers() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut write_half = stream.try_clone().unwrap();
+    let mut reader = LineReader::new(stream);
+    write_half.write_all(&[0xff, 0xfe, 0x00, b'\n']).unwrap();
+    write_half.write_all(b"ping\n").unwrap();
+    write_half.flush().unwrap();
+    let err = read_reply(&mut reader).unwrap().unwrap().unwrap_err();
+    assert_eq!(err.code, fv_api::ErrorCode::Parse);
+    assert_eq!(read_reply(&mut reader).unwrap().unwrap().unwrap(), "pong");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn mid_script_disconnect_leaves_the_session_usable() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+    {
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        // a complete use + request, then a TRUNCATED line, then vanish
+        write_half
+            .write_all(b"use torn\nscenario 60 1\nsearch_sel")
+            .unwrap();
+        write_half.flush().unwrap();
+        // read the `using` ack so we know the server got the prefix
+        let mut reader = LineReader::new(stream);
+        assert_eq!(
+            read_reply(&mut reader).unwrap().unwrap().unwrap(),
+            "using torn"
+        );
+        // drop both halves: connection dies with a partial line pending
+    }
+    // the shard is healthy and the session's completed prefix persisted
+    let mut client = Client::connect(&addr).unwrap();
+    client.use_session("torn").unwrap();
+    let info = client.roundtrip("session_info").unwrap().unwrap();
+    assert!(
+        info.starts_with("session datasets=3"),
+        "scenario before the disconnect must have executed: {info}"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn blank_and_comment_lines_produce_no_frames() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut write_half = stream.try_clone().unwrap();
+    let mut reader = LineReader::new(stream);
+    write_half
+        .write_all(b"# comment\n\n   \nping\n# tail\n")
+        .unwrap();
+    write_half.shutdown(std::net::Shutdown::Write).unwrap();
+    assert_eq!(read_reply(&mut reader).unwrap().unwrap().unwrap(), "pong");
+    assert!(
+        read_reply(&mut reader).unwrap().is_none(),
+        "exactly 1 frame"
+    );
+    server.shutdown();
+    server.join();
+}
+
+/// Property test: mangling bytes of a valid script must never hang,
+/// crash, or poison the server — every mangled non-blank non-comment line
+/// still gets exactly one frame (ok or err), and the shard answers a
+/// clean request afterwards.
+#[test]
+fn mangled_scripts_never_poison_the_shard() {
+    const CASES: usize = 48;
+    let base = [
+        "scenario 80 7",
+        "set_metric euclidean",
+        "cluster_all",
+        "search_select stress",
+        "select_region 0 0.1 0.9",
+        "scroll 2",
+        "export_selection gene_list",
+        "session_info",
+        "list_datasets",
+    ];
+    let server = server();
+    let addr = server.local_addr().to_string();
+    let mut rng = TestRng::from_name("mangled_scripts");
+    for case in 0..CASES {
+        // mangle 1–3 lines: flip one byte each to a random byte
+        let mut lines: Vec<Vec<u8>> = base.iter().map(|l| l.as_bytes().to_vec()).collect();
+        for _ in 0..=(rng.below(3)) {
+            let li = rng.below(lines.len() as u64) as usize;
+            let bi = rng.below(lines[li].len() as u64) as usize;
+            let mut b = rng.below(256) as u8;
+            if b == b'\n' || b == b'\r' {
+                b = b'x';
+            }
+            lines[li][bi] = b;
+        }
+        // a mangled line could accidentally spell a control word; keep the
+        // property about *request* handling
+        lines.retain(|l| l.as_slice() != b"shutdown" && l.as_slice() != b"close");
+        let expect_frames = lines
+            .iter()
+            .filter(|l| {
+                let t = String::from_utf8_lossy(l);
+                let t = t.trim();
+                !t.is_empty() && !t.starts_with('#')
+            })
+            .count();
+
+        let stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+            panic!("case {case}: server stopped accepting: {e}");
+        });
+        let mut write_half = stream.try_clone().unwrap();
+        let mut reader = LineReader::new(stream);
+        let mut blob = format!("use mangle{case}\n").into_bytes();
+        for l in &lines {
+            blob.extend_from_slice(l);
+            blob.push(b'\n');
+        }
+        write_half.write_all(&blob).unwrap();
+        write_half.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut frames = 0usize;
+        while let Some(_reply) = read_reply(&mut reader).unwrap_or_else(|e| {
+            panic!("case {case}: transport failure instead of typed frames: {e}")
+        }) {
+            frames += 1;
+        }
+        assert_eq!(
+            frames,
+            expect_frames + 1, // +1 for the `using` ack
+            "case {case}: frame-per-line broken for {:?}",
+            lines
+                .iter()
+                .map(|l| String::from_utf8_lossy(l).into_owned())
+                .collect::<Vec<_>>()
+        );
+        // shard still healthy
+        let mut probe = Client::connect(&addr).unwrap();
+        probe.use_session(&format!("mangle{case}")).unwrap();
+        probe.roundtrip("session_info").unwrap().unwrap();
+    }
+    server.shutdown();
+    server.join();
+}

@@ -1,0 +1,193 @@
+//! Local-vs-remote conformance: replaying a script through a real
+//! localhost server must produce a transcript byte-identical to
+//! in-process `EngineHub::run_script` replay — including the golden
+//! script that pins the whole protocol surface.
+
+use fv_api::EngineHub;
+use fv_net::{run_script_remote, Client, Server, ServerConfig};
+
+/// The golden script of `fv-api` (the protocol's reference workload).
+const GOLDEN_SCRIPT: &str = include_str!("../../api/tests/data/session.fvs");
+
+/// Scene used by the golden transcript.
+const SCENE: (usize, usize) = (800, 600);
+
+fn server(shards: usize) -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards,
+            scene: SCENE,
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn local_transcript(script: &str) -> String {
+    EngineHub::with_scene(SCENE.0, SCENE.1)
+        .run_script(script)
+        .expect("local replay succeeds")
+        .transcript()
+}
+
+fn remote_transcript(addr: &str, script: &str) -> String {
+    let mut out = String::new();
+    run_script_remote(addr, script, |block| out.push_str(block)).expect("remote replay succeeds");
+    out
+}
+
+#[test]
+fn golden_script_is_byte_identical_over_the_wire() {
+    let server = server(4);
+    let addr = server.local_addr().to_string();
+    let local = local_transcript(GOLDEN_SCRIPT);
+    let remote = remote_transcript(&addr, GOLDEN_SCRIPT);
+    assert_eq!(remote, local, "wire transcript drifted from local replay");
+    // …and the checked-in golden file agrees too, transitively pinning
+    // the wire format.
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../api/tests/data/session.golden"
+    ))
+    .expect("golden file");
+    assert_eq!(remote, golden);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn remote_transcript_identical_across_shard_counts() {
+    // Shard routing must be invisible to any single session's results.
+    let local = local_transcript(GOLDEN_SCRIPT);
+    for shards in [1, 4] {
+        let server = server(shards);
+        let addr = server.local_addr().to_string();
+        assert_eq!(
+            remote_transcript(&addr, GOLDEN_SCRIPT),
+            local,
+            "transcript must not depend on shard count {shards}"
+        );
+        server.shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn failing_script_matches_local_prefix_and_error() {
+    let script = "\
+scenario 80 3
+cluster_all
+impute 9 3
+session_info
+";
+    let mut hub = EngineHub::with_scene(SCENE.0, SCENE.1);
+    let mut local = String::new();
+    let local_err = hub
+        .run_script_streaming(script, |e| local.push_str(&e.render()))
+        .expect_err("impute 9 must fail");
+
+    let server = server(2);
+    let addr = server.local_addr().to_string();
+    let mut remote = String::new();
+    let remote_err = run_script_remote(&addr, script, |b| remote.push_str(b))
+        .expect_err("remote replay must fail identically");
+
+    assert_eq!(remote, local, "executed-prefix transcripts must match");
+    assert_eq!(remote_err.code, local_err.code);
+    assert_eq!(remote_err.message, local_err.message);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn typed_client_execute_roundtrips_responses() {
+    // Client::execute must hand back typed responses equal to local
+    // execution — the decode path the remote CLI rests on.
+    use fv_api::{Mutation, Query, Request};
+    let server = server(2);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.use_session("typed").unwrap();
+    let mut engine = fv_api::Engine::with_scene(SCENE.0, SCENE.1);
+
+    let requests = [
+        Request::Mutate(Mutation::LoadScenario {
+            n_genes: 80,
+            seed: 11,
+        }),
+        Request::Mutate(Mutation::Command(forestview::command::Command::ClusterAll)),
+        Request::Mutate(Mutation::Command(forestview::command::Command::Search(
+            "stress".into(),
+        ))),
+        Request::Query(Query::ListDatasets),
+        Request::Query(Query::Spell {
+            genes: vec![fv_synth::names::orf_name(0)],
+            top_n: 3,
+        }),
+        Request::Query(Query::Render {
+            width: 200,
+            height: 150,
+            path: None,
+        }),
+        Request::Query(Query::SessionInfo),
+    ];
+    for request in &requests {
+        let local = engine.execute(request).unwrap();
+        let remote = client.execute(request).unwrap();
+        // Typed equality holds wherever the wire is lossless; for the
+        // float-carrying SPELL response, canonical text equality is the
+        // contract.
+        match &local {
+            fv_api::Response::SpellRanking { .. } => assert_eq!(
+                fv_api::format_response(&remote),
+                fv_api::format_response(&local)
+            ),
+            _ => assert_eq!(remote, local),
+        }
+    }
+    // typed error parity
+    let bad = Request::Mutate(Mutation::Impute { dataset: 9, k: 3 });
+    let local_err = engine.execute(&bad).unwrap_err();
+    let remote_err = client.execute(&bad).unwrap_err();
+    assert_eq!(remote_err.code, local_err.code);
+    assert_eq!(remote_err.message, local_err.message);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn close_drops_only_the_current_session() {
+    use fv_api::{Mutation, Query, Request, Response};
+    let server = server(2);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.use_session("keep").unwrap();
+    client
+        .execute(&Request::Mutate(Mutation::LoadScenario {
+            n_genes: 60,
+            seed: 1,
+        }))
+        .unwrap();
+    client.use_session("scratch").unwrap();
+    client
+        .execute(&Request::Mutate(Mutation::LoadScenario {
+            n_genes: 60,
+            seed: 2,
+        }))
+        .unwrap();
+    client.close_session().unwrap();
+    // connection fell back to the default session; `keep` is untouched,
+    // `scratch` is gone (a fresh `use` sees an empty hub entry).
+    client.use_session("keep").unwrap();
+    match client.execute(&Request::Query(Query::SessionInfo)).unwrap() {
+        Response::SessionInfo(info) => assert_eq!(info.n_datasets, 3),
+        other => panic!("wrong response: {other:?}"),
+    }
+    client.use_session("scratch").unwrap();
+    match client.execute(&Request::Query(Query::SessionInfo)).unwrap() {
+        Response::SessionInfo(info) => assert_eq!(info.n_datasets, 0, "scratch was dropped"),
+        other => panic!("wrong response: {other:?}"),
+    }
+    server.shutdown();
+    server.join();
+}

@@ -1,9 +1,12 @@
 //! `fvtool` — command-line front end to the ForestView reproduction.
 //!
 //! A thin client of `fv-api`: every subcommand builds typed
-//! [`fv_api::Request`]s and executes them through an [`fv_api::Engine`]
-//! (or, for `script`, an [`fv_api::EngineHub`]), then formats the typed
-//! responses. No session logic lives here — the CLI is one of several
+//! [`fv_api::Request`]s and executes them through a [`Backend`] — an
+//! in-process [`fv_api::Engine`] by default, or a live `fv-net` server
+//! when `--remote <addr>` is given. Local and remote runs produce
+//! byte-identical stdout and exit codes: the remote backend decodes wire
+//! responses back into typed values, so the same formatting code runs
+//! either way. No session logic lives here — the CLI is one of several
 //! interchangeable expressions of the same protocol.
 //!
 //! ```text
@@ -14,7 +17,14 @@
 //! fvtool spell   <gene,gene,...> <file.pcl>...       SPELL query over files
 //! fvtool demo    <out_dir>                           write a synthetic demo workspace
 //! fvtool script  <file.fvs>                          replay a request script
+//! fvtool serve   [--addr a:p] [--shards n]           run the sharded TCP server
+//! fvtool ping                                        probe a server (needs --remote)
+//! fvtool shutdown                                    stop a server (needs --remote)
 //! ```
+//!
+//! `--remote <addr>` may appear anywhere in the argument list. File paths
+//! inside requests (loads, exports) resolve on the serving process's
+//! filesystem.
 //!
 //! Exit codes: 0 success, 2 usage/parse errors, otherwise the stable
 //! per-class codes of [`fv_api::ErrorCode::exit_code`].
@@ -31,22 +41,63 @@ fn usage() -> ExitCode {
          fvtool search  <query> <file.pcl>...\n  \
          fvtool spell   <gene,gene,...> <file.pcl>...\n  \
          fvtool demo    <out_dir>\n  \
-         fvtool script  <file.fvs>"
+         fvtool script  <file.fvs>\n  \
+         fvtool serve   [--addr <host:port>] [--shards <n>]\n  \
+         fvtool ping    --remote <host:port>\n  \
+         fvtool shutdown --remote <host:port>\n\
+         options:\n  --remote <host:port>   run the subcommand against a live fvtool server"
     );
     ExitCode::from(2)
 }
 
-/// Load every file into the engine's session.
-fn load_files(engine: &mut Engine, files: &[String]) -> Result<(), ApiError> {
+/// Where requests execute: an in-process engine or a remote server. Both
+/// speak the same protocol, so every subcommand is backend-agnostic.
+enum Backend {
+    Local(Box<Engine>),
+    Remote(fv_net::Client),
+}
+
+impl Backend {
+    fn execute(&mut self, request: &Request) -> Result<Response, ApiError> {
+        match self {
+            Backend::Local(engine) => engine.execute(request),
+            Backend::Remote(client) => client.execute(request),
+        }
+    }
+
+    /// A path as the executing process should see it. Remote servers
+    /// resolve relative paths against *their* working directory, so
+    /// remote requests carry absolute paths — stdout still prints the
+    /// user's original strings.
+    fn path(&self, p: &str) -> String {
+        match self {
+            Backend::Local(_) => p.to_string(),
+            Backend::Remote(_) => {
+                let path = std::path::Path::new(p);
+                if path.is_absolute() {
+                    p.to_string()
+                } else {
+                    std::env::current_dir()
+                        .map(|d| d.join(path).to_string_lossy().into_owned())
+                        .unwrap_or_else(|_| p.to_string())
+                }
+            }
+        }
+    }
+}
+
+/// Load every file into the backend's session.
+fn load_files(backend: &mut Backend, files: &[String]) -> Result<(), ApiError> {
     for f in files {
-        engine.execute(&Request::Mutate(Mutation::LoadDataset { path: f.clone() }))?;
+        let path = backend.path(f);
+        backend.execute(&Request::Mutate(Mutation::LoadDataset { path }))?;
     }
     Ok(())
 }
 
 /// Run a query whose response must be `Text`.
-fn text_of(engine: &mut Engine, what: SelectionExport) -> Result<String, ApiError> {
-    match engine.execute(&Request::Query(Query::ExportSelection { what }))? {
+fn text_of(backend: &mut Backend, what: SelectionExport) -> Result<String, ApiError> {
+    match backend.execute(&Request::Query(Query::ExportSelection { what }))? {
         Response::Text { text } => Ok(text),
         other => unexpected("text export", &other),
     }
@@ -59,7 +110,7 @@ fn unexpected<T>(wanted: &str, got: &Response) -> Result<T, ApiError> {
     ))
 }
 
-fn cmd_render(args: &[String]) -> Result<(), ApiError> {
+fn cmd_render(backend: &mut Backend, args: &[String]) -> Result<(), ApiError> {
     let [out, w, h, files @ ..] = args else {
         return Err(ApiError::invalid(
             "render needs <out.ppm> <w> <h> <files...>",
@@ -72,50 +123,47 @@ fn cmd_render(args: &[String]) -> Result<(), ApiError> {
     if files.is_empty() {
         return Err(ApiError::invalid("no input files"));
     }
-    let mut engine = Engine::new();
-    load_files(&mut engine, files)?;
-    engine.execute(&Request::Mutate(Mutation::Command(Command::ClusterAll)))?;
-    let frame = engine.execute(&Request::Query(Query::Render {
+    load_files(backend, files)?;
+    backend.execute(&Request::Mutate(Mutation::Command(Command::ClusterAll)))?;
+    let frame = backend.execute(&Request::Query(Query::Render {
         width: w,
         height: h,
-        path: Some(out.clone()),
+        path: Some(backend.path(out)),
     }))?;
     let Response::Frame { panes, .. } = frame else {
         return unexpected("frame", &frame);
     };
     println!("wrote {out} ({w}x{h}, {panes} panes)");
-    match engine.execute(&Request::Query(Query::SessionInfo))? {
+    match backend.execute(&Request::Query(Query::SessionInfo))? {
         Response::SessionInfo(info) => print!("{}", info.summary),
         other => return unexpected("session-info", &other),
     }
     Ok(())
 }
 
-fn cmd_cluster(args: &[String]) -> Result<(), ApiError> {
+fn cmd_cluster(backend: &mut Backend, args: &[String]) -> Result<(), ApiError> {
     let [input, prefix] = args else {
         return Err(ApiError::invalid("cluster needs <in.pcl> <out_prefix>"));
     };
-    let mut engine = Engine::new();
-    load_files(&mut engine, std::slice::from_ref(input))?;
-    engine.execute(&Request::Mutate(Mutation::Command(Command::ClusterAll)))?;
-    engine.execute(&Request::Mutate(Mutation::ClusterArrays { dataset: 0 }))?;
-    engine.execute(&Request::Query(Query::ExportCdt {
+    load_files(backend, std::slice::from_ref(input))?;
+    backend.execute(&Request::Mutate(Mutation::Command(Command::ClusterAll)))?;
+    backend.execute(&Request::Mutate(Mutation::ClusterArrays { dataset: 0 }))?;
+    backend.execute(&Request::Query(Query::ExportCdt {
         dataset: 0,
-        prefix: Some(prefix.clone()),
+        prefix: Some(backend.path(prefix)),
     }))?;
     println!("wrote {prefix}.cdt / .gtr / .atr");
     Ok(())
 }
 
-fn cmd_impute(args: &[String]) -> Result<(), ApiError> {
+fn cmd_impute(backend: &mut Backend, args: &[String]) -> Result<(), ApiError> {
     let (input, output, k) = match args {
         [i, o] => (i, o, 10usize),
         [i, o, k] => (i, o, k.parse().map_err(|_| ApiError::parse("bad k"))?),
         _ => return Err(ApiError::invalid("impute needs <in.pcl> <out.pcl> [k]")),
     };
-    let mut engine = Engine::new();
-    load_files(&mut engine, std::slice::from_ref(input))?;
-    let imputed = engine.execute(&Request::Mutate(Mutation::Impute { dataset: 0, k }))?;
+    load_files(backend, std::slice::from_ref(input))?;
+    let imputed = backend.execute(&Request::Mutate(Mutation::Impute { dataset: 0, k }))?;
     let Response::Imputed {
         filled,
         missing_before,
@@ -123,24 +171,23 @@ fn cmd_impute(args: &[String]) -> Result<(), ApiError> {
     else {
         return unexpected("imputation", &imputed);
     };
-    engine.execute(&Request::Query(Query::ExportPcl {
+    backend.execute(&Request::Query(Query::ExportPcl {
         dataset: 0,
-        path: output.clone(),
+        path: backend.path(output),
     }))?;
     println!("filled {filled}/{missing_before} missing cells with k={k}; wrote {output}");
     Ok(())
 }
 
-fn cmd_search(args: &[String]) -> Result<(), ApiError> {
+fn cmd_search(backend: &mut Backend, args: &[String]) -> Result<(), ApiError> {
     let [query, files @ ..] = args else {
         return Err(ApiError::invalid("search needs <query> <files...>"));
     };
     if files.is_empty() {
         return Err(ApiError::invalid("no input files"));
     }
-    let mut engine = Engine::new();
-    load_files(&mut engine, files)?;
-    let applied = engine.execute(&Request::Mutate(Mutation::Command(Command::Search(
+    load_files(backend, files)?;
+    let applied = backend.execute(&Request::Mutate(Mutation::Command(Command::Search(
         query.clone(),
     ))))?;
     let Response::Applied { selection_len, .. } = applied else {
@@ -151,22 +198,21 @@ fn cmd_search(args: &[String]) -> Result<(), ApiError> {
         "{n} gene(s) match {query:?} across {} dataset(s):",
         files.len()
     );
-    print!("{}", text_of(&mut engine, SelectionExport::GeneList)?);
-    print!("{}", text_of(&mut engine, SelectionExport::Coverage)?);
+    print!("{}", text_of(backend, SelectionExport::GeneList)?);
+    print!("{}", text_of(backend, SelectionExport::Coverage)?);
     Ok(())
 }
 
-fn cmd_spell(args: &[String]) -> Result<(), ApiError> {
+fn cmd_spell(backend: &mut Backend, args: &[String]) -> Result<(), ApiError> {
     let [genes, files @ ..] = args else {
         return Err(ApiError::invalid("spell needs <gene,gene,...> <files...>"));
     };
     if files.is_empty() {
         return Err(ApiError::invalid("no input files"));
     }
-    let mut engine = Engine::new();
-    load_files(&mut engine, files)?;
+    load_files(backend, files)?;
     let query: Vec<String> = genes.split(',').map(|s| s.trim().to_string()).collect();
-    let ranking = engine.execute(&Request::Query(Query::Spell {
+    let ranking = backend.execute(&Request::Query(Query::Spell {
         genes: query,
         top_n: 20,
     }))?;
@@ -195,13 +241,12 @@ fn cmd_spell(args: &[String]) -> Result<(), ApiError> {
     Ok(())
 }
 
-fn cmd_demo(args: &[String]) -> Result<(), ApiError> {
+fn cmd_demo(backend: &mut Backend, args: &[String]) -> Result<(), ApiError> {
     let [dir] = args else {
         return Err(ApiError::invalid("demo needs <out_dir>"));
     };
     std::fs::create_dir_all(dir).map_err(|e| ApiError::io(format!("{dir}: {e}")))?;
-    let mut engine = Engine::new();
-    let loaded = engine.execute(&Request::Mutate(Mutation::LoadScenario {
+    let loaded = backend.execute(&Request::Mutate(Mutation::LoadScenario {
         n_genes: 800,
         seed: 2007,
     }))?;
@@ -210,9 +255,9 @@ fn cmd_demo(args: &[String]) -> Result<(), ApiError> {
     };
     for (d, name) in names.iter().enumerate() {
         let path = format!("{dir}/{name}.pcl");
-        let exported = engine.execute(&Request::Query(Query::ExportPcl {
+        let exported = backend.execute(&Request::Query(Query::ExportPcl {
             dataset: d,
-            path: path.clone(),
+            path: backend.path(&path),
         }))?;
         let Response::PclExported {
             genes, conditions, ..
@@ -226,36 +271,163 @@ fn cmd_demo(args: &[String]) -> Result<(), ApiError> {
     Ok(())
 }
 
-fn cmd_script(args: &[String]) -> Result<(), ApiError> {
+fn cmd_script(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
     let [path] = args else {
         return Err(ApiError::invalid("script needs <file.fvs>"));
     };
     let text = std::fs::read_to_string(path).map_err(|e| ApiError::io(format!("{path}: {e}")))?;
-    let mut hub = EngineHub::new();
-    // Stream entries as they execute so the transcript of the completed
-    // prefix survives a mid-script error (mutations are not rolled back).
-    hub.run_script_streaming(&text, |entry| print!("{}", entry.render()))?;
+    match remote {
+        None => {
+            let mut hub = EngineHub::new();
+            // Stream entries as they execute so the transcript of the
+            // completed prefix survives a mid-script error (mutations are
+            // not rolled back).
+            hub.run_script_streaming(&text, |entry| print!("{}", entry.render()))?;
+        }
+        Some(addr) => {
+            // Same streaming contract, same transcript bytes — over TCP.
+            fv_net::run_script_remote(addr, &text, |block| print!("{block}"))?;
+        }
+    }
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), ApiError> {
+    let mut addr = "127.0.0.1:7007".to_string();
+    let mut config = fv_net::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--addr needs <host:port>"))?
+                    .clone();
+            }
+            "--shards" => {
+                config.shards = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--shards needs <n>"))?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad shard count"))?;
+            }
+            other => {
+                return Err(ApiError::invalid(format!("unknown serve option {other:?}")));
+            }
+        }
+    }
+    let server = fv_net::Server::bind(&addr, config)
+        .map_err(|e| ApiError::io(format!("bind {addr}: {e}")))?;
+    println!(
+        "fvtool: serving on {} with {} shard(s)",
+        server.local_addr(),
+        server.n_shards()
+    );
+    // Make the address visible immediately even when stdout is a pipe
+    // (CI waits for it / parses the ephemeral port).
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    println!("fvtool: server stopped");
+    Ok(())
+}
+
+/// Why an invocation failed: an unrecognized command line (print usage)
+/// or a protocol error from executing a recognized one.
+enum Failure {
+    Usage,
+    Api(ApiError),
+}
+
+impl From<ApiError> for Failure {
+    fn from(e: ApiError) -> Self {
+        Failure::Api(e)
+    }
+}
+
+fn run(cmd: &str, rest: &[String], remote: Option<&str>) -> Result<(), Failure> {
+    // `script` streams through a hub/server; everything else runs typed
+    // requests through a backend.
+    match cmd {
+        "script" => return Ok(cmd_script(remote, rest)?),
+        "serve" => {
+            if remote.is_some() {
+                return Err(ApiError::invalid("serve runs a server; drop --remote").into());
+            }
+            return Ok(cmd_serve(rest)?);
+        }
+        "ping" => {
+            let addr = remote.ok_or_else(|| ApiError::invalid("ping needs --remote <addr>"))?;
+            fv_net::Client::connect(addr)?.ping()?;
+            println!("pong");
+            return Ok(());
+        }
+        "shutdown" => {
+            let addr = remote.ok_or_else(|| ApiError::invalid("shutdown needs --remote <addr>"))?;
+            fv_net::Client::connect(addr)?.shutdown_server()?;
+            println!("server shutting down");
+            return Ok(());
+        }
+        "render" | "cluster" | "impute" | "search" | "spell" | "demo" => {}
+        _ => return Err(Failure::Usage),
+    }
+    let mut backend = match remote {
+        Some(addr) => {
+            // Local one-shot invocations start from a fresh engine, so
+            // remote ones get a private scratch session (closed below) —
+            // that is what keeps stdout identical against a long-lived,
+            // already-populated server.
+            let mut client = fv_net::Client::connect(addr)?;
+            client.use_session(&scratch_session_name())?;
+            Backend::Remote(client)
+        }
+        None => Backend::Local(Box::new(Engine::new())),
+    };
+    let result = match cmd {
+        "render" => cmd_render(&mut backend, rest),
+        "cluster" => cmd_cluster(&mut backend, rest),
+        "impute" => cmd_impute(&mut backend, rest),
+        "search" => cmd_search(&mut backend, rest),
+        "spell" => cmd_spell(&mut backend, rest),
+        "demo" => cmd_demo(&mut backend, rest),
+        other => unreachable!("{other} was admitted above"),
+    };
+    if let Backend::Remote(client) = &mut backend {
+        // Best-effort: an unreachable server at this point must not mask
+        // the subcommand's own outcome.
+        let _ = client.close_session();
+    }
+    Ok(result?)
+}
+
+/// A session name unique enough for concurrent CLI invocations against
+/// one server.
+fn scratch_session_name() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("cli-{}-{nanos}", std::process::id())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--remote <addr>` may appear anywhere; extract it before dispatch.
+    let mut remote = None;
+    if let Some(i) = args.iter().position(|a| a == "--remote") {
+        if i + 1 >= args.len() {
+            return usage();
+        }
+        remote = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
-    let result = match cmd.as_str() {
-        "render" => cmd_render(rest),
-        "cluster" => cmd_cluster(rest),
-        "impute" => cmd_impute(rest),
-        "search" => cmd_search(rest),
-        "spell" => cmd_spell(rest),
-        "demo" => cmd_demo(rest),
-        "script" => cmd_script(rest),
-        _ => return usage(),
-    };
-    match result {
+    match run(cmd, rest, remote.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(Failure::Usage) => usage(),
+        Err(Failure::Api(e)) => {
             eprintln!("fvtool: {e}");
             ExitCode::from(e.exit_code())
         }
