@@ -38,9 +38,10 @@ pub enum ScriptItem {
 /// One parsed *wire* line: everything a script line can be, plus the
 /// transport-level control requests. Control lines are answered by the
 /// server itself (`ping` → `pong`, `shutdown` → `bye` + server stop,
-/// `close` → `closed <name>`) and never reach an engine's request
-/// surface; scripts deliberately reject them ([`parse_script`] treats
-/// control keywords as unknown requests).
+/// `close` → `closed <name>`, `stats` → a server-metrics reply,
+/// `list-sessions` → a merged cross-shard session listing) and never
+/// reach an engine's request surface; scripts deliberately reject them
+/// ([`parse_script`] treats control keywords as unknown requests).
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireItem {
     /// A script item (`use` or a request).
@@ -53,6 +54,12 @@ pub enum WireItem {
     /// owns), then fall back to the default session. How a one-shot
     /// remote client avoids leaking its scratch session.
     Close,
+    /// `stats` — server metrics snapshot (connections, per-shard queue
+    /// depth, run sizes, frame counters).
+    Stats,
+    /// `list-sessions` — every live session across all shards, merged and
+    /// sorted by name (see [`format_sessions_reply`]).
+    ListSessions,
 }
 
 /// Parse one line as a network transport sees it: `Ok(None)` for blank
@@ -71,6 +78,12 @@ pub fn parse_wire_line(raw: &str) -> Result<Option<WireItem>, ApiError> {
     }
     if line == "close" {
         return Ok(Some(WireItem::Close));
+    }
+    if line == "stats" {
+        return Ok(Some(WireItem::Stats));
+    }
+    if line == "list-sessions" {
+        return Ok(Some(WireItem::ListSessions));
     }
     if let Some(name) = parse_use(line)? {
         return Ok(Some(WireItem::Script(ScriptItem::Use(name))));
@@ -578,6 +591,33 @@ pub fn format_response(response: &Response) -> String {
     }
 }
 
+/// One session in a cross-shard `list-sessions` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionEntry {
+    /// Session name (a single whitespace-free token, per
+    /// [`crate::SessionId`]).
+    pub name: String,
+    /// Shard the session lives on.
+    pub shard: usize,
+    /// Datasets loaded into the session.
+    pub n_datasets: usize,
+}
+
+/// Canonical reply text for a `list-sessions` control line. Entries are
+/// emitted in the order given — servers merge shard listings and sort by
+/// name before formatting. The inverse is
+/// [`crate::decode::parse_sessions_reply`].
+pub fn format_sessions_reply(entries: &[SessionEntry]) -> String {
+    let mut out = format!("sessions n={}", entries.len());
+    for e in entries {
+        out.push_str(&format!(
+            "\n  session {} shard={} datasets={}",
+            e.name, e.shard, e.n_datasets
+        ));
+    }
+    out
+}
+
 // ── token helpers ───────────────────────────────────────────────────────
 
 fn no_args(keyword: &str, rest: &str) -> Result<(), ApiError> {
@@ -847,10 +887,38 @@ mod tests {
             Some(WireItem::Script(ScriptItem::Request(_)))
         ));
         assert_eq!(parse_wire_line("close").unwrap(), Some(WireItem::Close));
+        assert_eq!(parse_wire_line("stats").unwrap(), Some(WireItem::Stats));
+        assert_eq!(
+            parse_wire_line("list-sessions").unwrap(),
+            Some(WireItem::ListSessions)
+        );
         assert!(parse_wire_line("wat 7").is_err());
         // control keywords are transport-only: scripts reject them
         assert!(parse_script("ping\n").is_err());
         assert!(parse_script("shutdown\n").is_err());
         assert!(parse_script("close\n").is_err());
+        assert!(parse_script("stats\n").is_err());
+        assert!(parse_script("list-sessions\n").is_err());
+    }
+
+    #[test]
+    fn sessions_reply_format_is_stable() {
+        assert_eq!(format_sessions_reply(&[]), "sessions n=0");
+        let entries = [
+            SessionEntry {
+                name: "alpha".into(),
+                shard: 1,
+                n_datasets: 3,
+            },
+            SessionEntry {
+                name: "beta".into(),
+                shard: 0,
+                n_datasets: 0,
+            },
+        ];
+        assert_eq!(
+            format_sessions_reply(&entries),
+            "sessions n=2\n  session alpha shard=1 datasets=3\n  session beta shard=0 datasets=0"
+        );
     }
 }

@@ -16,11 +16,46 @@
 //! free-text fields at end of line (enrichment term names) may contain
 //! anything but newlines.
 
-use crate::codec::{parse_list, NONE};
+use crate::codec::{parse_list, SessionEntry, NONE};
 use crate::error::ApiError;
 use crate::response::{
     DamageRect, DatasetRow, EnrichmentRow, Response, SessionInfoData, SpellDatasetRow, SpellGeneRow,
 };
+
+/// Parse a `list-sessions` reply (as produced by
+/// [`crate::codec::format_sessions_reply`]) back into its entries.
+pub fn parse_sessions_reply(text: &str) -> Result<Vec<SessionEntry>, ApiError> {
+    let mut lines = text.lines();
+    let head = lines
+        .next()
+        .ok_or_else(|| ApiError::parse("empty sessions reply"))?;
+    let tail = head
+        .strip_prefix("sessions ")
+        .ok_or_else(|| ApiError::parse(format!("not a sessions reply: {head:?}")))?;
+    let n: usize = num(field(tail, "n")?, "n")?;
+    let cont: Vec<&str> = lines.collect();
+    let cont = de_indent(&cont)?;
+    let mut entries = Vec::with_capacity(n);
+    for line in &cont {
+        let row = line
+            .strip_prefix("session ")
+            .ok_or_else(|| ApiError::parse(format!("unexpected session row {line:?}")))?;
+        let (name, rest) = row
+            .split_once(' ')
+            .ok_or_else(|| ApiError::parse("session row needs fields"))?;
+        entries.push(SessionEntry {
+            name: name.to_string(),
+            shard: num(field(rest, "shard")?, "shard")?,
+            n_datasets: num(field(rest, "datasets")?, "datasets")?,
+        });
+    }
+    if entries.len() != n {
+        return Err(ApiError::parse(
+            "session row count disagrees with the header",
+        ));
+    }
+    Ok(entries)
+}
 
 /// Parse canonical response text (as produced by
 /// [`crate::codec::format_response`]) back into a typed [`Response`].
@@ -290,7 +325,9 @@ fn no_continuation(cont: &[String], what: &str) -> Result<(), ApiError> {
 
 /// Whitespace-delimited `key=value` lookup. Only safe for values without
 /// spaces — use [`mid_name`] / [`name_before`] for embedded names.
-fn field<'a>(s: &'a str, key: &str) -> Result<&'a str, ApiError> {
+/// Public because transport-level reply decoders (e.g. fv-net's `stats`
+/// parser) share this exact grammar — one parser, no drift.
+pub fn field<'a>(s: &'a str, key: &str) -> Result<&'a str, ApiError> {
     s.split_whitespace()
         .find_map(|tok| tok.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
         .ok_or_else(|| ApiError::parse(format!("missing field {key}=")))
@@ -323,7 +360,9 @@ fn name_before(s: &str, delim: &str) -> Result<(String, String), ApiError> {
     Ok((s[..at].to_string(), s[at + 1..].to_string()))
 }
 
-fn num<T: std::str::FromStr>(token: &str, what: &str) -> Result<T, ApiError> {
+/// Parse a numeric field value; `what` names the field in the error.
+/// Public for the same reason as [`field`].
+pub fn num<T: std::str::FromStr>(token: &str, what: &str) -> Result<T, ApiError> {
     token
         .parse()
         .map_err(|_| ApiError::parse(format!("bad {what}: {token:?}")))
@@ -536,6 +575,31 @@ mod tests {
                 array_clustered: false,
             }],
         });
+    }
+
+    #[test]
+    fn sessions_reply_roundtrips() {
+        use crate::codec::format_sessions_reply;
+        for entries in [
+            vec![],
+            vec![
+                SessionEntry {
+                    name: "alpha".into(),
+                    shard: 1,
+                    n_datasets: 3,
+                },
+                SessionEntry {
+                    name: "beta".into(),
+                    shard: 0,
+                    n_datasets: 0,
+                },
+            ],
+        ] {
+            let text = format_sessions_reply(&entries);
+            assert_eq!(parse_sessions_reply(&text).unwrap(), entries, "{text:?}");
+        }
+        assert!(parse_sessions_reply("sessions n=2\n  session a shard=0 datasets=0").is_err());
+        assert!(parse_sessions_reply("wat n=0").is_err());
     }
 
     #[test]

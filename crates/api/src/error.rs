@@ -26,6 +26,10 @@ pub enum ErrorCode {
     /// Query needs state that has not been built (ontology, scenario
     /// ground truth).
     MissingContext,
+    /// The server's per-connection pending-request queue is full; the
+    /// request was rejected without executing. Transient — back off and
+    /// retry once earlier responses have been drained.
+    Busy,
     /// Internal invariant violation — a bug, not a user error.
     Internal,
 }
@@ -41,6 +45,7 @@ impl ErrorCode {
             ErrorCode::Io => "E_IO",
             ErrorCode::Format => "E_FORMAT",
             ErrorCode::MissingContext => "E_MISSING_CONTEXT",
+            ErrorCode::Busy => "E_BUSY",
             ErrorCode::Internal => "E_INTERNAL",
         }
     }
@@ -57,6 +62,7 @@ impl ErrorCode {
             "E_IO" => ErrorCode::Io,
             "E_FORMAT" => ErrorCode::Format,
             "E_MISSING_CONTEXT" => ErrorCode::MissingContext,
+            "E_BUSY" => ErrorCode::Busy,
             "E_INTERNAL" => ErrorCode::Internal,
             _ => return None,
         })
@@ -72,6 +78,8 @@ impl ErrorCode {
             ErrorCode::Io | ErrorCode::NotFound => 66,
             ErrorCode::AlreadyExists => 73,
             ErrorCode::MissingContext => 78,
+            // sysexits EX_TEMPFAIL: try again later.
+            ErrorCode::Busy => 75,
             ErrorCode::Internal => 70,
         }
     }
@@ -116,6 +124,10 @@ impl ApiError {
 
     pub fn missing_context(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::MissingContext, message)
+    }
+
+    pub fn busy(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Busy, message)
     }
 
     /// Exit code a CLI process should terminate with.
@@ -169,6 +181,7 @@ mod tests {
             ErrorCode::Io,
             ErrorCode::Format,
             ErrorCode::MissingContext,
+            ErrorCode::Busy,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
@@ -181,6 +194,7 @@ mod tests {
         assert_eq!(ApiError::parse("x").exit_code(), 2);
         assert_eq!(ApiError::io("x").exit_code(), 66);
         assert_eq!(ApiError::format("x").exit_code(), 65);
+        assert_eq!(ApiError::busy("x").exit_code(), 75);
         assert_ne!(
             ApiError::missing_context("x").exit_code(),
             ApiError::parse("x").exit_code()

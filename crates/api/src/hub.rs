@@ -140,6 +140,16 @@ impl EngineHub {
         self.sessions.len()
     }
 
+    /// Every live session with its loaded-dataset count, sorted by name —
+    /// the per-hub half of a cross-shard `list-sessions` (a sharded
+    /// transport fans this out over its workers and merges the replies).
+    pub fn list_sessions(&self) -> Vec<(SessionId, usize)> {
+        self.sessions
+            .iter()
+            .map(|(id, engine)| (id.clone(), engine.session().n_datasets()))
+            .collect()
+    }
+
     /// The engine behind `id`, created empty on first use.
     pub fn engine(&mut self, id: &SessionId) -> &mut Engine {
         let scene = self.scene;
@@ -300,6 +310,28 @@ mod tests {
         assert_eq!(hub.n_sessions(), 2);
         assert!(hub.close(&b));
         assert!(!hub.close(&b));
+    }
+
+    #[test]
+    fn list_sessions_reports_names_and_dataset_counts() {
+        let mut hub = EngineHub::with_scene(640, 480);
+        assert!(hub.list_sessions().is_empty());
+        let b = SessionId::new("b").unwrap();
+        hub.execute_on(
+            &b,
+            &Request::Mutate(Mutation::LoadScenario {
+                n_genes: 60,
+                seed: 1,
+            }),
+        )
+        .unwrap();
+        hub.engine(&SessionId::new("a").unwrap()); // materialized, empty
+        let listed: Vec<(String, usize)> = hub
+            .list_sessions()
+            .into_iter()
+            .map(|(id, n)| (id.to_string(), n))
+            .collect();
+        assert_eq!(listed, [("a".to_string(), 0), ("b".to_string(), 3)]);
     }
 
     #[test]

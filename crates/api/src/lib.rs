@@ -63,9 +63,10 @@ pub mod request;
 pub mod response;
 
 pub use codec::{
-    format_request, format_response, parse_request, parse_script, parse_wire_line, WireItem,
+    format_request, format_response, format_sessions_reply, parse_request, parse_script,
+    parse_wire_line, SessionEntry, WireItem,
 };
-pub use decode::parse_response;
+pub use decode::{parse_response, parse_sessions_reply};
 pub use engine::{BatchOutcome, Engine, RunOutcome};
 pub use error::{ApiError, ErrorCode};
 pub use hub::{EngineHub, ScriptOutcome, SessionId};

@@ -1,12 +1,21 @@
 //! Wire-codec round-trip property tests: `parse(format(req)) == req` for
 //! every [`Request`] variant, through both the single-request parser and
-//! the script parser. The generators cover the documented lexical domain
-//! (tokens without whitespace/commas, free text without leading/trailing
-//! whitespace) — the codec's losslessness contract.
+//! the script parser — and the response side's
+//! `format_response(parse_response(t)) == t` for every `t` that
+//! `format_response` can produce (multi-line bodies, empty damage-rect
+//! lists, and free-text fields included). The generators cover the
+//! documented lexical domain (tokens without whitespace/commas, free
+//! text without leading/trailing whitespace) — the codec's losslessness
+//! contract.
 
 use forestview::command::Command;
-use fv_api::codec::{format_request, parse_request, parse_script, ScriptItem};
-use fv_api::{Mutation, NormalizeMethod, Query, Request, SelectionExport};
+use fv_api::codec::{format_request, format_response, parse_request, parse_script, ScriptItem};
+use fv_api::response::{
+    DamageRect, DatasetRow, EnrichmentRow, SessionInfoData, SpellDatasetRow, SpellGeneRow,
+};
+use fv_api::{
+    parse_response, Mutation, NormalizeMethod, Query, Request, Response, SelectionExport,
+};
 use fv_cluster::distance::Metric;
 use fv_cluster::linkage::Linkage;
 use proptest::prelude::*;
@@ -280,6 +289,202 @@ fn arb_request() -> impl Strategy<Value = Request> {
     proptest::strategy::OneOf::new(all)
 }
 
+/// Multi-line free text for `Response::Text` bodies and session
+/// summaries: word lines, blank lines, and adversarial lines that mimic
+/// frame headers (`err …`, `ok …`) — all of which the continuation
+/// indent plus advertised byte length must carry losslessly.
+fn arb_multiline(rng: &mut TestRng) -> String {
+    let n_lines = rng.below(5) as usize;
+    let mut text = String::new();
+    for _ in 0..n_lines {
+        match rng.below(5) {
+            0 => {} // blank line
+            1 => text.push_str("err E_FAKE looks like an error frame"),
+            2 => text.push_str("ok 3 looks like a success frame"),
+            _ => {
+                let words = 1 + rng.below(4) as usize;
+                for w in 0..words {
+                    if w > 0 {
+                        text.push(' ');
+                    }
+                    text.push_str(arb_token().generate(rng).as_str());
+                }
+            }
+        }
+        text.push('\n');
+    }
+    if !text.is_empty() && rng.below(3) == 0 {
+        text.pop(); // sometimes no trailing newline
+    }
+    text
+}
+
+fn arb_rects(rng: &mut TestRng) -> Vec<DamageRect> {
+    // 0 rects on a third of draws: the empty-damage-list case.
+    let n = rng.below(3) as usize * rng.below(2) as usize + rng.below(2) as usize;
+    (0..n)
+        .map(|_| DamageRect {
+            x: rng.below(4000) as usize,
+            y: rng.below(4000) as usize,
+            w: rng.below(2000) as usize,
+            h: rng.below(2000) as usize,
+        })
+        .collect()
+}
+
+fn arb_opt_len(rng: &mut TestRng) -> Option<usize> {
+    if rng.below(3) == 0 {
+        None
+    } else {
+        Some(rng.below(10_000) as usize)
+    }
+}
+
+/// Every Response variant, with generated payloads.
+fn arb_response() -> impl Strategy<Value = Response> {
+    let variants: Vec<Box<dyn Strategy<Value = Response>>> = vec![
+        Box::new(FnStrategy::new(|rng: &mut TestRng| Response::Applied {
+            selection_len: arb_opt_len(rng),
+            damage: arb_rects(rng),
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| Response::Loaded {
+            dataset: rng.below(16) as usize,
+            name: arb_token().generate(rng),
+            genes: rng.below(10_000) as usize,
+            conditions: rng.below(500) as usize,
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Response::ScenarioLoaded {
+                names: arb_gene_list().generate(rng),
+                n_genes: rng.below(10_000) as usize,
+            }
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Response::OntologyReady {
+                terms: rng.below(5000) as usize,
+            }
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| Response::Imputed {
+            filled: rng.below(100_000) as usize,
+            missing_before: rng.below(100_000) as usize,
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| Response::Normalized {
+            datasets: rng.below(32) as usize,
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            Response::ArraysClustered {
+                dataset: rng.below(16) as usize,
+            }
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| Response::SearchHits {
+            genes: arb_gene_list().generate(rng),
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let n_ds = rng.below(4) as usize;
+            let n_genes = rng.below(4) as usize;
+            Response::SpellRanking {
+                datasets: (0..n_ds)
+                    .map(|_| SpellDatasetRow {
+                        name: arb_text().generate(rng),
+                        weight: arb_f32().generate(rng),
+                        query_genes_present: rng.below(20) as usize,
+                    })
+                    .collect(),
+                genes: (0..n_genes)
+                    .map(|_| SpellGeneRow {
+                        gene: arb_token().generate(rng),
+                        score: arb_f32().generate(rng),
+                        n_datasets: rng.below(32) as usize,
+                    })
+                    .collect(),
+                query_missing: arb_gene_list().generate(rng),
+            }
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let n = rng.below(4) as usize;
+            Response::Enrichment {
+                rows: (0..n)
+                    .map(|_| EnrichmentRow {
+                        accession: format!("GO:{:07}", rng.below(10_000_000)),
+                        name: arb_text().generate(rng),
+                        p_value: rng.unit_f64() / 1.0e6,
+                        q_value: rng.unit_f64() / 1.0e3,
+                        overlap: rng.below(50) as usize,
+                        annotated: rng.below(500) as usize,
+                    })
+                    .collect(),
+            }
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| Response::Frame {
+            width: 1 + rng.below(4000) as usize,
+            height: 1 + rng.below(4000) as usize,
+            panes: rng.below(16) as usize,
+            checksum: rng.next_u64(),
+            path: if rng.below(2) == 0 {
+                None
+            } else {
+                Some(arb_path().generate(rng))
+            },
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| Response::CdtExported {
+            dataset: rng.below(16) as usize,
+            files: (0..rng.below(4) as usize)
+                .map(|_| arb_path().generate(rng))
+                .collect(),
+            cdt_bytes: rng.below(1 << 20) as usize,
+            has_gtr: rng.below(2) == 0,
+            has_atr: rng.below(2) == 0,
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| Response::PclExported {
+            dataset: rng.below(16) as usize,
+            path: arb_path().generate(rng),
+            genes: rng.below(10_000) as usize,
+            conditions: rng.below(500) as usize,
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| Response::Text {
+            text: arb_multiline(rng),
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let n = rng.below(6) as usize;
+            Response::SessionInfo(SessionInfoData {
+                n_datasets: n,
+                universe_genes: rng.below(10_000) as usize,
+                total_measurements: rng.below(1_000_000) as usize,
+                selection_len: arb_opt_len(rng),
+                sync_enabled: rng.below(2) == 0,
+                scroll: rng.below(1000) as usize,
+                dataset_order: (0..n).map(|_| rng.below(16) as usize).collect(),
+                summary: arb_multiline(rng),
+            })
+        })),
+        Box::new(FnStrategy::new(|rng: &mut TestRng| {
+            let n = rng.below(4) as usize;
+            Response::Datasets {
+                rows: (0..n)
+                    .map(|d| DatasetRow {
+                        dataset: d,
+                        name: arb_token().generate(rng),
+                        genes: rng.below(10_000) as usize,
+                        conditions: rng.below(500) as usize,
+                        gene_clustered: rng.below(2) == 0,
+                        array_clustered: rng.below(2) == 0,
+                    })
+                    .collect(),
+            }
+        })),
+    ];
+    proptest::strategy::OneOf::new(variants)
+}
+
+/// Whether the variant's canonical text carries every bit of the value
+/// (no display-precision floats), so typed equality must hold too.
+fn is_float_free(r: &Response) -> bool {
+    !matches!(
+        r,
+        Response::SpellRanking { .. } | Response::Enrichment { .. }
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -318,5 +523,26 @@ proptest! {
         }
         let lines = parse_script(&text).unwrap();
         prop_assert_eq!(lines.len(), reqs.len());
+    }
+
+    #[test]
+    fn response_format_then_parse_is_identity(resp in arb_response()) {
+        // Canonical-text identity holds for EVERY response the formatter
+        // can produce — multi-line bodies, empty damage-rect lists,
+        // frame-header-lookalike text lines, the lot. (Floats round-trip
+        // at display precision, hence text-level identity; float-free
+        // variants must also be typed-equal.)
+        let text = format_response(&resp);
+        let parsed = parse_response(&text);
+        prop_assert!(parsed.is_ok(), "format produced undecodable {text:?}: {parsed:?}");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(
+            format_response(&parsed),
+            text.clone(),
+            "decode must preserve the canonical text"
+        );
+        if is_float_free(&resp) {
+            prop_assert_eq!(parsed, resp, "lossless variant drifted; text was {}", text);
+        }
     }
 }

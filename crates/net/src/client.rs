@@ -87,6 +87,20 @@ impl Client {
             Err(ApiError::io(format!("unexpected shutdown reply {reply:?}")))
         }
     }
+
+    /// Snapshot the server's metrics (`stats` control line), decoded into
+    /// the typed [`crate::metrics::ServerStats`].
+    pub fn stats(&mut self) -> Result<crate::metrics::ServerStats, ApiError> {
+        let text = self.roundtrip("stats")??;
+        crate::metrics::parse_stats(&text)
+    }
+
+    /// List every live session across all shards (`list-sessions`
+    /// control line), merged and sorted by name server-side.
+    pub fn list_sessions(&mut self) -> Result<Vec<fv_api::SessionEntry>, ApiError> {
+        let text = self.roundtrip("list-sessions")??;
+        fv_api::parse_sessions_reply(&text)
+    }
 }
 
 /// Replay a script against a remote server, streaming transcript blocks

@@ -16,11 +16,17 @@
 //!
 //! Every non-blank, non-comment request line produces exactly one frame,
 //! in request order. Blank lines and `#` comments produce nothing (same
-//! as in scripts). Request lines longer than [`MAX_LINE`] bytes are
-//! rejected with `E_PARSE` and the connection is closed (there is no way
-//! to find the next line boundary safely); lines that are not valid
-//! UTF-8 are rejected with `E_PARSE` but the connection survives (the
-//! boundary is known).
+//! as in scripts). Faulty lines are *recoverable*: a request line longer
+//! than [`MAX_LINE`] bytes is reported once and its remaining bytes are
+//! discarded up to the next newline (framing resyncs there); a line that
+//! is not valid UTF-8 is reported with its boundary intact. Servers
+//! answer both with a typed `err E_INVALID` frame and keep the
+//! connection alive — error parity with local script replay, where a bad
+//! line never tears down the session.
+//!
+//! The core is [`FrameBuf`], a push parser fed raw bytes — the shape a
+//! readiness-driven event loop needs. [`LineReader`] wraps it for
+//! blocking `Read` streams (the client side).
 
 use fv_api::{ApiError, ErrorCode};
 use std::io::{self, Read, Write};
@@ -29,15 +35,26 @@ use std::io::{self, Read, Write};
 /// lines are adversarial or corrupt, never legitimate requests.
 pub const MAX_LINE: usize = 64 * 1024;
 
-/// How reading one line can fail.
+/// A per-line framing fault. Both are recoverable: the framer resyncs at
+/// the next newline and keeps delivering lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineFault {
+    /// Line exceeded [`MAX_LINE`] before a newline appeared. Reported
+    /// once; the line's remaining bytes are discarded up to (and
+    /// including) its terminating newline.
+    TooLong,
+    /// Line bytes are not valid UTF-8. The line boundary was found, so
+    /// the next line is unaffected.
+    BadUtf8,
+}
+
+/// How reading one line can fail ([`LineReader`]).
 #[derive(Debug)]
 pub enum LineError {
-    /// Line exceeded [`MAX_LINE`] before a newline appeared. Not
-    /// recoverable: the stream position within the oversized line is
-    /// unknown, so the connection must close.
+    /// See [`LineFault::TooLong`]. The reader stays usable: the next
+    /// [`LineReader::read_line`] resumes at the next line boundary.
     TooLong,
-    /// Line bytes are not valid UTF-8. Recoverable: the line boundary
-    /// was found, so the next line can still be read.
+    /// See [`LineFault::BadUtf8`]. The reader stays usable.
     BadUtf8,
     /// Transport failure.
     Io(io::Error),
@@ -49,22 +66,118 @@ impl From<io::Error> for LineError {
     }
 }
 
-/// Buffered line reader that exposes whether a complete line is already
-/// buffered — the hook the server uses to batch contiguous requests
-/// without ever blocking while holding a partial batch.
-pub struct LineReader<R: Read> {
-    inner: R,
+impl From<LineFault> for LineError {
+    fn from(f: LineFault) -> Self {
+        match f {
+            LineFault::TooLong => LineError::TooLong,
+            LineFault::BadUtf8 => LineError::BadUtf8,
+        }
+    }
+}
+
+/// Incremental line framer: bytes in ([`FrameBuf::feed`]), complete lines
+/// or per-line faults out ([`FrameBuf::next_line`]). Never blocks and
+/// never reads — the caller owns the transport, which is what lets a
+/// poll-based event loop drive hundreds of connections through one
+/// thread. Oversized lines switch the framer into a discard state that
+/// drops bytes until the next newline, so buffered memory stays bounded
+/// by `MAX_LINE` + one read chunk no matter what a client sends.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
     buf: Vec<u8>,
     /// Read cursor into `buf`; everything before it has been consumed.
     start: usize,
+    /// Inside an oversized line whose fault was already reported: drop
+    /// everything up to the next newline.
+    discarding: bool,
+}
+
+impl FrameBuf {
+    pub fn new() -> Self {
+        FrameBuf {
+            buf: Vec::with_capacity(4096),
+            start: 0,
+            discarding: false,
+        }
+    }
+
+    /// Append raw transport bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.discarding {
+            // Cheap fast-path: drop straight away instead of buffering an
+            // attacker-sized line.
+            if let Some(pos) = bytes.iter().position(|&b| b == b'\n') {
+                self.discarding = false;
+                self.buf.extend_from_slice(&bytes[pos + 1..]);
+            }
+            return;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether [`FrameBuf::next_line`] would deliver without more input.
+    pub fn has_line(&self) -> bool {
+        self.buf[self.start..].contains(&b'\n')
+            || (!self.discarding && self.buf.len() - self.start > MAX_LINE)
+    }
+
+    /// Whether consumed-but-unterminated bytes remain (a truncated final
+    /// line at EOF).
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.start
+    }
+
+    /// Next complete line (without its terminator, `\r` tolerated) or a
+    /// framing fault; `None` until more bytes arrive.
+    pub fn next_line(&mut self) -> Option<Result<String, LineFault>> {
+        if let Some(pos) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+            let end = self.start + pos;
+            let line = if pos > MAX_LINE {
+                // Whole line arrived in one feed but is over the limit;
+                // its boundary is known, so no discard state is needed.
+                Err(LineFault::TooLong)
+            } else {
+                std::str::from_utf8(&self.buf[self.start..end])
+                    .map(|s| s.trim_end_matches('\r').to_string())
+                    .map_err(|_| LineFault::BadUtf8)
+            };
+            self.start = end + 1;
+            self.compact();
+            return Some(line);
+        }
+        if self.buf.len() - self.start > MAX_LINE {
+            // Report once, then discard the rest of the line as it
+            // streams in.
+            self.buf.clear();
+            self.start = 0;
+            self.discarding = true;
+            return Some(Err(LineFault::TooLong));
+        }
+        None
+    }
+
+    fn compact(&mut self) {
+        if self.start > 8192 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Buffered line reader over a blocking `Read` stream — [`FrameBuf`]
+/// plus the reads. Exposes whether a complete line is already buffered,
+/// the hook batching servers/clients use to avoid blocking while holding
+/// a partial batch.
+pub struct LineReader<R: Read> {
+    inner: R,
+    frames: FrameBuf,
 }
 
 impl<R: Read> LineReader<R> {
     pub fn new(inner: R) -> Self {
         LineReader {
             inner,
-            buf: Vec::with_capacity(4096),
-            start: 0,
+            frames: FrameBuf::new(),
         }
     }
 
@@ -72,41 +185,26 @@ impl<R: Read> LineReader<R> {
     /// [`LineReader::read_line`] will return without touching the
     /// transport.
     pub fn has_buffered_line(&self) -> bool {
-        self.buf[self.start..].contains(&b'\n')
+        self.frames.has_line()
     }
 
     /// Read one line (without its terminator). `Ok(None)` is a clean EOF
     /// at a line boundary; EOF in the middle of a line (a truncated
     /// frame) also returns `Ok(None)`, discarding the partial line — a
-    /// disconnected peer cannot receive a response anyway.
+    /// disconnected peer cannot receive a response anyway. Fault errors
+    /// ([`LineError::TooLong`], [`LineError::BadUtf8`]) are per-line: the
+    /// reader stays usable and resyncs at the next boundary.
     pub fn read_line(&mut self) -> Result<Option<String>, LineError> {
         loop {
-            if let Some(pos) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
-                let end = self.start + pos;
-                let line = &self.buf[self.start..end];
-                let line = std::str::from_utf8(line)
-                    .map(|s| s.trim_end_matches('\r').to_string())
-                    .map_err(|_| LineError::BadUtf8);
-                self.start = end + 1;
-                self.compact();
-                return line.map(Some);
-            }
-            if self.buf.len() - self.start > MAX_LINE {
-                return Err(LineError::TooLong);
+            if let Some(line) = self.frames.next_line() {
+                return line.map(Some).map_err(LineError::from);
             }
             let mut chunk = [0u8; 4096];
             let n = self.inner.read(&mut chunk)?;
             if n == 0 {
                 return Ok(None);
             }
-            self.buf.extend_from_slice(&chunk[..n]);
-        }
-    }
-
-    fn compact(&mut self) {
-        if self.start > 8192 {
-            self.buf.drain(..self.start);
-            self.start = 0;
+            self.frames.feed(&chunk[..n]);
         }
     }
 }
@@ -208,10 +306,32 @@ mod tests {
     }
 
     #[test]
-    fn oversized_line_is_too_long() {
-        let data = vec![b'a'; MAX_LINE + 2];
+    fn oversized_line_is_reported_once_then_resyncs() {
+        let mut data = vec![b'a'; MAX_LINE + 2];
+        data.extend_from_slice(b"\nping\n");
         let mut r = LineReader::new(&data[..]);
         assert!(matches!(r.read_line(), Err(LineError::TooLong)));
+        // the reader recovered at the newline: the next line is intact
+        assert_eq!(r.read_line().unwrap(), Some("ping".to_string()));
+        assert_eq!(r.read_line().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_line_discard_is_incremental() {
+        // Fed in drips, the framer reports TooLong once, keeps memory
+        // bounded while discarding, and resumes at the boundary.
+        let mut f = FrameBuf::new();
+        f.feed(&vec![b'x'; MAX_LINE]);
+        assert!(f.next_line().is_none(), "exactly MAX_LINE: could still end");
+        f.feed(b"xx");
+        assert_eq!(f.next_line(), Some(Err(LineFault::TooLong)));
+        for _ in 0..64 {
+            f.feed(&[b'y'; 1024]);
+            assert!(f.next_line().is_none(), "still discarding");
+            assert!(!f.has_partial(), "discarded bytes must not buffer");
+        }
+        f.feed(b"tail\nok\n");
+        assert_eq!(f.next_line(), Some(Ok("ok".to_string())));
     }
 
     #[test]

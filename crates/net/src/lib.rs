@@ -1,27 +1,32 @@
-//! # fv-net — sharded TCP transport for the fv-api wire protocol
+//! # fv-net — sharded, event-loop TCP transport for the fv-api wire protocol
 //!
 //! This crate takes the `fv-api` request/response protocol across the
-//! process boundary: a std-only threaded TCP server that speaks the
-//! line-oriented wire codec over sockets, partitions sessions across N
-//! worker shards, and a client (plus remote script runner) that make
-//! `fvtool --remote` byte-identical to local execution.
+//! process boundary: a std-only TCP server whose connections are all
+//! driven by **one poll-based event-loop thread** (readiness-driven
+//! reads, incremental line framing, buffered writes — idle connections
+//! cost zero threads), with sessions partitioned across N worker shards,
+//! and a client (plus remote script runner) that make `fvtool --remote`
+//! byte-identical to local execution.
 //!
 //! ```text
 //!   clients            fvtool --remote · Client · run_script_remote
 //!        │  request lines ▸ / ◂ ok|err frames        [`frame`]
 //!        ▼
-//!   Server             accept loop, one reader thread per connection
-//!        │  contiguous same-session runs             [`server`]
+//!   Server             ONE event-loop thread: poll(accept, conns, waker)
+//!        │  contiguous same-session runs, bounded    [`server`], [`poll`]
+//!        │  pending queues (E_BUSY), stats counters  [`metrics`]
 //!        ▼
 //!   ShardPool          hash(SessionId) → shard; each worker owns one
-//!        │  EngineHub behind a channel               [`shard`]
+//!        │  EngineHub behind a channel; results      [`shard`]
+//!        │  return over a completion channel + waker
 //!        ▼
 //!   fv-api             EngineHub::execute_run_on (shared layout passes)
 //! ```
 //!
 //! Guarantees:
 //! - **Per-connection ordering**: responses arrive in request order, one
-//!   frame per non-blank non-comment line.
+//!   frame per non-blank non-comment line — pre-resolved errors
+//!   (parse faults, `E_BUSY` rejections) queue in line order too.
 //! - **Session affinity**: a session's requests always execute on the
 //!   same shard, serialized; disjoint sessions on different shards run
 //!   concurrently.
@@ -29,17 +34,28 @@
 //!   runs map onto `EngineHub::execute_run_on`, sharing pane-layout
 //!   passes exactly like local script replay (which uses the same entry
 //!   point).
-//! - **Failure containment**: malformed or oversized lines produce typed
-//!   `E_PARSE` frames (closing the connection only when the line boundary
-//!   is lost); a panicking request costs its session, never the shard.
+//! - **Bounded resources**: thread count is `1 + n_shards`, independent
+//!   of connection count; per-connection memory is bounded by the
+//!   pending-request limit (`E_BUSY` beyond it) plus inbox/outbox
+//!   watermarks that pause reads until the peer drains.
+//! - **Failure containment**: malformed, oversized, or non-UTF-8 lines
+//!   produce typed error frames and the connection survives; a panicking
+//!   request costs its session, never the shard.
+//! - **Observability**: the `stats` control line snapshots
+//!   [`ServerStats`] (connections, per-shard queue depth, run sizes,
+//!   frame counters); `list-sessions` lists every session across all
+//!   shards, merged and sorted.
 //!
 //! See `crates/net/README.md` for the framing grammar and a quickstart.
 
 pub mod client;
 pub mod frame;
+pub mod metrics;
+mod poll;
 pub mod server;
 pub mod shard;
 
 pub use client::{run_script_remote, Client};
+pub use metrics::{ServerStats, ShardStats};
 pub use server::{Server, ServerConfig};
 pub use shard::shard_of;

@@ -1,0 +1,199 @@
+//! Server observability: the typed [`ServerStats`] snapshot behind the
+//! `stats` control line, plus its canonical wire text.
+//!
+//! The reply is one multi-line `ok` frame in the same `key=value` shape
+//! as `fv-api` response text, so transcripts stay line-parseable:
+//!
+//! ```text
+//! stats shards=2 connections=1 sessions=3 frames_in=12 frames_out=11 busy=0 runs=5 requests=9 max_run=4
+//!   shard 0 sessions=2 queued=0 runs=3 requests=6 max_run=4
+//!   shard 1 sessions=1 queued=0 runs=2 requests=3 max_run=2
+//! ```
+//!
+//! [`format_stats`] and [`parse_stats`] are exact inverses — the typed
+//! client (`Client::stats`, `fvtool stats --remote`) round-trips through
+//! them, mirroring how responses flow through `format_response` /
+//! `parse_response`.
+
+use fv_api::decode::{field, num};
+use fv_api::ApiError;
+
+/// One worker shard's slice of a [`ServerStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Live sessions owned by the shard's hub.
+    pub sessions: usize,
+    /// Jobs queued on the shard channel, not yet picked up — the
+    /// backpressure gauge. A healthy idle server reports 0 everywhere.
+    pub queued: usize,
+    /// Non-empty request runs executed since startup.
+    pub runs: u64,
+    /// Requests executed across those runs.
+    pub requests: u64,
+    /// Largest single run (requests batched into one layout pass).
+    pub max_run: usize,
+}
+
+/// Snapshot answered to the `stats` control line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Live connections (the asking connection included).
+    pub connections: usize,
+    /// Live sessions across all shards.
+    pub sessions: usize,
+    /// Wire items received (requests + control lines; blank/comment
+    /// lines excluded), faults included.
+    pub frames_in: u64,
+    /// Response frames written (`ok` + `err`).
+    pub frames_out: u64,
+    /// Requests rejected with `E_BUSY` by the per-connection queue bound.
+    pub busy_rejections: u64,
+    /// Sum of per-shard executed runs.
+    pub runs: u64,
+    /// Sum of per-shard executed requests.
+    pub requests: u64,
+    /// Largest run across all shards.
+    pub max_run: usize,
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+/// Canonical reply text for a `stats` control line; inverse of
+/// [`parse_stats`].
+pub fn format_stats(stats: &ServerStats) -> String {
+    let mut out = format!(
+        "stats shards={} connections={} sessions={} frames_in={} frames_out={} busy={} runs={} requests={} max_run={}",
+        stats.shards.len(),
+        stats.connections,
+        stats.sessions,
+        stats.frames_in,
+        stats.frames_out,
+        stats.busy_rejections,
+        stats.runs,
+        stats.requests,
+        stats.max_run,
+    );
+    for s in &stats.shards {
+        out.push_str(&format!(
+            "\n  shard {} sessions={} queued={} runs={} requests={} max_run={}",
+            s.shard, s.sessions, s.queued, s.runs, s.requests, s.max_run
+        ));
+    }
+    out
+}
+
+/// Parse a `stats` reply back into the typed snapshot.
+pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
+    let mut lines = text.lines();
+    let head = lines
+        .next()
+        .ok_or_else(|| ApiError::parse("empty stats reply"))?;
+    let tail = head
+        .strip_prefix("stats ")
+        .ok_or_else(|| ApiError::parse(format!("not a stats reply: {head:?}")))?;
+    let n_shards: usize = num(field(tail, "shards")?, "shards")?;
+    let mut shards = Vec::with_capacity(n_shards);
+    for line in lines {
+        let row = line
+            .strip_prefix("  shard ")
+            .ok_or_else(|| ApiError::parse(format!("unexpected stats row {line:?}")))?;
+        let (idx, rest) = row
+            .split_once(' ')
+            .ok_or_else(|| ApiError::parse("shard row needs fields"))?;
+        shards.push(ShardStats {
+            shard: num(idx, "shard")?,
+            sessions: num(field(rest, "sessions")?, "sessions")?,
+            queued: num(field(rest, "queued")?, "queued")?,
+            runs: num(field(rest, "runs")?, "runs")?,
+            requests: num(field(rest, "requests")?, "requests")?,
+            max_run: num(field(rest, "max_run")?, "max_run")?,
+        });
+    }
+    if shards.len() != n_shards {
+        return Err(ApiError::parse("shard row count disagrees with header"));
+    }
+    Ok(ServerStats {
+        connections: num(field(tail, "connections")?, "connections")?,
+        sessions: num(field(tail, "sessions")?, "sessions")?,
+        frames_in: num(field(tail, "frames_in")?, "frames_in")?,
+        frames_out: num(field(tail, "frames_out")?, "frames_out")?,
+        busy_rejections: num(field(tail, "busy")?, "busy")?,
+        runs: num(field(tail, "runs")?, "runs")?,
+        requests: num(field(tail, "requests")?, "requests")?,
+        max_run: num(field(tail, "max_run")?, "max_run")?,
+        shards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServerStats {
+        ServerStats {
+            connections: 3,
+            sessions: 5,
+            frames_in: 120,
+            frames_out: 118,
+            busy_rejections: 2,
+            runs: 40,
+            requests: 90,
+            max_run: 12,
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    sessions: 3,
+                    queued: 0,
+                    runs: 25,
+                    requests: 60,
+                    max_run: 12,
+                },
+                ShardStats {
+                    shard: 1,
+                    sessions: 2,
+                    queued: 1,
+                    runs: 15,
+                    requests: 30,
+                    max_run: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_text_is_stable_and_roundtrips() {
+        let s = sample();
+        let text = format_stats(&s);
+        assert_eq!(
+            text,
+            "stats shards=2 connections=3 sessions=5 frames_in=120 frames_out=118 busy=2 \
+             runs=40 requests=90 max_run=12\n  \
+             shard 0 sessions=3 queued=0 runs=25 requests=60 max_run=12\n  \
+             shard 1 sessions=2 queued=1 runs=15 requests=30 max_run=7"
+        );
+        assert_eq!(parse_stats(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_shard_list_roundtrips() {
+        let s = ServerStats {
+            shards: Vec::new(),
+            ..sample()
+        };
+        assert_eq!(parse_stats(&format_stats(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        for bad in [
+            "",
+            "wat",
+            "stats shards=2 connections=1",
+            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0",
+        ] {
+            assert!(parse_stats(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

@@ -1,28 +1,72 @@
-//! The threaded TCP server: accept loop, per-connection readers, and the
-//! contiguous-run batching that keeps damage coalescing alive over the
-//! wire.
+//! The event-loop TCP server: one poll-driven thread owns every
+//! connection; N shard workers own the engines. No thread is ever spawned
+//! per connection — 1000 idle clients cost 1000 file descriptors and
+//! nothing else.
 //!
-//! One reader thread per connection parses wire lines and routes requests
-//! to the owning shard (see [`crate::shard`]). Consecutive request lines
-//! for the connection's current session are collected into a *run* — the
-//! reader keeps appending for as long as another complete line is already
-//! buffered — and executed via `EngineHub::execute_run_on`, so a
-//! pipelined client's command stream pays one layout pass per run instead
-//! of one per request, with responses still per-request and in request
-//! order. Response order per connection always equals request order;
-//! requests from different connections to the *same* session serialize on
-//! the owning shard in arrival order.
+//! ```text
+//!   poll(listener, waker, conn fds…)           [`crate::poll`]
+//!        │ readiness
+//!        ▼
+//!   event loop      accept · read → FrameBuf → wire items → inbox
+//!        │          inbox → contiguous request runs → shard jobs
+//!        │          completions → response frames → outbox → write
+//!        ▼
+//!   ShardPool       async jobs; results return over a completion
+//!                   channel + waker pipe       [`crate::shard`]
+//! ```
+//!
+//! **Batching.** Consecutive request lines for the connection's current
+//! session are dispatched as one *run* — everything the client has
+//! pipelined when the connection's previous work finishes — and executed
+//! via `EngineHub::execute_run_on`, so a pipelined command stream pays
+//! one layout pass per run with responses still per-request and in
+//! request order. Response order per connection always equals request
+//! order; requests from different connections to the *same* session
+//! serialize on the owning shard in arrival order.
+//!
+//! **Backpressure.** Two watermarks bound per-connection memory no
+//! matter how fast a client pipelines: requests beyond
+//! [`ServerConfig::queue_limit`] pending (queued + dispatched) are
+//! answered `err E_BUSY` without executing, and a connection whose
+//! outbox or inbox exceeds its high-water mark stops being read until it
+//! drains (TCP pushes the pressure back to the client).
+//!
+//! **Observability.** The loop and the shards keep counters; the `stats`
+//! control line snapshots them into a [`crate::metrics::ServerStats`]
+//! reply, and `list-sessions` fans out over the shards for a merged,
+//! name-sorted session listing.
 
-use crate::frame::{write_err, write_ok, LineError, LineReader, MAX_LINE};
-use crate::shard::{ShardHandles, ShardPool};
+use crate::frame::{write_err, write_ok, FrameBuf, LineFault, MAX_LINE};
+use crate::metrics::{ServerStats, ShardStats};
+use crate::poll::{self, PollEntry};
+use crate::shard::{ShardHandles, ShardPool, ShardReport};
 use fv_api::codec::ScriptItem;
-use fv_api::{ApiError, EngineHub, Request, SessionId, WireItem};
-use std::io::{BufWriter, Write};
+use fv_api::{ApiError, EngineHub, Request, RunOutcome, SessionId, WireItem};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{PipeReader, PipeWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Whether [`crate::poll`] reports real readiness (Linux) or the
+/// portable scan fallback (everything claims ready). The waker pipe is
+/// only polled for readiness on the real path.
+const REAL_POLL: bool = cfg!(target_os = "linux");
+
+/// Stop reading a connection whose un-flushed outbox exceeds this many
+/// bytes; reads resume once the peer drains its responses.
+const OUTBOX_HIGH_WATER: usize = 256 * 1024;
+
+/// Stop reading a connection with this many parsed-but-unanswered wire
+/// items (mostly `E_BUSY` rejects waiting behind an in-flight run).
+const INBOX_HIGH_WATER: usize = 1024;
+
+/// How long shutdown waits for already-written frames (e.g. the `bye`
+/// acknowledging a wire `shutdown`) to flush before closing sockets.
+const SHUTDOWN_FLUSH_GRACE: Duration = Duration::from_millis(500);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +75,9 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Scene dimensions every shard's hub resolves damage against.
     pub scene: (usize, usize),
+    /// Per-connection bound on pending (queued + dispatched, not yet
+    /// answered) requests; overruns are rejected with `E_BUSY`.
+    pub queue_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -38,17 +85,44 @@ impl Default for ServerConfig {
         ServerConfig {
             shards: 4,
             scene: fv_api::engine::DEFAULT_SCENE,
+            queue_limit: 128,
         }
+    }
+}
+
+/// Wakes the event loop from shard workers and [`Server::shutdown`]: a
+/// self-pipe with an at-most-one-byte-in-flight guarantee, so writes
+/// never block and a drain never starves.
+#[derive(Clone)]
+pub(crate) struct Waker {
+    tx: Arc<PipeWriter>,
+    pending: Arc<AtomicBool>,
+}
+
+impl Waker {
+    fn new(tx: PipeWriter) -> Waker {
+        Waker {
+            tx: Arc::new(tx),
+            pending: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    pub fn wake(&self) {
+        if !self.pending.swap(true, Ordering::SeqCst) {
+            let _ = (&*self.tx).write(&[1u8]);
+        }
+    }
+
+    /// Called by the loop before draining completions, so wakes that race
+    /// the drain write a fresh byte.
+    fn clear(&self) {
+        self.pending.store(false, Ordering::SeqCst);
     }
 }
 
 struct Shared {
     stop: AtomicBool,
-    /// Stream clones of live connections keyed by connection id, so
-    /// shutdown can unblock their readers. Connections deregister on
-    /// exit — a lingering clone would hold the socket open (no FIN to
-    /// the peer) and leak an fd per connection.
-    conns: Mutex<Vec<(u64, TcpStream)>>,
+    waker: Waker,
 }
 
 /// A running server. Dropping the handle does NOT stop the server; call
@@ -58,31 +132,32 @@ pub struct Server {
     addr: SocketAddr,
     shards: usize,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// serving in background threads.
+    /// serving: one event-loop thread plus the shard workers.
     pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let (waker_rx, waker_tx) = std::io::pipe()?;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            waker: Waker::new(waker_tx),
         });
-        let accept_shared = Arc::clone(&shared);
+        let loop_shared = Arc::clone(&shared);
         let shards = config.shards.max(1);
-        let accept = std::thread::Builder::new()
-            .name("fv-net-accept".into())
-            .spawn(move || accept_loop(listener, config, accept_shared))
-            .expect("spawn accept thread");
+        let event_loop = std::thread::Builder::new()
+            .name("fv-net-loop".into())
+            .spawn(move || event_loop(listener, config, loop_shared, waker_rx))
+            .expect("spawn event-loop thread");
         Ok(Server {
             addr: local,
             shards,
             shared,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
         })
     }
 
@@ -96,224 +171,642 @@ impl Server {
         self.shards
     }
 
-    /// Ask the server to stop: the accept loop exits, live connections
-    /// are shut down, shard workers drain and exit.
+    /// Ask the server to stop. The event loop is woken immediately (live
+    /// connections do not have to speak or hang up first), flushes what
+    /// it owes, closes every connection, and lets the shard workers
+    /// drain and exit.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
     }
 
     /// Block until the server has fully stopped (after [`Server::shutdown`]
     /// or a client's `shutdown` line).
     pub fn join(mut self) {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, config: ServerConfig, shared: Arc<Shared>) {
-    let pool = ShardPool::spawn(config.shards, config.scene);
-    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-    let mut next_conn_id: u64 = 0;
-    while !shared.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                let conn_id = next_conn_id;
-                next_conn_id += 1;
-                if let Ok(clone) = stream.try_clone() {
-                    shared
-                        .conns
-                        .lock()
-                        .expect("conn registry")
-                        .push((conn_id, clone));
-                }
-                let handles = pool.handles();
-                let conn_shared = Arc::clone(&shared);
-                if let Ok(h) = std::thread::Builder::new()
-                    .name("fv-net-conn".into())
-                    .spawn(move || {
-                        handle_conn(stream, handles, &conn_shared);
-                        // Deregister so the registry clone does not hold
-                        // the socket open past the connection's life.
-                        conn_shared
-                            .conns
-                            .lock()
-                            .expect("conn registry")
-                            .retain(|(id, _)| *id != conn_id);
-                    })
-                {
-                    conn_threads.push(h);
-                }
-                // Opportunistically reap finished connection threads so a
-                // long-lived server does not accumulate handles.
-                conn_threads.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(15));
-            }
-            Err(_) => break,
+// ── connection state ────────────────────────────────────────────────────
+
+/// One parsed wire line awaiting its answer, in arrival order. Rejects
+/// (parse faults, `E_BUSY` overruns) are pre-resolved but still queue, so
+/// every line's frame goes out in request order.
+enum Item {
+    Request(Request),
+    Reject(ApiError),
+    Use(SessionId),
+    Ping,
+    Close,
+    Stats,
+    ListSessions,
+    Shutdown,
+}
+
+/// What a `stats` / `list-sessions` fan-out is gathering toward.
+enum Gather {
+    Stats,
+    Sessions,
+}
+
+/// The shard work a connection is waiting on (at most one at a time —
+/// that is what keeps per-connection response order equal to request
+/// order).
+enum Inflight {
+    /// A dispatched request run (`ack` carries the `using <name>` reply
+    /// for the empty run a `use` directive materializes its session
+    /// with).
+    Run { ack: Option<String> },
+    /// A dispatched session close; answered `closed <name>`.
+    Close { closed: SessionId },
+    /// A `stats` / `list-sessions` fan-out collecting one report per
+    /// shard.
+    Gather {
+        what: Gather,
+        waiting: usize,
+        reports: Vec<ShardReport>,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuf,
+    out: Vec<u8>,
+    out_pos: usize,
+    session: SessionId,
+    inbox: VecDeque<Item>,
+    /// `Item::Request`s currently in `inbox`.
+    queued_requests: usize,
+    inflight: Option<Inflight>,
+    /// Requests in the dispatched run (for `skipped` frame counts and the
+    /// pending-queue bound).
+    inflight_requests: usize,
+    /// Read side saw EOF; the connection drains and closes gracefully.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            frames: FrameBuf::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            session: EngineHub::default_session(),
+            inbox: VecDeque::new(),
+            queued_requests: 0,
+            inflight: None,
+            inflight_requests: 0,
+            eof: false,
         }
     }
-    // Shutdown: unblock every connection reader, wait for them, then let
-    // the shard workers drain.
-    for (_, conn) in shared.conns.lock().expect("conn registry").drain(..) {
-        let _ = conn.shutdown(std::net::Shutdown::Both);
+
+    fn pending_requests(&self) -> usize {
+        self.queued_requests + self.inflight_requests
     }
-    for h in conn_threads {
-        let _ = h.join();
+
+    fn out_pending(&self) -> usize {
+        self.out.len() - self.out_pos
     }
+
+    fn wants_read(&self) -> bool {
+        !self.eof && self.out_pending() < OUTBOX_HIGH_WATER && self.inbox.len() < INBOX_HIGH_WATER
+    }
+
+    fn wants_write(&self) -> bool {
+        self.out_pending() > 0
+    }
+
+    /// Fully answered and hung up: safe to drop.
+    fn finished(&self) -> bool {
+        self.eof && self.inbox.is_empty() && self.inflight.is_none() && self.out_pending() == 0
+    }
+
+    fn push_ok(&mut self, body: &str, metrics: &mut LoopMetrics) {
+        write_ok(&mut self.out, body).expect("Vec writes are infallible");
+        metrics.frames_out += 1;
+    }
+
+    fn push_err(&mut self, e: &ApiError, metrics: &mut LoopMetrics) {
+        write_err(&mut self.out, e).expect("Vec writes are infallible");
+        metrics.frames_out += 1;
+    }
+
+    /// Write as much outbox as the socket accepts; `false` on a dead
+    /// transport.
+    fn flush(&mut self) -> bool {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        } else if self.out_pos > 64 * 1024 {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        true
+    }
+}
+
+#[derive(Default)]
+struct LoopMetrics {
+    frames_in: u64,
+    frames_out: u64,
+    busy_rejections: u64,
+}
+
+/// Results shard workers push back to the loop.
+pub(crate) struct Completion {
+    conn: u64,
+    payload: Payload,
+}
+
+pub(crate) enum Payload {
+    Run(RunOutcome),
+    /// A close finished (whether the session existed is not part of the
+    /// reply — `closed <name>` is acknowledged either way).
+    Closed,
+    Shard(ShardReport),
+}
+
+/// Adapter: the shard's close responder reports existence, the loop's
+/// completion does not care.
+fn closed_payload(_existed: bool) -> Payload {
+    Payload::Closed
+}
+
+/// Everything item processing needs besides the connection itself.
+struct Ctx<'a> {
+    shards: &'a ShardHandles,
+    done_tx: &'a mpsc::Sender<Completion>,
+    waker: &'a Waker,
+    queue_limit: usize,
+    metrics: &'a mut LoopMetrics,
+    /// Live connections (for `stats`), the serviced connection included.
+    n_conns: usize,
+    /// Set by a wire `shutdown`.
+    stop: &'a mut bool,
+}
+
+impl Ctx<'_> {
+    /// A responder that routes a shard result back through the completion
+    /// channel and pokes the waker.
+    fn responder<T: Send + 'static>(
+        &self,
+        conn: u64,
+        wrap: fn(T) -> Payload,
+    ) -> Box<dyn FnOnce(T) + Send> {
+        let done = self.done_tx.clone();
+        let waker = self.waker.clone();
+        Box::new(move |value| {
+            let _ = done.send(Completion {
+                conn,
+                payload: wrap(value),
+            });
+            waker.wake();
+        })
+    }
+}
+
+// ── the loop ────────────────────────────────────────────────────────────
+
+fn event_loop(
+    listener: TcpListener,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+    waker_rx: PipeReader,
+) {
+    let pool = ShardPool::spawn(config.shards, config.scene);
+    let shards = pool.handles();
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut next_conn_id: u64 = 0;
+    let mut metrics = LoopMetrics::default();
+    let mut stop = false;
+
+    while !stop && !shared.stop.load(Ordering::SeqCst) {
+        // Interest set, rebuilt per iteration: [listener, waker, conns…].
+        let ids: Vec<u64> = conns.keys().copied().collect();
+        let mut entries = Vec::with_capacity(ids.len() + 2);
+        entries.push(PollEntry::new(listener.as_raw_fd(), true, false));
+        entries.push(PollEntry::new(waker_rx.as_raw_fd(), REAL_POLL, false));
+        for id in &ids {
+            let c = &conns[id];
+            entries.push(PollEntry::new(
+                c.stream.as_raw_fd(),
+                c.wants_read(),
+                c.wants_write(),
+            ));
+        }
+        // Finite timeout: a bounded safety net under the waker, and the
+        // tick the portable fallback scans on.
+        if poll::wait(&mut entries, 250).is_err() {
+            break;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+
+        // Drain the waker before the completion channel. Order matters:
+        // consume the pipe byte FIRST, then clear `pending` — a wake
+        // racing this window skips its write (pending is still true),
+        // but its completion was sent before the wake, so the try_recv
+        // below observes it; any wake after the clear writes a fresh
+        // byte for the next iteration. Clearing before reading would
+        // eat a racing wake's byte while leaving `pending` set,
+        // permanently silencing the waker.
+        if entries[1].readable || entries[1].hangup {
+            let mut sink = [0u8; 4096];
+            let _ = (&waker_rx).read(&mut sink);
+            shared.waker.clear();
+        }
+        while let Ok(done) = done_rx.try_recv() {
+            let n_conns = conns.len();
+            if let Some(conn) = conns.get_mut(&done.conn) {
+                let mut ctx = Ctx {
+                    shards: &shards,
+                    done_tx: &done_tx,
+                    waker: &shared.waker,
+                    queue_limit: config.queue_limit,
+                    metrics: &mut metrics,
+                    n_conns,
+                    stop: &mut stop,
+                };
+                settle_completion(conn, done.conn, done.payload, &mut ctx);
+                pump(conn, done.conn, &mut ctx);
+                if !conn.flush() || conn.finished() {
+                    conns.remove(&done.conn);
+                }
+            }
+        }
+
+        // New connections.
+        if entries[0].readable || entries[0].hangup {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let id = next_conn_id;
+                        next_conn_id += 1;
+                        conns.insert(id, Conn::new(stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::Interrupted
+                                | std::io::ErrorKind::ConnectionAborted
+                                | std::io::ErrorKind::ConnectionReset
+                        ) =>
+                    {
+                        // A peer that reset before we accepted costs
+                        // nothing but its own slot; keep accepting.
+                        continue;
+                    }
+                    Err(_) => {
+                        // EMFILE/ENFILE and friends are load conditions,
+                        // not reasons to drop every live session. Stop
+                        // this accept burst and back off briefly so a
+                        // persistent condition cannot spin the loop (the
+                        // listener stays level-triggered readable).
+                        std::thread::sleep(Duration::from_millis(10));
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Connection I/O.
+        for (i, id) in ids.iter().enumerate() {
+            let e = entries[i + 2];
+            if !(e.readable || e.writable || e.hangup) {
+                continue;
+            }
+            let n_conns = conns.len();
+            let Some(conn) = conns.get_mut(id) else {
+                continue;
+            };
+            let mut alive = true;
+            if e.writable || e.hangup {
+                alive = conn.flush();
+            }
+            if alive && (e.readable || e.hangup) && conn.wants_read() {
+                let mut ctx = Ctx {
+                    shards: &shards,
+                    done_tx: &done_tx,
+                    waker: &shared.waker,
+                    queue_limit: config.queue_limit,
+                    metrics: &mut metrics,
+                    n_conns,
+                    stop: &mut stop,
+                };
+                alive = read_conn(conn, &mut ctx);
+                if alive {
+                    pump(conn, *id, &mut ctx);
+                    alive = conn.flush();
+                }
+            }
+            if !alive || conn.finished() {
+                conns.remove(id);
+            }
+        }
+    }
+
+    // Shutdown: give already-written frames (e.g. the `bye` answering a
+    // wire `shutdown`) a bounded chance to flush, then close everything
+    // and let the shard workers drain. In-flight run results are
+    // abandoned — the sockets are about to close.
+    shared.stop.store(true, Ordering::SeqCst);
+    drop(listener);
+    let deadline = Instant::now() + SHUTDOWN_FLUSH_GRACE;
+    while Instant::now() < deadline {
+        conns.retain(|_, c| c.flush() && c.wants_write());
+        if conns.is_empty() {
+            break;
+        }
+        let mut entries: Vec<PollEntry> = conns
+            .values()
+            .map(|c| PollEntry::new(c.stream.as_raw_fd(), false, true))
+            .collect();
+        if poll::wait(&mut entries, 50).is_err() {
+            break;
+        }
+    }
+    drop(conns);
+    drop(shards);
     pool.join();
 }
 
-fn handle_conn(stream: TcpStream, shards: ShardHandles, shared: &Arc<Shared>) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = LineReader::new(stream);
-    let mut writer = BufWriter::new(write_half);
-    let mut session = EngineHub::default_session();
-    // Contiguous request lines for the current session, not yet executed.
-    let mut run: Vec<Request> = Vec::new();
-    loop {
-        // Never block on the transport while requests are pending: if no
-        // complete line is already buffered, execute the run now. This is
-        // the batching rule — runs grow exactly as far as the client has
-        // already pipelined.
-        if !reader.has_buffered_line()
-            && flush_run(&mut writer, &shards, &session, &mut run).is_err()
-        {
-            break;
+/// Pull every readable byte (bounded per iteration for fairness across
+/// connections) and parse complete lines into inbox items. `false` on a
+/// dead transport.
+fn read_conn(conn: &mut Conn, ctx: &mut Ctx) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut budget = 4;
+    while budget > 0 && !conn.eof {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => conn.eof = true,
+            Ok(n) => {
+                conn.frames.feed(&chunk[..n]);
+                budget -= 1;
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
         }
-        let line = match reader.read_line() {
-            Ok(Some(line)) => line,
-            Ok(None) => break,
-            Err(LineError::BadUtf8) => {
-                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
-                    break;
-                }
-                let e = ApiError::parse("request line is not valid UTF-8");
-                if write_err(&mut writer, &e)
-                    .and_then(|_| writer.flush())
-                    .is_err()
-                {
-                    break;
-                }
-                continue;
+    }
+    while let Some(next) = conn.frames.next_line() {
+        let item = match next {
+            Err(LineFault::TooLong) => {
+                ctx.metrics.frames_in += 1;
+                Item::Reject(ApiError::invalid(format!(
+                    "request line exceeds {MAX_LINE} bytes; the rest of the line was discarded"
+                )))
             }
-            Err(LineError::TooLong) => {
-                let e = ApiError::parse(format!("request line exceeds {MAX_LINE} bytes"));
-                let _ = write_err(&mut writer, &e).and_then(|_| writer.flush());
-                break;
+            Err(LineFault::BadUtf8) => {
+                ctx.metrics.frames_in += 1;
+                Item::Reject(ApiError::invalid("request line is not valid UTF-8"))
             }
-            Err(LineError::Io(_)) => break,
-        };
-        let item = match fv_api::parse_wire_line(&line) {
-            Ok(None) => continue,
-            Ok(Some(item)) => item,
-            Err(e) => {
-                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
-                    break;
+            Ok(line) => match fv_api::parse_wire_line(&line) {
+                Ok(None) => continue,
+                Err(e) => {
+                    ctx.metrics.frames_in += 1;
+                    Item::Reject(e)
                 }
-                if write_err(&mut writer, &e)
-                    .and_then(|_| writer.flush())
-                    .is_err()
-                {
-                    break;
-                }
-                continue;
-            }
-        };
-        match item {
-            WireItem::Script(ScriptItem::Request(request)) => {
-                // Executed by the top-of-loop flush once the pipeline
-                // would otherwise stall, or by a directive below.
-                run.push(request);
-            }
-            WireItem::Script(ScriptItem::Use(name)) => {
-                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
-                    break;
-                }
-                let reply = match SessionId::new(name) {
-                    Ok(id) => {
-                        // Materialize eagerly (the `use` semantics) on the
-                        // owning shard.
-                        session = id;
-                        let _ = shards.execute(&session, Vec::new());
-                        write_ok(&mut writer, &format!("using {session}"))
+                Ok(Some(wire)) => {
+                    ctx.metrics.frames_in += 1;
+                    match wire {
+                        WireItem::Script(ScriptItem::Request(request)) => {
+                            if conn.pending_requests() >= ctx.queue_limit {
+                                ctx.metrics.busy_rejections += 1;
+                                Item::Reject(ApiError::busy(format!(
+                                    "pending request queue is full ({} pending, limit {}); \
+                                     the request was not executed",
+                                    conn.pending_requests(),
+                                    ctx.queue_limit
+                                )))
+                            } else {
+                                conn.queued_requests += 1;
+                                Item::Request(request)
+                            }
+                        }
+                        WireItem::Script(ScriptItem::Use(name)) => match SessionId::new(name) {
+                            Ok(id) => Item::Use(id),
+                            Err(e) => Item::Reject(e),
+                        },
+                        WireItem::Ping => Item::Ping,
+                        WireItem::Close => Item::Close,
+                        WireItem::Stats => Item::Stats,
+                        WireItem::ListSessions => Item::ListSessions,
+                        WireItem::Shutdown => Item::Shutdown,
                     }
-                    Err(e) => write_err(&mut writer, &e),
+                }
+            },
+        };
+        conn.inbox.push_back(item);
+    }
+    true
+}
+
+/// Answer inbox items in arrival order until one needs shard work (at
+/// most one dispatch in flight per connection) or the inbox is empty.
+fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
+    while conn.inflight.is_none() {
+        match conn.inbox.front() {
+            None => break,
+            Some(Item::Request(_)) => {
+                // Everything the client has pipelined for the current
+                // session becomes one run — one layout pass server-side.
+                let mut requests = Vec::new();
+                while let Some(Item::Request(_)) = conn.inbox.front() {
+                    match conn.inbox.pop_front() {
+                        Some(Item::Request(r)) => requests.push(r),
+                        _ => unreachable!("front() said Request"),
+                    }
+                }
+                conn.queued_requests -= requests.len();
+                conn.inflight_requests = requests.len();
+                conn.inflight = Some(Inflight::Run { ack: None });
+                ctx.shards
+                    .submit_run(&conn.session, requests, ctx.responder(id, Payload::Run));
+            }
+            Some(Item::Use(_)) => {
+                let Some(Item::Use(session)) = conn.inbox.pop_front() else {
+                    unreachable!("front() said Use");
                 };
-                if reply.and_then(|_| writer.flush()).is_err() {
-                    break;
-                }
+                conn.session = session.clone();
+                // Materialize eagerly (the `use` semantics) on the owning
+                // shard; the ack frame waits for the empty run so later
+                // requests cannot outrun the materialization.
+                conn.inflight_requests = 0;
+                conn.inflight = Some(Inflight::Run {
+                    ack: Some(format!("using {session}")),
+                });
+                ctx.shards
+                    .submit_run(&session, Vec::new(), ctx.responder(id, Payload::Run));
             }
-            WireItem::Ping => {
-                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
-                    break;
-                }
-                if write_ok(&mut writer, "pong")
-                    .and_then(|_| writer.flush())
-                    .is_err()
-                {
-                    break;
-                }
+            Some(Item::Ping) => {
+                conn.inbox.pop_front();
+                conn.push_ok("pong", ctx.metrics);
             }
-            WireItem::Close => {
-                if flush_run(&mut writer, &shards, &session, &mut run).is_err() {
-                    break;
-                }
-                shards.close(&session);
-                let closed = std::mem::replace(&mut session, EngineHub::default_session());
-                if write_ok(&mut writer, &format!("closed {closed}"))
-                    .and_then(|_| writer.flush())
-                    .is_err()
-                {
-                    break;
-                }
+            Some(Item::Reject(_)) => {
+                let Some(Item::Reject(e)) = conn.inbox.pop_front() else {
+                    unreachable!("front() said Reject");
+                };
+                conn.push_err(&e, ctx.metrics);
             }
-            WireItem::Shutdown => {
-                let _ = flush_run(&mut writer, &shards, &session, &mut run);
-                let _ = write_ok(&mut writer, "bye").and_then(|_| writer.flush());
-                shared.stop.store(true, Ordering::SeqCst);
+            Some(Item::Close) => {
+                conn.inbox.pop_front();
+                let closed = std::mem::replace(&mut conn.session, EngineHub::default_session());
+                conn.inflight = Some(Inflight::Close {
+                    closed: closed.clone(),
+                });
+                ctx.shards
+                    .submit_close(&closed, ctx.responder(id, closed_payload));
+            }
+            Some(Item::Stats) | Some(Item::ListSessions) => {
+                let what = match conn.inbox.pop_front() {
+                    Some(Item::Stats) => Gather::Stats,
+                    Some(Item::ListSessions) => Gather::Sessions,
+                    _ => unreachable!("front() said Stats/ListSessions"),
+                };
+                conn.inflight = Some(Inflight::Gather {
+                    what,
+                    waiting: ctx.shards.n_shards(),
+                    reports: Vec::new(),
+                });
+                ctx.shards
+                    .submit_report_all(|| ctx.responder(id, Payload::Shard));
+            }
+            Some(Item::Shutdown) => {
+                conn.inbox.clear();
+                conn.queued_requests = 0;
+                conn.push_ok("bye", ctx.metrics);
+                *ctx.stop = true;
                 break;
             }
         }
     }
 }
 
-/// Execute the pending run (if any) and write its frames in request
-/// order. Errors only on transport failure — request errors become `err`
-/// frames. Every request in the run gets exactly one frame: when the run
-/// stops at an error, the never-executed tail gets explicit `skipped`
-/// error frames, so pipelined clients stay frame-synchronized whether or
-/// not they abort on errors.
-fn flush_run(
-    writer: &mut impl Write,
-    shards: &ShardHandles,
-    session: &SessionId,
-    run: &mut Vec<Request>,
-) -> std::io::Result<()> {
-    if run.is_empty() {
-        return Ok(());
-    }
-    let n = run.len();
-    let reply = shards.execute(session, std::mem::take(run));
-    for response in &reply.responses {
-        write_ok(writer, &fv_api::format_response(response))?;
-    }
-    if let Some((idx, e)) = reply.error {
-        write_err(writer, &e)?;
-        let skipped = ApiError::invalid(format!(
-            "skipped: request {} earlier in this pipelined run failed ({})",
-            idx + 1,
-            e.code.as_str()
-        ));
-        for _ in idx + 1..n {
-            write_err(writer, &skipped)?;
+/// Fold a shard result into the connection that was waiting on it,
+/// writing whatever frames it resolves.
+fn settle_completion(conn: &mut Conn, _id: u64, payload: Payload, ctx: &mut Ctx) {
+    match (conn.inflight.take(), payload) {
+        (Some(Inflight::Run { ack: Some(ack) }), Payload::Run(_)) => {
+            conn.push_ok(&ack, ctx.metrics);
         }
+        (Some(Inflight::Run { ack: None }), Payload::Run(outcome)) => {
+            let n = conn.inflight_requests;
+            for response in &outcome.responses {
+                conn.push_ok(&fv_api::format_response(response), ctx.metrics);
+            }
+            if let Some((idx, e)) = outcome.error {
+                conn.push_err(&e, ctx.metrics);
+                let skipped = ApiError::invalid(format!(
+                    "skipped: request {} earlier in this pipelined run failed ({})",
+                    idx + 1,
+                    e.code.as_str()
+                ));
+                for _ in idx + 1..n {
+                    conn.push_err(&skipped, ctx.metrics);
+                }
+            }
+            conn.inflight_requests = 0;
+        }
+        (Some(Inflight::Close { closed }), Payload::Closed) => {
+            conn.push_ok(&format!("closed {closed}"), ctx.metrics);
+        }
+        (
+            Some(Inflight::Gather {
+                what,
+                waiting,
+                mut reports,
+            }),
+            Payload::Shard(report),
+        ) => {
+            reports.push(report);
+            if waiting > 1 {
+                conn.inflight = Some(Inflight::Gather {
+                    what,
+                    waiting: waiting - 1,
+                    reports,
+                });
+            } else {
+                reports.sort_by_key(|r| r.shard);
+                let reply = match what {
+                    Gather::Sessions => sessions_reply(&reports),
+                    Gather::Stats => stats_reply(&reports, ctx),
+                };
+                conn.push_ok(&reply, ctx.metrics);
+            }
+        }
+        // A completion with no (or the wrong) inflight record means the
+        // connection was recycled; drop the result, restore nothing.
+        (other, _) => conn.inflight = other,
     }
-    writer.flush()
+}
+
+/// Merge per-shard session listings into the canonical name-sorted
+/// `list-sessions` reply.
+fn sessions_reply(reports: &[ShardReport]) -> String {
+    let mut entries: Vec<fv_api::SessionEntry> = reports
+        .iter()
+        .flat_map(|r| {
+            r.sessions
+                .iter()
+                .map(|(name, n_datasets)| fv_api::SessionEntry {
+                    name: name.clone(),
+                    shard: r.shard,
+                    n_datasets: *n_datasets,
+                })
+        })
+        .collect();
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    fv_api::format_sessions_reply(&entries)
+}
+
+/// Merge per-shard reports with the loop's own counters into the `stats`
+/// reply.
+fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
+    let depths = ctx.shards.queue_depths();
+    let shards: Vec<ShardStats> = reports
+        .iter()
+        .map(|r| ShardStats {
+            shard: r.shard,
+            sessions: r.sessions.len(),
+            queued: depths.get(r.shard).copied().unwrap_or(0),
+            runs: r.runs,
+            requests: r.requests,
+            max_run: r.max_run,
+        })
+        .collect();
+    let stats = ServerStats {
+        connections: ctx.n_conns,
+        sessions: shards.iter().map(|s| s.sessions).sum(),
+        // The stats frame itself is about to be written; count it so the
+        // reply is self-consistent (frames_out includes this frame).
+        frames_in: ctx.metrics.frames_in,
+        frames_out: ctx.metrics.frames_out + 1,
+        busy_rejections: ctx.metrics.busy_rejections,
+        runs: shards.iter().map(|s| s.runs).sum(),
+        requests: shards.iter().map(|s| s.requests).sum(),
+        max_run: shards.iter().map(|s| s.max_run).max().unwrap_or(0),
+        shards,
+    };
+    crate::metrics::format_stats(&stats)
 }

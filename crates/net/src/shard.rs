@@ -3,16 +3,37 @@
 //! The hub is the sharding seam (see `crates/api/README.md`): sessions
 //! are partitioned by a stable hash of their name, so every request for a
 //! session lands on the same worker and sessions never need cross-shard
-//! coordination. Workers own their hub outright — connections talk to
+//! coordination. Workers own their hub outright — the event loop talks to
 //! them over channels, so there is no lock to contend on or poison; a
 //! panicking request (an engine bug) costs the offending session, never
 //! the shard.
+//!
+//! Jobs carry their reply as a boxed `FnOnce` responder, so the same
+//! worker serves both blocking callers (tests, tools) and the
+//! event loop's completion channel (which must never block): the loop's
+//! responders push a completion and poke the loop's waker.
 
 use fv_api::engine::fnv1a;
 use fv_api::{ApiError, EngineHub, Request, RunOutcome, SessionId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+
+/// One shard's contribution to a `stats` or `list-sessions` reply:
+/// sessions it owns (name + dataset count) plus its execution counters.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardReport {
+    pub shard: usize,
+    /// `(session name, loaded datasets)`, sorted by name (hub order).
+    pub sessions: Vec<(String, usize)>,
+    /// Non-empty runs executed.
+    pub runs: u64,
+    /// Requests executed across those runs.
+    pub requests: u64,
+    /// Largest single run.
+    pub max_run: usize,
+}
 
 pub(crate) enum Job {
     /// Execute a request run on the session (empty runs just materialize
@@ -21,19 +42,26 @@ pub(crate) enum Job {
     Run {
         session: SessionId,
         requests: Vec<Request>,
-        reply: mpsc::Sender<RunOutcome>,
+        respond: Box<dyn FnOnce(RunOutcome) + Send>,
     },
     /// Drop the session; replies whether it existed.
     Close {
         session: SessionId,
-        reply: mpsc::Sender<bool>,
+        respond: Box<dyn FnOnce(bool) + Send>,
+    },
+    /// Snapshot the shard's sessions and counters.
+    Report {
+        respond: Box<dyn FnOnce(ShardReport) + Send>,
     },
 }
 
-/// Cloneable per-connection handle onto the shard workers.
+/// Cloneable handle onto the shard workers.
 #[derive(Clone)]
 pub(crate) struct ShardHandles {
     senders: Vec<mpsc::Sender<Job>>,
+    /// Jobs sent but not yet dequeued, per shard — the queue-depth gauge
+    /// `stats` reports without a worker round trip.
+    depth: Arc<Vec<AtomicUsize>>,
 }
 
 impl ShardHandles {
@@ -43,33 +71,110 @@ impl ShardHandles {
         shard_of(id, self.senders.len())
     }
 
-    /// Execute a request run on the owning shard, blocking until the
-    /// shard replies. An empty `requests` still materializes the session
-    /// (the `use` semantics).
-    pub fn execute(&self, session: &SessionId, requests: Vec<Request>) -> RunOutcome {
-        let (tx, rx) = mpsc::channel();
+    /// Worker count.
+    pub fn n_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Snapshot of per-shard queued (sent, not yet dequeued) job counts.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.depth
+            .iter()
+            .map(|d| d.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Enqueue a run on the owning shard with an arbitrary responder. On
+    /// a dead shard the responder fires immediately with a typed
+    /// `E_INTERNAL` outcome, so callers always hear back exactly once.
+    pub fn submit_run(
+        &self,
+        session: &SessionId,
+        requests: Vec<Request>,
+        respond: Box<dyn FnOnce(RunOutcome) + Send>,
+    ) {
+        let shard = self.shard_of(session);
         let job = Job::Run {
             session: session.clone(),
             requests,
-            reply: tx,
+            respond,
         };
-        if self.senders[self.shard_of(session)].send(job).is_err() {
-            return shard_down();
+        if let Some(Job::Run { respond, .. }) = self.submit_or_return(shard, job) {
+            respond(shard_down());
         }
+    }
+
+    /// Enqueue a close on the owning shard; a dead shard answers `false`.
+    pub fn submit_close(&self, session: &SessionId, respond: Box<dyn FnOnce(bool) + Send>) {
+        let shard = self.shard_of(session);
+        let job = Job::Close {
+            session: session.clone(),
+            respond,
+        };
+        if let Some(Job::Close { respond, .. }) = self.submit_or_return(shard, job) {
+            respond(false);
+        }
+    }
+
+    /// Fan a report request out to every shard. `make` builds one
+    /// responder per shard; dead shards answer with an empty report so
+    /// gathers always complete.
+    pub fn submit_report_all(&self, mut make: impl FnMut() -> Box<dyn FnOnce(ShardReport) + Send>) {
+        for shard in 0..self.n_shards() {
+            let respond = make();
+            let job = Job::Report { respond };
+            if let Some(Job::Report { respond }) = self.submit_or_return(shard, job) {
+                respond(ShardReport {
+                    shard,
+                    sessions: Vec::new(),
+                    runs: 0,
+                    requests: 0,
+                    max_run: 0,
+                });
+            }
+        }
+    }
+
+    fn submit_or_return(&self, shard: usize, job: Job) -> Option<Job> {
+        self.depth[shard].fetch_add(1, Ordering::SeqCst);
+        match self.senders[shard].send(job) {
+            Ok(()) => None,
+            Err(mpsc::SendError(job)) => {
+                self.depth[shard].fetch_sub(1, Ordering::SeqCst);
+                Some(job)
+            }
+        }
+    }
+
+    /// Execute a request run on the owning shard, blocking until the
+    /// shard replies. An empty `requests` still materializes the session
+    /// (the `use` semantics). The event loop never blocks on a shard —
+    /// this is the synchronous convenience for tests and tools.
+    #[cfg(test)]
+    pub fn execute(&self, session: &SessionId, requests: Vec<Request>) -> RunOutcome {
+        let (tx, rx) = mpsc::channel();
+        self.submit_run(
+            session,
+            requests,
+            Box::new(move |out| {
+                let _ = tx.send(out);
+            }),
+        );
         rx.recv().unwrap_or_else(|_| shard_down())
     }
 
     /// Drop a session on its owning shard; `false` if it did not exist
-    /// (or the shard is gone).
+    /// (or the shard is gone). Blocking counterpart of
+    /// [`ShardHandles::submit_close`], for tests.
+    #[cfg(test)]
     pub fn close(&self, session: &SessionId) -> bool {
         let (tx, rx) = mpsc::channel();
-        let job = Job::Close {
-            session: session.clone(),
-            reply: tx,
-        };
-        if self.senders[self.shard_of(session)].send(job).is_err() {
-            return false;
-        }
+        self.submit_close(
+            session,
+            Box::new(move |existed| {
+                let _ = tx.send(existed);
+            }),
+        );
         rx.recv().unwrap_or(false)
     }
 }
@@ -102,20 +207,22 @@ impl ShardPool {
     /// damage against `scene`.
     pub fn spawn(n: usize, scene: (usize, usize)) -> ShardPool {
         let n = n.max(1);
+        let depth: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
         let mut senders = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
             let (tx, rx) = mpsc::channel::<Job>();
             senders.push(tx);
+            let depth = Arc::clone(&depth);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("fv-net-shard-{i}"))
-                    .spawn(move || worker(rx, scene))
+                    .spawn(move || worker(i, rx, depth, scene))
                     .expect("spawn shard worker"),
             );
         }
         ShardPool {
-            handles: ShardHandles { senders },
+            handles: ShardHandles { senders, depth },
             workers,
         }
     }
@@ -125,8 +232,8 @@ impl ShardPool {
     }
 
     /// Drop the original senders and wait for the workers to drain and
-    /// exit. Callers must first ensure connection threads (which hold
-    /// handle clones) are done, or this blocks until they are.
+    /// exit. Callers must first drop every other handle clone, or this
+    /// blocks until they are gone.
     pub fn join(self) {
         drop(self.handles);
         for w in self.workers {
@@ -135,18 +242,45 @@ impl ShardPool {
     }
 }
 
-fn worker(rx: mpsc::Receiver<Job>, scene: (usize, usize)) {
+fn worker(
+    shard: usize,
+    rx: mpsc::Receiver<Job>,
+    depth: Arc<Vec<AtomicUsize>>,
+    scene: (usize, usize),
+) {
     let mut hub = EngineHub::with_scene(scene.0, scene.1);
+    let mut runs: u64 = 0;
+    let mut requests_executed: u64 = 0;
+    let mut max_run: usize = 0;
     while let Ok(job) = rx.recv() {
+        depth[shard].fetch_sub(1, Ordering::SeqCst);
         match job {
-            Job::Close { session, reply } => {
-                let _ = reply.send(hub.close(&session));
+            Job::Close { session, respond } => {
+                respond(hub.close(&session));
+            }
+            Job::Report { respond } => {
+                respond(ShardReport {
+                    shard,
+                    sessions: hub
+                        .list_sessions()
+                        .into_iter()
+                        .map(|(id, n)| (id.to_string(), n))
+                        .collect(),
+                    runs,
+                    requests: requests_executed,
+                    max_run,
+                });
             }
             Job::Run {
                 session,
                 requests,
-                reply,
+                respond,
             } => {
+                if !requests.is_empty() {
+                    runs += 1;
+                    requests_executed += requests.len() as u64;
+                    max_run = max_run.max(requests.len());
+                }
                 let outcome =
                     catch_unwind(AssertUnwindSafe(|| hub.execute_run_on(&session, &requests)));
                 let out = outcome.unwrap_or_else(|_| {
@@ -168,7 +302,7 @@ fn worker(rx: mpsc::Receiver<Job>, scene: (usize, usize)) {
                 });
                 // The connection may already be gone; that is not the
                 // shard's problem.
-                let _ = reply.send(out);
+                respond(out);
             }
         }
     }
@@ -235,6 +369,38 @@ mod tests {
         let (idx, err) = reply.error.unwrap();
         assert_eq!(idx, 1);
         assert_eq!(err.code, fv_api::ErrorCode::NotFound);
+        drop(handles);
+        pool.join();
+    }
+
+    #[test]
+    fn reports_cover_sessions_and_counters() {
+        let pool = ShardPool::spawn(2, (640, 480));
+        let handles = pool.handles();
+        let a = SessionId::new("alpha").unwrap();
+        handles.execute(
+            &a,
+            vec![Request::Mutate(Mutation::LoadScenario {
+                n_genes: 60,
+                seed: 1,
+            })],
+        );
+        let (tx, rx) = mpsc::channel();
+        handles.submit_report_all(move || {
+            let tx = tx.clone();
+            Box::new(move |report| {
+                let _ = tx.send(report);
+            })
+        });
+        let mut reports: Vec<ShardReport> = (0..2).map(|_| rx.recv().unwrap()).collect();
+        reports.sort_by_key(|r| r.shard);
+        let owner = shard_of(&a, 2);
+        assert_eq!(reports[owner].sessions, [("alpha".to_string(), 3)]);
+        assert_eq!(reports[owner].runs, 1);
+        assert_eq!(reports[owner].requests, 1);
+        assert_eq!(reports[owner].max_run, 1);
+        assert!(reports[1 - owner].sessions.is_empty());
+        assert_eq!(handles.queue_depths(), [0, 0], "queues drained");
         drop(handles);
         pool.join();
     }

@@ -1,11 +1,11 @@
 //! Adversarial framing: malformed lines, oversized requests, truncated
 //! frames, binary garbage, and mid-script disconnects must produce typed
-//! `E_PARSE`/`E_INVALID` frames (or a clean connection close) and must
-//! never poison a shard — sessions on the same shard keep working, and
-//! new connections keep being served. Includes a property test over
-//! byte-mangled valid scripts.
+//! `E_PARSE`/`E_INVALID` frames — with the connection surviving every
+//! one of them — and must never poison a shard: sessions on the same
+//! shard keep working, and new connections keep being served. Includes a
+//! property test over byte-mangled valid scripts.
 
-use fv_net::frame::{read_reply, LineReader, MAX_LINE};
+use fv_net::frame::{read_reply, write_err, LineReader, MAX_LINE};
 use fv_net::{Client, Server, ServerConfig};
 use proptest::test_runner::TestRng;
 use std::io::Write;
@@ -17,6 +17,7 @@ fn server() -> Server {
         ServerConfig {
             shards: 4,
             scene: (800, 600),
+            ..ServerConfig::default()
         },
     )
     .expect("bind")
@@ -70,27 +71,32 @@ fn execution_errors_do_not_poison_the_session_or_shard() {
 }
 
 #[test]
-fn oversized_request_line_is_rejected_then_closed() {
+fn oversized_request_line_is_rejected_and_the_connection_survives() {
+    // Regression (connection lifecycle): an oversized line used to tear
+    // down the whole connection even though later pipelined requests were
+    // valid. Now the offending line is answered `err E_INVALID`, its
+    // remaining bytes are discarded up to the newline, and the
+    // connection keeps serving — error parity with local script replay.
     let server = server();
     let addr = server.local_addr().to_string();
     let stream = TcpStream::connect(&addr).unwrap();
     let mut write_half = stream.try_clone().unwrap();
     let mut reader = LineReader::new(stream);
-    // MAX_LINE+ bytes without a newline
-    let blob = vec![b'a'; MAX_LINE + 128];
+    // MAX_LINE+ bytes, then the line ends and valid requests follow
+    let mut blob = vec![b'a'; MAX_LINE + 128];
+    blob.extend_from_slice(b"\nping\nscenario 60 1\n");
     write_half.write_all(&blob).unwrap();
     write_half.flush().unwrap();
-    let reply = read_reply(&mut reader)
+    let err = read_reply(&mut reader)
         .expect("typed frame, not a hangup")
-        .expect("a frame arrives");
-    let err = reply.expect_err("oversized line is an error");
-    assert_eq!(err.code, fv_api::ErrorCode::Parse);
+        .expect("a frame arrives")
+        .expect_err("oversized line is an error");
+    assert_eq!(err.code, fv_api::ErrorCode::InvalidRequest);
     assert!(err.message.contains("exceeds"), "{}", err.message);
-    // …and the connection closes (no way to resync)
-    assert!(read_reply(&mut reader).unwrap().is_none());
-    // the server keeps serving new connections
-    let mut client = Client::connect(&addr).unwrap();
-    client.ping().unwrap();
+    // …and the SAME connection keeps working past the discarded line
+    assert_eq!(read_reply(&mut reader).unwrap().unwrap().unwrap(), "pong");
+    let reply = read_reply(&mut reader).unwrap().unwrap().unwrap();
+    assert!(reply.starts_with("scenario datasets="), "{reply}");
     server.shutdown();
     server.join();
 }
@@ -106,10 +112,34 @@ fn binary_garbage_is_rejected_but_the_line_boundary_recovers() {
     write_half.write_all(b"ping\n").unwrap();
     write_half.flush().unwrap();
     let err = read_reply(&mut reader).unwrap().unwrap().unwrap_err();
-    assert_eq!(err.code, fv_api::ErrorCode::Parse);
+    assert_eq!(err.code, fv_api::ErrorCode::InvalidRequest);
     assert_eq!(read_reply(&mut reader).unwrap().unwrap().unwrap(), "pong");
     server.shutdown();
     server.join();
+}
+
+/// Property test over the outbound half: `err` frames flatten any
+/// newlines in their message, so multi-line error messages round-trip
+/// through `read_reply` as single-frame, whitespace-flattened text.
+#[test]
+fn multiline_error_messages_roundtrip_flattened() {
+    let mut rng = TestRng::from_name("multiline_err");
+    const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "eps"];
+    for _ in 0..64 {
+        let n = 1 + rng.below(6) as usize;
+        let message: String = (0..n)
+            .map(|_| WORDS[rng.below(WORDS.len() as u64) as usize])
+            .collect::<Vec<_>>()
+            .join(if rng.below(2) == 0 { "\n" } else { "\r\n" });
+        let err = fv_api::ApiError::invalid(message.clone());
+        let mut buf = Vec::new();
+        write_err(&mut buf, &err).unwrap();
+        let mut reader = LineReader::new(&buf[..]);
+        let got = read_reply(&mut reader).unwrap().unwrap().unwrap_err();
+        assert_eq!(got.code, err.code);
+        assert_eq!(got.message, message.replace(['\n', '\r'], " "));
+        assert!(read_reply(&mut reader).unwrap().is_none(), "one frame");
+    }
 }
 
 #[test]

@@ -18,6 +18,7 @@ fn server(shards: usize) -> Server {
         ServerConfig {
             shards,
             scene: SCENE,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port")
@@ -151,6 +152,98 @@ fn typed_client_execute_roundtrips_responses() {
     let remote_err = client.execute(&bad).unwrap_err();
     assert_eq!(remote_err.code, local_err.code);
     assert_eq!(remote_err.message, local_err.message);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn list_sessions_merges_across_shards_sorted_by_name() {
+    use fv_api::{Mutation, Request, SessionEntry};
+    let server = server(2);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.use_session("alpha").unwrap();
+    client
+        .execute(&Request::Mutate(Mutation::LoadScenario {
+            n_genes: 60,
+            seed: 1,
+        }))
+        .unwrap();
+    client.use_session("beta").unwrap(); // materialized, empty
+    let shard = |name: &str| fv_net::shard_of(&fv_api::SessionId::new(name).unwrap(), 2);
+    // typed client path
+    let listed = client.list_sessions().unwrap();
+    assert_eq!(
+        listed,
+        [
+            SessionEntry {
+                name: "alpha".into(),
+                shard: shard("alpha"),
+                n_datasets: 3,
+            },
+            SessionEntry {
+                name: "beta".into(),
+                shard: shard("beta"),
+                n_datasets: 0,
+            },
+        ]
+    );
+    // golden wire text (the merged + sorted reply shape is frozen)
+    let raw = client.roundtrip("list-sessions").unwrap().unwrap();
+    assert_eq!(
+        raw,
+        format!(
+            "sessions n=2\n  session alpha shard={} datasets=3\n  session beta shard={} datasets=0",
+            shard("alpha"),
+            shard("beta")
+        )
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn stats_reports_connections_sessions_and_drained_queues() {
+    use fv_api::{Mutation, Request};
+    let server = server(2);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.use_session("metered").unwrap();
+    client
+        .execute(&Request::Mutate(Mutation::LoadScenario {
+            n_genes: 60,
+            seed: 1,
+        }))
+        .unwrap();
+    client
+        .execute(&Request::Query(fv_api::Query::SessionInfo))
+        .unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards.len(), 2);
+    assert_eq!(stats.connections, 1, "only this client is connected");
+    assert_eq!(stats.sessions, 1);
+    assert_eq!(stats.busy_rejections, 0);
+    assert!(
+        stats.shards.iter().all(|s| s.queued == 0),
+        "lockstep client leaves no stuck queues: {stats:?}"
+    );
+    // two single-request runs executed on `metered`'s shard
+    assert_eq!(stats.runs, 2);
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.max_run, 1);
+    // use + 2 requests + stats were received; frames_out answered each,
+    // the stats frame itself included
+    assert_eq!(stats.frames_in, 4);
+    assert_eq!(stats.frames_out, 4);
+    assert_eq!(
+        stats.sessions,
+        stats.shards.iter().map(|s| s.sessions).sum::<usize>()
+    );
+    // the typed snapshot round-trips through the canonical wire text
+    let raw = client.roundtrip("stats").unwrap().unwrap();
+    let reparsed = fv_net::metrics::parse_stats(&raw).unwrap();
+    assert_eq!(reparsed.connections, 1);
+    assert_eq!(fv_net::metrics::format_stats(&reparsed), raw);
     server.shutdown();
     server.join();
 }

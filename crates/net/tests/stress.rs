@@ -1,7 +1,10 @@
 //! Concurrency stress: many client threads hammering disjoint sessions on
 //! a sharded server. Asserts (1) no deadlocks (the test finishes), (2)
 //! per-connection response ordering, (3) final per-session state equal to
-//! a sequential in-process replay of the same requests.
+//! a sequential in-process replay of the same requests, (4) thread count
+//! independent of connection count (the event-loop property), and (5)
+//! overload answered with `E_BUSY` while committed state stays equal to
+//! sequential replay of exactly the accepted requests.
 
 use fv_api::{EngineHub, SessionId};
 use fv_net::{shard_of, Client, Server, ServerConfig};
@@ -10,6 +13,14 @@ const SCENE: (usize, usize) = (800, 600);
 const N_CLIENTS: usize = 8;
 const N_SHARDS: usize = 4;
 const ROUNDS: usize = 3;
+
+fn config(shards: usize) -> ServerConfig {
+    ServerConfig {
+        shards,
+        scene: SCENE,
+        ..ServerConfig::default()
+    }
+}
 
 /// The per-client workload: deterministic per client index, touching
 /// clustering, selection, scrolling, and introspection.
@@ -45,14 +56,7 @@ fn expected_responses(i: usize) -> Vec<String> {
 
 #[test]
 fn disjoint_sessions_under_concurrent_load() {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            shards: N_SHARDS,
-            scene: SCENE,
-        },
-    )
-    .expect("bind");
+    let server = Server::bind("127.0.0.1:0", config(N_SHARDS)).expect("bind");
     let addr = server.local_addr().to_string();
 
     // The fixed session names must actually exercise shard parallelism.
@@ -125,14 +129,7 @@ fn pipelined_burst_preserves_order() {
     // frames must come back exactly in request order. This is the path
     // that exercises server-side run batching hardest.
     use std::io::Write;
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            shards: N_SHARDS,
-            scene: SCENE,
-        },
-    )
-    .expect("bind");
+    let server = Server::bind("127.0.0.1:0", config(N_SHARDS)).expect("bind");
     let addr = server.local_addr().to_string();
 
     let workers: Vec<_> = (0..N_CLIENTS)
@@ -169,14 +166,7 @@ fn same_session_from_many_connections_serializes() {
     // Not disjoint this time: 6 connections scroll the SAME session.
     // Interleaving across connections is unspecified, but the total
     // scroll must equal the sum — no lost updates, no torn state.
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            shards: N_SHARDS,
-            scene: SCENE,
-        },
-    )
-    .expect("bind");
+    let server = Server::bind("127.0.0.1:0", config(N_SHARDS)).expect("bind");
     let addr = server.local_addr().to_string();
     let mut setup = Client::connect(&addr).unwrap();
     setup.use_session("shared").unwrap();
@@ -211,6 +201,132 @@ fn same_session_from_many_connections_serializes() {
         .and_then(|v| v.parse::<usize>().ok())
         .expect("session_info carries scroll=");
     assert_eq!(scroll, 6 * PER_CLIENT_SCROLLS, "lost scroll updates");
+    server.shutdown();
+    server.join();
+}
+
+/// Threads in this process, via /proc (Linux). `None` elsewhere.
+fn thread_count() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task").ok().map(|d| d.count())
+}
+
+#[test]
+fn idle_connections_cost_no_threads() {
+    // The event-loop property the transport rewrite exists for: the
+    // server's thread count is 1 loop + N shards, independent of how
+    // many connections are open. 256 live connections must not add a
+    // single thread.
+    const N_CONNS: usize = 256;
+    let server = Server::bind("127.0.0.1:0", config(N_SHARDS)).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Prove the server is up (and fully spawned) before the baseline.
+    let mut probe = Client::connect(&addr).unwrap();
+    probe.ping().unwrap();
+    let baseline = thread_count();
+
+    let mut conns = Vec::with_capacity(N_CONNS);
+    for i in 0..N_CONNS {
+        let mut c =
+            Client::connect(&addr).unwrap_or_else(|e| panic!("connection {i} refused: {e}"));
+        c.ping()
+            .unwrap_or_else(|e| panic!("connection {i} not served: {e}"));
+        conns.push(c);
+    }
+    // every connection is live and answered; none of them cost a thread
+    if let (Some(before), Some(after)) = (baseline, thread_count()) {
+        assert_eq!(
+            after, before,
+            "connection count leaked into thread count ({before} -> {after})"
+        );
+    }
+    // they all still work (round-robin a second ping through a sample)
+    for c in conns.iter_mut().step_by(17) {
+        c.ping().unwrap();
+    }
+    drop(conns);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn overload_gets_busy_and_committed_state_matches_sequential_replay() {
+    // A client pipelining far past the pending-request bound gets typed
+    // `E_BUSY` frames (in request order) for the overflow — and the
+    // session's committed state equals a sequential replay of exactly
+    // the requests that were answered `ok`.
+    use std::io::Write;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2,
+            scene: SCENE,
+            queue_limit: 8,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let mut setup = Client::connect(&addr).unwrap();
+    setup.use_session("flood").unwrap();
+    setup.roundtrip("scenario 300 1").unwrap().unwrap();
+    setup.roundtrip("select_region 0 0.0 1.0").unwrap().unwrap();
+
+    const BURST: usize = 500;
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut write_half = stream.try_clone().unwrap();
+    let mut reader = fv_net::frame::LineReader::new(stream);
+    let mut burst = String::from("use flood\n");
+    for _ in 0..BURST {
+        burst.push_str("scroll 1\n");
+    }
+    write_half.write_all(burst.as_bytes()).unwrap();
+    write_half.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let first = fv_net::frame::read_reply(&mut reader).unwrap().unwrap();
+    assert_eq!(first.unwrap(), "using flood");
+    let (mut n_ok, mut n_busy) = (0usize, 0usize);
+    while let Some(reply) = fv_net::frame::read_reply(&mut reader).unwrap() {
+        match reply {
+            Ok(text) => {
+                assert!(text.starts_with("applied "), "unexpected reply {text}");
+                n_ok += 1;
+            }
+            Err(e) => {
+                assert_eq!(e.code, fv_api::ErrorCode::Busy, "{e}");
+                n_busy += 1;
+            }
+        }
+    }
+    assert_eq!(n_ok + n_busy, BURST, "every request got exactly one frame");
+    assert!(n_busy > 0, "a 500-deep pipeline must overrun a bound of 8");
+    assert!(n_ok > 0, "the bound admits work up to the limit");
+
+    // Committed state == sequential replay of the accepted prefix.
+    let mut hub = EngineHub::with_scene(SCENE.0, SCENE.1);
+    let id = SessionId::new("flood").unwrap();
+    for line in ["scenario 300 1", "select_region 0 0.0 1.0"] {
+        hub.execute_on(&id, &fv_api::parse_request(line).unwrap())
+            .unwrap();
+    }
+    let scroll = fv_api::parse_request("scroll 1").unwrap();
+    for _ in 0..n_ok {
+        hub.execute_on(&id, &scroll).unwrap();
+    }
+    let expected = fv_api::format_response(
+        &hub.execute_on(&id, &fv_api::parse_request("session_info").unwrap())
+            .unwrap(),
+    );
+    let remote = setup.roundtrip("session_info").unwrap().unwrap();
+    assert_eq!(
+        remote, expected,
+        "committed state diverged from replaying the {n_ok} accepted requests"
+    );
+
+    // …and the busy counter is visible in server metrics.
+    let stats = setup.stats().unwrap();
+    assert_eq!(stats.busy_rejections as usize, n_busy);
+    assert!(stats.shards.iter().all(|s| s.queued == 0), "{stats:?}");
     server.shutdown();
     server.join();
 }

@@ -17,8 +17,10 @@
 //! fvtool spell   <gene,gene,...> <file.pcl>...       SPELL query over files
 //! fvtool demo    <out_dir>                           write a synthetic demo workspace
 //! fvtool script  <file.fvs>                          replay a request script
-//! fvtool serve   [--addr a:p] [--shards n]           run the sharded TCP server
+//! fvtool serve   [--addr a:p] [--shards n] [--queue-limit n]   run the TCP server
 //! fvtool ping                                        probe a server (needs --remote)
+//! fvtool stats                                       server metrics (needs --remote)
+//! fvtool sessions                                    list live sessions (needs --remote)
 //! fvtool shutdown                                    stop a server (needs --remote)
 //! ```
 //!
@@ -42,8 +44,10 @@ fn usage() -> ExitCode {
          fvtool spell   <gene,gene,...> <file.pcl>...\n  \
          fvtool demo    <out_dir>\n  \
          fvtool script  <file.fvs>\n  \
-         fvtool serve   [--addr <host:port>] [--shards <n>]\n  \
+         fvtool serve   [--addr <host:port>] [--shards <n>] [--queue-limit <n>]\n  \
          fvtool ping    --remote <host:port>\n  \
+         fvtool stats   --remote <host:port>\n  \
+         fvtool sessions --remote <host:port>\n  \
          fvtool shutdown --remote <host:port>\n\
          options:\n  --remote <host:port>   run the subcommand against a live fvtool server"
     );
@@ -311,6 +315,16 @@ fn cmd_serve(args: &[String]) -> Result<(), ApiError> {
                     .parse()
                     .map_err(|_| ApiError::parse("bad shard count"))?;
             }
+            "--queue-limit" => {
+                config.queue_limit = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--queue-limit needs <n>"))?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad queue limit"))?;
+                if config.queue_limit == 0 {
+                    return Err(ApiError::invalid("--queue-limit must be at least 1"));
+                }
+            }
             other => {
                 return Err(ApiError::invalid(format!("unknown serve option {other:?}")));
             }
@@ -366,6 +380,20 @@ fn run(cmd: &str, rest: &[String], remote: Option<&str>) -> Result<(), Failure> 
             let addr = remote.ok_or_else(|| ApiError::invalid("shutdown needs --remote <addr>"))?;
             fv_net::Client::connect(addr)?.shutdown_server()?;
             println!("server shutting down");
+            return Ok(());
+        }
+        "stats" => {
+            let addr = remote.ok_or_else(|| ApiError::invalid("stats needs --remote <addr>"))?;
+            // Round-trip through the typed snapshot (decode → re-format)
+            // so the printed text is the validated canonical form.
+            let stats = fv_net::Client::connect(addr)?.stats()?;
+            println!("{}", fv_net::metrics::format_stats(&stats));
+            return Ok(());
+        }
+        "sessions" => {
+            let addr = remote.ok_or_else(|| ApiError::invalid("sessions needs --remote <addr>"))?;
+            let sessions = fv_net::Client::connect(addr)?.list_sessions()?;
+            println!("{}", fv_api::format_sessions_reply(&sessions));
             return Ok(());
         }
         "render" | "cluster" | "impute" | "search" | "spell" | "demo" => {}
