@@ -1,0 +1,338 @@
+//! Content-addressed dataset cache: one parse per file, shared by every
+//! session that loads it.
+//!
+//! The paper's premise is many concurrent analysis views over *one* large
+//! genomic dataset. Before this cache, every `load <path>` re-read and
+//! re-parsed the file into a private copy — N sessions holding the same
+//! PCL cost N× the memory and N× the parse time. [`DatasetCache`] fixes
+//! that at the sharing seam: it hands out [`Arc<Dataset>`] handles keyed
+//! by the file's **canonicalized path** (so `./a.pcl`, `a.pcl`, and
+//! `dir/../a.pcl` are one entry) plus an **mtime/length fingerprint** (so
+//! a rewritten file is re-parsed, never served stale).
+//!
+//! Ownership rules, chosen so sharing is invisible to session semantics:
+//!
+//! - The cache holds [`Weak`] references. It never keeps a dataset alive:
+//!   when the last session drops its handle, the memory is freed and the
+//!   entry is pruned on the next access (`no leak`).
+//! - Eviction (a fingerprint change) replaces the cache *entry* only.
+//!   Sessions holding the old handle keep byte-identical data — eviction
+//!   can never invalidate a live session's view.
+//! - In-place transforms (normalize, impute) copy-on-write through
+//!   `Arc::make_mut` in `fv_expr`, so a session mutating its view never
+//!   writes into another session's (or the cache's) copy.
+//!
+//! The cache is `Clone + Send + Sync` (an `Arc<Mutex<…>>`), so one
+//! instance can back every session of an [`crate::EngineHub`] — and, one
+//! layer up, every hub of a sharded transport (fv-net gives all shard
+//! workers one cache). Concurrent loads of **the same file** serialize
+//! on a per-file parse gate — when 64 sessions race to load one PCL,
+//! exactly one parse happens and 63 loads are hits (what the hit/miss
+//! gauges in server stats assert) — while loads of *different* files
+//! parse in parallel: the map lock is only ever held for map lookups,
+//! never across a parse.
+
+use crate::engine::load_dataset_file;
+use crate::error::ApiError;
+use fv_expr::Dataset;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::SystemTime;
+
+/// Identity of a file's contents without reading them: length plus
+/// modification time. Cheap to compute on every load; any rewrite that
+/// changes either evicts the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    len: u64,
+    mtime: Option<SystemTime>,
+}
+
+impl Fingerprint {
+    fn of(meta: &std::fs::Metadata) -> Fingerprint {
+        Fingerprint {
+            len: meta.len(),
+            mtime: meta.modified().ok(),
+        }
+    }
+}
+
+struct Entry {
+    fingerprint: Fingerprint,
+    dataset: Weak<Dataset>,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: BTreeMap<PathBuf, Entry>,
+    /// Per-file parse gates: loads of one file serialize on its gate (so
+    /// racing loads cost one parse), loads of different files do not.
+    /// Gates are taken *without* holding the map lock.
+    parsing: BTreeMap<PathBuf, Arc<Mutex<()>>>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    /// A live entry with a matching fingerprint, counted as a hit.
+    fn lookup_hit(&mut self, canonical: &Path, fingerprint: Fingerprint) -> Option<Arc<Dataset>> {
+        let entry = self.entries.get(canonical)?;
+        if entry.fingerprint != fingerprint {
+            return None;
+        }
+        let ds = entry.dataset.upgrade()?;
+        self.hits += 1;
+        Some(ds)
+    }
+
+    /// Drop entries whose dataset is gone (counting them as evictions)
+    /// and parse gates nobody holds or waits on.
+    fn prune(&mut self) {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.dataset.strong_count() > 0);
+        self.evictions += (before - self.entries.len()) as u64;
+        let entries = &self.entries;
+        self.parsing
+            .retain(|path, gate| Arc::strong_count(gate) > 1 || entries.contains_key(path));
+    }
+}
+
+/// Counters a cache snapshot reports (the `cache_*` gauges of fv-net's
+/// `stats` reply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Entries whose dataset is still alive (held by at least one
+    /// session). Dead entries are pruned before counting.
+    pub entries: usize,
+    /// Loads served from a live entry with a matching fingerprint.
+    pub hits: u64,
+    /// Loads that parsed the file (first load, or after eviction).
+    pub misses: u64,
+    /// Entries replaced because the file changed on disk (live handles
+    /// stay valid) or pruned after their last holder dropped them.
+    pub evictions: u64,
+}
+
+/// Shared, content-addressed map from canonical file path to parsed
+/// dataset. See the module docs for the ownership rules.
+#[derive(Clone, Default)]
+pub struct DatasetCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl DatasetCache {
+    /// Empty cache.
+    pub fn new() -> DatasetCache {
+        DatasetCache::default()
+    }
+
+    /// Load `path`, reusing a live parse when the canonical path and
+    /// fingerprint match. Errors name the *offending path as given* (the
+    /// canonical path may differ and would send the user hunting).
+    pub fn load(&self, path: &str) -> Result<Arc<Dataset>, ApiError> {
+        let canonical =
+            std::fs::canonicalize(path).map_err(|e| ApiError::io(format!("{path}: {e}")))?;
+        let meta =
+            std::fs::metadata(&canonical).map_err(|e| ApiError::io(format!("{path}: {e}")))?;
+        let fingerprint = Fingerprint::of(&meta);
+        // Fast path: a live hit, under the map lock only.
+        let gate = {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            if let Some(ds) = inner.lookup_hit(&canonical, fingerprint) {
+                return Ok(ds);
+            }
+            Arc::clone(inner.parsing.entry(canonical.clone()).or_default())
+        };
+        // Serialize with other loads of THIS file only (lock order is
+        // always gate → map, never map → gate, so no deadlock).
+        let _parsing = gate.lock().expect("parse gate poisoned");
+        {
+            // Re-check: whoever held the gate before us may have parsed.
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            if let Some(ds) = inner.lookup_hit(&canonical, fingerprint) {
+                return Ok(ds);
+            }
+            if inner.entries.remove(&canonical).is_some() {
+                // Stale: the file changed, or every holder dropped the
+                // handle. Either way the entry is replaced below.
+                inner.evictions += 1;
+            }
+        }
+        let ds = Arc::new(load_dataset_file_named(&canonical, path)?);
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.misses += 1;
+        inner.entries.insert(
+            canonical,
+            Entry {
+                fingerprint,
+                dataset: Arc::downgrade(&ds),
+            },
+        );
+        Ok(ds)
+    }
+
+    /// Drop entries whose dataset is gone; returns how many were pruned.
+    /// Pruned entries count as evictions (the slot is reclaimed).
+    pub fn prune(&self) -> usize {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let before = inner.entries.len();
+        inner.prune();
+        before - inner.entries.len()
+    }
+
+    /// Snapshot of the gauges. Prunes dead entries first, so `entries`
+    /// counts only datasets some session still holds.
+    pub fn stats(&self) -> CacheStats {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.prune();
+        CacheStats {
+            entries: inner.entries.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+/// Parse `canonical` from disk but attribute errors (and the dataset
+/// name) to `display_path`, the path the user actually typed.
+fn load_dataset_file_named(canonical: &Path, display_path: &str) -> Result<Dataset, ApiError> {
+    let canonical_str = canonical.to_string_lossy();
+    load_dataset_file(&canonical_str).map_err(|e| {
+        // Errors from the parse carry the canonical path; rewrite them to
+        // the user's spelling so `E_IO`/`E_FORMAT` messages are actionable.
+        ApiError::new(
+            e.code,
+            e.message.replace(canonical_str.as_ref(), display_path),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_pcl(dir: &Path, name: &str, rows: &[(&str, &[f32])], n_cols: usize) -> PathBuf {
+        let mut text = String::from("ID\tNAME\tGWEIGHT");
+        for c in 0..n_cols {
+            text.push_str(&format!("\tc{c}"));
+        }
+        text.push('\n');
+        text.push_str("EWEIGHT\t\t");
+        for _ in 0..n_cols {
+            text.push_str("\t1");
+        }
+        text.push('\n');
+        for (id, vals) in rows {
+            text.push_str(&format!("{id}\t{id}\t1"));
+            for v in *vals {
+                text.push_str(&format!("\t{v}"));
+            }
+            text.push('\n');
+        }
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fv-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn same_file_parses_once_across_spellings() {
+        let dir = temp_dir("spellings");
+        let path = write_pcl(&dir, "a.pcl", &[("G1", &[1.0, 2.0])], 2);
+        let cache = DatasetCache::new();
+        let direct = cache.load(path.to_str().unwrap()).unwrap();
+        // a different spelling of the same file: dir/../dir/a.pcl
+        let dotted = format!(
+            "{}/../{}/a.pcl",
+            dir.display(),
+            dir.file_name().unwrap().to_string_lossy()
+        );
+        let aliased = cache.load(&dotted).unwrap();
+        assert!(Arc::ptr_eq(&direct, &aliased), "one parse, one allocation");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn racing_loads_of_one_file_share_one_parse() {
+        let dir = temp_dir("race");
+        let path = write_pcl(&dir, "r.pcl", &[("G1", &[1.0, 2.0])], 2);
+        let cache = DatasetCache::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                let p = path.to_str().unwrap().to_string();
+                std::thread::spawn(move || cache.load(&p).unwrap())
+            })
+            .collect();
+        let loaded: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        for ds in &loaded[1..] {
+            assert!(Arc::ptr_eq(&loaded[0], ds), "all racers share one copy");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "the per-file gate admits one parse");
+        assert_eq!(stats.hits, 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_error_names_the_given_path() {
+        let cache = DatasetCache::new();
+        let err = cache.load("no/such/file.pcl").unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::Io);
+        assert!(
+            err.message.contains("no/such/file.pcl"),
+            "error must name the offending path: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn rewrite_evicts_but_live_handles_survive() {
+        let dir = temp_dir("rewrite");
+        let path = write_pcl(&dir, "d.pcl", &[("G1", &[1.0])], 1);
+        let path_str = path.to_str().unwrap().to_string();
+        let cache = DatasetCache::new();
+        let old = cache.load(&path_str).unwrap();
+        assert_eq!(old.matrix.get(0, 0), Some(1.0));
+        // rewrite with different contents (length changes ⇒ fingerprint
+        // changes even if mtime granularity is coarse)
+        write_pcl(&dir, "d.pcl", &[("G1", &[7.5]), ("G2", &[8.5])], 1);
+        let new = cache.load(&path_str).unwrap();
+        assert!(!Arc::ptr_eq(&old, &new), "changed file must re-parse");
+        assert_eq!(new.n_genes(), 2);
+        // the evicted handle still sees its original data
+        assert_eq!(old.matrix.get(0, 0), Some(1.0));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropping_all_handles_frees_the_entry() {
+        let dir = temp_dir("drop");
+        let path = write_pcl(&dir, "d.pcl", &[("G1", &[1.0])], 1);
+        let cache = DatasetCache::new();
+        let ds = cache.load(path.to_str().unwrap()).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        drop(ds);
+        // the Weak entry cannot keep the dataset alive; stats prunes it
+        assert_eq!(cache.stats().entries, 0, "no leak after last drop");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

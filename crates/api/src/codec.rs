@@ -13,7 +13,9 @@
 //!
 //! Scripts may also carry a `use <session>` directive, which the
 //! [`crate::hub::EngineHub`] interprets as "switch to (or create) this
-//! named session"; everything else flows to the current session's engine.
+//! named session", and a `close <session>` directive, which drops the
+//! named session (a later `use` recreates it empty); everything else
+//! flows to the current session's engine.
 
 use crate::error::ApiError;
 use crate::request::{
@@ -31,6 +33,10 @@ pub(crate) const NONE: &str = "-";
 pub enum ScriptItem {
     /// `use <name>` — switch the hub to a named session.
     Use(String),
+    /// `close <name>` — drop the named session and everything it owns.
+    /// A later `use <name>` cleanly recreates it empty; datasets it held
+    /// stay shared-cached, so re-loading them costs no parse.
+    Close(String),
     /// A request for the current session.
     Request(Request),
 }
@@ -39,27 +45,42 @@ pub enum ScriptItem {
 /// transport-level control requests. Control lines are answered by the
 /// server itself (`ping` → `pong`, `shutdown` → `bye` + server stop,
 /// `close` → `closed <name>`, `stats` → a server-metrics reply,
-/// `list-sessions` → a merged cross-shard session listing) and never
-/// reach an engine's request surface; scripts deliberately reject them
-/// ([`parse_script`] treats control keywords as unknown requests).
+/// `list-sessions` → a merged cross-shard session listing, `migrate` →
+/// `migrated <name> shard=<s>`) and never reach an engine's request
+/// surface; scripts deliberately reject them ([`parse_script`] treats
+/// control keywords as unknown requests). `use <name>` and
+/// `close <name>` are script items — they work identically in scripts
+/// and on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireItem {
-    /// A script item (`use` or a request).
+    /// A script item (`use`, `close <name>`, or a request).
     Script(ScriptItem),
     /// `ping` — liveness probe.
     Ping,
     /// `shutdown` — stop the server after acknowledging.
     Shutdown,
-    /// `close` — drop the connection's current session (and everything it
-    /// owns), then fall back to the default session. How a one-shot
-    /// remote client avoids leaking its scratch session.
+    /// Bare `close` — drop the connection's current session (and
+    /// everything it owns), then fall back to the default session. How a
+    /// one-shot remote client avoids leaking its scratch session. The
+    /// named form `close <name>` parses as
+    /// [`ScriptItem::Close`] instead.
     Close,
     /// `stats` — server metrics snapshot (connections, per-shard queue
-    /// depth, run sizes, frame counters).
+    /// depth, run sizes, latency histograms, cache gauges, frame
+    /// counters).
     Stats,
     /// `list-sessions` — every live session across all shards, merged and
     /// sorted by name (see [`format_sessions_reply`]).
     ListSessions,
+    /// `migrate <session> <shard>` — move a live session to another
+    /// shard without re-parsing its datasets. Answered
+    /// `migrated <name> shard=<s>`.
+    Migrate {
+        /// Session to move.
+        session: String,
+        /// Destination shard index.
+        shard: usize,
+    },
 }
 
 /// Parse one line as a network transport sees it: `Ok(None)` for blank
@@ -85,17 +106,31 @@ pub fn parse_wire_line(raw: &str) -> Result<Option<WireItem>, ApiError> {
     if line == "list-sessions" {
         return Ok(Some(WireItem::ListSessions));
     }
-    if let Some(name) = parse_use(line)? {
+    if let Some(rest) = line.strip_prefix("migrate ") {
+        let [session, shard] = fixed_args("migrate", rest.trim())?;
+        if session.is_empty() || session.contains(char::is_whitespace) {
+            return Err(ApiError::parse("session names are single tokens"));
+        }
+        return Ok(Some(WireItem::Migrate {
+            session: session.to_string(),
+            shard: parse_num(shard, "shard")?,
+        }));
+    }
+    if let Some(name) = parse_session_directive(line, "use ")? {
         return Ok(Some(WireItem::Script(ScriptItem::Use(name))));
+    }
+    if let Some(name) = parse_session_directive(line, "close ")? {
+        return Ok(Some(WireItem::Script(ScriptItem::Close(name))));
     }
     Ok(Some(WireItem::Script(ScriptItem::Request(parse_request(
         line,
     )?))))
 }
 
-/// `use <name>` → `Some(name)`; anything else → `None`.
-fn parse_use(line: &str) -> Result<Option<String>, ApiError> {
-    let Some(rest) = line.strip_prefix("use ") else {
+/// `<keyword><name>` → `Some(name)` for the session directives (`use `,
+/// `close `); anything else → `None`.
+fn parse_session_directive(line: &str, keyword: &str) -> Result<Option<String>, ApiError> {
+    let Some(rest) = line.strip_prefix(keyword) else {
         return Ok(None);
     };
     let name = rest.trim();
@@ -115,7 +150,7 @@ pub struct ScriptLine {
 }
 
 /// Parse a whole script: blank lines and `#` comments are skipped, every
-/// other line is a `use` directive or a request.
+/// other line is a `use` / `close <name>` directive or a request.
 pub fn parse_script(text: &str) -> Result<Vec<ScriptLine>, ApiError> {
     let mut out = Vec::new();
     for (i, raw) in text.lines().enumerate() {
@@ -124,14 +159,13 @@ pub fn parse_script(text: &str) -> Result<Vec<ScriptLine>, ApiError> {
             continue;
         }
         let line_no = i + 1;
-        let item = match parse_use(line)
-            .map_err(|e| ApiError::parse(format!("line {line_no}: {}", e.message)))?
-        {
-            Some(name) => ScriptItem::Use(name),
-            None => ScriptItem::Request(
-                parse_request(line)
-                    .map_err(|e| ApiError::parse(format!("line {line_no}: {}", e.message)))?,
-            ),
+        let with_line = |e: ApiError| ApiError::parse(format!("line {line_no}: {}", e.message));
+        let item = if let Some(name) = parse_session_directive(line, "use ").map_err(with_line)? {
+            ScriptItem::Use(name)
+        } else if let Some(name) = parse_session_directive(line, "close ").map_err(with_line)? {
+            ScriptItem::Close(name)
+        } else {
+            ScriptItem::Request(parse_request(line).map_err(with_line)?)
         };
         out.push(ScriptLine { line_no, item });
     }
@@ -892,13 +926,35 @@ mod tests {
             parse_wire_line("list-sessions").unwrap(),
             Some(WireItem::ListSessions)
         );
+        assert_eq!(
+            parse_wire_line("migrate alpha 2").unwrap(),
+            Some(WireItem::Migrate {
+                session: "alpha".into(),
+                shard: 2,
+            })
+        );
+        assert!(parse_wire_line("migrate alpha").is_err());
+        assert!(parse_wire_line("migrate alpha x").is_err());
+        // named close is a script item on the wire too
+        match parse_wire_line("close alpha").unwrap() {
+            Some(WireItem::Script(ScriptItem::Close(name))) => assert_eq!(name, "alpha"),
+            other => panic!("wrong parse: {other:?}"),
+        }
         assert!(parse_wire_line("wat 7").is_err());
         // control keywords are transport-only: scripts reject them
         assert!(parse_script("ping\n").is_err());
         assert!(parse_script("shutdown\n").is_err());
-        assert!(parse_script("close\n").is_err());
+        assert!(parse_script("close\n").is_err(), "bare close is wire-only");
         assert!(parse_script("stats\n").is_err());
         assert!(parse_script("list-sessions\n").is_err());
+        assert!(parse_script("migrate a 0\n").is_err());
+    }
+
+    #[test]
+    fn close_directive_parses_in_scripts() {
+        let lines = parse_script("use alpha\nclose alpha\nuse alpha\n").unwrap();
+        assert_eq!(lines[1].item, ScriptItem::Close("alpha".into()));
+        assert!(parse_script("close two words\n").is_err());
     }
 
     #[test]

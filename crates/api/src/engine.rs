@@ -13,6 +13,7 @@
 //! an optional GOLEM ontology context attached by
 //! [`Mutation::BuildOntology`].
 
+use crate::cache::DatasetCache;
 use crate::error::ApiError;
 use crate::request::{Mutation, NormalizeMethod, Query, Request, SelectionExport};
 use crate::response::{
@@ -57,6 +58,11 @@ pub struct RunOutcome {
     /// Requests after the index never executed; mutations before it stay
     /// applied (the protocol has no rollback).
     pub error: Option<(usize, ApiError)>,
+    /// Wall-clock execution time of each attempted request (the failing
+    /// request included, if any) — one entry per response plus one for
+    /// the error. Transports fold these into per-shard latency
+    /// histograms; the values never cross the wire themselves.
+    pub latencies: Vec<std::time::Duration>,
 }
 
 struct GolemContext {
@@ -68,6 +74,11 @@ struct GolemContext {
 pub struct Engine {
     session: Session,
     scene: (usize, usize),
+    /// Shared parse cache `load` goes through. Hub-created engines share
+    /// their hub's cache (and, under fv-net, the whole server's); a
+    /// standalone engine gets a private one — which still dedupes
+    /// repeated loads of the same file within the session.
+    cache: DatasetCache,
     /// Bumped by every mutation that can change expression values or the
     /// dataset roster; invalidates the SPELL index.
     dataset_version: u64,
@@ -91,9 +102,17 @@ impl Engine {
     /// Engine over an empty session; damage resolves against
     /// `scene_w × scene_h`.
     pub fn with_scene(scene_w: usize, scene_h: usize) -> Self {
+        Engine::with_scene_and_cache(scene_w, scene_h, DatasetCache::new())
+    }
+
+    /// Engine whose `load` requests go through a shared [`DatasetCache`]
+    /// — how hubs (and sharded transports) make N sessions share one
+    /// parse of the same file.
+    pub fn with_scene_and_cache(scene_w: usize, scene_h: usize, cache: DatasetCache) -> Self {
         Engine {
             session: Session::new(),
             scene: (scene_w, scene_h),
+            cache,
             dataset_version: 0,
             spell: None,
             golem: None,
@@ -104,6 +123,11 @@ impl Engine {
     /// Read access to the underlying session (rendering helpers, tests).
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// The dataset cache this engine loads through.
+    pub fn cache(&self) -> &DatasetCache {
+        &self.cache
     }
 
     /// Scene dimensions damage is resolved against.
@@ -175,8 +199,10 @@ impl Engine {
     /// responses.
     pub fn execute_run(&mut self, requests: &[Request]) -> RunOutcome {
         let mut responses = Vec::with_capacity(requests.len());
+        let mut latencies = Vec::with_capacity(requests.len());
         let mut layouts = command::LayoutCache::new(self.scene.0, self.scene.1);
         for (i, request) in requests.iter().enumerate() {
+            let started = std::time::Instant::now();
             let result = match request {
                 Request::Mutate(m) => {
                     self.perform_mutation(m)
@@ -193,12 +219,14 @@ impl Engine {
                 }
                 Request::Query(q) => self.run_query(q),
             };
+            latencies.push(started.elapsed());
             match result {
                 Ok(r) => responses.push(r),
                 Err(e) => {
                     return RunOutcome {
                         responses,
                         error: Some((i, e)),
+                        latencies,
                     }
                 }
             }
@@ -206,6 +234,7 @@ impl Engine {
         RunOutcome {
             responses,
             error: None,
+            latencies,
         }
     }
 
@@ -234,9 +263,9 @@ impl Engine {
                 ))
             }
             Mutation::LoadDataset { path } => {
-                let ds = load_dataset_file(path)?;
+                let ds = self.cache.load(path)?;
                 let (name, genes, conditions) = (ds.name.clone(), ds.n_genes(), ds.n_conditions());
-                let idx = self.session.load_dataset(ds)?;
+                let idx = self.session.load_shared_dataset(ds)?;
                 self.dataset_version += 1;
                 Ok((
                     Response::Loaded {

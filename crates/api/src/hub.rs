@@ -6,6 +6,7 @@
 //! wire codec, routes them here by session id, and shards hubs across
 //! workers without the protocol changing shape.
 
+use crate::cache::{CacheStats, DatasetCache};
 use crate::codec::{format_response, parse_script, ScriptItem};
 use crate::engine::{BatchOutcome, Engine, RunOutcome};
 use crate::error::ApiError;
@@ -97,8 +98,14 @@ impl ScriptOutcome {
 }
 
 /// Many named engine sessions; the default session is `"main"`.
+///
+/// Every session the hub creates loads datasets through one shared
+/// [`DatasetCache`], so N sessions loading the same file cost one parse.
+/// A sharded transport goes one step further and hands the *same* cache
+/// to every hub (see [`EngineHub::with_cache`]).
 pub struct EngineHub {
     scene: (usize, usize),
+    cache: DatasetCache,
     sessions: BTreeMap<SessionId, Engine>,
 }
 
@@ -119,10 +126,29 @@ impl EngineHub {
 
     /// Hub whose engines resolve damage against `scene_w × scene_h`.
     pub fn with_scene(scene_w: usize, scene_h: usize) -> Self {
+        EngineHub::with_cache(scene_w, scene_h, DatasetCache::new())
+    }
+
+    /// Hub whose sessions load through a caller-provided [`DatasetCache`]
+    /// — the hook a sharded transport uses to share one cache across
+    /// every shard's hub.
+    pub fn with_cache(scene_w: usize, scene_h: usize, cache: DatasetCache) -> Self {
         EngineHub {
             scene: (scene_w, scene_h),
+            cache,
             sessions: BTreeMap::new(),
         }
+    }
+
+    /// The dataset cache this hub's sessions share.
+    pub fn cache(&self) -> &DatasetCache {
+        &self.cache
+    }
+
+    /// Snapshot of the shared cache's gauges (entries / hits / misses /
+    /// evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// The default session id.
@@ -153,9 +179,10 @@ impl EngineHub {
     /// The engine behind `id`, created empty on first use.
     pub fn engine(&mut self, id: &SessionId) -> &mut Engine {
         let scene = self.scene;
+        let cache = self.cache.clone();
         self.sessions
             .entry(id.clone())
-            .or_insert_with(|| Engine::with_scene(scene.0, scene.1))
+            .or_insert_with(|| Engine::with_scene_and_cache(scene.0, scene.1, cache))
     }
 
     /// Read-only engine access; `None` until the session exists.
@@ -166,6 +193,28 @@ impl EngineHub {
     /// Drop a session and everything it owns. Returns whether it existed.
     pub fn close(&mut self, id: &SessionId) -> bool {
         self.sessions.remove(id).is_some()
+    }
+
+    /// Remove the session and hand its engine out intact — the extract
+    /// half of cross-shard session migration. The engine keeps its loaded
+    /// dataset handles (`Arc`s), so migrating never re-reads or re-parses
+    /// a file.
+    pub fn take_session(&mut self, id: &SessionId) -> Option<Engine> {
+        self.sessions.remove(id)
+    }
+
+    /// Install a previously extracted engine under `id` — the other half
+    /// of migration. Returns `false` (and drops the incoming engine) if a
+    /// session with that name already lives here; routing guarantees
+    /// callers never hit that in practice.
+    pub fn install_session(&mut self, id: &SessionId, engine: Engine) -> bool {
+        match self.sessions.entry(id.clone()) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(engine);
+                true
+            }
+        }
     }
 
     /// Execute one request against a named session.
@@ -206,8 +255,9 @@ impl EngineHub {
     }
 
     /// Replay a wire-format script. `use <name>` lines switch (and create)
-    /// sessions; requests run against the current session, starting at
-    /// `"main"`. Stops at the first error, reporting its script line.
+    /// sessions, `close <name>` lines drop them; requests run against the
+    /// current session, starting at `"main"`. Stops at the first error,
+    /// reporting its script line.
     pub fn run_script(&mut self, text: &str) -> Result<ScriptOutcome, ApiError> {
         let mut entries = Vec::new();
         self.run_script_streaming(text, |e| entries.push(e.clone()))?;
@@ -242,6 +292,15 @@ impl EngineHub {
                     self.engine(&current);
                     i += 1;
                 }
+                ScriptItem::Close(name) => {
+                    // Dropping a session is idempotent; a later `use` (or
+                    // request routed at it) recreates it empty — never a
+                    // stale-session error. The current session pointer is
+                    // left alone even when it names the closed session.
+                    let id = SessionId::new(name.clone())?;
+                    self.close(&id);
+                    i += 1;
+                }
                 ScriptItem::Request(_) => {
                     let start = i;
                     while i < lines.len() && matches!(lines[i].item, ScriptItem::Request(_)) {
@@ -251,7 +310,7 @@ impl EngineHub {
                         .iter()
                         .map(|l| match &l.item {
                             ScriptItem::Request(r) => r.clone(),
-                            ScriptItem::Use(_) => unreachable!("run holds only requests"),
+                            _ => unreachable!("run holds only requests"),
                         })
                         .collect();
                     let outcome = self.execute_run_on(&current, &requests);
@@ -420,6 +479,9 @@ session_info
                 crate::codec::ScriptItem::Use(name) => {
                     current = SessionId::new(name).unwrap();
                 }
+                crate::codec::ScriptItem::Close(name) => {
+                    naive.close(&SessionId::new(name).unwrap());
+                }
                 crate::codec::ScriptItem::Request(request) => {
                     let response = naive.execute_on(&current, &request).unwrap();
                     naive_transcript.push_str(
@@ -465,6 +527,69 @@ session_info
         // `a` ran a request, `b` was materialized by `use`; `main`'s first
         // request failed but `use main` had already materialized it.
         assert_eq!(names, ["a", "b", "main"]);
+    }
+
+    #[test]
+    fn use_after_close_recreates_the_session_cleanly() {
+        // Regression: `use <name>` after `close <name>` in one script must
+        // recreate the session empty — no stale-session error, no leftover
+        // datasets from the closed incarnation.
+        let mut hub = EngineHub::with_scene(640, 480);
+        let script = "\
+use scratch
+scenario 60 1
+close scratch
+use scratch
+session_info
+";
+        let out = hub.run_script(script).unwrap();
+        assert_eq!(out.entries.len(), 2);
+        match &out.entries[1].response {
+            Response::SessionInfo(info) => {
+                assert_eq!(info.n_datasets, 0, "recreated session starts empty");
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert_eq!(hub.n_sessions(), 1);
+        // closing a session that never existed is a quiet no-op
+        hub.run_script("close never\nsession_info\n").unwrap();
+    }
+
+    #[test]
+    fn sessions_share_one_parse_through_the_hub_cache() {
+        let dir = std::env::temp_dir().join(format!("fv-hub-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.pcl");
+        std::fs::write(
+            &path,
+            "ID\tNAME\tGWEIGHT\tc0\tc1\nG1\tG1\t1\t1.0\t2.0\nG2\tG2\t1\t3.0\t4.0\n",
+        )
+        .unwrap();
+        let mut hub = EngineHub::with_scene(640, 480);
+        let load = Request::Mutate(Mutation::LoadDataset {
+            path: path.to_string_lossy().into_owned(),
+        });
+        for name in ["a", "b", "c"] {
+            hub.execute_on(&SessionId::new(name).unwrap(), &load)
+                .unwrap();
+        }
+        let stats = hub.cache_stats();
+        assert_eq!(stats.misses, 1, "one parse for three sessions");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 1);
+        // the three sessions hold the *same* allocation
+        let a = SessionId::new("a").unwrap();
+        let b = SessionId::new("b").unwrap();
+        let ha = hub.get(&a).unwrap().session().dataset_handle(0).clone();
+        let hb = hub.get(&b).unwrap().session().dataset_handle(0).clone();
+        assert!(std::sync::Arc::ptr_eq(&ha, &hb));
+        drop((ha, hb));
+        // closing every holder frees the entry — the cache never leaks
+        for name in ["a", "b", "c"] {
+            hub.close(&SessionId::new(name).unwrap());
+        }
+        assert_eq!(hub.cache_stats().entries, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

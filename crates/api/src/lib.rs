@@ -54,6 +54,7 @@
 //! }
 //! ```
 
+pub mod cache;
 pub mod codec;
 pub mod decode;
 pub mod engine;
@@ -62,6 +63,7 @@ pub mod hub;
 pub mod request;
 pub mod response;
 
+pub use cache::{CacheStats, DatasetCache};
 pub use codec::{
     format_request, format_response, format_sessions_reply, parse_request, parse_script,
     parse_wire_line, SessionEntry, WireItem,

@@ -1,0 +1,170 @@
+//! Property tests for the shared dataset cache: random interleavings of
+//! `load` / `close <session>` / on-disk rewrites across a pool of
+//! sessions must uphold the cache's two ownership guarantees:
+//!
+//! 1. **No leak** — once every session holding a file is closed, the
+//!    cache keeps nothing alive (`entries` drops to zero; the `Weak`
+//!    entries cannot pin a dataset).
+//! 2. **Eviction never invalidates a live handle** — rewriting a file on
+//!    disk evicts its cache entry, but every session that loaded the old
+//!    contents keeps seeing exactly the data it loaded.
+//!
+//! Contents are generation-stamped (cell `[0,0]` holds the generation,
+//! and the row count varies with it so the length fingerprint always
+//! changes), which lets the model check every session's view after every
+//! operation.
+
+use fv_api::{EngineHub, Mutation, Request, SessionId};
+use proptest::prelude::*;
+use proptest::strategy::FnStrategy;
+use proptest::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const SESSIONS: [&str; 4] = ["s0", "s1", "s2", "s3"];
+const FILES: [&str; 2] = ["f0", "f1"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Load file `f` into session `s`.
+    Load { s: usize, f: usize },
+    /// Close session `s`.
+    Close { s: usize },
+    /// Rewrite file `f` on disk with the next generation's contents.
+    Rewrite { f: usize },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    FnStrategy::new(|rng: &mut TestRng| {
+        let len = 4 + rng.below(17) as usize;
+        (0..len)
+            .map(|_| match rng.below(5) {
+                // loads dominate: they are the interesting operation
+                0..=2 => Op::Load {
+                    s: rng.below(SESSIONS.len() as u64) as usize,
+                    f: rng.below(FILES.len() as u64) as usize,
+                },
+                3 => Op::Close {
+                    s: rng.below(SESSIONS.len() as u64) as usize,
+                },
+                _ => Op::Rewrite {
+                    f: rng.below(FILES.len() as u64) as usize,
+                },
+            })
+            .collect()
+    })
+}
+
+/// Write generation `generation` of file `f`: cell `[0,0]` stamps the
+/// generation; `generation + 1` rows make the byte length (and thus the
+/// fingerprint) unique per generation.
+fn write_generation(dir: &Path, f: usize, generation: usize) -> PathBuf {
+    let mut text = String::from("ID\tNAME\tGWEIGHT\tc0\tc1\n");
+    for row in 0..=generation {
+        let value = if row == 0 { generation } else { row };
+        text.push_str(&format!("G{row}\tG{row}\t1\t{value}.0\t0.5\n"));
+    }
+    let path = dir.join(format!("{}.pcl", FILES[f]));
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn fresh_dir() -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fv-cache-props-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn interleaved_load_close_never_leaks_or_invalidates(ops in arb_ops()) {
+        let dir = fresh_dir();
+        let mut generations = [0usize; FILES.len()];
+        let mut paths: Vec<PathBuf> = (0..FILES.len())
+            .map(|f| write_generation(&dir, f, 0))
+            .collect();
+        let mut hub = EngineHub::with_scene(640, 480);
+        // model: session -> (file -> generation loaded)
+        let mut held: BTreeMap<usize, BTreeMap<usize, usize>> = BTreeMap::new();
+        // Every Load op consults the cache (even one the session then
+        // rejects as a duplicate name), so the hit+miss ledger counts
+        // attempts, not successful session loads.
+        let mut load_attempts: u64 = 0;
+
+        for op in &ops {
+            match *op {
+                Op::Load { s, f } => {
+                    let id = SessionId::new(SESSIONS[s]).unwrap();
+                    let request = Request::Mutate(Mutation::LoadDataset {
+                        path: paths[f].to_string_lossy().into_owned(),
+                    });
+                    let result = hub.execute_on(&id, &request);
+                    load_attempts += 1;
+                    if held.get(&s).is_some_and(|m| m.contains_key(&f)) {
+                        // same stem already loaded: duplicate-name error,
+                        // the session keeps its original handle
+                        let err = result.expect_err("duplicate load must fail");
+                        prop_assert_eq!(err.code, fv_api::ErrorCode::AlreadyExists);
+                    } else {
+                        prop_assert!(result.is_ok(), "load failed: {:?}", result);
+                        held.entry(s).or_default().insert(f, generations[f]);
+                    }
+                }
+                Op::Close { s } => {
+                    let id = SessionId::new(SESSIONS[s]).unwrap();
+                    let existed = hub.close(&id);
+                    prop_assert_eq!(existed, held.contains_key(&s));
+                    held.remove(&s);
+                }
+                Op::Rewrite { f } => {
+                    generations[f] += 1;
+                    paths[f] = write_generation(&dir, f, generations[f]);
+                }
+            }
+            // Invariant: every live session still sees exactly the
+            // generation it loaded — eviction and rewrites are invisible
+            // to held handles.
+            for (&s, files) in &held {
+                let id = SessionId::new(SESSIONS[s]).unwrap();
+                let engine = hub.get(&id).expect("held session exists");
+                for (&f, &generation) in files {
+                    let d = engine
+                        .session()
+                        .merged()
+                        .index_of(FILES[f])
+                        .expect("dataset present");
+                    let ds = engine.session().dataset(d);
+                    prop_assert_eq!(
+                        ds.matrix.get(0, 0),
+                        Some(generation as f32),
+                        "session {} sees wrong generation of {}",
+                        SESSIONS[s],
+                        FILES[f]
+                    );
+                    prop_assert_eq!(ds.n_genes(), generation + 1);
+                }
+            }
+            // The cache never holds more live entries than there are
+            // files, and its ledger accounts for every successful load.
+            let stats = hub.cache_stats();
+            prop_assert!(stats.entries <= FILES.len());
+            prop_assert_eq!(stats.hits + stats.misses, load_attempts);
+        }
+
+        // Teardown: closing every session must drop every refcount to
+        // zero — the cache's weak entries cannot leak datasets.
+        for s in SESSIONS {
+            hub.close(&SessionId::new(s).unwrap());
+        }
+        prop_assert_eq!(hub.cache_stats().entries, 0, "cache leaked entries");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

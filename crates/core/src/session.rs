@@ -16,6 +16,7 @@ use fv_expr::merged::MergedDatasets;
 use fv_expr::universe::GeneId;
 use fv_expr::Dataset;
 use fv_expr::ExprError;
+use std::sync::Arc;
 
 /// The application state.
 #[derive(Debug)]
@@ -74,9 +75,17 @@ impl Session {
 
     /// Load a dataset into the session (appended as the rightmost pane).
     pub fn load_dataset(&mut self, ds: Dataset) -> Result<usize, ExprError> {
+        self.load_shared_dataset(Arc::new(ds))
+    }
+
+    /// Load a *shared* dataset handle — the zero-copy path dataset caches
+    /// use so many sessions reference one parsed copy. In-place transforms
+    /// ([`Session::dataset_matrix_mut`]) copy-on-write, so sharing is
+    /// invisible to session semantics.
+    pub fn load_shared_dataset(&mut self, ds: Arc<Dataset>) -> Result<usize, ExprError> {
         let n_rows = ds.n_genes();
         let n_cols = ds.n_conditions();
-        let idx = self.merged.add(ds)?;
+        let idx = self.merged.add_shared(ds)?;
         self.dataset_order.push(idx);
         self.display_order.push((0..n_rows).collect());
         self.display_pos.push((0..n_rows).collect());
@@ -99,6 +108,12 @@ impl Session {
     /// Dataset accessor.
     pub fn dataset(&self, d: usize) -> &Dataset {
         self.merged.dataset(d)
+    }
+
+    /// The shared handle behind dataset `d` (see
+    /// [`fv_expr::merged::MergedDatasets::dataset_handle`]).
+    pub fn dataset_handle(&self, d: usize) -> &Arc<Dataset> {
+        self.merged.dataset_handle(d)
     }
 
     /// Mutable access to dataset `d`'s expression matrix for

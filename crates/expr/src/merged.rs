@@ -10,12 +10,20 @@
 use crate::dataset::Dataset;
 use crate::error::ExprError;
 use crate::universe::{GeneId, GeneUniverse, RowMap};
+use std::sync::Arc;
 
 /// A collection of datasets unified behind a gene universe — the 3-D
 /// `dataset × gene × condition` interface of the paper's architecture.
+///
+/// Datasets are held as [`Arc<Dataset>`] handles so many sessions can
+/// share one parsed copy (see `fv_api`'s dataset cache): loading the same
+/// PCL into N sessions costs one allocation, not N. In-place transforms
+/// go through [`MergedDatasets::matrix_mut`], which copy-on-writes the
+/// handle — a session that normalizes its view never mutates another
+/// session's data.
 #[derive(Debug, Default, Clone)]
 pub struct MergedDatasets {
-    datasets: Vec<Dataset>,
+    datasets: Vec<Arc<Dataset>>,
     universe: GeneUniverse,
     row_maps: Vec<RowMap>,
 }
@@ -31,6 +39,13 @@ impl MergedDatasets {
     /// If a dataset lists the same gene id twice, the first row wins (the
     /// convention of Java TreeView's gene lookup).
     pub fn add(&mut self, dataset: Dataset) -> Result<usize, ExprError> {
+        self.add_shared(Arc::new(dataset))
+    }
+
+    /// Register a shared dataset handle without copying it — the entry
+    /// point dataset caches use so N sessions loading the same file share
+    /// one parse. Same uniqueness rules as [`MergedDatasets::add`].
+    pub fn add_shared(&mut self, dataset: Arc<Dataset>) -> Result<usize, ExprError> {
         if self.datasets.iter().any(|d| d.name == dataset.name) {
             return Err(ExprError::DuplicateDataset(dataset.name.clone()));
         }
@@ -62,16 +77,26 @@ impl MergedDatasets {
     }
 
     /// All datasets, in load order.
-    pub fn datasets(&self) -> &[Dataset] {
+    pub fn datasets(&self) -> &[Arc<Dataset>] {
         &self.datasets
+    }
+
+    /// The shared handle behind dataset `d` — what a cache or another
+    /// session can clone to share the parse.
+    pub fn dataset_handle(&self, d: usize) -> &Arc<Dataset> {
+        &self.datasets[d]
     }
 
     /// Mutable access to a dataset's expression matrix, for in-place
     /// transforms (imputation, normalization). Shape-preserving only: the
     /// gene universe and metadata are keyed by row/column counts, so
     /// callers must not change the matrix dimensions.
+    ///
+    /// Copy-on-write: if the dataset is shared with other sessions (or a
+    /// cache), this clones it first — mutations are always private to
+    /// this collection.
     pub fn matrix_mut(&mut self, d: usize) -> &mut crate::matrix::ExprMatrix {
-        &mut self.datasets[d].matrix
+        &mut Arc::make_mut(&mut self.datasets[d]).matrix
     }
 
     /// Dataset index by name.
@@ -285,6 +310,24 @@ mod tests {
         let genes = m.rows_to_genes(1, &[0, 2]);
         let names: Vec<&str> = genes.iter().map(|&g| m.universe().name(g)).collect();
         assert_eq!(names, vec!["G3", "G1"]);
+    }
+
+    #[test]
+    fn add_shared_shares_until_mutated() {
+        let handle = Arc::new(ds("a", &["G1"], &[1.0], 1));
+        let mut m1 = MergedDatasets::new();
+        let mut m2 = MergedDatasets::new();
+        m1.add_shared(Arc::clone(&handle)).unwrap();
+        m2.add_shared(Arc::clone(&handle)).unwrap();
+        assert!(Arc::ptr_eq(m1.dataset_handle(0), m2.dataset_handle(0)));
+        assert_eq!(Arc::strong_count(&handle), 3);
+        // mutation copy-on-writes: m1 gets a private copy, m2 and the
+        // original handle are untouched
+        m1.matrix_mut(0).set(0, 0, 99.0);
+        assert!(!Arc::ptr_eq(m1.dataset_handle(0), m2.dataset_handle(0)));
+        assert_eq!(m1.dataset(0).matrix.get(0, 0), Some(99.0));
+        assert_eq!(m2.dataset(0).matrix.get(0, 0), Some(1.0));
+        assert_eq!(handle.matrix.get(0, 0), Some(1.0));
     }
 
     #[test]

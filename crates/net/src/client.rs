@@ -68,6 +68,20 @@ impl Client {
         }
     }
 
+    /// Move a live session to another shard (`migrate` control line). The
+    /// session's engine — loaded datasets, selection, cluster trees,
+    /// everything — crosses shards intact; no file is re-read or
+    /// re-parsed. Fails typed (`E_NOT_FOUND` / `E_INVALID`) for unknown
+    /// sessions or out-of-range shards.
+    pub fn migrate(&mut self, session: &str, shard: usize) -> Result<(), ApiError> {
+        let reply = self.roundtrip(&format!("migrate {session} {shard}"))??;
+        if reply == format!("migrated {session} shard={shard}") {
+            Ok(())
+        } else {
+            Err(ApiError::io(format!("unexpected migrate reply {reply:?}")))
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ApiError> {
         let reply = self.roundtrip("ping")??;
@@ -143,6 +157,10 @@ pub fn run_script_remote(
                 wire.push_str("use ");
                 wire.push_str(name);
             }
+            ScriptItem::Close(name) => {
+                wire.push_str("close ");
+                wire.push_str(name);
+            }
             ScriptItem::Request(request) => wire.push_str(&format_request(request)),
         }
         wire.push('\n');
@@ -179,6 +197,11 @@ fn read_script_replies(
                 // consume the `using` acknowledgement
                 reply.map_err(|e| decorate(line.line_no, e))?;
                 session = fv_api::SessionId::new(name.clone())?;
+            }
+            ScriptItem::Close(_) => {
+                // consume the `closed` acknowledgement; like `use`, close
+                // directives produce no transcript block
+                reply.map_err(|e| decorate(line.line_no, e))?;
             }
             ScriptItem::Request(request) => match reply {
                 Ok(text) => sink(&format!(

@@ -5,10 +5,18 @@
 //! as `fv-api` response text, so transcripts stay line-parseable:
 //!
 //! ```text
-//! stats shards=2 connections=1 sessions=3 frames_in=12 frames_out=11 busy=0 runs=5 requests=9 max_run=4
-//!   shard 0 sessions=2 queued=0 runs=3 requests=6 max_run=4
-//!   shard 1 sessions=1 queued=0 runs=2 requests=3 max_run=2
+//! stats shards=2 connections=1 sessions=3 frames_in=12 frames_out=11 busy=0 runs=5 requests=9 max_run=4 cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0
+//!   shard 0 sessions=2 queued=0 runs=3 requests=6 max_run=4 lat_us=0,2,3,1,0,0,0,0,0,0 lat_max_us=812
+//!   shard 1 sessions=1 queued=0 runs=2 requests=3 max_run=2 lat_us=0,1,2,0,0,0,0,0,0,0 lat_max_us=401
 //! ```
+//!
+//! `cache_*` are the gauges of the server-wide [`fv_api::DatasetCache`]
+//! shared by every shard: `cache_entries` live cached parses,
+//! `cache_hits`/`cache_misses` loads served shared vs. parsed, and
+//! `cache_evictions` entries replaced (file changed on disk) or pruned
+//! (last holder gone). `lat_us` is the per-shard request-latency
+//! histogram: one count per [`LATENCY_BUCKETS_US`] bucket plus a final
+//! overflow bucket, with `lat_max_us` the largest single request.
 //!
 //! [`format_stats`] and [`parse_stats`] are exact inverses — the typed
 //! client (`Client::stats`, `fvtool stats --remote`) round-trips through
@@ -17,6 +25,84 @@
 
 use fv_api::decode::{field, num};
 use fv_api::ApiError;
+use std::time::Duration;
+
+/// Upper bounds (inclusive, in microseconds) of the per-request latency
+/// histogram buckets. A tenth, unbounded overflow bucket catches
+/// everything slower than the last bound.
+pub const LATENCY_BUCKETS_US: [u64; 9] =
+    [50, 100, 250, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000];
+
+/// Bucket count of [`LatencyHistogram`]: the bounded buckets plus the
+/// overflow bucket.
+pub const LATENCY_BUCKET_COUNT: usize = LATENCY_BUCKETS_US.len() + 1;
+
+/// Fixed-bucket per-request latency histogram (see
+/// [`LATENCY_BUCKETS_US`]). Cheap to record into, mergeable, and
+/// losslessly wire-representable as a count list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    /// One count per bucket, overflow last.
+    pub counts: [u64; LATENCY_BUCKET_COUNT],
+    /// Largest single observation, in microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one request's wall-clock latency.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKET_COUNT - 1);
+        self.counts[bucket] += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    fn format(&self) -> String {
+        self.counts
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    fn parse(counts: &str, max_us: &str) -> Result<LatencyHistogram, ApiError> {
+        let parsed: Vec<u64> = counts
+            .split(',')
+            .map(|c| num(c, "latency bucket count"))
+            .collect::<Result<_, _>>()?;
+        let counts: [u64; LATENCY_BUCKET_COUNT] = parsed.try_into().map_err(|v: Vec<u64>| {
+            ApiError::parse(format!(
+                "latency histogram needs {LATENCY_BUCKET_COUNT} buckets, got {}",
+                v.len()
+            ))
+        })?;
+        Ok(LatencyHistogram {
+            counts,
+            max_us: num(max_us, "lat_max_us")?,
+        })
+    }
+}
 
 /// One worker shard's slice of a [`ServerStats`] snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,10 +116,15 @@ pub struct ShardStats {
     pub queued: usize,
     /// Non-empty request runs executed since startup.
     pub runs: u64,
-    /// Requests executed across those runs.
+    /// Requests *attempted* across those runs (a run's failing request
+    /// counts; the skipped tail after it does not). Always equals
+    /// `latency.total()` — one observation per attempted request.
     pub requests: u64,
     /// Largest single run (requests batched into one layout pass).
     pub max_run: usize,
+    /// Per-request latency histogram of every request this shard
+    /// attempted.
+    pub latency: LatencyHistogram,
 }
 
 /// Snapshot answered to the `stats` control line.
@@ -52,10 +143,19 @@ pub struct ServerStats {
     pub busy_rejections: u64,
     /// Sum of per-shard executed runs.
     pub runs: u64,
-    /// Sum of per-shard executed requests.
+    /// Sum of per-shard attempted requests (see [`ShardStats::requests`]).
     pub requests: u64,
     /// Largest run across all shards.
     pub max_run: usize,
+    /// Live entries in the server-wide shared dataset cache.
+    pub cache_entries: usize,
+    /// Dataset loads served from the shared cache (no parse).
+    pub cache_hits: u64,
+    /// Dataset loads that parsed a file (first load or post-eviction).
+    pub cache_misses: u64,
+    /// Cache entries replaced (file changed) or pruned (last holder
+    /// dropped). Never invalidates a live session's handle.
+    pub cache_evictions: u64,
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardStats>,
 }
@@ -64,7 +164,7 @@ pub struct ServerStats {
 /// [`parse_stats`].
 pub fn format_stats(stats: &ServerStats) -> String {
     let mut out = format!(
-        "stats shards={} connections={} sessions={} frames_in={} frames_out={} busy={} runs={} requests={} max_run={}",
+        "stats shards={} connections={} sessions={} frames_in={} frames_out={} busy={} runs={} requests={} max_run={} cache_entries={} cache_hits={} cache_misses={} cache_evictions={}",
         stats.shards.len(),
         stats.connections,
         stats.sessions,
@@ -74,11 +174,22 @@ pub fn format_stats(stats: &ServerStats) -> String {
         stats.runs,
         stats.requests,
         stats.max_run,
+        stats.cache_entries,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
     );
     for s in &stats.shards {
         out.push_str(&format!(
-            "\n  shard {} sessions={} queued={} runs={} requests={} max_run={}",
-            s.shard, s.sessions, s.queued, s.runs, s.requests, s.max_run
+            "\n  shard {} sessions={} queued={} runs={} requests={} max_run={} lat_us={} lat_max_us={}",
+            s.shard,
+            s.sessions,
+            s.queued,
+            s.runs,
+            s.requests,
+            s.max_run,
+            s.latency.format(),
+            s.latency.max_us
         ));
     }
     out
@@ -109,6 +220,7 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
             runs: num(field(rest, "runs")?, "runs")?,
             requests: num(field(rest, "requests")?, "requests")?,
             max_run: num(field(rest, "max_run")?, "max_run")?,
+            latency: LatencyHistogram::parse(field(rest, "lat_us")?, field(rest, "lat_max_us")?)?,
         });
     }
     if shards.len() != n_shards {
@@ -123,6 +235,10 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
         runs: num(field(tail, "runs")?, "runs")?,
         requests: num(field(tail, "requests")?, "requests")?,
         max_run: num(field(tail, "max_run")?, "max_run")?,
+        cache_entries: num(field(tail, "cache_entries")?, "cache_entries")?,
+        cache_hits: num(field(tail, "cache_hits")?, "cache_hits")?,
+        cache_misses: num(field(tail, "cache_misses")?, "cache_misses")?,
+        cache_evictions: num(field(tail, "cache_evictions")?, "cache_evictions")?,
         shards,
     })
 }
@@ -130,6 +246,15 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn hist(pairs: &[(usize, u64)], max_us: u64) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &(bucket, count) in pairs {
+            h.counts[bucket] = count;
+        }
+        h.max_us = max_us;
+        h
+    }
 
     fn sample() -> ServerStats {
         ServerStats {
@@ -141,6 +266,10 @@ mod tests {
             runs: 40,
             requests: 90,
             max_run: 12,
+            cache_entries: 1,
+            cache_hits: 63,
+            cache_misses: 1,
+            cache_evictions: 0,
             shards: vec![
                 ShardStats {
                     shard: 0,
@@ -149,6 +278,7 @@ mod tests {
                     runs: 25,
                     requests: 60,
                     max_run: 12,
+                    latency: hist(&[(0, 50), (2, 9), (5, 1)], 3_120),
                 },
                 ShardStats {
                     shard: 1,
@@ -157,6 +287,7 @@ mod tests {
                     runs: 15,
                     requests: 30,
                     max_run: 7,
+                    latency: hist(&[(1, 30)], 99),
                 },
             ],
         }
@@ -169,9 +300,12 @@ mod tests {
         assert_eq!(
             text,
             "stats shards=2 connections=3 sessions=5 frames_in=120 frames_out=118 busy=2 \
-             runs=40 requests=90 max_run=12\n  \
-             shard 0 sessions=3 queued=0 runs=25 requests=60 max_run=12\n  \
-             shard 1 sessions=2 queued=1 runs=15 requests=30 max_run=7"
+             runs=40 requests=90 max_run=12 \
+             cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0\n  \
+             shard 0 sessions=3 queued=0 runs=25 requests=60 max_run=12 \
+             lat_us=50,0,9,0,0,1,0,0,0,0 lat_max_us=3120\n  \
+             shard 1 sessions=2 queued=1 runs=15 requests=30 max_run=7 \
+             lat_us=0,30,0,0,0,0,0,0,0,0 lat_max_us=99"
         );
         assert_eq!(parse_stats(&text).unwrap(), s);
     }
@@ -186,12 +320,35 @@ mod tests {
     }
 
     #[test]
+    fn histogram_buckets_by_bound_and_tracks_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(10)); // bucket 0 (≤50)
+        h.record(Duration::from_micros(50)); // bucket 0 (inclusive bound)
+        h.record(Duration::from_micros(51)); // bucket 1 (≤100)
+        h.record(Duration::from_millis(2)); // bucket 5 (≤5000us)
+        h.record(Duration::from_secs(5)); // overflow bucket
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[5], 1);
+        assert_eq!(h.counts[LATENCY_BUCKET_COUNT - 1], 1);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max_us, 5_000_000);
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&h);
+        merged.merge(&h);
+        assert_eq!(merged.total(), 10);
+        assert_eq!(merged.max_us, h.max_us);
+    }
+
+    #[test]
     fn garbage_is_a_parse_error() {
         for bad in [
             "",
             "wat",
             "stats shards=2 connections=1",
-            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0",
+            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0",
+            // shard row with a short histogram
+            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0 lat_max_us=0",
         ] {
             assert!(parse_stats(bad).is_err(), "{bad:?} must not parse");
         }

@@ -39,10 +39,10 @@
 use crate::frame::{write_err, write_ok, FrameBuf, LineFault, MAX_LINE};
 use crate::metrics::{ServerStats, ShardStats};
 use crate::poll::{self, PollEntry};
-use crate::shard::{ShardHandles, ShardPool, ShardReport};
+use crate::shard::{shard_of, ShardHandles, ShardPool, ShardReport};
 use fv_api::codec::ScriptItem;
-use fv_api::{ApiError, EngineHub, Request, RunOutcome, SessionId, WireItem};
-use std::collections::{BTreeMap, VecDeque};
+use fv_api::{ApiError, Engine, EngineHub, Request, SessionId, WireItem};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{PipeReader, PipeWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -199,10 +199,31 @@ enum Item {
     Reject(ApiError),
     Use(SessionId),
     Ping,
+    /// Bare `close`: drop the connection's current session.
     Close,
+    /// `close <name>`: drop the named session (the connection's current
+    /// session pointer is untouched).
+    CloseNamed(SessionId),
+    /// `migrate <session> <shard>`: move the session to another shard.
+    Migrate(SessionId, usize),
     Stats,
     ListSessions,
     Shutdown,
+}
+
+impl Item {
+    /// The session this item would dispatch shard work against (given the
+    /// connection's current session), if any — what migration stalls gate
+    /// on.
+    fn target_session<'a>(&'a self, current: &'a SessionId) -> Option<&'a SessionId> {
+        match self {
+            Item::Request(_) | Item::Close => Some(current),
+            Item::Use(s) | Item::CloseNamed(s) | Item::Migrate(s, _) => Some(s),
+            Item::Ping | Item::Reject(_) | Item::Stats | Item::ListSessions | Item::Shutdown => {
+                None
+            }
+        }
+    }
 }
 
 /// What a `stats` / `list-sessions` fan-out is gathering toward.
@@ -221,6 +242,9 @@ enum Inflight {
     Run { ack: Option<String> },
     /// A dispatched session close; answered `closed <name>`.
     Close { closed: SessionId },
+    /// A dispatched migration (extract on the source shard chained to
+    /// install on the target); answered `migrated <name> shard=<to>`.
+    Migrate,
     /// A `stats` / `list-sessions` fan-out collecting one report per
     /// shard.
     Gather {
@@ -331,11 +355,19 @@ pub(crate) struct Completion {
 }
 
 pub(crate) enum Payload {
-    Run(RunOutcome),
+    Run(crate::shard::RunDone),
     /// A close finished (whether the session existed is not part of the
     /// reply — `closed <name>` is acknowledged either way).
     Closed,
     Shard(ShardReport),
+    /// A migration chain finished (extract → install). Handled by the
+    /// loop itself — routing tables and the migration stall are loop
+    /// state, and the requesting connection may be gone by now.
+    Migrated {
+        session: SessionId,
+        to: usize,
+        result: Result<(), ApiError>,
+    },
 }
 
 /// Adapter: the shard's close responder reports existence, the loop's
@@ -353,6 +385,16 @@ struct Ctx<'a> {
     metrics: &'a mut LoopMetrics,
     /// Live connections (for `stats`), the serviced connection included.
     n_conns: usize,
+    /// Migration routing overrides: sessions living away from their hash
+    /// shard. The loop inserts on migration completion; item processing
+    /// removes an override when its session is closed (a re-created
+    /// session must fall back to hash routing, and the table must not
+    /// grow without bound).
+    routes: &'a mut BTreeMap<SessionId, usize>,
+    /// Sessions with a migration in flight. Items targeting one stall in
+    /// their connection's inbox until the migration completes (the loop
+    /// re-pumps every connection then).
+    migrating: &'a mut BTreeSet<SessionId>,
     /// Set by a wire `shutdown`.
     stop: &'a mut bool,
 }
@@ -375,6 +417,95 @@ impl Ctx<'_> {
             waker.wake();
         })
     }
+
+    /// The shard serving `session`: its migration override if one exists,
+    /// its stable hash otherwise.
+    fn route(&self, session: &SessionId) -> usize {
+        self.routes
+            .get(session)
+            .copied()
+            .unwrap_or_else(|| self.shards.shard_of(session))
+    }
+
+    /// Kick off the extract → install migration chain for `session`. The
+    /// chain runs on the shard workers; the loop hears back once, as a
+    /// [`Payload::Migrated`] completion. Running the chain even when the
+    /// session already lives on `to` keeps the existence check (and the
+    /// reply) uniform.
+    fn submit_migration(&self, conn: u64, session: &SessionId, to: usize) {
+        let from = self.route(session);
+        let shards = self.shards.clone();
+        let done = self.done_tx.clone();
+        let waker = self.waker.clone();
+        let session = session.clone();
+        self.shards.submit_extract(
+            from,
+            &session.clone(),
+            Box::new(move |extracted: Option<Box<Engine>>| {
+                let finish = {
+                    let session = session.clone();
+                    let done = done.clone();
+                    let waker = waker.clone();
+                    move |result: Result<(), ApiError>| {
+                        let _ = done.send(Completion {
+                            conn,
+                            payload: Payload::Migrated {
+                                session,
+                                to,
+                                result,
+                            },
+                        });
+                        waker.wake();
+                    }
+                };
+                match extracted {
+                    None => finish(Err(ApiError::not_found(format!(
+                        "session {session} does not exist"
+                    )))),
+                    Some(engine) => {
+                        let restore = shards.clone();
+                        let restore_session = session.clone();
+                        shards.submit_install(
+                            to,
+                            &session,
+                            engine,
+                            Box::new(move |installed| match installed {
+                                Ok(()) => finish(Ok(())),
+                                Err(engine) => {
+                                    // The target refused (dead shard /
+                                    // occupied name): the session was
+                                    // alive before the migration and must
+                                    // stay alive — put it back where it
+                                    // came from before reporting failure.
+                                    restore.submit_install(
+                                        from,
+                                        &restore_session,
+                                        engine,
+                                        Box::new(move |restored| {
+                                            finish(Err(ApiError::new(
+                                                fv_api::ErrorCode::Internal,
+                                                match restored {
+                                                    Ok(()) => {
+                                                        "target shard refused the session; \
+                                                         it stays on its current shard"
+                                                    }
+                                                    Err(_) => {
+                                                        "target shard refused the session \
+                                                         and restoring it failed; the \
+                                                         session was lost"
+                                                    }
+                                                },
+                                            )))
+                                        }),
+                                    );
+                                }
+                            }),
+                        );
+                    }
+                }
+            }),
+        );
+    }
 }
 
 // ── the loop ────────────────────────────────────────────────────────────
@@ -392,6 +523,11 @@ fn event_loop(
     let mut next_conn_id: u64 = 0;
     let mut metrics = LoopMetrics::default();
     let mut stop = false;
+    // Migration state: overrides route a session away from its hash
+    // shard; `migrating` sessions stall every item targeting them until
+    // the in-flight move completes.
+    let mut routes: BTreeMap<SessionId, usize> = BTreeMap::new();
+    let mut migrating: BTreeSet<SessionId> = BTreeSet::new();
 
     while !stop && !shared.stop.load(Ordering::SeqCst) {
         // Interest set, rebuilt per iteration: [listener, waker, conns…].
@@ -429,7 +565,39 @@ fn event_loop(
             let _ = (&waker_rx).read(&mut sink);
             shared.waker.clear();
         }
+        let mut repump = false;
         while let Ok(done) = done_rx.try_recv() {
+            // Migration completions are loop events, not connection
+            // events: the routing table and stall set must update even if
+            // the asking connection hung up mid-migration.
+            if let Payload::Migrated {
+                session,
+                to,
+                result,
+            } = done.payload
+            {
+                if result.is_ok() {
+                    if to == shard_of(&session, shards.n_shards()) {
+                        routes.remove(&session);
+                    } else {
+                        routes.insert(session.clone(), to);
+                    }
+                }
+                migrating.remove(&session);
+                // Stalled items (on any connection) may now proceed.
+                repump = true;
+                if let Some(conn) = conns.get_mut(&done.conn) {
+                    if matches!(conn.inflight, Some(Inflight::Migrate)) {
+                        conn.inflight = None;
+                        match result {
+                            Ok(()) => conn
+                                .push_ok(&format!("migrated {session} shard={to}"), &mut metrics),
+                            Err(e) => conn.push_err(&e, &mut metrics),
+                        }
+                    }
+                }
+                continue;
+            }
             let n_conns = conns.len();
             if let Some(conn) = conns.get_mut(&done.conn) {
                 let mut ctx = Ctx {
@@ -439,12 +607,40 @@ fn event_loop(
                     queue_limit: config.queue_limit,
                     metrics: &mut metrics,
                     n_conns,
+                    routes: &mut routes,
+                    migrating: &mut migrating,
                     stop: &mut stop,
                 };
                 settle_completion(conn, done.conn, done.payload, &mut ctx);
                 pump(conn, done.conn, &mut ctx);
                 if !conn.flush() || conn.finished() {
                     conns.remove(&done.conn);
+                }
+            }
+        }
+        if repump {
+            // A migration finished: every connection may hold stalled
+            // items, so give each a pump (idle ones no-op cheaply).
+            let ids: Vec<u64> = conns.keys().copied().collect();
+            for id in ids {
+                let n_conns = conns.len();
+                let Some(conn) = conns.get_mut(&id) else {
+                    continue;
+                };
+                let mut ctx = Ctx {
+                    shards: &shards,
+                    done_tx: &done_tx,
+                    waker: &shared.waker,
+                    queue_limit: config.queue_limit,
+                    metrics: &mut metrics,
+                    n_conns,
+                    routes: &mut routes,
+                    migrating: &mut migrating,
+                    stop: &mut stop,
+                };
+                pump(conn, id, &mut ctx);
+                if !conn.flush() || conn.finished() {
+                    conns.remove(&id);
                 }
             }
         }
@@ -509,6 +705,8 @@ fn event_loop(
                     queue_limit: config.queue_limit,
                     metrics: &mut metrics,
                     n_conns,
+                    routes: &mut routes,
+                    migrating: &mut migrating,
                     stop: &mut stop,
                 };
                 alive = read_conn(conn, &mut ctx);
@@ -608,6 +806,23 @@ fn read_conn(conn: &mut Conn, ctx: &mut Ctx) -> bool {
                             Ok(id) => Item::Use(id),
                             Err(e) => Item::Reject(e),
                         },
+                        WireItem::Script(ScriptItem::Close(name)) => match SessionId::new(name) {
+                            Ok(id) => Item::CloseNamed(id),
+                            Err(e) => Item::Reject(e),
+                        },
+                        WireItem::Migrate { session, shard } => {
+                            let n = ctx.shards.n_shards();
+                            if shard >= n {
+                                Item::Reject(ApiError::invalid(format!(
+                                    "shard {shard} out of range (server has {n})"
+                                )))
+                            } else {
+                                match SessionId::new(session) {
+                                    Ok(id) => Item::Migrate(id, shard),
+                                    Err(e) => Item::Reject(e),
+                                }
+                            }
+                        }
                         WireItem::Ping => Item::Ping,
                         WireItem::Close => Item::Close,
                         WireItem::Stats => Item::Stats,
@@ -623,9 +838,18 @@ fn read_conn(conn: &mut Conn, ctx: &mut Ctx) -> bool {
 }
 
 /// Answer inbox items in arrival order until one needs shard work (at
-/// most one dispatch in flight per connection) or the inbox is empty.
+/// most one dispatch in flight per connection), the front item targets a
+/// session whose migration is in flight (the loop re-pumps every
+/// connection when a migration completes), or the inbox is empty.
 fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
     while conn.inflight.is_none() {
+        if let Some(item) = conn.inbox.front() {
+            if let Some(target) = item.target_session(&conn.session) {
+                if ctx.migrating.contains(target) {
+                    break;
+                }
+            }
+        }
         match conn.inbox.front() {
             None => break,
             Some(Item::Request(_)) => {
@@ -641,8 +865,12 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                 conn.queued_requests -= requests.len();
                 conn.inflight_requests = requests.len();
                 conn.inflight = Some(Inflight::Run { ack: None });
-                ctx.shards
-                    .submit_run(&conn.session, requests, ctx.responder(id, Payload::Run));
+                ctx.shards.submit_run_to(
+                    ctx.route(&conn.session),
+                    &conn.session,
+                    requests,
+                    ctx.responder(id, Payload::Run),
+                );
             }
             Some(Item::Use(_)) => {
                 let Some(Item::Use(session)) = conn.inbox.pop_front() else {
@@ -656,8 +884,12 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                 conn.inflight = Some(Inflight::Run {
                     ack: Some(format!("using {session}")),
                 });
-                ctx.shards
-                    .submit_run(&session, Vec::new(), ctx.responder(id, Payload::Run));
+                ctx.shards.submit_run_to(
+                    ctx.route(&session),
+                    &session,
+                    Vec::new(),
+                    ctx.responder(id, Payload::Run),
+                );
             }
             Some(Item::Ping) => {
                 conn.inbox.pop_front();
@@ -669,16 +901,49 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                 };
                 conn.push_err(&e, ctx.metrics);
             }
-            Some(Item::Close) => {
-                conn.inbox.pop_front();
-                let closed = std::mem::replace(&mut conn.session, EngineHub::default_session());
+            Some(Item::Close) | Some(Item::CloseNamed(_)) => {
+                let closed = match conn.inbox.pop_front() {
+                    // Bare `close` drops the connection's current session
+                    // and falls back to the default; the named form
+                    // leaves the connection's session pointer alone.
+                    Some(Item::Close) => {
+                        std::mem::replace(&mut conn.session, EngineHub::default_session())
+                    }
+                    Some(Item::CloseNamed(closed)) => closed,
+                    _ => unreachable!("front() said Close/CloseNamed"),
+                };
                 conn.inflight = Some(Inflight::Close {
                     closed: closed.clone(),
                 });
+                let shard = ctx.route(&closed);
+                // The closed session's routing override dies with it: a
+                // re-created session of the same name must fall back to
+                // hash routing, and the override table must not grow
+                // without bound.
+                ctx.routes.remove(&closed);
                 ctx.shards
-                    .submit_close(&closed, ctx.responder(id, closed_payload));
+                    .submit_close_to(shard, &closed, ctx.responder(id, closed_payload));
+            }
+            Some(Item::Migrate(..)) => {
+                let Some(Item::Migrate(session, to)) = conn.inbox.pop_front() else {
+                    unreachable!("front() said Migrate");
+                };
+                // Stall every other item targeting this session until the
+                // move lands; the loop clears the flag (and re-pumps) on
+                // the Migrated completion.
+                ctx.migrating.insert(session.clone());
+                conn.inflight = Some(Inflight::Migrate);
+                ctx.submit_migration(id, &session, to);
             }
             Some(Item::Stats) | Some(Item::ListSessions) => {
+                // A session mid-migration lives in neither shard's hub
+                // (its engine is in transit between Extract and Install),
+                // so a fan-out now could miss it. Stall until every move
+                // lands — migrations complete promptly, and the loop
+                // re-pumps all connections when one does.
+                if !ctx.migrating.is_empty() {
+                    break;
+                }
                 let what = match conn.inbox.pop_front() {
                     Some(Item::Stats) => Gather::Stats,
                     Some(Item::ListSessions) => Gather::Sessions,
@@ -710,7 +975,17 @@ fn settle_completion(conn: &mut Conn, _id: u64, payload: Payload, ctx: &mut Ctx)
         (Some(Inflight::Run { ack: Some(ack) }), Payload::Run(_)) => {
             conn.push_ok(&ack, ctx.metrics);
         }
-        (Some(Inflight::Run { ack: None }), Payload::Run(outcome)) => {
+        (Some(Inflight::Run { ack: None }), Payload::Run(done)) => {
+            if done.session_dropped {
+                // The worker dropped the session (a request panicked);
+                // its routing override dies with it, exactly as on a
+                // `close`. The run targeted conn.session — a connection
+                // has one dispatch in flight and `use` items only pump
+                // while idle, so the pointer still names the run's
+                // session.
+                ctx.routes.remove(&conn.session);
+            }
+            let outcome = done.outcome;
             let n = conn.inflight_requests;
             for response in &outcome.responses {
                 conn.push_ok(&fv_api::format_response(response), ctx.metrics);
@@ -780,10 +1055,11 @@ fn sessions_reply(reports: &[ShardReport]) -> String {
     fv_api::format_sessions_reply(&entries)
 }
 
-/// Merge per-shard reports with the loop's own counters into the `stats`
-/// reply.
+/// Merge per-shard reports with the loop's own counters and the shared
+/// cache's gauges into the `stats` reply.
 fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
     let depths = ctx.shards.queue_depths();
+    let cache = ctx.shards.cache_stats();
     let shards: Vec<ShardStats> = reports
         .iter()
         .map(|r| ShardStats {
@@ -793,6 +1069,7 @@ fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
             runs: r.runs,
             requests: r.requests,
             max_run: r.max_run,
+            latency: r.latency.clone(),
         })
         .collect();
     let stats = ServerStats {
@@ -806,6 +1083,10 @@ fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
         runs: shards.iter().map(|s| s.runs).sum(),
         requests: shards.iter().map(|s| s.requests).sum(),
         max_run: shards.iter().map(|s| s.max_run).max().unwrap_or(0),
+        cache_entries: cache.entries,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
         shards,
     };
     crate::metrics::format_stats(&stats)

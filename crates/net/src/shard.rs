@@ -8,13 +8,28 @@
 //! panicking request (an engine bug) costs the offending session, never
 //! the shard.
 //!
+//! Two things *are* shared across shards:
+//!
+//! - **The dataset cache**: every worker's hub is built over one
+//!   [`DatasetCache`], so the same PCL loaded into sessions on different
+//!   shards is parsed exactly once and shared as `Arc` handles.
+//! - **Sessions, by migration**: [`Job::Extract`] pulls a whole engine
+//!   out of one shard and [`Job::Install`] drops it into another — the
+//!   engine carries its dataset `Arc`s with it, so migration never
+//!   re-reads a file. Routing overrides live in the event loop (see
+//!   `crate::server`), which is why the `*_to` submit variants take an
+//!   explicit shard index.
+//!
 //! Jobs carry their reply as a boxed `FnOnce` responder, so the same
 //! worker serves both blocking callers (tests, tools) and the
 //! event loop's completion channel (which must never block): the loop's
 //! responders push a completion and poke the loop's waker.
 
+use crate::metrics::LatencyHistogram;
 use fv_api::engine::fnv1a;
-use fv_api::{ApiError, EngineHub, Request, RunOutcome, SessionId};
+use fv_api::{
+    ApiError, CacheStats, DatasetCache, Engine, EngineHub, Request, RunOutcome, SessionId,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -33,16 +48,39 @@ pub(crate) struct ShardReport {
     pub requests: u64,
     /// Largest single run.
     pub max_run: usize,
+    /// Per-request latency histogram of everything this shard executed.
+    pub latency: LatencyHistogram,
+}
+
+impl ShardReport {
+    fn empty(shard: usize) -> ShardReport {
+        ShardReport {
+            shard,
+            sessions: Vec::new(),
+            runs: 0,
+            requests: 0,
+            max_run: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+}
+
+/// A run's answer: the outcome plus whether the worker had to drop the
+/// session (a panicking request poisons its session). Transports use the
+/// flag to clean up per-session routing state.
+pub(crate) struct RunDone {
+    pub outcome: RunOutcome,
+    pub session_dropped: bool,
 }
 
 pub(crate) enum Job {
     /// Execute a request run on the session (empty runs just materialize
     /// it — the `use` semantics). Answered with the run's
-    /// [`RunOutcome`].
+    /// [`RunDone`].
     Run {
         session: SessionId,
         requests: Vec<Request>,
-        respond: Box<dyn FnOnce(RunOutcome) + Send>,
+        respond: Box<dyn FnOnce(RunDone) + Send>,
     },
     /// Drop the session; replies whether it existed.
     Close {
@@ -53,6 +91,22 @@ pub(crate) enum Job {
     Report {
         respond: Box<dyn FnOnce(ShardReport) + Send>,
     },
+    /// Pull the session's engine out of this shard (migration step 1).
+    /// Replies `None` if the session does not live here.
+    Extract {
+        session: SessionId,
+        respond: Box<dyn FnOnce(Option<Box<Engine>>) + Send>,
+    },
+    /// Install a previously extracted engine (migration step 2). On
+    /// failure (name already taken here, which routing prevents, or a
+    /// dead shard) the engine is handed BACK through the responder so
+    /// the caller can restore it — an install failure must never destroy
+    /// a session that was alive before the migration.
+    Install {
+        session: SessionId,
+        engine: Box<Engine>,
+        respond: Box<dyn FnOnce(Result<(), Box<Engine>>) + Send>,
+    },
 }
 
 /// Cloneable handle onto the shard workers.
@@ -62,11 +116,15 @@ pub(crate) struct ShardHandles {
     /// Jobs sent but not yet dequeued, per shard — the queue-depth gauge
     /// `stats` reports without a worker round trip.
     depth: Arc<Vec<AtomicUsize>>,
+    /// The dataset cache every worker's hub shares.
+    cache: DatasetCache,
 }
 
 impl ShardHandles {
-    /// Which shard owns `id`: FNV-1a of the session name, mod shard
-    /// count. Stable across connections and server restarts.
+    /// Which shard owns `id` *by hash*: FNV-1a of the session name, mod
+    /// shard count. Stable across connections and server restarts.
+    /// Transports that support migration overlay their own routing
+    /// overrides on top of this default.
     pub fn shard_of(&self, id: &SessionId) -> usize {
         shard_of(id, self.senders.len())
     }
@@ -84,16 +142,21 @@ impl ShardHandles {
             .collect()
     }
 
-    /// Enqueue a run on the owning shard with an arbitrary responder. On
+    /// Gauges of the cache all shards share.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Enqueue a run on an explicit shard with an arbitrary responder. On
     /// a dead shard the responder fires immediately with a typed
     /// `E_INTERNAL` outcome, so callers always hear back exactly once.
-    pub fn submit_run(
+    pub fn submit_run_to(
         &self,
+        shard: usize,
         session: &SessionId,
         requests: Vec<Request>,
-        respond: Box<dyn FnOnce(RunOutcome) + Send>,
+        respond: Box<dyn FnOnce(RunDone) + Send>,
     ) {
-        let shard = self.shard_of(session);
         let job = Job::Run {
             session: session.clone(),
             requests,
@@ -104,15 +167,69 @@ impl ShardHandles {
         }
     }
 
-    /// Enqueue a close on the owning shard; a dead shard answers `false`.
-    pub fn submit_close(&self, session: &SessionId, respond: Box<dyn FnOnce(bool) + Send>) {
-        let shard = self.shard_of(session);
+    /// Enqueue a run on the hash-owning shard (no routing overrides).
+    #[cfg(test)]
+    pub fn submit_run(
+        &self,
+        session: &SessionId,
+        requests: Vec<Request>,
+        respond: Box<dyn FnOnce(RunDone) + Send>,
+    ) {
+        self.submit_run_to(self.shard_of(session), session, requests, respond);
+    }
+
+    /// Enqueue a close on an explicit shard; a dead shard answers `false`.
+    pub fn submit_close_to(
+        &self,
+        shard: usize,
+        session: &SessionId,
+        respond: Box<dyn FnOnce(bool) + Send>,
+    ) {
         let job = Job::Close {
             session: session.clone(),
             respond,
         };
         if let Some(Job::Close { respond, .. }) = self.submit_or_return(shard, job) {
             respond(false);
+        }
+    }
+
+    /// Enqueue an engine extraction (migration step 1) on `shard`; a dead
+    /// shard answers `None`.
+    pub fn submit_extract(
+        &self,
+        shard: usize,
+        session: &SessionId,
+        respond: Box<dyn FnOnce(Option<Box<Engine>>) + Send>,
+    ) {
+        let job = Job::Extract {
+            session: session.clone(),
+            respond,
+        };
+        if let Some(Job::Extract { respond, .. }) = self.submit_or_return(shard, job) {
+            respond(None);
+        }
+    }
+
+    /// Enqueue an engine install (migration step 2) on `shard`; on a
+    /// dead shard the engine comes straight back through the responder.
+    pub fn submit_install(
+        &self,
+        shard: usize,
+        session: &SessionId,
+        engine: Box<Engine>,
+        respond: Box<dyn FnOnce(Result<(), Box<Engine>>) + Send>,
+    ) {
+        let job = Job::Install {
+            session: session.clone(),
+            engine,
+            respond,
+        };
+        if let Some(Job::Install {
+            engine, respond, ..
+        }) = self.submit_or_return(shard, job)
+        {
+            respond(Err(engine));
         }
     }
 
@@ -124,13 +241,7 @@ impl ShardHandles {
             let respond = make();
             let job = Job::Report { respond };
             if let Some(Job::Report { respond }) = self.submit_or_return(shard, job) {
-                respond(ShardReport {
-                    shard,
-                    sessions: Vec::new(),
-                    runs: 0,
-                    requests: 0,
-                    max_run: 0,
-                });
+                respond(ShardReport::empty(shard));
             }
         }
     }
@@ -156,20 +267,21 @@ impl ShardHandles {
         self.submit_run(
             session,
             requests,
-            Box::new(move |out| {
-                let _ = tx.send(out);
+            Box::new(move |done| {
+                let _ = tx.send(done);
             }),
         );
-        rx.recv().unwrap_or_else(|_| shard_down())
+        rx.recv().unwrap_or_else(|_| shard_down()).outcome
     }
 
     /// Drop a session on its owning shard; `false` if it did not exist
     /// (or the shard is gone). Blocking counterpart of
-    /// [`ShardHandles::submit_close`], for tests.
+    /// [`ShardHandles::submit_close_to`], for tests.
     #[cfg(test)]
     pub fn close(&self, session: &SessionId) -> bool {
         let (tx, rx) = mpsc::channel();
-        self.submit_close(
+        self.submit_close_to(
+            self.shard_of(session),
             session,
             Box::new(move |existed| {
                 let _ = tx.send(existed);
@@ -179,13 +291,17 @@ impl ShardHandles {
     }
 }
 
-fn shard_down() -> RunOutcome {
-    RunOutcome {
-        responses: Vec::new(),
-        error: Some((
-            0,
-            ApiError::new(fv_api::ErrorCode::Internal, "shard worker is gone"),
-        )),
+fn shard_down() -> RunDone {
+    RunDone {
+        outcome: RunOutcome {
+            responses: Vec::new(),
+            error: Some((
+                0,
+                ApiError::new(fv_api::ErrorCode::Internal, "shard worker is gone"),
+            )),
+            latencies: Vec::new(),
+        },
+        session_dropped: false,
     }
 }
 
@@ -204,9 +320,11 @@ pub(crate) struct ShardPool {
 
 impl ShardPool {
     /// Spawn `n` workers, each with an empty [`EngineHub`] resolving
-    /// damage against `scene`.
+    /// damage against `scene`. All hubs share one [`DatasetCache`], so a
+    /// file loaded by sessions on different shards is parsed once.
     pub fn spawn(n: usize, scene: (usize, usize)) -> ShardPool {
         let n = n.max(1);
+        let cache = DatasetCache::new();
         let depth: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
         let mut senders = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
@@ -214,15 +332,20 @@ impl ShardPool {
             let (tx, rx) = mpsc::channel::<Job>();
             senders.push(tx);
             let depth = Arc::clone(&depth);
+            let cache = cache.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("fv-net-shard-{i}"))
-                    .spawn(move || worker(i, rx, depth, scene))
+                    .spawn(move || worker(i, rx, depth, scene, cache))
                     .expect("spawn shard worker"),
             );
         }
         ShardPool {
-            handles: ShardHandles { senders, depth },
+            handles: ShardHandles {
+                senders,
+                depth,
+                cache,
+            },
             workers,
         }
     }
@@ -247,16 +370,35 @@ fn worker(
     rx: mpsc::Receiver<Job>,
     depth: Arc<Vec<AtomicUsize>>,
     scene: (usize, usize),
+    cache: DatasetCache,
 ) {
-    let mut hub = EngineHub::with_scene(scene.0, scene.1);
+    let mut hub = EngineHub::with_cache(scene.0, scene.1, cache);
     let mut runs: u64 = 0;
     let mut requests_executed: u64 = 0;
     let mut max_run: usize = 0;
+    let mut latency = LatencyHistogram::new();
     while let Ok(job) = rx.recv() {
         depth[shard].fetch_sub(1, Ordering::SeqCst);
         match job {
             Job::Close { session, respond } => {
                 respond(hub.close(&session));
+            }
+            Job::Extract { session, respond } => {
+                respond(hub.take_session(&session).map(Box::new));
+            }
+            Job::Install {
+                session,
+                engine,
+                respond,
+            } => {
+                if hub.get(&session).is_some() {
+                    // Name already taken here (routing should prevent
+                    // this); hand the engine back rather than lose it.
+                    respond(Err(engine));
+                } else {
+                    hub.install_session(&session, *engine);
+                    respond(Ok(()));
+                }
             }
             Job::Report { respond } => {
                 respond(ShardReport {
@@ -269,6 +411,7 @@ fn worker(
                     runs,
                     requests: requests_executed,
                     max_run,
+                    latency: latency.clone(),
                 });
             }
             Job::Run {
@@ -278,17 +421,19 @@ fn worker(
             } => {
                 if !requests.is_empty() {
                     runs += 1;
-                    requests_executed += requests.len() as u64;
                     max_run = max_run.max(requests.len());
                 }
                 let outcome =
                     catch_unwind(AssertUnwindSafe(|| hub.execute_run_on(&session, &requests)));
+                let mut session_dropped = false;
                 let out = outcome.unwrap_or_else(|_| {
                     // An engine panic means the session's state is
                     // suspect; drop the session so the shard (and its
                     // other sessions) stays healthy, and report a typed
-                    // internal error.
+                    // internal error. The flag lets the transport drop
+                    // per-session routing state with it.
                     hub.close(&session);
+                    session_dropped = true;
                     RunOutcome {
                         responses: Vec::new(),
                         error: Some((
@@ -298,11 +443,23 @@ fn worker(
                                 format!("request panicked; session {session} was dropped"),
                             ),
                         )),
+                        latencies: Vec::new(),
                     }
                 });
+                // One latency observation per ATTEMPTED request (the
+                // failing one included, never the skipped tail), and the
+                // `requests` counter counts exactly the same population —
+                // so `stats`' histogram totals always equal `requests`.
+                requests_executed += out.latencies.len() as u64;
+                for &l in &out.latencies {
+                    latency.record(l);
+                }
                 // The connection may already be gone; that is not the
                 // shard's problem.
-                respond(out);
+                respond(RunDone {
+                    outcome: out,
+                    session_dropped,
+                });
             }
         }
     }
@@ -374,7 +531,7 @@ mod tests {
     }
 
     #[test]
-    fn reports_cover_sessions_and_counters() {
+    fn reports_cover_sessions_counters_and_latency() {
         let pool = ShardPool::spawn(2, (640, 480));
         let handles = pool.handles();
         let a = SessionId::new("alpha").unwrap();
@@ -399,9 +556,138 @@ mod tests {
         assert_eq!(reports[owner].runs, 1);
         assert_eq!(reports[owner].requests, 1);
         assert_eq!(reports[owner].max_run, 1);
+        assert_eq!(
+            reports[owner].latency.total(),
+            1,
+            "one request, one latency observation"
+        );
+        assert!(reports[owner].latency.max_us > 0);
         assert!(reports[1 - owner].sessions.is_empty());
+        assert_eq!(reports[1 - owner].latency.total(), 0);
         assert_eq!(handles.queue_depths(), [0, 0], "queues drained");
         drop(handles);
         pool.join();
+    }
+
+    #[test]
+    fn extract_install_moves_an_engine_between_shards() {
+        let pool = ShardPool::spawn(2, (640, 480));
+        let handles = pool.handles();
+        let s = SessionId::new("mover").unwrap();
+        let from = shard_of(&s, 2);
+        let to = 1 - from;
+        handles.execute(
+            &s,
+            vec![Request::Mutate(Mutation::LoadScenario {
+                n_genes: 60,
+                seed: 1,
+            })],
+        );
+        // extract from the hash owner…
+        let (tx, rx) = mpsc::channel();
+        handles.submit_extract(
+            from,
+            &s,
+            Box::new(move |engine| {
+                let _ = tx.send(engine);
+            }),
+        );
+        let engine = rx.recv().unwrap().expect("session lives on its shard");
+        assert_eq!(engine.session().n_datasets(), 3);
+        // …install on the other shard…
+        let (tx, rx) = mpsc::channel();
+        handles.submit_install(
+            to,
+            &s,
+            engine,
+            Box::new(move |result| {
+                let _ = tx.send(result.is_ok());
+            }),
+        );
+        assert!(rx.recv().unwrap(), "install must take");
+        // …and a run routed at the new shard sees the intact state.
+        let (tx, rx) = mpsc::channel();
+        handles.submit_run_to(
+            to,
+            &s,
+            vec![Request::Query(Query::SessionInfo)],
+            Box::new(move |done| {
+                let _ = tx.send(done);
+            }),
+        );
+        let out = rx.recv().unwrap().outcome;
+        assert!(out.error.is_none());
+        match &out.responses[0] {
+            fv_api::Response::SessionInfo(info) => assert_eq!(info.n_datasets, 3),
+            other => panic!("wrong response: {other:?}"),
+        }
+        // extracting a session that is not there answers None
+        let (tx, rx) = mpsc::channel();
+        handles.submit_extract(
+            from,
+            &s,
+            Box::new(move |engine| {
+                let _ = tx.send(engine.is_none());
+            }),
+        );
+        assert!(rx.recv().unwrap());
+        // installing over an occupied name hands the engine BACK instead
+        // of dropping it
+        handles.execute(&s, Vec::new()); // fresh empty `s` on `from`
+        let (tx, rx) = mpsc::channel();
+        handles.submit_extract(
+            to,
+            &s,
+            Box::new(move |engine| {
+                let _ = tx.send(engine);
+            }),
+        );
+        let engine = rx.recv().unwrap().expect("moved session still on `to`");
+        let (tx, rx) = mpsc::channel();
+        handles.submit_install(
+            from,
+            &s,
+            engine,
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+        );
+        let returned = rx.recv().unwrap().expect_err("occupied name must refuse");
+        assert_eq!(
+            returned.session().n_datasets(),
+            3,
+            "engine came back intact"
+        );
+        drop(handles);
+        pool.join();
+    }
+
+    #[test]
+    fn shards_share_one_dataset_cache() {
+        let dir = std::env::temp_dir().join(format!("fv-shard-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.pcl");
+        std::fs::write(
+            &path,
+            "ID\tNAME\tGWEIGHT\tc0\tc1\nG1\tG1\t1\t1.0\t2.0\nG2\tG2\t1\t3.0\t4.0\n",
+        )
+        .unwrap();
+        let pool = ShardPool::spawn(4, (640, 480));
+        let handles = pool.handles();
+        let load = Request::Mutate(Mutation::LoadDataset {
+            path: path.to_string_lossy().into_owned(),
+        });
+        // session names chosen to spread across shards
+        for name in ["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"] {
+            let out = handles.execute(&SessionId::new(name).unwrap(), vec![load.clone()]);
+            assert!(out.error.is_none(), "{name}: {:?}", out.error);
+        }
+        let stats = handles.cache_stats();
+        assert_eq!(stats.misses, 1, "one parse across all shards");
+        assert_eq!(stats.hits, 7);
+        assert_eq!(stats.entries, 1);
+        drop(handles);
+        pool.join();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

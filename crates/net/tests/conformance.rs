@@ -248,6 +248,204 @@ fn stats_reports_connections_sessions_and_drained_queues() {
     server.join();
 }
 
+/// Write a small PCL file and return its path.
+fn write_pcl(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fv-conf-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.pcl"));
+    std::fs::write(
+        &path,
+        "ID\tNAME\tGWEIGHT\tc0\tc1\tc2\n\
+         EWEIGHT\t\t\t1\t1\t1\n\
+         G1\tG1 alpha\t1\t1.0\t2.0\t3.0\n\
+         G2\tG2 beta\t1\t4.0\t5.0\t6.0\n\
+         G3\tG3 gamma\t1\t7.0\t8.0\t9.0\n",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn shared_cache_parses_once_across_sessions_and_shards() {
+    use fv_api::{Mutation, Request};
+    let pcl = write_pcl("shared");
+    let server = server(4);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let load = Request::Mutate(Mutation::LoadDataset {
+        path: pcl.to_string_lossy().into_owned(),
+    });
+    // 8 sessions spread over 4 shards, all loading the same file
+    for i in 0..8 {
+        client.use_session(&format!("cache{i}")).unwrap();
+        client.execute(&load).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, 1, "one parse for eight sessions");
+    assert_eq!(stats.cache_hits, 7);
+    assert_eq!(stats.cache_entries, 1);
+    assert_eq!(stats.cache_evictions, 0);
+    // per-request latency histograms cover every executed request
+    let observed: u64 = stats.shards.iter().map(|s| s.latency.total()).sum();
+    assert_eq!(observed, stats.requests);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn cached_and_cold_loads_produce_identical_transcripts_across_shard_counts() {
+    // The cache must be semantically invisible: a transcript whose
+    // sessions share cached parses must be byte-identical to a cold local
+    // replay, whatever the shard count.
+    let pcl = write_pcl("coldwarm");
+    let path = pcl.to_string_lossy().into_owned();
+    let script = format!(
+        "use a\nload {path}\ncluster_all\nsession_info\n\
+         use b\nload {path}\nsearch_select alpha\nsession_info\n\
+         use c\nload {path}\nnormalize all zscore\nlist_datasets\n"
+    );
+    let local = local_transcript(&script);
+    for shards in [1, 4] {
+        let server = server(shards);
+        let addr = server.local_addr().to_string();
+        // run the script twice on one server: the second replay is fully
+        // cache-warm (sessions d/e/f), and both must match local replay
+        let warm_script = script
+            .replace("use a", "use d")
+            .replace("use b", "use e")
+            .replace("use c", "use f");
+        assert_eq!(remote_transcript(&addr, &script), local);
+        assert_eq!(
+            remote_transcript(&addr, &warm_script),
+            local_transcript(&warm_script),
+            "cache-warm replay must match cold local replay (shards={shards})"
+        );
+        let stats = Client::connect(&addr).unwrap().stats().unwrap();
+        assert_eq!(stats.cache_misses, 1, "shards={shards}");
+        assert_eq!(stats.cache_hits, 5, "shards={shards}");
+        server.shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn migrate_moves_a_live_session_with_transcript_parity() {
+    use fv_api::{Mutation, Query, Request};
+    let server = server(4);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.use_session("mover").unwrap();
+    client
+        .execute(&Request::Mutate(Mutation::LoadScenario {
+            n_genes: 80,
+            seed: 9,
+        }))
+        .unwrap();
+    client
+        .execute(&Request::Mutate(Mutation::Command(
+            forestview::command::Command::Search("stress".into()),
+        )))
+        .unwrap();
+    let probe = |client: &mut Client| {
+        let info = client.execute(&Request::Query(Query::SessionInfo)).unwrap();
+        let frame = client
+            .execute(&Request::Query(Query::Render {
+                width: 200,
+                height: 150,
+                path: None,
+            }))
+            .unwrap();
+        (
+            fv_api::format_response(&info),
+            fv_api::format_response(&frame),
+        )
+    };
+    let before = probe(&mut client);
+    let listed_before = client.list_sessions().unwrap();
+    let home = fv_net::shard_of(&fv_api::SessionId::new("mover").unwrap(), 4);
+    let away = (home + 1) % 4;
+
+    // away: state must cross the shard boundary intact
+    client.migrate("mover", away).unwrap();
+    assert_eq!(
+        probe(&mut client),
+        before,
+        "transcript parity after migrate"
+    );
+    let listed_away = client.list_sessions().unwrap();
+    assert_eq!(listed_away.len(), 1);
+    assert_eq!(listed_away[0].shard, away, "listing reflects the new shard");
+    assert_eq!(listed_away[0].n_datasets, 3);
+
+    // and back: the round trip restores the original listing exactly
+    client.migrate("mover", home).unwrap();
+    assert_eq!(probe(&mut client), before, "parity after the round trip");
+    assert_eq!(client.list_sessions().unwrap(), listed_before);
+
+    // migrating to the same shard is a checked no-op
+    client.migrate("mover", home).unwrap();
+
+    // typed errors: unknown session / out-of-range shard
+    let err = client
+        .roundtrip("migrate ghost 1")
+        .unwrap()
+        .expect_err("unknown session");
+    assert_eq!(err.code, fv_api::ErrorCode::NotFound);
+    let err = client
+        .roundtrip("migrate mover 99")
+        .unwrap()
+        .expect_err("bad shard");
+    assert_eq!(err.code, fv_api::ErrorCode::InvalidRequest);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn migrated_session_serves_requests_and_closes_on_its_new_shard() {
+    use fv_api::{Mutation, Query, Request, Response};
+    let server = server(2);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.use_session("roamer").unwrap();
+    client
+        .execute(&Request::Mutate(Mutation::LoadScenario {
+            n_genes: 60,
+            seed: 3,
+        }))
+        .unwrap();
+    let home = fv_net::shard_of(&fv_api::SessionId::new("roamer").unwrap(), 2);
+    client.migrate("roamer", 1 - home).unwrap();
+    // mutations keep landing on the migrated engine (routing overrides)
+    client
+        .execute(&Request::Mutate(Mutation::Command(
+            forestview::command::Command::Scroll(2),
+        )))
+        .unwrap();
+    // a second connection reaches the same migrated session
+    let mut other = Client::connect(&addr).unwrap();
+    other.use_session("roamer").unwrap();
+    match other.execute(&Request::Query(Query::SessionInfo)).unwrap() {
+        Response::SessionInfo(info) => assert_eq!(info.n_datasets, 3),
+        other => panic!("wrong response: {other:?}"),
+    }
+    // close finds it on the override shard; a fresh use starts empty AND
+    // falls back to hash routing — the override died with the session
+    other.close_session().unwrap();
+    client.use_session("roamer").unwrap();
+    match client.execute(&Request::Query(Query::SessionInfo)).unwrap() {
+        Response::SessionInfo(info) => assert_eq!(info.n_datasets, 0),
+        other => panic!("wrong response: {other:?}"),
+    }
+    let listed = client.list_sessions().unwrap();
+    let roamer = listed.iter().find(|e| e.name == "roamer").unwrap();
+    assert_eq!(
+        roamer.shard, home,
+        "a re-created session routes by hash again"
+    );
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn close_drops_only_the_current_session() {
     use fv_api::{Mutation, Query, Request, Response};

@@ -19,8 +19,9 @@
 //! fvtool script  <file.fvs>                          replay a request script
 //! fvtool serve   [--addr a:p] [--shards n] [--queue-limit n]   run the TCP server
 //! fvtool ping                                        probe a server (needs --remote)
-//! fvtool stats                                       server metrics (needs --remote)
+//! fvtool stats                                       server metrics + cache gauges (needs --remote)
 //! fvtool sessions                                    list live sessions (needs --remote)
+//! fvtool migrate <session> <shard>                   move a session across shards (needs --remote)
 //! fvtool shutdown                                    stop a server (needs --remote)
 //! ```
 //!
@@ -48,6 +49,7 @@ fn usage() -> ExitCode {
          fvtool ping    --remote <host:port>\n  \
          fvtool stats   --remote <host:port>\n  \
          fvtool sessions --remote <host:port>\n  \
+         fvtool migrate <session> <shard> --remote <host:port>\n  \
          fvtool shutdown --remote <host:port>\n\
          options:\n  --remote <host:port>   run the subcommand against a live fvtool server"
     );
@@ -394,6 +396,18 @@ fn run(cmd: &str, rest: &[String], remote: Option<&str>) -> Result<(), Failure> 
             let addr = remote.ok_or_else(|| ApiError::invalid("sessions needs --remote <addr>"))?;
             let sessions = fv_net::Client::connect(addr)?.list_sessions()?;
             println!("{}", fv_api::format_sessions_reply(&sessions));
+            return Ok(());
+        }
+        "migrate" => {
+            let addr = remote.ok_or_else(|| ApiError::invalid("migrate needs --remote <addr>"))?;
+            let [session, shard] = rest else {
+                return Err(ApiError::invalid("migrate needs <session> <shard>").into());
+            };
+            let shard: usize = shard
+                .parse()
+                .map_err(|_| ApiError::parse("bad shard index"))?;
+            fv_net::Client::connect(addr)?.migrate(session, shard)?;
+            println!("migrated {session} shard={shard}");
             return Ok(());
         }
         "render" | "cluster" | "impute" | "search" | "spell" | "demo" => {}
