@@ -81,6 +81,51 @@ pub enum WireItem {
         /// Destination shard index.
         shard: usize,
     },
+    /// `balance` (status snapshot of the automatic rebalancer) or
+    /// `balance auto` / `balance off` (flip its mode at runtime,
+    /// acknowledged `balance mode=<mode>`).
+    Balance {
+        /// `None` asks for status; `Some(mode)` sets the mode.
+        set: Option<BalanceMode>,
+    },
+}
+
+/// Mode of a transport's automatic shard rebalancer, as it appears in the
+/// `balance` wire grammar. The policy itself lives transport-side
+/// (`fv-net`); the codec only names the two states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceMode {
+    /// The server periodically plans and executes session migrations.
+    Auto,
+    /// Placement is operator-driven (`migrate` lines) only.
+    Off,
+}
+
+impl BalanceMode {
+    /// Canonical wire token (`auto` / `off`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BalanceMode::Auto => "auto",
+            BalanceMode::Off => "off",
+        }
+    }
+
+    /// Parse a wire token; inverse of [`BalanceMode::as_str`].
+    pub fn from_str_token(token: &str) -> Result<BalanceMode, ApiError> {
+        match token {
+            "auto" => Ok(BalanceMode::Auto),
+            "off" => Ok(BalanceMode::Off),
+            other => Err(ApiError::parse(format!(
+                "balance mode is auto|off, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for BalanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Parse one line as a network transport sees it: `Ok(None)` for blank
@@ -114,6 +159,15 @@ pub fn parse_wire_line(raw: &str) -> Result<Option<WireItem>, ApiError> {
         return Ok(Some(WireItem::Migrate {
             session: session.to_string(),
             shard: parse_num(shard, "shard")?,
+        }));
+    }
+    if line == "balance" {
+        return Ok(Some(WireItem::Balance { set: None }));
+    }
+    if let Some(rest) = line.strip_prefix("balance ") {
+        let [mode] = fixed_args("balance", rest.trim())?;
+        return Ok(Some(WireItem::Balance {
+            set: Some(BalanceMode::from_str_token(mode)?),
         }));
     }
     if let Some(name) = parse_session_directive(line, "use ")? {
@@ -935,6 +989,28 @@ mod tests {
         );
         assert!(parse_wire_line("migrate alpha").is_err());
         assert!(parse_wire_line("migrate alpha x").is_err());
+        assert_eq!(
+            parse_wire_line("balance").unwrap(),
+            Some(WireItem::Balance { set: None })
+        );
+        assert_eq!(
+            parse_wire_line("balance auto").unwrap(),
+            Some(WireItem::Balance {
+                set: Some(BalanceMode::Auto)
+            })
+        );
+        assert_eq!(
+            parse_wire_line(" balance off ").unwrap(),
+            Some(WireItem::Balance {
+                set: Some(BalanceMode::Off)
+            })
+        );
+        assert!(parse_wire_line("balance sideways").is_err());
+        assert!(parse_wire_line("balance auto now").is_err());
+        assert!(
+            parse_script("balance\n").is_err(),
+            "balance is transport-only"
+        );
         // named close is a script item on the wire too
         match parse_wire_line("close alpha").unwrap() {
             Some(WireItem::Script(ScriptItem::Close(name))) => assert_eq!(name, "alpha"),

@@ -65,6 +65,24 @@ pub struct RunOutcome {
     pub latencies: Vec<std::time::Duration>,
 }
 
+/// Placement-cost estimate of one engine — the per-session signals an
+/// automatic rebalancer consumes. `requests` is cumulative and travels
+/// with the engine across a migration, so load deltas stay meaningful
+/// whichever shard the session lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineCost {
+    /// Requests this engine has *attempted* since creation (a failing
+    /// request counts; requests skipped after an error do not) — the same
+    /// population per-shard latency histograms observe.
+    pub requests: u64,
+    /// Approximate resident bytes of the loaded datasets (expression
+    /// values plus presence masks), counted through the shared-cache
+    /// handles. Sessions sharing one cached parse each report the full
+    /// size: the estimate prices what the session *uses*, not what an
+    /// eviction would free.
+    pub dataset_bytes: u64,
+}
+
 struct GolemContext {
     dag: OntologyDag,
     annotations: PropagatedAnnotations,
@@ -82,6 +100,8 @@ pub struct Engine {
     /// Bumped by every mutation that can change expression values or the
     /// dataset roster; invalidates the SPELL index.
     dataset_version: u64,
+    /// Attempted requests since creation (see [`EngineCost::requests`]).
+    requests_executed: u64,
     spell: Option<(u64, SpellEngine)>,
     golem: Option<GolemContext>,
     truth: Option<GroundTruth>,
@@ -114,6 +134,7 @@ impl Engine {
             scene: (scene_w, scene_h),
             cache,
             dataset_version: 0,
+            requests_executed: 0,
             spell: None,
             golem: None,
             truth: None,
@@ -135,8 +156,24 @@ impl Engine {
         self.scene
     }
 
+    /// The engine's placement-cost estimate (see [`EngineCost`]).
+    pub fn cost(&self) -> EngineCost {
+        let mut dataset_bytes: u64 = 0;
+        for d in 0..self.session.n_datasets() {
+            let ds = self.session.dataset(d);
+            let cells = (ds.n_genes() as u64) * (ds.n_conditions() as u64);
+            // f32 values plus one presence bit per cell.
+            dataset_bytes += cells * 4 + cells.div_ceil(8);
+        }
+        EngineCost {
+            requests: self.requests_executed,
+            dataset_bytes,
+        }
+    }
+
     /// Execute one request.
     pub fn execute(&mut self, request: &Request) -> Result<Response, ApiError> {
+        self.requests_executed += 1;
         match request {
             Request::Mutate(m) => {
                 let (response, class) = self.perform_mutation(m)?;
@@ -170,6 +207,7 @@ impl Engine {
         let mut responses = Vec::with_capacity(requests.len());
         let mut classes: Vec<DamageClass> = Vec::new();
         for request in requests {
+            self.requests_executed += 1;
             match request {
                 Request::Mutate(m) => {
                     let (response, class) = self.perform_mutation(m)?;
@@ -203,6 +241,7 @@ impl Engine {
         let mut layouts = command::LayoutCache::new(self.scene.0, self.scene.1);
         for (i, request) in requests.iter().enumerate() {
             let started = std::time::Instant::now();
+            self.requests_executed += 1;
             let result = match request {
                 Request::Mutate(m) => {
                     self.perform_mutation(m)

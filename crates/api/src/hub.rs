@@ -176,6 +176,17 @@ impl EngineHub {
             .collect()
     }
 
+    /// Per-session placement-cost estimates, sorted by name — the signals
+    /// an automatic rebalancer consumes: cumulative attempted-request
+    /// counts (recent load is the caller's delta between snapshots) and
+    /// approximate dataset bytes via the shared-cache handles.
+    pub fn session_costs(&self) -> Vec<(SessionId, crate::engine::EngineCost)> {
+        self.sessions
+            .iter()
+            .map(|(id, engine)| (id.clone(), engine.cost()))
+            .collect()
+    }
+
     /// The engine behind `id`, created empty on first use.
     pub fn engine(&mut self, id: &SessionId) -> &mut Engine {
         let scene = self.scene;
@@ -590,6 +601,39 @@ session_info
         }
         assert_eq!(hub.cache_stats().entries, 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_costs_track_attempted_requests_and_dataset_bytes() {
+        let mut hub = EngineHub::with_scene(640, 480);
+        let a = SessionId::new("a").unwrap();
+        let b = SessionId::new("b").unwrap();
+        hub.execute_on(
+            &a,
+            &Request::Mutate(Mutation::LoadScenario {
+                n_genes: 60,
+                seed: 1,
+            }),
+        )
+        .unwrap();
+        hub.execute_on(&a, &Request::Query(Query::SessionInfo))
+            .unwrap();
+        hub.engine(&b); // materialized, never executed anything
+        let costs = hub.session_costs();
+        assert_eq!(costs.len(), 2);
+        assert_eq!(costs[0].0, a);
+        assert_eq!(costs[0].1.requests, 2);
+        assert!(costs[0].1.dataset_bytes > 0, "scenario datasets have size");
+        assert_eq!(costs[1].1, crate::engine::EngineCost::default());
+        // A failing request is attempted — it counts, exactly like the
+        // shard latency histograms count it.
+        let _ = hub.execute_on(&a, &Request::Mutate(Mutation::Impute { dataset: 9, k: 3 }));
+        assert_eq!(hub.session_costs()[0].1.requests, 3);
+        // The counter travels with the engine across extract/install.
+        let engine = hub.take_session(&a).unwrap();
+        assert_eq!(engine.cost().requests, 3);
+        hub.install_session(&a, engine);
+        assert_eq!(hub.session_costs()[0].1.requests, 3);
     }
 
     #[test]

@@ -66,10 +66,10 @@ pub mod response;
 pub use cache::{CacheStats, DatasetCache};
 pub use codec::{
     format_request, format_response, format_sessions_reply, parse_request, parse_script,
-    parse_wire_line, SessionEntry, WireItem,
+    parse_wire_line, BalanceMode, SessionEntry, WireItem,
 };
 pub use decode::{parse_response, parse_sessions_reply};
-pub use engine::{BatchOutcome, Engine, RunOutcome};
+pub use engine::{BatchOutcome, Engine, EngineCost, RunOutcome};
 pub use error::{ApiError, ErrorCode};
 pub use hub::{EngineHub, ScriptOutcome, SessionId};
 pub use request::{Mutation, NormalizeMethod, Query, Request, SelectionExport};

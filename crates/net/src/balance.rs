@@ -1,0 +1,1029 @@
+//! Load-aware automatic shard rebalancing.
+//!
+//! PR 4 gave the transport the *mechanism* — `migrate <session> <shard>`
+//! moves a live engine across shards with zero re-parse — but placement
+//! stayed operator-driven, so a hot shard stays hot under skewed traffic.
+//! This module adds the *policy*: the server periodically snapshots the
+//! per-shard signals it already collects (queue depth, cumulative
+//! request counters, latency histograms, per-session cost estimates from
+//! the hubs) and plans migrations that even the load out.
+//!
+//! The design splits three ways, strictest at the core:
+//!
+//! - [`plan_moves`] — the **pure policy**: a clock-free, socket-free
+//!   function of a [`ShardSnapshot`] and a [`BalanceConfig`] to a
+//!   `Vec<MovePlan>`. Every invariant the simulation and property tests
+//!   rely on lives here: moves never target their source shard, never
+//!   exceed the per-tick budget, never pick a pinned (cooling-down or
+//!   in-flight) session, never move one session twice in a plan, and
+//!   always strictly narrow the donor–receiver pair's maximum (a
+//!   receiver never ends up at or above its donor's pre-move load).
+//! - [`Balancer`] — deterministic **tick state**, still clock-free: it
+//!   turns cumulative observations ([`ShardObservation`]) into the
+//!   per-interval load deltas the policy consumes, tracks per-session
+//!   cooldowns by tick number, and keeps the counters and recent-move
+//!   ring the `balance` wire line reports. A simulation drives it with
+//!   scripted observations; the server drives it from a wall-clock
+//!   timer. A session enters cooldown when its move is *planned* — a
+//!   failed move cools down too, so the balancer never hammers a
+//!   refusing target.
+//! - The server (`crate::server`) — the only layer that owns clocks and
+//!   sockets: it gathers snapshots on an interval, executes plans
+//!   through the same extract → install → restore-on-failure job chain
+//!   operator migrations use, and reports outcomes back.
+//!
+//! ## Load model
+//!
+//! A session's load for one interval is
+//! `Δrequests × shard_cost_us + dataset_MiB`: its attempted-request
+//! delta weighted by the shard's observed per-request cost over the same
+//! interval (derived from the latency-histogram delta via bucket
+//! midpoints), plus a small resident-size term so giant idle sessions
+//! still spread out under memory pressure. Queue depth joins the shard's
+//! total as un-movable pressure. The shared dataset cache is deliberately
+//! *not* a placement signal: it is server-wide, so migration never
+//! re-parses and placement cannot improve cache behavior.
+//!
+//! ## Hysteresis
+//!
+//! Two watermarks prevent flapping: planning starts only when some
+//! shard's load exceeds `trigger_ratio × mean` and proceeds (within
+//! budget) until the maximum falls under `settle_ratio × mean`; a system
+//! sitting anywhere between the two watermarks is left alone.
+
+use crate::metrics::{LatencyHistogram, LATENCY_BUCKET_COUNT};
+use fv_api::decode::{field, num};
+use fv_api::ApiError;
+pub use fv_api::BalanceMode;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Representative per-request cost (µs) of each latency bucket —
+/// midpoints of the [`crate::metrics::LATENCY_BUCKETS_US`] bounds, used
+/// to turn a histogram delta into an approximate busy-time delta.
+const LATENCY_BUCKET_COST_US: [u64; LATENCY_BUCKET_COUNT] = [
+    25, 75, 175, 375, 750, 3_000, 15_000, 62_500, 550_000, 2_000_000,
+];
+
+/// Approximate cumulative busy time (µs) a latency histogram represents.
+fn approx_busy_us(hist: &LatencyHistogram) -> u64 {
+    hist.counts
+        .iter()
+        .zip(LATENCY_BUCKET_COST_US.iter())
+        .map(|(&count, &cost)| count.saturating_mul(cost))
+        .sum()
+}
+
+/// Policy tuning knobs. All pure data — the same struct parameterizes the
+/// server, the simulation harness, and the property tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceConfig {
+    /// Maximum migrations planned per tick (the per-interval budget).
+    pub budget: usize,
+    /// High watermark: plan only when some shard's load exceeds
+    /// `trigger_ratio × mean`. Clamped to ≥ 1.
+    pub trigger_ratio: f64,
+    /// Low watermark: stop planning once the maximum projected load is
+    /// under `settle_ratio × mean`. Clamped into `[1, trigger_ratio]`.
+    pub settle_ratio: f64,
+    /// Ignore intervals whose total load (µs-weighted) is below this —
+    /// a near-idle server is never worth churning.
+    pub min_total_load: u64,
+    /// Ticks a session is pinned after a move is planned for it,
+    /// successful or not.
+    pub cooldown_ticks: u64,
+}
+
+impl Default for BalanceConfig {
+    fn default() -> Self {
+        BalanceConfig {
+            budget: 2,
+            trigger_ratio: 1.5,
+            settle_ratio: 1.15,
+            min_total_load: 1_000,
+            cooldown_ticks: 8,
+        }
+    }
+}
+
+/// One session's load contribution within a [`ShardLoad`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionLoad {
+    /// Session name.
+    pub session: String,
+    /// Interval load in the policy's µs-weighted units.
+    pub load: u64,
+    /// Excluded from planning: a move is already in flight or the
+    /// session is cooling down from a recent one.
+    pub pinned: bool,
+}
+
+/// One shard's slice of a [`ShardSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Un-movable pressure (queued jobs, µs-weighted) counted into the
+    /// shard's total but never into any session.
+    pub queued_load: u64,
+    /// Movable load, per session.
+    pub sessions: Vec<SessionLoad>,
+}
+
+impl ShardLoad {
+    /// The shard's total load: queued pressure plus every session.
+    pub fn total(&self) -> u64 {
+        self.queued_load
+            + self
+                .sessions
+                .iter()
+                .map(|s| s.load)
+                .fold(0u64, u64::saturating_add)
+    }
+}
+
+/// Everything the pure policy sees: one interval's load, per shard and
+/// per session. No clocks, no sockets, no hidden state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardSnapshot {
+    /// Per-shard load, any order (shard indices need not be contiguous).
+    pub shards: Vec<ShardLoad>,
+}
+
+/// One planned migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MovePlan {
+    /// Session to move.
+    pub session: String,
+    /// Shard it currently lives on.
+    pub from: usize,
+    /// Destination shard.
+    pub to: usize,
+    /// The session load the plan was based on (for reporting).
+    pub load: u64,
+}
+
+/// The pure policy: plan up to `cfg.budget` migrations that reduce the
+/// snapshot's load imbalance. See the module docs for the invariants;
+/// notably every greedy pick keeps the moved load strictly under the
+/// donor–receiver gap, so every move strictly lowers the pair's maximum
+/// — applying a plan monotonically narrows the spread, and a "whale"
+/// session that *is* the imbalance is left alone (moving it would only
+/// relocate the hotspot).
+pub fn plan_moves(snapshot: &ShardSnapshot, cfg: &BalanceConfig) -> Vec<MovePlan> {
+    let n = snapshot.shards.len();
+    if n < 2 || cfg.budget == 0 {
+        return Vec::new();
+    }
+    let mut loads: Vec<u64> = snapshot.shards.iter().map(ShardLoad::total).collect();
+    let total = loads.iter().fold(0u64, |a, &b| a.saturating_add(b));
+    if total < cfg.min_total_load.max(1) {
+        return Vec::new();
+    }
+    let mean = total as f64 / n as f64;
+    let trigger_ratio = cfg.trigger_ratio.max(1.0);
+    let trigger = mean * trigger_ratio;
+    let settle = mean * cfg.settle_ratio.clamp(1.0, trigger_ratio);
+    // Hysteresis, high watermark: if nothing exceeds the trigger the
+    // system is (still) balanced enough — plan nothing.
+    if loads.iter().all(|&l| (l as f64) <= trigger) {
+        return Vec::new();
+    }
+    let mut moved: BTreeSet<&str> = BTreeSet::new();
+    let mut moves: Vec<MovePlan> = Vec::new();
+    while moves.len() < cfg.budget {
+        let donor = argmax(&loads);
+        let receiver = argmin(&loads);
+        if donor == receiver {
+            break;
+        }
+        // Hysteresis, low watermark: projected max is settled — stop.
+        if (loads[donor] as f64) <= settle {
+            break;
+        }
+        let gap = loads[donor] - loads[receiver];
+        // Two-tier candidate pick, largest first, ties broken on the
+        // lexicographically first name (fully deterministic):
+        //
+        // 1. Prefer a session whose load fits half the gap — the
+        //    receiver ends at or below the donor's remainder, so the
+        //    donor stays the pair's max. This keeps a whale parked while
+        //    its cheap shard-mates flee around it.
+        // 2. Failing that, accept any session with `load < gap` — the
+        //    receiver still ends strictly below the donor's pre-move
+        //    load, so the pair's max strictly shrinks. This is what
+        //    spreads a flash crowd of equally-huge sessions onto
+        //    near-idle shards.
+        //
+        // Either way max(donor', receiver') < donor: a move can never
+        // flip or merely relocate the hotspot.
+        let eligible =
+            |s: &&SessionLoad| !s.pinned && !moved.contains(s.session.as_str()) && s.load > 0;
+        let largest = |a: &&SessionLoad, b: &&SessionLoad| {
+            a.load.cmp(&b.load).then_with(|| b.session.cmp(&a.session))
+        };
+        let candidates = &snapshot.shards[donor].sessions;
+        let pick = candidates
+            .iter()
+            .filter(eligible)
+            .filter(|s| s.load.saturating_mul(2) <= gap)
+            .max_by(largest)
+            .or_else(|| {
+                candidates
+                    .iter()
+                    .filter(eligible)
+                    .filter(|s| s.load < gap)
+                    .max_by(largest)
+            });
+        let Some(pick) = pick else {
+            // Only pinned sessions or whales left on the hottest shard;
+            // nothing productive remains this tick.
+            break;
+        };
+        moved.insert(pick.session.as_str());
+        loads[donor] -= pick.load;
+        loads[receiver] += pick.load;
+        moves.push(MovePlan {
+            session: pick.session.clone(),
+            from: snapshot.shards[donor].shard,
+            to: snapshot.shards[receiver].shard,
+            load: pick.load,
+        });
+    }
+    moves
+}
+
+/// Index of the maximum (first wins ties — deterministic).
+fn argmax(loads: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, &l) in loads.iter().enumerate() {
+        if l > loads[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the minimum (first wins ties — deterministic).
+fn argmin(loads: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, &l) in loads.iter().enumerate() {
+        if l < loads[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+// ── tick state ──────────────────────────────────────────────────────────
+
+/// One session inside a [`ShardObservation`]: *cumulative* counters as
+/// the hubs report them; the [`Balancer`] turns them into deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionObservation {
+    /// Session name.
+    pub session: String,
+    /// Attempted requests since the session was created (travels with
+    /// the engine across migrations).
+    pub requests_total: u64,
+    /// Approximate resident dataset bytes.
+    pub dataset_bytes: u64,
+    /// A migration for this session is currently in flight.
+    pub in_flight: bool,
+}
+
+/// One shard's cumulative counters at an instant — exactly what a
+/// `stats`-style shard report carries, no clocks attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardObservation {
+    /// Shard index.
+    pub shard: usize,
+    /// Jobs queued on the shard channel right now.
+    pub queued: usize,
+    /// Attempted requests since startup (stays with the shard; does NOT
+    /// follow migrating sessions).
+    pub requests_total: u64,
+    /// Cumulative request-latency histogram (stays with the shard).
+    pub latency: LatencyHistogram,
+    /// Cumulative per-session costs of the sessions living here now.
+    pub sessions: Vec<SessionObservation>,
+}
+
+/// Lifecycle of one recorded move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveOutcome {
+    /// Planned, not yet resolved.
+    InFlight,
+    /// Migration completed.
+    Done,
+    /// Migration failed (the session was restored to its source shard).
+    Failed,
+}
+
+impl MoveOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            MoveOutcome::InFlight => "inflight",
+            MoveOutcome::Done => "done",
+            MoveOutcome::Failed => "failed",
+        }
+    }
+
+    fn from_str_token(token: &str) -> Result<MoveOutcome, ApiError> {
+        match token {
+            "inflight" => Ok(MoveOutcome::InFlight),
+            "done" => Ok(MoveOutcome::Done),
+            "failed" => Ok(MoveOutcome::Failed),
+            other => Err(ApiError::parse(format!("unknown move outcome {other:?}"))),
+        }
+    }
+}
+
+/// One decision the balancer took, for the `balance` status reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveRecord {
+    /// Tick the move was planned on.
+    pub tick: u64,
+    /// Session moved.
+    pub session: String,
+    /// Source shard.
+    pub from: usize,
+    /// Destination shard.
+    pub to: usize,
+    /// Session load the decision was based on.
+    pub load: u64,
+    /// What became of it.
+    pub outcome: MoveOutcome,
+}
+
+/// How many recent decisions the status reply retains.
+const RECENT_MOVES: usize = 16;
+
+/// Deterministic, clock-free balancer state: cumulative observations in,
+/// migration plans out, with per-session cooldowns tracked by tick
+/// number. The server advances it on a wall-clock interval; tests and
+/// the simulation harness advance it explicitly.
+#[derive(Debug)]
+pub struct Balancer {
+    /// Current mode; [`Balancer::tick`] plans nothing when `Off` (the
+    /// server also skips snapshot gathering entirely then).
+    pub mode: BalanceMode,
+    cfg: BalanceConfig,
+    tick: u64,
+    /// Cumulative per-session request totals at the previous tick.
+    last_session_requests: BTreeMap<String, u64>,
+    /// Cumulative per-shard (requests, busy-µs) at the previous tick.
+    last_shard: BTreeMap<usize, (u64, u64)>,
+    /// Tick each cooling session's move was planned on.
+    last_move: BTreeMap<String, u64>,
+    planned: u64,
+    completed: u64,
+    failed: u64,
+    recent: VecDeque<MoveRecord>,
+}
+
+impl Balancer {
+    /// Fresh balancer.
+    pub fn new(mode: BalanceMode, cfg: BalanceConfig) -> Balancer {
+        Balancer {
+            mode,
+            cfg,
+            tick: 0,
+            last_session_requests: BTreeMap::new(),
+            last_shard: BTreeMap::new(),
+            last_move: BTreeMap::new(),
+            planned: 0,
+            completed: 0,
+            failed: 0,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// The policy knobs.
+    pub fn config(&self) -> &BalanceConfig {
+        &self.cfg
+    }
+
+    /// Ticks elapsed.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// `(planned, completed, failed)` move counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.planned, self.completed, self.failed)
+    }
+
+    /// Advance one tick: fold the cumulative observations into interval
+    /// deltas, refresh cooldowns, and (in `Auto` mode) plan migrations.
+    /// Every planned session enters cooldown immediately — whatever the
+    /// move's eventual outcome.
+    pub fn tick(&mut self, observations: &[ShardObservation]) -> Vec<MovePlan> {
+        self.tick += 1;
+        let tick = self.tick;
+        let cooldown = self.cfg.cooldown_ticks;
+        self.last_move
+            .retain(|_, planned_at| tick.saturating_sub(*planned_at) < cooldown);
+
+        let mut shards = Vec::with_capacity(observations.len());
+        let mut next_session_requests: BTreeMap<String, u64> = BTreeMap::new();
+        for obs in observations {
+            let busy_total = approx_busy_us(&obs.latency);
+            let (last_req, last_busy) = self.last_shard.get(&obs.shard).copied().unwrap_or((0, 0));
+            let d_req = obs.requests_total.saturating_sub(last_req);
+            let d_busy = busy_total.saturating_sub(last_busy);
+            self.last_shard
+                .insert(obs.shard, (obs.requests_total, busy_total));
+            // The shard's per-request cost this interval, in µs. Clamped
+            // ≥ 1 so request counts still register when the histogram is
+            // empty (simulations) or the interval saw no completions.
+            let cost_us = (d_busy / d_req.max(1)).max(1);
+            let mut sessions = Vec::with_capacity(obs.sessions.len());
+            for s in &obs.sessions {
+                let last = self
+                    .last_session_requests
+                    .get(&s.session)
+                    .copied()
+                    .unwrap_or(0);
+                let d = s.requests_total.saturating_sub(last);
+                next_session_requests.insert(s.session.clone(), s.requests_total);
+                let load = d.saturating_mul(cost_us) + (s.dataset_bytes >> 20);
+                let pinned = s.in_flight || self.last_move.contains_key(&s.session);
+                sessions.push(SessionLoad {
+                    session: s.session.clone(),
+                    load,
+                    pinned,
+                });
+            }
+            shards.push(ShardLoad {
+                shard: obs.shard,
+                queued_load: (obs.queued as u64).saturating_mul(cost_us),
+                sessions,
+            });
+        }
+        // Sessions that vanished (closed) drop their baselines; a
+        // recreated namesake starts over.
+        self.last_session_requests = next_session_requests;
+        self.last_shard
+            .retain(|shard, _| observations.iter().any(|o| o.shard == *shard));
+
+        if self.mode != BalanceMode::Auto {
+            return Vec::new();
+        }
+        let plans = plan_moves(&ShardSnapshot { shards }, &self.cfg);
+        for plan in &plans {
+            self.last_move.insert(plan.session.clone(), tick);
+            self.planned += 1;
+            if self.recent.len() == RECENT_MOVES {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(MoveRecord {
+                tick,
+                session: plan.session.clone(),
+                from: plan.from,
+                to: plan.to,
+                load: plan.load,
+                outcome: MoveOutcome::InFlight,
+            });
+        }
+        plans
+    }
+
+    /// Record how a previously planned move ended. The session's cooldown
+    /// is unaffected — it started when the move was planned, so a failed
+    /// target is not retried until the cooldown lapses.
+    pub fn record_outcome(&mut self, session: &str, ok: bool) {
+        if ok {
+            self.completed += 1;
+        } else {
+            self.failed += 1;
+        }
+        if let Some(record) = self
+            .recent
+            .iter_mut()
+            .rev()
+            .find(|r| r.session == session && r.outcome == MoveOutcome::InFlight)
+        {
+            record.outcome = if ok {
+                MoveOutcome::Done
+            } else {
+                MoveOutcome::Failed
+            };
+        }
+    }
+
+    /// Snapshot for the `balance` wire reply.
+    pub fn status(&self) -> BalanceStatus {
+        BalanceStatus {
+            mode: self.mode,
+            ticks: self.tick,
+            planned: self.planned,
+            completed: self.completed,
+            failed: self.failed,
+            cooling: self.last_move.len(),
+            budget: self.cfg.budget,
+            trigger_ratio: self.cfg.trigger_ratio,
+            settle_ratio: self.cfg.settle_ratio,
+            cooldown_ticks: self.cfg.cooldown_ticks,
+            min_total_load: self.cfg.min_total_load,
+            recent: self.recent.iter().cloned().collect(),
+        }
+    }
+}
+
+// ── status wire text ────────────────────────────────────────────────────
+
+/// Typed reply of the `balance` control line; [`format_balance`] /
+/// [`parse_balance`] are exact inverses, mirroring the `stats` plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceStatus {
+    /// Current mode.
+    pub mode: BalanceMode,
+    /// Ticks elapsed since startup.
+    pub ticks: u64,
+    /// Moves ever planned.
+    pub planned: u64,
+    /// Moves that completed.
+    pub completed: u64,
+    /// Moves that failed (session restored to its source shard).
+    pub failed: u64,
+    /// Sessions currently in cooldown.
+    pub cooling: usize,
+    /// Per-tick migration budget.
+    pub budget: usize,
+    /// High watermark ratio.
+    pub trigger_ratio: f64,
+    /// Low watermark ratio.
+    pub settle_ratio: f64,
+    /// Cooldown length, in ticks.
+    pub cooldown_ticks: u64,
+    /// Minimum interval load worth balancing.
+    pub min_total_load: u64,
+    /// Most recent decisions, oldest first (bounded ring).
+    pub recent: Vec<MoveRecord>,
+}
+
+/// Canonical reply text for the `balance` control line; inverse of
+/// [`parse_balance`].
+pub fn format_balance(status: &BalanceStatus) -> String {
+    let mut out = format!(
+        "balance mode={} ticks={} planned={} completed={} failed={} cooling={} budget={} trigger={} settle={} cooldown={} min_load={}",
+        status.mode,
+        status.ticks,
+        status.planned,
+        status.completed,
+        status.failed,
+        status.cooling,
+        status.budget,
+        status.trigger_ratio,
+        status.settle_ratio,
+        status.cooldown_ticks,
+        status.min_total_load,
+    );
+    for m in &status.recent {
+        out.push_str(&format!(
+            "\n  move {} {} {} tick={} load={} outcome={}",
+            m.session,
+            m.from,
+            m.to,
+            m.tick,
+            m.load,
+            m.outcome.as_str()
+        ));
+    }
+    out
+}
+
+/// Parse a `balance` reply back into the typed status.
+pub fn parse_balance(text: &str) -> Result<BalanceStatus, ApiError> {
+    let mut lines = text.lines();
+    let head = lines
+        .next()
+        .ok_or_else(|| ApiError::parse("empty balance reply"))?;
+    let tail = head
+        .strip_prefix("balance ")
+        .ok_or_else(|| ApiError::parse(format!("not a balance reply: {head:?}")))?;
+    let ratio = |name: &str| -> Result<f64, ApiError> {
+        field(tail, name)?
+            .parse::<f64>()
+            .map_err(|_| ApiError::parse(format!("bad {name}")))
+    };
+    let mut recent = Vec::new();
+    for line in lines {
+        let row = line
+            .strip_prefix("  move ")
+            .ok_or_else(|| ApiError::parse(format!("unexpected balance row {line:?}")))?;
+        let mut parts = row.split_whitespace();
+        let (Some(session), Some(from), Some(to)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ApiError::parse("move row needs <session> <from> <to>"));
+        };
+        let rest = row
+            .splitn(4, ' ')
+            .nth(3)
+            .ok_or_else(|| ApiError::parse("move row needs fields"))?;
+        recent.push(MoveRecord {
+            tick: num(field(rest, "tick")?, "tick")?,
+            session: session.to_string(),
+            from: num(from, "from")?,
+            to: num(to, "to")?,
+            load: num(field(rest, "load")?, "load")?,
+            outcome: MoveOutcome::from_str_token(field(rest, "outcome")?)?,
+        });
+    }
+    Ok(BalanceStatus {
+        mode: BalanceMode::from_str_token(field(tail, "mode")?)?,
+        ticks: num(field(tail, "ticks")?, "ticks")?,
+        planned: num(field(tail, "planned")?, "planned")?,
+        completed: num(field(tail, "completed")?, "completed")?,
+        failed: num(field(tail, "failed")?, "failed")?,
+        cooling: num(field(tail, "cooling")?, "cooling")?,
+        budget: num(field(tail, "budget")?, "budget")?,
+        trigger_ratio: ratio("trigger")?,
+        settle_ratio: ratio("settle")?,
+        cooldown_ticks: num(field(tail, "cooldown")?, "cooldown")?,
+        min_total_load: num(field(tail, "min_load")?, "min_load")?,
+        recent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(idx: usize, sessions: &[(&str, u64)]) -> ShardLoad {
+        ShardLoad {
+            shard: idx,
+            queued_load: 0,
+            sessions: sessions
+                .iter()
+                .map(|&(name, load)| SessionLoad {
+                    session: name.to_string(),
+                    load,
+                    pinned: false,
+                })
+                .collect(),
+        }
+    }
+
+    fn cfg() -> BalanceConfig {
+        BalanceConfig {
+            budget: 4,
+            trigger_ratio: 1.5,
+            settle_ratio: 1.1,
+            min_total_load: 1,
+            cooldown_ticks: 4,
+        }
+    }
+
+    #[test]
+    fn skew_is_planned_toward_the_idle_shard() {
+        let snap = ShardSnapshot {
+            shards: vec![
+                shard(0, &[("a", 100), ("b", 100), ("c", 100), ("d", 100)]),
+                shard(1, &[]),
+            ],
+        };
+        let moves = plan_moves(&snap, &cfg());
+        assert!(!moves.is_empty());
+        for m in &moves {
+            assert_eq!(m.from, 0);
+            assert_eq!(m.to, 1);
+        }
+        // two moves land 200/200 — settled under 1.1×mean; no third move
+        assert_eq!(moves.len(), 2);
+        let names: Vec<&str> = moves.iter().map(|m| m.session.as_str()).collect();
+        assert_eq!(names, ["a", "b"], "load ties break on name, smallest first");
+    }
+
+    #[test]
+    fn balanced_and_empty_snapshots_are_fixpoints() {
+        assert_eq!(plan_moves(&ShardSnapshot::default(), &cfg()), []);
+        let even = ShardSnapshot {
+            shards: vec![shard(0, &[("a", 50)]), shard(1, &[("b", 50)])],
+        };
+        assert_eq!(plan_moves(&even, &cfg()), []);
+    }
+
+    #[test]
+    fn hysteresis_window_holds_fire() {
+        // max = 120, mean = 100: above settle (1.1) but below trigger
+        // (1.5) — the in-between band must be left alone.
+        let snap = ShardSnapshot {
+            shards: vec![shard(0, &[("a", 60), ("b", 60)]), shard(1, &[("c", 80)])],
+        };
+        assert_eq!(plan_moves(&snap, &cfg()), []);
+    }
+
+    #[test]
+    fn whale_alone_is_never_moved() {
+        // Moving the only loaded session just relocates the hotspot.
+        let snap = ShardSnapshot {
+            shards: vec![shard(0, &[("whale", 1000)]), shard(1, &[])],
+        };
+        assert_eq!(plan_moves(&snap, &cfg()), []);
+        // …but its shard-mates are shed around it.
+        let snap = ShardSnapshot {
+            shards: vec![
+                shard(0, &[("whale", 1000), ("m1", 60), ("m2", 60)]),
+                shard(1, &[]),
+            ],
+        };
+        let moves = plan_moves(&snap, &cfg());
+        assert!(!moves.is_empty());
+        assert!(moves.iter().all(|m| m.session != "whale"));
+    }
+
+    #[test]
+    fn pinned_sessions_and_budget_are_respected() {
+        let mut donor = shard(0, &[("a", 100), ("b", 100), ("c", 100), ("d", 100)]);
+        donor.sessions[0].pinned = true; // "a" cooling down
+        let snap = ShardSnapshot {
+            shards: vec![donor, shard(1, &[])],
+        };
+        let tight = BalanceConfig { budget: 1, ..cfg() };
+        let moves = plan_moves(&snap, &tight);
+        assert_eq!(moves.len(), 1);
+        assert_ne!(moves[0].session, "a");
+    }
+
+    #[test]
+    fn queued_load_counts_but_never_moves() {
+        let snap = ShardSnapshot {
+            shards: vec![
+                ShardLoad {
+                    shard: 0,
+                    queued_load: 400,
+                    sessions: vec![SessionLoad {
+                        session: "s".into(),
+                        load: 50,
+                        pinned: false,
+                    }],
+                },
+                shard(1, &[]),
+            ],
+        };
+        let moves = plan_moves(&snap, &cfg());
+        // the queue pressure makes shard 0 hot; the only relief valve is
+        // its one (small) session
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].session, "s");
+    }
+
+    #[test]
+    fn min_total_load_gates_idle_churn() {
+        let snap = ShardSnapshot {
+            shards: vec![shard(0, &[("a", 3), ("b", 3)]), shard(1, &[])],
+        };
+        let gated = BalanceConfig {
+            min_total_load: 100,
+            ..cfg()
+        };
+        assert_eq!(plan_moves(&snap, &gated), []);
+    }
+
+    #[test]
+    fn balancer_uses_request_deltas_not_totals() {
+        let mut bal = Balancer::new(BalanceMode::Auto, cfg());
+        let obs = |totals: [(u64, u64); 2]| -> Vec<ShardObservation> {
+            vec![
+                ShardObservation {
+                    shard: 0,
+                    queued: 0,
+                    requests_total: totals[0].0 + totals[0].1,
+                    latency: LatencyHistogram::new(),
+                    sessions: vec![
+                        SessionObservation {
+                            session: "hot".into(),
+                            requests_total: totals[0].0,
+                            dataset_bytes: 0,
+                            in_flight: false,
+                        },
+                        SessionObservation {
+                            session: "warm".into(),
+                            requests_total: totals[0].1,
+                            dataset_bytes: 0,
+                            in_flight: false,
+                        },
+                    ],
+                },
+                ShardObservation {
+                    shard: 1,
+                    queued: 0,
+                    requests_total: totals[1].0,
+                    latency: LatencyHistogram::new(),
+                    sessions: vec![SessionObservation {
+                        session: "calm".into(),
+                        requests_total: totals[1].0,
+                        dataset_bytes: 0,
+                        in_flight: false,
+                    }],
+                },
+            ]
+        };
+        // Tick 1: first sight — everything counts as recent. Skewed.
+        let plans = bal.tick(&obs([(500, 400), (10, 0)]));
+        assert!(!plans.is_empty());
+        assert!(plans.iter().all(|p| p.from == 0 && p.to == 1));
+        // The planned sessions are cooling: identical totals (zero
+        // delta) ⇒ balanced ⇒ nothing planned, and even renewed skew
+        // within the cooldown cannot re-move them.
+        let plans2 = bal.tick(&obs([(500, 400), (10, 0)]));
+        assert_eq!(plans2, []);
+        let (planned, _, _) = bal.counters();
+        assert_eq!(planned as usize, plans.len());
+        assert!(bal.status().cooling >= plans.len());
+    }
+
+    #[test]
+    fn off_mode_observes_but_never_plans() {
+        let mut bal = Balancer::new(BalanceMode::Off, cfg());
+        let obs = vec![
+            ShardObservation {
+                shard: 0,
+                queued: 0,
+                requests_total: 900,
+                latency: LatencyHistogram::new(),
+                sessions: vec![
+                    SessionObservation {
+                        session: "a".into(),
+                        requests_total: 450,
+                        dataset_bytes: 0,
+                        in_flight: false,
+                    },
+                    SessionObservation {
+                        session: "b".into(),
+                        requests_total: 450,
+                        dataset_bytes: 0,
+                        in_flight: false,
+                    },
+                ],
+            },
+            ShardObservation {
+                shard: 1,
+                queued: 0,
+                requests_total: 0,
+                latency: LatencyHistogram::new(),
+                sessions: vec![],
+            },
+        ];
+        assert_eq!(bal.tick(&obs), []);
+        assert_eq!(bal.ticks(), 1);
+        // flipping to auto, the next tick sees only the delta (zero) —
+        // no stale burst from the Off period
+        bal.mode = BalanceMode::Auto;
+        assert_eq!(bal.tick(&obs), []);
+    }
+
+    #[test]
+    fn latency_weighting_scales_per_shard_cost() {
+        // Same request counts, but shard 0's histogram says each request
+        // cost ~3ms while shard 1's cost ~25µs: shard 0 must read hotter.
+        let mut slow = LatencyHistogram::new();
+        slow.counts[5] = 100; // ≈3000µs each
+        let mut fast = LatencyHistogram::new();
+        fast.counts[0] = 100; // ≈25µs each
+        let mut bal = Balancer::new(BalanceMode::Auto, cfg());
+        let obs = vec![
+            ShardObservation {
+                shard: 0,
+                queued: 0,
+                requests_total: 100,
+                latency: slow,
+                sessions: vec![
+                    SessionObservation {
+                        session: "s0".into(),
+                        requests_total: 60,
+                        dataset_bytes: 0,
+                        in_flight: false,
+                    },
+                    SessionObservation {
+                        session: "s1".into(),
+                        requests_total: 40,
+                        dataset_bytes: 0,
+                        in_flight: false,
+                    },
+                ],
+            },
+            ShardObservation {
+                shard: 1,
+                queued: 0,
+                requests_total: 100,
+                latency: fast,
+                sessions: vec![SessionObservation {
+                    session: "f0".into(),
+                    requests_total: 100,
+                    dataset_bytes: 0,
+                    in_flight: false,
+                }],
+            },
+        ];
+        let plans = bal.tick(&obs);
+        assert!(!plans.is_empty(), "busy-time imbalance must trigger");
+        assert!(plans.iter().all(|p| p.from == 0 && p.to == 1));
+    }
+
+    #[test]
+    fn failed_moves_count_and_keep_their_cooldown() {
+        let mut bal = Balancer::new(BalanceMode::Auto, cfg());
+        let skew = vec![
+            ShardObservation {
+                shard: 0,
+                queued: 0,
+                requests_total: 800,
+                latency: LatencyHistogram::new(),
+                sessions: vec![
+                    SessionObservation {
+                        session: "a".into(),
+                        requests_total: 400,
+                        dataset_bytes: 0,
+                        in_flight: false,
+                    },
+                    SessionObservation {
+                        session: "b".into(),
+                        requests_total: 400,
+                        dataset_bytes: 0,
+                        in_flight: false,
+                    },
+                ],
+            },
+            ShardObservation {
+                shard: 1,
+                queued: 0,
+                requests_total: 0,
+                latency: LatencyHistogram::new(),
+                sessions: vec![],
+            },
+        ];
+        let plans = bal.tick(&skew);
+        assert_eq!(plans.len(), 1, "one move settles 800/0 into 400/400");
+        bal.record_outcome(&plans[0].session, false);
+        let status = bal.status();
+        assert_eq!(status.failed, 1);
+        assert_eq!(status.recent.last().unwrap().outcome, MoveOutcome::Failed);
+        assert!(status.cooling >= 1, "failed session still cools down");
+    }
+
+    #[test]
+    fn status_text_roundtrips() {
+        let status = BalanceStatus {
+            mode: BalanceMode::Auto,
+            ticks: 42,
+            planned: 5,
+            completed: 4,
+            failed: 1,
+            cooling: 2,
+            budget: 2,
+            trigger_ratio: 1.5,
+            settle_ratio: 1.15,
+            cooldown_ticks: 8,
+            min_total_load: 1000,
+            recent: vec![
+                MoveRecord {
+                    tick: 40,
+                    session: "alpha".into(),
+                    from: 0,
+                    to: 3,
+                    load: 512,
+                    outcome: MoveOutcome::Done,
+                },
+                MoveRecord {
+                    tick: 41,
+                    session: "beta".into(),
+                    from: 2,
+                    to: 1,
+                    load: 77,
+                    outcome: MoveOutcome::Failed,
+                },
+            ],
+        };
+        let text = format_balance(&status);
+        assert_eq!(
+            text,
+            "balance mode=auto ticks=42 planned=5 completed=4 failed=1 cooling=2 budget=2 \
+             trigger=1.5 settle=1.15 cooldown=8 min_load=1000\n  \
+             move alpha 0 3 tick=40 load=512 outcome=done\n  \
+             move beta 2 1 tick=41 load=77 outcome=failed"
+        );
+        assert_eq!(parse_balance(&text).unwrap(), status);
+        // empty recent list roundtrips too
+        let bare = BalanceStatus {
+            recent: Vec::new(),
+            mode: BalanceMode::Off,
+            ..status
+        };
+        assert_eq!(parse_balance(&format_balance(&bare)).unwrap(), bare);
+    }
+
+    #[test]
+    fn garbage_status_is_a_parse_error() {
+        for bad in [
+            "",
+            "wat",
+            "balance mode=sideways ticks=0 planned=0 completed=0 failed=0 cooling=0 budget=0 trigger=1 settle=1 cooldown=0 min_load=0",
+            "balance mode=auto ticks=0",
+            "balance mode=auto ticks=0 planned=0 completed=0 failed=0 cooling=0 budget=0 trigger=1 settle=1 cooldown=0 min_load=0\n  move x",
+        ] {
+            assert!(parse_balance(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

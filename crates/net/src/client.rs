@@ -109,6 +109,25 @@ impl Client {
         crate::metrics::parse_stats(&text)
     }
 
+    /// Snapshot the automatic rebalancer (`balance` control line),
+    /// decoded into the typed [`crate::balance::BalanceStatus`]: mode,
+    /// decision counters, policy knobs, and the recent-move ring.
+    pub fn balance_status(&mut self) -> Result<crate::balance::BalanceStatus, ApiError> {
+        let text = self.roundtrip("balance")??;
+        crate::balance::parse_balance(&text)
+    }
+
+    /// Flip the rebalancer mode at runtime (`balance auto|off`). The
+    /// policy's counters and cooldowns survive the flip.
+    pub fn set_balance(&mut self, mode: crate::balance::BalanceMode) -> Result<(), ApiError> {
+        let reply = self.roundtrip(&format!("balance {mode}"))??;
+        if reply == format!("balance mode={mode}") {
+            Ok(())
+        } else {
+            Err(ApiError::io(format!("unexpected balance reply {reply:?}")))
+        }
+    }
+
     /// List every live session across all shards (`list-sessions`
     /// control line), merged and sorted by name server-side.
     pub fn list_sessions(&mut self) -> Result<Vec<fv_api::SessionEntry>, ApiError> {

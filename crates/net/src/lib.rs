@@ -43,11 +43,19 @@
 //!   request costs its session, never the shard.
 //! - **Observability**: the `stats` control line snapshots
 //!   [`ServerStats`] (connections, per-shard queue depth, run sizes,
-//!   frame counters); `list-sessions` lists every session across all
-//!   shards, merged and sorted.
+//!   frame counters, balancer gauges); `list-sessions` lists every
+//!   session across all shards, merged and sorted.
+//! - **Load-aware placement (opt-in)**: under `balance auto`, a pure,
+//!   clock-free policy engine ([`balance`]) periodically turns the
+//!   stats plane (queue depths, latency-histogram deltas, per-session
+//!   cost estimates) into migration plans executed through the same
+//!   extract/install chain as operator `migrate`s — with hysteresis
+//!   watermarks, a per-tick budget, and per-session cooldowns so it
+//!   never thrashes.
 //!
 //! See `crates/net/README.md` for the framing grammar and a quickstart.
 
+pub mod balance;
 pub mod client;
 pub mod frame;
 pub mod metrics;
@@ -55,6 +63,9 @@ mod poll;
 pub mod server;
 pub mod shard;
 
+pub use balance::{
+    plan_moves, BalanceConfig, BalanceMode, BalanceStatus, Balancer, MovePlan, ShardSnapshot,
+};
 pub use client::{run_script_remote, Client};
 pub use metrics::{ServerStats, ShardStats};
 pub use server::{Server, ServerConfig};

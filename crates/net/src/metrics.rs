@@ -156,6 +156,16 @@ pub struct ServerStats {
     /// Cache entries replaced (file changed) or pruned (last holder
     /// dropped). Never invalidates a live session's handle.
     pub cache_evictions: u64,
+    /// Rebalancer planning intervals observed. Ticks run in `off` mode
+    /// too (keeping load-delta baselines fresh for a runtime flip to
+    /// auto); only `auto` mode plans moves.
+    pub balancer_ticks: u64,
+    /// Automatic migrations completed by the rebalancer. Operator
+    /// `migrate` lines are not counted here.
+    pub balancer_moves: u64,
+    /// Automatic migrations that failed (the session was restored to its
+    /// source shard) or were skipped as stale.
+    pub balancer_failed: u64,
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardStats>,
 }
@@ -164,7 +174,7 @@ pub struct ServerStats {
 /// [`parse_stats`].
 pub fn format_stats(stats: &ServerStats) -> String {
     let mut out = format!(
-        "stats shards={} connections={} sessions={} frames_in={} frames_out={} busy={} runs={} requests={} max_run={} cache_entries={} cache_hits={} cache_misses={} cache_evictions={}",
+        "stats shards={} connections={} sessions={} frames_in={} frames_out={} busy={} runs={} requests={} max_run={} cache_entries={} cache_hits={} cache_misses={} cache_evictions={} balancer_ticks={} balancer_moves={} balancer_failed={}",
         stats.shards.len(),
         stats.connections,
         stats.sessions,
@@ -178,6 +188,9 @@ pub fn format_stats(stats: &ServerStats) -> String {
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_evictions,
+        stats.balancer_ticks,
+        stats.balancer_moves,
+        stats.balancer_failed,
     );
     for s in &stats.shards {
         out.push_str(&format!(
@@ -239,6 +252,9 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
         cache_hits: num(field(tail, "cache_hits")?, "cache_hits")?,
         cache_misses: num(field(tail, "cache_misses")?, "cache_misses")?,
         cache_evictions: num(field(tail, "cache_evictions")?, "cache_evictions")?,
+        balancer_ticks: num(field(tail, "balancer_ticks")?, "balancer_ticks")?,
+        balancer_moves: num(field(tail, "balancer_moves")?, "balancer_moves")?,
+        balancer_failed: num(field(tail, "balancer_failed")?, "balancer_failed")?,
         shards,
     })
 }
@@ -270,6 +286,9 @@ mod tests {
             cache_hits: 63,
             cache_misses: 1,
             cache_evictions: 0,
+            balancer_ticks: 7,
+            balancer_moves: 2,
+            balancer_failed: 1,
             shards: vec![
                 ShardStats {
                     shard: 0,
@@ -301,7 +320,8 @@ mod tests {
             text,
             "stats shards=2 connections=3 sessions=5 frames_in=120 frames_out=118 busy=2 \
              runs=40 requests=90 max_run=12 \
-             cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0\n  \
+             cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0 \
+             balancer_ticks=7 balancer_moves=2 balancer_failed=1\n  \
              shard 0 sessions=3 queued=0 runs=25 requests=60 max_run=12 \
              lat_us=50,0,9,0,0,1,0,0,0,0 lat_max_us=3120\n  \
              shard 1 sessions=2 queued=1 runs=15 requests=30 max_run=7 \
@@ -346,9 +366,11 @@ mod tests {
             "",
             "wat",
             "stats shards=2 connections=1",
-            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0",
+            // pre-balancer header (missing balancer_* fields)
+            "stats shards=0 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0",
+            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0",
             // shard row with a short histogram
-            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0 lat_max_us=0",
+            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0 lat_max_us=0",
         ] {
             assert!(parse_stats(bad).is_err(), "{bad:?} must not parse");
         }

@@ -36,6 +36,9 @@
 //! reply, and `list-sessions` fans out over the shards for a merged,
 //! name-sorted session listing.
 
+use crate::balance::{
+    format_balance, BalanceConfig, BalanceMode, Balancer, SessionObservation, ShardObservation,
+};
 use crate::frame::{write_err, write_ok, FrameBuf, LineFault, MAX_LINE};
 use crate::metrics::{ServerStats, ShardStats};
 use crate::poll::{self, PollEntry};
@@ -78,6 +81,17 @@ pub struct ServerConfig {
     /// Per-connection bound on pending (queued + dispatched, not yet
     /// answered) requests; overruns are rejected with `E_BUSY`.
     pub queue_limit: usize,
+    /// Startup mode of the automatic rebalancer (`balance auto|off` on
+    /// the wire flips it at runtime).
+    pub balance: BalanceMode,
+    /// Rebalancer policy knobs (watermarks, budget, cooldown).
+    pub balance_cfg: BalanceConfig,
+    /// How often the rebalancer snapshots the shards and plans.
+    pub balance_interval: Duration,
+    /// Fault injection (tests only): the shard at this index refuses
+    /// every engine install, forcing the migration restore path.
+    #[doc(hidden)]
+    pub fault_refuse_install_to: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +100,10 @@ impl Default for ServerConfig {
             shards: 4,
             scene: fv_api::engine::DEFAULT_SCENE,
             queue_limit: 128,
+            balance: BalanceMode::Off,
+            balance_cfg: BalanceConfig::default(),
+            balance_interval: Duration::from_millis(500),
+            fault_refuse_install_to: None,
         }
     }
 }
@@ -206,6 +224,9 @@ enum Item {
     CloseNamed(SessionId),
     /// `migrate <session> <shard>`: move the session to another shard.
     Migrate(SessionId, usize),
+    /// `balance` (status) / `balance auto|off` (set mode). Answered from
+    /// loop state, never touches a shard.
+    Balance(Option<BalanceMode>),
     Stats,
     ListSessions,
     Shutdown,
@@ -219,9 +240,12 @@ impl Item {
         match self {
             Item::Request(_) | Item::Close => Some(current),
             Item::Use(s) | Item::CloseNamed(s) | Item::Migrate(s, _) => Some(s),
-            Item::Ping | Item::Reject(_) | Item::Stats | Item::ListSessions | Item::Shutdown => {
-                None
-            }
+            Item::Ping
+            | Item::Reject(_)
+            | Item::Balance(_)
+            | Item::Stats
+            | Item::ListSessions
+            | Item::Shutdown => None,
         }
     }
 }
@@ -395,6 +419,10 @@ struct Ctx<'a> {
     /// their connection's inbox until the migration completes (the loop
     /// re-pumps every connection then).
     migrating: &'a mut BTreeSet<SessionId>,
+    /// The automatic rebalancer: mode, counters, and decision ring (the
+    /// `balance` wire line reads and flips it; `stats` reads its
+    /// gauges).
+    balancer: &'a mut Balancer,
     /// Set by a wire `shutdown`.
     stop: &'a mut bool,
 }
@@ -510,13 +538,19 @@ impl Ctx<'_> {
 
 // ── the loop ────────────────────────────────────────────────────────────
 
+/// Sentinel connection id for completions the loop itself asked for
+/// (balancer snapshot gathers and automatic migrations). Real connection
+/// ids count up from 0 and can never reach it.
+const BALANCER_CONN: u64 = u64::MAX;
+
 fn event_loop(
     listener: TcpListener,
     config: ServerConfig,
     shared: Arc<Shared>,
     waker_rx: PipeReader,
 ) {
-    let pool = ShardPool::spawn(config.shards, config.scene);
+    let pool =
+        ShardPool::spawn_with_faults(config.shards, config.scene, config.fault_refuse_install_to);
     let shards = pool.handles();
     let (done_tx, done_rx) = mpsc::channel::<Completion>();
     let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
@@ -528,6 +562,15 @@ fn event_loop(
     // the in-flight move completes.
     let mut routes: BTreeMap<SessionId, usize> = BTreeMap::new();
     let mut migrating: BTreeSet<SessionId> = BTreeSet::new();
+    // Rebalancer state: the deterministic policy core plus the loop's
+    // wall-clock scheduling around it. A gather in progress accumulates
+    // one report per shard before the balancer ticks.
+    let mut balancer = Balancer::new(config.balance, config.balance_cfg);
+    let mut last_balance = Instant::now();
+    let mut balance_gather: Option<Vec<ShardReport>> = None;
+    // Poll must wake often enough to honor the balance interval; a
+    // too-small interval must not busy-spin the loop.
+    let balance_tick_ms = config.balance_interval.as_millis().clamp(10, 250) as i32;
 
     while !stop && !shared.stop.load(Ordering::SeqCst) {
         // Interest set, rebuilt per iteration: [listener, waker, conns…].
@@ -543,9 +586,15 @@ fn event_loop(
                 c.wants_write(),
             ));
         }
-        // Finite timeout: a bounded safety net under the waker, and the
-        // tick the portable fallback scans on.
-        if poll::wait(&mut entries, 250).is_err() {
+        // Finite timeout: a bounded safety net under the waker, the tick
+        // the portable fallback scans on, and (in auto mode) the
+        // heartbeat the balance interval rides on.
+        let timeout = if balancer.mode == BalanceMode::Auto {
+            balance_tick_ms
+        } else {
+            250
+        };
+        if poll::wait(&mut entries, timeout).is_err() {
             break;
         }
         if shared.stop.load(Ordering::SeqCst) {
@@ -586,6 +635,13 @@ fn event_loop(
                 migrating.remove(&session);
                 // Stalled items (on any connection) may now proceed.
                 repump = true;
+                if done.conn == BALANCER_CONN {
+                    // A policy-initiated move resolved; its session's
+                    // cooldown started at plan time, so a failure (the
+                    // restore path) is not retried until it lapses.
+                    balancer.record_outcome(session.as_str(), result.is_ok());
+                    continue;
+                }
                 if let Some(conn) = conns.get_mut(&done.conn) {
                     if matches!(conn.inflight, Some(Inflight::Migrate)) {
                         conn.inflight = None;
@@ -593,6 +649,33 @@ fn event_loop(
                             Ok(()) => conn
                                 .push_ok(&format!("migrated {session} shard={to}"), &mut metrics),
                             Err(e) => conn.push_err(&e, &mut metrics),
+                        }
+                    }
+                }
+                continue;
+            }
+            if done.conn == BALANCER_CONN {
+                // One shard's report for the balancer's snapshot gather;
+                // the last one in triggers the tick.
+                if let Payload::Shard(report) = done.payload {
+                    if let Some(reports) = balance_gather.as_mut() {
+                        reports.push(report);
+                        if reports.len() == shards.n_shards() {
+                            let reports = balance_gather.take().expect("gather in progress");
+                            let n_conns = conns.len();
+                            let mut ctx = Ctx {
+                                shards: &shards,
+                                done_tx: &done_tx,
+                                waker: &shared.waker,
+                                queue_limit: config.queue_limit,
+                                metrics: &mut metrics,
+                                n_conns,
+                                routes: &mut routes,
+                                migrating: &mut migrating,
+                                balancer: &mut balancer,
+                                stop: &mut stop,
+                            };
+                            run_balance_tick(reports, &mut ctx);
                         }
                     }
                 }
@@ -609,6 +692,7 @@ fn event_loop(
                     n_conns,
                     routes: &mut routes,
                     migrating: &mut migrating,
+                    balancer: &mut balancer,
                     stop: &mut stop,
                 };
                 settle_completion(conn, done.conn, done.payload, &mut ctx);
@@ -636,6 +720,7 @@ fn event_loop(
                     n_conns,
                     routes: &mut routes,
                     migrating: &mut migrating,
+                    balancer: &mut balancer,
                     stop: &mut stop,
                 };
                 pump(conn, id, &mut ctx);
@@ -643,6 +728,34 @@ fn event_loop(
                     conns.remove(&id);
                 }
             }
+        }
+
+        // Start a rebalance tick when due: snapshot every shard, then
+        // plan once the last report lands. Never while a gather is
+        // already in flight, and never while any migration is mid-air —
+        // a session in transit is invisible to a shard fan-out, so the
+        // snapshot would be wrong (and the planner could double-move).
+        // Ticks run in Off mode too (the balancer plans nothing then):
+        // keeping the delta baselines fresh means a runtime flip to
+        // auto reacts to *current* load, not to hours of accumulated
+        // counters.
+        if balance_gather.is_none()
+            && migrating.is_empty()
+            && last_balance.elapsed() >= config.balance_interval
+        {
+            last_balance = Instant::now();
+            balance_gather = Some(Vec::with_capacity(shards.n_shards()));
+            shards.submit_report_all(|| {
+                let done = done_tx.clone();
+                let waker = shared.waker.clone();
+                Box::new(move |report| {
+                    let _ = done.send(Completion {
+                        conn: BALANCER_CONN,
+                        payload: Payload::Shard(report),
+                    });
+                    waker.wake();
+                })
+            });
         }
 
         // New connections.
@@ -707,6 +820,7 @@ fn event_loop(
                     n_conns,
                     routes: &mut routes,
                     migrating: &mut migrating,
+                    balancer: &mut balancer,
                     stop: &mut stop,
                 };
                 alive = read_conn(conn, &mut ctx);
@@ -744,6 +858,57 @@ fn event_loop(
     drop(conns);
     drop(shards);
     pool.join();
+}
+
+/// A completed balancer snapshot gather: fold the shard reports into
+/// observations, tick the policy, and submit every still-valid plan
+/// through the same extract → install → restore-on-failure chain
+/// operator migrations use. Plans that went stale between snapshot and
+/// execution (session migrated, closed, or already moving) are counted
+/// failed and skipped — the balancer must never bounce a session around
+/// on outdated data.
+fn run_balance_tick(mut reports: Vec<ShardReport>, ctx: &mut Ctx) {
+    reports.sort_by_key(|r| r.shard);
+    let depths = ctx.shards.queue_depths();
+    let observations: Vec<ShardObservation> = reports
+        .iter()
+        .map(|r| ShardObservation {
+            shard: r.shard,
+            queued: depths.get(r.shard).copied().unwrap_or(0),
+            requests_total: r.requests,
+            latency: r.latency.clone(),
+            sessions: r
+                .sessions
+                .iter()
+                .map(|s| SessionObservation {
+                    session: s.name.clone(),
+                    requests_total: s.requests,
+                    dataset_bytes: s.dataset_bytes,
+                    in_flight: SessionId::new(s.name.clone())
+                        .map(|id| ctx.migrating.contains(&id))
+                        .unwrap_or(false),
+                })
+                .collect(),
+        })
+        .collect();
+    let plans = ctx.balancer.tick(&observations);
+    for plan in plans {
+        let Ok(session) = SessionId::new(plan.session.clone()) else {
+            ctx.balancer.record_outcome(&plan.session, false);
+            continue;
+        };
+        let from = ctx.route(&session);
+        if ctx.migrating.contains(&session)
+            || from != plan.from
+            || plan.to == from
+            || plan.to >= ctx.shards.n_shards()
+        {
+            ctx.balancer.record_outcome(&plan.session, false);
+            continue;
+        }
+        ctx.migrating.insert(session.clone());
+        ctx.submit_migration(BALANCER_CONN, &session, plan.to);
+    }
 }
 
 /// Pull every readable byte (bounded per iteration for fairness across
@@ -825,6 +990,7 @@ fn read_conn(conn: &mut Conn, ctx: &mut Ctx) -> bool {
                         }
                         WireItem::Ping => Item::Ping,
                         WireItem::Close => Item::Close,
+                        WireItem::Balance { set } => Item::Balance(set),
                         WireItem::Stats => Item::Stats,
                         WireItem::ListSessions => Item::ListSessions,
                         WireItem::Shutdown => Item::Shutdown,
@@ -894,6 +1060,21 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
             Some(Item::Ping) => {
                 conn.inbox.pop_front();
                 conn.push_ok("pong", ctx.metrics);
+            }
+            Some(Item::Balance(_)) => {
+                let Some(Item::Balance(set)) = conn.inbox.pop_front() else {
+                    unreachable!("front() said Balance");
+                };
+                // Answered from loop state — no shard round trip, so a
+                // `balance` line never stalls behind engine work.
+                let reply = match set {
+                    None => format_balance(&ctx.balancer.status()),
+                    Some(mode) => {
+                        ctx.balancer.mode = mode;
+                        format!("balance mode={mode}")
+                    }
+                };
+                conn.push_ok(&reply, ctx.metrics);
             }
             Some(Item::Reject(_)) => {
                 let Some(Item::Reject(e)) = conn.inbox.pop_front() else {
@@ -1042,13 +1223,11 @@ fn sessions_reply(reports: &[ShardReport]) -> String {
     let mut entries: Vec<fv_api::SessionEntry> = reports
         .iter()
         .flat_map(|r| {
-            r.sessions
-                .iter()
-                .map(|(name, n_datasets)| fv_api::SessionEntry {
-                    name: name.clone(),
-                    shard: r.shard,
-                    n_datasets: *n_datasets,
-                })
+            r.sessions.iter().map(|s| fv_api::SessionEntry {
+                name: s.name.clone(),
+                shard: r.shard,
+                n_datasets: s.n_datasets,
+            })
         })
         .collect();
     entries.sort_by(|a, b| a.name.cmp(&b.name));
@@ -1087,6 +1266,9 @@ fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         cache_evictions: cache.evictions,
+        balancer_ticks: ctx.balancer.ticks(),
+        balancer_moves: ctx.balancer.counters().1,
+        balancer_failed: ctx.balancer.counters().2,
         shards,
     };
     crate::metrics::format_stats(&stats)

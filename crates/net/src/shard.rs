@@ -35,13 +35,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-/// One shard's contribution to a `stats` or `list-sessions` reply:
-/// sessions it owns (name + dataset count) plus its execution counters.
+/// One session's slice of a [`ShardReport`]: identity for
+/// `list-sessions`, cumulative cost estimates for the rebalancer.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionReport {
+    pub name: String,
+    pub n_datasets: usize,
+    /// Attempted requests since the session was created (travels with
+    /// the engine across migrations).
+    pub requests: u64,
+    /// Approximate resident dataset bytes.
+    pub dataset_bytes: u64,
+}
+
+/// One shard's contribution to a `stats`, `list-sessions`, or balancer
+/// snapshot: sessions it owns (with cost estimates) plus its execution
+/// counters.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardReport {
     pub shard: usize,
-    /// `(session name, loaded datasets)`, sorted by name (hub order).
-    pub sessions: Vec<(String, usize)>,
+    /// Per-session reports, sorted by name (hub order).
+    pub sessions: Vec<SessionReport>,
     /// Non-empty runs executed.
     pub runs: u64,
     /// Requests executed across those runs.
@@ -322,7 +336,22 @@ impl ShardPool {
     /// Spawn `n` workers, each with an empty [`EngineHub`] resolving
     /// damage against `scene`. All hubs share one [`DatasetCache`], so a
     /// file loaded by sessions on different shards is parsed once.
+    /// (Production callers go through [`ShardPool::spawn_with_faults`]
+    /// with `None` — this is the test convenience.)
+    #[cfg(test)]
     pub fn spawn(n: usize, scene: (usize, usize)) -> ShardPool {
+        ShardPool::spawn_with_faults(n, scene, None)
+    }
+
+    /// Like [`ShardPool::spawn`], but with fault injection: the shard at
+    /// `refuse_install_to` refuses every [`Job::Install`], handing the
+    /// engine back — how tests drive the migration restore path without
+    /// killing a worker. `None` in production.
+    pub fn spawn_with_faults(
+        n: usize,
+        scene: (usize, usize),
+        refuse_install_to: Option<usize>,
+    ) -> ShardPool {
         let n = n.max(1);
         let cache = DatasetCache::new();
         let depth: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
@@ -333,10 +362,11 @@ impl ShardPool {
             senders.push(tx);
             let depth = Arc::clone(&depth);
             let cache = cache.clone();
+            let refuse_install = refuse_install_to == Some(i);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("fv-net-shard-{i}"))
-                    .spawn(move || worker(i, rx, depth, scene, cache))
+                    .spawn(move || worker(i, rx, depth, scene, cache, refuse_install))
                     .expect("spawn shard worker"),
             );
         }
@@ -371,6 +401,7 @@ fn worker(
     depth: Arc<Vec<AtomicUsize>>,
     scene: (usize, usize),
     cache: DatasetCache,
+    refuse_install: bool,
 ) {
     let mut hub = EngineHub::with_cache(scene.0, scene.1, cache);
     let mut runs: u64 = 0;
@@ -391,9 +422,10 @@ fn worker(
                 engine,
                 respond,
             } => {
-                if hub.get(&session).is_some() {
-                    // Name already taken here (routing should prevent
-                    // this); hand the engine back rather than lose it.
+                if refuse_install || hub.get(&session).is_some() {
+                    // Injected fault, or name already taken here (routing
+                    // should prevent the latter); hand the engine back
+                    // rather than lose it.
                     respond(Err(engine));
                 } else {
                     hub.install_session(&session, *engine);
@@ -406,7 +438,15 @@ fn worker(
                     sessions: hub
                         .list_sessions()
                         .into_iter()
-                        .map(|(id, n)| (id.to_string(), n))
+                        .map(|(id, n)| {
+                            let cost = hub.get(&id).map(Engine::cost).unwrap_or_default();
+                            SessionReport {
+                                name: id.to_string(),
+                                n_datasets: n,
+                                requests: cost.requests,
+                                dataset_bytes: cost.dataset_bytes,
+                            }
+                        })
                         .collect(),
                     runs,
                     requests: requests_executed,
@@ -552,7 +592,12 @@ mod tests {
         let mut reports: Vec<ShardReport> = (0..2).map(|_| rx.recv().unwrap()).collect();
         reports.sort_by_key(|r| r.shard);
         let owner = shard_of(&a, 2);
-        assert_eq!(reports[owner].sessions, [("alpha".to_string(), 3)]);
+        assert_eq!(reports[owner].sessions.len(), 1);
+        let alpha = &reports[owner].sessions[0];
+        assert_eq!(alpha.name, "alpha");
+        assert_eq!(alpha.n_datasets, 3);
+        assert_eq!(alpha.requests, 1, "one attempted request so far");
+        assert!(alpha.dataset_bytes > 0, "scenario datasets have size");
         assert_eq!(reports[owner].runs, 1);
         assert_eq!(reports[owner].requests, 1);
         assert_eq!(reports[owner].max_run, 1);

@@ -262,6 +262,7 @@ fn overload_gets_busy_and_committed_state_matches_sequential_replay() {
             shards: 2,
             scene: SCENE,
             queue_limit: 8,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");

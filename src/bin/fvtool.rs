@@ -17,11 +17,12 @@
 //! fvtool spell   <gene,gene,...> <file.pcl>...       SPELL query over files
 //! fvtool demo    <out_dir>                           write a synthetic demo workspace
 //! fvtool script  <file.fvs>                          replay a request script
-//! fvtool serve   [--addr a:p] [--shards n] [--queue-limit n]   run the TCP server
+//! fvtool serve   [--addr a:p] [--shards n] [--queue-limit n] [--balance auto|off] [balance knobs]   run the TCP server
 //! fvtool ping                                        probe a server (needs --remote)
 //! fvtool stats                                       server metrics + cache gauges (needs --remote)
 //! fvtool sessions                                    list live sessions (needs --remote)
 //! fvtool migrate <session> <shard>                   move a session across shards (needs --remote)
+//! fvtool balance [auto|off]                          rebalancer status / flip its mode (needs --remote)
 //! fvtool shutdown                                    stop a server (needs --remote)
 //! ```
 //!
@@ -45,11 +46,15 @@ fn usage() -> ExitCode {
          fvtool spell   <gene,gene,...> <file.pcl>...\n  \
          fvtool demo    <out_dir>\n  \
          fvtool script  <file.fvs>\n  \
-         fvtool serve   [--addr <host:port>] [--shards <n>] [--queue-limit <n>]\n  \
+         fvtool serve   [--addr <host:port>] [--shards <n>] [--queue-limit <n>]\n           \
+         [--balance auto|off] [--balance-interval-ms <n>] [--balance-budget <n>]\n           \
+         [--balance-trigger <ratio>] [--balance-settle <ratio>]\n           \
+         [--balance-cooldown <ticks>] [--balance-min-load <n>]\n  \
          fvtool ping    --remote <host:port>\n  \
          fvtool stats   --remote <host:port>\n  \
          fvtool sessions --remote <host:port>\n  \
          fvtool migrate <session> <shard> --remote <host:port>\n  \
+         fvtool balance [auto|off] --remote <host:port>\n  \
          fvtool shutdown --remote <host:port>\n\
          options:\n  --remote <host:port>   run the subcommand against a live fvtool server"
     );
@@ -327,6 +332,55 @@ fn cmd_serve(args: &[String]) -> Result<(), ApiError> {
                     return Err(ApiError::invalid("--queue-limit must be at least 1"));
                 }
             }
+            "--balance" => {
+                let mode = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--balance needs auto|off"))?;
+                config.balance = fv_api::BalanceMode::from_str_token(mode)?;
+            }
+            "--balance-interval-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--balance-interval-ms needs <n>"))?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad balance interval"))?;
+                config.balance_interval = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--balance-budget" => {
+                config.balance_cfg.budget = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--balance-budget needs <n>"))?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad balance budget"))?;
+            }
+            "--balance-trigger" => {
+                config.balance_cfg.trigger_ratio = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--balance-trigger needs <ratio>"))?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad balance trigger ratio"))?;
+            }
+            "--balance-settle" => {
+                config.balance_cfg.settle_ratio = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--balance-settle needs <ratio>"))?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad balance settle ratio"))?;
+            }
+            "--balance-cooldown" => {
+                config.balance_cfg.cooldown_ticks = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--balance-cooldown needs <ticks>"))?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad balance cooldown"))?;
+            }
+            "--balance-min-load" => {
+                config.balance_cfg.min_total_load = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--balance-min-load needs <n>"))?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad balance min load"))?;
+            }
             other => {
                 return Err(ApiError::invalid(format!("unknown serve option {other:?}")));
             }
@@ -408,6 +462,27 @@ fn run(cmd: &str, rest: &[String], remote: Option<&str>) -> Result<(), Failure> 
                 .map_err(|_| ApiError::parse("bad shard index"))?;
             fv_net::Client::connect(addr)?.migrate(session, shard)?;
             println!("migrated {session} shard={shard}");
+            return Ok(());
+        }
+        "balance" => {
+            let addr = remote.ok_or_else(|| ApiError::invalid("balance needs --remote <addr>"))?;
+            match rest {
+                [] => {
+                    // Round-trip through the typed status (decode →
+                    // re-format) so the printed text is the validated
+                    // canonical form, exactly like `stats`.
+                    let status = fv_net::Client::connect(addr)?.balance_status()?;
+                    println!("{}", fv_net::balance::format_balance(&status));
+                }
+                [mode] => {
+                    let mode = fv_api::BalanceMode::from_str_token(mode)?;
+                    fv_net::Client::connect(addr)?.set_balance(mode)?;
+                    println!("balance mode={mode}");
+                }
+                _ => {
+                    return Err(ApiError::invalid("balance takes at most one arg: auto|off").into())
+                }
+            }
             return Ok(());
         }
         "render" | "cluster" | "impute" | "search" | "spell" | "demo" => {}
