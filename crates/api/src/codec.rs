@@ -88,6 +88,30 @@ pub enum WireItem {
         /// `None` asks for status; `Some(mode)` sets the mode.
         set: Option<BalanceMode>,
     },
+    /// `subscribe <session> <tiles_x>x<tiles_y>` — register this
+    /// connection as a streaming viewer of a session through a tile grid.
+    /// Acknowledged `subscribed <session> <tx>x<ty> <wall_w>x<wall_h>`,
+    /// then followed by an out-of-band keyframe burst of binary tile
+    /// frames (see fv-wall's stream codec) and damage-limited deltas after
+    /// every executed run.
+    Subscribe {
+        /// Session to view.
+        session: String,
+        /// Horizontal tile count of the viewer's grid.
+        tiles_x: usize,
+        /// Vertical tile count of the viewer's grid.
+        tiles_y: usize,
+    },
+    /// Bare `unsubscribe` — stop streaming to this connection.
+    /// Acknowledged `unsubscribed` (idempotent).
+    Unsubscribe,
+    /// `ack <seq>` — subscriber flow control: the highest tile-frame
+    /// sequence number fully consumed. Never answered; a subscriber that
+    /// acks and then falls far behind is re-synced with a keyframe.
+    Ack {
+        /// Highest fully consumed sequence number.
+        seq: u64,
+    },
 }
 
 /// Mode of a transport's automatic shard rebalancer, as it appears in the
@@ -170,6 +194,27 @@ pub fn parse_wire_line(raw: &str) -> Result<Option<WireItem>, ApiError> {
             set: Some(BalanceMode::from_str_token(mode)?),
         }));
     }
+    if let Some(rest) = line.strip_prefix("subscribe ") {
+        let [session, grid] = fixed_args("subscribe", rest.trim())?;
+        if session.is_empty() || session.contains(char::is_whitespace) {
+            return Err(ApiError::parse("session names are single tokens"));
+        }
+        let (tiles_x, tiles_y) = parse_grid_token(grid)?;
+        return Ok(Some(WireItem::Subscribe {
+            session: session.to_string(),
+            tiles_x,
+            tiles_y,
+        }));
+    }
+    if line == "unsubscribe" {
+        return Ok(Some(WireItem::Unsubscribe));
+    }
+    if let Some(rest) = line.strip_prefix("ack ") {
+        let [seq] = fixed_args("ack", rest.trim())?;
+        return Ok(Some(WireItem::Ack {
+            seq: parse_num(seq, "seq")?,
+        }));
+    }
     if let Some(name) = parse_session_directive(line, "use ")? {
         return Ok(Some(WireItem::Script(ScriptItem::Use(name))));
     }
@@ -179,6 +224,22 @@ pub fn parse_wire_line(raw: &str) -> Result<Option<WireItem>, ApiError> {
     Ok(Some(WireItem::Script(ScriptItem::Request(parse_request(
         line,
     )?))))
+}
+
+/// `<tiles_x>x<tiles_y>` → the two non-zero tile counts of a subscriber
+/// grid.
+fn parse_grid_token(token: &str) -> Result<(usize, usize), ApiError> {
+    let Some((tx, ty)) = token.split_once('x') else {
+        return Err(ApiError::parse(format!(
+            "tile grid is <tiles_x>x<tiles_y>, got {token:?}"
+        )));
+    };
+    let tiles_x: usize = parse_num(tx, "tiles_x")?;
+    let tiles_y: usize = parse_num(ty, "tiles_y")?;
+    if tiles_x == 0 || tiles_y == 0 {
+        return Err(ApiError::parse("tile counts must be non-zero"));
+    }
+    Ok((tiles_x, tiles_y))
 }
 
 /// `<keyword><name>` → `Some(name)` for the session directives (`use `,
@@ -1016,6 +1077,30 @@ mod tests {
             Some(WireItem::Script(ScriptItem::Close(name))) => assert_eq!(name, "alpha"),
             other => panic!("wrong parse: {other:?}"),
         }
+        assert_eq!(
+            parse_wire_line("subscribe alpha 4x2").unwrap(),
+            Some(WireItem::Subscribe {
+                session: "alpha".into(),
+                tiles_x: 4,
+                tiles_y: 2,
+            })
+        );
+        assert!(parse_wire_line("subscribe alpha").is_err());
+        assert!(parse_wire_line("subscribe alpha 4x2 extra").is_err());
+        assert!(parse_wire_line("subscribe alpha 4by2").is_err());
+        assert!(parse_wire_line("subscribe alpha 0x2").is_err());
+        assert!(parse_wire_line("subscribe alpha 4x0").is_err());
+        assert_eq!(
+            parse_wire_line(" unsubscribe ").unwrap(),
+            Some(WireItem::Unsubscribe)
+        );
+        assert_eq!(
+            parse_wire_line("ack 17").unwrap(),
+            Some(WireItem::Ack { seq: 17 })
+        );
+        assert!(parse_wire_line("ack").is_err());
+        assert!(parse_wire_line("ack nope").is_err());
+        assert!(parse_wire_line("ack 1 2").is_err());
         assert!(parse_wire_line("wat 7").is_err());
         // control keywords are transport-only: scripts reject them
         assert!(parse_script("ping\n").is_err());
@@ -1024,6 +1109,9 @@ mod tests {
         assert!(parse_script("stats\n").is_err());
         assert!(parse_script("list-sessions\n").is_err());
         assert!(parse_script("migrate a 0\n").is_err());
+        assert!(parse_script("subscribe a 2x2\n").is_err());
+        assert!(parse_script("unsubscribe\n").is_err());
+        assert!(parse_script("ack 3\n").is_err());
     }
 
     #[test]

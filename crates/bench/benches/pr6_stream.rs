@@ -1,0 +1,134 @@
+//! PR 6 checkpoint: the fv-stream plane's hot paths, measured without
+//! criterion so the numbers land in a machine-readable checkpoint file
+//! (`BENCH_PR6.json` at the repo root, overwritten on every run).
+//!
+//! Three stages of the publish pipeline are timed in isolation:
+//! 1. damage coalescing — [`DamageTracker::add`] under a storm of small
+//!    rects (the path the PR 6 O(n²) cap fix bounded),
+//! 2. tile delta encode — damage rects → per-tile intersections →
+//!    delta frames cut from a wall-sized framebuffer,
+//! 3. heatmap rasterize — the full desktop render each executed run
+//!    pays before anything streams.
+
+use forestview::renderer::render_desktop;
+use forestview::Session;
+use fv_synth::scenario::Scenario;
+use fv_wall::damage::DamageTracker;
+use fv_wall::stream::{tile_damage, TileStreamEncoder};
+use fv_wall::tile::{TileGrid, Viewport};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`n` wall time in nanoseconds (min absorbs scheduler noise).
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Deterministic rect storm over a `w`×`h` wall (xorshift; no rand
+/// dep), clustered around a few hot spots the way scroll/selection
+/// damage is — so coalescing yields several surviving rects rather
+/// than one wall-sized bounding box.
+fn rect_storm(n: usize, w: usize, h: usize) -> Vec<Viewport> {
+    let mut state = 0x2007_1007_u64;
+    let mut next = move |m: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as usize) % m.max(1)
+    };
+    let anchors: Vec<(usize, usize)> = (0..6).map(|_| (next(w - 128), next(h - 128))).collect();
+    (0..n)
+        .map(|i| {
+            let (ax, ay) = anchors[i % anchors.len()];
+            Viewport {
+                x: ax + next(96),
+                y: ay + next(96),
+                w: 8 + next(24),
+                h: 8 + next(24),
+            }
+        })
+        .collect()
+}
+
+fn session() -> Session {
+    let scenario = Scenario::three_datasets(800, 2007);
+    let mut s = Session::new();
+    for ds in scenario.datasets {
+        s.load_dataset(ds).unwrap();
+    }
+    s.select_region(0, 0, 60);
+    s
+}
+
+fn main() {
+    const W: usize = 1280;
+    const H: usize = 960;
+    let grid = TileGrid::new(4, 2, W / 4, H / 2);
+    let storm = rect_storm(1000, W, H);
+
+    let coalesce_ns = best_of(20, || {
+        let mut tracker = DamageTracker::new();
+        for &r in &storm {
+            tracker.add(r);
+        }
+        tracker.take()
+    });
+
+    let mut tracker = DamageTracker::new();
+    for &r in &storm {
+        tracker.add(r);
+    }
+    let damage = tracker.take();
+    let tile_damage_ns = best_of(50, || tile_damage(&grid, &damage));
+
+    let s = session();
+    let rasterize_ns = best_of(5, || render_desktop(&s, W, H));
+    let wall = render_desktop(&s, W, H);
+    assert_eq!(wall.bytes().len(), W * H * 3);
+
+    let tiles = tile_damage(&grid, &damage);
+    let delta_bytes: usize = {
+        let mut enc = TileStreamEncoder::new(grid);
+        enc.delta(&wall, &tiles)
+            .iter()
+            .map(|f| f.encoded_len())
+            .sum()
+    };
+    let delta_ns = best_of(20, || {
+        let mut enc = TileStreamEncoder::new(grid);
+        enc.delta(&wall, &tiles)
+    });
+
+    let key_bytes: usize = {
+        let mut enc = TileStreamEncoder::new(grid);
+        enc.keyframe(&wall).iter().map(|f| f.encoded_len()).sum()
+    };
+    let keyframe_ns = best_of(20, || {
+        let mut enc = TileStreamEncoder::new(grid);
+        enc.keyframe(&wall)
+    });
+
+    // Sanity: delta traffic must undercut a keyframe for partial damage.
+    assert!(delta_bytes <= key_bytes);
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr6_stream\",\n  \"wall\": \"{W}x{H}\",\n  \"grid\": \"4x2\",\n  \
+         \"damage_coalesce_1k_rects_ns\": {coalesce_ns},\n  \
+         \"damage_rects_after_coalesce\": {n_rects},\n  \
+         \"tile_damage_map_ns\": {tile_damage_ns},\n  \
+         \"delta_encode_ns\": {delta_ns},\n  \"delta_encode_bytes\": {delta_bytes},\n  \
+         \"keyframe_encode_ns\": {keyframe_ns},\n  \"keyframe_bytes\": {key_bytes},\n  \
+         \"heatmap_rasterize_ns\": {rasterize_ns}\n}}\n",
+        n_rects = damage.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    std::fs::write(path, &json).expect("write BENCH_PR6.json");
+    println!("[pr6_stream] wrote {path}");
+    print!("{json}");
+}

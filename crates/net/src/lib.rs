@@ -45,6 +45,15 @@
 //!   [`ServerStats`] (connections, per-shard queue depth, run sizes,
 //!   frame counters, balancer gauges); `list-sessions` lists every
 //!   session across all shards, merged and sorted.
+//! - **Tile streaming (pub/sub)**: `subscribe <session> <TX>x<TY>`
+//!   turns a connection into a viewer ([`stream`]): after every
+//!   executed run the owning shard renders once and the loop fans out
+//!   delta-encoded tile frames (keyframe on subscribe, damage-only
+//!   after) to every subscriber with gapless per-subscriber seqs; a
+//!   slow viewer is coalesced and, past the outbox watermark or ack
+//!   lag, dropped to a fresh keyframe — never a backlog, never a stall
+//!   for the publisher or its peers. Migrations re-sync subscribers
+//!   with a keyframe from the new shard.
 //! - **Load-aware placement (opt-in)**: under `balance auto`, a pure,
 //!   clock-free policy engine ([`balance`]) periodically turns the
 //!   stats plane (queue depths, latency-histogram deltas, per-session
@@ -62,6 +71,7 @@ pub mod metrics;
 mod poll;
 pub mod server;
 pub mod shard;
+pub mod stream;
 
 pub use balance::{
     plan_moves, BalanceConfig, BalanceMode, BalanceStatus, Balancer, MovePlan, ShardSnapshot,
@@ -70,3 +80,4 @@ pub use client::{run_script_remote, Client};
 pub use metrics::{ServerStats, ShardStats};
 pub use server::{Server, ServerConfig};
 pub use shard::shard_of;
+pub use stream::Watcher;

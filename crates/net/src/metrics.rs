@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! stats shards=2 connections=1 sessions=3 frames_in=12 frames_out=11 busy=0 runs=5 requests=9 max_run=4 cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0
+//!   stream subscribers=2 frames=48 bytes=1843298 pixels=614400 coalesced=3 dropped=1 link_us=19546
 //!   shard 0 sessions=2 queued=0 runs=3 requests=6 max_run=4 lat_us=0,2,3,1,0,0,0,0,0,0 lat_max_us=812
 //!   shard 1 sessions=1 queued=0 runs=2 requests=3 max_run=2 lat_us=0,1,2,0,0,0,0,0,0,0 lat_max_us=401
 //! ```
@@ -127,6 +128,32 @@ pub struct ShardStats {
     pub latency: LatencyHistogram,
 }
 
+/// The streaming plane's slice of a [`ServerStats`] snapshot: the
+/// `stream` row. Counters cover every subscriber since startup;
+/// `link_us` prices the bytes actually shipped on the paper's gigabit
+/// wall interconnect model (`fv_wall::net::NetworkModel::gigabit`), so
+/// `stats` reports shipping cost next to painting cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Live subscriptions right now (a connection holds at most one).
+    pub subscribers: usize,
+    /// Tile frames written to subscriber outboxes (key + delta).
+    pub frames: u64,
+    /// Encoded tile-frame bytes written (headers + pixel payloads).
+    pub bytes: u64,
+    /// Pixels shipped across those frames (sum of frame rect areas).
+    pub pixels: u64,
+    /// Pending same-tile deltas that collapsed into one frame because the
+    /// subscriber had not drained yet.
+    pub coalesced: u64,
+    /// Publishes discarded for a backlogged subscriber, repaid with a
+    /// fresh keyframe once its outbox drained.
+    pub dropped: u64,
+    /// Modeled time to ship `frames`/`bytes` over one gigabit wall link,
+    /// in microseconds.
+    pub link_us: u64,
+}
+
 /// Snapshot answered to the `stats` control line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerStats {
@@ -166,6 +193,8 @@ pub struct ServerStats {
     /// Automatic migrations that failed (the session was restored to its
     /// source shard) or were skipped as stale.
     pub balancer_failed: u64,
+    /// The streaming plane's counters (the `stream` row).
+    pub stream: StreamStats,
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardStats>,
 }
@@ -192,6 +221,16 @@ pub fn format_stats(stats: &ServerStats) -> String {
         stats.balancer_moves,
         stats.balancer_failed,
     );
+    out.push_str(&format!(
+        "\n  stream subscribers={} frames={} bytes={} pixels={} coalesced={} dropped={} link_us={}",
+        stats.stream.subscribers,
+        stats.stream.frames,
+        stats.stream.bytes,
+        stats.stream.pixels,
+        stats.stream.coalesced,
+        stats.stream.dropped,
+        stats.stream.link_us,
+    ));
     for s in &stats.shards {
         out.push_str(&format!(
             "\n  shard {} sessions={} queued={} runs={} requests={} max_run={} lat_us={} lat_max_us={}",
@@ -218,6 +257,21 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
         .strip_prefix("stats ")
         .ok_or_else(|| ApiError::parse(format!("not a stats reply: {head:?}")))?;
     let n_shards: usize = num(field(tail, "shards")?, "shards")?;
+    let stream_line = lines
+        .next()
+        .ok_or_else(|| ApiError::parse("stats reply is missing its stream row"))?;
+    let stream_tail = stream_line
+        .strip_prefix("  stream ")
+        .ok_or_else(|| ApiError::parse(format!("expected stream row, got {stream_line:?}")))?;
+    let stream = StreamStats {
+        subscribers: num(field(stream_tail, "subscribers")?, "subscribers")?,
+        frames: num(field(stream_tail, "frames")?, "frames")?,
+        bytes: num(field(stream_tail, "bytes")?, "bytes")?,
+        pixels: num(field(stream_tail, "pixels")?, "pixels")?,
+        coalesced: num(field(stream_tail, "coalesced")?, "coalesced")?,
+        dropped: num(field(stream_tail, "dropped")?, "dropped")?,
+        link_us: num(field(stream_tail, "link_us")?, "link_us")?,
+    };
     let mut shards = Vec::with_capacity(n_shards);
     for line in lines {
         let row = line
@@ -255,6 +309,7 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
         balancer_ticks: num(field(tail, "balancer_ticks")?, "balancer_ticks")?,
         balancer_moves: num(field(tail, "balancer_moves")?, "balancer_moves")?,
         balancer_failed: num(field(tail, "balancer_failed")?, "balancer_failed")?,
+        stream,
         shards,
     })
 }
@@ -289,6 +344,15 @@ mod tests {
             balancer_ticks: 7,
             balancer_moves: 2,
             balancer_failed: 1,
+            stream: StreamStats {
+                subscribers: 2,
+                frames: 48,
+                bytes: 1_843_298,
+                pixels: 614_400,
+                coalesced: 3,
+                dropped: 1,
+                link_us: 19_546,
+            },
             shards: vec![
                 ShardStats {
                     shard: 0,
@@ -322,6 +386,8 @@ mod tests {
              runs=40 requests=90 max_run=12 \
              cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0 \
              balancer_ticks=7 balancer_moves=2 balancer_failed=1\n  \
+             stream subscribers=2 frames=48 bytes=1843298 pixels=614400 \
+             coalesced=3 dropped=1 link_us=19546\n  \
              shard 0 sessions=3 queued=0 runs=25 requests=60 max_run=12 \
              lat_us=50,0,9,0,0,1,0,0,0,0 lat_max_us=3120\n  \
              shard 1 sessions=2 queued=1 runs=15 requests=30 max_run=7 \
@@ -368,9 +434,14 @@ mod tests {
             "stats shards=2 connections=1",
             // pre-balancer header (missing balancer_* fields)
             "stats shards=0 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0",
-            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0",
+            // pre-stream reply (balancer-era header with no stream row)
+            "stats shards=0 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0",
+            // shard row where the stream row belongs
+            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0,0,0,0,0,0,0,0,0 lat_max_us=0",
+            // stream row with a missing field
+            "stats shards=0 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0",
             // shard row with a short histogram
-            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0 lat_max_us=0",
+            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0 pixels=0 coalesced=0 dropped=0 link_us=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0 lat_max_us=0",
         ] {
             assert!(parse_stats(bad).is_err(), "{bad:?} must not parse");
         }

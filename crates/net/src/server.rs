@@ -40,15 +40,20 @@ use crate::balance::{
     format_balance, BalanceConfig, BalanceMode, Balancer, SessionObservation, ShardObservation,
 };
 use crate::frame::{write_err, write_ok, FrameBuf, LineFault, MAX_LINE};
-use crate::metrics::{ServerStats, ShardStats};
+use crate::metrics::{ServerStats, ShardStats, StreamStats};
 use crate::poll::{self, PollEntry};
-use crate::shard::{shard_of, ShardHandles, ShardPool, ShardReport};
+use crate::shard::{shard_of, PubFrame, ShardHandles, ShardPool, ShardReport};
+use crate::stream::{union_rect, StreamPlane, SubState};
 use fv_api::codec::ScriptItem;
 use fv_api::{ApiError, Engine, EngineHub, Request, SessionId, WireItem};
+use fv_render::Framebuffer;
+use fv_wall::stream::tile_damage;
+use fv_wall::tile::TileGrid;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{PipeReader, PipeWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -227,6 +232,14 @@ enum Item {
     /// `balance` (status) / `balance auto|off` (set mode). Answered from
     /// loop state, never touches a shard.
     Balance(Option<BalanceMode>),
+    /// `subscribe <session> <TX>x<TY>`: become a tile-stream viewer of
+    /// the session (fv-stream).
+    Subscribe(SessionId, usize, usize),
+    /// `unsubscribe`: stop streaming (idempotent).
+    Unsubscribe,
+    /// `ack <seq>`: subscriber flow control. Answered with nothing —
+    /// acks pace the stream, they are not requests.
+    Ack(u64),
     Stats,
     ListSessions,
     Shutdown,
@@ -240,9 +253,14 @@ impl Item {
         match self {
             Item::Request(_) | Item::Close => Some(current),
             Item::Use(s) | Item::CloseNamed(s) | Item::Migrate(s, _) => Some(s),
+            // A subscribe materializes (and keyframe-renders) its session,
+            // so it stalls while that session is mid-migration.
+            Item::Subscribe(s, _, _) => Some(s),
             Item::Ping
             | Item::Reject(_)
             | Item::Balance(_)
+            | Item::Unsubscribe
+            | Item::Ack(_)
             | Item::Stats
             | Item::ListSessions
             | Item::Shutdown => None,
@@ -291,6 +309,8 @@ struct Conn {
     /// Requests in the dispatched run (for `skipped` frame counts and the
     /// pending-queue bound).
     inflight_requests: usize,
+    /// The connection's fv-stream subscription, if it sent `subscribe`.
+    sub: Option<SubState>,
     /// Read side saw EOF; the connection drains and closes gracefully.
     eof: bool,
 }
@@ -307,6 +327,7 @@ impl Conn {
             queued_requests: 0,
             inflight: None,
             inflight_requests: 0,
+            sub: None,
             eof: false,
         }
     }
@@ -423,6 +444,12 @@ struct Ctx<'a> {
     /// `balance` wire line reads and flips it; `stats` reads its
     /// gauges).
     balancer: &'a mut Balancer,
+    /// The fv-stream subscription registry: who watches which session,
+    /// the latest published framebuffer per watched session, and the
+    /// stream counters `stats` reports.
+    streams: &'a mut StreamPlane,
+    /// Scene dimensions (the wall a subscriber's tile grid must divide).
+    scene: (usize, usize),
     /// Set by a wire `shutdown`.
     stop: &'a mut bool,
 }
@@ -543,6 +570,12 @@ impl Ctx<'_> {
 /// ids count up from 0 and can never reach it.
 const BALANCER_CONN: u64 = u64::MAX;
 
+/// Sentinel connection id for the empty publish run the loop submits
+/// after a watched session migrates: its only purpose is the fresh
+/// framebuffer that re-syncs every subscriber with a keyframe on the new
+/// shard, so no connection settles it.
+const STREAM_CONN: u64 = u64::MAX - 1;
+
 fn event_loop(
     listener: TcpListener,
     config: ServerConfig,
@@ -562,6 +595,9 @@ fn event_loop(
     // the in-flight move completes.
     let mut routes: BTreeMap<SessionId, usize> = BTreeMap::new();
     let mut migrating: BTreeSet<SessionId> = BTreeSet::new();
+    // fv-stream state: subscriber registry, retained latest frame per
+    // watched session, and the counters the `stats` stream row reports.
+    let mut streams = StreamPlane::default();
     // Rebalancer state: the deterministic policy core plus the loop's
     // wall-clock scheduling around it. A gather in progress accumulates
     // one report per shard before the balancer ticks.
@@ -615,7 +651,7 @@ fn event_loop(
             shared.waker.clear();
         }
         let mut repump = false;
-        while let Ok(done) = done_rx.try_recv() {
+        while let Ok(mut done) = done_rx.try_recv() {
             // Migration completions are loop events, not connection
             // events: the routing table and stall set must update even if
             // the asking connection hung up mid-migration.
@@ -630,6 +666,38 @@ fn event_loop(
                         routes.remove(&session);
                     } else {
                         routes.insert(session.clone(), to);
+                    }
+                    // Subscriptions survive the move: force a keyframe
+                    // re-sync for every subscriber (their encoders keep
+                    // counting, so the keyframe lands at the next seq —
+                    // no gap) and ask the session's *new* shard for a
+                    // fresh frame via an empty publish run.
+                    if streams.has_subscribers(&session) {
+                        for cid in streams.subscribers_of(&session) {
+                            if let Some(sub) = conns.get_mut(&cid).and_then(|c| c.sub.as_mut()) {
+                                sub.need_keyframe = true;
+                                sub.pending.clear();
+                            }
+                        }
+                        let route = routes
+                            .get(&session)
+                            .copied()
+                            .unwrap_or_else(|| shard_of(&session, shards.n_shards()));
+                        let resync_done = done_tx.clone();
+                        let resync_waker = shared.waker.clone();
+                        shards.submit_run_to(
+                            route,
+                            &session,
+                            Vec::new(),
+                            true,
+                            Box::new(move |run| {
+                                let _ = resync_done.send(Completion {
+                                    conn: STREAM_CONN,
+                                    payload: Payload::Run(run),
+                                });
+                                resync_waker.wake();
+                            }),
+                        );
                     }
                 }
                 migrating.remove(&session);
@@ -673,11 +741,29 @@ fn event_loop(
                                 routes: &mut routes,
                                 migrating: &mut migrating,
                                 balancer: &mut balancer,
+                                streams: &mut streams,
+                                scene: config.scene,
                                 stop: &mut stop,
                             };
                             run_balance_tick(reports, &mut ctx);
                         }
                     }
+                }
+                continue;
+            }
+            // Pull the published frame (if the run rendered one) out
+            // before the payload settles the requesting connection: the
+            // fan-out targets *every* subscriber of the session, not the
+            // connection that happened to trigger the run.
+            let frame = match &mut done.payload {
+                Payload::Run(run) => run.frame.take(),
+                _ => None,
+            };
+            if done.conn == STREAM_CONN {
+                // A migration re-sync publish; there is no connection
+                // waiting — the frame is the whole point.
+                if let Some(f) = frame {
+                    publish_frame(f, &mut conns, &mut streams);
                 }
                 continue;
             }
@@ -693,13 +779,19 @@ fn event_loop(
                     routes: &mut routes,
                     migrating: &mut migrating,
                     balancer: &mut balancer,
+                    streams: &mut streams,
+                    scene: config.scene,
                     stop: &mut stop,
                 };
                 settle_completion(conn, done.conn, done.payload, &mut ctx);
                 pump(conn, done.conn, &mut ctx);
+                service_stream(conn, ctx.streams);
                 if !conn.flush() || conn.finished() {
-                    conns.remove(&done.conn);
+                    drop_conn(&mut conns, &mut streams, done.conn);
                 }
+            }
+            if let Some(f) = frame {
+                publish_frame(f, &mut conns, &mut streams);
             }
         }
         if repump {
@@ -721,11 +813,14 @@ fn event_loop(
                     routes: &mut routes,
                     migrating: &mut migrating,
                     balancer: &mut balancer,
+                    streams: &mut streams,
+                    scene: config.scene,
                     stop: &mut stop,
                 };
                 pump(conn, id, &mut ctx);
+                service_stream(conn, ctx.streams);
                 if !conn.flush() || conn.finished() {
-                    conns.remove(&id);
+                    drop_conn(&mut conns, &mut streams, id);
                 }
             }
         }
@@ -809,6 +904,13 @@ fn event_loop(
             let mut alive = true;
             if e.writable || e.hangup {
                 alive = conn.flush();
+                if alive {
+                    // The outbox just drained: a backlogged subscriber
+                    // waiting on a drop-to-keyframe re-sync can have it
+                    // now.
+                    service_stream(conn, &mut streams);
+                    alive = conn.flush();
+                }
             }
             if alive && (e.readable || e.hangup) && conn.wants_read() {
                 let mut ctx = Ctx {
@@ -821,16 +923,19 @@ fn event_loop(
                     routes: &mut routes,
                     migrating: &mut migrating,
                     balancer: &mut balancer,
+                    streams: &mut streams,
+                    scene: config.scene,
                     stop: &mut stop,
                 };
                 alive = read_conn(conn, &mut ctx);
                 if alive {
                     pump(conn, *id, &mut ctx);
+                    service_stream(conn, ctx.streams);
                     alive = conn.flush();
                 }
             }
             if !alive || conn.finished() {
-                conns.remove(id);
+                drop_conn(&mut conns, &mut streams, *id);
             }
         }
     }
@@ -988,6 +1093,16 @@ fn read_conn(conn: &mut Conn, ctx: &mut Ctx) -> bool {
                                 }
                             }
                         }
+                        WireItem::Subscribe {
+                            session,
+                            tiles_x,
+                            tiles_y,
+                        } => match SessionId::new(session) {
+                            Ok(id) => Item::Subscribe(id, tiles_x, tiles_y),
+                            Err(e) => Item::Reject(e),
+                        },
+                        WireItem::Unsubscribe => Item::Unsubscribe,
+                        WireItem::Ack { seq } => Item::Ack(seq),
                         WireItem::Ping => Item::Ping,
                         WireItem::Close => Item::Close,
                         WireItem::Balance { set } => Item::Balance(set),
@@ -1031,10 +1146,15 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                 conn.queued_requests -= requests.len();
                 conn.inflight_requests = requests.len();
                 conn.inflight = Some(Inflight::Run { ack: None });
+                // Runs on a watched session come back with a rendered
+                // wall frame for the fan-out; unwatched runs skip the
+                // render entirely.
+                let publish = ctx.streams.has_subscribers(&conn.session);
                 ctx.shards.submit_run_to(
                     ctx.route(&conn.session),
                     &conn.session,
                     requests,
+                    publish,
                     ctx.responder(id, Payload::Run),
                 );
             }
@@ -1054,6 +1174,7 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                     ctx.route(&session),
                     &session,
                     Vec::new(),
+                    false,
                     ctx.responder(id, Payload::Run),
                 );
             }
@@ -1081,6 +1202,71 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                     unreachable!("front() said Reject");
                 };
                 conn.push_err(&e, ctx.metrics);
+            }
+            Some(Item::Subscribe(..)) => {
+                let Some(Item::Subscribe(session, tiles_x, tiles_y)) = conn.inbox.pop_front()
+                else {
+                    unreachable!("front() said Subscribe");
+                };
+                let (sw, sh) = ctx.scene;
+                if sw % tiles_x != 0 || sh % tiles_y != 0 {
+                    conn.push_err(
+                        &ApiError::invalid(format!(
+                            "tile grid {tiles_x}x{tiles_y} does not divide the {sw}x{sh} scene \
+                             evenly"
+                        )),
+                        ctx.metrics,
+                    );
+                    continue;
+                }
+                // Re-subscribing replaces the old subscription (possibly
+                // of a different session) wholesale: fresh encoder, fresh
+                // keyframe.
+                if let Some(old) = conn.sub.take() {
+                    ctx.streams.unsubscribe(&old.session, id);
+                }
+                let grid = TileGrid::new(tiles_x, tiles_y, sw / tiles_x, sh / tiles_y);
+                ctx.streams.subscribe(session.clone(), id);
+                conn.sub = Some(SubState::new(session.clone(), grid));
+                // Ack NOW — binary tile frames may enter the outbox as
+                // soon as this pump returns (a retained frame services
+                // the keyframe immediately), and the text ack must
+                // precede them. Then materialize the session and render
+                // via an empty *published* run on the owning shard.
+                conn.push_ok(
+                    &format!("subscribed {session} {tiles_x}x{tiles_y} {sw}x{sh}"),
+                    ctx.metrics,
+                );
+                conn.inflight_requests = 0;
+                conn.inflight = Some(Inflight::Run { ack: None });
+                ctx.shards.submit_run_to(
+                    ctx.route(&session),
+                    &session,
+                    Vec::new(),
+                    true,
+                    ctx.responder(id, Payload::Run),
+                );
+            }
+            Some(Item::Unsubscribe) => {
+                conn.inbox.pop_front();
+                match conn.sub.take() {
+                    Some(sub) => {
+                        ctx.streams.unsubscribe(&sub.session, id);
+                        conn.push_ok(&format!("unsubscribed {}", sub.session), ctx.metrics);
+                    }
+                    // Idempotent: unsubscribing a non-subscriber is fine.
+                    None => conn.push_ok("unsubscribed", ctx.metrics),
+                }
+            }
+            Some(Item::Ack(_)) => {
+                let Some(Item::Ack(seq)) = conn.inbox.pop_front() else {
+                    unreachable!("front() said Ack");
+                };
+                if let Some(sub) = conn.sub.as_mut() {
+                    sub.last_ack = Some(sub.last_ack.map_or(seq, |a| a.max(seq)));
+                }
+                // No reply: acks pace the stream; answering them would
+                // interleave text frames into the binary tile stream.
             }
             Some(Item::Close) | Some(Item::CloseNamed(_)) => {
                 let closed = match conn.inbox.pop_front() {
@@ -1269,7 +1455,148 @@ fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
         balancer_ticks: ctx.balancer.ticks(),
         balancer_moves: ctx.balancer.counters().1,
         balancer_failed: ctx.balancer.counters().2,
+        stream: {
+            let m = ctx.streams.metrics;
+            StreamStats {
+                subscribers: ctx.streams.n_subscribers(),
+                frames: m.frames,
+                bytes: m.bytes,
+                pixels: m.pixels,
+                coalesced: m.coalesced,
+                dropped: m.dropped,
+                // What shipping those frames would cost on the wall's
+                // gigabit interconnect — bytes-shipped priced against
+                // pixels-painted, the paper's distribution-cost axis.
+                link_us: fv_wall::net::NetworkModel::gigabit()
+                    .frame_time(m.frames as usize, m.bytes as usize, 1)
+                    .as_micros() as u64,
+            }
+        },
         shards,
     };
     crate::metrics::format_stats(&stats)
+}
+
+// ── fv-stream fan-out ───────────────────────────────────────────────────
+
+/// Fan a freshly rendered wall frame out to every subscriber of its
+/// session: retain the framebuffer (keyframes and coalesced deltas are
+/// cut from it at drain time), fold the run's damage into each
+/// subscriber's pending set — or drop-to-keyframe a backlogged one — and
+/// drain whoever has room.
+fn publish_frame(frame: PubFrame, conns: &mut BTreeMap<u64, Conn>, streams: &mut StreamPlane) {
+    let PubFrame {
+        session,
+        wall,
+        damage,
+    } = frame;
+    let fb = Rc::new(wall);
+    let subs = match streams.session_mut(&session) {
+        // Every subscriber left between dispatch and completion.
+        None => return,
+        Some(entry) => {
+            entry.last = Some(Rc::clone(&fb));
+            entry.subscribers.iter().copied().collect::<Vec<u64>>()
+        }
+    };
+    let mut dead = Vec::new();
+    for cid in subs {
+        let Some(conn) = conns.get_mut(&cid) else {
+            continue;
+        };
+        let backlogged = conn.out_pending() >= OUTBOX_HIGH_WATER;
+        if let Some(sub) = conn.sub.as_mut() {
+            if backlogged || sub.ack_lagging() {
+                // Never queue behind a slow peer: forget the deltas and
+                // re-sync from a keyframe once the outbox drains.
+                if !sub.need_keyframe {
+                    sub.need_keyframe = true;
+                    sub.pending.clear();
+                    streams.metrics.dropped += 1;
+                }
+            } else if !sub.need_keyframe {
+                for (tile, rect) in tile_damage(sub.encoder.grid(), &damage) {
+                    match sub.pending.entry(tile) {
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            v.insert(rect);
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut o) => {
+                            // Two updates to one tile collapse into one
+                            // bounding rect — the retained framebuffer
+                            // already contains both, so nothing is lost.
+                            let merged = union_rect(o.get(), &rect);
+                            o.insert(merged);
+                            streams.metrics.coalesced += 1;
+                        }
+                    }
+                }
+            }
+        }
+        drain_stream(conn, &fb, streams);
+        if !conn.flush() || conn.finished() {
+            dead.push(cid);
+        }
+    }
+    for cid in dead {
+        drop_conn(conns, streams, cid);
+    }
+}
+
+/// Encode whatever the subscriber is owed — a keyframe if one is due,
+/// otherwise its coalesced pending deltas — into its outbox. A
+/// backlogged outbox defers everything (the pending set keeps
+/// coalescing; `service_stream` retries when it drains).
+fn drain_stream(conn: &mut Conn, fb: &Framebuffer, streams: &mut StreamPlane) {
+    if conn.out_pending() >= OUTBOX_HIGH_WATER {
+        return;
+    }
+    let frames = match conn.sub.as_mut() {
+        None => return,
+        Some(sub) => {
+            if sub.ack_lagging() {
+                // A self-pacing subscriber that has not caught up gets
+                // nothing new; the ack that catches it up is followed by
+                // a `service_stream` call that resumes the stream.
+                return;
+            }
+            if sub.need_keyframe {
+                sub.pending.clear();
+                sub.need_keyframe = false;
+                sub.encoder.keyframe(fb)
+            } else if !sub.pending.is_empty() {
+                let tiles: Vec<_> = std::mem::take(&mut sub.pending).into_iter().collect();
+                sub.encoder.delta(fb, &tiles)
+            } else {
+                return;
+            }
+        }
+    };
+    for f in &frames {
+        streams.metrics.frames += 1;
+        streams.metrics.bytes += f.encoded_len() as u64;
+        streams.metrics.pixels += f.rect.area() as u64;
+        f.encode_into(&mut conn.out);
+    }
+}
+
+/// Give a subscriber its deferred frames (keyframe re-sync or pending
+/// deltas) from the session's retained framebuffer, if there is one.
+fn service_stream(conn: &mut Conn, streams: &mut StreamPlane) {
+    let Some(session) = conn.sub.as_ref().map(|s| s.session.clone()) else {
+        return;
+    };
+    let Some(fb) = streams.last_frame(&session) else {
+        return;
+    };
+    drain_stream(conn, &fb, streams);
+}
+
+/// Remove a connection, deregistering its subscription — every removal
+/// site must go through here or the registry leaks dead subscriber ids.
+fn drop_conn(conns: &mut BTreeMap<u64, Conn>, streams: &mut StreamPlane, id: u64) {
+    if let Some(conn) = conns.remove(&id) {
+        if let Some(sub) = conn.sub {
+            streams.unsubscribe(&sub.session, id);
+        }
+    }
 }

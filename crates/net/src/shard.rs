@@ -28,8 +28,10 @@
 use crate::metrics::LatencyHistogram;
 use fv_api::engine::fnv1a;
 use fv_api::{
-    ApiError, CacheStats, DatasetCache, Engine, EngineHub, Request, RunOutcome, SessionId,
+    ApiError, CacheStats, DatasetCache, Engine, EngineHub, Request, Response, RunOutcome, SessionId,
 };
+use fv_render::Framebuffer;
+use fv_wall::tile::Viewport;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -79,21 +81,36 @@ impl ShardReport {
     }
 }
 
+/// A post-run rasterization for the streaming plane: the shard rendered
+/// the session once into a scene-sized framebuffer, and the damage says
+/// which of its pixels this run may have changed (scene coordinates;
+/// conservatively the full scene when a response type carries no rects).
+pub(crate) struct PubFrame {
+    pub session: SessionId,
+    pub wall: Framebuffer,
+    pub damage: Vec<Viewport>,
+}
+
 /// A run's answer: the outcome plus whether the worker had to drop the
 /// session (a panicking request poisons its session). Transports use the
-/// flag to clean up per-session routing state.
+/// flag to clean up per-session routing state. `frame` carries the
+/// publish rasterization when the run asked for one.
 pub(crate) struct RunDone {
     pub outcome: RunOutcome,
     pub session_dropped: bool,
+    pub frame: Option<PubFrame>,
 }
 
 pub(crate) enum Job {
     /// Execute a request run on the session (empty runs just materialize
     /// it — the `use` semantics). Answered with the run's
-    /// [`RunDone`].
+    /// [`RunDone`]. With `publish` set the worker also renders the
+    /// session's scene once after the run — the fv-stream fan-out hook;
+    /// the event loop sets it exactly when the session has subscribers.
     Run {
         session: SessionId,
         requests: Vec<Request>,
+        publish: bool,
         respond: Box<dyn FnOnce(RunDone) + Send>,
     },
     /// Drop the session; replies whether it existed.
@@ -169,11 +186,13 @@ impl ShardHandles {
         shard: usize,
         session: &SessionId,
         requests: Vec<Request>,
+        publish: bool,
         respond: Box<dyn FnOnce(RunDone) + Send>,
     ) {
         let job = Job::Run {
             session: session.clone(),
             requests,
+            publish,
             respond,
         };
         if let Some(Job::Run { respond, .. }) = self.submit_or_return(shard, job) {
@@ -189,7 +208,7 @@ impl ShardHandles {
         requests: Vec<Request>,
         respond: Box<dyn FnOnce(RunDone) + Send>,
     ) {
-        self.submit_run_to(self.shard_of(session), session, requests, respond);
+        self.submit_run_to(self.shard_of(session), session, requests, false, respond);
     }
 
     /// Enqueue a close on an explicit shard; a dead shard answers `false`.
@@ -316,7 +335,43 @@ fn shard_down() -> RunDone {
             latencies: Vec::new(),
         },
         session_dropped: false,
+        frame: None,
     }
+}
+
+/// What this run may have repainted, in scene coordinates. `Applied`
+/// responses carry exact damage rects; any other state-mutating response
+/// (dataset loads, imputation, normalization, clustering…) reports no
+/// rects and conservatively damages the full scene. An empty run — the
+/// publish refresh a `subscribe` or a migration hand-over submits —
+/// touched nothing, which is fine: its subscribers are keyframe-synced
+/// from the rendered framebuffer, not from damage.
+fn run_damage(out: &RunOutcome, scene: (usize, usize)) -> Vec<Viewport> {
+    let full = Viewport {
+        x: 0,
+        y: 0,
+        w: scene.0,
+        h: scene.1,
+    };
+    let mut rects = Vec::new();
+    for response in &out.responses {
+        match response {
+            Response::Applied { damage, .. } => rects.extend(damage.iter().map(|d| Viewport {
+                x: d.x,
+                y: d.y,
+                w: d.w,
+                h: d.h,
+            })),
+            Response::Loaded { .. }
+            | Response::ScenarioLoaded { .. }
+            | Response::OntologyReady { .. }
+            | Response::Imputed { .. }
+            | Response::Normalized { .. }
+            | Response::ArraysClustered { .. } => return vec![full],
+            _ => {}
+        }
+    }
+    rects
 }
 
 /// Stable shard routing function (exposed for tests and docs).
@@ -457,6 +512,7 @@ fn worker(
             Job::Run {
                 session,
                 requests,
+                publish,
                 respond,
             } => {
                 if !requests.is_empty() {
@@ -494,11 +550,28 @@ fn worker(
                 for &l in &out.latencies {
                     latency.record(l);
                 }
+                // The streaming rasterize hook: render the session's
+                // scene once per published run. Subscribers share this
+                // one render no matter how many are watching.
+                let frame = if publish && !session_dropped {
+                    hub.get(&session).map(|engine| PubFrame {
+                        session: session.clone(),
+                        damage: run_damage(&out, scene),
+                        wall: forestview::renderer::render_desktop(
+                            engine.session(),
+                            scene.0,
+                            scene.1,
+                        ),
+                    })
+                } else {
+                    None
+                };
                 // The connection may already be gone; that is not the
                 // shard's problem.
                 respond(RunDone {
                     outcome: out,
                     session_dropped,
+                    frame,
                 });
             }
         }
@@ -656,6 +729,7 @@ mod tests {
             to,
             &s,
             vec![Request::Query(Query::SessionInfo)],
+            false,
             Box::new(move |done| {
                 let _ = tx.send(done);
             }),

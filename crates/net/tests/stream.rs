@@ -1,0 +1,305 @@
+//! fv-stream end-to-end: one render on the server must reach N
+//! subscribers byte-identical to a local [`EngineHub`] replay's render;
+//! a stalled subscriber must never block the event loop, its peers, or
+//! request/response traffic; a migrated session's subscribers must
+//! re-sync via a keyframe with no sequence gap.
+
+use fv_api::{EngineHub, SessionId};
+use fv_net::{shard_of, Client, Server, ServerConfig, Watcher};
+use fv_render::Framebuffer;
+use fv_wall::stream::FrameKind;
+use std::time::Duration;
+
+const SCENE: (usize, usize) = (800, 600);
+
+fn server(shards: usize) -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards,
+            scene: SCENE,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Render what a local replay of `lines` (on a fresh hub) looks like —
+/// the ground truth every subscriber's reassembled wall must match.
+fn local_render(session: &str, lines: &[&str]) -> Framebuffer {
+    let mut hub = EngineHub::with_scene(SCENE.0, SCENE.1);
+    let script = format!("use {session}\n{}\n", lines.join("\n"));
+    hub.run_script(&script).expect("local replay succeeds");
+    let sid = SessionId::new(session.to_string()).unwrap();
+    let engine = hub.get(&sid).expect("session exists");
+    forestview::renderer::render_desktop(engine.session(), SCENE.0, SCENE.1)
+}
+
+/// Run `lines` on the server through a request/response client.
+fn run_remote(client: &mut Client, session: &str, lines: &[&str]) {
+    client.use_session(session).unwrap();
+    for line in lines {
+        client
+            .roundtrip(line)
+            .expect("transport up")
+            .unwrap_or_else(|e| panic!("request {line:?} failed: {e}"));
+    }
+}
+
+/// Drain every frame currently flowing (until `idle` of silence).
+fn drain(watcher: &mut Watcher, idle: Duration) -> Vec<(u64, FrameKind)> {
+    watcher.set_read_timeout(Some(idle)).unwrap();
+    let mut seen = Vec::new();
+    while let Some(frame) = watcher.next_frame().expect("stream stays well-formed") {
+        seen.push((frame.seq, frame.kind));
+    }
+    seen
+}
+
+#[test]
+fn keyframe_matches_local_render_for_every_subscriber() {
+    let server = server(4);
+    let addr = server.local_addr().to_string();
+    let mutations = [
+        "scenario 80 3",
+        "cluster_all",
+        "scroll 2",
+        "set_contrast 0 1.8",
+    ];
+    let mut client = Client::connect(&addr).unwrap();
+    run_remote(&mut client, "walls", &mutations);
+
+    // Subscribe AFTER the state exists: each viewer gets a keyframe of
+    // the current desktop, regardless of its tiling.
+    let expected = local_render("walls", &mutations);
+    for (tx, ty) in [(4, 2), (2, 3), (1, 1)] {
+        let mut w = Watcher::connect(&addr, "walls", tx, ty).unwrap();
+        let seen = drain(&mut w, Duration::from_millis(400));
+        assert_eq!(seen.len(), tx * ty, "one keyframe per tile");
+        assert!(seen
+            .iter()
+            .all(|&(seq, kind)| seq == 0 && kind == FrameKind::Key));
+        assert_eq!(
+            w.framebuffer().bytes(),
+            expected.bytes(),
+            "{tx}x{ty} viewer reassembled a different wall than a local render"
+        );
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn deltas_converge_with_contiguous_seqs() {
+    let server = server(2);
+    let addr = server.local_addr().to_string();
+    let setup = ["scenario 80 3", "cluster_all"];
+    let mut client = Client::connect(&addr).unwrap();
+    run_remote(&mut client, "walls", &setup);
+
+    let mut w = Watcher::connect(&addr, "walls", 4, 2).unwrap();
+    let key = drain(&mut w, Duration::from_millis(400));
+    assert!(key.iter().all(|&(_, k)| k == FrameKind::Key));
+
+    // Mutations after the keyframe arrive as damage-limited deltas.
+    let extra = ["scroll 1", "scroll 2", "set_contrast 0 2.5", "toggle_sync"];
+    for line in extra {
+        client.roundtrip(line).unwrap().unwrap();
+    }
+    let deltas = drain(&mut w, Duration::from_millis(400));
+    assert!(!deltas.is_empty(), "mutations must stream deltas");
+    assert!(deltas.iter().all(|&(_, k)| k == FrameKind::Delta));
+
+    // Per-subscriber seqs are contiguous from 0 — the proof no frame was
+    // lost or skipped.
+    let mut seqs: Vec<u64> = key.iter().chain(&deltas).map(|&(s, _)| s).collect();
+    seqs.dedup();
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(seqs, sorted, "seqs arrived out of order");
+    assert_eq!(sorted.first(), Some(&0));
+    assert_eq!(
+        sorted.last().map(|&s| s + 1),
+        Some(sorted.len() as u64),
+        "sequence numbers must be gapless: {sorted:?}"
+    );
+
+    let all: Vec<&str> = setup.iter().chain(&extra).copied().collect();
+    assert_eq!(
+        w.framebuffer().bytes(),
+        local_render("walls", &all).bytes(),
+        "delta stream diverged from local render"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn stalled_subscriber_never_blocks_peers_and_recovers_via_keyframe() {
+    let server = server(2);
+    let addr = server.local_addr().to_string();
+    let setup = ["scenario 80 3", "cluster_all"];
+    let mut client = Client::connect(&addr).unwrap();
+    run_remote(&mut client, "walls", &setup);
+
+    // The stalled viewer subscribes, acks once, and then never reads:
+    // either its outbox fills past the watermark (the initial keyframe
+    // is 800×600×3 ≈ 1.4 MB) or its ack lag crosses the threshold —
+    // both mark it for a fresh keyframe instead of a backlog.
+    let mut stalled = Watcher::connect(&addr, "walls", 2, 2).unwrap();
+    stalled.ack(0);
+    // A healthy viewer rides along.
+    let mut fast = Watcher::connect(&addr, "walls", 4, 2).unwrap();
+    let _ = drain(&mut fast, Duration::from_millis(400));
+
+    // Hammer mutations; request/response must stay live throughout even
+    // though one subscriber is comatose.
+    let mut hammered = Vec::new();
+    for i in 0..60 {
+        let line = format!("scroll {}", i % 7);
+        client.roundtrip(&line).unwrap().unwrap();
+        hammered.push(line);
+    }
+    client.ping().expect("request/response stays live");
+    let _ = drain(&mut fast, Duration::from_millis(400));
+
+    // The healthy viewer converged on the final state.
+    let mut all: Vec<&str> = setup.to_vec();
+    all.extend(hammered.iter().map(|s| s.as_str()));
+    let expected = local_render("walls", &all);
+    assert_eq!(
+        fast.framebuffer().bytes(),
+        expected.bytes(),
+        "fast viewer diverged while a peer was stalled"
+    );
+
+    // The server noticed the backlog and dropped the stalled viewer to a
+    // keyframe re-sync rather than queueing 60 updates behind it.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.stream.subscribers, 2);
+    assert!(stats.stream.dropped >= 1, "stats: {:?}", stats.stream);
+    assert!(stats.stream.frames > 0 && stats.stream.bytes > 0);
+
+    // The stalled viewer finally reads: whatever was in flight before
+    // the cutoff, then — once it acks up to date — a fresh keyframe of
+    // the CURRENT state, never the 60-update backlog.
+    let mut seen = drain(&mut stalled, Duration::from_millis(600));
+    assert!(!seen.is_empty());
+    if let Some(last) = stalled.last_seq() {
+        stalled.ack(last);
+    }
+    seen.extend(drain(&mut stalled, Duration::from_millis(600)));
+    assert!(stalled.keyframes() >= 2, "initial + re-sync keyframes");
+    // Per-subscriber seqs stay gapless even across the drop-to-keyframe:
+    // the encoder freezes while the viewer is cut off, so the re-sync
+    // keyframe lands at exactly the next seq.
+    let seqs: Vec<u64> = seen.iter().map(|&(s, _)| s).collect();
+    let mut uniq = seqs.clone();
+    uniq.dedup();
+    assert_eq!(
+        uniq.last().map(|&s| s + 1),
+        Some(uniq.len() as u64),
+        "stalled viewer saw a seq gap: {uniq:?}"
+    );
+    assert_eq!(
+        stalled.framebuffer().bytes(),
+        expected.bytes(),
+        "recovered viewer must land on the current state"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn migration_resyncs_subscribers_with_a_gapless_keyframe() {
+    let shards = 4;
+    let server = server(shards);
+    let addr = server.local_addr().to_string();
+    let setup = ["scenario 60 1", "cluster_all", "scroll 1"];
+    let mut client = Client::connect(&addr).unwrap();
+    run_remote(&mut client, "walls", &setup);
+
+    let mut w = Watcher::connect(&addr, "walls", 2, 2).unwrap();
+    let key = drain(&mut w, Duration::from_millis(400));
+    assert!(key.iter().all(|&(seq, k)| seq == 0 && k == FrameKind::Key));
+
+    // Move the watched session to another shard; the subscription must
+    // survive with a keyframe cut on the NEW shard, at the next seq.
+    let sid = SessionId::new("walls".to_string()).unwrap();
+    let to = (shard_of(&sid, shards) + 1) % shards;
+    client.migrate("walls", to).expect("migration succeeds");
+    let resync = drain(&mut w, Duration::from_millis(600));
+    assert_eq!(resync.len(), 4, "one keyframe per tile after migration");
+    assert!(
+        resync
+            .iter()
+            .all(|&(seq, k)| seq == 1 && k == FrameKind::Key),
+        "re-sync must be a keyframe at the next seq (no gap): {resync:?}"
+    );
+    assert_eq!(
+        w.framebuffer().bytes(),
+        local_render("walls", &setup).bytes(),
+        "post-migration keyframe diverged from local render"
+    );
+
+    // The stream keeps flowing from the new shard.
+    client.roundtrip("scroll 3").unwrap().unwrap();
+    let after = drain(&mut w, Duration::from_millis(400));
+    assert!(!after.is_empty(), "stream died after migration");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn unsubscribe_stops_the_stream_and_is_idempotent() {
+    let server = server(2);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    run_remote(&mut client, "walls", &["scenario 60 1"]);
+
+    let mut w = Watcher::connect(&addr, "walls", 2, 2).unwrap();
+    let _ = drain(&mut w, Duration::from_millis(400));
+    w.set_read_timeout(None).unwrap();
+    w.unsubscribe().expect("unsubscribe acks");
+
+    // Mutations after unsubscribe must not reach the ex-viewer.
+    client.roundtrip("scroll 5").unwrap().unwrap();
+    client.roundtrip("toggle_sync").unwrap().unwrap();
+    let after = drain(&mut w, Duration::from_millis(400));
+    assert!(after.is_empty(), "frames after unsubscribe: {after:?}");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.stream.subscribers, 0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn subscribe_validation_rejects_bad_grids() {
+    let server = server(1);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    // 800x600 does not divide into 7x3 tiles.
+    let err = client
+        .roundtrip("subscribe walls 7x3")
+        .unwrap()
+        .expect_err("grid must divide the scene");
+    assert_eq!(err.code, fv_api::ErrorCode::InvalidRequest);
+    assert!(err.message.contains("does not divide"), "{}", err.message);
+    // Malformed grids are parse errors.
+    let err = client
+        .roundtrip("subscribe walls 4by2")
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(err.code, fv_api::ErrorCode::Parse);
+    let err = client
+        .roundtrip("subscribe walls 0x2")
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(err.code, fv_api::ErrorCode::Parse);
+    // The connection survives and request/response still works.
+    client.ping().unwrap();
+    server.shutdown();
+    server.join();
+}

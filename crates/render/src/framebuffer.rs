@@ -146,6 +146,37 @@ impl Framebuffer {
         out
     }
 
+    /// Append the packed-RGB bytes of the rectangle `[x, x+w) × [y, y+h)`
+    /// to `out`, row by row. The rectangle must lie fully inside the
+    /// surface. This is the tile-streaming encoder's extraction primitive:
+    /// unlike [`Framebuffer::crop`] it allocates nothing per call.
+    pub fn copy_rect_into(&self, x: usize, y: usize, w: usize, h: usize, out: &mut Vec<u8>) {
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "copy_rect out of bounds"
+        );
+        out.reserve(w * h * 3);
+        for yy in y..y + h {
+            let i = (yy * self.width + x) * 3;
+            out.extend_from_slice(&self.data[i..i + w * 3]);
+        }
+    }
+
+    /// Overwrite the rectangle `[x, x+w) × [y, y+h)` from packed-RGB bytes
+    /// laid out row-major (`w * h * 3` bytes) — the inverse of
+    /// [`Framebuffer::copy_rect_into`], used by stream reassembly.
+    pub fn write_rect(&mut self, x: usize, y: usize, w: usize, h: usize, bytes: &[u8]) {
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "write_rect out of bounds"
+        );
+        assert_eq!(bytes.len(), w * h * 3, "write_rect payload size mismatch");
+        for yy in 0..h {
+            let i = ((y + yy) * self.width + x) * 3;
+            self.data[i..i + w * 3].copy_from_slice(&bytes[yy * w * 3..(yy + 1) * w * 3]);
+        }
+    }
+
     /// Parallel iterator over `(row_index, row_bytes)` for scanline-parallel
     /// painting.
     pub fn par_rows_mut(&mut self) -> impl IndexedParallelIterator<Item = (usize, &mut [u8])> {
@@ -280,6 +311,42 @@ mod tests {
         let mut wall = Framebuffer::new(8, 8);
         wall.blit(&tile, 4, 5);
         assert_eq!(wall.crop(4, 5, 3, 2), tile);
+    }
+
+    #[test]
+    fn copy_rect_write_rect_roundtrip() {
+        let mut fb = Framebuffer::new(6, 5);
+        fb.fill_rect(1, 2, 3, 2, Rgb::RED);
+        let mut bytes = Vec::new();
+        fb.copy_rect_into(1, 2, 3, 2, &mut bytes);
+        assert_eq!(bytes.len(), 3 * 2 * 3);
+        let mut other = Framebuffer::new(6, 5);
+        other.write_rect(1, 2, 3, 2, &bytes);
+        assert_eq!(other, fb);
+    }
+
+    #[test]
+    fn copy_rect_matches_crop() {
+        let mut fb = Framebuffer::new(7, 7);
+        fb.fill_rect(0, 0, 7, 7, Rgb::new(3, 1, 4));
+        fb.fill_rect(2, 2, 2, 2, Rgb::new(1, 5, 9));
+        let mut bytes = Vec::new();
+        fb.copy_rect_into(1, 1, 4, 3, &mut bytes);
+        assert_eq!(bytes, fb.crop(1, 1, 4, 3).bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_rect out of bounds")]
+    fn copy_rect_oob_panics() {
+        let fb = Framebuffer::new(3, 3);
+        fb.copy_rect_into(2, 2, 2, 2, &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size mismatch")]
+    fn write_rect_bad_payload_panics() {
+        let mut fb = Framebuffer::new(3, 3);
+        fb.write_rect(0, 0, 2, 2, &[0u8; 5]);
     }
 
     #[test]

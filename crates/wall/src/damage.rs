@@ -15,6 +15,13 @@ pub struct DamageTracker {
 }
 
 impl DamageTracker {
+    /// Maximum rectangles tracked before the tracker collapses everything
+    /// into one bounding box. Each `add` re-scans the list until no merge
+    /// fires, so an interaction storm of disjoint rects would otherwise
+    /// cost O(n²) per frame at wall scale; past the cap, one conservative
+    /// box (never under-reporting damage) keeps every `add` O(cap).
+    pub const MAX_RECTS: usize = 64;
+
     /// Empty tracker.
     pub fn new() -> Self {
         DamageTracker::default()
@@ -22,7 +29,9 @@ impl DamageTracker {
 
     /// Mark a rectangle dirty. Rectangles that touch or overlap an existing
     /// entry are merged into its bounding box (cheap, slightly
-    /// conservative — never under-reports damage).
+    /// conservative — never under-reports damage). Once more than
+    /// [`DamageTracker::MAX_RECTS`] disjoint rects accumulate, the whole
+    /// set collapses to its bounding box.
     pub fn add(&mut self, rect: Viewport) {
         if rect.w == 0 || rect.h == 0 {
             return;
@@ -44,6 +53,15 @@ impl DamageTracker {
             }
         }
         self.rects.push(merged);
+        if self.rects.len() > Self::MAX_RECTS {
+            let all = self
+                .rects
+                .iter()
+                .skip(1)
+                .fold(self.rects[0], |acc, r| bounding_box(&acc, r));
+            self.rects.clear();
+            self.rects.push(all);
+        }
     }
 
     /// The current dirty rectangles.
@@ -166,6 +184,38 @@ mod tests {
         t.add(vp(0, 0, 2, 2));
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rect_count_stays_capped_under_interaction_storm() {
+        // Thousands of pairwise-disjoint rects (stride 3, size 1) — the
+        // pre-cap worst case, where every `add` re-scanned the whole list.
+        let mut t = DamageTracker::new();
+        for i in 0..5_000usize {
+            t.add(vp((i % 500) * 3, (i / 500) * 3, 1, 1));
+        }
+        assert!(
+            t.rects().len() <= DamageTracker::MAX_RECTS,
+            "tracked {} rects",
+            t.rects().len()
+        );
+        // Coverage is never lost: the final single box spans all inputs.
+        for &(x, y) in &[(0, 0), (499 * 3, 9 * 3), (250 * 3, 5 * 3)] {
+            assert!(
+                t.rects().iter().any(|d| d.contains(x, y)),
+                "pixel ({x},{y}) not covered after collapse"
+            );
+        }
+    }
+
+    #[test]
+    fn collapse_past_cap_is_single_bounding_box() {
+        let mut t = DamageTracker::new();
+        for i in 0..=DamageTracker::MAX_RECTS {
+            t.add(vp(i * 10, 0, 2, 2));
+        }
+        assert_eq!(t.rects().len(), 1);
+        assert_eq!(t.rects()[0], vp(0, 0, DamageTracker::MAX_RECTS * 10 + 2, 2));
     }
 
     #[test]

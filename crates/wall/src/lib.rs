@@ -18,6 +18,8 @@
 //!   scheduler,
 //! - [`net`] — a distribution cost model (per-message latency + bandwidth)
 //!   for shipping rendered tiles to their display nodes,
+//! - [`stream`] — the tile-frame codec the fv-stream pub/sub plane ships
+//!   over TCP (key/delta frames, encoder, viewer-side assembler),
 //! - [`stats`] — per-frame counters.
 
 pub mod damage;
@@ -25,6 +27,7 @@ pub mod net;
 pub mod pipeline;
 pub mod renderer;
 pub mod stats;
+pub mod stream;
 pub mod tile;
 
 pub use renderer::WallRenderer;

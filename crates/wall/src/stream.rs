@@ -1,0 +1,575 @@
+//! Tile-frame codec for fv-stream.
+//!
+//! The pub/sub streaming plane ships wall content as **tile frames**: each
+//! frame is a text header line followed by a raw packed-RGB payload,
+//!
+//! ```text
+//! tile <seq> <key|delta> <tile_index> <x>:<y>:<w>:<h> <nbytes>\n<nbytes of RGB>
+//! ```
+//!
+//! where the rectangle is in wall pixel coordinates and always lies inside
+//! the named tile's viewport (`nbytes == w * h * 3`). A **key** frame
+//! carries a whole tile; a **delta** frame carries only a damaged
+//! sub-rectangle. All frames of one published update share one `seq`, and a
+//! subscriber that sees contiguous `seq` values has missed nothing — the
+//! server re-syncs a lagging subscriber with a fresh keyframe burst rather
+//! than ever skipping a `seq`.
+//!
+//! This module is transport-agnostic: [`TileStreamEncoder`] turns a wall
+//! [`Framebuffer`] plus damage into frames, [`decode`] is the incremental
+//! wire parser, and [`TileAssembler`] is the viewer-side inverse that
+//! reassembles frames into a framebuffer.
+
+use crate::damage::DamageTracker;
+use crate::tile::{TileGrid, Viewport};
+use fv_render::Framebuffer;
+
+/// Keyword opening every tile-frame header line.
+pub const FRAME_KEYWORD: &str = "tile";
+
+/// Longest header line the decoder will buffer before giving up.
+const MAX_HEADER: usize = 256;
+
+/// Whether a frame carries a whole tile or a damaged sub-rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Full tile contents; resets the viewer's tile unconditionally.
+    Key,
+    /// Damage-limited update to part of a tile.
+    Delta,
+}
+
+impl FrameKind {
+    /// Wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrameKind::Key => "key",
+            FrameKind::Delta => "delta",
+        }
+    }
+
+    /// Parse a wire token.
+    pub fn from_str_token(s: &str) -> Option<FrameKind> {
+        match s {
+            "key" => Some(FrameKind::Key),
+            "delta" => Some(FrameKind::Delta),
+            _ => None,
+        }
+    }
+}
+
+/// One streamed update to one tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileFrame {
+    /// Publish sequence number; every frame of one update shares it.
+    pub seq: u64,
+    /// Key or delta.
+    pub kind: FrameKind,
+    /// Linear (row-major) tile index in the subscriber's grid.
+    pub tile: usize,
+    /// Updated rectangle in wall pixel coordinates.
+    pub rect: Viewport,
+    /// Packed RGB, row-major, `rect.w * rect.h * 3` bytes.
+    pub pixels: Vec<u8>,
+}
+
+impl TileFrame {
+    /// Total encoded size (header line + payload).
+    pub fn encoded_len(&self) -> usize {
+        self.header().len() + self.pixels.len()
+    }
+
+    fn header(&self) -> String {
+        format!(
+            "{} {} {} {} {}:{}:{}:{} {}\n",
+            FRAME_KEYWORD,
+            self.seq,
+            self.kind.as_str(),
+            self.tile,
+            self.rect.x,
+            self.rect.y,
+            self.rect.w,
+            self.rect.h,
+            self.pixels.len()
+        )
+    }
+
+    /// Append the wire encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        debug_assert_eq!(self.pixels.len(), self.rect.area() * 3);
+        out.extend_from_slice(self.header().as_bytes());
+        out.extend_from_slice(&self.pixels);
+    }
+
+    /// The wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// A malformed tile frame on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamError(pub String);
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+fn bad(msg: impl Into<String>) -> StreamError {
+    StreamError(msg.into())
+}
+
+/// Incrementally decode one tile frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete frame
+/// (read more bytes and retry), or `Ok(Some((frame, consumed)))` where
+/// `consumed` bytes should be drained from the front of the buffer.
+pub fn decode(buf: &[u8]) -> Result<Option<(TileFrame, usize)>, StreamError> {
+    let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+        if buf.len() > MAX_HEADER {
+            return Err(bad("tile frame header too long"));
+        }
+        return Ok(None);
+    };
+    if nl > MAX_HEADER {
+        return Err(bad("tile frame header too long"));
+    }
+    let header = std::str::from_utf8(&buf[..nl])
+        .map_err(|_| bad("tile frame header is not utf-8"))?
+        .trim_end_matches('\r');
+    let mut it = header.split_ascii_whitespace();
+    if it.next() != Some(FRAME_KEYWORD) {
+        return Err(bad(format!("expected tile frame header, got {header:?}")));
+    }
+    let mut field = |what: &str| {
+        it.next()
+            .ok_or_else(|| bad(format!("tile frame header missing {what}")))
+    };
+    let seq: u64 = field("seq")?
+        .parse()
+        .map_err(|_| bad("tile frame seq is not a number"))?;
+    let kind = FrameKind::from_str_token(field("kind")?)
+        .ok_or_else(|| bad("tile frame kind must be key or delta"))?;
+    let tile: usize = field("tile index")?
+        .parse()
+        .map_err(|_| bad("tile frame index is not a number"))?;
+    let rect_tok = field("rect")?;
+    let mut parts = rect_tok.split(':');
+    let mut dim = |what: &str| -> Result<usize, StreamError> {
+        parts
+            .next()
+            .ok_or_else(|| bad(format!("tile frame rect missing {what}")))?
+            .parse()
+            .map_err(|_| bad(format!("tile frame rect {what} is not a number")))
+    };
+    let rect = Viewport {
+        x: dim("x")?,
+        y: dim("y")?,
+        w: dim("w")?,
+        h: dim("h")?,
+    };
+    if parts.next().is_some() {
+        return Err(bad("tile frame rect has trailing fields"));
+    }
+    let nbytes: usize = field("payload length")?
+        .parse()
+        .map_err(|_| bad("tile frame payload length is not a number"))?;
+    if it.next().is_some() {
+        return Err(bad("tile frame header has trailing fields"));
+    }
+    if rect.w == 0 || rect.h == 0 {
+        return Err(bad("tile frame rect is empty"));
+    }
+    if nbytes != rect.area() * 3 {
+        return Err(bad(format!(
+            "tile frame payload length {nbytes} does not match rect {}x{}",
+            rect.w, rect.h
+        )));
+    }
+    let body = nl + 1;
+    if buf.len() < body + nbytes {
+        return Ok(None);
+    }
+    let frame = TileFrame {
+        seq,
+        kind,
+        tile,
+        rect,
+        pixels: buf[body..body + nbytes].to_vec(),
+    };
+    Ok(Some((frame, body + nbytes)))
+}
+
+/// Intersect damage rectangles with a grid's tiles.
+///
+/// Damage is first coalesced through a [`DamageTracker`] (overlapping or
+/// touching rects merge, and the tracker's cap bounds the work), then each
+/// coalesced rect is clipped against every tile viewport it crosses.
+/// Returns `(linear tile index, clipped rect)` pairs in tile order.
+pub fn tile_damage(grid: &TileGrid, damage: &[Viewport]) -> Vec<(usize, Viewport)> {
+    let mut tracker = DamageTracker::new();
+    let wall = Viewport {
+        x: 0,
+        y: 0,
+        w: grid.wall_width(),
+        h: grid.wall_height(),
+    };
+    for r in damage {
+        if let Some(clipped) = r.intersect(&wall) {
+            tracker.add(clipped);
+        }
+    }
+    let mut out = Vec::new();
+    for i in 0..grid.n_tiles() {
+        let vp = grid.tile_viewport_linear(i);
+        let mut tile_tracker = DamageTracker::new();
+        for r in tracker.rects() {
+            if let Some(hit) = vp.intersect(r) {
+                tile_tracker.add(hit);
+            }
+        }
+        out.extend(tile_tracker.take().into_iter().map(|r| (i, r)));
+    }
+    out
+}
+
+/// Per-subscriber frame producer: owns the subscriber's grid and the
+/// monotonically increasing publish sequence.
+#[derive(Debug, Clone)]
+pub struct TileStreamEncoder {
+    grid: TileGrid,
+    seq: u64,
+}
+
+impl TileStreamEncoder {
+    /// Encoder for a subscriber viewing through `grid`.
+    pub fn new(grid: TileGrid) -> Self {
+        TileStreamEncoder { grid, seq: 0 }
+    }
+
+    /// The subscriber's grid.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Sequence number the next emitted update will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Emit a full keyframe burst: one `key` frame per tile, all sharing
+    /// the next sequence number. `wall` must match the grid's dimensions.
+    pub fn keyframe(&mut self, wall: &Framebuffer) -> Vec<TileFrame> {
+        self.check_wall(wall);
+        let seq = self.seq;
+        self.seq += 1;
+        (0..self.grid.n_tiles())
+            .map(|i| {
+                let rect = self.grid.tile_viewport_linear(i);
+                let mut pixels = Vec::new();
+                wall.copy_rect_into(rect.x, rect.y, rect.w, rect.h, &mut pixels);
+                TileFrame {
+                    seq,
+                    kind: FrameKind::Key,
+                    tile: i,
+                    rect,
+                    pixels,
+                }
+            })
+            .collect()
+    }
+
+    /// Emit `delta` frames for pre-clipped `(tile, rect)` damage pairs (see
+    /// [`tile_damage`]), all sharing the next sequence number. Returns an
+    /// empty vec — and burns no sequence number — when there is no damage.
+    pub fn delta(&mut self, wall: &Framebuffer, tiles: &[(usize, Viewport)]) -> Vec<TileFrame> {
+        self.check_wall(wall);
+        if tiles.is_empty() {
+            return Vec::new();
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        tiles
+            .iter()
+            .map(|&(tile, rect)| {
+                debug_assert_eq!(
+                    self.grid.tile_viewport_linear(tile).intersect(&rect),
+                    Some(rect),
+                    "delta rect escapes its tile"
+                );
+                let mut pixels = Vec::new();
+                wall.copy_rect_into(rect.x, rect.y, rect.w, rect.h, &mut pixels);
+                TileFrame {
+                    seq,
+                    kind: FrameKind::Delta,
+                    tile,
+                    rect,
+                    pixels,
+                }
+            })
+            .collect()
+    }
+
+    fn check_wall(&self, wall: &Framebuffer) {
+        assert!(
+            wall.width() == self.grid.wall_width() && wall.height() == self.grid.wall_height(),
+            "framebuffer {}x{} does not match wall {}x{}",
+            wall.width(),
+            wall.height(),
+            self.grid.wall_width(),
+            self.grid.wall_height()
+        );
+    }
+}
+
+/// Viewer-side reassembly: applies tile frames onto a wall framebuffer.
+#[derive(Debug, Clone)]
+pub struct TileAssembler {
+    grid: TileGrid,
+    fb: Framebuffer,
+    last_seq: Option<u64>,
+    frames: u64,
+    keyframes: u64,
+}
+
+impl TileAssembler {
+    /// Blank wall for the given grid.
+    pub fn new(grid: TileGrid) -> Self {
+        TileAssembler {
+            fb: Framebuffer::new(grid.wall_width(), grid.wall_height()),
+            grid,
+            last_seq: None,
+            frames: 0,
+            keyframes: 0,
+        }
+    }
+
+    /// Validate and apply one frame.
+    pub fn apply(&mut self, frame: &TileFrame) -> Result<(), StreamError> {
+        if frame.tile >= self.grid.n_tiles() {
+            return Err(bad(format!(
+                "tile index {} out of range for {} tiles",
+                frame.tile,
+                self.grid.n_tiles()
+            )));
+        }
+        let vp = self.grid.tile_viewport_linear(frame.tile);
+        if vp.intersect(&frame.rect) != Some(frame.rect) {
+            return Err(bad(format!(
+                "frame rect {}:{}:{}:{} escapes tile {}",
+                frame.rect.x, frame.rect.y, frame.rect.w, frame.rect.h, frame.tile
+            )));
+        }
+        if frame.pixels.len() != frame.rect.area() * 3 {
+            return Err(bad("frame payload length does not match rect"));
+        }
+        if let Some(last) = self.last_seq {
+            if frame.seq < last {
+                return Err(bad(format!(
+                    "frame seq {} went backwards (last {})",
+                    frame.seq, last
+                )));
+            }
+        }
+        self.fb.write_rect(
+            frame.rect.x,
+            frame.rect.y,
+            frame.rect.w,
+            frame.rect.h,
+            &frame.pixels,
+        );
+        self.last_seq = Some(frame.seq);
+        self.frames += 1;
+        if frame.kind == FrameKind::Key {
+            self.keyframes += 1;
+        }
+        Ok(())
+    }
+
+    /// The reassembled wall.
+    pub fn framebuffer(&self) -> &Framebuffer {
+        &self.fb
+    }
+
+    /// The grid this assembler reassembles into.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Highest sequence number applied, if any.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    /// Frames applied so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Key frames applied so far (≥ `n_tiles` twice means the stream
+    /// re-synced with a fresh keyframe at least once).
+    pub fn keyframes(&self) -> u64 {
+        self.keyframes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_render::Rgb;
+
+    fn vp(x: usize, y: usize, w: usize, h: usize) -> Viewport {
+        Viewport { x, y, w, h }
+    }
+
+    fn gradient(w: usize, h: usize) -> Framebuffer {
+        let mut fb = Framebuffer::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                fb.put(x as i64, y as i64, Rgb::new(x as u8, y as u8, 7));
+            }
+        }
+        fb
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = TileFrame {
+            seq: 42,
+            kind: FrameKind::Delta,
+            tile: 3,
+            rect: vp(10, 20, 4, 2),
+            pixels: (0..24).collect(),
+        };
+        let wire = f.encode();
+        let (back, used) = decode(&wire).unwrap().unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn decode_incomplete_returns_none() {
+        let f = TileFrame {
+            seq: 0,
+            kind: FrameKind::Key,
+            tile: 0,
+            rect: vp(0, 0, 2, 2),
+            pixels: vec![9; 12],
+        };
+        let wire = f.encode();
+        for cut in 0..wire.len() {
+            assert_eq!(decode(&wire[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"nonsense header\n").is_err());
+        assert!(decode(b"tile x key 0 0:0:1:1 3\n").is_err());
+        assert!(decode(b"tile 0 huh 0 0:0:1:1 3\n").is_err());
+        assert!(decode(b"tile 0 key 0 0:0:1:1 5\n").is_err()); // wrong nbytes
+        assert!(decode(b"tile 0 key 0 0:0:0:1 0\n").is_err()); // empty rect
+        assert!(decode(b"tile 0 key 0 0:0:1:1 3 extra\n").is_err());
+        let long = vec![b'x'; MAX_HEADER + 2];
+        assert!(decode(&long).is_err());
+    }
+
+    #[test]
+    fn keyframe_covers_wall_and_reassembles() {
+        let grid = TileGrid::new(3, 2, 8, 4);
+        let wall = gradient(24, 8);
+        let mut enc = TileStreamEncoder::new(grid);
+        let frames = enc.keyframe(&wall);
+        assert_eq!(frames.len(), 6);
+        assert!(frames
+            .iter()
+            .all(|f| f.seq == 0 && f.kind == FrameKind::Key));
+        let mut asm = TileAssembler::new(grid);
+        for f in &frames {
+            asm.apply(f).unwrap();
+        }
+        assert_eq!(asm.framebuffer(), &wall);
+        assert_eq!(asm.keyframes(), 6);
+    }
+
+    #[test]
+    fn delta_ships_only_damage_and_converges() {
+        let grid = TileGrid::new(2, 2, 8, 8);
+        let before = gradient(16, 16);
+        let mut after = before.clone();
+        after.fill_rect(6, 6, 5, 5, Rgb::new(200, 0, 0)); // crosses all 4 tiles
+
+        let mut enc = TileStreamEncoder::new(grid);
+        let mut asm = TileAssembler::new(grid);
+        for f in enc.keyframe(&before) {
+            asm.apply(&f).unwrap();
+        }
+        let tiles = tile_damage(&grid, &[vp(6, 6, 5, 5)]);
+        assert_eq!(tiles.len(), 4, "damage crosses four tiles");
+        let frames = enc.delta(&after, &tiles);
+        let shipped: usize = frames.iter().map(|f| f.pixels.len()).sum();
+        assert!(shipped < after.bytes().len() / 4, "delta should be small");
+        for f in &frames {
+            assert_eq!(f.seq, 1);
+            asm.apply(f).unwrap();
+        }
+        assert_eq!(asm.framebuffer(), &after);
+    }
+
+    #[test]
+    fn empty_damage_burns_no_seq() {
+        let grid = TileGrid::new(1, 1, 4, 4);
+        let wall = gradient(4, 4);
+        let mut enc = TileStreamEncoder::new(grid);
+        assert!(enc.delta(&wall, &[]).is_empty());
+        assert_eq!(enc.next_seq(), 0);
+    }
+
+    #[test]
+    fn tile_damage_clips_to_wall() {
+        let grid = TileGrid::new(2, 1, 4, 4);
+        let tiles = tile_damage(&grid, &[vp(6, 2, 100, 100)]);
+        assert_eq!(tiles, vec![(1, vp(6, 2, 2, 2))]);
+        assert!(tile_damage(&grid, &[vp(50, 50, 3, 3)]).is_empty());
+    }
+
+    #[test]
+    fn assembler_rejects_bad_frames() {
+        let grid = TileGrid::new(2, 1, 4, 4);
+        let mut asm = TileAssembler::new(grid);
+        let escape = TileFrame {
+            seq: 0,
+            kind: FrameKind::Delta,
+            tile: 0,
+            rect: vp(2, 0, 4, 2), // spills into tile 1
+            pixels: vec![0; 24],
+        };
+        assert!(asm.apply(&escape).is_err());
+        let oob = TileFrame {
+            seq: 0,
+            kind: FrameKind::Key,
+            tile: 9,
+            rect: vp(0, 0, 1, 1),
+            pixels: vec![0; 3],
+        };
+        assert!(asm.apply(&oob).is_err());
+    }
+
+    #[test]
+    fn assembler_rejects_seq_regression() {
+        let grid = TileGrid::new(1, 1, 2, 2);
+        let wall = gradient(2, 2);
+        let mut enc = TileStreamEncoder::new(grid);
+        let mut asm = TileAssembler::new(grid);
+        let k0 = enc.keyframe(&wall);
+        let k1 = enc.keyframe(&wall);
+        asm.apply(&k1[0]).unwrap();
+        assert!(asm.apply(&k0[0]).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the wall simulator: damage merging never loses
+//! coverage and stays bounded, tile geometry round-trips, and the
+//! fv-stream tile-frame codec is an exact encode/decode inverse.
+
+use fv_wall::damage::DamageTracker;
+use fv_wall::stream::{decode, FrameKind, TileFrame};
+use fv_wall::tile::{TileGrid, Viewport};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_rect()(
+        x in 0usize..200,
+        y in 0usize..200,
+        w in 1usize..40,
+        h in 1usize..40,
+    ) -> Viewport {
+        Viewport { x, y, w, h }
+    }
+}
+
+prop_compose! {
+    fn arb_grid()(
+        tiles_x in 1usize..7,
+        tiles_y in 1usize..5,
+        tile_w in 1usize..40,
+        tile_h in 1usize..40,
+    ) -> TileGrid {
+        TileGrid::new(tiles_x, tiles_y, tile_w, tile_h)
+    }
+}
+
+prop_compose! {
+    fn arb_frame()(
+        seq in any::<u64>(),
+        key in any::<bool>(),
+        tile in 0usize..64,
+        x in 0usize..5000,
+        y in 0usize..5000,
+        w in 1usize..32,
+        h in 1usize..32,
+        seed in any::<u64>(),
+    ) -> TileFrame {
+        let rect = Viewport { x, y, w, h };
+        let mut s = seed | 1;
+        let pixels = (0..rect.area() * 3)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s & 0xFF) as u8
+            })
+            .collect();
+        TileFrame {
+            seq,
+            kind: if key { FrameKind::Key } else { FrameKind::Delta },
+            tile,
+            rect,
+            pixels,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn damage_merge_never_loses_coverage(rects in prop::collection::vec(arb_rect(), 1..80)) {
+        let mut t = DamageTracker::new();
+        for r in &rects {
+            t.add(*r);
+        }
+        // Every input corner pixel (cheap proxy for every input pixel) is
+        // still covered by some tracked rect.
+        for r in &rects {
+            for &(px, py) in &[
+                (r.x, r.y),
+                (r.x + r.w - 1, r.y),
+                (r.x, r.y + r.h - 1),
+                (r.x + r.w - 1, r.y + r.h - 1),
+            ] {
+                prop_assert!(
+                    t.rects().iter().any(|d| d.contains(px, py)),
+                    "pixel ({px},{py}) lost after merging {} rects",
+                    rects.len()
+                );
+            }
+        }
+        // The merge loop terminated (we got here) and stayed bounded.
+        prop_assert!(t.rects().len() <= DamageTracker::MAX_RECTS);
+        prop_assert!(t.rects().len() <= rects.len());
+        // Tracked rects are pairwise non-touching, else a merge was missed.
+        let tracked = t.rects();
+        for i in 0..tracked.len() {
+            for j in (i + 1)..tracked.len() {
+                let a = &tracked[i];
+                let b = &tracked[j];
+                let touches = a.x <= b.x + b.w
+                    && b.x <= a.x + a.w
+                    && a.y <= b.y + b.h
+                    && b.y <= a.y + a.h;
+                prop_assert!(!touches, "tracked rects {i} and {j} still touch");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_at_inverts_tile_viewport(grid in arb_grid(), seed in any::<u64>()) {
+        for i in 0..grid.n_tiles() {
+            let vp = grid.tile_viewport_linear(i);
+            // Any pixel of the viewport maps back to the same tile.
+            let px = vp.x + (seed as usize) % vp.w;
+            let py = vp.y + (seed as usize / 7) % vp.h;
+            let (tx, ty) = grid.tile_at(px, py).expect("viewport pixel inside wall");
+            prop_assert_eq!(ty * grid.tiles_x + tx, i);
+            prop_assert_eq!(grid.tile_viewport(tx, ty), vp);
+        }
+        prop_assert!(grid.tile_at(grid.wall_width(), 0).is_none());
+        prop_assert!(grid.tile_at(0, grid.wall_height()).is_none());
+    }
+
+    #[test]
+    fn tile_frame_encode_decode_roundtrip(frame in arb_frame(), split in any::<u64>()) {
+        let wire = frame.encode();
+        let (back, used) = decode(&wire)
+            .expect("well-formed frame decodes")
+            .expect("complete frame decodes");
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(&back, &frame);
+        // Any strict prefix is incomplete, never an error.
+        let cut = (split as usize) % wire.len();
+        prop_assert_eq!(decode(&wire[..cut]).expect("prefix is not an error"), None);
+        // Two frames back to back decode independently.
+        let mut twice = wire.clone();
+        twice.extend_from_slice(&wire);
+        let (first, used) = decode(&twice).unwrap().unwrap();
+        prop_assert_eq!(&first, &frame);
+        let (second, used2) = decode(&twice[used..]).unwrap().unwrap();
+        prop_assert_eq!(&second, &frame);
+        prop_assert_eq!(used + used2, twice.len());
+    }
+}

@@ -19,6 +19,7 @@
 //! fvtool script  <file.fvs>                          replay a request script
 //! fvtool serve   [--addr a:p] [--shards n] [--queue-limit n] [--balance auto|off] [balance knobs]   run the TCP server
 //! fvtool ping                                        probe a server (needs --remote)
+//! fvtool watch   <session> <TX>x<TY> [--frames n] [--idle-ms n] [--dally-ms n] [--verify-script f]   subscribe to the tile stream (needs --remote)
 //! fvtool stats                                       server metrics + cache gauges (needs --remote)
 //! fvtool sessions                                    list live sessions (needs --remote)
 //! fvtool migrate <session> <shard>                   move a session across shards (needs --remote)
@@ -51,6 +52,8 @@ fn usage() -> ExitCode {
          [--balance-trigger <ratio>] [--balance-settle <ratio>]\n           \
          [--balance-cooldown <ticks>] [--balance-min-load <n>]\n  \
          fvtool ping    --remote <host:port>\n  \
+         fvtool watch   <session> <TX>x<TY> [--frames <n>] [--idle-ms <n>] [--dally-ms <n>]\n           \
+         [--verify-script <file.fvs>] --remote <host:port>\n  \
          fvtool stats   --remote <host:port>\n  \
          fvtool sessions --remote <host:port>\n  \
          fvtool migrate <session> <shard> --remote <host:port>\n  \
@@ -402,6 +405,152 @@ fn cmd_serve(args: &[String]) -> Result<(), ApiError> {
     Ok(())
 }
 
+/// Subscribe to a session's tile stream and reassemble the wall
+/// locally, printing one summary line per frame burst (all tiles that
+/// share a seq). Stops after `--frames` distinct seqs or once the
+/// stream goes idle for `--idle-ms`; `--dally-ms` sleeps between reads
+/// to simulate a slow viewer (exercising the server's drop-to-keyframe
+/// path); `--verify-script` replays a script locally and byte-compares
+/// the reassembled wall against the local render.
+fn cmd_watch(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
+    let addr = remote.ok_or_else(|| ApiError::invalid("watch needs --remote <addr>"))?;
+    let [session, grid, opts @ ..] = args else {
+        return Err(ApiError::invalid(
+            "watch needs <session> <TX>x<TY> [--frames <n>] [--idle-ms <n>] \
+             [--dally-ms <n>] [--verify-script <file.fvs>]",
+        ));
+    };
+    let (tiles_x, tiles_y) = grid
+        .split_once('x')
+        .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+        .filter(|&(a, b)| a > 0 && b > 0)
+        .ok_or_else(|| ApiError::parse(format!("tile grid is <TX>x<TY>, got {grid:?}")))?;
+    let mut max_seqs: Option<u64> = None;
+    let mut idle_ms: u64 = 2000;
+    let mut dally_ms: u64 = 0;
+    let mut verify: Option<String> = None;
+    let mut it = opts.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| ApiError::invalid(format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--frames" => {
+                max_seqs = Some(
+                    value("--frames")?
+                        .parse()
+                        .map_err(|_| ApiError::parse("bad --frames count"))?,
+                );
+            }
+            "--idle-ms" => {
+                idle_ms = value("--idle-ms")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --idle-ms"))?;
+            }
+            "--dally-ms" => {
+                dally_ms = value("--dally-ms")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --dally-ms"))?;
+            }
+            "--verify-script" => verify = Some(value("--verify-script")?.clone()),
+            other => {
+                return Err(ApiError::invalid(format!("unknown watch option {other:?}")));
+            }
+        }
+    }
+
+    let mut watcher = fv_net::Watcher::connect(addr, session, tiles_x, tiles_y)?;
+    watcher
+        .set_read_timeout(Some(std::time::Duration::from_millis(idle_ms.max(1))))
+        .map_err(|e| ApiError::io(e.to_string()))?;
+    let (mut seqs, mut total_bytes) = (0u64, 0u64);
+    // (seq, kind, tiles, bytes) of the burst being accumulated.
+    let mut burst: Option<(u64, &'static str, usize, u64)> = None;
+    let flush_burst = |burst: &mut Option<(u64, &'static str, usize, u64)>| {
+        if let Some((seq, kind, tiles, bytes)) = burst.take() {
+            println!("frame seq={seq} kind={kind} tiles={tiles} bytes={bytes}");
+        }
+    };
+    while let Some(frame) = watcher.next_frame()? {
+        let frame_bytes = frame.encoded_len() as u64;
+        total_bytes += frame_bytes;
+        match &mut burst {
+            Some((seq, _, tiles, bytes)) if *seq == frame.seq => {
+                *tiles += 1;
+                *bytes += frame_bytes;
+            }
+            _ => {
+                flush_burst(&mut burst);
+                // Ack the completed burst so the server can tell a live
+                // (if slow) viewer from a comatose one.
+                if frame.seq > 0 {
+                    watcher.ack(frame.seq - 1);
+                }
+                seqs += 1;
+                burst = Some((frame.seq, frame.kind.as_str(), 1, frame_bytes));
+            }
+        }
+        if max_seqs.is_some_and(|m| seqs >= m) {
+            // The burst for the final seq may still be mid-flight; keep
+            // reading frames of that seq only (next_frame applies them),
+            // stopping at the first frame of a newer seq or on idle.
+            let last = frame.seq;
+            while let Some(extra) = watcher.next_frame()? {
+                if extra.seq != last {
+                    break;
+                }
+                let b = extra.encoded_len() as u64;
+                total_bytes += b;
+                if let Some((_, _, tiles, bytes)) = &mut burst {
+                    *tiles += 1;
+                    *bytes += b;
+                }
+            }
+            break;
+        }
+        if dally_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(dally_ms));
+        }
+    }
+    flush_burst(&mut burst);
+    if let Some(last) = watcher.last_seq() {
+        watcher.ack(last);
+    }
+    let (wall_w, wall_h) = (watcher.grid().wall_width(), watcher.grid().wall_height());
+    println!(
+        "watched session={session} seqs={seqs} frames={} keyframes={} bytes={total_bytes} wall={wall_w}x{wall_h}",
+        watcher.frames(),
+        watcher.keyframes(),
+    );
+
+    if let Some(path) = verify {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| ApiError::io(format!("{path}: {e}")))?;
+        // Replay the script on a wall-sized hub; the watched session must
+        // end up byte-identical to the reassembled stream.
+        let mut hub = EngineHub::with_scene(wall_w, wall_h);
+        hub.run_script(&text)?;
+        let sid = fv_api::SessionId::new(session.clone())?;
+        let engine = hub.get(&sid).ok_or_else(|| {
+            ApiError::invalid(format!("verify script does not create session {session:?}"))
+        })?;
+        let expected = forestview::renderer::render_desktop(engine.session(), wall_w, wall_h);
+        if expected.bytes() == watcher.framebuffer().bytes() {
+            println!(
+                "verify ok: wall matches local render ({wall_w}x{wall_h}, {} bytes)",
+                expected.bytes().len()
+            );
+        } else {
+            return Err(ApiError::new(
+                fv_api::ErrorCode::Internal,
+                format!("verify FAILED: reassembled wall differs from local render of {path}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Why an invocation failed: an unrecognized command line (print usage)
 /// or a protocol error from executing a recognized one.
 enum Failure {
@@ -432,6 +581,7 @@ fn run(cmd: &str, rest: &[String], remote: Option<&str>) -> Result<(), Failure> 
             println!("pong");
             return Ok(());
         }
+        "watch" => return Ok(cmd_watch(remote, rest)?),
         "shutdown" => {
             let addr = remote.ok_or_else(|| ApiError::invalid("shutdown needs --remote <addr>"))?;
             fv_net::Client::connect(addr)?.shutdown_server()?;
