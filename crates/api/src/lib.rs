@@ -62,6 +62,7 @@ pub mod error;
 pub mod hub;
 pub mod request;
 pub mod response;
+pub mod trace;
 
 pub use cache::{CacheStats, DatasetCache};
 pub use codec::{
@@ -74,3 +75,7 @@ pub use error::{ApiError, ErrorCode};
 pub use hub::{EngineHub, ScriptOutcome, SessionId};
 pub use request::{Mutation, NormalizeMethod, Query, Request, SelectionExport};
 pub use response::Response;
+pub use trace::{
+    format_trace, format_trace_line, parse_trace, parse_trace_line, trace_recvs, trace_sends,
+    TraceEvent, TRACE_HEADER, TRACE_VERSION,
+};

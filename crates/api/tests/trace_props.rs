@@ -1,0 +1,156 @@
+//! Trace-codec round-trip property tests:
+//! `parse_trace_line(format_trace_line(e)) == e` for every representable
+//! [`TraceEvent`] — send lines with non-ASCII session names, multi-line
+//! `recv ok` bodies (blank lines, frame-header lookalikes, indented
+//! continuations), and `recv err` events across every frozen error code
+//! — plus the whole-trace inverse `parse_trace(format_trace(es)) == es`.
+
+use fv_api::trace::{format_trace, format_trace_line, parse_trace, parse_trace_line, TraceEvent};
+use fv_api::{ApiError, ErrorCode};
+use proptest::prelude::*;
+use proptest::strategy::FnStrategy;
+use proptest::test_runner::TestRng;
+
+fn rng_char(rng: &mut TestRng, chars: &[char]) -> char {
+    chars[rng.below(chars.len() as u64) as usize]
+}
+
+/// A session-name token: single word, no whitespace — including the
+/// non-ASCII alphabets the wire grammar allows in session names.
+fn arb_session_token(rng: &mut TestRng) -> String {
+    const CHARS: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', '_', '.', '-', 'α', 'λ', 'φ', 'Ω', 'ß', 'é', '京', '都',
+        '🜁',
+    ];
+    let len = 1 + rng.below(8) as usize;
+    (0..len).map(|_| rng_char(rng, CHARS)).collect()
+}
+
+/// A send payload: either a `use`/`close` directive with a (possibly
+/// non-ASCII) session name, or a word-salad request-looking line. The
+/// trace codec carries payloads verbatim, so the domain is any single
+/// line without newlines.
+fn arb_send_line(rng: &mut TestRng) -> String {
+    match rng.below(4) {
+        0 => format!("use {}", arb_session_token(rng)),
+        1 => format!("close {}", arb_session_token(rng)),
+        2 => "ping".to_string(),
+        _ => {
+            const WORDS: &[&str] = &[
+                "scenario",
+                "200",
+                "42",
+                "cluster_all",
+                "render",
+                "320",
+                "240",
+                "spell",
+                "5",
+                "YAL001C,YBR002W",
+                "search",
+                "heat",
+                "shock",
+            ];
+            let n = 1 + rng.below(4) as usize;
+            (0..n)
+                .map(|_| WORDS[rng.below(WORDS.len() as u64) as usize])
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    }
+}
+
+/// A reply body line: plain words, blank, a frame-header lookalike, or a
+/// line already carrying the response codec's two-space indent — all of
+/// which the trace continuation framing must preserve byte-for-byte.
+fn arb_body_line(rng: &mut TestRng) -> String {
+    match rng.below(6) {
+        0 => String::new(),
+        1 => "ok 3 looks like a success frame".to_string(),
+        2 => "err E_FAKE looks like an error frame".to_string(),
+        3 => format!("  session {} shard=0 datasets=2", arb_session_token(rng)),
+        _ => format!("applied selection={} damage=-", rng.below(100)),
+    }
+}
+
+fn arb_body(rng: &mut TestRng) -> String {
+    let n = rng.below(5) as usize;
+    (0..n + usize::from(n == 0 && rng.below(2) == 0))
+        .map(|_| arb_body_line(rng))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+const CODES: &[ErrorCode] = &[
+    ErrorCode::Parse,
+    ErrorCode::InvalidRequest,
+    ErrorCode::NotFound,
+    ErrorCode::AlreadyExists,
+    ErrorCode::Io,
+    ErrorCode::Format,
+    ErrorCode::MissingContext,
+    ErrorCode::Busy,
+    ErrorCode::Internal,
+];
+
+fn arb_error(rng: &mut TestRng) -> ApiError {
+    let code = CODES[rng.below(CODES.len() as u64) as usize];
+    let message = match rng.below(4) {
+        0 => String::new(),
+        1 => "pending request queue is full (3 pending, limit 3); the request was not executed"
+            .to_string(),
+        2 => format!(
+            "skipped: request {} earlier in this run failed",
+            rng.below(9)
+        ),
+        _ => format!("no session named {}", arb_session_token(rng)),
+    };
+    ApiError::new(code, message)
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    FnStrategy::new(|rng: &mut TestRng| match rng.below(3) {
+        0 => TraceEvent::Send(arb_send_line(rng)),
+        1 => TraceEvent::Recv(Ok(arb_body(rng))),
+        _ => TraceEvent::Recv(Err(arb_error(rng))),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn format_then_parse_line_is_identity(event in arb_event()) {
+        let text = format_trace_line(&event);
+        let parsed = parse_trace_line(&text);
+        prop_assert!(parsed.is_ok(), "format produced unparseable {text:?}: {parsed:?}");
+        prop_assert_eq!(parsed.unwrap(), event, "text was {}", text);
+        // canonical form is a fixed point
+        let again = parse_trace_line(&text).unwrap();
+        prop_assert_eq!(format_trace_line(&again), text);
+    }
+
+    #[test]
+    fn format_then_parse_trace_is_identity(
+        events in prop::collection::vec(arb_event(), 0..20),
+    ) {
+        let text = format_trace(&events);
+        let parsed = parse_trace(&text);
+        prop_assert!(parsed.is_ok(), "format produced unparseable trace: {parsed:?}\n{text}");
+        prop_assert_eq!(parsed.unwrap(), events.clone());
+        // annotations between events don't change the parse (comments
+        // cannot interrupt a continuation block, so they go before heads)
+        let mut annotated: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("  ") {
+                    format!("{l}\n")
+                } else {
+                    format!("# note\n\n{l}\n")
+                }
+            })
+            .collect();
+        annotated.push_str("# trailing note\n");
+        prop_assert_eq!(parse_trace(&annotated).unwrap(), events);
+    }
+}

@@ -1,0 +1,73 @@
+//! The workload generator (fv-synth) is deliberately decoupled from this
+//! crate's codec — it formats its own wire lines. These tests close the
+//! loop: every line every scenario emits must parse under the real wire
+//! grammar as a *script* item (never a transport control), and a
+//! generated client stream must replay cleanly through a local
+//! [`EngineHub`].
+
+use fv_api::codec::{parse_script, parse_wire_line, WireItem};
+use fv_api::EngineHub;
+use fv_synth::workload::{generate, WorkloadKind, WorkloadSpec, WORKLOAD_KINDS};
+
+#[test]
+fn every_generated_line_parses_as_a_script_item() {
+    for &kind in WORKLOAD_KINDS {
+        let spec = WorkloadSpec {
+            kind,
+            clients: 4,
+            bursts: 12,
+            n_genes: 90,
+            seed: 20070331,
+        };
+        for script in generate(&spec) {
+            for line in script.wire_lines() {
+                match parse_wire_line(&line) {
+                    Ok(Some(WireItem::Script(_))) => {}
+                    other => panic!("{kind}: line {line:?} is not a script item: {other:?}"),
+                }
+            }
+            // the stream is also a valid script file, wholesale
+            parse_script(&script.script_text())
+                .unwrap_or_else(|e| panic!("{kind}: stream rejected as a script: {e}"));
+        }
+    }
+}
+
+#[test]
+fn generated_streams_replay_cleanly_through_a_local_hub() {
+    let spec = WorkloadSpec {
+        kind: WorkloadKind::Mixed,
+        clients: 3,
+        bursts: 4,
+        n_genes: 60,
+        seed: 7,
+    };
+    for script in generate(&spec) {
+        let mut hub = EngineHub::with_scene(640, 480);
+        let outcome = hub
+            .run_script(&script.script_text())
+            .unwrap_or_else(|e| panic!("{}: generated stream failed locally: {e}", script.session));
+        assert!(
+            !outcome.entries.is_empty(),
+            "{}: replay produced no transcript",
+            script.session
+        );
+    }
+}
+
+#[test]
+fn replay_of_equal_streams_is_byte_identical() {
+    let spec = WorkloadSpec {
+        kind: WorkloadKind::ClusterLoop,
+        clients: 1,
+        bursts: 3,
+        n_genes: 60,
+        seed: 99,
+    };
+    let script = &generate(&spec)[0];
+    let run = || {
+        let mut hub = EngineHub::with_scene(640, 480);
+        hub.run_script(&script.script_text()).unwrap().transcript()
+    };
+    assert_eq!(run(), run(), "two fresh local replays must match");
+}

@@ -69,15 +69,19 @@ pub mod client;
 pub mod frame;
 pub mod metrics;
 mod poll;
+pub mod replay;
 pub mod server;
 pub mod shard;
 pub mod stream;
+pub mod tap;
 
 pub use balance::{
     plan_moves, BalanceConfig, BalanceMode, BalanceStatus, Balancer, MovePlan, ShardSnapshot,
 };
 pub use client::{run_script_remote, Client};
 pub use metrics::{ServerStats, ShardStats};
+pub use replay::{recv_transcript, replay_local, replay_on_hub, replay_remote, ReplayOutcome};
 pub use server::{Server, ServerConfig};
 pub use shard::shard_of;
 pub use stream::Watcher;
+pub use tap::{record_session, ReplyAssembler};

@@ -5,7 +5,7 @@
 //! as `fv-api` response text, so transcripts stay line-parseable:
 //!
 //! ```text
-//! stats shards=2 connections=1 sessions=3 frames_in=12 frames_out=11 busy=0 runs=5 requests=9 max_run=4 cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0
+//! stats shards=2 connections=1 sessions=3 frames_in=12 frames_out=11 busy=0 garbage=0 disconnects=0 runs=5 requests=9 max_run=4 cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0
 //!   stream subscribers=2 frames=48 bytes=1843298 pixels=614400 coalesced=3 dropped=1 link_us=19546
 //!   shard 0 sessions=2 queued=0 runs=3 requests=6 max_run=4 lat_us=0,2,3,1,0,0,0,0,0,0 lat_max_us=812
 //!   shard 1 sessions=1 queued=0 runs=2 requests=3 max_run=2 lat_us=0,1,2,0,0,0,0,0,0,0 lat_max_us=401
@@ -168,6 +168,16 @@ pub struct ServerStats {
     pub frames_out: u64,
     /// Requests rejected with `E_BUSY` by the per-connection queue bound.
     pub busy_rejections: u64,
+    /// Garbage frames accepted then rejected: request lines that failed
+    /// framing (over [`crate::frame::MAX_LINE`] or not UTF-8) and were
+    /// answered with a typed `err` instead of tearing the connection
+    /// down. The soak harness's chaos injectors drive this counter.
+    pub garbage_frames: u64,
+    /// Connections that disconnected with unanswered work still pending
+    /// (queued, in flight, or buffered responses unflushed) — mid-run
+    /// drops, as injected by the soak harness. Clean closes at a
+    /// request boundary are not counted.
+    pub dirty_disconnects: u64,
     /// Sum of per-shard executed runs.
     pub runs: u64,
     /// Sum of per-shard attempted requests (see [`ShardStats::requests`]).
@@ -203,13 +213,15 @@ pub struct ServerStats {
 /// [`parse_stats`].
 pub fn format_stats(stats: &ServerStats) -> String {
     let mut out = format!(
-        "stats shards={} connections={} sessions={} frames_in={} frames_out={} busy={} runs={} requests={} max_run={} cache_entries={} cache_hits={} cache_misses={} cache_evictions={} balancer_ticks={} balancer_moves={} balancer_failed={}",
+        "stats shards={} connections={} sessions={} frames_in={} frames_out={} busy={} garbage={} disconnects={} runs={} requests={} max_run={} cache_entries={} cache_hits={} cache_misses={} cache_evictions={} balancer_ticks={} balancer_moves={} balancer_failed={}",
         stats.shards.len(),
         stats.connections,
         stats.sessions,
         stats.frames_in,
         stats.frames_out,
         stats.busy_rejections,
+        stats.garbage_frames,
+        stats.dirty_disconnects,
         stats.runs,
         stats.requests,
         stats.max_run,
@@ -299,6 +311,8 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
         frames_in: num(field(tail, "frames_in")?, "frames_in")?,
         frames_out: num(field(tail, "frames_out")?, "frames_out")?,
         busy_rejections: num(field(tail, "busy")?, "busy")?,
+        garbage_frames: num(field(tail, "garbage")?, "garbage")?,
+        dirty_disconnects: num(field(tail, "disconnects")?, "disconnects")?,
         runs: num(field(tail, "runs")?, "runs")?,
         requests: num(field(tail, "requests")?, "requests")?,
         max_run: num(field(tail, "max_run")?, "max_run")?,
@@ -334,6 +348,8 @@ mod tests {
             frames_in: 120,
             frames_out: 118,
             busy_rejections: 2,
+            garbage_frames: 4,
+            dirty_disconnects: 3,
             runs: 40,
             requests: 90,
             max_run: 12,
@@ -383,7 +399,7 @@ mod tests {
         assert_eq!(
             text,
             "stats shards=2 connections=3 sessions=5 frames_in=120 frames_out=118 busy=2 \
-             runs=40 requests=90 max_run=12 \
+             garbage=4 disconnects=3 runs=40 requests=90 max_run=12 \
              cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0 \
              balancer_ticks=7 balancer_moves=2 balancer_failed=1\n  \
              stream subscribers=2 frames=48 bytes=1843298 pixels=614400 \
@@ -436,6 +452,8 @@ mod tests {
             "stats shards=0 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0",
             // pre-stream reply (balancer-era header with no stream row)
             "stats shards=0 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0",
+            // pre-soak header (missing garbage=/disconnects= counters)
+            "stats shards=0 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0 pixels=0 coalesced=0 dropped=0 link_us=0",
             // shard row where the stream row belongs
             "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0,0,0,0,0,0,0,0,0 lat_max_us=0",
             // stream row with a missing field

@@ -391,6 +391,12 @@ struct LoopMetrics {
     frames_in: u64,
     frames_out: u64,
     busy_rejections: u64,
+    /// Framing faults (oversized / non-UTF-8 lines) accepted and answered
+    /// with a typed `err` — the soak chaos injectors drive this.
+    garbage_frames: u64,
+    /// Connections dropped with unanswered work still pending (queued,
+    /// in flight, or unflushed responses); clean closes don't count.
+    dirty_disconnects: u64,
 }
 
 /// Results shard workers push back to the loop.
@@ -763,7 +769,7 @@ fn event_loop(
                 // A migration re-sync publish; there is no connection
                 // waiting — the frame is the whole point.
                 if let Some(f) = frame {
-                    publish_frame(f, &mut conns, &mut streams);
+                    publish_frame(f, &mut conns, &mut streams, &mut metrics);
                 }
                 continue;
             }
@@ -787,11 +793,11 @@ fn event_loop(
                 pump(conn, done.conn, &mut ctx);
                 service_stream(conn, ctx.streams);
                 if !conn.flush() || conn.finished() {
-                    drop_conn(&mut conns, &mut streams, done.conn);
+                    drop_conn(&mut conns, &mut streams, done.conn, &mut metrics);
                 }
             }
             if let Some(f) = frame {
-                publish_frame(f, &mut conns, &mut streams);
+                publish_frame(f, &mut conns, &mut streams, &mut metrics);
             }
         }
         if repump {
@@ -820,7 +826,7 @@ fn event_loop(
                 pump(conn, id, &mut ctx);
                 service_stream(conn, ctx.streams);
                 if !conn.flush() || conn.finished() {
-                    drop_conn(&mut conns, &mut streams, id);
+                    drop_conn(&mut conns, &mut streams, id, &mut metrics);
                 }
             }
         }
@@ -935,7 +941,7 @@ fn event_loop(
                 }
             }
             if !alive || conn.finished() {
-                drop_conn(&mut conns, &mut streams, *id);
+                drop_conn(&mut conns, &mut streams, *id, &mut metrics);
             }
         }
     }
@@ -1041,12 +1047,14 @@ fn read_conn(conn: &mut Conn, ctx: &mut Ctx) -> bool {
         let item = match next {
             Err(LineFault::TooLong) => {
                 ctx.metrics.frames_in += 1;
+                ctx.metrics.garbage_frames += 1;
                 Item::Reject(ApiError::invalid(format!(
                     "request line exceeds {MAX_LINE} bytes; the rest of the line was discarded"
                 )))
             }
             Err(LineFault::BadUtf8) => {
                 ctx.metrics.frames_in += 1;
+                ctx.metrics.garbage_frames += 1;
                 Item::Reject(ApiError::invalid("request line is not valid UTF-8"))
             }
             Ok(line) => match fv_api::parse_wire_line(&line) {
@@ -1445,6 +1453,8 @@ fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
         frames_in: ctx.metrics.frames_in,
         frames_out: ctx.metrics.frames_out + 1,
         busy_rejections: ctx.metrics.busy_rejections,
+        garbage_frames: ctx.metrics.garbage_frames,
+        dirty_disconnects: ctx.metrics.dirty_disconnects,
         runs: shards.iter().map(|s| s.runs).sum(),
         requests: shards.iter().map(|s| s.requests).sum(),
         max_run: shards.iter().map(|s| s.max_run).max().unwrap_or(0),
@@ -1484,7 +1494,12 @@ fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
 /// cut from it at drain time), fold the run's damage into each
 /// subscriber's pending set — or drop-to-keyframe a backlogged one — and
 /// drain whoever has room.
-fn publish_frame(frame: PubFrame, conns: &mut BTreeMap<u64, Conn>, streams: &mut StreamPlane) {
+fn publish_frame(
+    frame: PubFrame,
+    conns: &mut BTreeMap<u64, Conn>,
+    streams: &mut StreamPlane,
+    metrics: &mut LoopMetrics,
+) {
     let PubFrame {
         session,
         wall,
@@ -1538,7 +1553,7 @@ fn publish_frame(frame: PubFrame, conns: &mut BTreeMap<u64, Conn>, streams: &mut
         }
     }
     for cid in dead {
-        drop_conn(conns, streams, cid);
+        drop_conn(conns, streams, cid, metrics);
     }
 }
 
@@ -1593,8 +1608,23 @@ fn service_stream(conn: &mut Conn, streams: &mut StreamPlane) {
 
 /// Remove a connection, deregistering its subscription — every removal
 /// site must go through here or the registry leaks dead subscriber ids.
-fn drop_conn(conns: &mut BTreeMap<u64, Conn>, streams: &mut StreamPlane, id: u64) {
+/// A connection that still owed work (queued or in-flight requests, or
+/// unflushed response bytes) counts as a dirty disconnect; a graceful
+/// EOF after every reply drained does not.
+fn drop_conn(
+    conns: &mut BTreeMap<u64, Conn>,
+    streams: &mut StreamPlane,
+    id: u64,
+    metrics: &mut LoopMetrics,
+) {
     if let Some(conn) = conns.remove(&id) {
+        if conn.queued_requests > 0
+            || conn.inflight.is_some()
+            || !conn.inbox.is_empty()
+            || conn.out_pending() > 0
+        {
+            metrics.dirty_disconnects += 1;
+        }
         if let Some(sub) = conn.sub {
             streams.unsubscribe(&sub.session, id);
         }

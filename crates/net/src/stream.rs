@@ -213,6 +213,9 @@ pub struct Watcher {
     buf: Vec<u8>,
     start: usize,
     assembler: TileAssembler,
+    /// The server closed the connection (EOF) — as opposed to a read
+    /// timeout, which also surfaces as `Ok(None)` from `next_frame`.
+    hung_up: bool,
 }
 
 impl Watcher {
@@ -233,7 +236,26 @@ impl Watcher {
         let mut start = 0usize;
         let header = read_text_line(&mut stream, &mut buf, &mut start)?;
         let body = match header.strip_prefix("ok ") {
-            Some(_) => read_text_line(&mut stream, &mut buf, &mut start)?,
+            Some(count) => {
+                // Honor the frame's line count: a server dying mid-reply
+                // leaves the body short, and that must surface as the
+                // typed E_IO a dropped connection deserves — never as a
+                // parse error on whatever fragment did arrive.
+                let n: usize = count
+                    .trim()
+                    .parse()
+                    .map_err(|_| ApiError::parse(format!("bad frame header {header:?}")))?;
+                if n == 0 {
+                    return Err(ApiError::parse("bad frame line count 0"));
+                }
+                let mut lines = Vec::with_capacity(n);
+                for _ in 0..n {
+                    lines.push(read_text_line(&mut stream, &mut buf, &mut start)?);
+                }
+                // A well-formed ack is one line; a multi-line body falls
+                // through to the malformed-ack error below.
+                lines.join("\n")
+            }
             None => match header.strip_prefix("err ") {
                 Some(rest) => {
                     let (code, msg) = rest.split_once(' ').unwrap_or((rest, ""));
@@ -268,7 +290,16 @@ impl Watcher {
             buf,
             start,
             assembler: TileAssembler::new(grid),
+            hung_up: false,
         })
+    }
+
+    /// Whether the stream ended because the server hung up (EOF), as
+    /// opposed to a read-timeout idle. Lets callers turn an unexpected
+    /// mid-stream disconnect into the typed `E_IO` it deserves instead
+    /// of mistaking it for a quiet stream.
+    pub fn hung_up(&self) -> bool {
+        self.hung_up
     }
 
     /// Decode the next tile frame, applying it to the internal
@@ -293,7 +324,10 @@ impl Watcher {
                 Ok(None) => {
                     let mut chunk = [0u8; 64 * 1024];
                     match self.stream.read(&mut chunk) {
-                        Ok(0) => return Ok(None),
+                        Ok(0) => {
+                            self.hung_up = true;
+                            return Ok(None);
+                        }
                         Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                         Err(e)
                             if matches!(

@@ -1,0 +1,278 @@
+//! Wire-trace recording: a byte-transparent TCP tap that proxies one
+//! client connection to an upstream server while writing down every
+//! request line and reply frame as [`TraceEvent`]s.
+//!
+//! The tap forwards raw bytes verbatim in both directions — the proxied
+//! session behaves exactly as a direct connection, pipelining included —
+//! and *observes* the streams through the same framing the endpoints
+//! use: request lines via [`FrameBuf`], reply frames via a
+//! [`ReplyAssembler`] (the incremental counterpart of
+//! [`crate::frame::read_reply`]). When both sides hang up, the recorded
+//! events serialize with [`fv_api::format_trace`] into a `fvtrace 1`
+//! file that [`crate::replay`] can re-drive deterministically.
+//!
+//! Scope: the request/reply plane only. Traces are bounded UTF-8 text,
+//! so a session carrying framing faults (oversized or non-UTF-8 lines)
+//! or the binary tile stream of a `subscribe` is *unrecordable* — the
+//! tap reports a typed error instead of writing a trace that could not
+//! replay.
+
+use crate::frame::{FrameBuf, LineFault, Reply, MAX_LINE};
+use fv_api::{ApiError, ErrorCode, TraceEvent};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// Incremental reply-frame parser: feed the server→client stream one
+/// line at a time, get a completed [`Reply`] whenever a frame closes.
+/// Grammar and error classes match [`crate::frame::read_reply`] exactly.
+#[derive(Debug, Default)]
+pub struct ReplyAssembler {
+    /// `(total_lines, collected)` of an open `ok <n>` frame.
+    pending: Option<(usize, Vec<String>)>,
+}
+
+impl ReplyAssembler {
+    pub fn new() -> ReplyAssembler {
+        ReplyAssembler::default()
+    }
+
+    /// Whether a multi-line `ok` frame is mid-assembly (EOF here is a
+    /// truncated frame, not a clean close).
+    pub fn mid_frame(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Feed one reply-plane line. Returns `Some(reply)` when a frame
+    /// completes, `None` while an `ok <n>` body is still arriving.
+    pub fn push_line(&mut self, line: &str) -> Result<Option<Reply>, ApiError> {
+        if let Some((total, mut collected)) = self.pending.take() {
+            collected.push(line.to_string());
+            if collected.len() == total {
+                return Ok(Some(Ok(collected.join("\n"))));
+            }
+            self.pending = Some((total, collected));
+            return Ok(None);
+        }
+        if let Some(rest) = line.strip_prefix("ok ") {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| ApiError::parse(format!("bad frame header {line:?}")))?;
+            if n == 0 || n > MAX_LINE {
+                return Err(ApiError::parse(format!("bad frame line count {n}")));
+            }
+            self.pending = Some((n, Vec::with_capacity(n)));
+            return Ok(None);
+        }
+        if let Some(rest) = line.strip_prefix("err ") {
+            let (code, message) = match rest.split_once(' ') {
+                Some((c, m)) => (c, m.to_string()),
+                None => (rest, String::new()),
+            };
+            let code = ErrorCode::from_wire(code)
+                .ok_or_else(|| ApiError::parse(format!("unknown error code in frame {line:?}")))?;
+            return Ok(Some(Err(ApiError::new(code, message))));
+        }
+        Err(ApiError::parse(format!("malformed frame header {line:?}")))
+    }
+}
+
+/// Proxy exactly one accepted connection to `upstream`, recording the
+/// exchange. Returns when both directions have closed (the client
+/// hanging up propagates as a half-close to the server and vice versa),
+/// yielding the events in wire order: every request line as
+/// [`TraceEvent::Send`], every reply frame as [`TraceEvent::Recv`].
+///
+/// Blank lines and column-0 `#` comments are forwarded (byte
+/// transparency) but not recorded — they produce no reply frame, and
+/// the trace format treats them as annotations anyway.
+pub fn record_session(listener: TcpListener, upstream: &str) -> Result<Vec<TraceEvent>, ApiError> {
+    let (client, _) = listener
+        .accept()
+        .map_err(|e| ApiError::io(format!("tap accept: {e}")))?;
+    let server = TcpStream::connect(upstream)
+        .map_err(|e| ApiError::io(format!("tap connect {upstream}: {e}")))?;
+    record_streams(client, server)
+}
+
+/// [`record_session`] on already-connected streams (test seam).
+pub(crate) fn record_streams(
+    client: TcpStream,
+    server: TcpStream,
+) -> Result<Vec<TraceEvent>, ApiError> {
+    let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let c2s = {
+        let events = Arc::clone(&events);
+        let mut from = client
+            .try_clone()
+            .map_err(|e| ApiError::io(format!("tap clone: {e}")))?;
+        let mut to = server
+            .try_clone()
+            .map_err(|e| ApiError::io(format!("tap clone: {e}")))?;
+        std::thread::Builder::new()
+            .name("fv-tap-c2s".into())
+            .spawn(move || -> Result<(), ApiError> {
+                let mut frames = FrameBuf::new();
+                let mut chunk = [0u8; 16 * 1024];
+                loop {
+                    let n = match from.read(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => n,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(ApiError::io(format!("tap read client: {e}"))),
+                    };
+                    // Record completed lines BEFORE forwarding the bytes
+                    // that complete them: a request can only be answered
+                    // once its final `\n` reaches the server, and that
+                    // byte is in this chunk — recording first guarantees
+                    // every reply lands after its request in the trace,
+                    // however fast the server answers.
+                    frames.feed(&chunk[..n]);
+                    while let Some(line) = frames.next_line() {
+                        let line = line.map_err(|f| unrecordable("request", f))?;
+                        let trimmed = line.trim();
+                        if trimmed.is_empty() || trimmed.starts_with('#') {
+                            continue; // no frame will answer it
+                        }
+                        events.lock().unwrap().push(TraceEvent::Send(line));
+                    }
+                    to.write_all(&chunk[..n])
+                        .map_err(|e| ApiError::io(format!("tap write server: {e}")))?;
+                }
+                let _ = to.shutdown(Shutdown::Write);
+                Ok(())
+            })
+            .map_err(|e| ApiError::io(format!("tap spawn: {e}")))?
+    };
+
+    let s2c = {
+        let events = Arc::clone(&events);
+        let mut from = server;
+        let mut to = client;
+        std::thread::Builder::new()
+            .name("fv-tap-s2c".into())
+            .spawn(move || -> Result<(), ApiError> {
+                let mut frames = FrameBuf::new();
+                let mut assembler = ReplyAssembler::new();
+                let mut chunk = [0u8; 16 * 1024];
+                loop {
+                    let n = match from.read(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => n,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(ApiError::io(format!("tap read server: {e}"))),
+                    };
+                    to.write_all(&chunk[..n])
+                        .map_err(|e| ApiError::io(format!("tap write client: {e}")))?;
+                    frames.feed(&chunk[..n]);
+                    while let Some(line) = frames.next_line() {
+                        let line = line.map_err(|f| unrecordable("reply", f))?;
+                        if let Some(reply) = assembler.push_line(&line)? {
+                            events.lock().unwrap().push(TraceEvent::Recv(reply));
+                        }
+                    }
+                }
+                let _ = to.shutdown(Shutdown::Write);
+                if assembler.mid_frame() {
+                    return Err(ApiError::io(
+                        "server closed the connection mid-frame during recording",
+                    ));
+                }
+                Ok(())
+            })
+            .map_err(|e| ApiError::io(format!("tap spawn: {e}")))?
+    };
+
+    let c2s_result = c2s.join().unwrap_or_else(|_| {
+        Err(ApiError::new(
+            ErrorCode::Internal,
+            "tap c2s thread panicked",
+        ))
+    });
+    let s2c_result = s2c.join().unwrap_or_else(|_| {
+        Err(ApiError::new(
+            ErrorCode::Internal,
+            "tap s2c thread panicked",
+        ))
+    });
+    c2s_result?;
+    s2c_result?;
+
+    Ok(Arc::try_unwrap(events)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_default())
+}
+
+fn unrecordable(plane: &str, fault: LineFault) -> ApiError {
+    let what = match fault {
+        LineFault::TooLong => "an oversized line",
+        LineFault::BadUtf8 => "a non-UTF-8 line",
+    };
+    ApiError::invalid(format!(
+        "unrecordable {plane} stream: {what} cannot be represented in a text trace \
+         (traces capture the well-formed request/reply plane only)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembler_reassembles_multi_line_ok_and_err_frames() {
+        let mut a = ReplyAssembler::new();
+        assert!(a.push_line("ok 3").unwrap().is_none());
+        assert!(a.mid_frame());
+        assert!(a.push_line("alpha").unwrap().is_none());
+        assert!(a.push_line("").unwrap().is_none());
+        let reply = a.push_line("gamma").unwrap().unwrap().unwrap();
+        assert_eq!(reply, "alpha\n\ngamma");
+        assert!(!a.mid_frame());
+        let err = a
+            .push_line("err E_BUSY queue full")
+            .unwrap()
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Busy);
+        assert_eq!(err.message, "queue full");
+    }
+
+    #[test]
+    fn assembler_matches_read_reply_byte_for_byte() {
+        use crate::frame::{read_reply, write_err, write_ok, LineReader};
+        let mut wire = Vec::new();
+        write_ok(&mut wire, "one").unwrap();
+        write_ok(&mut wire, "first\nsecond\nthird").unwrap();
+        write_err(&mut wire, &ApiError::not_found("dataset 9")).unwrap();
+        write_ok(&mut wire, "").unwrap(); // empty body → "ok 1" + one empty line
+
+        // via the blocking reader
+        let mut reader = LineReader::new(&wire[..]);
+        let mut expected = Vec::new();
+        while let Some(r) = read_reply(&mut reader).unwrap() {
+            expected.push(r);
+        }
+
+        // via the incremental assembler
+        let mut frames = FrameBuf::new();
+        frames.feed(&wire);
+        let mut a = ReplyAssembler::new();
+        let mut got = Vec::new();
+        while let Some(line) = frames.next_line() {
+            if let Some(r) = a.push_line(&line.unwrap()).unwrap() {
+                got.push(r);
+            }
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn assembler_rejects_garbage_headers() {
+        let mut a = ReplyAssembler::new();
+        assert!(a.push_line("hello").is_err());
+        assert!(a.push_line("ok zero").is_err());
+        assert!(a.push_line("ok 0").is_err());
+        assert!(a.push_line("err E_NOPE what").is_err());
+    }
+}

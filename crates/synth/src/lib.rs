@@ -20,7 +20,9 @@
 //! - [`compendium`] — many-dataset compendia for SPELL-scale experiments,
 //! - [`ontogen`] — a GO-like ontology whose terms align with the planted
 //!   modules, so GOLEM enrichment has a discoverable signal,
-//! - [`scenario`] — paper-scale presets used by examples, tests, benches.
+//! - [`scenario`] — paper-scale presets used by examples, tests, benches,
+//! - [`workload`] — seeded *traffic* (taxonomy-derived query mixes), the
+//!   request-stream counterpart of the data generators.
 
 pub mod compendium;
 pub mod dataset;
@@ -28,7 +30,12 @@ pub mod modules;
 pub mod names;
 pub mod ontogen;
 pub mod scenario;
+pub mod workload;
 
 pub use compendium::{generate_compendium, CompendiumSpec};
 pub use modules::{GroundTruth, ModuleKind, ModuleSpec};
 pub use scenario::Scenario;
+pub use workload::{
+    generate as generate_workload, ClientScript, WorkloadKind, WorkloadOp, WorkloadRng,
+    WorkloadSpec, WORKLOAD_KINDS,
+};

@@ -25,6 +25,10 @@
 //! fvtool migrate <session> <shard>                   move a session across shards (needs --remote)
 //! fvtool balance [auto|off]                          rebalancer status / flip its mode (needs --remote)
 //! fvtool shutdown                                    stop a server (needs --remote)
+//! fvtool workload <kind> [--clients n] [--bursts n] [--genes n] [--seed n]   print generated workload scripts
+//! fvtool trace record <out.trace> --listen <a:p> --upstream <a:p>   tap one connection, write its wire trace
+//! fvtool trace replay <file.trace> [--remote a:p]    replay a trace, byte-compare replies
+//! fvtool soak [--clients n] [--chaos n] [--watchers n] [...]        soak/chaos run against an in-process server
 //! ```
 //!
 //! `--remote <addr>` may appear anywhere in the argument list. File paths
@@ -58,7 +62,13 @@ fn usage() -> ExitCode {
          fvtool sessions --remote <host:port>\n  \
          fvtool migrate <session> <shard> --remote <host:port>\n  \
          fvtool balance [auto|off] --remote <host:port>\n  \
-         fvtool shutdown --remote <host:port>\n\
+         fvtool shutdown --remote <host:port>\n  \
+         fvtool workload <kind> [--clients <n>] [--bursts <n>] [--genes <n>] [--seed <n>]\n  \
+         fvtool trace record <out.trace> --listen <host:port> --upstream <host:port>\n  \
+         fvtool trace replay <file.trace> [--remote <host:port>]\n  \
+         fvtool soak    [--kind <k>] [--clients <n>] [--bursts <n>] [--genes <n>] [--seed <n>]\n           \
+         [--shards <n>] [--queue-limit <n>] [--chaos <n>] [--chaos-rounds <n>]\n           \
+         [--watchers <n>] [--dally-ms <n>] [--no-replay]\n\
          options:\n  --remote <host:port>   run the subcommand against a live fvtool server"
     );
     ExitCode::from(2)
@@ -465,6 +475,7 @@ fn cmd_watch(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
         .set_read_timeout(Some(std::time::Duration::from_millis(idle_ms.max(1))))
         .map_err(|e| ApiError::io(e.to_string()))?;
     let (mut seqs, mut total_bytes) = (0u64, 0u64);
+    let mut completed = false;
     // (seq, kind, tiles, bytes) of the burst being accumulated.
     let mut burst: Option<(u64, &'static str, usize, u64)> = None;
     let flush_burst = |burst: &mut Option<(u64, &'static str, usize, u64)>| {
@@ -507,6 +518,7 @@ fn cmd_watch(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
                     *bytes += b;
                 }
             }
+            completed = true;
             break;
         }
         if dally_ms > 0 {
@@ -514,6 +526,15 @@ fn cmd_watch(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
         }
     }
     flush_burst(&mut burst);
+    // The loop exits three ways: the frame budget was met (`completed`),
+    // the stream idled out past --idle-ms (benign), or the server hung
+    // up mid-stream — only the last is a failure, and it must exit with
+    // the typed E_IO code, not masquerade as a quiet stream.
+    if watcher.hung_up() && !completed {
+        return Err(ApiError::io(format!(
+            "server closed the connection mid-stream (after {seqs} frame burst(s))"
+        )));
+    }
     if let Some(last) = watcher.last_seq() {
         watcher.ack(last);
     }
@@ -549,6 +570,264 @@ fn cmd_watch(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
         }
     }
     Ok(())
+}
+
+/// Print the generated per-client scripts of one workload spec — what a
+/// soak run's clients would send, as replayable `fvtool script` text.
+fn cmd_workload(args: &[String]) -> Result<(), ApiError> {
+    let [kind, opts @ ..] = args else {
+        let names: Vec<&str> = fv_synth::workload::WORKLOAD_KINDS
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        return Err(ApiError::invalid(format!(
+            "workload needs <kind> (one of {})",
+            names.join(", ")
+        )));
+    };
+    let kind = fv_synth::workload::WorkloadKind::from_name(kind).ok_or_else(|| {
+        let names: Vec<&str> = fv_synth::workload::WORKLOAD_KINDS
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        ApiError::invalid(format!(
+            "unknown workload kind {kind:?} (one of {})",
+            names.join(", ")
+        ))
+    })?;
+    let mut spec = fv_synth::workload::WorkloadSpec::small(kind, 2, 1);
+    let mut it = opts.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| ApiError::invalid(format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--clients" => {
+                spec.clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --clients"))?
+            }
+            "--bursts" => {
+                spec.bursts = value("--bursts")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --bursts"))?
+            }
+            "--genes" => {
+                spec.n_genes = value("--genes")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --genes"))?
+            }
+            "--seed" => {
+                spec.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --seed"))?
+            }
+            other => {
+                return Err(ApiError::invalid(format!(
+                    "unknown workload option {other:?}"
+                )));
+            }
+        }
+    }
+    for script in fv_synth::workload::generate(&spec) {
+        println!(
+            "# client session={} kind={} bursts={}",
+            script.session,
+            script.kind.name(),
+            script.bursts.len()
+        );
+        print!("{}", script.script_text());
+    }
+    Ok(())
+}
+
+/// `trace record` / `trace replay` dispatcher.
+fn cmd_trace(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
+    match args {
+        [sub, rest @ ..] if sub == "record" => cmd_trace_record(remote, rest),
+        [sub, rest @ ..] if sub == "replay" => cmd_trace_replay(remote, rest),
+        _ => Err(ApiError::invalid(
+            "trace needs a subcommand: record <out.trace> --listen <addr> --upstream <addr> \
+             | replay <file.trace> [--remote <addr>]",
+        )),
+    }
+}
+
+/// Interpose a recording tap between one client connection and a live
+/// server; when both sides hang up, write the captured exchange as a
+/// versioned wire trace.
+fn cmd_trace_record(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
+    if remote.is_some() {
+        return Err(ApiError::invalid(
+            "trace record takes --upstream, not --remote",
+        ));
+    }
+    let [out, opts @ ..] = args else {
+        return Err(ApiError::invalid(
+            "trace record needs <out.trace> --listen <host:port> --upstream <host:port>",
+        ));
+    };
+    let (mut listen, mut upstream) = (None, None);
+    let mut it = opts.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| ApiError::invalid(format!("{what} needs <host:port>")))
+        };
+        match arg.as_str() {
+            "--listen" => listen = Some(value("--listen")?.clone()),
+            "--upstream" => upstream = Some(value("--upstream")?.clone()),
+            other => {
+                return Err(ApiError::invalid(format!(
+                    "unknown trace record option {other:?}"
+                )));
+            }
+        }
+    }
+    let listen = listen.ok_or_else(|| ApiError::invalid("trace record needs --listen"))?;
+    let upstream = upstream.ok_or_else(|| ApiError::invalid("trace record needs --upstream"))?;
+    let listener = std::net::TcpListener::bind(&listen)
+        .map_err(|e| ApiError::io(format!("bind {listen}: {e}")))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| ApiError::io(e.to_string()))?;
+    println!("fvtool: tapping on {bound} -> {upstream}");
+    // CI parses the ephemeral port from that line; make it visible even
+    // through a pipe before we block in accept().
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let events = fv_net::record_session(listener, &upstream)?;
+    let (sends, recvs) = (
+        events.iter().filter(|e| e.is_send()).count(),
+        events.iter().filter(|e| !e.is_send()).count(),
+    );
+    std::fs::write(out, fv_api::format_trace(&events))
+        .map_err(|e| ApiError::io(format!("{out}: {e}")))?;
+    println!("wrote {out} ({sends} sends, {recvs} replies)");
+    Ok(())
+}
+
+/// Replay a recorded trace — against a live server (`--remote`,
+/// preserving the recorded pipelining) or a fresh local hub — and
+/// byte-compare the replies against the recording. The received
+/// transcript goes to stdout so two replays can be diffed directly.
+fn cmd_trace_replay(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
+    let [path] = args else {
+        return Err(ApiError::invalid(
+            "trace replay needs <file.trace> [--remote <host:port>]",
+        ));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| ApiError::io(format!("{path}: {e}")))?;
+    let events = fv_api::parse_trace(&text)?;
+    let outcome = match remote {
+        Some(addr) => fv_net::replay_remote(addr, &events)?,
+        None => fv_net::replay_local(fv_api::engine::DEFAULT_SCENE, &events)?,
+    };
+    print!("{}", outcome.received);
+    if let Some((line, expected, got)) = outcome.first_divergence() {
+        eprintln!(
+            "fvtool: replay diverged at transcript line {line}:\n  recorded: {expected}\n  replayed: {got}"
+        );
+        return Err(ApiError::invalid(format!(
+            "replay of {path} diverged from the recording at transcript line {line}"
+        )));
+    }
+    eprintln!(
+        "replay ok: {} sends, {} replies, transcript matches recording",
+        outcome.sends,
+        outcome.replies.len()
+    );
+    Ok(())
+}
+
+/// Run the in-process soak/chaos harness and print its report; any
+/// violated invariant is a typed failure (exit 70).
+fn cmd_soak(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
+    if remote.is_some() {
+        return Err(ApiError::invalid(
+            "soak runs its own in-process server; drop --remote",
+        ));
+    }
+    let mut cfg = forestview_repro::soak::SoakConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| ApiError::invalid(format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--kind" => {
+                let name = value("--kind")?;
+                cfg.kind = fv_synth::workload::WorkloadKind::from_name(name)
+                    .ok_or_else(|| ApiError::invalid(format!("unknown workload kind {name:?}")))?;
+            }
+            "--clients" => {
+                cfg.clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --clients"))?
+            }
+            "--bursts" => {
+                cfg.bursts = value("--bursts")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --bursts"))?
+            }
+            "--genes" => {
+                cfg.n_genes = value("--genes")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --genes"))?
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --seed"))?
+            }
+            "--shards" => {
+                cfg.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --shards"))?
+            }
+            "--queue-limit" => {
+                cfg.queue_limit = value("--queue-limit")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --queue-limit"))?
+            }
+            "--chaos" => {
+                cfg.chaos_injectors = value("--chaos")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --chaos"))?
+            }
+            "--chaos-rounds" => {
+                cfg.chaos_rounds = value("--chaos-rounds")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --chaos-rounds"))?
+            }
+            "--watchers" => {
+                cfg.slow_watchers = value("--watchers")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --watchers"))?
+            }
+            "--dally-ms" => {
+                cfg.watcher_dally_ms = value("--dally-ms")?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad --dally-ms"))?
+            }
+            "--no-replay" => cfg.verify_replay = false,
+            other => {
+                return Err(ApiError::invalid(format!("unknown soak option {other:?}")));
+            }
+        }
+    }
+    let report = forestview_repro::soak::run_soak(&cfg)?;
+    println!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(ApiError::new(
+            fv_api::ErrorCode::Internal,
+            format!("{} soak invariant(s) violated", report.failures.len()),
+        ))
+    }
 }
 
 /// Why an invocation failed: an unrecognized command line (print usage)
@@ -635,6 +914,9 @@ fn run(cmd: &str, rest: &[String], remote: Option<&str>) -> Result<(), Failure> 
             }
             return Ok(());
         }
+        "workload" => return Ok(cmd_workload(rest)?),
+        "trace" => return Ok(cmd_trace(remote, rest)?),
+        "soak" => return Ok(cmd_soak(remote, rest)?),
         "render" | "cluster" | "impute" | "search" | "spell" | "demo" => {}
         _ => return Err(Failure::Usage),
     }

@@ -29,10 +29,17 @@
 //! - The remaining crates are the paper's subsystems: data substrate
 //!   (`fv-expr`, `fv-formats`), analysis (`fv-cluster`, `fv-spell`,
 //!   `fv-golem`, `fv-linalg`, `fv-ontology`), visualization (`fv-render`,
-//!   `fv-wall`), and synthetic data (`fv-synth`).
+//!   `fv-wall`), transport (`fv-net`, re-exported as [`net`]), and
+//!   synthetic data/workloads (`fv-synth`).
+//! - [`soak`] — the soak/chaos harness (`fvtool soak`): generated
+//!   workload clients + fault injectors against an in-process server,
+//!   with replay-equivalence, drain, and thread-leak invariants checked
+//!   at teardown.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! per-figure reproduction records.
+
+pub mod soak;
 
 pub use forestview;
 pub use fv_api as api;
@@ -41,6 +48,7 @@ pub use fv_expr as expr;
 pub use fv_formats as formats;
 pub use fv_golem as golem;
 pub use fv_linalg as linalg;
+pub use fv_net as net;
 pub use fv_ontology as ontology;
 pub use fv_render as render;
 pub use fv_spell as spell;

@@ -1,0 +1,645 @@
+//! Soak/chaos harness: N generated workload clients against an
+//! in-process `fv-net` server, with fault injectors running alongside,
+//! and hard invariants checked at teardown.
+//!
+//! The pieces it composes are all elsewhere — `fv_synth::workload`
+//! generates the traffic, `fv_net` serves it, `fv_net::replay`
+//! re-derives the expected replies — this module only orchestrates and
+//! asserts. One soak run:
+//!
+//! 1. snapshot the process thread count, boot a server on an ephemeral
+//!    port;
+//! 2. launch one thread per generated client, each playing its workload
+//!    line-by-line and recording the exchange as a wire trace;
+//! 3. concurrently, chaos injectors rotate through three faults:
+//!    **dirty disconnects** (send work, vanish without reading the
+//!    reply), **garbage frames** (oversized and non-UTF-8 lines that
+//!    must be answered typed, then survive a liveness ping), and
+//!    **migration storms** (`balance auto` + forced `migrate` of live
+//!    sessions); a deliberately slow tile-stream watcher subscribes to
+//!    the first client's session and dallies between reads;
+//! 4. teardown asserts: every client finished with zero transport
+//!    errors; each recorded trace **replays byte-identically against a
+//!    fresh local `EngineHub`** (committed state == sequential replay);
+//!    the watcher's sequence numbers were strictly increasing; the
+//!    server drained (`queued=0` everywhere, `subscribers=0`) and its
+//!    `garbage`/`disconnects` counters saw the injected chaos; and
+//!    after shutdown the process thread count is back to the baseline
+//!    (zero leaked threads).
+//!
+//! Everything is seeded; the only nondeterminism is scheduling, which
+//! the invariants are deliberately insensitive to.
+
+use fv_api::{ApiError, EngineHub, ErrorCode, TraceEvent};
+use fv_net::frame::{read_reply, LineReader, MAX_LINE};
+use fv_net::{replay_on_hub, Client, Server, ServerConfig, Watcher};
+use fv_synth::workload::{generate, WorkloadKind, WorkloadSpec};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Scene every soak server (and its replay hubs) runs — must divide
+/// evenly by the watcher grid.
+pub const SOAK_SCENE: (usize, usize) = (640, 480);
+
+/// Watcher tile grid.
+const WATCH_GRID: (usize, usize) = (2, 2);
+
+/// Knobs of one soak run. `Default` is the CI smoke shape.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Workload scenario every client plays.
+    pub kind: WorkloadKind,
+    /// Concurrent generated clients.
+    pub clients: usize,
+    /// Bursts per client (workload length).
+    pub bursts: usize,
+    /// Genes per generated scenario dataset (workload weight).
+    pub n_genes: usize,
+    /// Master seed — clients derive stable per-client streams from it.
+    pub seed: u64,
+    /// Server shard count.
+    pub shards: usize,
+    /// Server per-connection pending-request limit.
+    pub queue_limit: usize,
+    /// Concurrent chaos injector threads (0 disables chaos).
+    pub chaos_injectors: usize,
+    /// Fault rounds each injector performs.
+    pub chaos_rounds: usize,
+    /// Slow tile-stream watchers (0 disables streaming).
+    pub slow_watchers: usize,
+    /// Watcher dally between reads — what makes it *slow*.
+    pub watcher_dally_ms: u64,
+    /// Verify each recorded trace against a fresh local hub at teardown
+    /// (skipped automatically for scenarios that share sessions).
+    pub verify_replay: bool,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            kind: WorkloadKind::Mixed,
+            clients: 4,
+            bursts: 3,
+            n_genes: 60,
+            seed: 20070331,
+            shards: 2,
+            queue_limit: 128,
+            chaos_injectors: 2,
+            chaos_rounds: 6,
+            slow_watchers: 1,
+            watcher_dally_ms: 10,
+            verify_replay: true,
+        }
+    }
+}
+
+/// What a soak run observed. `failures` empty ⇔ all invariants held.
+#[derive(Debug, Default)]
+pub struct SoakReport {
+    pub clients: usize,
+    pub lines_sent: usize,
+    pub ok_replies: usize,
+    pub err_replies: usize,
+    pub chaos_disconnects: usize,
+    pub chaos_garbage_lines: usize,
+    pub chaos_migrations: usize,
+    pub watcher_frames: u64,
+    pub watcher_keyframes: u64,
+    pub stats_garbage_frames: u64,
+    pub stats_dirty_disconnects: u64,
+    pub replays_verified: usize,
+    pub threads_before: Option<usize>,
+    pub threads_after: Option<usize>,
+    pub failures: Vec<String>,
+}
+
+impl SoakReport {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable multi-line summary (stable `key=value` fields so
+    /// CI can grep it).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "soak clients={} lines={} ok={} err={} chaos_disconnects={} chaos_garbage={} \
+             chaos_migrations={} watcher_frames={} watcher_keyframes={} stats_garbage={} \
+             stats_disconnects={} replays_verified={} threads_before={} threads_after={} \
+             verdict={}",
+            self.clients,
+            self.lines_sent,
+            self.ok_replies,
+            self.err_replies,
+            self.chaos_disconnects,
+            self.chaos_garbage_lines,
+            self.chaos_migrations,
+            self.watcher_frames,
+            self.watcher_keyframes,
+            self.stats_garbage_frames,
+            self.stats_dirty_disconnects,
+            self.replays_verified,
+            self.threads_before.map_or(-1, |n| n as i64),
+            self.threads_after.map_or(-1, |n| n as i64),
+            if self.passed() { "pass" } else { "FAIL" },
+        );
+        for f in &self.failures {
+            out.push_str("\n  invariant violated: ");
+            out.push_str(f);
+        }
+        out
+    }
+}
+
+/// Threads of this process, via `/proc/self/task` (None off-Linux —
+/// the leak invariant is then skipped, not failed).
+fn count_threads() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task").ok().map(|d| d.count())
+}
+
+/// What one generated client brought home.
+struct ClientRun {
+    session: String,
+    events: Vec<TraceEvent>,
+    ok: usize,
+    err: usize,
+    transport_error: Option<String>,
+}
+
+/// What one chaos injector did.
+#[derive(Default)]
+struct ChaosRun {
+    disconnects: usize,
+    garbage_lines: usize,
+    migrations: usize,
+    failures: Vec<String>,
+}
+
+/// Run one soak. Transport-level setup failures (cannot bind, cannot
+/// connect) error out; invariant violations land in the report instead.
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, ApiError> {
+    let mut report = SoakReport {
+        clients: cfg.clients,
+        threads_before: count_threads(),
+        ..SoakReport::default()
+    };
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: cfg.shards.max(1),
+            scene: SOAK_SCENE,
+            queue_limit: cfg.queue_limit.max(1),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| ApiError::io(format!("soak bind: {e}")))?;
+    let addr = server.local_addr().to_string();
+
+    let spec = WorkloadSpec {
+        kind: cfg.kind,
+        clients: cfg.clients,
+        bursts: cfg.bursts,
+        // `scenario <n> <seed>` plants 4 modules + the ESR sets and
+        // needs ~50+ genes; below that the generated workload would be
+        // asking the engine to panic, not to work.
+        n_genes: cfg.n_genes.max(60),
+        seed: cfg.seed,
+    };
+    let scripts = generate(&spec);
+    let watch_session = scripts
+        .first()
+        .map(|s| s.session.clone())
+        .unwrap_or_else(|| "main".to_string());
+    let live_sessions: Vec<String> = scripts.iter().map(|s| s.session.clone()).collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // ── clients ─────────────────────────────────────────────────────
+    let mut client_handles = Vec::new();
+    for script in &scripts {
+        let addr = addr.clone();
+        let session = script.session.clone();
+        let lines = script.wire_lines();
+        client_handles.push(
+            std::thread::Builder::new()
+                .name(format!("soak-client-{session}"))
+                .spawn(move || -> ClientRun {
+                    let mut run = ClientRun {
+                        session,
+                        events: Vec::with_capacity(lines.len() * 2),
+                        ok: 0,
+                        err: 0,
+                        transport_error: None,
+                    };
+                    let mut client = match Client::connect(&addr) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            run.transport_error = Some(format!("connect: {e}"));
+                            return run;
+                        }
+                    };
+                    for line in &lines {
+                        match client.roundtrip(line) {
+                            Ok(reply) => {
+                                match &reply {
+                                    Ok(_) => run.ok += 1,
+                                    Err(_) => run.err += 1,
+                                }
+                                run.events.push(TraceEvent::Send(line.clone()));
+                                run.events.push(TraceEvent::Recv(reply));
+                            }
+                            Err(e) => {
+                                run.transport_error = Some(format!("line {line:?}: {e}"));
+                                return run;
+                            }
+                        }
+                    }
+                    run
+                })
+                .map_err(|e| ApiError::io(format!("spawn client: {e}")))?,
+        );
+    }
+
+    // ── chaos injectors ─────────────────────────────────────────────
+    let mut chaos_handles = Vec::new();
+    for i in 0..cfg.chaos_injectors {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        let sessions = live_sessions.clone();
+        let rounds = cfg.chaos_rounds;
+        let shards = cfg.shards.max(1);
+        chaos_handles.push(
+            std::thread::Builder::new()
+                .name(format!("soak-chaos-{i}"))
+                .spawn(move || chaos_loop(&addr, i, rounds, shards, &sessions, &stop))
+                .map_err(|e| ApiError::io(format!("spawn chaos: {e}")))?,
+        );
+    }
+
+    // ── slow watchers ───────────────────────────────────────────────
+    let mut watcher_handles = Vec::new();
+    for i in 0..cfg.slow_watchers {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        let session = watch_session.clone();
+        let dally = Duration::from_millis(cfg.watcher_dally_ms);
+        watcher_handles.push(
+            std::thread::Builder::new()
+                .name(format!("soak-watch-{i}"))
+                .spawn(move || watch_loop(&addr, &session, dally, &stop))
+                .map_err(|e| ApiError::io(format!("spawn watcher: {e}")))?,
+        );
+    }
+
+    // ── join clients, then wind chaos/watchers down ─────────────────
+    let mut runs = Vec::new();
+    for handle in client_handles {
+        match handle.join() {
+            Ok(run) => runs.push(run),
+            Err(_) => report.failures.push("a client thread panicked".into()),
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    for handle in chaos_handles {
+        match handle.join() {
+            Ok(chaos) => {
+                report.chaos_disconnects += chaos.disconnects;
+                report.chaos_garbage_lines += chaos.garbage_lines;
+                report.chaos_migrations += chaos.migrations;
+                report.failures.extend(chaos.failures);
+            }
+            Err(_) => report.failures.push("a chaos thread panicked".into()),
+        }
+    }
+    for handle in watcher_handles {
+        match handle.join() {
+            Ok(Ok((frames, keyframes))) => {
+                report.watcher_frames += frames;
+                report.watcher_keyframes += keyframes;
+            }
+            Ok(Err(e)) => report.failures.push(format!("watcher: {e}")),
+            Err(_) => report.failures.push("a watcher thread panicked".into()),
+        }
+    }
+
+    for run in &runs {
+        report.lines_sent += run.events.iter().filter(|e| e.is_send()).count();
+        report.ok_replies += run.ok;
+        report.err_replies += run.err;
+        if let Some(e) = &run.transport_error {
+            report.failures.push(format!("client {}: {e}", run.session));
+        }
+    }
+
+    // ── drain + counter invariants (server still up) ────────────────
+    match drained_stats(&addr) {
+        Ok(stats) => {
+            report.stats_garbage_frames = stats.garbage_frames;
+            report.stats_dirty_disconnects = stats.dirty_disconnects;
+            if stats.stream.subscribers != 0 {
+                report.failures.push(format!(
+                    "stream subscribers not drained: {}",
+                    stats.stream.subscribers
+                ));
+            }
+            if cfg.chaos_injectors > 0 && cfg.chaos_rounds >= 3 {
+                // Every injector rotates disconnect→garbage→migrate, so
+                // three rounds guarantee at least one of each.
+                if report.chaos_garbage_lines > 0 && stats.garbage_frames == 0 {
+                    report
+                        .failures
+                        .push("garbage was injected but stats garbage=0".into());
+                }
+                if report.chaos_disconnects > 0 && stats.dirty_disconnects == 0 {
+                    report
+                        .failures
+                        .push("dirty disconnects were injected but stats disconnects=0".into());
+                }
+            }
+        }
+        Err(e) => report.failures.push(format!("drain check: {e}")),
+    }
+
+    // ── sequential-replay equivalence ───────────────────────────────
+    if cfg.verify_replay && cfg.kind.replay_deterministic() {
+        for run in &runs {
+            if run.transport_error.is_some() {
+                continue; // already reported
+            }
+            let mut hub = EngineHub::with_scene(SOAK_SCENE.0, SOAK_SCENE.1);
+            match replay_on_hub(&mut hub, &run.events) {
+                Ok(outcome) if outcome.matches() => report.replays_verified += 1,
+                Ok(outcome) => {
+                    let (line, exp, got) =
+                        outcome
+                            .first_divergence()
+                            .unwrap_or((0, String::new(), String::new()));
+                    report.failures.push(format!(
+                        "client {}: replay diverged at transcript line {line}: server answered \
+                         {exp:?}, sequential replay answered {got:?}",
+                        run.session
+                    ));
+                }
+                Err(e) => report
+                    .failures
+                    .push(format!("client {}: replay failed: {e}", run.session)),
+            }
+        }
+    }
+
+    // ── shutdown + thread-leak invariant ────────────────────────────
+    match Client::connect(&addr).and_then(|mut c| c.shutdown_server()) {
+        Ok(()) => {}
+        Err(e) => report.failures.push(format!("shutdown: {e}")),
+    }
+    server.join();
+    // Give the OS a beat to reap joined threads before counting.
+    report.threads_after = count_threads();
+    if let (Some(before), Some(mut after)) = (report.threads_before, report.threads_after) {
+        for _ in 0..50 {
+            if after <= before {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            after = count_threads().unwrap_or(after);
+        }
+        report.threads_after = Some(after);
+        if after > before {
+            report.failures.push(format!(
+                "thread leak: {before} threads before soak, {after} after teardown"
+            ));
+        }
+    }
+
+    Ok(report)
+}
+
+/// Poll `stats` until every shard row reports `queued=0` (bounded
+/// retries), returning the final snapshot.
+fn drained_stats(addr: &str) -> Result<fv_net::ServerStats, ApiError> {
+    let mut control = Client::connect(addr)?;
+    let mut last = control.stats()?;
+    for _ in 0..100 {
+        if last.shards.iter().all(|s| s.queued == 0) {
+            return Ok(last);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        last = control.stats()?;
+    }
+    Err(ApiError::new(
+        ErrorCode::Internal,
+        format!(
+            "shard queues never drained: {:?}",
+            last.shards.iter().map(|s| s.queued).collect::<Vec<_>>()
+        ),
+    ))
+}
+
+/// One chaos thread: rotate disconnect → garbage → migration-storm
+/// until the round budget is spent or the soak winds down.
+fn chaos_loop(
+    addr: &str,
+    injector: usize,
+    rounds: usize,
+    shards: usize,
+    sessions: &[String],
+    stop: &AtomicBool,
+) -> ChaosRun {
+    let mut run = ChaosRun::default();
+    for round in 0..rounds {
+        // Finish the guaranteed first rotation even if clients are
+        // quick; stop early only after every fault kind ran once.
+        if round >= 3 && stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let fault = (injector + round) % 3;
+        let result = match fault {
+            0 => chaos_disconnect(addr, injector, &mut run),
+            1 => chaos_garbage(addr, &mut run),
+            _ => chaos_migration_storm(addr, round, shards, sessions, &mut run),
+        };
+        if let Err(e) = result {
+            run.failures
+                .push(format!("chaos injector {injector} round {round}: {e}"));
+            break;
+        }
+    }
+    run
+}
+
+/// Send work, then vanish without reading the reply — the server must
+/// count a dirty disconnect and keep serving everyone else.
+fn chaos_disconnect(addr: &str, injector: usize, run: &mut ChaosRun) -> Result<(), ApiError> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| ApiError::io(format!("chaos connect: {e}")))?;
+    // A heavy pipelined burst: by the time the server notices the FIN,
+    // work is still queued or in flight, so the drop is dirty.
+    let burst = format!("use chaos-{injector}\nscenario 200 {injector}\ncluster_all\nscroll 1\n");
+    stream
+        .write_all(burst.as_bytes())
+        .map_err(|e| ApiError::io(format!("chaos write: {e}")))?;
+    drop(stream); // no read — that is the point
+    run.disconnects += 1;
+    Ok(())
+}
+
+/// Oversized and non-UTF-8 lines must be answered with typed errors,
+/// after which the connection still answers a liveness ping.
+fn chaos_garbage(addr: &str, run: &mut ChaosRun) -> Result<(), ApiError> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| ApiError::io(format!("chaos connect: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| ApiError::io(format!("chaos clone: {e}")))?;
+    let mut reader = LineReader::new(stream);
+
+    let mut oversized = vec![b'x'; MAX_LINE + 64];
+    oversized.push(b'\n');
+    writer
+        .write_all(&oversized)
+        .map_err(|e| ApiError::io(format!("chaos write oversized: {e}")))?;
+    writer
+        .write_all(b"\xff\xfe not utf8\n")
+        .map_err(|e| ApiError::io(format!("chaos write bad utf8: {e}")))?;
+    writer
+        .write_all(b"ping\n")
+        .map_err(|e| ApiError::io(format!("chaos write ping: {e}")))?;
+    run.garbage_lines += 2;
+
+    for expectation in ["oversized", "bad-utf8"] {
+        match read_reply(&mut reader)? {
+            Some(Err(_)) => {} // typed rejection: exactly right
+            Some(Ok(text)) => {
+                return Err(ApiError::new(
+                    ErrorCode::Internal,
+                    format!("{expectation} line was accepted: {text:?}"),
+                ))
+            }
+            None => {
+                return Err(ApiError::io(format!(
+                    "server hung up instead of rejecting the {expectation} line"
+                )))
+            }
+        }
+    }
+    match read_reply(&mut reader)? {
+        Some(Ok(text)) if text == "pong" => Ok(()),
+        other => Err(ApiError::new(
+            ErrorCode::Internal,
+            format!("connection did not survive garbage: ping answered {other:?}"),
+        )),
+    }
+}
+
+/// Flip the balancer on and force-migrate live sessions around the
+/// shards. Typed refusals (session mid-run, not yet created, already
+/// there) are expected traffic; transport failures are not.
+fn chaos_migration_storm(
+    addr: &str,
+    round: usize,
+    shards: usize,
+    sessions: &[String],
+    run: &mut ChaosRun,
+) -> Result<(), ApiError> {
+    let mut client = Client::connect(addr)?;
+    client
+        .roundtrip("balance auto")?
+        .map_err(|e| ApiError::new(e.code, format!("balance auto rejected: {}", e.message)))?;
+    for (i, session) in sessions.iter().enumerate() {
+        let to = (round + i) % shards;
+        // The reply may be ok or a typed error — both prove the control
+        // plane stayed coherent under the storm; only transport-level
+        // failures propagate.
+        let _ = client.roundtrip(&format!("migrate {session} {to}"))?;
+        run.migrations += 1;
+    }
+    client
+        .roundtrip("balance off")?
+        .map_err(|e| ApiError::new(e.code, format!("balance off rejected: {}", e.message)))?;
+    Ok(())
+}
+
+/// A deliberately slow subscriber: dallies between reads (forcing the
+/// server's coalesce/drop-to-keyframe paths), acks late, and asserts
+/// strictly increasing sequence numbers. Returns (frames, keyframes).
+fn watch_loop(
+    addr: &str,
+    session: &str,
+    dally: Duration,
+    stop: &AtomicBool,
+) -> Result<(u64, u64), ApiError> {
+    let mut watcher = Watcher::connect(addr, session, WATCH_GRID.0, WATCH_GRID.1)?;
+    watcher
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .map_err(|e| ApiError::io(e.to_string()))?;
+    let mut last_seq: Option<u64> = None;
+    loop {
+        match watcher.next_frame()? {
+            Some(frame) => {
+                if let Some(prev) = last_seq {
+                    if frame.seq < prev {
+                        return Err(ApiError::new(
+                            ErrorCode::Internal,
+                            format!("subscriber seq went backwards: {prev} then {}", frame.seq),
+                        ));
+                    }
+                }
+                if last_seq != Some(frame.seq) {
+                    last_seq = Some(frame.seq);
+                    if frame.seq > 0 {
+                        watcher.ack(frame.seq - 1); // always one burst behind: slow
+                    }
+                    std::thread::sleep(dally);
+                }
+            }
+            None if watcher.hung_up() => {
+                return Err(ApiError::io("server hung up mid-stream"));
+            }
+            None => {
+                // idle: once the soak is winding down, detach cleanly
+                if stop.load(Ordering::SeqCst) {
+                    watcher.unsubscribe()?;
+                    return Ok((watcher.frames(), watcher.keyframes()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end soak: 2 clients, 1 injector, no watcher.
+    /// The full-size run lives in `tests/` and CI; this guards the
+    /// harness itself (report plumbing, teardown ordering) cheaply.
+    #[test]
+    fn tiny_soak_passes_all_invariants() {
+        let report = run_soak(&SoakConfig {
+            clients: 2,
+            bursts: 2,
+            n_genes: 60,
+            chaos_injectors: 1,
+            chaos_rounds: 3,
+            slow_watchers: 0,
+            ..SoakConfig::default()
+        })
+        .expect("soak harness ran");
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.replays_verified, 2, "{}", report.render());
+        assert!(report.lines_sent > 0);
+    }
+
+    #[test]
+    fn report_renders_failures_visibly() {
+        let mut r = SoakReport::default();
+        assert!(r.passed());
+        r.failures.push("demo".into());
+        assert!(!r.passed());
+        assert!(r.render().contains("verdict=FAIL"));
+        assert!(r.render().contains("invariant violated: demo"));
+    }
+}
