@@ -54,6 +54,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod codec;
 pub mod decode;

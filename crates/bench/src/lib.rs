@@ -1,1 +1,3 @@
 //! fv-bench: criterion harness crate; see benches/ for targets.
+
+#![forbid(unsafe_code)]

@@ -21,6 +21,8 @@
 //! - [`impute`] — KNN imputation of missing values (Troyanskaya et al.
 //!   2001), the standard preprocessing before clustering sparse arrays.
 
+#![forbid(unsafe_code)]
+
 pub mod distance;
 pub mod impute;
 pub mod kmeans;

@@ -40,6 +40,8 @@
 //! assert_eq!(fb.width(), 320);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod command;
 pub mod export;
 pub mod integrate;

@@ -36,6 +36,8 @@
 //! assert_eq!(m.present_in_row(1), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod error;
 pub mod matrix;

@@ -16,6 +16,8 @@
 //!   expression data", Section 2),
 //! - [`detect`] — format sniffing for drag-and-drop style loading.
 
+#![forbid(unsafe_code)]
+
 pub mod cdt;
 pub mod detect;
 pub mod export;

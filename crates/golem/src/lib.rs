@@ -16,6 +16,8 @@
 //! The geometric output is renderer-agnostic (unit-square coordinates);
 //! `forestview` draws it through `fv-render`.
 
+#![forbid(unsafe_code)]
+
 pub mod correct;
 pub mod enrich;
 pub mod hypergeom;

@@ -18,6 +18,8 @@
 //! routines run on per-dataset condition-count-sized problems where the
 //! extra precision is cheap and appreciated.
 
+#![forbid(unsafe_code)]
+
 pub mod dense;
 pub mod power;
 pub mod qr;

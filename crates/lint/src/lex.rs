@@ -1,0 +1,350 @@
+//! A lightweight Rust tokenizer: just enough lexical structure for the
+//! rule engine — identifiers, punctuation, string/char literals, and
+//! comments, each tagged with its 1-based source line.
+//!
+//! This is deliberately not a full lexer. It only needs to be exact
+//! about the things that make naive text scans lie: comments, string
+//! literals (including raw and byte strings), and the char-vs-lifetime
+//! ambiguity of `'`. Everything else degrades to single-character
+//! punctuation tokens, which the rules never look at.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `thread`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `!`, `{`, ...).
+    Punct,
+    /// String literal; `text` is the content between the quotes.
+    Str,
+    /// Char literal; `text` is the content between the quotes.
+    Char,
+    /// Lifetime (`'a`, `'static`); `text` excludes the leading `'`.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenized source: the token stream plus every comment, each with the
+/// 1-based line it starts on. Comment text excludes the `//` / `/*`
+/// markers.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<(usize, String)>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+
+    let push = |out: &mut Lexed, kind: TokKind, text: String, line: usize| {
+        out.tokens.push(Token { kind, text, line });
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (also captures `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments
+                .push((line, chars[start..j].iter().collect::<String>()));
+            i = j;
+            continue;
+        }
+
+        // Block comment, nesting respected.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            out.comments.push((start_line, text));
+            i = j;
+            continue;
+        }
+
+        // String-literal prefixes: `"`, `r"`, `r#"`, `b"`, `br#"`, `b'`.
+        if c == '"' || c == 'r' || c == 'b' {
+            let mut j = i;
+            if j < n && chars[j] == 'b' {
+                j += 1;
+            }
+            let mut raw = false;
+            if j < n && chars[j] == 'r' && j + 1 < n && (chars[j + 1] == '"' || chars[j + 1] == '#')
+            {
+                raw = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            if raw {
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            if j < n && chars[j] == '"' && (raw || j == i || (j == i + 1 && chars[i] == 'b')) {
+                // A real string literal start (plain, byte, or raw).
+                let start_line = line;
+                let mut k = j + 1;
+                let mut text = String::new();
+                while k < n {
+                    if chars[k] == '\n' {
+                        line += 1;
+                    }
+                    if !raw && chars[k] == '\\' && k + 1 < n {
+                        text.push(chars[k]);
+                        text.push(chars[k + 1]);
+                        if chars[k + 1] == '\n' {
+                            line += 1;
+                        }
+                        k += 2;
+                        continue;
+                    }
+                    if chars[k] == '"' {
+                        // For raw strings the quote must be followed by
+                        // the right number of `#`s to terminate.
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < n && chars[k + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break;
+                        }
+                    }
+                    text.push(chars[k]);
+                    k += 1;
+                }
+                push(&mut out, TokKind::Str, text, start_line);
+                i = k;
+                continue;
+            }
+            if j < n && chars[j] == '\'' && j == i + 1 && chars[i] == 'b' {
+                // Byte char literal `b'x'`.
+                let end = scan_char_literal(&chars, j, &mut line);
+                push(
+                    &mut out,
+                    TokKind::Char,
+                    chars[j + 1..end.saturating_sub(1).max(j + 1)]
+                        .iter()
+                        .collect(),
+                    line,
+                );
+                i = end;
+                continue;
+            }
+            if c == '"' {
+                // Unreachable in well-formed code; consume the quote.
+                push(&mut out, TokKind::Punct, c.to_string(), line);
+                i += 1;
+                continue;
+            }
+            // Fall through: `r`/`b` starting an ordinary identifier.
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime =
+                matches!(next, Some(ch) if ch == '_' || ch.is_alphabetic()) && after != Some('\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < n && (chars[j] == '_' || chars[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                push(
+                    &mut out,
+                    TokKind::Lifetime,
+                    chars[i + 1..j].iter().collect(),
+                    line,
+                );
+                i = j;
+                continue;
+            }
+            let start_line = line;
+            let end = scan_char_literal(&chars, i, &mut line);
+            push(
+                &mut out,
+                TokKind::Char,
+                chars[i + 1..end.saturating_sub(1).max(i + 1)]
+                    .iter()
+                    .collect(),
+                start_line,
+            );
+            i = end;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c == '_' || c.is_alphabetic() {
+            let mut j = i;
+            while j < n && (chars[j] == '_' || chars[j].is_alphanumeric()) {
+                j += 1;
+            }
+            push(&mut out, TokKind::Ident, chars[i..j].iter().collect(), line);
+            i = j;
+            continue;
+        }
+
+        // Number (suffixes glued on; rules never inspect these).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (chars[j] == '_' || chars[j].is_alphanumeric()) {
+                j += 1;
+            }
+            push(&mut out, TokKind::Num, chars[i..j].iter().collect(), line);
+            i = j;
+            continue;
+        }
+
+        push(&mut out, TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+
+    out
+}
+
+/// Scan a char literal starting at the opening `'` at `start`. Returns
+/// the index one past the closing quote. Gives up at end of line so a
+/// stray quote cannot swallow the rest of the file.
+fn scan_char_literal(chars: &[char], start: usize, line: &mut usize) -> usize {
+    let n = chars.len();
+    let mut k = start + 1;
+    while k < n && chars[k] != '\n' {
+        if chars[k] == '\\' && k + 1 < n {
+            k += 2;
+            continue;
+        }
+        if chars[k] == '\'' {
+            return k + 1;
+        }
+        k += 1;
+    }
+    if k < n && chars[k] == '\n' {
+        *line += 1;
+        return k + 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("let x = 1; // trailing note\n/* block\nspans */ let y;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0], (1, " trailing note".to_string()));
+        assert_eq!(l.comments[1].0, 2);
+        assert!(l.comments[1].1.contains("spans"));
+        // `y` is on line 3 (the block comment spans a newline).
+        let y = l.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_token_stream() {
+        let l = lex(r#"call("thread::spawn inside a string")"#);
+        assert_eq!(idents(r#"call("thread::spawn inside a string")"#), ["call"]);
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert!(s.text.contains("thread::spawn"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_terminate_correctly() {
+        let l = lex("let a = r#\"quote \" inside\"#; let b = b\"bytes\"; done");
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, ["quote \" inside", "bytes"]);
+        assert!(l.tokens.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_line() {
+        let toks = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(toks, ["fn", "f", "x", "str", "str", "x"]);
+        let l = lex("let c = 'x'; let nl = '\\n'; after");
+        assert!(l.tokens.iter().any(|t| t.is_ident("after")));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn multi_line_strings_keep_line_numbers_honest() {
+        let l = lex("let s = \"line one\nline two\";\nmarker");
+        let m = l.tokens.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(m.line, 3);
+    }
+}

@@ -1,0 +1,86 @@
+//! fv-lint CLI: lint the workspace (or explicit files) and print
+//! `file:line: rule: message` diagnostics. Exit 0 when clean, 1 on any
+//! violation, 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fv-lint [--workspace] [--json] [FILE...]\n\
+                     \n\
+                     --workspace   lint every source file under the enclosing workspace\n\
+                     --json        emit {\"version\":1,\"violations\":[...]} instead of text\n\
+                     FILE...       lint only the given files (paths taken as rule scopes)\n";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut workspace = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("fv-lint: unknown flag {other}");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => paths.push(file.to_string()),
+        }
+    }
+
+    let violations = if paths.is_empty() || workspace {
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("fv-lint: cannot determine current directory: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(root) = fv_lint::find_workspace_root(&cwd) else {
+            eprintln!(
+                "fv-lint: no enclosing Cargo workspace found from {}",
+                cwd.display()
+            );
+            return ExitCode::from(2);
+        };
+        match fv_lint::lint_workspace(&root) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("fv-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut files = Vec::new();
+        for p in &paths {
+            match std::fs::read_to_string(PathBuf::from(p)) {
+                Ok(text) => files.push(fv_lint::SourceFile {
+                    path: p.replace('\\', "/"),
+                    text,
+                }),
+                Err(e) => {
+                    eprintln!("fv-lint: {p}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        fv_lint::lint_files(&files)
+    };
+
+    if json {
+        println!("{}", fv_lint::render_json(&violations));
+    } else {
+        print!("{}", fv_lint::render_text(&violations));
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,3 @@
+pub fn refusal_code() -> &'static str {
+    "E_BOGUS"
+}

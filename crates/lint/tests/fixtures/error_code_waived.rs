@@ -1,0 +1,4 @@
+pub fn refusal_code() -> &'static str {
+    // fv-lint: allow(error-code-registry) -- experimental code behind a feature gate, not yet wire surface
+    "E_BOGUS"
+}

@@ -1,0 +1,3 @@
+pub fn format_widget(width: u32) -> String {
+    format!("widget {width}")
+}

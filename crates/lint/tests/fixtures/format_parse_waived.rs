@@ -1,0 +1,4 @@
+// fv-lint: allow(format-parse-inverse) -- write-only debug dump, intentionally not round-tripped
+pub fn format_widget(width: u32) -> String {
+    format!("widget {width}")
+}

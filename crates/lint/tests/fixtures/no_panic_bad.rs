@@ -1,0 +1,3 @@
+pub fn first_line(reply: Option<&str>) -> &str {
+    reply.unwrap()
+}

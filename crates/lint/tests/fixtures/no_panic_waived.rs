@@ -1,0 +1,4 @@
+pub fn first_line(reply: Option<&str>) -> &str {
+    // fv-lint: allow(no-panic-in-server-paths) -- caller checked is_some() one line up
+    reply.unwrap()
+}

@@ -1,0 +1,3 @@
+pub fn sample_in_background() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,4 @@
+pub fn sample_in_background() {
+    // fv-lint: allow(no-spawn-outside-sanctioned-modules) -- one-shot sampler, joined by caller
+    std::thread::spawn(|| {});
+}

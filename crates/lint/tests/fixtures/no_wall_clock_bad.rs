@@ -1,0 +1,3 @@
+pub fn tick_deadline() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,4 @@
+pub fn tick_deadline() -> std::time::Instant {
+    // fv-lint: allow(no-wall-clock) -- harness boot timestamp only; never feeds the policy
+    std::time::Instant::now()
+}

@@ -1,0 +1,4 @@
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer to at least one readable byte.
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+pub fn read_first(p: *const u8) -> u8 {
+    // fv-lint: allow(unsafe-needs-safety-comment) -- audited in review; justification tracked in the PR
+    unsafe { *p }
+}

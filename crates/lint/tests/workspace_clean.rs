@@ -1,0 +1,19 @@
+//! Self-check: the workspace tree must lint clean. This is the same
+//! gate CI's `lint-invariants` job enforces with the CLI; failing here
+//! means a violation (or a reasonless waiver) landed in the tree.
+
+use std::path::Path;
+
+#[test]
+fn workspace_tree_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let violations = fv_lint::lint_workspace(root).expect("walk the workspace tree");
+    assert!(
+        violations.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        fv_lint::render_text(&violations)
+    );
+}

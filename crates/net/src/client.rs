@@ -184,6 +184,7 @@ pub fn run_script_remote(
         }
         wire.push('\n');
     }
+    // fv-lint: allow(no-spawn-outside-sanctioned-modules) -- client-side writer thread so a pipelined script cannot deadlock against a flushing server; joined below
     let writer = std::thread::spawn(move || {
         // A send failure surfaces as missing frames on the read side.
         let _ = write_half.write_all(wire.as_bytes());

@@ -209,20 +209,37 @@ impl<R: Read> LineReader<R> {
     }
 }
 
+/// Append a success frame for response text `body` to an in-memory
+/// outbox. Infallible by construction (`Vec` writes cannot fail) — the
+/// panic-free path the event loop uses to enqueue replies.
+pub fn push_ok_frame(out: &mut Vec<u8>, body: &str) {
+    let n = body.lines().count().max(1);
+    out.extend_from_slice(format!("ok {n}\n").as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out.push(b'\n');
+}
+
+/// Append an error frame to an in-memory outbox. Newlines in the
+/// message (impossible for errors built from wire input, but cheap to
+/// guarantee) are flattened so the frame stays one line.
+pub fn push_err_frame(out: &mut Vec<u8>, e: &ApiError) {
+    let msg = e.message.replace(['\n', '\r'], " ");
+    out.extend_from_slice(format!("err {} {msg}\n", e.code.as_str()).as_bytes());
+}
+
 /// Write a success frame for response text `body` (no trailing newline in
 /// `body`; the frame adds its own terminators).
 pub fn write_ok(w: &mut impl Write, body: &str) -> io::Result<()> {
-    let n = body.lines().count().max(1);
-    writeln!(w, "ok {n}")?;
-    writeln!(w, "{body}")
+    let mut buf = Vec::new();
+    push_ok_frame(&mut buf, body);
+    w.write_all(&buf)
 }
 
-/// Write an error frame. Newlines in the message (impossible for errors
-/// built from wire input, but cheap to guarantee) are flattened so the
-/// frame stays one line.
+/// Write an error frame; byte-identical to [`push_err_frame`].
 pub fn write_err(w: &mut impl Write, e: &ApiError) -> io::Result<()> {
-    let msg = e.message.replace(['\n', '\r'], " ");
-    writeln!(w, "err {} {}", e.code.as_str(), msg)
+    let mut buf = Vec::new();
+    push_err_frame(&mut buf, e);
+    w.write_all(&buf)
 }
 
 /// One response frame, as a client sees it.
@@ -284,6 +301,30 @@ fn transport_error(e: LineError) -> ApiError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn push_frames_match_write_frames_byte_for_byte() {
+        for body in ["pong", "first\nsecond\nthird", ""] {
+            let mut pushed = Vec::new();
+            push_ok_frame(&mut pushed, body);
+            let n = body.lines().count().max(1);
+            assert_eq!(pushed, format!("ok {n}\n{body}\n").as_bytes());
+            let mut written = Vec::new();
+            write_ok(&mut written, body).unwrap();
+            assert_eq!(pushed, written);
+        }
+        let e = ApiError::invalid("multi\nline");
+        let mut pushed = Vec::new();
+        push_err_frame(&mut pushed, &e);
+        let mut written = Vec::new();
+        write_err(&mut written, &e).unwrap();
+        assert_eq!(pushed, written);
+        assert_eq!(
+            pushed.iter().filter(|&&b| b == b'\n').count(),
+            1,
+            "err frames are a single line"
+        );
+    }
 
     #[test]
     fn lines_split_and_buffering_is_visible() {

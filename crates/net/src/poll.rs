@@ -69,8 +69,10 @@ mod imp {
         revents: i16,
     }
 
+    // SAFETY: the declaration matches the libc prototype — `RawPollFd`
+    // is `#[repr(C)]` and field-identical to `struct pollfd`, and
+    // `nfds_t` is `unsigned long` on Linux.
     unsafe extern "C" {
-        // `nfds_t` is `unsigned long` on Linux.
         fn poll(fds: *mut RawPollFd, nfds: core::ffi::c_ulong, timeout: core::ffi::c_int) -> i32;
     }
 

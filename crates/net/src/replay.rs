@@ -108,6 +108,7 @@ pub fn replay_remote(addr: &str, events: &[TraceEvent]) -> Result<ReplayOutcome,
     // batch can never wedge the replay against a server that stopped
     // reading to flush replies (same shape as `run_script_remote`).
     let (tx, rx) = std::sync::mpsc::channel::<String>();
+    // fv-lint: allow(no-spawn-outside-sanctioned-modules) -- replay-side writer thread, same deadlock-avoidance shape as client.rs; joined on teardown
     let writer = std::thread::spawn(move || {
         while let Ok(chunk) = rx.recv() {
             if write_half.write_all(chunk.as_bytes()).is_err() {

@@ -39,7 +39,7 @@
 use crate::balance::{
     format_balance, BalanceConfig, BalanceMode, Balancer, SessionObservation, ShardObservation,
 };
-use crate::frame::{write_err, write_ok, FrameBuf, LineFault, MAX_LINE};
+use crate::frame::{push_err_frame, push_ok_frame, FrameBuf, LineFault, MAX_LINE};
 use crate::metrics::{ServerStats, ShardStats, StreamStats};
 use crate::poll::{self, PollEntry};
 use crate::shard::{shard_of, PubFrame, ShardHandles, ShardPool, ShardReport};
@@ -172,10 +172,17 @@ impl Server {
         });
         let loop_shared = Arc::clone(&shared);
         let shards = config.shards.max(1);
+        // Spawn the shard workers here so a failure surfaces as the bind
+        // error instead of a panic inside the event-loop thread.
+        let pool = ShardPool::spawn_with_faults(
+            config.shards,
+            config.scene,
+            config.fault_refuse_install_to,
+        )?;
+        // fv-lint: allow(no-spawn-outside-sanctioned-modules) -- the one event-loop thread; every other server thread comes from ShardPool (shard.rs)
         let event_loop = std::thread::Builder::new()
             .name("fv-net-loop".into())
-            .spawn(move || event_loop(listener, config, loop_shared, waker_rx))
-            .expect("spawn event-loop thread");
+            .spawn(move || event_loop(listener, config, pool, loop_shared, waker_rx))?;
         Ok(Server {
             addr: local,
             shards,
@@ -354,12 +361,12 @@ impl Conn {
     }
 
     fn push_ok(&mut self, body: &str, metrics: &mut LoopMetrics) {
-        write_ok(&mut self.out, body).expect("Vec writes are infallible");
+        push_ok_frame(&mut self.out, body);
         metrics.frames_out += 1;
     }
 
     fn push_err(&mut self, e: &ApiError, metrics: &mut LoopMetrics) {
-        write_err(&mut self.out, e).expect("Vec writes are infallible");
+        push_err_frame(&mut self.out, e);
         metrics.frames_out += 1;
     }
 
@@ -585,11 +592,10 @@ const STREAM_CONN: u64 = u64::MAX - 1;
 fn event_loop(
     listener: TcpListener,
     config: ServerConfig,
+    pool: ShardPool,
     shared: Arc<Shared>,
     waker_rx: PipeReader,
 ) {
-    let pool =
-        ShardPool::spawn_with_faults(config.shards, config.scene, config.fault_refuse_install_to);
     let shards = pool.handles();
     let (done_tx, done_rx) = mpsc::channel::<Completion>();
     let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
@@ -732,10 +738,11 @@ fn event_loop(
                 // One shard's report for the balancer's snapshot gather;
                 // the last one in triggers the tick.
                 if let Payload::Shard(report) = done.payload {
-                    if let Some(reports) = balance_gather.as_mut() {
+                    if let Some(mut reports) = balance_gather.take() {
                         reports.push(report);
-                        if reports.len() == shards.n_shards() {
-                            let reports = balance_gather.take().expect("gather in progress");
+                        if reports.len() < shards.n_shards() {
+                            balance_gather = Some(reports);
+                        } else {
                             let n_conns = conns.len();
                             let mut ctx = Ctx {
                                 shards: &shards,
@@ -1132,23 +1139,36 @@ fn read_conn(conn: &mut Conn, ctx: &mut Ctx) -> bool {
 /// connection when a migration completes), or the inbox is empty.
 fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
     while conn.inflight.is_none() {
-        if let Some(item) = conn.inbox.front() {
-            if let Some(target) = item.target_session(&conn.session) {
-                if ctx.migrating.contains(target) {
-                    break;
-                }
+        // Stall checks peek the front; only when the item may proceed is
+        // it popped (once) and matched by value — no peek/pop pairing to
+        // keep in sync.
+        let Some(front) = conn.inbox.front() else {
+            break;
+        };
+        if let Some(target) = front.target_session(&conn.session) {
+            if ctx.migrating.contains(target) {
+                break;
             }
         }
-        match conn.inbox.front() {
-            None => break,
-            Some(Item::Request(_)) => {
+        if matches!(front, Item::Stats | Item::ListSessions) && !ctx.migrating.is_empty() {
+            // A session mid-migration lives in neither shard's hub (its
+            // engine is in transit between Extract and Install), so a
+            // fan-out now could miss it. Stall until every move lands —
+            // migrations complete promptly, and the loop re-pumps all
+            // connections when one does.
+            break;
+        }
+        let Some(item) = conn.inbox.pop_front() else {
+            break;
+        };
+        match item {
+            Item::Request(first) => {
                 // Everything the client has pipelined for the current
                 // session becomes one run — one layout pass server-side.
-                let mut requests = Vec::new();
-                while let Some(Item::Request(_)) = conn.inbox.front() {
-                    match conn.inbox.pop_front() {
-                        Some(Item::Request(r)) => requests.push(r),
-                        _ => unreachable!("front() said Request"),
+                let mut requests = vec![first];
+                while matches!(conn.inbox.front(), Some(Item::Request(_))) {
+                    if let Some(Item::Request(r)) = conn.inbox.pop_front() {
+                        requests.push(r);
                     }
                 }
                 conn.queued_requests -= requests.len();
@@ -1166,10 +1186,7 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                     ctx.responder(id, Payload::Run),
                 );
             }
-            Some(Item::Use(_)) => {
-                let Some(Item::Use(session)) = conn.inbox.pop_front() else {
-                    unreachable!("front() said Use");
-                };
+            Item::Use(session) => {
                 conn.session = session.clone();
                 // Materialize eagerly (the `use` semantics) on the owning
                 // shard; the ack frame waits for the empty run so later
@@ -1186,14 +1203,10 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                     ctx.responder(id, Payload::Run),
                 );
             }
-            Some(Item::Ping) => {
-                conn.inbox.pop_front();
+            Item::Ping => {
                 conn.push_ok("pong", ctx.metrics);
             }
-            Some(Item::Balance(_)) => {
-                let Some(Item::Balance(set)) = conn.inbox.pop_front() else {
-                    unreachable!("front() said Balance");
-                };
+            Item::Balance(set) => {
                 // Answered from loop state — no shard round trip, so a
                 // `balance` line never stalls behind engine work.
                 let reply = match set {
@@ -1205,17 +1218,10 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                 };
                 conn.push_ok(&reply, ctx.metrics);
             }
-            Some(Item::Reject(_)) => {
-                let Some(Item::Reject(e)) = conn.inbox.pop_front() else {
-                    unreachable!("front() said Reject");
-                };
+            Item::Reject(e) => {
                 conn.push_err(&e, ctx.metrics);
             }
-            Some(Item::Subscribe(..)) => {
-                let Some(Item::Subscribe(session, tiles_x, tiles_y)) = conn.inbox.pop_front()
-                else {
-                    unreachable!("front() said Subscribe");
-                };
+            Item::Subscribe(session, tiles_x, tiles_y) => {
                 let (sw, sh) = ctx.scene;
                 if sw % tiles_x != 0 || sh % tiles_y != 0 {
                     conn.push_err(
@@ -1255,8 +1261,7 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                     ctx.responder(id, Payload::Run),
                 );
             }
-            Some(Item::Unsubscribe) => {
-                conn.inbox.pop_front();
+            Item::Unsubscribe => {
                 match conn.sub.take() {
                     Some(sub) => {
                         ctx.streams.unsubscribe(&sub.session, id);
@@ -1266,26 +1271,20 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                     None => conn.push_ok("unsubscribed", ctx.metrics),
                 }
             }
-            Some(Item::Ack(_)) => {
-                let Some(Item::Ack(seq)) = conn.inbox.pop_front() else {
-                    unreachable!("front() said Ack");
-                };
+            Item::Ack(seq) => {
                 if let Some(sub) = conn.sub.as_mut() {
                     sub.last_ack = Some(sub.last_ack.map_or(seq, |a| a.max(seq)));
                 }
                 // No reply: acks pace the stream; answering them would
                 // interleave text frames into the binary tile stream.
             }
-            Some(Item::Close) | Some(Item::CloseNamed(_)) => {
-                let closed = match conn.inbox.pop_front() {
-                    // Bare `close` drops the connection's current session
-                    // and falls back to the default; the named form
-                    // leaves the connection's session pointer alone.
-                    Some(Item::Close) => {
-                        std::mem::replace(&mut conn.session, EngineHub::default_session())
-                    }
-                    Some(Item::CloseNamed(closed)) => closed,
-                    _ => unreachable!("front() said Close/CloseNamed"),
+            Item::Close | Item::CloseNamed(_) => {
+                // Bare `close` drops the connection's current session and
+                // falls back to the default; the named form leaves the
+                // connection's session pointer alone.
+                let closed = match item {
+                    Item::CloseNamed(closed) => closed,
+                    _ => std::mem::replace(&mut conn.session, EngineHub::default_session()),
                 };
                 conn.inflight = Some(Inflight::Close {
                     closed: closed.clone(),
@@ -1299,10 +1298,7 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                 ctx.shards
                     .submit_close_to(shard, &closed, ctx.responder(id, closed_payload));
             }
-            Some(Item::Migrate(..)) => {
-                let Some(Item::Migrate(session, to)) = conn.inbox.pop_front() else {
-                    unreachable!("front() said Migrate");
-                };
+            Item::Migrate(session, to) => {
                 // Stall every other item targeting this session until the
                 // move lands; the loop clears the flag (and re-pumps) on
                 // the Migrated completion.
@@ -1310,19 +1306,11 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                 conn.inflight = Some(Inflight::Migrate);
                 ctx.submit_migration(id, &session, to);
             }
-            Some(Item::Stats) | Some(Item::ListSessions) => {
-                // A session mid-migration lives in neither shard's hub
-                // (its engine is in transit between Extract and Install),
-                // so a fan-out now could miss it. Stall until every move
-                // lands — migrations complete promptly, and the loop
-                // re-pumps all connections when one does.
-                if !ctx.migrating.is_empty() {
-                    break;
-                }
-                let what = match conn.inbox.pop_front() {
-                    Some(Item::Stats) => Gather::Stats,
-                    Some(Item::ListSessions) => Gather::Sessions,
-                    _ => unreachable!("front() said Stats/ListSessions"),
+            Item::Stats | Item::ListSessions => {
+                // The migration stall was checked before the pop.
+                let what = match item {
+                    Item::Stats => Gather::Stats,
+                    _ => Gather::Sessions,
                 };
                 conn.inflight = Some(Inflight::Gather {
                     what,
@@ -1332,7 +1320,7 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                 ctx.shards
                     .submit_report_all(|| ctx.responder(id, Payload::Shard));
             }
-            Some(Item::Shutdown) => {
+            Item::Shutdown => {
                 conn.inbox.clear();
                 conn.queued_requests = 0;
                 conn.push_ok("bye", ctx.metrics);

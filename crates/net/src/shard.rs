@@ -395,7 +395,7 @@ impl ShardPool {
     /// with `None` — this is the test convenience.)
     #[cfg(test)]
     pub fn spawn(n: usize, scene: (usize, usize)) -> ShardPool {
-        ShardPool::spawn_with_faults(n, scene, None)
+        ShardPool::spawn_with_faults(n, scene, None).expect("spawn shard workers")
     }
 
     /// Like [`ShardPool::spawn`], but with fault injection: the shard at
@@ -406,7 +406,7 @@ impl ShardPool {
         n: usize,
         scene: (usize, usize),
         refuse_install_to: Option<usize>,
-    ) -> ShardPool {
+    ) -> std::io::Result<ShardPool> {
         let n = n.max(1);
         let cache = DatasetCache::new();
         let depth: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
@@ -421,18 +421,17 @@ impl ShardPool {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("fv-net-shard-{i}"))
-                    .spawn(move || worker(i, rx, depth, scene, cache, refuse_install))
-                    .expect("spawn shard worker"),
+                    .spawn(move || worker(i, rx, depth, scene, cache, refuse_install))?,
             );
         }
-        ShardPool {
+        Ok(ShardPool {
             handles: ShardHandles {
                 senders,
                 depth,
                 cache,
             },
             workers,
-        }
+        })
     }
 
     pub fn handles(&self) -> ShardHandles {

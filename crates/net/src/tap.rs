@@ -21,7 +21,18 @@ use crate::frame::{FrameBuf, LineFault, Reply, MAX_LINE};
 use fv_api::{ApiError, ErrorCode, TraceEvent};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Append to the shared event log, recovering a poisoned lock: the
+/// recording threads only ever push to the Vec, so a panic between
+/// lock and unlock cannot leave it torn — the events gathered so far
+/// are still the truth of what crossed the wire.
+fn push_event(events: &Mutex<Vec<TraceEvent>>, event: TraceEvent) {
+    events
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(event);
+}
 
 /// Incremental reply-frame parser: feed the server→client stream one
 /// line at a time, get a completed [`Reply`] whenever a frame closes.
@@ -135,7 +146,7 @@ pub(crate) fn record_streams(
                         if trimmed.is_empty() || trimmed.starts_with('#') {
                             continue; // no frame will answer it
                         }
-                        events.lock().unwrap().push(TraceEvent::Send(line));
+                        push_event(&events, TraceEvent::Send(line));
                     }
                     to.write_all(&chunk[..n])
                         .map_err(|e| ApiError::io(format!("tap write server: {e}")))?;
@@ -169,7 +180,7 @@ pub(crate) fn record_streams(
                     while let Some(line) = frames.next_line() {
                         let line = line.map_err(|f| unrecordable("reply", f))?;
                         if let Some(reply) = assembler.push_line(&line)? {
-                            events.lock().unwrap().push(TraceEvent::Recv(reply));
+                            push_event(&events, TraceEvent::Recv(reply));
                         }
                     }
                 }
@@ -200,7 +211,7 @@ pub(crate) fn record_streams(
     s2c_result?;
 
     Ok(Arc::try_unwrap(events)
-        .map(|m| m.into_inner().unwrap())
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
         .unwrap_or_default())
 }
 
@@ -265,6 +276,28 @@ mod tests {
             }
         }
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn event_log_survives_a_poisoned_lock() {
+        // A panic while the log is held poisons the mutex; the recorder
+        // must still read the events gathered before the panic rather
+        // than panicking itself (the old `.unwrap()` behavior).
+        let events = Arc::new(Mutex::new(Vec::new()));
+        push_event(&events, TraceEvent::Send("render".into()));
+        let poisoner = Arc::clone(&events);
+        std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the log");
+        })
+        .join()
+        .unwrap_err();
+        assert!(events.is_poisoned());
+        push_event(&events, TraceEvent::Send("stats".into()));
+        let log = Arc::try_unwrap(events)
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .unwrap_or_default();
+        assert_eq!(log.len(), 2);
     }
 
     #[test]

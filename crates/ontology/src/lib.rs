@@ -19,6 +19,8 @@
 //! - [`query`] — ancestors/descendants, lowest common ancestors, depth and
 //!   radius-bounded neighbourhoods (the "local exploration map" substrate).
 
+#![forbid(unsafe_code)]
+
 pub mod annotations;
 pub mod dag;
 pub mod obo;

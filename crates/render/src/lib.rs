@@ -19,6 +19,8 @@
 //! - [`dendro`] — dendrogram (gene/array tree) painter,
 //! - [`image`] — PPM and BMP encoders plus a PPM decoder for tests.
 
+#![forbid(unsafe_code)]
+
 pub mod color;
 pub mod colormap;
 pub mod dendro;

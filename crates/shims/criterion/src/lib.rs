@@ -7,6 +7,8 @@
 //! Timing is a simple best-of-N wall-clock measurement printed per
 //! benchmark — no statistics, HTML reports, or regression tracking.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer value passthrough.

@@ -6,6 +6,8 @@
 //! implementation — the `fv-wall` tile pipeline runs real worker threads
 //! through it — just without crossbeam's lock-free fast paths.
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;

@@ -5,6 +5,8 @@
 //! characteristics are std's, which is fine for the workspace's usage — a
 //! compositor mutex whose traffic is already serialized by a channel.
 
+#![forbid(unsafe_code)]
+
 use std::sync::TryLockError;
 
 /// Non-poisoning mutex with `parking_lot`'s API shape.

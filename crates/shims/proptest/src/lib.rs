@@ -17,6 +17,8 @@
 //! - Failure is reported by panic, not `Result`, so `prop_assert!` is
 //!   `assert!` with the same message formatting.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod test_runner {

@@ -8,6 +8,8 @@
 //! platforms (the synthetic-data crates rely on seed-reproducibility, not
 //! on matching upstream `StdRng`'s exact stream).
 
+#![forbid(unsafe_code)]
+
 /// Seedable random number generators.
 pub trait SeedableRng: Sized {
     /// Construct from a 64-bit seed.

@@ -13,6 +13,8 @@
 //! `rayon` from crates.io restores the parallel implementations without
 //! any source change elsewhere.
 
+#![forbid(unsafe_code)]
+
 pub mod prelude {
     /// `par_iter` / `par_iter_mut` / `par_chunks_exact_mut` on slices (and,
     /// via deref, `Vec`).

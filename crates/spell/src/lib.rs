@@ -25,6 +25,8 @@
 //! 6. [`eval`] — retrieval metrics (precision@k, average precision) used by
 //!    the reproduction benches to verify planted-module recovery.
 
+#![forbid(unsafe_code)]
+
 pub mod balance;
 pub mod engine;
 pub mod eval;

@@ -24,6 +24,8 @@
 //! - [`workload`] — seeded *traffic* (taxonomy-derived query mixes), the
 //!   request-stream counterpart of the data generators.
 
+#![forbid(unsafe_code)]
+
 pub mod compendium;
 pub mod dataset;
 pub mod modules;

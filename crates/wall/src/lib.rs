@@ -22,6 +22,8 @@
 //!   over TCP (key/delta frames, encoder, viewer-side assembler),
 //! - [`stats`] — per-frame counters.
 
+#![forbid(unsafe_code)]
+
 pub mod damage;
 pub mod net;
 pub mod pipeline;

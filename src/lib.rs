@@ -39,6 +39,8 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! per-figure reproduction records.
 
+#![forbid(unsafe_code)]
+
 pub mod soak;
 
 pub use forestview;
