@@ -15,6 +15,7 @@
 
 use crate::cache::DatasetCache;
 use crate::error::ApiError;
+use crate::image::{DatasetStamp, SessionImage};
 use crate::request::{Mutation, NormalizeMethod, Query, Request, SelectionExport};
 use crate::response::{
     DamageRect, DatasetRow, EnrichmentRow, Response, SessionInfoData, SpellDatasetRow, SpellGeneRow,
@@ -102,6 +103,16 @@ pub struct Engine {
     dataset_version: u64,
     /// Attempted requests since creation (see [`EngineCost::requests`]).
     requests_executed: u64,
+    /// Compacted log of every successful mutation, in application order —
+    /// the replay half of [`Engine::snapshot`]. Consecutive same-slot
+    /// absolute writes (contrast on one target, linkage, metric) collapse
+    /// to the latest, which is provably state-preserving; nothing else is
+    /// dropped.
+    log: Vec<Mutation>,
+    /// Fingerprint of each file-loaded dataset, keyed by the user-spelled
+    /// path (latest observation wins) — the restore-time assertion that
+    /// replay sees the same bytes.
+    stamps: std::collections::BTreeMap<String, (u64, Option<u64>)>,
     spell: Option<(u64, SpellEngine)>,
     golem: Option<GolemContext>,
     truth: Option<GroundTruth>,
@@ -135,6 +146,8 @@ impl Engine {
             cache,
             dataset_version: 0,
             requests_executed: 0,
+            log: Vec::new(),
+            stamps: std::collections::BTreeMap::new(),
             spell: None,
             golem: None,
             truth: None,
@@ -277,9 +290,99 @@ impl Engine {
         }
     }
 
-    /// Apply a mutation without resolving damage. Returns the response
-    /// (with empty damage for `Applied`) and the damage class, if any.
+    /// Durably represent this session: scene, attempted-request counter,
+    /// dataset fingerprints (sorted by path), and the compacted mutation
+    /// log. [`Engine::restore`] rebuilds an identical session from it —
+    /// the representation process-backed shard transports migrate and the
+    /// future on-disk persistence format.
+    pub fn snapshot(&self) -> SessionImage {
+        SessionImage {
+            scene: self.scene,
+            requests: self.requests_executed,
+            datasets: self
+                .stamps
+                .iter()
+                .map(|(path, &(len, mtime_nanos))| DatasetStamp {
+                    len,
+                    mtime_nanos,
+                    path: path.clone(),
+                })
+                .collect(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// Rebuild a session from its image: assert every dataset fingerprint
+    /// still matches the file on disk (an image is exact only against
+    /// unchanged bytes — a process-backed install must refuse otherwise),
+    /// then replay the log through the normal execute path against
+    /// `cache`. The restored engine re-snapshots to the same image.
+    pub fn restore(image: &SessionImage, cache: &DatasetCache) -> Result<Engine, ApiError> {
+        for stamp in &image.datasets {
+            let (len, mtime_nanos) = probe_stamp(&stamp.path)
+                .map_err(|e| ApiError::io(format!("{}: {e}", stamp.path)))?;
+            if len != stamp.len || mtime_nanos != stamp.mtime_nanos {
+                return Err(ApiError::invalid(format!(
+                    "dataset {} changed since the session image was taken \
+                     (len {} -> {len}); refusing to restore",
+                    stamp.path, stamp.len
+                )));
+            }
+        }
+        let mut engine = Engine::with_scene_and_cache(image.scene.0, image.scene.1, cache.clone());
+        for mutation in &image.log {
+            engine
+                .execute(&Request::Mutate(mutation.clone()))
+                .map_err(|e| {
+                    ApiError::new(
+                        e.code,
+                        format!(
+                            "session image replay failed at `{}`: {}",
+                            crate::codec::format_request(&Request::Mutate(mutation.clone())),
+                            e.message
+                        ),
+                    )
+                })?;
+        }
+        // Queries and failed requests counted toward the original
+        // engine's attempted-request total but never entered the log;
+        // the explicit counter restores `Engine::cost` exactly.
+        engine.requests_executed = image.requests;
+        Ok(engine)
+    }
+
+    /// Apply a mutation without resolving damage, recording it (and, for
+    /// file loads, the dataset fingerprint) in the session log on
+    /// success. Returns the response (with empty damage for `Applied`)
+    /// and the damage class, if any.
     fn perform_mutation(
+        &mut self,
+        mutation: &Mutation,
+    ) -> Result<(Response, Option<DamageClass>), ApiError> {
+        let result = self.apply_mutation(mutation);
+        if result.is_ok() {
+            if let Mutation::LoadDataset { path } = mutation {
+                self.stamps
+                    .insert(path.clone(), probe_stamp(path).unwrap_or((0, None)));
+            }
+            self.record_mutation(mutation);
+        }
+        result
+    }
+
+    /// Append a successful mutation to the log, collapsing a consecutive
+    /// same-slot absolute write into the latest value.
+    fn record_mutation(&mut self, mutation: &Mutation) {
+        if let Some(last) = self.log.last_mut() {
+            if supersedes(mutation, last) {
+                *last = mutation.clone();
+                return;
+            }
+        }
+        self.log.push(mutation.clone());
+    }
+
+    fn apply_mutation(
         &mut self,
         mutation: &Mutation,
     ) -> Result<(Response, Option<DamageClass>), ApiError> {
@@ -685,6 +788,40 @@ impl Engine {
     }
 }
 
+/// Observe a dataset file's fingerprint (byte length + mtime nanos since
+/// the Unix epoch) for a [`DatasetStamp`]. `None` mtime when the
+/// filesystem reports none (or a pre-epoch time).
+fn probe_stamp(path: &str) -> std::io::Result<(u64, Option<u64>)> {
+    let meta = std::fs::metadata(path)?;
+    let mtime_nanos = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64);
+    Ok((meta.len(), mtime_nanos))
+}
+
+/// Does recording `new` right after `last` make `last` unobservable?
+/// True only for consecutive absolute single-slot writes — the later
+/// value fully determines the slot, so dropping the earlier entry is
+/// provably state-preserving.
+fn supersedes(new: &Mutation, last: &Mutation) -> bool {
+    use forestview::command::Command;
+    match (new, last) {
+        (
+            Mutation::Command(Command::SetContrast { dataset: a, .. }),
+            Mutation::Command(Command::SetContrast { dataset: b, .. }),
+        ) => a == b,
+        (Mutation::Command(Command::SetLinkage(_)), Mutation::Command(Command::SetLinkage(_))) => {
+            true
+        }
+        (Mutation::Command(Command::SetMetric(_)), Mutation::Command(Command::SetMetric(_))) => {
+            true
+        }
+        _ => false,
+    }
+}
+
 /// Load a PCL or CDT dataset from disk, named after the file stem.
 pub fn load_dataset_file(path: &str) -> Result<fv_expr::Dataset, ApiError> {
     let text = std::fs::read_to_string(path).map_err(|e| ApiError::io(format!("{path}: {e}")))?;
@@ -944,6 +1081,126 @@ mod tests {
         assert_eq!(err.code, crate::error::ErrorCode::NotFound);
         // the mutation before the error stays applied
         assert_eq!(e.session().n_datasets(), 3);
+    }
+
+    #[test]
+    fn snapshot_restore_rebuilds_the_session_exactly() {
+        let mut e = Engine::with_scene(800, 600);
+        for r in [
+            Request::Mutate(Mutation::LoadScenario {
+                n_genes: 90,
+                seed: 3,
+            }),
+            Request::Mutate(Mutation::Command(Command::Search("stress".into()))),
+            Request::Mutate(Mutation::ClusterArrays { dataset: 0 }),
+            Request::Mutate(Mutation::Command(Command::Scroll(2))),
+        ] {
+            e.execute(&r).unwrap();
+        }
+        // queries and failures bump the counter without entering the log
+        e.execute(&Request::Query(Query::SessionInfo)).unwrap();
+        let _ = e.execute(&Request::Mutate(Mutation::Impute { dataset: 9, k: 3 }));
+        let image = e.snapshot();
+        assert_eq!(image.requests, 6);
+        assert_eq!(image.log.len(), 4, "only successful mutations recorded");
+        let text = crate::image::format_session_image(&image);
+        let parsed = crate::image::parse_session_image(&text).unwrap();
+        assert_eq!(parsed, image);
+        let mut restored = Engine::restore(&parsed, &DatasetCache::new()).unwrap();
+        assert_eq!(restored.cost(), e.cost());
+        assert_eq!(
+            restored.session().cluster_settings(),
+            e.session().cluster_settings()
+        );
+        // a second snapshot of the restored engine is byte-identical
+        // (replaying a compacted log re-records exactly that log)
+        assert_eq!(
+            crate::image::format_session_image(&restored.snapshot()),
+            text
+        );
+        let probe = Request::Query(Query::Render {
+            width: 320,
+            height: 240,
+            path: None,
+        });
+        assert_eq!(
+            restored.execute(&probe).unwrap(),
+            e.execute(&probe).unwrap()
+        );
+    }
+
+    #[test]
+    fn log_compacts_consecutive_absolute_writes() {
+        let mut e = loaded_engine();
+        for r in [
+            Request::Mutate(Mutation::Command(Command::SetContrast {
+                dataset: Some(1),
+                contrast: 2.0,
+            })),
+            Request::Mutate(Mutation::Command(Command::SetContrast {
+                dataset: Some(1),
+                contrast: 3.0,
+            })),
+            // different target: both stay
+            Request::Mutate(Mutation::Command(Command::SetContrast {
+                dataset: None,
+                contrast: 1.5,
+            })),
+            Request::Mutate(Mutation::Command(Command::SetLinkage(
+                fv_cluster::linkage::Linkage::Complete,
+            ))),
+            Request::Mutate(Mutation::Command(Command::SetLinkage(
+                fv_cluster::linkage::Linkage::Ward,
+            ))),
+            Request::Mutate(Mutation::Command(Command::SetMetric(
+                fv_cluster::distance::Metric::Euclidean,
+            ))),
+        ] {
+            e.execute(&r).unwrap();
+        }
+        let image = e.snapshot();
+        // scenario + contrast(1) + contrast(all) + linkage + metric
+        assert_eq!(image.log.len(), 5, "consecutive same-slot writes collapse");
+        let restored = Engine::restore(&image, &DatasetCache::new()).unwrap();
+        assert_eq!(
+            restored.session().cluster_settings(),
+            e.session().cluster_settings()
+        );
+        assert_eq!(restored.snapshot(), image, "re-snapshot is stable");
+    }
+
+    #[test]
+    fn restore_asserts_dataset_fingerprints() {
+        let dir = std::env::temp_dir().join(format!("fv-image-stamp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.pcl");
+        std::fs::write(
+            &path,
+            "ID\tNAME\tGWEIGHT\tc0\tc1\nG1\tG1\t1\t1.0\t2.0\nG2\tG2\t1\t3.0\t4.0\n",
+        )
+        .unwrap();
+        let mut e = Engine::with_scene(640, 480);
+        e.execute(&Request::Mutate(Mutation::LoadDataset {
+            path: path.to_string_lossy().into_owned(),
+        }))
+        .unwrap();
+        let image = e.snapshot();
+        assert_eq!(image.datasets.len(), 1);
+        assert!(image.datasets[0].len > 0);
+        assert!(Engine::restore(&image, &DatasetCache::new()).is_ok());
+        // grow the file: the stamp no longer matches and restore refuses
+        std::fs::write(
+            &path,
+            "ID\tNAME\tGWEIGHT\tc0\tc1\nG1\tG1\t1\t9.0\t9.0\nG2\tG2\t1\t3.0\t4.0\nG3\tG3\t1\t5.0\t6.0\n",
+        )
+        .unwrap();
+        let err = Engine::restore(&image, &DatasetCache::new()).err().unwrap();
+        assert_eq!(err.code, crate::error::ErrorCode::InvalidRequest);
+        // a missing file is a typed I/O error
+        std::fs::remove_file(&path).unwrap();
+        let err = Engine::restore(&image, &DatasetCache::new()).err().unwrap();
+        assert_eq!(err.code, crate::error::ErrorCode::Io);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub enum ErrorCode {
     Busy,
     /// Internal invariant violation — a bug, not a user error.
     Internal,
+    /// The shard process (or worker) serving the session is gone —
+    /// crashed, killed, or unreachable. Transient from the protocol's
+    /// point of view: the session is lost, but the server is healthy and
+    /// a new session can be created immediately.
+    ShardDown,
 }
 
 impl ErrorCode {
@@ -47,6 +52,7 @@ impl ErrorCode {
             ErrorCode::MissingContext => "E_MISSING_CONTEXT",
             ErrorCode::Busy => "E_BUSY",
             ErrorCode::Internal => "E_INTERNAL",
+            ErrorCode::ShardDown => "E_SHARD_DOWN",
         }
     }
 
@@ -64,6 +70,7 @@ impl ErrorCode {
             "E_MISSING_CONTEXT" => ErrorCode::MissingContext,
             "E_BUSY" => ErrorCode::Busy,
             "E_INTERNAL" => ErrorCode::Internal,
+            "E_SHARD_DOWN" => ErrorCode::ShardDown,
             _ => return None,
         })
     }
@@ -81,6 +88,8 @@ impl ErrorCode {
             // sysexits EX_TEMPFAIL: try again later.
             ErrorCode::Busy => 75,
             ErrorCode::Internal => 70,
+            // sysexits EX_UNAVAILABLE: the serving process is gone.
+            ErrorCode::ShardDown => 69,
         }
     }
 }
@@ -128,6 +137,10 @@ impl ApiError {
 
     pub fn busy(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::Busy, message)
+    }
+
+    pub fn shard_down(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::ShardDown, message)
     }
 
     /// Exit code a CLI process should terminate with.
@@ -183,6 +196,7 @@ mod tests {
             ErrorCode::MissingContext,
             ErrorCode::Busy,
             ErrorCode::Internal,
+            ErrorCode::ShardDown,
         ] {
             assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
         }

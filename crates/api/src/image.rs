@@ -1,0 +1,276 @@
+//! `SessionImage`: a session as durable, transportable text.
+//!
+//! The replayable-script design makes a session's state a pure function
+//! of the successful mutations applied to it, so a session can be
+//! represented *exactly* as (scene, attempted-request counter, dataset
+//! fingerprints, compacted mutation log) — no engine internals cross the
+//! boundary. [`Engine::snapshot`](crate::Engine::snapshot) produces one;
+//! [`Engine::restore`](crate::Engine::restore) replays it through the
+//! normal execute path. Process-backed shard transports ship images
+//! instead of engines, and the same text is the future on-disk
+//! persistence format.
+//!
+//! The canonical text form:
+//!
+//! ```text
+//! session-image v1 scene=800x600 requests=12 datasets=1 log=3
+//!   dataset len=482 mtime=1754550000000000000 path=data/gasch_stress.pcl
+//!   load data/gasch_stress.pcl
+//!   set_metric euclidean
+//!   cluster_all
+//! ```
+//!
+//! The header carries exact row counts; `datasets` rows fingerprint every
+//! file-loaded dataset (byte length + mtime in nanoseconds since the Unix
+//! epoch, `-` when the filesystem reports none; the path comes last so it
+//! may contain spaces), and `log` rows are canonical
+//! [`format_request`](crate::format_request) mutation lines, replayed in
+//! order on restore. [`format_session_image`] and [`parse_session_image`]
+//! are exact inverses (property-tested), mirroring the
+//! `format_request`/`parse_request` contract.
+
+use crate::codec::{format_request, parse_request, NONE};
+use crate::error::ApiError;
+use crate::request::{Mutation, Request};
+
+/// Fingerprint of one file-backed dataset a session loaded: enough for a
+/// restoring process to assert it is replaying against the same bytes.
+/// Paths are the user-spelled `load` argument, not the canonicalized
+/// cache key, so the image replays through the same cache lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStamp {
+    /// File length in bytes at load time.
+    pub len: u64,
+    /// Modification time in nanoseconds since the Unix epoch; `None`
+    /// when the filesystem reports no (or a pre-epoch) mtime.
+    pub mtime_nanos: Option<u64>,
+    /// The path as the `load` request spelled it.
+    pub path: String,
+}
+
+/// A session, durably: everything needed to rebuild its engine exactly,
+/// provided its dataset files are unchanged (which [`DatasetStamp`]s
+/// assert at restore time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionImage {
+    /// Scene dimensions damage resolves against.
+    pub scene: (usize, usize),
+    /// The engine's attempted-request counter. Queries and failed
+    /// requests count here but never appear in the log, so the counter
+    /// must travel explicitly for `Engine::cost` to survive a restore.
+    pub requests: u64,
+    /// Fingerprints of every file-loaded dataset, sorted by path. One
+    /// stamp per path (the latest observation) — an image is exact
+    /// provided each file is unchanged since the session loaded it.
+    pub datasets: Vec<DatasetStamp>,
+    /// The compacted log of successful mutations, in application order.
+    /// Replaying it through the normal execute path rebuilds the session
+    /// state exactly.
+    pub log: Vec<Mutation>,
+}
+
+/// Canonical text form of a session image; inverse of
+/// [`parse_session_image`].
+pub fn format_session_image(image: &SessionImage) -> String {
+    let mut out = format!(
+        "session-image v1 scene={}x{} requests={} datasets={} log={}",
+        image.scene.0,
+        image.scene.1,
+        image.requests,
+        image.datasets.len(),
+        image.log.len()
+    );
+    for d in &image.datasets {
+        out.push_str(&format!(
+            "\n  dataset len={} mtime={} path={}",
+            d.len,
+            match d.mtime_nanos {
+                Some(ns) => ns.to_string(),
+                None => NONE.to_string(),
+            },
+            d.path
+        ));
+    }
+    for m in &image.log {
+        out.push_str("\n  ");
+        out.push_str(&format_request(&Request::Mutate(m.clone())));
+    }
+    out
+}
+
+/// Parse a session image back from its canonical text; inverse of
+/// [`format_session_image`]. Strict: the header's row counts must match
+/// the rows present, dataset rows must precede log rows, and every log
+/// row must be a mutation (queries never enter a session log).
+pub fn parse_session_image(text: &str) -> Result<SessionImage, ApiError> {
+    let mut lines = text.lines();
+    let head = lines
+        .next()
+        .ok_or_else(|| ApiError::parse("empty session image"))?;
+    let tail = head
+        .strip_prefix("session-image v1 ")
+        .ok_or_else(|| ApiError::parse(format!("not a v1 session image: {head:?}")))?;
+    let scene_tok = crate::decode::field(tail, "scene")?;
+    let (sw, sh) = scene_tok
+        .split_once('x')
+        .ok_or_else(|| ApiError::parse(format!("scene is <w>x<h>, got {scene_tok:?}")))?;
+    let scene = (
+        crate::decode::num(sw, "scene width")?,
+        crate::decode::num(sh, "scene height")?,
+    );
+    let requests: u64 = crate::decode::num(crate::decode::field(tail, "requests")?, "requests")?;
+    let n_datasets: usize =
+        crate::decode::num(crate::decode::field(tail, "datasets")?, "datasets")?;
+    let n_log: usize = crate::decode::num(crate::decode::field(tail, "log")?, "log")?;
+    let mut datasets = Vec::with_capacity(n_datasets);
+    for _ in 0..n_datasets {
+        let line = lines
+            .next()
+            .ok_or_else(|| ApiError::parse("session image is missing dataset rows"))?;
+        datasets.push(parse_dataset_row(line)?);
+    }
+    let mut log = Vec::with_capacity(n_log);
+    for _ in 0..n_log {
+        let line = lines
+            .next()
+            .ok_or_else(|| ApiError::parse("session image is missing log rows"))?;
+        let row = line
+            .strip_prefix("  ")
+            .ok_or_else(|| ApiError::parse(format!("log rows are indented, got {line:?}")))?;
+        match parse_request(row)? {
+            Request::Mutate(m) => log.push(m),
+            Request::Query(_) => {
+                return Err(ApiError::parse(format!(
+                    "session image log rows are mutations, got query {row:?}"
+                )))
+            }
+        }
+    }
+    if let Some(extra) = lines.next() {
+        return Err(ApiError::parse(format!(
+            "session image has rows past its declared counts: {extra:?}"
+        )));
+    }
+    Ok(SessionImage {
+        scene,
+        requests,
+        datasets,
+        log,
+    })
+}
+
+fn parse_dataset_row(line: &str) -> Result<DatasetStamp, ApiError> {
+    let row = line
+        .strip_prefix("  dataset ")
+        .ok_or_else(|| ApiError::parse(format!("expected a dataset row, got {line:?}")))?;
+    let len: u64 = crate::decode::num(crate::decode::field(row, "len")?, "len")?;
+    let mtime_tok = crate::decode::field(row, "mtime")?;
+    let mtime_nanos = if mtime_tok == NONE {
+        None
+    } else {
+        Some(crate::decode::num(mtime_tok, "mtime")?)
+    };
+    // The path is the trailing field and may contain spaces.
+    let path = row
+        .split_once("path=")
+        .map(|(_, p)| p)
+        .ok_or_else(|| ApiError::parse("dataset row needs path="))?;
+    if path.is_empty() || path.contains('\n') || path.trim() != path {
+        return Err(ApiError::parse(format!("bad dataset path {path:?}")));
+    }
+    Ok(DatasetStamp {
+        len,
+        mtime_nanos,
+        path: path.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::NormalizeMethod;
+    use forestview::command::Command;
+
+    fn sample() -> SessionImage {
+        SessionImage {
+            scene: (800, 600),
+            requests: 12,
+            datasets: vec![
+                DatasetStamp {
+                    len: 482,
+                    mtime_nanos: Some(1_754_550_000_000_000_000),
+                    path: "data/gasch stress.pcl".into(),
+                },
+                DatasetStamp {
+                    len: 77,
+                    mtime_nanos: None,
+                    path: "data/other.pcl".into(),
+                },
+            ],
+            log: vec![
+                Mutation::LoadDataset {
+                    path: "data/gasch stress.pcl".into(),
+                },
+                Mutation::Command(Command::SetMetric(fv_cluster::distance::Metric::Euclidean)),
+                Mutation::Normalize {
+                    dataset: None,
+                    method: NormalizeMethod::ZscoreRows,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn image_text_is_stable_and_roundtrips() {
+        let image = sample();
+        let text = format_session_image(&image);
+        assert_eq!(
+            text,
+            "session-image v1 scene=800x600 requests=12 datasets=2 log=3\n  \
+             dataset len=482 mtime=1754550000000000000 path=data/gasch stress.pcl\n  \
+             dataset len=77 mtime=- path=data/other.pcl\n  \
+             load data/gasch stress.pcl\n  \
+             set_metric euclidean\n  \
+             normalize all zscore"
+        );
+        assert_eq!(parse_session_image(&text).unwrap(), image);
+    }
+
+    #[test]
+    fn empty_image_roundtrips() {
+        let image = SessionImage {
+            scene: (1280, 960),
+            requests: 0,
+            datasets: Vec::new(),
+            log: Vec::new(),
+        };
+        let text = format_session_image(&image);
+        assert_eq!(
+            text,
+            "session-image v1 scene=1280x960 requests=0 datasets=0 log=0"
+        );
+        assert_eq!(parse_session_image(&text).unwrap(), image);
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        for bad in [
+            "",
+            "wat",
+            // wrong version
+            "session-image v2 scene=800x600 requests=0 datasets=0 log=0",
+            // counts disagree with rows
+            "session-image v1 scene=800x600 requests=0 datasets=1 log=0",
+            "session-image v1 scene=800x600 requests=0 datasets=0 log=1",
+            "session-image v1 scene=800x600 requests=0 datasets=0 log=0\n  cluster_all",
+            // a query in the log
+            "session-image v1 scene=800x600 requests=1 datasets=0 log=1\n  session_info",
+            // malformed dataset row
+            "session-image v1 scene=800x600 requests=0 datasets=1 log=0\n  dataset len=1 mtime=2",
+            // bad scene token
+            "session-image v1 scene=800 requests=0 datasets=0 log=0",
+        ] {
+            assert!(parse_session_image(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

@@ -62,6 +62,7 @@ pub mod decode;
 pub mod engine;
 pub mod error;
 pub mod hub;
+pub mod image;
 pub mod request;
 pub mod response;
 pub mod trace;
@@ -75,6 +76,7 @@ pub use decode::{parse_response, parse_sessions_reply};
 pub use engine::{BatchOutcome, Engine, EngineCost, RunOutcome};
 pub use error::{ApiError, ErrorCode};
 pub use hub::{EngineHub, ScriptOutcome, SessionId};
+pub use image::{format_session_image, parse_session_image, DatasetStamp, SessionImage};
 pub use request::{Mutation, NormalizeMethod, Query, Request, SelectionExport};
 pub use response::Response;
 pub use trace::{

@@ -1,0 +1,212 @@
+//! `SessionImage` property tests: the codec inverse
+//! (`parse_session_image(format_session_image(i)) == i` for arbitrary
+//! images) and the engine round trip — snapshot → format → parse →
+//! restore rebuilds a session whose probe transcripts are byte-identical
+//! to the original's, with `Engine::cost()` and cluster settings
+//! preserved, and whose own snapshot is the same image again.
+
+use forestview::command::Command;
+use fv_api::hub::TranscriptEntry;
+use fv_api::image::{format_session_image, parse_session_image, DatasetStamp, SessionImage};
+use fv_api::{
+    DatasetCache, Engine, Mutation, NormalizeMethod, Query, Request, Response, SessionId,
+};
+use fv_cluster::distance::Metric;
+use fv_cluster::linkage::Linkage;
+use proptest::prelude::*;
+use proptest::strategy::FnStrategy;
+use proptest::test_runner::TestRng;
+
+const SCENARIO_DATASETS: usize = 3;
+
+fn rng_pick<T: Copy>(rng: &mut TestRng, items: &[T]) -> T {
+    items[rng.below(items.len() as u64) as usize]
+}
+
+/// A mutation that is valid against a session holding the three scenario
+/// datasets — so generated sequences replay without errors and every
+/// draw lands in the log.
+fn arb_session_mutation(rng: &mut TestRng) -> Mutation {
+    match rng.below(12) {
+        0 => Mutation::Command(Command::SelectRegion {
+            dataset: rng.below(SCENARIO_DATASETS as u64) as usize,
+            start_frac: (rng.unit_f64() as f32) * 0.5,
+            end_frac: 0.5 + (rng.unit_f64() as f32) * 0.5,
+        }),
+        1 => Mutation::Command(Command::Search("stress".into())),
+        2 => Mutation::Command(Command::ClearSelection),
+        3 => Mutation::Command(Command::Scroll(rng.below(7) as i64 - 3)),
+        4 => Mutation::Command(Command::ClusterAll),
+        5 => Mutation::Command(Command::SetContrast {
+            dataset: if rng.below(2) == 0 {
+                None
+            } else {
+                Some(rng.below(SCENARIO_DATASETS as u64) as usize)
+            },
+            contrast: 0.5 + rng.unit_f64() as f32 * 3.0,
+        }),
+        6 => Mutation::Command(Command::SetLinkage(rng_pick(
+            rng,
+            &[
+                Linkage::Single,
+                Linkage::Complete,
+                Linkage::Average,
+                Linkage::Ward,
+            ],
+        ))),
+        7 => Mutation::Command(Command::SetMetric(rng_pick(
+            rng,
+            &[
+                Metric::Pearson,
+                Metric::AbsPearson,
+                Metric::Uncentered,
+                Metric::Spearman,
+                Metric::Euclidean,
+            ],
+        ))),
+        8 => Mutation::Command(Command::OrderByName),
+        9 => Mutation::Impute {
+            dataset: rng.below(SCENARIO_DATASETS as u64) as usize,
+            k: 1 + rng.below(4) as usize,
+        },
+        10 => Mutation::Normalize {
+            dataset: if rng.below(2) == 0 {
+                None
+            } else {
+                Some(rng.below(SCENARIO_DATASETS as u64) as usize)
+            },
+            method: rng_pick(
+                rng,
+                &[
+                    NormalizeMethod::Log2,
+                    NormalizeMethod::CenterRows,
+                    NormalizeMethod::MedianCenterRows,
+                    NormalizeMethod::ZscoreRows,
+                ],
+            ),
+        },
+        _ => Mutation::ClusterArrays {
+            dataset: rng.below(SCENARIO_DATASETS as u64) as usize,
+        },
+    }
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<Request>> {
+    FnStrategy::new(|rng: &mut TestRng| {
+        let mut reqs = vec![Request::Mutate(Mutation::LoadScenario {
+            n_genes: 60 + rng.below(40) as usize,
+            seed: rng.next_u64() % 1000,
+        })];
+        for _ in 0..rng.below(12) {
+            // queries interleave: they bump the attempted-request counter
+            // without entering the log
+            if rng.below(4) == 0 {
+                reqs.push(Request::Query(Query::SessionInfo));
+            } else {
+                reqs.push(Request::Mutate(arb_session_mutation(rng)));
+            }
+        }
+        reqs
+    })
+}
+
+/// Probe transcript: render the replies to a fixed query run exactly the
+/// way transports do (`TranscriptEntry::render`), so "byte-identical"
+/// means the same bytes a client would see.
+fn probe_transcript(engine: &mut Engine) -> String {
+    let session = SessionId::new("probe").unwrap();
+    let probes = [
+        Request::Query(Query::SessionInfo),
+        Request::Query(Query::ListDatasets),
+        Request::Query(Query::Render {
+            width: 200,
+            height: 150,
+            path: None,
+        }),
+    ];
+    probes
+        .iter()
+        .enumerate()
+        .map(|(i, request)| {
+            let response: Response = engine.execute(request).unwrap();
+            TranscriptEntry {
+                line_no: i + 1,
+                session: session.clone(),
+                request: request.clone(),
+                response,
+            }
+            .render()
+        })
+        .collect()
+}
+
+fn arb_image() -> impl Strategy<Value = SessionImage> {
+    FnStrategy::new(|rng: &mut TestRng| {
+        let n_datasets = rng.below(3) as usize;
+        let datasets = (0..n_datasets)
+            .map(|i| DatasetStamp {
+                len: rng.next_u64() % 1_000_000,
+                mtime_nanos: if rng.below(3) == 0 {
+                    None
+                } else {
+                    Some(rng.next_u64())
+                },
+                path: format!("data/set {i}.pcl"),
+            })
+            .collect();
+        let log = (0..rng.below(6) as usize)
+            .map(|_| arb_session_mutation(rng))
+            .collect();
+        SessionImage {
+            scene: (1 + rng.below(4000) as usize, 1 + rng.below(4000) as usize),
+            requests: rng.next_u64(),
+            datasets,
+            log,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn image_format_then_parse_is_identity(image in arb_image()) {
+        let text = format_session_image(&image);
+        let parsed = parse_session_image(&text);
+        prop_assert!(parsed.is_ok(), "format produced unparseable {text:?}: {parsed:?}");
+        prop_assert_eq!(parsed.unwrap(), image, "text was {}", text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snapshot_format_parse_restore_round_trips(history in arb_history()) {
+        let mut original = Engine::with_scene(640, 480);
+        for request in &history {
+            original.execute(request).unwrap();
+        }
+        let image = original.snapshot();
+        let text = format_session_image(&image);
+        let parsed = parse_session_image(&text).unwrap();
+        prop_assert_eq!(&parsed, &image, "image text round-trips");
+        let mut restored = Engine::restore(&parsed, &DatasetCache::new()).unwrap();
+        prop_assert_eq!(restored.cost(), original.cost(), "EngineCost survives");
+        prop_assert_eq!(
+            restored.session().cluster_settings(),
+            original.session().cluster_settings(),
+            "cluster settings survive"
+        );
+        prop_assert_eq!(
+            format_session_image(&restored.snapshot()),
+            text,
+            "re-snapshot is the same image"
+        );
+        prop_assert_eq!(
+            probe_transcript(&mut restored),
+            probe_transcript(&mut original),
+            "probe transcripts are byte-identical"
+        );
+    }
+}

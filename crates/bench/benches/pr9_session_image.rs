@@ -1,0 +1,86 @@
+//! PR 9 checkpoint: the session-image transport seam, measured without
+//! criterion so the numbers land in a machine-readable checkpoint file
+//! (`BENCH_PR9.json` at the repo root, overwritten on every run).
+//!
+//! Four stages of a cross-process migration are timed in isolation:
+//! 1. snapshot — [`Engine::snapshot`] on a session with a real history,
+//! 2. format — [`format_session_image`] to the wire text,
+//! 3. parse — [`parse_session_image`] back to the structured image,
+//! 4. restore — [`Engine::restore`] replaying the compacted log.
+//!
+//! Restore dominates (it replays clustering), which is why the balancer
+//! budgets moves instead of shuffling sessions freely.
+
+use forestview::command::Command;
+use fv_api::{format_session_image, parse_session_image, DatasetCache, Engine, Mutation, Request};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`n` wall time in nanoseconds (min absorbs scheduler noise).
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// A session the shape the balancer actually migrates: a synthetic
+/// scenario, a clustering, a text selection, and a scroll history —
+/// every mutation lands in the compacted log.
+fn session() -> Engine {
+    let mut engine = Engine::with_scene(1280, 960);
+    let mut run = |mutation: Mutation| {
+        engine
+            .execute(&Request::Mutate(mutation))
+            .expect("bench history replays clean");
+    };
+    run(Mutation::LoadScenario {
+        n_genes: 400,
+        seed: 9,
+    });
+    run(Mutation::Command(Command::ClusterAll));
+    run(Mutation::Command(Command::Search("stress".into())));
+    for round in 0..24 {
+        run(Mutation::Command(Command::Scroll(if round % 3 == 2 {
+            -1
+        } else {
+            2
+        })));
+    }
+    engine
+}
+
+fn main() {
+    let engine = session();
+    let snapshot_ns = best_of(50, || engine.snapshot());
+
+    let image = engine.snapshot();
+    let format_ns = best_of(50, || format_session_image(&image));
+
+    let text = format_session_image(&image);
+    let parse_ns = best_of(50, || parse_session_image(&text).expect("parse"));
+
+    // The codec must be a lossless inverse before its speed matters.
+    assert_eq!(parse_session_image(&text).expect("parse"), image);
+
+    let cache = DatasetCache::new();
+    let restore_ns = best_of(5, || Engine::restore(&image, &cache).expect("restore"));
+    let restored = Engine::restore(&image, &cache).expect("restore");
+    assert_eq!(restored.snapshot(), image, "restore must round-trip");
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr9_session_image\",\n  \
+         \"log_mutations\": {log_len},\n  \"image_text_bytes\": {text_bytes},\n  \
+         \"snapshot_ns\": {snapshot_ns},\n  \"format_ns\": {format_ns},\n  \
+         \"parse_ns\": {parse_ns},\n  \"restore_ns\": {restore_ns}\n}}\n",
+        log_len = image.log.len(),
+        text_bytes = text.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    std::fs::write(path, &json).expect("write BENCH_PR9.json");
+    println!("[pr9_session_image] wrote {path}");
+    print!("{json}");
+}

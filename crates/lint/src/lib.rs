@@ -78,14 +78,18 @@ impl fmt::Display for Violation {
 const SERVER_PATHS: &[&str] = &[
     "crates/net/src/server.rs",
     "crates/net/src/shard.rs",
+    "crates/net/src/procshard.rs",
     "crates/net/src/stream.rs",
     "crates/net/src/poll.rs",
     "crates/net/src/frame.rs",
     "crates/net/src/tap.rs",
 ];
 
-/// Modules allowed to create threads (plus any test code).
-const SPAWN_SANCTIONED: &[&str] = &["shard.rs", "tap.rs", "soak.rs"];
+/// Modules allowed to create threads (plus any test code). Child
+/// *process* creation is tighter still: `rule_no_spawn` only ever
+/// accepts it here, and in practice only `procshard.rs` (the process
+/// shard backend) does it.
+const SPAWN_SANCTIONED: &[&str] = &["shard.rs", "procshard.rs", "tap.rs", "soak.rs"];
 
 /// The module set for `format-parse-inverse`: the wire codec and its
 /// satellite text formats. A `parse_x` anywhere in the set satisfies a
@@ -95,6 +99,7 @@ const CODEC_PATHS: &[&str] = &[
     "crates/api/src/codec.rs",
     "crates/api/src/decode.rs",
     "crates/api/src/trace.rs",
+    "crates/api/src/image.rs",
     "crates/net/src/metrics.rs",
     "crates/net/src/balance.rs",
 ];
@@ -387,7 +392,25 @@ fn rule_no_spawn(out: &mut Vec<Violation>, ctx: &FileCtx<'_>) {
                 toks[i].line,
                 NO_SPAWN,
                 "thread creation outside the sanctioned modules \
-                 (shard.rs, tap.rs, soak.rs, tests)"
+                 (shard.rs, procshard.rs, tap.rs, soak.rs, tests)"
+                    .to_string(),
+            );
+        }
+        // Child processes are confined even harder than threads: the
+        // process shard backend (procshard.rs) is the only non-test
+        // module that may spawn them. Both spellings are anchored so
+        // forestview's unrelated `Command` enum never matches; a fully
+        // qualified `process::Command::new` reports once, at `process`.
+        let cmd_new = path2(toks, i, "Command", "new")
+            && !(i >= 3 && path2(toks, i - 3, "process", "Command"));
+        if path2(toks, i, "process", "Command") || cmd_new {
+            check(
+                out,
+                ctx,
+                toks[i].line,
+                NO_SPAWN,
+                "child-process creation outside the sanctioned modules \
+                 (procshard.rs, tests); shard worker processes are the only ones we spawn"
                     .to_string(),
             );
         }

@@ -56,6 +56,13 @@ const BAD: &[(&str, &str, &str, usize, Option<&str>)] = &[
         None,
     ),
     (
+        "no_proc_spawn_bad.rs",
+        "crates/net/src/metrics.rs",
+        fv_lint::NO_SPAWN,
+        2,
+        None,
+    ),
+    (
         "unsafe_bad.rs",
         "crates/render/src/raster.rs",
         fv_lint::UNSAFE_SAFETY,
@@ -89,6 +96,7 @@ const WAIVED: &[(&str, &str, Option<&str>)] = &[
     ),
     ("no_panic_waived.rs", "crates/net/src/frame.rs", None),
     ("no_spawn_waived.rs", "crates/net/src/metrics.rs", None),
+    ("no_proc_spawn_waived.rs", "crates/net/src/metrics.rs", None),
     ("unsafe_waived.rs", "crates/render/src/raster.rs", None),
     (
         "error_code_waived.rs",

@@ -1,0 +1,3 @@
+pub fn launch_helper() {
+    let _ = std::process::Command::new("helper").spawn();
+}

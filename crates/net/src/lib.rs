@@ -69,6 +69,7 @@ pub mod client;
 pub mod frame;
 pub mod metrics;
 mod poll;
+mod procshard;
 pub mod replay;
 pub mod server;
 pub mod shard;
@@ -80,8 +81,9 @@ pub use balance::{
 };
 pub use client::{run_script_remote, Client};
 pub use metrics::{ServerStats, ShardStats};
+pub use procshard::worker_main;
 pub use replay::{recv_transcript, replay_local, replay_on_hub, replay_remote, ReplayOutcome};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ShardBackendConfig};
 pub use shard::shard_of;
 pub use stream::Watcher;
 pub use tap::{record_session, ReplyAssembler};

@@ -5,14 +5,18 @@
 //! as `fv-api` response text, so transcripts stay line-parseable:
 //!
 //! ```text
-//! stats shards=2 connections=1 sessions=3 frames_in=12 frames_out=11 busy=0 garbage=0 disconnects=0 runs=5 requests=9 max_run=4 cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0
+//! stats shards=2 backend=threads connections=1 sessions=3 frames_in=12 frames_out=11 busy=0 garbage=0 disconnects=0 runs=5 requests=9 max_run=4 cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0
 //!   stream subscribers=2 frames=48 bytes=1843298 pixels=614400 coalesced=3 dropped=1 link_us=19546
-//!   shard 0 sessions=2 queued=0 runs=3 requests=6 max_run=4 lat_us=0,2,3,1,0,0,0,0,0,0 lat_max_us=812
-//!   shard 1 sessions=1 queued=0 runs=2 requests=3 max_run=2 lat_us=0,1,2,0,0,0,0,0,0,0 lat_max_us=401
+//!   shard 0 pid=4242 sessions=2 queued=0 runs=3 requests=6 max_run=4 lat_us=0,2,3,1,0,0,0,0,0,0 lat_max_us=812
+//!   shard 1 pid=4242 sessions=1 queued=0 runs=2 requests=3 max_run=2 lat_us=0,1,2,0,0,0,0,0,0,0 lat_max_us=401
 //! ```
 //!
-//! `cache_*` are the gauges of the server-wide [`fv_api::DatasetCache`]
-//! shared by every shard: `cache_entries` live cached parses,
+//! `backend` names the shard backend kind (`threads` or `procs`), and
+//! each shard row's `pid` is the OS process serving that shard — the
+//! server's own pid for every thread shard, the child worker's pid for a
+//! process shard. `cache_*` are the gauges of the backend's dataset
+//! cache(s) ([`fv_api::DatasetCache`]), aggregated across child caches
+//! in the process backend: `cache_entries` live cached parses,
 //! `cache_hits`/`cache_misses` loads served shared vs. parsed, and
 //! `cache_evictions` entries replaced (file changed on disk) or pruned
 //! (last holder gone). `lat_us` is the per-shard request-latency
@@ -79,7 +83,7 @@ impl LatencyHistogram {
         self.max_us = self.max_us.max(other.max_us);
     }
 
-    fn format(&self) -> String {
+    pub(crate) fn format(&self) -> String {
         self.counts
             .iter()
             .map(|c| c.to_string())
@@ -87,7 +91,7 @@ impl LatencyHistogram {
             .join(",")
     }
 
-    fn parse(counts: &str, max_us: &str) -> Result<LatencyHistogram, ApiError> {
+    pub(crate) fn parse(counts: &str, max_us: &str) -> Result<LatencyHistogram, ApiError> {
         let parsed: Vec<u64> = counts
             .split(',')
             .map(|c| num(c, "latency bucket count"))
@@ -110,6 +114,9 @@ impl LatencyHistogram {
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
+    /// OS process serving this shard: the server's own pid for a thread
+    /// shard, the child worker's pid for a process shard.
+    pub pid: u32,
     /// Live sessions owned by the shard's hub.
     pub sessions: usize,
     /// Jobs queued on the shard channel, not yet picked up — the
@@ -157,6 +164,9 @@ pub struct StreamStats {
 /// Snapshot answered to the `stats` control line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerStats {
+    /// Shard backend kind: `threads` (in-process workers) or `procs`
+    /// (child worker processes).
+    pub backend: String,
     /// Live connections (the asking connection included).
     pub connections: usize,
     /// Live sessions across all shards.
@@ -213,8 +223,9 @@ pub struct ServerStats {
 /// [`parse_stats`].
 pub fn format_stats(stats: &ServerStats) -> String {
     let mut out = format!(
-        "stats shards={} connections={} sessions={} frames_in={} frames_out={} busy={} garbage={} disconnects={} runs={} requests={} max_run={} cache_entries={} cache_hits={} cache_misses={} cache_evictions={} balancer_ticks={} balancer_moves={} balancer_failed={}",
+        "stats shards={} backend={} connections={} sessions={} frames_in={} frames_out={} busy={} garbage={} disconnects={} runs={} requests={} max_run={} cache_entries={} cache_hits={} cache_misses={} cache_evictions={} balancer_ticks={} balancer_moves={} balancer_failed={}",
         stats.shards.len(),
+        stats.backend,
         stats.connections,
         stats.sessions,
         stats.frames_in,
@@ -245,8 +256,9 @@ pub fn format_stats(stats: &ServerStats) -> String {
     ));
     for s in &stats.shards {
         out.push_str(&format!(
-            "\n  shard {} sessions={} queued={} runs={} requests={} max_run={} lat_us={} lat_max_us={}",
+            "\n  shard {} pid={} sessions={} queued={} runs={} requests={} max_run={} lat_us={} lat_max_us={}",
             s.shard,
+            s.pid,
             s.sessions,
             s.queued,
             s.runs,
@@ -294,6 +306,7 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
             .ok_or_else(|| ApiError::parse("shard row needs fields"))?;
         shards.push(ShardStats {
             shard: num(idx, "shard")?,
+            pid: num(field(rest, "pid")?, "pid")?,
             sessions: num(field(rest, "sessions")?, "sessions")?,
             queued: num(field(rest, "queued")?, "queued")?,
             runs: num(field(rest, "runs")?, "runs")?,
@@ -306,6 +319,7 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
         return Err(ApiError::parse("shard row count disagrees with header"));
     }
     Ok(ServerStats {
+        backend: field(tail, "backend")?.to_string(),
         connections: num(field(tail, "connections")?, "connections")?,
         sessions: num(field(tail, "sessions")?, "sessions")?,
         frames_in: num(field(tail, "frames_in")?, "frames_in")?,
@@ -343,6 +357,7 @@ mod tests {
 
     fn sample() -> ServerStats {
         ServerStats {
+            backend: "threads".into(),
             connections: 3,
             sessions: 5,
             frames_in: 120,
@@ -372,6 +387,7 @@ mod tests {
             shards: vec![
                 ShardStats {
                     shard: 0,
+                    pid: 4242,
                     sessions: 3,
                     queued: 0,
                     runs: 25,
@@ -381,6 +397,7 @@ mod tests {
                 },
                 ShardStats {
                     shard: 1,
+                    pid: 4301,
                     sessions: 2,
                     queued: 1,
                     runs: 15,
@@ -398,15 +415,16 @@ mod tests {
         let text = format_stats(&s);
         assert_eq!(
             text,
-            "stats shards=2 connections=3 sessions=5 frames_in=120 frames_out=118 busy=2 \
+            "stats shards=2 backend=threads connections=3 sessions=5 frames_in=120 \
+             frames_out=118 busy=2 \
              garbage=4 disconnects=3 runs=40 requests=90 max_run=12 \
              cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0 \
              balancer_ticks=7 balancer_moves=2 balancer_failed=1\n  \
              stream subscribers=2 frames=48 bytes=1843298 pixels=614400 \
              coalesced=3 dropped=1 link_us=19546\n  \
-             shard 0 sessions=3 queued=0 runs=25 requests=60 max_run=12 \
+             shard 0 pid=4242 sessions=3 queued=0 runs=25 requests=60 max_run=12 \
              lat_us=50,0,9,0,0,1,0,0,0,0 lat_max_us=3120\n  \
-             shard 1 sessions=2 queued=1 runs=15 requests=30 max_run=7 \
+             shard 1 pid=4301 sessions=2 queued=1 runs=15 requests=30 max_run=7 \
              lat_us=0,30,0,0,0,0,0,0,0,0 lat_max_us=99"
         );
         assert_eq!(parse_stats(&text).unwrap(), s);
@@ -459,7 +477,9 @@ mod tests {
             // stream row with a missing field
             "stats shards=0 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0",
             // shard row with a short histogram
-            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0 pixels=0 coalesced=0 dropped=0 link_us=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0 lat_max_us=0",
+            "stats shards=1 backend=threads connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 garbage=0 disconnects=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0 pixels=0 coalesced=0 dropped=0 link_us=0\n  shard 0 pid=1 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0 lat_max_us=0",
+            // pre-process-shards header (no backend= kind, no shard pid=)
+            "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 garbage=0 disconnects=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0 pixels=0 coalesced=0 dropped=0 link_us=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0,0,0,0,0,0,0,0,0 lat_max_us=0",
         ] {
             assert!(parse_stats(bad).is_err(), "{bad:?} must not parse");
         }

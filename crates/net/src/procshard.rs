@@ -1,0 +1,1250 @@
+//! Process shards: the [`ShardBackend`] that runs each shard in a child
+//! OS process, speaking a length-framed control protocol over a loopback
+//! TCP socket.
+//!
+//! Everything that crosses the parent↔child seam is serializable text or
+//! raw pixel bytes — requests and responses as their canonical wire
+//! grammar (`fv_api::codec` / `fv_api::decode`), sessions as
+//! [`SessionImage`] text, reports as the counter grammar below. The
+//! child never sees an `Engine` value from the parent and vice versa,
+//! which is the whole point: a shard that segfaults takes its sessions
+//! with it, answers [`ErrorCode::ShardDown`] (`E_SHARD_DOWN`) from then
+//! on, and leaves the server and every other shard healthy.
+//!
+//! ## Frame layer
+//!
+//! Every message is one frame: a 4-byte big-endian payload length, then
+//! the payload. A payload starts with one `\n`-terminated UTF-8 header
+//! line; depending on the verb it continues with more lines and/or
+//! *blobs* (a decimal `<len>\n` line followed by exactly `len` raw
+//! bytes). Requests and reports fit in lines; response text, session
+//! images, error messages, and framebuffer pixels travel as blobs.
+//!
+//! ## Protocol grammar
+//!
+//! Child → parent, once, immediately after connecting:
+//!
+//! ```text
+//! hello <shard>
+//! ```
+//!
+//! Parent → child (one outstanding at a time per shard; the forwarder
+//! thread serializes), and the reply each must produce:
+//!
+//! ```text
+//! run <publish 0|1> <n> <session>      → run-done dropped=<0|1> nresp=<k>
+//!   <n request lines>                      err=<-|idx:CODE> lat=<-|us,us,…>
+//!                                          frame=<0|1>
+//!                                        <k response blobs> [err-msg blob]
+//!                                        [frame <w> <h> <nrects>
+//!                                         <nrects "x y w h" lines>
+//!                                         <rgb blob>]
+//! close <session>                      → closed <0|1>
+//! report                               → report shard=<i> runs=<r>
+//!                                          requests=<q> max_run=<m>
+//!                                          lat=<counts> lat_max_us=<u>
+//!                                          cache=<e>,<h>,<m>,<ev>
+//!                                          sessions=<k>
+//!                                        <k "session datasets=<n>
+//!                                           requests=<r> bytes=<b>
+//!                                           name=<name>" lines>
+//! extract <session>                    → extracted <0|1> [image blob]
+//! install <session>                    → installed ok
+//!   <image blob>                       | installed err <CODE>
+//!                                        <msg blob> <image blob>
+//! shutdown                             → bye            (then child exits)
+//! ```
+//!
+//! A failed install hands the image blob back so the caller can restore
+//! the session — the same never-lose-a-live-session contract as
+//! [`WorkerCore::install`].
+//!
+//! ## Topology
+//!
+//! [`ProcBackend::spawn`] binds an ephemeral loopback listener, launches
+//! `worker_cmd` once per shard (`fvtool shard-worker` in production, the
+//! `fv-shard-worker` test binary under `cargo test`), and pairs each
+//! child to its shard index via `hello`. One forwarder thread per shard
+//! owns the socket and drains that shard's job queue in order: encode,
+//! write, read, decode, fire the job's responder — exactly once, with a
+//! typed `E_SHARD_DOWN` refusal if the child is gone. The child runs
+//! [`worker_main`]: a single-threaded loop around a [`WorkerCore`] with
+//! its own per-process [`DatasetCache`] (the cache seam is per child;
+//! the parent aggregates the gauges from report replies).
+
+use crate::metrics::LatencyHistogram;
+use crate::shard::{Job, PubFrame, RunDone, SessionReport, ShardBackend, ShardReport, WorkerCore};
+use fv_api::{
+    format_request, format_response, format_session_image, parse_request, parse_response,
+    parse_session_image, ApiError, CacheStats, DatasetCache, ErrorCode, RunOutcome, SessionId,
+    SessionImage,
+};
+use fv_render::Framebuffer;
+use fv_wall::tile::Viewport;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper bound on one protocol frame. Must fit a keyframe-sized
+/// rasterization (scene RGB) with room to spare; anything larger is a
+/// corrupt length prefix, not a legitimate message.
+const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// How long `spawn` waits for every child to connect and say `hello`.
+const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// How long `shutdown` waits for a child to exit after `bye` before
+/// killing it — the zero-orphans guarantee.
+const REAP_DEADLINE: Duration = Duration::from_secs(5);
+
+// ---------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------
+
+fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Append a blob (`<len>\n` + raw bytes) to a payload under construction.
+fn push_blob(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(format!("{}\n", bytes.len()).as_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Sequential reader over a received payload: lines, blobs, and a
+/// trailing-bytes check. Every decode error is a typed `ApiError` so
+/// both sides fail loudly on protocol corruption instead of panicking.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf }
+    }
+
+    fn line(&mut self) -> Result<&'a str, ApiError> {
+        let pos = self
+            .buf
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| ApiError::parse("frame truncated: missing line terminator"))?;
+        let line = std::str::from_utf8(&self.buf[..pos])
+            .map_err(|_| ApiError::parse("frame line is not valid UTF-8"))?;
+        self.buf = &self.buf[pos + 1..];
+        Ok(line)
+    }
+
+    fn blob(&mut self) -> Result<&'a [u8], ApiError> {
+        let len: usize = num(self.line()?, "blob length")? as usize;
+        if len > self.buf.len() {
+            return Err(ApiError::parse(format!(
+                "frame truncated: blob wants {len} bytes, {} remain",
+                self.buf.len()
+            )));
+        }
+        let (blob, rest) = self.buf.split_at(len);
+        self.buf = rest;
+        Ok(blob)
+    }
+
+    fn text_blob(&mut self) -> Result<&'a str, ApiError> {
+        std::str::from_utf8(self.blob()?).map_err(|_| ApiError::parse("blob is not valid UTF-8"))
+    }
+
+    fn done(&self) -> Result<(), ApiError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ApiError::parse(format!(
+                "{} unexpected trailing bytes in frame",
+                self.buf.len()
+            )))
+        }
+    }
+}
+
+fn num(s: &str, what: &str) -> Result<u64, ApiError> {
+    s.parse()
+        .map_err(|_| ApiError::parse(format!("bad {what} {s:?}")))
+}
+
+/// `key=value` field extractor for header lines (values never contain
+/// spaces in this grammar).
+fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, ApiError> {
+    line.split(' ')
+        .find_map(|part| part.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .ok_or_else(|| ApiError::parse(format!("frame header is missing {key}=")))
+}
+
+fn session_id(name: &str) -> Result<SessionId, ApiError> {
+    SessionId::new(name)
+}
+
+// ---------------------------------------------------------------------
+// Message codec (both sides)
+// ---------------------------------------------------------------------
+
+/// Encode a job as a parent→child payload. Borrows the job — the caller
+/// keeps it whole so its responder survives a transport failure.
+fn encode_job(job: &Job) -> Vec<u8> {
+    let mut out = Vec::new();
+    match job {
+        Job::Run {
+            session,
+            requests,
+            publish,
+            ..
+        } => {
+            out.extend_from_slice(
+                format!("run {} {} {session}\n", *publish as u8, requests.len()).as_bytes(),
+            );
+            for request in requests {
+                out.extend_from_slice(format_request(request).as_bytes());
+                out.push(b'\n');
+            }
+        }
+        Job::Close { session, .. } => {
+            out.extend_from_slice(format!("close {session}\n").as_bytes())
+        }
+        Job::Report { .. } => out.extend_from_slice(b"report\n"),
+        Job::Extract { session, .. } => {
+            out.extend_from_slice(format!("extract {session}\n").as_bytes())
+        }
+        Job::Install { session, image, .. } => {
+            out.extend_from_slice(format!("install {session}\n").as_bytes());
+            push_blob(&mut out, format_session_image(image).as_bytes());
+        }
+        Job::Shutdown => out.extend_from_slice(b"shutdown\n"),
+    }
+    out
+}
+
+fn encode_run_done(done: &RunDone) -> Vec<u8> {
+    let err_spec = match &done.outcome.error {
+        None => "-".to_string(),
+        Some((idx, e)) => format!("{idx}:{}", e.code.as_str()),
+    };
+    let lat_spec = if done.outcome.latencies.is_empty() {
+        "-".to_string()
+    } else {
+        done.outcome
+            .latencies
+            .iter()
+            .map(|l| l.as_micros().min(u64::MAX as u128).to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut out = format!(
+        "run-done dropped={} nresp={} err={err_spec} lat={lat_spec} frame={}\n",
+        done.session_dropped as u8,
+        done.outcome.responses.len(),
+        done.frame.is_some() as u8,
+    )
+    .into_bytes();
+    for response in &done.outcome.responses {
+        push_blob(&mut out, format_response(response).as_bytes());
+    }
+    if let Some((_, e)) = &done.outcome.error {
+        push_blob(&mut out, e.message.as_bytes());
+    }
+    if let Some(frame) = &done.frame {
+        out.extend_from_slice(
+            format!(
+                "frame {} {} {}\n",
+                frame.wall.width(),
+                frame.wall.height(),
+                frame.damage.len()
+            )
+            .as_bytes(),
+        );
+        for d in &frame.damage {
+            out.extend_from_slice(format!("{} {} {} {}\n", d.x, d.y, d.w, d.h).as_bytes());
+        }
+        push_blob(&mut out, frame.wall.bytes());
+    }
+    out
+}
+
+fn decode_run_done(payload: &[u8], session: &SessionId) -> Result<RunDone, ApiError> {
+    let mut c = Cursor::new(payload);
+    let header = c.line()?;
+    if !header.starts_with("run-done ") {
+        return Err(ApiError::parse(format!(
+            "expected run-done, got {header:?}"
+        )));
+    }
+    let dropped = field(header, "dropped")? == "1";
+    let nresp = num(field(header, "nresp")?, "response count")? as usize;
+    let err_spec = field(header, "err")?;
+    let lat_spec = field(header, "lat")?;
+    let has_frame = field(header, "frame")? == "1";
+    let mut responses = Vec::with_capacity(nresp);
+    for _ in 0..nresp {
+        responses.push(parse_response(c.text_blob()?)?);
+    }
+    let error = if err_spec == "-" {
+        None
+    } else {
+        let (idx, code) = err_spec
+            .split_once(':')
+            .ok_or_else(|| ApiError::parse(format!("bad err spec {err_spec:?}")))?;
+        let code = ErrorCode::from_wire(code)
+            .ok_or_else(|| ApiError::parse(format!("unknown error code {code:?}")))?;
+        let message = c.text_blob()?.to_string();
+        Some((
+            num(idx, "failing request index")? as usize,
+            ApiError::new(code, message),
+        ))
+    };
+    let latencies = if lat_spec == "-" {
+        Vec::new()
+    } else {
+        lat_spec
+            .split(',')
+            .map(|us| num(us, "latency").map(Duration::from_micros))
+            .collect::<Result<_, _>>()?
+    };
+    let frame = if has_frame {
+        let fl = c.line()?;
+        let mut parts = fl.split(' ');
+        let (verb, w, h, nrects) = (parts.next(), parts.next(), parts.next(), parts.next());
+        if verb != Some("frame") || parts.next().is_some() {
+            return Err(ApiError::parse(format!("bad frame line {fl:?}")));
+        }
+        let w = num(w.unwrap_or(""), "frame width")? as usize;
+        let h = num(h.unwrap_or(""), "frame height")? as usize;
+        let nrects = num(nrects.unwrap_or(""), "damage rect count")? as usize;
+        if w.saturating_mul(h).saturating_mul(3) > MAX_FRAME {
+            return Err(ApiError::parse(format!(
+                "frame {w}x{h} is implausibly large"
+            )));
+        }
+        let mut damage = Vec::with_capacity(nrects);
+        for _ in 0..nrects {
+            let rl = c.line()?;
+            let mut n = rl.split(' ').map(|v| num(v, "damage rect"));
+            let (x, y, rw, rh) = (n.next(), n.next(), n.next(), n.next());
+            match (x, y, rw, rh, n.next()) {
+                (Some(x), Some(y), Some(rw), Some(rh), None) => damage.push(Viewport {
+                    x: x? as usize,
+                    y: y? as usize,
+                    w: rw? as usize,
+                    h: rh? as usize,
+                }),
+                _ => return Err(ApiError::parse(format!("bad damage rect {rl:?}"))),
+            }
+        }
+        let rgb = c.blob()?;
+        if rgb.len() != w * h * 3 {
+            return Err(ApiError::parse(format!(
+                "frame pixel blob is {} bytes, {w}x{h} needs {}",
+                rgb.len(),
+                w * h * 3
+            )));
+        }
+        let mut wall = Framebuffer::new(w, h);
+        wall.write_rect(0, 0, w, h, rgb);
+        Some(PubFrame {
+            session: session.clone(),
+            wall,
+            damage,
+        })
+    } else {
+        None
+    };
+    c.done()?;
+    Ok(RunDone {
+        outcome: RunOutcome {
+            responses,
+            error,
+            latencies,
+        },
+        session_dropped: dropped,
+        frame,
+    })
+}
+
+fn encode_report(report: &ShardReport, cache: &CacheStats) -> Vec<u8> {
+    let mut out = format!(
+        "report shard={} runs={} requests={} max_run={} lat={} lat_max_us={} \
+         cache={},{},{},{} sessions={}\n",
+        report.shard,
+        report.runs,
+        report.requests,
+        report.max_run,
+        report.latency.format(),
+        report.latency.max_us,
+        cache.entries,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        report.sessions.len(),
+    )
+    .into_bytes();
+    for s in &report.sessions {
+        out.extend_from_slice(
+            format!(
+                "session datasets={} requests={} bytes={} name={}\n",
+                s.n_datasets, s.requests, s.dataset_bytes, s.name
+            )
+            .as_bytes(),
+        );
+    }
+    out
+}
+
+fn decode_report(payload: &[u8]) -> Result<(ShardReport, CacheStats), ApiError> {
+    let mut c = Cursor::new(payload);
+    let header = c.line()?;
+    if !header.starts_with("report ") {
+        return Err(ApiError::parse(format!("expected report, got {header:?}")));
+    }
+    let n_sessions = num(field(header, "sessions")?, "session count")? as usize;
+    let cache_spec = field(header, "cache")?;
+    let mut cs = cache_spec.split(',').map(|v| num(v, "cache gauge"));
+    let cache = match (cs.next(), cs.next(), cs.next(), cs.next(), cs.next()) {
+        (Some(e), Some(h), Some(m), Some(ev), None) => CacheStats {
+            entries: e? as usize,
+            hits: h?,
+            misses: m?,
+            evictions: ev?,
+        },
+        _ => return Err(ApiError::parse(format!("bad cache gauges {cache_spec:?}"))),
+    };
+    let mut sessions = Vec::with_capacity(n_sessions);
+    for _ in 0..n_sessions {
+        let row = c.line()?;
+        if !row.starts_with("session ") {
+            return Err(ApiError::parse(format!("bad session row {row:?}")));
+        }
+        sessions.push(SessionReport {
+            name: field(row, "name")?.to_string(),
+            n_datasets: num(field(row, "datasets")?, "dataset count")? as usize,
+            requests: num(field(row, "requests")?, "session requests")?,
+            dataset_bytes: num(field(row, "bytes")?, "dataset bytes")?,
+        });
+    }
+    c.done()?;
+    Ok((
+        ShardReport {
+            shard: num(field(header, "shard")?, "shard index")? as usize,
+            sessions,
+            runs: num(field(header, "runs")?, "runs")?,
+            requests: num(field(header, "requests")?, "requests")?,
+            max_run: num(field(header, "max_run")?, "max_run")? as usize,
+            latency: LatencyHistogram::parse(field(header, "lat")?, field(header, "lat_max_us")?)?,
+        },
+        cache,
+    ))
+}
+
+fn decode_closed(payload: &[u8]) -> Result<bool, ApiError> {
+    let mut c = Cursor::new(payload);
+    let header = c.line()?;
+    c.done()?;
+    match header {
+        "closed 0" => Ok(false),
+        "closed 1" => Ok(true),
+        other => Err(ApiError::parse(format!("expected closed, got {other:?}"))),
+    }
+}
+
+fn decode_extracted(payload: &[u8]) -> Result<Option<SessionImage>, ApiError> {
+    let mut c = Cursor::new(payload);
+    let header = c.line()?;
+    let image = match header {
+        "extracted 0" => None,
+        "extracted 1" => Some(parse_session_image(c.text_blob()?)?),
+        other => {
+            return Err(ApiError::parse(format!(
+                "expected extracted, got {other:?}"
+            )))
+        }
+    };
+    c.done()?;
+    Ok(image)
+}
+
+type InstallResult = Result<(), (SessionImage, ApiError)>;
+
+fn decode_installed(payload: &[u8]) -> Result<InstallResult, ApiError> {
+    let mut c = Cursor::new(payload);
+    let header = c.line()?;
+    if header == "installed ok" {
+        c.done()?;
+        return Ok(Ok(()));
+    }
+    let code = header
+        .strip_prefix("installed err ")
+        .and_then(ErrorCode::from_wire)
+        .ok_or_else(|| ApiError::parse(format!("expected installed, got {header:?}")))?;
+    let message = c.text_blob()?.to_string();
+    let image = parse_session_image(c.text_blob()?)?;
+    c.done()?;
+    Ok(Err((image, ApiError::new(code, message))))
+}
+
+// ---------------------------------------------------------------------
+// Parent side: ProcBackend
+// ---------------------------------------------------------------------
+
+/// The process-shard backend: one child worker process per shard, one
+/// forwarder thread per child to bridge the in-memory [`Job`] queue onto
+/// the control socket. See the module docs for the protocol.
+pub(crate) struct ProcBackend {
+    senders: Vec<mpsc::Sender<Job>>,
+    depth: Arc<Vec<AtomicUsize>>,
+    pids: Vec<u32>,
+    /// Last-known per-child dataset-cache gauges, refreshed from every
+    /// report reply; `cache_stats` sums them. Each child owns a private
+    /// cache, so the sum (not a shared cache's view) is the truth.
+    cache: Arc<Mutex<Vec<CacheStats>>>,
+    forwarders: Mutex<Vec<JoinHandle<()>>>,
+    children: Mutex<Vec<Child>>,
+}
+
+fn down(shard: usize, pid: u32) -> ApiError {
+    ApiError::shard_down(format!(
+        "shard {shard} worker process (pid {pid}) is gone; its sessions are lost"
+    ))
+}
+
+fn kill_all(children: &mut [Child]) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+impl ProcBackend {
+    /// Launch `n` worker processes and pair each to a shard. `worker_cmd`
+    /// is the argv prefix to exec (`["/path/to/fvtool", "shard-worker"]`
+    /// in production); `--connect/--shard/--scene` are appended per
+    /// child, plus `--refuse-install` on the `refuse_install_to` shard
+    /// (the migration-restore fault tests inject). Fails — with every
+    /// already-spawned child killed — if any child dies or fails to
+    /// say `hello` within the deadline.
+    pub fn spawn(
+        worker_cmd: &[String],
+        n: usize,
+        scene: (usize, usize),
+        refuse_install_to: Option<usize>,
+    ) -> io::Result<ProcBackend> {
+        let n = n.max(1);
+        let (program, prefix) = worker_cmd.split_first().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "empty shard worker command")
+        })?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let mut children: Vec<Child> = Vec::with_capacity(n);
+        for shard in 0..n {
+            let mut cmd = Command::new(program);
+            cmd.args(prefix)
+                .arg("--connect")
+                .arg(addr.to_string())
+                .arg("--shard")
+                .arg(shard.to_string())
+                .arg("--scene")
+                .arg(format!("{}x{}", scene.0, scene.1))
+                .stdin(Stdio::null());
+            if refuse_install_to == Some(shard) {
+                cmd.arg("--refuse-install");
+            }
+            match cmd.spawn() {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(e);
+                }
+            }
+        }
+        let slots = match Self::pair(&listener, &mut children, n) {
+            Ok(slots) => slots,
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(e);
+            }
+        };
+        drop(listener);
+        let pids: Vec<u32> = children.iter().map(Child::id).collect();
+        let depth: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
+        let cache = Arc::new(Mutex::new(vec![CacheStats::default(); n]));
+        let mut senders = Vec::with_capacity(n);
+        let mut forwarders = Vec::with_capacity(n);
+        for (shard, stream) in slots.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            let depth = Arc::clone(&depth);
+            let cache = Arc::clone(&cache);
+            let pid = pids[shard];
+            let spawned = std::thread::Builder::new()
+                .name(format!("fv-net-procshard-{shard}"))
+                .spawn(move || forward(shard, pid, stream, rx, depth, cache));
+            match spawned {
+                Ok(handle) => forwarders.push(handle),
+                Err(e) => {
+                    // Dropping `senders` unblocks the forwarders already
+                    // running; then reap everything.
+                    drop(senders);
+                    for f in forwarders {
+                        let _ = f.join();
+                    }
+                    kill_all(&mut children);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ProcBackend {
+            senders,
+            depth,
+            pids,
+            cache,
+            forwarders: Mutex::new(forwarders),
+            children: Mutex::new(children),
+        })
+    }
+
+    /// Accept loop of `spawn`: wait for all `n` children to connect and
+    /// identify themselves, watching for early child exits so a broken
+    /// worker command fails fast instead of timing out.
+    fn pair(
+        listener: &TcpListener,
+        children: &mut [Child],
+        n: usize,
+    ) -> io::Result<Vec<TcpStream>> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let deadline = Instant::now() + CONNECT_DEADLINE;
+        let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut connected = 0;
+        while connected < n {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+                    let hello = read_frame(&mut stream)?;
+                    let mut c = Cursor::new(&hello);
+                    let shard = c
+                        .line()
+                        .and_then(|l| {
+                            num(
+                                l.strip_prefix("hello ").unwrap_or("not a hello"),
+                                "hello shard index",
+                            )
+                        })
+                        .map_err(|e| bad(e.message))? as usize;
+                    if shard >= n {
+                        return Err(bad(format!("hello from out-of-range shard {shard}")));
+                    }
+                    if slots[shard].is_some() {
+                        return Err(bad(format!("two workers claimed shard {shard}")));
+                    }
+                    stream.set_read_timeout(None)?;
+                    slots[shard] = Some(stream);
+                    connected += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("{connected}/{n} shard workers connected before the deadline"),
+                        ));
+                    }
+                    for (shard, child) in children.iter_mut().enumerate() {
+                        if let Ok(Some(status)) = child.try_wait() {
+                            return Err(bad(format!(
+                                "shard {shard} worker exited at startup ({status})"
+                            )));
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // All slots are Some once `connected == n`; flatten without
+        // panicking anyway.
+        Ok(slots.into_iter().flatten().collect())
+    }
+}
+
+impl ShardBackend for ProcBackend {
+    fn kind(&self) -> &'static str {
+        "procs"
+    }
+
+    fn n_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn pids(&self) -> Vec<u32> {
+        self.pids.clone()
+    }
+
+    fn queue_depths(&self) -> Vec<usize> {
+        self.depth
+            .iter()
+            .map(|d| d.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        let mut sum = CacheStats::default();
+        if let Ok(per_child) = self.cache.lock() {
+            for c in per_child.iter() {
+                sum.entries += c.entries;
+                sum.hits += c.hits;
+                sum.misses += c.misses;
+                sum.evictions += c.evictions;
+            }
+        }
+        sum
+    }
+
+    fn submit(&self, shard: usize, job: Job) {
+        self.depth[shard].fetch_add(1, Ordering::SeqCst);
+        if let Err(mpsc::SendError(job)) = self.senders[shard].send(job) {
+            self.depth[shard].fetch_sub(1, Ordering::SeqCst);
+            job.respond_shard_down(down(shard, self.pids[shard]));
+        }
+    }
+
+    fn shutdown(&self) {
+        for shard in 0..self.senders.len() {
+            self.submit(shard, Job::Shutdown);
+        }
+        let forwarders = match self.forwarders.lock() {
+            Ok(mut f) => std::mem::take(&mut *f),
+            Err(_) => return,
+        };
+        for f in forwarders {
+            let _ = f.join();
+        }
+        let children = match self.children.lock() {
+            Ok(mut c) => std::mem::take(&mut *c),
+            Err(_) => return,
+        };
+        for mut child in children {
+            // The worker answered `bye` (or its socket is gone); give it
+            // a moment to exit on its own, then make sure — no orphans.
+            let deadline = Instant::now() + REAP_DEADLINE;
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10))
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-shard forwarder: owns the control socket, drains the shard's job
+/// queue strictly in order. One outstanding protocol exchange at a time
+/// — the shard itself is serial, so the socket being serial costs no
+/// parallelism. A transport or decode failure marks the shard dead;
+/// every queued and future job then gets the typed `E_SHARD_DOWN`
+/// refusal, and an [`Job::Install`]'s image is handed back untouched.
+fn forward(
+    shard: usize,
+    pid: u32,
+    mut stream: TcpStream,
+    rx: mpsc::Receiver<Job>,
+    depth: Arc<Vec<AtomicUsize>>,
+    cache: Arc<Mutex<Vec<CacheStats>>>,
+) {
+    let mut dead = false;
+    while let Ok(job) = rx.recv() {
+        depth[shard].fetch_sub(1, Ordering::SeqCst);
+        if matches!(job, Job::Shutdown) {
+            if !dead {
+                let _ = write_frame(&mut stream, &encode_job(&job));
+                // Wait for `bye` so the child has drained before the
+                // parent starts reaping.
+                let _ = read_frame(&mut stream);
+            }
+            break;
+        }
+        if dead {
+            job.respond_shard_down(down(shard, pid));
+            continue;
+        }
+        let payload = encode_job(&job);
+        let reply = write_frame(&mut stream, &payload).and_then(|_| read_frame(&mut stream));
+        let reply = match reply {
+            Ok(reply) => reply,
+            Err(_) => {
+                dead = true;
+                job.respond_shard_down(down(shard, pid));
+                continue;
+            }
+        };
+        // Decode per job kind. A malformed reply also counts as a dead
+        // shard (the protocol is corrupt; nothing it says can be
+        // trusted), but the responder still fires exactly once.
+        match job {
+            Job::Shutdown => {}
+            Job::Run {
+                session, respond, ..
+            } => match decode_run_done(&reply, &session) {
+                Ok(done) => respond(done),
+                Err(_) => {
+                    dead = true;
+                    respond(RunDone {
+                        outcome: RunOutcome {
+                            responses: Vec::new(),
+                            error: Some((0, down(shard, pid))),
+                            latencies: Vec::new(),
+                        },
+                        session_dropped: false,
+                        frame: None,
+                    });
+                }
+            },
+            Job::Close { respond, .. } => match decode_closed(&reply) {
+                Ok(existed) => respond(existed),
+                Err(_) => {
+                    dead = true;
+                    respond(false);
+                }
+            },
+            Job::Report {
+                shard: target,
+                respond,
+            } => match decode_report(&reply) {
+                Ok((report, child_cache)) => {
+                    if let Ok(mut per_child) = cache.lock() {
+                        if let Some(slot) = per_child.get_mut(shard) {
+                            *slot = child_cache;
+                        }
+                    }
+                    respond(report);
+                }
+                Err(_) => {
+                    dead = true;
+                    respond(ShardReport::empty(target));
+                }
+            },
+            Job::Extract { respond, .. } => match decode_extracted(&reply) {
+                Ok(image) => respond(image),
+                Err(_) => {
+                    dead = true;
+                    respond(None);
+                }
+            },
+            Job::Install { image, respond, .. } => match decode_installed(&reply) {
+                Ok(result) => respond(result),
+                Err(_) => {
+                    dead = true;
+                    respond(Err((image, down(shard, pid))));
+                }
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Child side: worker_main
+// ---------------------------------------------------------------------
+
+enum Served {
+    Reply(Vec<u8>),
+    Bye,
+}
+
+/// Serve one decoded parent frame against the core. Pure protocol — no
+/// I/O — so tests can drive the full parent↔child codec in memory.
+fn serve_frame(core: &mut WorkerCore, payload: &[u8]) -> Result<Served, ApiError> {
+    let mut c = Cursor::new(payload);
+    let header = c.line()?;
+    let (verb, rest) = header.split_once(' ').unwrap_or((header, ""));
+    match verb {
+        "run" => {
+            let mut parts = rest.splitn(3, ' ');
+            let (publish, n, session) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(p), Some(n), Some(s)) => {
+                    (p == "1", num(n, "request count")? as usize, session_id(s)?)
+                }
+                _ => return Err(ApiError::parse(format!("bad run header {header:?}"))),
+            };
+            let mut requests = Vec::with_capacity(n);
+            for _ in 0..n {
+                requests.push(parse_request(c.line()?)?);
+            }
+            c.done()?;
+            let done = core.run(&session, &requests, publish);
+            Ok(Served::Reply(encode_run_done(&done)))
+        }
+        "close" => {
+            c.done()?;
+            let existed = core.close(&session_id(rest)?);
+            Ok(Served::Reply(
+                format!("closed {}\n", existed as u8).into_bytes(),
+            ))
+        }
+        "report" => {
+            c.done()?;
+            Ok(Served::Reply(encode_report(
+                &core.report(),
+                &core.cache_stats(),
+            )))
+        }
+        "extract" => {
+            c.done()?;
+            let reply = match core.extract(&session_id(rest)?) {
+                Some(image) => {
+                    let mut out = b"extracted 1\n".to_vec();
+                    push_blob(&mut out, format_session_image(&image).as_bytes());
+                    out
+                }
+                None => b"extracted 0\n".to_vec(),
+            };
+            Ok(Served::Reply(reply))
+        }
+        "install" => {
+            let session = session_id(rest)?;
+            let image = parse_session_image(c.text_blob()?)?;
+            c.done()?;
+            let reply = match core.install(&session, image) {
+                Ok(()) => b"installed ok\n".to_vec(),
+                Err((image, e)) => {
+                    let mut out = format!("installed err {}\n", e.code.as_str()).into_bytes();
+                    push_blob(&mut out, e.message.as_bytes());
+                    push_blob(&mut out, format_session_image(&image).as_bytes());
+                    out
+                }
+            };
+            Ok(Served::Reply(reply))
+        }
+        "shutdown" => {
+            c.done()?;
+            Ok(Served::Bye)
+        }
+        other => Err(ApiError::parse(format!("unknown verb {other:?}"))),
+    }
+}
+
+/// Entry point of a shard worker process (`fvtool shard-worker`, or the
+/// `fv-shard-worker` binary tests spawn). Connects back to the parent,
+/// announces its shard index, then serves protocol frames one at a time
+/// against a [`WorkerCore`] with its own [`DatasetCache`] until
+/// `shutdown` (clean exit) or EOF (parent died — exit quietly; there is
+/// nobody left to serve). Errors are returned as text for the caller to
+/// print and map to a nonzero exit.
+pub fn worker_main(args: &[String]) -> Result<(), String> {
+    let mut connect = None;
+    let mut shard = None;
+    let mut scene = None;
+    let mut refuse_install = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
+        match arg.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--shard" => {
+                shard = Some(
+                    value("--shard")?
+                        .parse::<usize>()
+                        .map_err(|_| "--shard needs an index".to_string())?,
+                )
+            }
+            "--scene" => {
+                let spec = value("--scene")?;
+                let (w, h) = spec
+                    .split_once('x')
+                    .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                    .ok_or_else(|| format!("--scene needs WxH, got {spec:?}"))?;
+                scene = Some((w, h));
+            }
+            "--refuse-install" => refuse_install = true,
+            other => return Err(format!("unknown shard-worker flag {other:?}")),
+        }
+    }
+    let addr = connect.ok_or("shard-worker needs --connect <addr>")?;
+    let shard = shard.ok_or("shard-worker needs --shard <index>")?;
+    let scene = scene.ok_or("shard-worker needs --scene <WxH>")?;
+    let mut stream =
+        TcpStream::connect(&addr).map_err(|e| format!("connect to parent at {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    write_frame(&mut stream, format!("hello {shard}\n").as_bytes())
+        .map_err(|e| format!("hello: {e}"))?;
+    let mut core = WorkerCore::new(shard, scene, DatasetCache::new(), refuse_install);
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(payload) => payload,
+            // Parent is gone; nothing left to serve and nobody to tell.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(format!("shard {shard}: read: {e}")),
+        };
+        let reply = match serve_frame(&mut core, &payload) {
+            Ok(Served::Reply(reply)) => reply,
+            Ok(Served::Bye) => {
+                let _ = write_frame(&mut stream, b"bye\n");
+                return Ok(());
+            }
+            // A corrupt frame from the parent: the channel cannot be
+            // trusted, so die loudly and let the parent's forwarder
+            // declare the shard down.
+            Err(e) => return Err(format!("shard {shard}: protocol: {e}")),
+        };
+        write_frame(&mut stream, &reply).map_err(|e| format!("shard {shard}: write: {e}"))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_api::{Mutation, Query, Request};
+
+    fn core() -> WorkerCore {
+        WorkerCore::new(0, (640, 480), DatasetCache::new(), false)
+    }
+
+    /// Drive a parent-encoded job through the child's serve path in
+    /// memory — the full codec round trip with no process or socket.
+    fn exchange(core: &mut WorkerCore, job: &Job) -> Vec<u8> {
+        match serve_frame(core, &encode_job(job)).expect("serve") {
+            Served::Reply(reply) => reply,
+            Served::Bye => b"bye\n".to_vec(),
+        }
+    }
+
+    fn run_job(session: &SessionId, requests: Vec<Request>, publish: bool) -> Job {
+        Job::Run {
+            session: session.clone(),
+            requests,
+            publish,
+            respond: Box::new(|_| {}),
+        }
+    }
+
+    #[test]
+    fn run_round_trips_responses_errors_and_latencies() {
+        let mut core = core();
+        let s = SessionId::new("s").unwrap();
+        let reply = exchange(
+            &mut core,
+            &run_job(
+                &s,
+                vec![
+                    Request::Mutate(Mutation::LoadScenario {
+                        n_genes: 60,
+                        seed: 1,
+                    }),
+                    Request::Query(Query::SessionInfo),
+                    Request::Mutate(Mutation::Impute { dataset: 9, k: 3 }),
+                ],
+                false,
+            ),
+        );
+        let done = decode_run_done(&reply, &s).expect("decode");
+        assert_eq!(done.outcome.responses.len(), 2);
+        let (idx, err) = done.outcome.error.expect("bad impute fails");
+        assert_eq!(idx, 2);
+        assert_eq!(err.code, ErrorCode::NotFound);
+        assert_eq!(done.outcome.latencies.len(), 3, "one per attempted request");
+        assert!(!done.session_dropped);
+        assert!(done.frame.is_none(), "publish was off");
+        // The child recorded the run in its counters.
+        let report_reply = exchange(&mut core, &run_job(&s, Vec::new(), false));
+        let done = decode_run_done(&report_reply, &s).unwrap();
+        assert!(done.outcome.error.is_none(), "empty run materializes only");
+    }
+
+    #[test]
+    fn published_run_ships_the_framebuffer_and_damage() {
+        let mut core = core();
+        let s = SessionId::new("viewer").unwrap();
+        let reply = exchange(
+            &mut core,
+            &run_job(
+                &s,
+                vec![Request::Mutate(Mutation::LoadScenario {
+                    n_genes: 60,
+                    seed: 1,
+                })],
+                true,
+            ),
+        );
+        let done = decode_run_done(&reply, &s).expect("decode");
+        let frame = done.frame.expect("published run carries a frame");
+        assert_eq!(frame.session, s);
+        assert_eq!((frame.wall.width(), frame.wall.height()), (640, 480));
+        assert_eq!(frame.damage.len(), 1, "a load damages the full scene");
+        assert_eq!(frame.wall.bytes().len(), 640 * 480 * 3);
+        assert!(
+            frame.wall.bytes().iter().any(|&b| b != 0),
+            "the shipped render is not blank"
+        );
+    }
+
+    #[test]
+    fn close_extract_install_round_trip_via_the_wire_codec() {
+        let mut core = core();
+        let s = SessionId::new("mover").unwrap();
+        exchange(
+            &mut core,
+            &run_job(
+                &s,
+                vec![Request::Mutate(Mutation::LoadScenario {
+                    n_genes: 60,
+                    seed: 2,
+                })],
+                false,
+            ),
+        );
+        // extract: the session leaves as an image…
+        let reply = exchange(
+            &mut core,
+            &Job::Extract {
+                session: s.clone(),
+                respond: Box::new(|_| {}),
+            },
+        );
+        let image = decode_extracted(&reply).unwrap().expect("session existed");
+        assert_eq!(image.log.len(), 1);
+        // …a second extract finds nothing…
+        let reply = exchange(
+            &mut core,
+            &Job::Extract {
+                session: s.clone(),
+                respond: Box::new(|_| {}),
+            },
+        );
+        assert!(decode_extracted(&reply).unwrap().is_none());
+        // …install brings it back…
+        let reply = exchange(
+            &mut core,
+            &Job::Install {
+                session: s.clone(),
+                image: image.clone(),
+                respond: Box::new(|_| {}),
+            },
+        );
+        assert!(decode_installed(&reply).unwrap().is_ok());
+        // …a duplicate install is refused WITH the image returned…
+        let reply = exchange(
+            &mut core,
+            &Job::Install {
+                session: s.clone(),
+                image,
+                respond: Box::new(|_| {}),
+            },
+        );
+        let (returned, why) = decode_installed(&reply).unwrap().expect_err("occupied");
+        assert_eq!(why.code, ErrorCode::InvalidRequest);
+        assert_eq!(returned.log.len(), 1, "image survived the refusal");
+        // …and close reports existence faithfully.
+        let reply = exchange(
+            &mut core,
+            &Job::Close {
+                session: s.clone(),
+                respond: Box::new(|_| {}),
+            },
+        );
+        assert!(decode_closed(&reply).unwrap());
+        let reply = exchange(
+            &mut core,
+            &Job::Close {
+                session: s,
+                respond: Box::new(|_| {}),
+            },
+        );
+        assert!(!decode_closed(&reply).unwrap());
+    }
+
+    #[test]
+    fn report_round_trips_counters_cache_and_sessions() {
+        let mut core = core();
+        let s = SessionId::new("alpha").unwrap();
+        exchange(
+            &mut core,
+            &run_job(
+                &s,
+                vec![Request::Mutate(Mutation::LoadScenario {
+                    n_genes: 60,
+                    seed: 1,
+                })],
+                false,
+            ),
+        );
+        let reply = exchange(
+            &mut core,
+            &Job::Report {
+                shard: 0,
+                respond: Box::new(|_| {}),
+            },
+        );
+        let (report, cache) = decode_report(&reply).expect("decode");
+        assert_eq!(report.shard, 0);
+        assert_eq!(report.runs, 1);
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.max_run, 1);
+        assert_eq!(report.latency.total(), 1);
+        assert_eq!(report.sessions.len(), 1);
+        assert_eq!(report.sessions[0].name, "alpha");
+        assert_eq!(report.sessions[0].n_datasets, 3);
+        assert!(report.sessions[0].dataset_bytes > 0);
+        assert_eq!(cache.misses, 0, "scenario loads bypass the file cache");
+    }
+
+    #[test]
+    fn corrupt_frames_are_typed_errors_not_panics() {
+        let mut core = core();
+        for garbage in [
+            &b""[..],
+            b"warble\n",
+            b"run\n",
+            b"run 1 one s\n",
+            b"run 0 1 s\n",                // missing request line
+            b"install s\n5\nnot an image", // bad blob / bad image
+            b"close not a session\n",      // whitespace in name
+            b"report trailing\nextra",     // trailing bytes
+        ] {
+            assert!(
+                serve_frame(&mut core, garbage).is_err(),
+                "{garbage:?} must be rejected"
+            );
+        }
+        // Reply decoders reject corrupt payloads the same way.
+        let s = SessionId::new("s").unwrap();
+        assert!(decode_run_done(b"nope\n", &s).is_err());
+        assert!(decode_closed(b"closed 7\n").is_err());
+        assert!(decode_extracted(b"extracted 1\n").is_err(), "missing blob");
+        assert!(decode_installed(b"installed err E_NOPE\n").is_err());
+        assert!(decode_report(b"report shard=0\n").is_err());
+    }
+}

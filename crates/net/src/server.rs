@@ -42,10 +42,11 @@ use crate::balance::{
 use crate::frame::{push_err_frame, push_ok_frame, FrameBuf, LineFault, MAX_LINE};
 use crate::metrics::{ServerStats, ShardStats, StreamStats};
 use crate::poll::{self, PollEntry};
-use crate::shard::{shard_of, PubFrame, ShardHandles, ShardPool, ShardReport};
+use crate::procshard::ProcBackend;
+use crate::shard::{shard_of, InProcBackend, PubFrame, ShardBackend, ShardReport};
 use crate::stream::{union_rect, StreamPlane, SubState};
 use fv_api::codec::ScriptItem;
-use fv_api::{ApiError, Engine, EngineHub, Request, SessionId, WireItem};
+use fv_api::{ApiError, EngineHub, Request, SessionId, SessionImage, WireItem};
 use fv_render::Framebuffer;
 use fv_wall::stream::tile_damage;
 use fv_wall::tile::TileGrid;
@@ -76,11 +77,28 @@ const INBOX_HIGH_WATER: usize = 1024;
 /// acknowledging a wire `shutdown`) to flush before closing sockets.
 const SHUTDOWN_FLUSH_GRACE: Duration = Duration::from_millis(500);
 
+/// Where the shard workers live.
+#[derive(Debug, Clone, Default)]
+pub enum ShardBackendConfig {
+    /// In-process worker threads sharing one dataset cache (the
+    /// default): [`crate::shard::InProcBackend`].
+    #[default]
+    Threads,
+    /// One child worker process per shard, each with its own dataset
+    /// cache, speaking the shard control protocol
+    /// (`crate::procshard`). `worker_cmd` is the argv prefix to exec
+    /// per shard — `["/path/to/fvtool", "shard-worker"]` in
+    /// production.
+    Procs { worker_cmd: Vec<String> },
+}
+
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker shard count; sessions are hash-partitioned across shards.
     pub shards: usize,
+    /// Thread shards or child-process shards.
+    pub backend: ShardBackendConfig,
     /// Scene dimensions every shard's hub resolves damage against.
     pub scene: (usize, usize),
     /// Per-connection bound on pending (queued + dispatched, not yet
@@ -103,6 +121,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             shards: 4,
+            backend: ShardBackendConfig::Threads,
             scene: fv_api::engine::DEFAULT_SCENE,
             queue_limit: 128,
             balance: BalanceMode::Off,
@@ -172,17 +191,26 @@ impl Server {
         });
         let loop_shared = Arc::clone(&shared);
         let shards = config.shards.max(1);
-        // Spawn the shard workers here so a failure surfaces as the bind
-        // error instead of a panic inside the event-loop thread.
-        let pool = ShardPool::spawn_with_faults(
-            config.shards,
-            config.scene,
-            config.fault_refuse_install_to,
-        )?;
-        // fv-lint: allow(no-spawn-outside-sanctioned-modules) -- the one event-loop thread; every other server thread comes from ShardPool (shard.rs)
+        // Spawn the shard backend here so a failure (a worker thread or
+        // child process that cannot start) surfaces as the bind error
+        // instead of a panic inside the event-loop thread.
+        let backend: Arc<dyn ShardBackend> = match &config.backend {
+            ShardBackendConfig::Threads => Arc::new(InProcBackend::spawn(
+                config.shards,
+                config.scene,
+                config.fault_refuse_install_to,
+            )?),
+            ShardBackendConfig::Procs { worker_cmd } => Arc::new(ProcBackend::spawn(
+                worker_cmd,
+                config.shards,
+                config.scene,
+                config.fault_refuse_install_to,
+            )?),
+        };
+        // fv-lint: allow(no-spawn-outside-sanctioned-modules) -- the one event-loop thread; every other server thread comes from the shard backend (shard.rs / procshard.rs)
         let event_loop = std::thread::Builder::new()
             .name("fv-net-loop".into())
-            .spawn(move || event_loop(listener, config, pool, loop_shared, waker_rx))?;
+            .spawn(move || event_loop(listener, config, backend, loop_shared, waker_rx))?;
         Ok(Server {
             addr: local,
             shards,
@@ -436,7 +464,7 @@ fn closed_payload(_existed: bool) -> Payload {
 
 /// Everything item processing needs besides the connection itself.
 struct Ctx<'a> {
-    shards: &'a ShardHandles,
+    shards: &'a Arc<dyn ShardBackend>,
     done_tx: &'a mpsc::Sender<Completion>,
     waker: &'a Waker,
     queue_limit: usize,
@@ -502,14 +530,14 @@ impl Ctx<'_> {
     /// reply) uniform.
     fn submit_migration(&self, conn: u64, session: &SessionId, to: usize) {
         let from = self.route(session);
-        let shards = self.shards.clone();
+        let shards = Arc::clone(self.shards);
         let done = self.done_tx.clone();
         let waker = self.waker.clone();
         let session = session.clone();
         self.shards.submit_extract(
             from,
             &session.clone(),
-            Box::new(move |extracted: Option<Box<Engine>>| {
+            Box::new(move |extracted: Option<SessionImage>| {
                 let finish = {
                     let session = session.clone();
                     let done = done.clone();
@@ -530,25 +558,26 @@ impl Ctx<'_> {
                     None => finish(Err(ApiError::not_found(format!(
                         "session {session} does not exist"
                     )))),
-                    Some(engine) => {
-                        let restore = shards.clone();
+                    Some(image) => {
+                        let restore = Arc::clone(&shards);
                         let restore_session = session.clone();
                         shards.submit_install(
                             to,
                             &session,
-                            engine,
+                            image,
                             Box::new(move |installed| match installed {
                                 Ok(()) => finish(Ok(())),
-                                Err(engine) => {
+                                Err((image, _why)) => {
                                     // The target refused (dead shard /
-                                    // occupied name): the session was
-                                    // alive before the migration and must
-                                    // stay alive — put it back where it
-                                    // came from before reporting failure.
+                                    // occupied name / failed replay): the
+                                    // session was alive before the
+                                    // migration and must stay alive — put
+                                    // the image back where it came from
+                                    // before reporting failure.
                                     restore.submit_install(
                                         from,
                                         &restore_session,
-                                        engine,
+                                        image,
                                         Box::new(move |restored| {
                                             finish(Err(ApiError::new(
                                                 fv_api::ErrorCode::Internal,
@@ -592,11 +621,10 @@ const STREAM_CONN: u64 = u64::MAX - 1;
 fn event_loop(
     listener: TcpListener,
     config: ServerConfig,
-    pool: ShardPool,
+    shards: Arc<dyn ShardBackend>,
     shared: Arc<Shared>,
     waker_rx: PipeReader,
 ) {
-    let shards = pool.handles();
     let (done_tx, done_rx) = mpsc::channel::<Completion>();
     let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
     let mut next_conn_id: u64 = 0;
@@ -853,7 +881,7 @@ fn event_loop(
         {
             last_balance = Instant::now();
             balance_gather = Some(Vec::with_capacity(shards.n_shards()));
-            shards.submit_report_all(|| {
+            shards.submit_report_all(&mut || {
                 let done = done_tx.clone();
                 let waker = shared.waker.clone();
                 Box::new(move |report| {
@@ -974,8 +1002,9 @@ fn event_loop(
         }
     }
     drop(conns);
-    drop(shards);
-    pool.join();
+    // Stop every shard and reclaim it — joins worker threads or reaps
+    // child worker processes, depending on the backend.
+    shards.shutdown();
 }
 
 /// A completed balancer snapshot gather: fold the shard reports into
@@ -1318,7 +1347,7 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                     reports: Vec::new(),
                 });
                 ctx.shards
-                    .submit_report_all(|| ctx.responder(id, Payload::Shard));
+                    .submit_report_all(&mut || ctx.responder(id, Payload::Shard));
             }
             Item::Shutdown => {
                 conn.inbox.clear();
@@ -1421,10 +1450,12 @@ fn sessions_reply(reports: &[ShardReport]) -> String {
 fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
     let depths = ctx.shards.queue_depths();
     let cache = ctx.shards.cache_stats();
+    let pids = ctx.shards.pids();
     let shards: Vec<ShardStats> = reports
         .iter()
         .map(|r| ShardStats {
             shard: r.shard,
+            pid: pids.get(r.shard).copied().unwrap_or(0),
             sessions: r.sessions.len(),
             queued: depths.get(r.shard).copied().unwrap_or(0),
             runs: r.runs,
@@ -1434,6 +1465,7 @@ fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
         })
         .collect();
     let stats = ServerStats {
+        backend: ctx.shards.kind().to_string(),
         connections: ctx.n_conns,
         sessions: shards.iter().map(|s| s.sessions).sum(),
         // The stats frame itself is about to be written; count it so the

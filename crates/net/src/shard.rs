@@ -12,29 +12,39 @@
 //!
 //! - **The dataset cache**: every worker's hub is built over one
 //!   [`DatasetCache`], so the same PCL loaded into sessions on different
-//!   shards is parsed exactly once and shared as `Arc` handles.
-//! - **Sessions, by migration**: [`Job::Extract`] pulls a whole engine
-//!   out of one shard and [`Job::Install`] drops it into another — the
-//!   engine carries its dataset `Arc`s with it, so migration never
-//!   re-reads a file. Routing overrides live in the event loop (see
-//!   `crate::server`), which is why the `*_to` submit variants take an
-//!   explicit shard index.
+//!   shards is parsed exactly once and shared as `Arc` handles. (The
+//!   process backend re-creates this seam per child process — see
+//!   `crate::procshard`.)
+//! - **Sessions, by migration**: [`Job::Extract`] snapshots a session
+//!   into a serializable [`SessionImage`] and [`Job::Install`] restores
+//!   it on another shard by replaying its compacted mutation log — no
+//!   engine value ever crosses the seam, which is exactly what lets a
+//!   shard be a child process. Routing overrides live in the event loop
+//!   (see `crate::server`), which is why the `*_to` submit variants take
+//!   an explicit shard index.
 //!
 //! Jobs carry their reply as a boxed `FnOnce` responder, so the same
 //! worker serves both blocking callers (tests, tools) and the
 //! event loop's completion channel (which must never block): the loop's
 //! responders push a completion and poke the loop's waker.
+//!
+//! The seam itself is the [`ShardBackend`] trait: the event loop submits
+//! [`Job`]s against `Arc<dyn ShardBackend>` and never learns whether the
+//! shard lives on a thread ([`InProcBackend`], this module) or in a
+//! child process (`ProcBackend`, `crate::procshard`). [`WorkerCore`]
+//! holds the per-shard execution logic both backends drive.
 
 use crate::metrics::LatencyHistogram;
 use fv_api::engine::fnv1a;
 use fv_api::{
-    ApiError, CacheStats, DatasetCache, Engine, EngineHub, Request, Response, RunOutcome, SessionId,
+    ApiError, CacheStats, DatasetCache, Engine, EngineHub, Request, Response, RunOutcome,
+    SessionId, SessionImage,
 };
 use fv_render::Framebuffer;
 use fv_wall::tile::Viewport;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// One session's slice of a [`ShardReport`]: identity for
@@ -69,7 +79,7 @@ pub(crate) struct ShardReport {
 }
 
 impl ShardReport {
-    fn empty(shard: usize) -> ShardReport {
+    pub(crate) fn empty(shard: usize) -> ShardReport {
         ShardReport {
             shard,
             sessions: Vec::new(),
@@ -101,6 +111,10 @@ pub(crate) struct RunDone {
     pub frame: Option<PubFrame>,
 }
 
+/// An install's reply: `Ok` on success, or the image handed back with
+/// the typed refusal so the caller can restore the session.
+pub(crate) type InstallOutcome = Result<(), (SessionImage, ApiError)>;
+
 pub(crate) enum Job {
     /// Execute a request run on the session (empty runs just materialize
     /// it — the `use` semantics). Answered with the run's
@@ -118,26 +132,59 @@ pub(crate) enum Job {
         session: SessionId,
         respond: Box<dyn FnOnce(bool) + Send>,
     },
-    /// Snapshot the shard's sessions and counters.
+    /// Snapshot the shard's sessions and counters. Carries the target
+    /// shard index so a dead shard can still answer an attributed empty
+    /// report.
     Report {
+        shard: usize,
         respond: Box<dyn FnOnce(ShardReport) + Send>,
     },
-    /// Pull the session's engine out of this shard (migration step 1).
+    /// Pull the session out of this shard as a serializable
+    /// [`SessionImage`] (migration step 1); the engine itself is dropped.
     /// Replies `None` if the session does not live here.
     Extract {
         session: SessionId,
-        respond: Box<dyn FnOnce(Option<Box<Engine>>) + Send>,
+        respond: Box<dyn FnOnce(Option<SessionImage>) + Send>,
     },
-    /// Install a previously extracted engine (migration step 2). On
-    /// failure (name already taken here, which routing prevents, or a
-    /// dead shard) the engine is handed BACK through the responder so
-    /// the caller can restore it — an install failure must never destroy
-    /// a session that was alive before the migration.
+    /// Restore a previously extracted image (migration step 2). On
+    /// failure (name already taken here, which routing prevents; a
+    /// fingerprint mismatch on replay; or a dead shard) the image is
+    /// handed BACK through the responder with the reason, so the caller
+    /// can restore it — an install failure must never destroy a session
+    /// that was alive before the migration.
     Install {
         session: SessionId,
-        engine: Box<Engine>,
-        respond: Box<dyn FnOnce(Result<(), Box<Engine>>) + Send>,
+        image: SessionImage,
+        respond: Box<dyn FnOnce(InstallOutcome) + Send>,
     },
+    /// Stop the worker after draining everything queued before this job.
+    /// Backends submit it from their `shutdown`; it has no reply.
+    Shutdown,
+}
+
+impl Job {
+    /// Answer this job the way a dead shard must: every responder fires
+    /// exactly once with a typed refusal built from `err`, and an
+    /// [`Job::Install`]'s image comes back so the session is not lost.
+    /// The one generic fallback every backend's submit path shares.
+    pub fn respond_shard_down(self, err: ApiError) {
+        match self {
+            Job::Run { respond, .. } => respond(RunDone {
+                outcome: RunOutcome {
+                    responses: Vec::new(),
+                    error: Some((0, err)),
+                    latencies: Vec::new(),
+                },
+                session_dropped: false,
+                frame: None,
+            }),
+            Job::Close { respond, .. } => respond(false),
+            Job::Report { shard, respond } => respond(ShardReport::empty(shard)),
+            Job::Extract { respond, .. } => respond(None),
+            Job::Install { image, respond, .. } => respond(Err((image, err))),
+            Job::Shutdown => {}
+        }
+    }
 }
 
 /// Cloneable handle onto the shard workers.
@@ -155,7 +202,9 @@ impl ShardHandles {
     /// Which shard owns `id` *by hash*: FNV-1a of the session name, mod
     /// shard count. Stable across connections and server restarts.
     /// Transports that support migration overlay their own routing
-    /// overrides on top of this default.
+    /// overrides on top of this default. (Production callers route via
+    /// [`ShardBackend::shard_of`]; this is the test convenience.)
+    #[cfg(test)]
     pub fn shard_of(&self, id: &SessionId) -> usize {
         shard_of(id, self.senders.len())
     }
@@ -178,115 +227,19 @@ impl ShardHandles {
         self.cache.stats()
     }
 
-    /// Enqueue a run on an explicit shard with an arbitrary responder. On
-    /// a dead shard the responder fires immediately with a typed
-    /// `E_INTERNAL` outcome, so callers always hear back exactly once.
-    pub fn submit_run_to(
-        &self,
-        shard: usize,
-        session: &SessionId,
-        requests: Vec<Request>,
-        publish: bool,
-        respond: Box<dyn FnOnce(RunDone) + Send>,
-    ) {
-        let job = Job::Run {
-            session: session.clone(),
-            requests,
-            publish,
-            respond,
-        };
-        if let Some(Job::Run { respond, .. }) = self.submit_or_return(shard, job) {
-            respond(shard_down());
-        }
-    }
-
-    /// Enqueue a run on the hash-owning shard (no routing overrides).
-    #[cfg(test)]
-    pub fn submit_run(
-        &self,
-        session: &SessionId,
-        requests: Vec<Request>,
-        respond: Box<dyn FnOnce(RunDone) + Send>,
-    ) {
-        self.submit_run_to(self.shard_of(session), session, requests, false, respond);
-    }
-
-    /// Enqueue a close on an explicit shard; a dead shard answers `false`.
-    pub fn submit_close_to(
-        &self,
-        shard: usize,
-        session: &SessionId,
-        respond: Box<dyn FnOnce(bool) + Send>,
-    ) {
-        let job = Job::Close {
-            session: session.clone(),
-            respond,
-        };
-        if let Some(Job::Close { respond, .. }) = self.submit_or_return(shard, job) {
-            respond(false);
-        }
-    }
-
-    /// Enqueue an engine extraction (migration step 1) on `shard`; a dead
-    /// shard answers `None`.
-    pub fn submit_extract(
-        &self,
-        shard: usize,
-        session: &SessionId,
-        respond: Box<dyn FnOnce(Option<Box<Engine>>) + Send>,
-    ) {
-        let job = Job::Extract {
-            session: session.clone(),
-            respond,
-        };
-        if let Some(Job::Extract { respond, .. }) = self.submit_or_return(shard, job) {
-            respond(None);
-        }
-    }
-
-    /// Enqueue an engine install (migration step 2) on `shard`; on a
-    /// dead shard the engine comes straight back through the responder.
-    pub fn submit_install(
-        &self,
-        shard: usize,
-        session: &SessionId,
-        engine: Box<Engine>,
-        respond: Box<dyn FnOnce(Result<(), Box<Engine>>) + Send>,
-    ) {
-        let job = Job::Install {
-            session: session.clone(),
-            engine,
-            respond,
-        };
-        if let Some(Job::Install {
-            engine, respond, ..
-        }) = self.submit_or_return(shard, job)
-        {
-            respond(Err(engine));
-        }
-    }
-
-    /// Fan a report request out to every shard. `make` builds one
-    /// responder per shard; dead shards answer with an empty report so
-    /// gathers always complete.
-    pub fn submit_report_all(&self, mut make: impl FnMut() -> Box<dyn FnOnce(ShardReport) + Send>) {
-        for shard in 0..self.n_shards() {
-            let respond = make();
-            let job = Job::Report { respond };
-            if let Some(Job::Report { respond }) = self.submit_or_return(shard, job) {
-                respond(ShardReport::empty(shard));
-            }
-        }
-    }
-
-    fn submit_or_return(&self, shard: usize, job: Job) -> Option<Job> {
+    /// Enqueue `job` on `shard`. On a dead shard the job's responder
+    /// fires immediately with a typed `E_INTERNAL` refusal (a thread
+    /// worker only dies with the process, so this is an internal bug, not
+    /// the crash-isolation `E_SHARD_DOWN` the process backend reports) —
+    /// callers always hear back exactly once.
+    pub fn submit(&self, shard: usize, job: Job) {
         self.depth[shard].fetch_add(1, Ordering::SeqCst);
-        match self.senders[shard].send(job) {
-            Ok(()) => None,
-            Err(mpsc::SendError(job)) => {
-                self.depth[shard].fetch_sub(1, Ordering::SeqCst);
-                Some(job)
-            }
+        if let Err(mpsc::SendError(job)) = self.senders[shard].send(job) {
+            self.depth[shard].fetch_sub(1, Ordering::SeqCst);
+            job.respond_shard_down(ApiError::new(
+                fv_api::ErrorCode::Internal,
+                "shard worker is gone",
+            ));
         }
     }
 
@@ -297,45 +250,230 @@ impl ShardHandles {
     #[cfg(test)]
     pub fn execute(&self, session: &SessionId, requests: Vec<Request>) -> RunOutcome {
         let (tx, rx) = mpsc::channel();
-        self.submit_run(
-            session,
-            requests,
-            Box::new(move |done| {
-                let _ = tx.send(done);
-            }),
-        );
-        rx.recv().unwrap_or_else(|_| shard_down()).outcome
-    }
-
-    /// Drop a session on its owning shard; `false` if it did not exist
-    /// (or the shard is gone). Blocking counterpart of
-    /// [`ShardHandles::submit_close_to`], for tests.
-    #[cfg(test)]
-    pub fn close(&self, session: &SessionId) -> bool {
-        let (tx, rx) = mpsc::channel();
-        self.submit_close_to(
+        self.submit(
             self.shard_of(session),
-            session,
-            Box::new(move |existed| {
-                let _ = tx.send(existed);
-            }),
+            Job::Run {
+                session: session.clone(),
+                requests,
+                publish: false,
+                respond: Box::new(move |done| {
+                    let _ = tx.send(done);
+                }),
+            },
         );
-        rx.recv().unwrap_or(false)
-    }
-}
-
-fn shard_down() -> RunDone {
-    RunDone {
-        outcome: RunOutcome {
+        rx.recv().map(|done| done.outcome).unwrap_or(RunOutcome {
             responses: Vec::new(),
             error: Some((
                 0,
                 ApiError::new(fv_api::ErrorCode::Internal, "shard worker is gone"),
             )),
             latencies: Vec::new(),
-        },
-        session_dropped: false,
-        frame: None,
+        })
+    }
+
+    /// Drop a session on its owning shard; `false` if it did not exist
+    /// (or the shard is gone). Blocking convenience for tests.
+    #[cfg(test)]
+    pub fn close(&self, session: &SessionId) -> bool {
+        let (tx, rx) = mpsc::channel();
+        self.submit(
+            self.shard_of(session),
+            Job::Close {
+                session: session.clone(),
+                respond: Box::new(move |existed| {
+                    let _ = tx.send(existed);
+                }),
+            },
+        );
+        rx.recv().unwrap_or(false)
+    }
+}
+
+/// The shard seam, as a trait: the event loop (and the balancer chain it
+/// hosts) submits [`Job`]s against `Arc<dyn ShardBackend>` and never
+/// learns where the shard lives. Two implementations exist —
+/// [`InProcBackend`] (worker threads, one shared [`DatasetCache`]) and
+/// `crate::procshard::ProcBackend` (child processes speaking the
+/// length-framed shard control protocol). Everything that crosses this
+/// seam is serializable: requests and responses as canonical wire text,
+/// sessions as [`SessionImage`]s.
+pub(crate) trait ShardBackend: Send + Sync {
+    /// `"threads"` or `"procs"` — surfaced by `stats`.
+    fn kind(&self) -> &'static str;
+    /// Shard count.
+    fn n_shards(&self) -> usize;
+    /// OS process id serving each shard (the server's own pid for every
+    /// thread shard) — surfaced by `stats`.
+    fn pids(&self) -> Vec<u32>;
+    /// Snapshot of per-shard queued (submitted, not yet picked up) jobs.
+    fn queue_depths(&self) -> Vec<usize>;
+    /// Dataset-cache gauges, aggregated across whatever caches the
+    /// backend's shards actually hold (one shared cache for threads, one
+    /// per child for processes).
+    fn cache_stats(&self) -> CacheStats;
+    /// Enqueue `job` on `shard`. Must never block and must guarantee the
+    /// job's responder fires exactly once — immediately, with the
+    /// backend's typed dead-shard refusal, if the shard is gone.
+    fn submit(&self, shard: usize, job: Job);
+    /// Stop every shard and reclaim it (join threads / reap child
+    /// processes). Idempotent; jobs submitted afterwards get dead-shard
+    /// replies.
+    fn shutdown(&self);
+
+    /// Which shard owns `id` by hash (transports overlay migration
+    /// routing overrides on top of this default).
+    fn shard_of(&self, id: &SessionId) -> usize {
+        shard_of(id, self.n_shards())
+    }
+
+    /// Enqueue a run on an explicit shard.
+    fn submit_run_to(
+        &self,
+        shard: usize,
+        session: &SessionId,
+        requests: Vec<Request>,
+        publish: bool,
+        respond: Box<dyn FnOnce(RunDone) + Send>,
+    ) {
+        self.submit(
+            shard,
+            Job::Run {
+                session: session.clone(),
+                requests,
+                publish,
+                respond,
+            },
+        );
+    }
+
+    /// Enqueue a close on an explicit shard; a dead shard answers `false`.
+    fn submit_close_to(
+        &self,
+        shard: usize,
+        session: &SessionId,
+        respond: Box<dyn FnOnce(bool) + Send>,
+    ) {
+        self.submit(
+            shard,
+            Job::Close {
+                session: session.clone(),
+                respond,
+            },
+        );
+    }
+
+    /// Enqueue a session extraction (migration step 1) on `shard`; a
+    /// dead shard answers `None`.
+    fn submit_extract(
+        &self,
+        shard: usize,
+        session: &SessionId,
+        respond: Box<dyn FnOnce(Option<SessionImage>) + Send>,
+    ) {
+        self.submit(
+            shard,
+            Job::Extract {
+                session: session.clone(),
+                respond,
+            },
+        );
+    }
+
+    /// Enqueue an image install (migration step 2) on `shard`; on
+    /// failure the image comes straight back through the responder.
+    fn submit_install(
+        &self,
+        shard: usize,
+        session: &SessionId,
+        image: SessionImage,
+        respond: Box<dyn FnOnce(InstallOutcome) + Send>,
+    ) {
+        self.submit(
+            shard,
+            Job::Install {
+                session: session.clone(),
+                image,
+                respond,
+            },
+        );
+    }
+
+    /// Fan a report request out to every shard. `make` builds one
+    /// responder per shard; dead shards answer with an empty report so
+    /// gathers always complete.
+    fn submit_report_all(&self, make: &mut dyn FnMut() -> Box<dyn FnOnce(ShardReport) + Send>) {
+        for shard in 0..self.n_shards() {
+            self.submit(
+                shard,
+                Job::Report {
+                    shard,
+                    respond: make(),
+                },
+            );
+        }
+    }
+}
+
+/// The thread-shard backend: today's worker threads behind the
+/// [`ShardBackend`] seam, byte-identical behavior included.
+pub(crate) struct InProcBackend {
+    handles: ShardHandles,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl InProcBackend {
+    /// Spawn `n` worker threads sharing one [`DatasetCache`]. The shard
+    /// at `refuse_install_to` (tests only) refuses every install, forcing
+    /// the migration restore path.
+    pub fn spawn(
+        n: usize,
+        scene: (usize, usize),
+        refuse_install_to: Option<usize>,
+    ) -> std::io::Result<InProcBackend> {
+        let pool = ShardPool::spawn_with_faults(n, scene, refuse_install_to)?;
+        Ok(InProcBackend {
+            handles: pool.handles,
+            workers: Mutex::new(pool.workers),
+        })
+    }
+}
+
+impl ShardBackend for InProcBackend {
+    fn kind(&self) -> &'static str {
+        "threads"
+    }
+
+    fn n_shards(&self) -> usize {
+        self.handles.n_shards()
+    }
+
+    fn pids(&self) -> Vec<u32> {
+        vec![std::process::id(); self.handles.n_shards()]
+    }
+
+    fn queue_depths(&self) -> Vec<usize> {
+        self.handles.queue_depths()
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.handles.cache_stats()
+    }
+
+    fn submit(&self, shard: usize, job: Job) {
+        self.handles.submit(shard, job);
+    }
+
+    fn shutdown(&self) {
+        for shard in 0..self.handles.n_shards() {
+            self.handles.submit(shard, Job::Shutdown);
+        }
+        let workers = match self.workers.lock() {
+            Ok(mut w) => std::mem::take(&mut *w),
+            Err(_) => return,
+        };
+        for w in workers {
+            let _ = w.join();
+        }
     }
 }
 
@@ -434,6 +572,7 @@ impl ShardPool {
         })
     }
 
+    #[cfg(test)]
     pub fn handles(&self) -> ShardHandles {
         self.handles.clone()
     }
@@ -441,10 +580,185 @@ impl ShardPool {
     /// Drop the original senders and wait for the workers to drain and
     /// exit. Callers must first drop every other handle clone, or this
     /// blocks until they are gone.
+    #[cfg(test)]
     pub fn join(self) {
         drop(self.handles);
         for w in self.workers {
             let _ = w.join();
+        }
+    }
+}
+
+/// One shard's execution logic, backend-agnostic: the hub plus the
+/// counters a [`ShardReport`] snapshots. The thread worker loop drives
+/// it from an mpsc channel; the child-process worker
+/// (`crate::procshard`) drives it from decoded protocol frames. Keeping
+/// the logic here is what makes the two backends behave identically.
+pub(crate) struct WorkerCore {
+    shard: usize,
+    scene: (usize, usize),
+    hub: EngineHub,
+    runs: u64,
+    requests_executed: u64,
+    max_run: usize,
+    latency: LatencyHistogram,
+    refuse_install: bool,
+}
+
+impl WorkerCore {
+    pub fn new(
+        shard: usize,
+        scene: (usize, usize),
+        cache: DatasetCache,
+        refuse_install: bool,
+    ) -> WorkerCore {
+        WorkerCore {
+            shard,
+            scene,
+            hub: EngineHub::with_cache(scene.0, scene.1, cache),
+            runs: 0,
+            requests_executed: 0,
+            max_run: 0,
+            latency: LatencyHistogram::new(),
+            refuse_install,
+        }
+    }
+
+    /// Gauges of this worker's dataset cache (shared across shards in the
+    /// thread backend, per-process in the process backend).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.hub.cache_stats()
+    }
+
+    pub fn close(&mut self, session: &SessionId) -> bool {
+        self.hub.close(session)
+    }
+
+    /// Migration step 1: snapshot the session into a [`SessionImage`]
+    /// and drop the engine. `None` if the session does not live here.
+    pub fn extract(&mut self, session: &SessionId) -> Option<SessionImage> {
+        self.hub
+            .take_session(session)
+            .map(|engine| engine.snapshot())
+    }
+
+    /// Migration step 2: restore `image` into this shard by replaying
+    /// its log ([`Engine::restore`] asserts the dataset fingerprints).
+    /// On refusal or a failed replay the image is handed back with the
+    /// reason.
+    pub fn install(
+        &mut self,
+        session: &SessionId,
+        image: SessionImage,
+    ) -> Result<(), (SessionImage, ApiError)> {
+        if self.refuse_install {
+            // Injected fault (tests drive the migration restore path
+            // with it).
+            return Err((
+                image,
+                ApiError::new(
+                    fv_api::ErrorCode::Internal,
+                    "install refused (injected fault)",
+                ),
+            ));
+        }
+        if self.hub.get(session).is_some() {
+            // Name already taken here — routing should prevent this;
+            // hand the image back rather than lose either session.
+            return Err((
+                image,
+                ApiError::invalid(format!("session {session} already exists on this shard")),
+            ));
+        }
+        match Engine::restore(&image, self.hub.cache()) {
+            Ok(engine) => {
+                self.hub.install_session(session, engine);
+                Ok(())
+            }
+            Err(e) => Err((image, e)),
+        }
+    }
+
+    pub fn report(&self) -> ShardReport {
+        ShardReport {
+            shard: self.shard,
+            sessions: self
+                .hub
+                .list_sessions()
+                .into_iter()
+                .map(|(id, n)| {
+                    let cost = self.hub.get(&id).map(Engine::cost).unwrap_or_default();
+                    SessionReport {
+                        name: id.to_string(),
+                        n_datasets: n,
+                        requests: cost.requests,
+                        dataset_bytes: cost.dataset_bytes,
+                    }
+                })
+                .collect(),
+            runs: self.runs,
+            requests: self.requests_executed,
+            max_run: self.max_run,
+            latency: self.latency.clone(),
+        }
+    }
+
+    pub fn run(&mut self, session: &SessionId, requests: &[Request], publish: bool) -> RunDone {
+        if !requests.is_empty() {
+            self.runs += 1;
+            self.max_run = self.max_run.max(requests.len());
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.hub.execute_run_on(session, requests)
+        }));
+        let mut session_dropped = false;
+        let out = outcome.unwrap_or_else(|_| {
+            // An engine panic means the session's state is suspect; drop
+            // the session so the shard (and its other sessions) stays
+            // healthy, and report a typed internal error. The flag lets
+            // the transport drop per-session routing state with it.
+            self.hub.close(session);
+            session_dropped = true;
+            RunOutcome {
+                responses: Vec::new(),
+                error: Some((
+                    0,
+                    ApiError::new(
+                        fv_api::ErrorCode::Internal,
+                        format!("request panicked; session {session} was dropped"),
+                    ),
+                )),
+                latencies: Vec::new(),
+            }
+        });
+        // One latency observation per ATTEMPTED request (the failing one
+        // included, never the skipped tail), and the `requests` counter
+        // counts exactly the same population — so `stats`' histogram
+        // totals always equal `requests`.
+        self.requests_executed += out.latencies.len() as u64;
+        for &l in &out.latencies {
+            self.latency.record(l);
+        }
+        // The streaming rasterize hook: render the session's scene once
+        // per published run. Subscribers share this one render no matter
+        // how many are watching.
+        let frame = if publish && !session_dropped {
+            self.hub.get(session).map(|engine| PubFrame {
+                session: session.clone(),
+                damage: run_damage(&out, self.scene),
+                wall: forestview::renderer::render_desktop(
+                    engine.session(),
+                    self.scene.0,
+                    self.scene.1,
+                ),
+            })
+        } else {
+            None
+        };
+        RunDone {
+            outcome: out,
+            session_dropped,
+            frame,
         }
     }
 }
@@ -457,121 +771,28 @@ fn worker(
     cache: DatasetCache,
     refuse_install: bool,
 ) {
-    let mut hub = EngineHub::with_cache(scene.0, scene.1, cache);
-    let mut runs: u64 = 0;
-    let mut requests_executed: u64 = 0;
-    let mut max_run: usize = 0;
-    let mut latency = LatencyHistogram::new();
+    let mut core = WorkerCore::new(shard, scene, cache, refuse_install);
     while let Ok(job) = rx.recv() {
         depth[shard].fetch_sub(1, Ordering::SeqCst);
         match job {
-            Job::Close { session, respond } => {
-                respond(hub.close(&session));
-            }
-            Job::Extract { session, respond } => {
-                respond(hub.take_session(&session).map(Box::new));
-            }
+            Job::Shutdown => break,
+            Job::Close { session, respond } => respond(core.close(&session)),
+            Job::Extract { session, respond } => respond(core.extract(&session)),
             Job::Install {
                 session,
-                engine,
+                image,
                 respond,
-            } => {
-                if refuse_install || hub.get(&session).is_some() {
-                    // Injected fault, or name already taken here (routing
-                    // should prevent the latter); hand the engine back
-                    // rather than lose it.
-                    respond(Err(engine));
-                } else {
-                    hub.install_session(&session, *engine);
-                    respond(Ok(()));
-                }
-            }
-            Job::Report { respond } => {
-                respond(ShardReport {
-                    shard,
-                    sessions: hub
-                        .list_sessions()
-                        .into_iter()
-                        .map(|(id, n)| {
-                            let cost = hub.get(&id).map(Engine::cost).unwrap_or_default();
-                            SessionReport {
-                                name: id.to_string(),
-                                n_datasets: n,
-                                requests: cost.requests,
-                                dataset_bytes: cost.dataset_bytes,
-                            }
-                        })
-                        .collect(),
-                    runs,
-                    requests: requests_executed,
-                    max_run,
-                    latency: latency.clone(),
-                });
-            }
+            } => respond(core.install(&session, image)),
+            Job::Report { respond, .. } => respond(core.report()),
             Job::Run {
                 session,
                 requests,
                 publish,
                 respond,
             } => {
-                if !requests.is_empty() {
-                    runs += 1;
-                    max_run = max_run.max(requests.len());
-                }
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| hub.execute_run_on(&session, &requests)));
-                let mut session_dropped = false;
-                let out = outcome.unwrap_or_else(|_| {
-                    // An engine panic means the session's state is
-                    // suspect; drop the session so the shard (and its
-                    // other sessions) stays healthy, and report a typed
-                    // internal error. The flag lets the transport drop
-                    // per-session routing state with it.
-                    hub.close(&session);
-                    session_dropped = true;
-                    RunOutcome {
-                        responses: Vec::new(),
-                        error: Some((
-                            0,
-                            ApiError::new(
-                                fv_api::ErrorCode::Internal,
-                                format!("request panicked; session {session} was dropped"),
-                            ),
-                        )),
-                        latencies: Vec::new(),
-                    }
-                });
-                // One latency observation per ATTEMPTED request (the
-                // failing one included, never the skipped tail), and the
-                // `requests` counter counts exactly the same population —
-                // so `stats`' histogram totals always equal `requests`.
-                requests_executed += out.latencies.len() as u64;
-                for &l in &out.latencies {
-                    latency.record(l);
-                }
-                // The streaming rasterize hook: render the session's
-                // scene once per published run. Subscribers share this
-                // one render no matter how many are watching.
-                let frame = if publish && !session_dropped {
-                    hub.get(&session).map(|engine| PubFrame {
-                        session: session.clone(),
-                        damage: run_damage(&out, scene),
-                        wall: forestview::renderer::render_desktop(
-                            engine.session(),
-                            scene.0,
-                            scene.1,
-                        ),
-                    })
-                } else {
-                    None
-                };
                 // The connection may already be gone; that is not the
                 // shard's problem.
-                respond(RunDone {
-                    outcome: out,
-                    session_dropped,
-                    frame,
-                });
+                respond(core.run(&session, &requests, publish));
             }
         }
     }
@@ -655,12 +876,18 @@ mod tests {
             })],
         );
         let (tx, rx) = mpsc::channel();
-        handles.submit_report_all(move || {
+        for shard in 0..2 {
             let tx = tx.clone();
-            Box::new(move |report| {
-                let _ = tx.send(report);
-            })
-        });
+            handles.submit(
+                shard,
+                Job::Report {
+                    shard,
+                    respond: Box::new(move |report| {
+                        let _ = tx.send(report);
+                    }),
+                },
+            );
+        }
         let mut reports: Vec<ShardReport> = (0..2).map(|_| rx.recv().unwrap()).collect();
         reports.sort_by_key(|r| r.shard);
         let owner = shard_of(&a, 2);
@@ -686,8 +913,42 @@ mod tests {
         pool.join();
     }
 
+    fn extract_on(handles: &ShardHandles, shard: usize, s: &SessionId) -> Option<SessionImage> {
+        let (tx, rx) = mpsc::channel();
+        handles.submit(
+            shard,
+            Job::Extract {
+                session: s.clone(),
+                respond: Box::new(move |image| {
+                    let _ = tx.send(image);
+                }),
+            },
+        );
+        rx.recv().unwrap()
+    }
+
+    fn install_on(
+        handles: &ShardHandles,
+        shard: usize,
+        s: &SessionId,
+        image: SessionImage,
+    ) -> Result<(), (SessionImage, ApiError)> {
+        let (tx, rx) = mpsc::channel();
+        handles.submit(
+            shard,
+            Job::Install {
+                session: s.clone(),
+                image,
+                respond: Box::new(move |result| {
+                    let _ = tx.send(result);
+                }),
+            },
+        );
+        rx.recv().unwrap()
+    }
+
     #[test]
-    fn extract_install_moves_an_engine_between_shards() {
+    fn extract_install_moves_a_session_image_between_shards() {
         let pool = ShardPool::spawn(2, (640, 480));
         let handles = pool.handles();
         let s = SessionId::new("mover").unwrap();
@@ -700,38 +961,29 @@ mod tests {
                 seed: 1,
             })],
         );
-        // extract from the hash owner…
-        let (tx, rx) = mpsc::channel();
-        handles.submit_extract(
-            from,
-            &s,
-            Box::new(move |engine| {
-                let _ = tx.send(engine);
-            }),
-        );
-        let engine = rx.recv().unwrap().expect("session lives on its shard");
-        assert_eq!(engine.session().n_datasets(), 3);
+        // extract from the hash owner: a serializable image, not an
+        // engine — the scenario load is its whole (compacted) log.
+        let image = extract_on(&handles, from, &s).expect("session lives on its shard");
+        assert_eq!(image.requests, 1);
+        assert_eq!(image.log.len(), 1);
+        assert!(image.datasets.is_empty(), "scenario loads stamp no files");
         // …install on the other shard…
-        let (tx, rx) = mpsc::channel();
-        handles.submit_install(
-            to,
-            &s,
-            engine,
-            Box::new(move |result| {
-                let _ = tx.send(result.is_ok());
-            }),
+        assert!(
+            install_on(&handles, to, &s, image).is_ok(),
+            "install must take"
         );
-        assert!(rx.recv().unwrap(), "install must take");
         // …and a run routed at the new shard sees the intact state.
         let (tx, rx) = mpsc::channel();
-        handles.submit_run_to(
+        handles.submit(
             to,
-            &s,
-            vec![Request::Query(Query::SessionInfo)],
-            false,
-            Box::new(move |done| {
-                let _ = tx.send(done);
-            }),
+            Job::Run {
+                session: s.clone(),
+                requests: vec![Request::Query(Query::SessionInfo)],
+                publish: false,
+                respond: Box::new(move |done| {
+                    let _ = tx.send(done);
+                }),
+            },
         );
         let out = rx.recv().unwrap().outcome;
         assert!(out.error.is_none());
@@ -740,42 +992,15 @@ mod tests {
             other => panic!("wrong response: {other:?}"),
         }
         // extracting a session that is not there answers None
-        let (tx, rx) = mpsc::channel();
-        handles.submit_extract(
-            from,
-            &s,
-            Box::new(move |engine| {
-                let _ = tx.send(engine.is_none());
-            }),
-        );
-        assert!(rx.recv().unwrap());
-        // installing over an occupied name hands the engine BACK instead
-        // of dropping it
+        assert!(extract_on(&handles, from, &s).is_none());
+        // installing over an occupied name hands the image BACK (with the
+        // reason) instead of dropping it
         handles.execute(&s, Vec::new()); // fresh empty `s` on `from`
-        let (tx, rx) = mpsc::channel();
-        handles.submit_extract(
-            to,
-            &s,
-            Box::new(move |engine| {
-                let _ = tx.send(engine);
-            }),
-        );
-        let engine = rx.recv().unwrap().expect("moved session still on `to`");
-        let (tx, rx) = mpsc::channel();
-        handles.submit_install(
-            from,
-            &s,
-            engine,
-            Box::new(move |result| {
-                let _ = tx.send(result);
-            }),
-        );
-        let returned = rx.recv().unwrap().expect_err("occupied name must refuse");
-        assert_eq!(
-            returned.session().n_datasets(),
-            3,
-            "engine came back intact"
-        );
+        let image = extract_on(&handles, to, &s).expect("moved session still on `to`");
+        let (returned, why) =
+            install_on(&handles, from, &s, image).expect_err("occupied name must refuse");
+        assert_eq!(why.code, fv_api::ErrorCode::InvalidRequest);
+        assert_eq!(returned.log.len(), 1, "image came back intact");
         drop(handles);
         pool.join();
     }

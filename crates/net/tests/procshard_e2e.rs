@@ -1,0 +1,354 @@
+//! End-to-end tests of the process shard backend: a real server whose
+//! shards are child `fv-shard-worker` processes must be byte-identical
+//! to the thread backend (golden conformance), migrate sessions across
+//! process boundaries with diff-identical probe transcripts, rebalance
+//! automatically under skewed load, answer `E_SHARD_DOWN` for a killed
+//! worker while other shards keep serving, and leave zero orphaned
+//! children behind after shutdown.
+
+use fv_api::{EngineHub, SessionId};
+use fv_net::balance::BalanceConfig;
+use fv_net::{
+    run_script_remote, shard_of, BalanceMode, Client, Server, ServerConfig, ShardBackendConfig,
+};
+use std::time::{Duration, Instant};
+
+/// The golden script of `fv-api` (the protocol's reference workload).
+const GOLDEN_SCRIPT: &str = include_str!("../../api/tests/data/session.fvs");
+
+/// Scene used by the golden transcript.
+const SCENE: (usize, usize) = (800, 600);
+
+/// The standalone worker binary Cargo built alongside this test.
+fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_fv-shard-worker").to_string()]
+}
+
+fn proc_server(shards: usize) -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards,
+            backend: ShardBackendConfig::Procs {
+                worker_cmd: worker_cmd(),
+            },
+            scene: SCENE,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port with process shards")
+}
+
+fn local_transcript(script: &str) -> String {
+    EngineHub::with_scene(SCENE.0, SCENE.1)
+        .run_script(script)
+        .expect("local replay succeeds")
+        .transcript()
+}
+
+fn remote_transcript(addr: &str, script: &str) -> String {
+    let mut out = String::new();
+    run_script_remote(addr, script, |block| out.push_str(block)).expect("remote replay succeeds");
+    out
+}
+
+/// `kill -0` probe: whether `pid` is still alive (or an unreaped
+/// zombie). Tests may spawn processes; production code may not.
+fn pid_alive(pid: u32) -> bool {
+    std::process::Command::new("kill")
+        .args(["-0", &pid.to_string()])
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+#[test]
+fn golden_script_is_byte_identical_against_process_shards() {
+    let server = proc_server(2);
+    let addr = server.local_addr().to_string();
+
+    // The conformance contract, unchanged: a transcript produced by
+    // child worker processes is byte-identical to in-process replay and
+    // to the checked-in golden file.
+    let local = local_transcript(GOLDEN_SCRIPT);
+    let remote = remote_transcript(&addr, GOLDEN_SCRIPT);
+    assert_eq!(remote, local, "proc-shard transcript drifted from local");
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../api/tests/data/session.golden"
+    ))
+    .expect("golden file");
+    assert_eq!(remote, golden);
+
+    // The stats plane names the backend and the per-shard child pids.
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.backend, "procs");
+    let me = std::process::id();
+    for shard in &stats.shards {
+        assert_ne!(shard.pid, 0, "shard {} has no pid", shard.shard);
+        assert_ne!(
+            shard.pid, me,
+            "shard {} runs in the server process, not a child",
+            shard.shard
+        );
+    }
+    let pids: Vec<u32> = stats.shards.iter().map(|s| s.pid).collect();
+    let mut dedup = pids.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), pids.len(), "one process per shard: {pids:?}");
+
+    server.shutdown();
+    server.join();
+    // Zero orphans: every child was reaped before join() returned.
+    for pid in pids {
+        assert!(!pid_alive(pid), "worker {pid} survived shutdown");
+    }
+}
+
+#[test]
+fn migration_between_process_shards_preserves_probe_transcripts() {
+    let server = proc_server(2);
+    let addr = server.local_addr().to_string();
+
+    // Build real state in one child process: datasets, clustering, a
+    // selection, scroll position.
+    let setup = "use mover\nscenario 80 9\ncluster_all\nsearch_select stress\nscroll 2\n";
+    assert_eq!(remote_transcript(&addr, setup), local_transcript(setup));
+
+    // The probe transcript exercises summary text AND a frame checksum,
+    // so any state lost in the image round trip shows up as a diff.
+    let probe = "use mover\nsession_info\nlist_datasets\nrender 320 240\n";
+    let before = remote_transcript(&addr, probe);
+
+    let home = shard_of(&SessionId::new("mover").unwrap(), 2);
+    let away = 1 - home;
+    let mut client = Client::connect(&addr).unwrap();
+    let pid_of = |client: &mut Client, shard: usize| client.stats().unwrap().shards[shard].pid;
+    assert_ne!(
+        pid_of(&mut client, home),
+        pid_of(&mut client, away),
+        "the two shards must be distinct processes"
+    );
+
+    // Across the process boundary and back: the probe transcript must
+    // be diff-identical at every stop.
+    client.migrate("mover", away).unwrap();
+    let listed = client.list_sessions().unwrap();
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].shard, away, "listing reflects the new process");
+    assert_eq!(
+        remote_transcript(&addr, probe),
+        before,
+        "probe transcript diff after migrating into another process"
+    );
+    client.migrate("mover", home).unwrap();
+    assert_eq!(
+        remote_transcript(&addr, probe),
+        before,
+        "probe transcript diff after migrating back"
+    );
+
+    // Still byte-identical to a local replay of the same history.
+    let mut hub = EngineHub::with_scene(SCENE.0, SCENE.1);
+    hub.run_script(setup).expect("local setup succeeds");
+    let mut expected = String::new();
+    hub.run_script_streaming(probe, |e| expected.push_str(&e.render()))
+        .expect("local probe succeeds");
+    assert_eq!(before, expected, "probe transcript drifted from local");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn skewed_load_triggers_automatic_cross_process_migration() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2,
+            backend: ShardBackendConfig::Procs {
+                worker_cmd: worker_cmd(),
+            },
+            scene: SCENE,
+            balance: BalanceMode::Auto,
+            balance_interval: Duration::from_millis(50),
+            balance_cfg: BalanceConfig {
+                budget: 2,
+                trigger_ratio: 1.3,
+                settle_ratio: 1.1,
+                min_total_load: 1,
+                cooldown_ticks: 3,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Sessions that all hash-route to shard 0: only an automatic
+    // migration can ever populate the shard-1 process.
+    let names: Vec<String> = (0..)
+        .map(|i| format!("skew{i}"))
+        .filter(|name| shard_of(&SessionId::new(name.clone()).unwrap(), 2) == 0)
+        .take(4)
+        .collect();
+    fn round_script(session: &str, round: usize) -> String {
+        if round == 0 {
+            format!(
+                "use {session}\nscenario 80 1\ncluster_all\nsearch_select stress\nsession_info\n"
+            )
+        } else {
+            format!(
+                "use {session}\ncluster_all\nsearch_select stress\nscroll {round}\nsession_info\n"
+            )
+        }
+    }
+    // Drive all sessions *concurrently* each round (one client thread
+    // per session), so the balancer's interval snapshots observe
+    // overlapping load — a strictly sequential driver makes whichever
+    // session is running the interval's whale, which the policy rightly
+    // refuses to move.
+    let mut local = EngineHub::with_scene(SCENE.0, SCENE.1);
+    let mut drive_round = |round: usize| {
+        let handles: Vec<_> = names
+            .iter()
+            .cloned()
+            .map(|name| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let script = round_script(&name, round);
+                    let remote = remote_transcript(&addr, &script);
+                    (name, script, remote)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (name, script, remote) = handle.join().expect("client thread");
+            let mut expected = String::new();
+            local
+                .run_script_streaming(&script, |e| expected.push_str(&e.render()))
+                .expect("local replay succeeds");
+            assert_eq!(
+                remote, expected,
+                "round {round}, session {name}: transcript drifted"
+            );
+        }
+    };
+    drive_round(0);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut round = 1;
+    loop {
+        let stats = client.stats().expect("stats");
+        if stats.balancer_moves >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no automatic cross-process migration; ticks={} moves={} failed={}",
+            stats.balancer_ticks,
+            stats.balancer_moves,
+            stats.balancer_failed
+        );
+        drive_round(round);
+        round += 1;
+        std::thread::sleep(Duration::from_millis(60));
+    }
+
+    // A session genuinely moved between processes, none were lost, and
+    // its state survived the image round trip.
+    std::thread::sleep(Duration::from_millis(300));
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.balancer_failed, 0, "no move may fail in this test");
+    let sessions = client.list_sessions().expect("list-sessions");
+    assert_eq!(sessions.len(), names.len(), "no session may be lost");
+    assert!(
+        sessions.iter().any(|s| s.shard == 1),
+        "at least one session must live in the shard-1 process: {sessions:?}"
+    );
+    for name in &names {
+        let probe = format!("use {name}\nsession_info\nlist_datasets\n");
+        let remote = remote_transcript(&addr, &probe);
+        let mut expected = String::new();
+        local
+            .run_script_streaming(&probe, |e| expected.push_str(&e.render()))
+            .expect("local probe succeeds");
+        assert_eq!(remote, expected, "post-balance probe drifted for {name}");
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn killed_worker_answers_shard_down_and_other_shards_survive() {
+    let server = proc_server(2);
+    let addr = server.local_addr().to_string();
+
+    // One session per shard, so each child process holds real state.
+    let mut client = Client::connect(&addr).unwrap();
+    let name_on = |shard: usize| {
+        (0..)
+            .map(|i| format!("s{i}"))
+            .find(|n| shard_of(&SessionId::new(n.clone()).unwrap(), 2) == shard)
+            .unwrap()
+    };
+    let (victim, survivor) = (name_on(0), name_on(1));
+    for name in [&victim, &survivor] {
+        client.use_session(name).unwrap();
+        client.roundtrip("scenario 60 5").unwrap().unwrap();
+    }
+    let pid = client.stats().unwrap().shards[0].pid;
+
+    // Kill the shard-0 worker out from under the server. The child
+    // lingers as a zombie until the backend reaps it at shutdown; the
+    // observable effect is the typed refusal, which the server notices
+    // as soon as the dead socket surfaces.
+    assert!(std::process::Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .unwrap()
+        .success());
+
+    // The dead shard's session answers a typed E_SHARD_DOWN naming the
+    // pid — not a hang, not a dropped connection.
+    client.use_session(&victim).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let err = loop {
+        match client.roundtrip("session_info").expect("transport alive") {
+            Err(e) => break e,
+            Ok(_) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "server never noticed the dead worker {pid}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    assert_eq!(err.code, fv_api::ErrorCode::ShardDown);
+    assert!(
+        err.message.contains(&pid.to_string()),
+        "error should name the dead pid: {err}"
+    );
+
+    // The other process keeps serving, stats still answers, and the
+    // dead shard's sessions are gone from the listing.
+    client.use_session(&survivor).unwrap();
+    client.roundtrip("session_info").unwrap().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards.len(), 2);
+    let sessions = client.list_sessions().unwrap();
+    assert!(
+        sessions.iter().all(|s| s.shard == 1),
+        "lost sessions must not be listed: {sessions:?}"
+    );
+
+    // Shutdown still reaps cleanly with one shard already dead.
+    let surviving_pid = stats.shards[1].pid;
+    server.shutdown();
+    server.join();
+    assert!(!pid_alive(surviving_pid), "survivor not reaped");
+}

@@ -17,7 +17,7 @@
 //! fvtool spell   <gene,gene,...> <file.pcl>...       SPELL query over files
 //! fvtool demo    <out_dir>                           write a synthetic demo workspace
 //! fvtool script  <file.fvs>                          replay a request script
-//! fvtool serve   [--addr a:p] [--shards n] [--queue-limit n] [--balance auto|off] [balance knobs]   run the TCP server
+//! fvtool serve   [--addr a:p] [--shards n | --shard-procs n] [--queue-limit n] [--balance auto|off] [balance knobs]   run the TCP server
 //! fvtool ping                                        probe a server (needs --remote)
 //! fvtool watch   <session> <TX>x<TY> [--frames n] [--idle-ms n] [--dally-ms n] [--verify-script f]   subscribe to the tile stream (needs --remote)
 //! fvtool stats                                       server metrics + cache gauges (needs --remote)
@@ -51,7 +51,7 @@ fn usage() -> ExitCode {
          fvtool spell   <gene,gene,...> <file.pcl>...\n  \
          fvtool demo    <out_dir>\n  \
          fvtool script  <file.fvs>\n  \
-         fvtool serve   [--addr <host:port>] [--shards <n>] [--queue-limit <n>]\n           \
+         fvtool serve   [--addr <host:port>] [--shards <n> | --shard-procs <n>] [--queue-limit <n>]\n           \
          [--balance auto|off] [--balance-interval-ms <n>] [--balance-budget <n>]\n           \
          [--balance-trigger <ratio>] [--balance-settle <ratio>]\n           \
          [--balance-cooldown <ticks>] [--balance-min-load <n>]\n  \
@@ -335,6 +335,21 @@ fn cmd_serve(args: &[String]) -> Result<(), ApiError> {
                     .ok_or_else(|| ApiError::invalid("--shards needs <n>"))?
                     .parse()
                     .map_err(|_| ApiError::parse("bad shard count"))?;
+            }
+            "--shard-procs" => {
+                config.shards = it
+                    .next()
+                    .ok_or_else(|| ApiError::invalid("--shard-procs needs <n>"))?
+                    .parse()
+                    .map_err(|_| ApiError::parse("bad shard count"))?;
+                // Each shard becomes a child worker process: re-exec this
+                // very binary as `fvtool shard-worker` so there is no
+                // second artifact to deploy.
+                let me = std::env::current_exe()
+                    .map_err(|e| ApiError::io(format!("cannot locate own executable: {e}")))?;
+                config.backend = fv_net::ShardBackendConfig::Procs {
+                    worker_cmd: vec![me.to_string_lossy().into_owned(), "shard-worker".into()],
+                };
             }
             "--queue-limit" => {
                 config.queue_limit = it
@@ -917,6 +932,16 @@ fn run(cmd: &str, rest: &[String], remote: Option<&str>) -> Result<(), Failure> 
                 }
             }
             return Ok(());
+        }
+        "shard-worker" => {
+            // Internal: the child half of `serve --shard-procs`. Dials the
+            // parent server and speaks the shard control protocol; not for
+            // interactive use, so it is absent from usage().
+            if remote.is_some() {
+                return Err(ApiError::invalid("shard-worker is internal; drop --remote").into());
+            }
+            return fv_net::worker_main(rest)
+                .map_err(|msg| ApiError::io(format!("shard-worker: {msg}")).into());
         }
         "lint" => return cmd_lint(rest),
         "workload" => return Ok(cmd_workload(rest)?),
