@@ -32,7 +32,7 @@
 //! parse in parallel: the map lock is only ever held for map lookups,
 //! never across a parse.
 
-use crate::engine::load_dataset_file;
+use crate::engine::{fnv1a, parse_dataset_text};
 use crate::error::ApiError;
 use fv_expr::Dataset;
 use std::collections::BTreeMap;
@@ -56,10 +56,22 @@ impl Fingerprint {
             mtime: meta.modified().ok(),
         }
     }
+
+    /// Mtime in nanoseconds since the Unix epoch, as
+    /// [`crate::image::DatasetStamp`] spells it (`None` for missing or pre-epoch mtimes).
+    fn mtime_nanos(&self) -> Option<u64> {
+        self.mtime
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+    }
 }
 
 struct Entry {
     fingerprint: Fingerprint,
+    /// FNV-1a of the file bytes the parse consumed — the content half
+    /// of a [`crate::image::DatasetStamp`], captured here so sessions stamp loads
+    /// without re-reading the file.
+    hash: u64,
     dataset: Weak<Dataset>,
 }
 
@@ -154,23 +166,81 @@ impl DatasetCache {
             if let Some(ds) = inner.lookup_hit(&canonical, fingerprint) {
                 return Ok(ds);
             }
+        }
+        // Mtime-only drift over a live entry (a copy or `touch`): hash
+        // the bytes; identical contents refresh the stored fingerprint
+        // instead of re-parsing, so session restores stay cache hits.
+        if let Some(ds) = self.refresh_if_identical(&canonical, fingerprint) {
+            return Ok(ds);
+        }
+        {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
             if inner.entries.remove(&canonical).is_some() {
                 // Stale: the file changed, or every holder dropped the
                 // handle. Either way the entry is replaced below.
                 inner.evictions += 1;
             }
         }
-        let ds = Arc::new(load_dataset_file_named(&canonical, path)?);
+        let (ds, hash) = load_dataset_file_named(&canonical, path)?;
+        let ds = Arc::new(ds);
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         inner.misses += 1;
         inner.entries.insert(
             canonical,
             Entry {
                 fingerprint,
+                hash,
                 dataset: Arc::downgrade(&ds),
             },
         );
         Ok(ds)
+    }
+
+    /// When `canonical`'s entry is live and only the mtime disagrees
+    /// with `fingerprint` (same length), hash the file; identical bytes
+    /// update the stored fingerprint and count as a hit. Called with the
+    /// per-file parse gate held, so the file I/O happens outside the map
+    /// lock without racing other loads of this file.
+    fn refresh_if_identical(
+        &self,
+        canonical: &Path,
+        fingerprint: Fingerprint,
+    ) -> Option<Arc<Dataset>> {
+        let (ds, stored_hash) = {
+            let inner = self.inner.lock().expect("cache lock poisoned");
+            let entry = inner.entries.get(canonical)?;
+            if entry.fingerprint.len != fingerprint.len || entry.fingerprint == fingerprint {
+                return None;
+            }
+            (entry.dataset.upgrade()?, entry.hash)
+        };
+        let bytes = std::fs::read(canonical).ok()?;
+        if fnv1a(&bytes) != stored_hash {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.entries.get_mut(canonical) {
+            Some(entry) => entry.fingerprint = fingerprint,
+            None => return None,
+        }
+        inner.hits += 1;
+        Some(ds)
+    }
+
+    /// The `(len, mtime_nanos, content hash)` stamp of the live cache
+    /// entry for `path`, if any — what [`crate::Engine`] records in its
+    /// dataset stamps right after a successful load, without re-reading
+    /// the file.
+    pub fn stamp_of(&self, path: &str) -> Option<(u64, Option<u64>, u64)> {
+        let canonical = std::fs::canonicalize(path).ok()?;
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        let entry = inner.entries.get(&canonical)?;
+        entry.dataset.upgrade()?;
+        Some((
+            entry.fingerprint.len,
+            entry.fingerprint.mtime_nanos(),
+            entry.hash,
+        ))
     }
 
     /// Drop entries whose dataset is gone; returns how many were pruned.
@@ -197,17 +267,26 @@ impl DatasetCache {
 }
 
 /// Parse `canonical` from disk but attribute errors (and the dataset
-/// name) to `display_path`, the path the user actually typed.
-fn load_dataset_file_named(canonical: &Path, display_path: &str) -> Result<Dataset, ApiError> {
+/// name) to `display_path`, the path the user actually typed. Also
+/// returns the FNV-1a hash of the bytes the parse consumed, so the
+/// entry's content stamp costs no second read.
+fn load_dataset_file_named(
+    canonical: &Path,
+    display_path: &str,
+) -> Result<(Dataset, u64), ApiError> {
     let canonical_str = canonical.to_string_lossy();
-    load_dataset_file(&canonical_str).map_err(|e| {
+    let text = std::fs::read_to_string(canonical)
+        .map_err(|e| ApiError::io(format!("{display_path}: {e}")))?;
+    let hash = fnv1a(text.as_bytes());
+    let ds = parse_dataset_text(&canonical_str, &text).map_err(|e| {
         // Errors from the parse carry the canonical path; rewrite them to
         // the user's spelling so `E_IO`/`E_FORMAT` messages are actionable.
         ApiError::new(
             e.code,
             e.message.replace(canonical_str.as_ref(), display_path),
         )
-    })
+    })?;
+    Ok((ds, hash))
 }
 
 #[cfg(test)]
@@ -320,6 +399,48 @@ mod tests {
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn touched_identical_file_refreshes_without_reparse() {
+        let dir = temp_dir("touch");
+        let path = write_pcl(&dir, "t.pcl", &[("G1", &[1.0, 2.0])], 2);
+        let path_str = path.to_str().unwrap().to_string();
+        let cache = DatasetCache::new();
+        let first = cache.load(&path_str).unwrap();
+        // rewrite the same bytes: at worst only the mtime changes
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let text = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        let again = cache.load(&path_str).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "identical bytes must not re-parse"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one parse across the touch");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictions, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stamp_of_reports_the_live_entry() {
+        let dir = temp_dir("stamp");
+        let path = write_pcl(&dir, "s.pcl", &[("G1", &[1.0, 2.0])], 2);
+        let path_str = path.to_str().unwrap().to_string();
+        let cache = DatasetCache::new();
+        assert!(cache.stamp_of(&path_str).is_none(), "no entry before load");
+        let ds = cache.load(&path_str).unwrap();
+        let (len, _mtime, hash) = cache.stamp_of(&path_str).unwrap();
+        assert_eq!(len, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(hash, fnv1a(&std::fs::read(&path).unwrap()));
+        drop(ds);
+        assert!(
+            cache.stamp_of(&path_str).is_none(),
+            "dead entries do not stamp"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -37,6 +37,11 @@ pub enum ErrorCode {
     /// point of view: the session is lost, but the server is healthy and
     /// a new session can be created immediately.
     ShardDown,
+    /// A serialized session image no longer matches the world it was
+    /// taken against: a stamped dataset's bytes changed on disk, so
+    /// replaying the image would silently rebuild a different session.
+    /// The image itself is intact — this is a refusal, not corruption.
+    StaleImage,
 }
 
 impl ErrorCode {
@@ -53,6 +58,7 @@ impl ErrorCode {
             ErrorCode::Busy => "E_BUSY",
             ErrorCode::Internal => "E_INTERNAL",
             ErrorCode::ShardDown => "E_SHARD_DOWN",
+            ErrorCode::StaleImage => "E_STALE_IMAGE",
         }
     }
 
@@ -71,6 +77,7 @@ impl ErrorCode {
             "E_BUSY" => ErrorCode::Busy,
             "E_INTERNAL" => ErrorCode::Internal,
             "E_SHARD_DOWN" => ErrorCode::ShardDown,
+            "E_STALE_IMAGE" => ErrorCode::StaleImage,
             _ => return None,
         })
     }
@@ -90,6 +97,9 @@ impl ErrorCode {
             ErrorCode::Internal => 70,
             // sysexits EX_UNAVAILABLE: the serving process is gone.
             ErrorCode::ShardDown => 69,
+            // sysexits EX_PROTOCOL: the image and the files it stamps
+            // no longer agree.
+            ErrorCode::StaleImage => 76,
         }
     }
 }
@@ -141,6 +151,10 @@ impl ApiError {
 
     pub fn shard_down(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::ShardDown, message)
+    }
+
+    pub fn stale_image(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::StaleImage, message)
     }
 
     /// Exit code a CLI process should terminate with.
@@ -197,6 +211,7 @@ mod tests {
             ErrorCode::Busy,
             ErrorCode::Internal,
             ErrorCode::ShardDown,
+            ErrorCode::StaleImage,
         ] {
             assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
         }
@@ -209,6 +224,7 @@ mod tests {
         assert_eq!(ApiError::io("x").exit_code(), 66);
         assert_eq!(ApiError::format("x").exit_code(), 65);
         assert_eq!(ApiError::busy("x").exit_code(), 75);
+        assert_eq!(ApiError::stale_image("x").exit_code(), 76);
         assert_ne!(
             ApiError::missing_context("x").exit_code(),
             ApiError::parse("x").exit_code()

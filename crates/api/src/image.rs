@@ -13,8 +13,8 @@
 //! The canonical text form:
 //!
 //! ```text
-//! session-image v1 scene=800x600 requests=12 datasets=1 log=3
-//!   dataset len=482 mtime=1754550000000000000 path=data/gasch_stress.pcl
+//! session-image v2 scene=800x600 requests=12 datasets=1 log=3
+//!   dataset len=482 mtime=1754550000000000000 hash=9637325990313059835 path=data/gasch_stress.pcl
 //!   load data/gasch_stress.pcl
 //!   set_metric euclidean
 //!   cluster_all
@@ -22,12 +22,16 @@
 //!
 //! The header carries exact row counts; `datasets` rows fingerprint every
 //! file-loaded dataset (byte length + mtime in nanoseconds since the Unix
-//! epoch, `-` when the filesystem reports none; the path comes last so it
-//! may contain spaces), and `log` rows are canonical
-//! [`format_request`](crate::format_request) mutation lines, replayed in
-//! order on restore. [`format_session_image`] and [`parse_session_image`]
-//! are exact inverses (property-tested), mirroring the
-//! `format_request`/`parse_request` contract.
+//! epoch, `-` when the filesystem reports none, plus an FNV-1a hash of
+//! the file bytes so a touched-but-identical file still restores; the
+//! path comes last so it may contain spaces), and `log` rows are
+//! canonical [`format_request`](crate::format_request) mutation lines,
+//! replayed in order on restore. [`format_session_image`] and
+//! [`parse_session_image`] are exact inverses (property-tested),
+//! mirroring the `format_request`/`parse_request` contract. The v1 form
+//! (no `hash=` column) is rejected, not silently upgraded — images only
+//! ever travel between processes of one build, or through the versioned
+//! on-disk [`SessionStore`](crate::store::SessionStore) layout.
 
 use crate::codec::{format_request, parse_request, NONE};
 use crate::error::ApiError;
@@ -44,6 +48,11 @@ pub struct DatasetStamp {
     /// Modification time in nanoseconds since the Unix epoch; `None`
     /// when the filesystem reports no (or a pre-epoch) mtime.
     pub mtime_nanos: Option<u64>,
+    /// FNV-1a hash of the file's bytes at load time. The restore-time
+    /// fallback: when only the mtime disagrees (the file was copied or
+    /// `touch`ed), identical bytes — proven by this hash — still
+    /// restore.
+    pub hash: u64,
     /// The path as the `load` request spelled it.
     pub path: String,
 }
@@ -73,7 +82,7 @@ pub struct SessionImage {
 /// [`parse_session_image`].
 pub fn format_session_image(image: &SessionImage) -> String {
     let mut out = format!(
-        "session-image v1 scene={}x{} requests={} datasets={} log={}",
+        "session-image v2 scene={}x{} requests={} datasets={} log={}",
         image.scene.0,
         image.scene.1,
         image.requests,
@@ -82,12 +91,13 @@ pub fn format_session_image(image: &SessionImage) -> String {
     );
     for d in &image.datasets {
         out.push_str(&format!(
-            "\n  dataset len={} mtime={} path={}",
+            "\n  dataset len={} mtime={} hash={} path={}",
             d.len,
             match d.mtime_nanos {
                 Some(ns) => ns.to_string(),
                 None => NONE.to_string(),
             },
+            d.hash,
             d.path
         ));
     }
@@ -108,8 +118,8 @@ pub fn parse_session_image(text: &str) -> Result<SessionImage, ApiError> {
         .next()
         .ok_or_else(|| ApiError::parse("empty session image"))?;
     let tail = head
-        .strip_prefix("session-image v1 ")
-        .ok_or_else(|| ApiError::parse(format!("not a v1 session image: {head:?}")))?;
+        .strip_prefix("session-image v2 ")
+        .ok_or_else(|| ApiError::parse(format!("not a v2 session image: {head:?}")))?;
     let scene_tok = crate::decode::field(tail, "scene")?;
     let (sw, sh) = scene_tok
         .split_once('x')
@@ -170,6 +180,7 @@ fn parse_dataset_row(line: &str) -> Result<DatasetStamp, ApiError> {
     } else {
         Some(crate::decode::num(mtime_tok, "mtime")?)
     };
+    let hash: u64 = crate::decode::num(crate::decode::field(row, "hash")?, "hash")?;
     // The path is the trailing field and may contain spaces.
     let path = row
         .split_once("path=")
@@ -181,6 +192,7 @@ fn parse_dataset_row(line: &str) -> Result<DatasetStamp, ApiError> {
     Ok(DatasetStamp {
         len,
         mtime_nanos,
+        hash,
         path: path.to_string(),
     })
 }
@@ -199,11 +211,13 @@ mod tests {
                 DatasetStamp {
                     len: 482,
                     mtime_nanos: Some(1_754_550_000_000_000_000),
+                    hash: 9_637_325_990_313_059_835,
                     path: "data/gasch stress.pcl".into(),
                 },
                 DatasetStamp {
                     len: 77,
                     mtime_nanos: None,
+                    hash: 42,
                     path: "data/other.pcl".into(),
                 },
             ],
@@ -226,9 +240,10 @@ mod tests {
         let text = format_session_image(&image);
         assert_eq!(
             text,
-            "session-image v1 scene=800x600 requests=12 datasets=2 log=3\n  \
-             dataset len=482 mtime=1754550000000000000 path=data/gasch stress.pcl\n  \
-             dataset len=77 mtime=- path=data/other.pcl\n  \
+            "session-image v2 scene=800x600 requests=12 datasets=2 log=3\n  \
+             dataset len=482 mtime=1754550000000000000 hash=9637325990313059835 \
+             path=data/gasch stress.pcl\n  \
+             dataset len=77 mtime=- hash=42 path=data/other.pcl\n  \
              load data/gasch stress.pcl\n  \
              set_metric euclidean\n  \
              normalize all zscore"
@@ -247,7 +262,7 @@ mod tests {
         let text = format_session_image(&image);
         assert_eq!(
             text,
-            "session-image v1 scene=1280x960 requests=0 datasets=0 log=0"
+            "session-image v2 scene=1280x960 requests=0 datasets=0 log=0"
         );
         assert_eq!(parse_session_image(&text).unwrap(), image);
     }
@@ -257,18 +272,21 @@ mod tests {
         for bad in [
             "",
             "wat",
-            // wrong version
-            "session-image v2 scene=800x600 requests=0 datasets=0 log=0",
+            // wrong versions: the hash-less v1 form and a future v3
+            "session-image v1 scene=800x600 requests=0 datasets=0 log=0",
+            "session-image v1 scene=800x600 requests=0 datasets=1 log=0\n  dataset len=1 mtime=2 path=a.pcl",
+            "session-image v3 scene=800x600 requests=0 datasets=0 log=0",
             // counts disagree with rows
-            "session-image v1 scene=800x600 requests=0 datasets=1 log=0",
-            "session-image v1 scene=800x600 requests=0 datasets=0 log=1",
-            "session-image v1 scene=800x600 requests=0 datasets=0 log=0\n  cluster_all",
+            "session-image v2 scene=800x600 requests=0 datasets=1 log=0",
+            "session-image v2 scene=800x600 requests=0 datasets=0 log=1",
+            "session-image v2 scene=800x600 requests=0 datasets=0 log=0\n  cluster_all",
             // a query in the log
-            "session-image v1 scene=800x600 requests=1 datasets=0 log=1\n  session_info",
-            // malformed dataset row
-            "session-image v1 scene=800x600 requests=0 datasets=1 log=0\n  dataset len=1 mtime=2",
+            "session-image v2 scene=800x600 requests=1 datasets=0 log=1\n  session_info",
+            // malformed dataset rows (truncated; v1 row without hash=)
+            "session-image v2 scene=800x600 requests=0 datasets=1 log=0\n  dataset len=1 mtime=2",
+            "session-image v2 scene=800x600 requests=0 datasets=1 log=0\n  dataset len=1 mtime=2 path=a.pcl",
             // bad scene token
-            "session-image v1 scene=800 requests=0 datasets=0 log=0",
+            "session-image v2 scene=800 requests=0 datasets=0 log=0",
         ] {
             assert!(parse_session_image(bad).is_err(), "{bad:?} must not parse");
         }

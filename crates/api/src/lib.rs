@@ -65,6 +65,7 @@ pub mod hub;
 pub mod image;
 pub mod request;
 pub mod response;
+pub mod store;
 pub mod trace;
 
 pub use cache::{CacheStats, DatasetCache};
@@ -79,6 +80,7 @@ pub use hub::{EngineHub, ScriptOutcome, SessionId};
 pub use image::{format_session_image, parse_session_image, DatasetStamp, SessionImage};
 pub use request::{Mutation, NormalizeMethod, Query, Request, SelectionExport};
 pub use response::Response;
+pub use store::{ScanOutcome, SessionStore};
 pub use trace::{
     format_trace, format_trace_line, parse_trace, parse_trace_line, trace_recvs, trace_sends,
     TraceEvent, TRACE_HEADER, TRACE_VERSION,

@@ -151,6 +151,7 @@ fn arb_image() -> impl Strategy<Value = SessionImage> {
                 } else {
                     Some(rng.next_u64())
                 },
+                hash: rng.next_u64(),
                 path: format!("data/set {i}.pcl"),
             })
             .collect();

@@ -1,0 +1,110 @@
+//! PR 10 checkpoint: what log compaction buys at restore time, measured
+//! without criterion so the numbers land in a machine-readable checkpoint
+//! file (`BENCH_PR10.json` at the repo root, overwritten on every run).
+//!
+//! The durable-session work makes restore a boot-path cost (every
+//! checkpointed session replays its log before the server accepts its
+//! first connection), so the log compaction that elides
+//! recompute-triggering no-ops — a `cluster_all` whose inputs are
+//! untouched since the last one — is measured here as the thing it is:
+//! a restore-latency optimisation. The bench drives the chatty traffic
+//! compaction targets (a user who re-clusters every round while
+//! scrolling), then times [`Engine::restore`] twice:
+//!
+//! 1. raw — a hand-built image whose log is the traffic as sent,
+//!    redundant `cluster_all`s included (what restore cost before
+//!    PR 10's elision),
+//! 2. compacted — the image [`Engine::snapshot`] actually produces.
+//!
+//! Both replay to the same state (asserted), so the ratio is pure
+//! redundant-re-clustering cost. The compacted number is comparable to
+//! `BENCH_PR9.json`'s `restore_ns` (same scenario size and scene).
+
+use forestview::command::Command;
+use fv_api::{DatasetCache, Engine, Mutation, Request, SessionImage};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`n` wall time in nanoseconds (min absorbs scheduler noise).
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// The interactive stream compaction exists for: load, cluster, search,
+/// then 24 rounds that each re-cluster before scrolling. Every
+/// `cluster_all` after the first is a state no-op (scroll and search are
+/// cluster-neutral), so the engine's log elides them while the raw
+/// traffic keeps them all.
+fn traffic() -> Vec<Mutation> {
+    let mut sent = vec![
+        Mutation::LoadScenario {
+            n_genes: 400,
+            seed: 9,
+        },
+        Mutation::Command(Command::ClusterAll),
+        Mutation::Command(Command::Search("stress".into())),
+    ];
+    for round in 0..24 {
+        sent.push(Mutation::Command(Command::ClusterAll));
+        sent.push(Mutation::Command(Command::Scroll(if round % 3 == 2 {
+            -1
+        } else {
+            2
+        })));
+    }
+    sent
+}
+
+fn main() {
+    let sent = traffic();
+    let mut engine = Engine::with_scene(1280, 960);
+    for mutation in &sent {
+        engine
+            .execute(&Request::Mutate(mutation.clone()))
+            .expect("bench history replays clean");
+    }
+
+    let compacted = engine.snapshot();
+    assert!(
+        compacted.log.len() < sent.len(),
+        "the chatty traffic must actually compact"
+    );
+    let raw = SessionImage {
+        log: sent.clone(),
+        ..compacted.clone()
+    };
+
+    let cache = DatasetCache::new();
+    // Both images rebuild the same session; the raw log just pays for
+    // every redundant re-cluster on the way there.
+    let from_raw = Engine::restore(&raw, &cache).expect("raw restore");
+    assert_eq!(
+        from_raw.snapshot(),
+        compacted,
+        "raw and compacted logs must replay to the same state"
+    );
+
+    let restore_raw_ns = best_of(3, || Engine::restore(&raw, &cache).expect("restore"));
+    let restore_compacted_ns = best_of(5, || Engine::restore(&compacted, &cache).expect("restore"));
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr10_restore\",\n  \
+         \"log_mutations_raw\": {raw_len},\n  \"log_mutations_compacted\": {compacted_len},\n  \
+         \"restore_raw_ns\": {restore_raw_ns},\n  \
+         \"restore_compacted_ns\": {restore_compacted_ns},\n  \
+         \"speedup_x100\": {speedup_x100}\n}}\n",
+        raw_len = sent.len(),
+        compacted_len = compacted.log.len(),
+        speedup_x100 = restore_raw_ns * 100 / restore_compacted_ns.max(1),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
+    std::fs::write(path, &json).expect("write BENCH_PR10.json");
+    println!("[pr10_restore] wrote {path}");
+    print!("{json}");
+}

@@ -213,6 +213,11 @@ pub struct ServerStats {
     /// Automatic migrations that failed (the session was restored to its
     /// source shard) or were skipped as stale.
     pub balancer_failed: u64,
+    /// Sessions re-installed from the state directory's checkpoints at
+    /// boot. Zero when the server runs without `--state-dir` or started
+    /// against an empty store; stale or corrupt checkpoints are skipped
+    /// (and warned about), not counted.
+    pub recovered: u64,
     /// The streaming plane's counters (the `stream` row).
     pub stream: StreamStats,
     /// Per-shard breakdown, in shard order.
@@ -223,7 +228,7 @@ pub struct ServerStats {
 /// [`parse_stats`].
 pub fn format_stats(stats: &ServerStats) -> String {
     let mut out = format!(
-        "stats shards={} backend={} connections={} sessions={} frames_in={} frames_out={} busy={} garbage={} disconnects={} runs={} requests={} max_run={} cache_entries={} cache_hits={} cache_misses={} cache_evictions={} balancer_ticks={} balancer_moves={} balancer_failed={}",
+        "stats shards={} backend={} connections={} sessions={} frames_in={} frames_out={} busy={} garbage={} disconnects={} runs={} requests={} max_run={} cache_entries={} cache_hits={} cache_misses={} cache_evictions={} balancer_ticks={} balancer_moves={} balancer_failed={} recovered={}",
         stats.shards.len(),
         stats.backend,
         stats.connections,
@@ -243,6 +248,7 @@ pub fn format_stats(stats: &ServerStats) -> String {
         stats.balancer_ticks,
         stats.balancer_moves,
         stats.balancer_failed,
+        stats.recovered,
     );
     out.push_str(&format!(
         "\n  stream subscribers={} frames={} bytes={} pixels={} coalesced={} dropped={} link_us={}",
@@ -337,6 +343,7 @@ pub fn parse_stats(text: &str) -> Result<ServerStats, ApiError> {
         balancer_ticks: num(field(tail, "balancer_ticks")?, "balancer_ticks")?,
         balancer_moves: num(field(tail, "balancer_moves")?, "balancer_moves")?,
         balancer_failed: num(field(tail, "balancer_failed")?, "balancer_failed")?,
+        recovered: num(field(tail, "recovered")?, "recovered")?,
         stream,
         shards,
     })
@@ -375,6 +382,7 @@ mod tests {
             balancer_ticks: 7,
             balancer_moves: 2,
             balancer_failed: 1,
+            recovered: 4,
             stream: StreamStats {
                 subscribers: 2,
                 frames: 48,
@@ -419,7 +427,7 @@ mod tests {
              frames_out=118 busy=2 \
              garbage=4 disconnects=3 runs=40 requests=90 max_run=12 \
              cache_entries=1 cache_hits=63 cache_misses=1 cache_evictions=0 \
-             balancer_ticks=7 balancer_moves=2 balancer_failed=1\n  \
+             balancer_ticks=7 balancer_moves=2 balancer_failed=1 recovered=4\n  \
              stream subscribers=2 frames=48 bytes=1843298 pixels=614400 \
              coalesced=3 dropped=1 link_us=19546\n  \
              shard 0 pid=4242 sessions=3 queued=0 runs=25 requests=60 max_run=12 \
@@ -478,6 +486,8 @@ mod tests {
             "stats shards=0 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0",
             // shard row with a short histogram
             "stats shards=1 backend=threads connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 garbage=0 disconnects=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0 pixels=0 coalesced=0 dropped=0 link_us=0\n  shard 0 pid=1 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0 lat_max_us=0",
+            // pre-recovery header (missing the recovered= counter)
+            "stats shards=0 backend=threads connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 garbage=0 disconnects=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0 pixels=0 coalesced=0 dropped=0 link_us=0",
             // pre-process-shards header (no backend= kind, no shard pid=)
             "stats shards=1 connections=1 sessions=0 frames_in=0 frames_out=0 busy=0 garbage=0 disconnects=0 runs=0 requests=0 max_run=0 cache_entries=0 cache_hits=0 cache_misses=0 cache_evictions=0 balancer_ticks=0 balancer_moves=0 balancer_failed=0\n  stream subscribers=0 frames=0 bytes=0 pixels=0 coalesced=0 dropped=0 link_us=0\n  shard 0 sessions=0 queued=0 runs=0 requests=0 max_run=0 lat_us=0,0,0,0,0,0,0,0,0,0 lat_max_us=0",
         ] {

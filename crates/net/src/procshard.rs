@@ -49,6 +49,7 @@
 //!                                           requests=<r> bytes=<b>
 //!                                           name=<name>" lines>
 //! extract <session>                    → extracted <0|1> [image blob]
+//! snapshot <session>                   → snapshotted <0|1> [image blob]
 //! install <session>                    → installed ok
 //!   <image blob>                       | installed err <CODE>
 //!                                        <msg blob> <image blob>
@@ -231,6 +232,9 @@ fn encode_job(job: &Job) -> Vec<u8> {
         Job::Report { .. } => out.extend_from_slice(b"report\n"),
         Job::Extract { session, .. } => {
             out.extend_from_slice(format!("extract {session}\n").as_bytes())
+        }
+        Job::Snapshot { session, .. } => {
+            out.extend_from_slice(format!("snapshot {session}\n").as_bytes())
         }
         Job::Install { session, image, .. } => {
             out.extend_from_slice(format!("install {session}\n").as_bytes());
@@ -480,6 +484,22 @@ fn decode_extracted(payload: &[u8]) -> Result<Option<SessionImage>, ApiError> {
         other => {
             return Err(ApiError::parse(format!(
                 "expected extracted, got {other:?}"
+            )))
+        }
+    };
+    c.done()?;
+    Ok(image)
+}
+
+fn decode_snapshotted(payload: &[u8]) -> Result<Option<SessionImage>, ApiError> {
+    let mut c = Cursor::new(payload);
+    let header = c.line()?;
+    let image = match header {
+        "snapshotted 0" => None,
+        "snapshotted 1" => Some(parse_session_image(c.text_blob()?)?),
+        other => {
+            return Err(ApiError::parse(format!(
+                "expected snapshotted, got {other:?}"
             )))
         }
     };
@@ -861,6 +881,13 @@ fn forward(
                     respond(None);
                 }
             },
+            Job::Snapshot { respond, .. } => match decode_snapshotted(&reply) {
+                Ok(image) => respond(image),
+                Err(_) => {
+                    dead = true;
+                    respond(None);
+                }
+            },
             Job::Install { image, respond, .. } => match decode_installed(&reply) {
                 Ok(result) => respond(result),
                 Err(_) => {
@@ -927,6 +954,18 @@ fn serve_frame(core: &mut WorkerCore, payload: &[u8]) -> Result<Served, ApiError
                     out
                 }
                 None => b"extracted 0\n".to_vec(),
+            };
+            Ok(Served::Reply(reply))
+        }
+        "snapshot" => {
+            c.done()?;
+            let reply = match core.snapshot(&session_id(rest)?) {
+                Some(image) => {
+                    let mut out = b"snapshotted 1\n".to_vec();
+                    push_blob(&mut out, format_session_image(&image).as_bytes());
+                    out
+                }
+                None => b"snapshotted 0\n".to_vec(),
             };
             Ok(Served::Reply(reply))
         }
@@ -1126,6 +1165,25 @@ mod tests {
                 false,
             ),
         );
+        // snapshot: a checkpoint copy, the session keeps serving…
+        let reply = exchange(
+            &mut core,
+            &Job::Snapshot {
+                session: s.clone(),
+                respond: Box::new(|_| {}),
+            },
+        );
+        let copy = decode_snapshotted(&reply).unwrap().expect("session live");
+        assert_eq!(copy.log.len(), 1);
+        // …an unknown session snapshots to nothing…
+        let reply = exchange(
+            &mut core,
+            &Job::Snapshot {
+                session: SessionId::new("ghost").unwrap(),
+                respond: Box::new(|_| {}),
+            },
+        );
+        assert!(decode_snapshotted(&reply).unwrap().is_none());
         // extract: the session leaves as an image…
         let reply = exchange(
             &mut core,
@@ -1136,6 +1194,11 @@ mod tests {
         );
         let image = decode_extracted(&reply).unwrap().expect("session existed");
         assert_eq!(image.log.len(), 1);
+        assert_eq!(
+            fv_api::format_session_image(&copy),
+            fv_api::format_session_image(&image),
+            "snapshot and extract see the same state"
+        );
         // …a second extract finds nothing…
         let reply = exchange(
             &mut core,
@@ -1244,6 +1307,11 @@ mod tests {
         assert!(decode_run_done(b"nope\n", &s).is_err());
         assert!(decode_closed(b"closed 7\n").is_err());
         assert!(decode_extracted(b"extracted 1\n").is_err(), "missing blob");
+        assert!(
+            decode_snapshotted(b"snapshotted 1\n").is_err(),
+            "missing blob"
+        );
+        assert!(decode_snapshotted(b"snapshotted 2\n").is_err());
         assert!(decode_installed(b"installed err E_NOPE\n").is_err());
         assert!(decode_report(b"report shard=0\n").is_err());
     }

@@ -46,7 +46,7 @@ use crate::procshard::ProcBackend;
 use crate::shard::{shard_of, InProcBackend, PubFrame, ShardBackend, ShardReport};
 use crate::stream::{union_rect, StreamPlane, SubState};
 use fv_api::codec::ScriptItem;
-use fv_api::{ApiError, EngineHub, Request, SessionId, SessionImage, WireItem};
+use fv_api::{ApiError, EngineHub, Request, SessionId, SessionImage, SessionStore, WireItem};
 use fv_render::Framebuffer;
 use fv_wall::stream::tile_damage;
 use fv_wall::tile::TileGrid;
@@ -54,6 +54,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{PipeReader, PipeWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -111,6 +112,13 @@ pub struct ServerConfig {
     pub balance_cfg: BalanceConfig,
     /// How often the rebalancer snapshots the shards and plans.
     pub balance_interval: Duration,
+    /// Durable session state directory. When set, every checkpointed
+    /// session is re-installed at boot ([`Server::bind`] recovers before
+    /// accepting a single connection), and dirty sessions are
+    /// checkpointed on each completed balance gather — so a SIGKILL'd
+    /// server comes back with its sessions instead of losing them all.
+    /// `None` (the default) keeps sessions purely in memory.
+    pub state_dir: Option<PathBuf>,
     /// Fault injection (tests only): the shard at this index refuses
     /// every engine install, forcing the migration restore path.
     #[doc(hidden)]
@@ -127,6 +135,7 @@ impl Default for ServerConfig {
             balance: BalanceMode::Off,
             balance_cfg: BalanceConfig::default(),
             balance_interval: Duration::from_millis(500),
+            state_dir: None,
             fault_refuse_install_to: None,
         }
     }
@@ -173,6 +182,7 @@ struct Shared {
 pub struct Server {
     addr: SocketAddr,
     shards: usize,
+    recovered: u64,
     shared: Arc<Shared>,
     event_loop: Option<JoinHandle<()>>,
 }
@@ -207,16 +217,48 @@ impl Server {
                 config.fault_refuse_install_to,
             )?),
         };
+        // Crash recovery happens HERE, synchronously, before the loop
+        // thread exists: every checkpoint in the state directory is
+        // re-installed through the same never-lose-a-session install
+        // path migrations use, so by the time `bind` returns the first
+        // client already sees the recovered sessions. Stale images
+        // (dataset changed on disk, `E_STALE_IMAGE`) and corrupt files
+        // are warned about and skipped, never panicked on.
+        let (checkpoints, recovered) = match &config.state_dir {
+            None => (None, 0),
+            Some(dir) => {
+                let (plane, recovered) = recover_sessions(dir, &backend, shards)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                (Some(plane), recovered)
+            }
+        };
         // fv-lint: allow(no-spawn-outside-sanctioned-modules) -- the one event-loop thread; every other server thread comes from the shard backend (shard.rs / procshard.rs)
         let event_loop = std::thread::Builder::new()
             .name("fv-net-loop".into())
-            .spawn(move || event_loop(listener, config, backend, loop_shared, waker_rx))?;
+            .spawn(move || {
+                event_loop(
+                    listener,
+                    config,
+                    backend,
+                    loop_shared,
+                    waker_rx,
+                    checkpoints,
+                    recovered,
+                )
+            })?;
         Ok(Server {
             addr: local,
             shards,
+            recovered,
             shared,
             event_loop: Some(event_loop),
         })
+    }
+
+    /// Sessions recovered from the state directory's checkpoints during
+    /// [`Server::bind`]. Zero without [`ServerConfig::state_dir`].
+    pub fn recovered(&self) -> u64 {
+        self.recovered
     }
 
     /// The bound address (with the real port when bound to port 0).
@@ -434,6 +476,77 @@ struct LoopMetrics {
     dirty_disconnects: u64,
 }
 
+/// The durability plane: the open checkpoint store plus the cadence
+/// state deciding which sessions are dirty. Lives entirely on the
+/// event-loop thread — every operation is a small sequential file write
+/// under the state directory.
+struct CheckpointPlane {
+    store: SessionStore,
+    /// Attempted-request counter at each session's last durable
+    /// checkpoint — the dirtiness baseline. A session whose reported
+    /// counter equals its entry is clean and costs zero checkpoint I/O.
+    clean: BTreeMap<String, u64>,
+    /// Sessions with a snapshot in flight, skipped until it settles so
+    /// back-to-back balance gathers cannot pile up duplicate snapshots.
+    pending: BTreeSet<String>,
+}
+
+/// Boot-time crash recovery: open the store, sweep and scan it, and
+/// re-install every readable checkpoint on its hash shard. Install
+/// refusals (occupied name, failed replay, `E_STALE_IMAGE` from a
+/// dataset that changed on disk) and corrupt checkpoint files are
+/// warnings — recovery recovers what it can and reports the rest.
+/// Returns the plane (seeded clean at each image's request counter, so
+/// an idle recovered session is not immediately re-checkpointed) and
+/// the count `stats` reports as `recovered=`.
+fn recover_sessions(
+    state_dir: &std::path::Path,
+    backend: &Arc<dyn ShardBackend>,
+    shards: usize,
+) -> Result<(CheckpointPlane, u64), ApiError> {
+    let store = SessionStore::open(state_dir)?;
+    let scan = store.scan()?;
+    for (path, why) in &scan.corrupt {
+        eprintln!(
+            "fv-net: skipping unrecoverable checkpoint {}: {why}",
+            path.display()
+        );
+    }
+    let mut clean = BTreeMap::new();
+    let mut recovered = 0u64;
+    for (session, image) in scan.sessions {
+        let requests = image.requests;
+        let shard = shard_of(&session, shards);
+        let (tx, rx) = mpsc::channel();
+        backend.submit_install(
+            shard,
+            &session,
+            image,
+            Box::new(move |result| {
+                let _ = tx.send(result.map_err(|(_image, why)| why));
+            }),
+        );
+        match rx.recv() {
+            Ok(Ok(())) => {
+                clean.insert(session.as_str().to_string(), requests);
+                recovered += 1;
+            }
+            Ok(Err(why)) => eprintln!("fv-net: not recovering session {session}: {why}"),
+            Err(_) => {
+                eprintln!("fv-net: shard {shard} went away while recovering session {session}")
+            }
+        }
+    }
+    Ok((
+        CheckpointPlane {
+            store,
+            clean,
+            pending: BTreeSet::new(),
+        },
+        recovered,
+    ))
+}
+
 /// Results shard workers push back to the loop.
 pub(crate) struct Completion {
     conn: u64,
@@ -453,6 +566,14 @@ pub(crate) enum Payload {
         session: SessionId,
         to: usize,
         result: Result<(), ApiError>,
+    },
+    /// A checkpoint snapshot came back (always on [`CHECKPOINT_CONN`]).
+    /// `None` means the session vanished between the report and the
+    /// snapshot (closed, crashed, or mid-migration) — the last durable
+    /// checkpoint stands.
+    Snapshot {
+        session: SessionId,
+        image: Option<SessionImage>,
     },
 }
 
@@ -489,6 +610,12 @@ struct Ctx<'a> {
     /// the latest published framebuffer per watched session, and the
     /// stream counters `stats` reports.
     streams: &'a mut StreamPlane,
+    /// The durability plane, when the server runs with a state
+    /// directory. Item processing deletes checkpoints on explicit
+    /// closes through it.
+    checkpoints: &'a mut Option<CheckpointPlane>,
+    /// Sessions recovered from checkpoints at boot (`stats` reports it).
+    recovered: u64,
     /// Scene dimensions (the wall a subscriber's tile grid must divide).
     scene: (usize, usize),
     /// Set by a wire `shutdown`.
@@ -512,6 +639,21 @@ impl Ctx<'_> {
             });
             waker.wake();
         })
+    }
+
+    /// Forget `session`'s durable state: baseline, in-flight marker, and
+    /// the checkpoint file itself. Explicit closes (and a worker
+    /// dropping the session after a panicking request) are the only
+    /// events that delete a checkpoint — a restart must not resurrect a
+    /// session the user closed.
+    fn drop_checkpoint(&mut self, session: &SessionId) {
+        if let Some(cp) = self.checkpoints.as_mut() {
+            cp.clean.remove(session.as_str());
+            cp.pending.remove(session.as_str());
+            if let Err(e) = cp.store.remove(session) {
+                eprintln!("fv-net: removing checkpoint of session {session} failed: {e}");
+            }
+        }
     }
 
     /// The shard serving `session`: its migration override if one exists,
@@ -618,12 +760,18 @@ const BALANCER_CONN: u64 = u64::MAX;
 /// shard, so no connection settles it.
 const STREAM_CONN: u64 = u64::MAX - 1;
 
+/// Sentinel connection id for checkpoint snapshots: the durability plane
+/// asked, not a connection, so the completion only updates the store.
+const CHECKPOINT_CONN: u64 = u64::MAX - 2;
+
 fn event_loop(
     listener: TcpListener,
     config: ServerConfig,
     shards: Arc<dyn ShardBackend>,
     shared: Arc<Shared>,
     waker_rx: PipeReader,
+    mut checkpoints: Option<CheckpointPlane>,
+    recovered: u64,
 ) {
     let (done_tx, done_rx) = mpsc::channel::<Completion>();
     let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
@@ -692,6 +840,28 @@ fn event_loop(
         }
         let mut repump = false;
         while let Ok(mut done) = done_rx.try_recv() {
+            // Checkpoint snapshots are durability-plane events: persist
+            // the image and advance the clean baseline. A `None` image
+            // (session closed, crashed, or mid-migration since the
+            // report) leaves the last durable checkpoint standing —
+            // only an explicit close deletes one.
+            if let Payload::Snapshot { session, image } = done.payload {
+                if let Some(cp) = checkpoints.as_mut() {
+                    cp.pending.remove(session.as_str());
+                    if let Some(image) = image {
+                        match cp.store.save(&session, &image) {
+                            Ok(()) => {
+                                cp.clean
+                                    .insert(session.as_str().to_string(), image.requests);
+                            }
+                            Err(e) => {
+                                eprintln!("fv-net: checkpoint of session {session} failed: {e}")
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
             // Migration completions are loop events, not connection
             // events: the routing table and stall set must update even if
             // the asking connection hung up mid-migration.
@@ -771,6 +941,21 @@ fn event_loop(
                         if reports.len() < shards.n_shards() {
                             balance_gather = Some(reports);
                         } else {
+                            // The gather the balancer needed is also
+                            // the checkpoint cadence: the reports carry
+                            // every session's attempted-request counter,
+                            // so dirtiness detection costs no extra
+                            // fan-out and idle sessions cost zero I/O.
+                            if let Some(cp) = checkpoints.as_mut() {
+                                checkpoint_dirty_sessions(
+                                    cp,
+                                    &reports,
+                                    &migrating,
+                                    &shards,
+                                    &done_tx,
+                                    &shared.waker,
+                                );
+                            }
                             let n_conns = conns.len();
                             let mut ctx = Ctx {
                                 shards: &shards,
@@ -783,6 +968,8 @@ fn event_loop(
                                 migrating: &mut migrating,
                                 balancer: &mut balancer,
                                 streams: &mut streams,
+                                checkpoints: &mut checkpoints,
+                                recovered,
                                 scene: config.scene,
                                 stop: &mut stop,
                             };
@@ -821,6 +1008,8 @@ fn event_loop(
                     migrating: &mut migrating,
                     balancer: &mut balancer,
                     streams: &mut streams,
+                    checkpoints: &mut checkpoints,
+                    recovered,
                     scene: config.scene,
                     stop: &mut stop,
                 };
@@ -855,6 +1044,8 @@ fn event_loop(
                     migrating: &mut migrating,
                     balancer: &mut balancer,
                     streams: &mut streams,
+                    checkpoints: &mut checkpoints,
+                    recovered,
                     scene: config.scene,
                     stop: &mut stop,
                 };
@@ -965,6 +1156,8 @@ fn event_loop(
                     migrating: &mut migrating,
                     balancer: &mut balancer,
                     streams: &mut streams,
+                    checkpoints: &mut checkpoints,
+                    recovered,
                     scene: config.scene,
                     stop: &mut stop,
                 };
@@ -1005,6 +1198,53 @@ fn event_loop(
     // Stop every shard and reclaim it — joins worker threads or reaps
     // child worker processes, depending on the backend.
     shards.shutdown();
+}
+
+/// Piggy-back the checkpoint cadence on a completed balance gather:
+/// request a non-destructive [`crate::shard::Job::Snapshot`] for every
+/// session whose attempted-request counter moved since its last durable
+/// checkpoint. Sessions mid-migration are skipped (their shard fan-out
+/// location is in flux; the next gather catches them), as are sessions
+/// with a snapshot already in flight.
+fn checkpoint_dirty_sessions(
+    cp: &mut CheckpointPlane,
+    reports: &[ShardReport],
+    migrating: &BTreeSet<SessionId>,
+    shards: &Arc<dyn ShardBackend>,
+    done_tx: &mpsc::Sender<Completion>,
+    waker: &Waker,
+) {
+    for report in reports {
+        for s in &report.sessions {
+            if cp.pending.contains(&s.name) || cp.clean.get(&s.name) == Some(&s.requests) {
+                continue;
+            }
+            let Ok(session) = SessionId::new(s.name.clone()) else {
+                continue;
+            };
+            if migrating.contains(&session) {
+                continue;
+            }
+            cp.pending.insert(s.name.clone());
+            let done = done_tx.clone();
+            let waker = waker.clone();
+            let name = session.clone();
+            shards.submit_snapshot(
+                report.shard,
+                &session,
+                Box::new(move |image| {
+                    let _ = done.send(Completion {
+                        conn: CHECKPOINT_CONN,
+                        payload: Payload::Snapshot {
+                            session: name,
+                            image,
+                        },
+                    });
+                    waker.wake();
+                }),
+            );
+        }
+    }
 }
 
 /// A completed balancer snapshot gather: fold the shard reports into
@@ -1324,6 +1564,10 @@ fn pump(conn: &mut Conn, id: u64, ctx: &mut Ctx) {
                 // hash routing, and the override table must not grow
                 // without bound.
                 ctx.routes.remove(&closed);
+                // An explicit close is what deletes durable state: the
+                // client said the session is over, so a restart must
+                // not bring it back.
+                ctx.drop_checkpoint(&closed);
                 ctx.shards
                     .submit_close_to(shard, &closed, ctx.responder(id, closed_payload));
             }
@@ -1376,6 +1620,7 @@ fn settle_completion(conn: &mut Conn, _id: u64, payload: Payload, ctx: &mut Ctx)
                 // while idle, so the pointer still names the run's
                 // session.
                 ctx.routes.remove(&conn.session);
+                ctx.drop_checkpoint(&conn.session);
             }
             let outcome = done.outcome;
             let n = conn.inflight_requests;
@@ -1485,6 +1730,7 @@ fn stats_reply(reports: &[ShardReport], ctx: &mut Ctx) -> String {
         balancer_ticks: ctx.balancer.ticks(),
         balancer_moves: ctx.balancer.counters().1,
         balancer_failed: ctx.balancer.counters().2,
+        recovered: ctx.recovered,
         stream: {
             let m = ctx.streams.metrics;
             StreamStats {

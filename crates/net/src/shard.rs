@@ -146,6 +146,14 @@ pub(crate) enum Job {
         session: SessionId,
         respond: Box<dyn FnOnce(Option<SessionImage>) + Send>,
     },
+    /// Snapshot the session as a [`SessionImage`] WITHOUT dropping the
+    /// engine — the checkpoint read: the session keeps serving while its
+    /// image goes to the durable store. Replies `None` if the session
+    /// does not live here.
+    Snapshot {
+        session: SessionId,
+        respond: Box<dyn FnOnce(Option<SessionImage>) + Send>,
+    },
     /// Restore a previously extracted image (migration step 2). On
     /// failure (name already taken here, which routing prevents; a
     /// fingerprint mismatch on replay; or a dead shard) the image is
@@ -181,6 +189,7 @@ impl Job {
             Job::Close { respond, .. } => respond(false),
             Job::Report { shard, respond } => respond(ShardReport::empty(shard)),
             Job::Extract { respond, .. } => respond(None),
+            Job::Snapshot { respond, .. } => respond(None),
             Job::Install { image, respond, .. } => respond(Err((image, err))),
             Job::Shutdown => {}
         }
@@ -373,6 +382,23 @@ pub(crate) trait ShardBackend: Send + Sync {
         self.submit(
             shard,
             Job::Extract {
+                session: session.clone(),
+                respond,
+            },
+        );
+    }
+
+    /// Enqueue a non-destructive session snapshot (the checkpoint read)
+    /// on `shard`; a dead shard answers `None`.
+    fn submit_snapshot(
+        &self,
+        shard: usize,
+        session: &SessionId,
+        respond: Box<dyn FnOnce(Option<SessionImage>) + Send>,
+    ) {
+        self.submit(
+            shard,
+            Job::Snapshot {
                 session: session.clone(),
                 respond,
             },
@@ -642,6 +668,14 @@ impl WorkerCore {
             .map(|engine| engine.snapshot())
     }
 
+    /// The checkpoint read: snapshot the session into a [`SessionImage`]
+    /// while the engine stays in place and keeps serving. `None` if the
+    /// session does not live here (it may be mid-migration — the caller
+    /// must treat that as "skip", never as "the session is gone").
+    pub fn snapshot(&self, session: &SessionId) -> Option<SessionImage> {
+        self.hub.get(session).map(Engine::snapshot)
+    }
+
     /// Migration step 2: restore `image` into this shard by replaying
     /// its log ([`Engine::restore`] asserts the dataset fingerprints).
     /// On refusal or a failed replay the image is handed back with the
@@ -778,6 +812,7 @@ fn worker(
             Job::Shutdown => break,
             Job::Close { session, respond } => respond(core.close(&session)),
             Job::Extract { session, respond } => respond(core.extract(&session)),
+            Job::Snapshot { session, respond } => respond(core.snapshot(&session)),
             Job::Install {
                 session,
                 image,
@@ -945,6 +980,47 @@ mod tests {
             },
         );
         rx.recv().unwrap()
+    }
+
+    fn snapshot_on(handles: &ShardHandles, shard: usize, s: &SessionId) -> Option<SessionImage> {
+        let (tx, rx) = mpsc::channel();
+        handles.submit(
+            shard,
+            Job::Snapshot {
+                session: s.clone(),
+                respond: Box::new(move |image| {
+                    let _ = tx.send(image);
+                }),
+            },
+        );
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn snapshot_leaves_the_session_serving() {
+        let pool = ShardPool::spawn(2, (640, 480));
+        let handles = pool.handles();
+        let s = SessionId::new("durable").unwrap();
+        let shard = shard_of(&s, 2);
+        handles.execute(
+            &s,
+            vec![Request::Mutate(Mutation::LoadScenario {
+                n_genes: 60,
+                seed: 1,
+            })],
+        );
+        // unlike Extract, Snapshot answers without dropping the engine
+        let image = snapshot_on(&handles, shard, &s).expect("session lives here");
+        assert_eq!(image.requests, 1);
+        assert_eq!(image.log.len(), 1);
+        let again = snapshot_on(&handles, shard, &s).expect("still here after a snapshot");
+        assert_eq!(again, image, "snapshots are repeatable");
+        let out = handles.execute(&s, vec![Request::Query(Query::SessionInfo)]);
+        assert!(out.error.is_none(), "session still serves after snapshots");
+        // a session that does not live here answers None
+        assert!(snapshot_on(&handles, shard, &SessionId::new("nobody").unwrap()).is_none());
+        drop(handles);
+        pool.join();
     }
 
     #[test]

@@ -17,11 +17,11 @@
 //! fvtool spell   <gene,gene,...> <file.pcl>...       SPELL query over files
 //! fvtool demo    <out_dir>                           write a synthetic demo workspace
 //! fvtool script  <file.fvs>                          replay a request script
-//! fvtool serve   [--addr a:p] [--shards n | --shard-procs n] [--queue-limit n] [--balance auto|off] [balance knobs]   run the TCP server
+//! fvtool serve   [--addr a:p] [--shards n | --shard-procs n] [--queue-limit n] [--state-dir d] [--balance auto|off] [balance knobs]   run the TCP server
 //! fvtool ping                                        probe a server (needs --remote)
 //! fvtool watch   <session> <TX>x<TY> [--frames n] [--idle-ms n] [--dally-ms n] [--verify-script f]   subscribe to the tile stream (needs --remote)
 //! fvtool stats                                       server metrics + cache gauges (needs --remote)
-//! fvtool sessions                                    list live sessions (needs --remote)
+//! fvtool sessions [--recovered]                      list live sessions / boot-recovery count (needs --remote)
 //! fvtool migrate <session> <shard>                   move a session across shards (needs --remote)
 //! fvtool balance [auto|off]                          rebalancer status / flip its mode (needs --remote)
 //! fvtool shutdown                                    stop a server (needs --remote)
@@ -29,6 +29,7 @@
 //! fvtool trace record <out.trace> --listen <a:p> --upstream <a:p>   tap one connection, write its wire trace
 //! fvtool trace replay <file.trace> [--remote a:p]    replay a trace, byte-compare replies
 //! fvtool soak [--clients n] [--chaos n] [--watchers n] [...]        soak/chaos run against an in-process server
+//! fvtool soak --restart <kills> [--clients n] [--proc-shards] [--state-dir d]   SIGKILL+reboot durability soak against real server processes
 //! ```
 //!
 //! `--remote <addr>` may appear anywhere in the argument list. File paths
@@ -52,14 +53,14 @@ fn usage() -> ExitCode {
          fvtool demo    <out_dir>\n  \
          fvtool script  <file.fvs>\n  \
          fvtool serve   [--addr <host:port>] [--shards <n> | --shard-procs <n>] [--queue-limit <n>]\n           \
-         [--balance auto|off] [--balance-interval-ms <n>] [--balance-budget <n>]\n           \
+         [--state-dir <dir>] [--balance auto|off] [--balance-interval-ms <n>] [--balance-budget <n>]\n           \
          [--balance-trigger <ratio>] [--balance-settle <ratio>]\n           \
          [--balance-cooldown <ticks>] [--balance-min-load <n>]\n  \
          fvtool ping    --remote <host:port>\n  \
          fvtool watch   <session> <TX>x<TY> [--frames <n>] [--idle-ms <n>] [--dally-ms <n>]\n           \
          [--verify-script <file.fvs>] --remote <host:port>\n  \
          fvtool stats   --remote <host:port>\n  \
-         fvtool sessions --remote <host:port>\n  \
+         fvtool sessions [--recovered] --remote <host:port>\n  \
          fvtool migrate <session> <shard> --remote <host:port>\n  \
          fvtool balance [auto|off] --remote <host:port>\n  \
          fvtool shutdown --remote <host:port>\n  \
@@ -68,7 +69,8 @@ fn usage() -> ExitCode {
          fvtool trace replay <file.trace> [--remote <host:port>]\n  \
          fvtool soak    [--kind <k>] [--clients <n>] [--bursts <n>] [--genes <n>] [--seed <n>]\n           \
          [--shards <n>] [--queue-limit <n>] [--chaos <n>] [--chaos-rounds <n>]\n           \
-         [--watchers <n>] [--dally-ms <n>] [--no-replay]\n  \
+         [--watchers <n>] [--dally-ms <n>] [--no-replay]\n           \
+         [--restart <kills>] [--proc-shards] [--state-dir <dir>]\n  \
          fvtool lint    [--json]\n\
          options:\n  --remote <host:port>   run the subcommand against a live fvtool server"
     );
@@ -361,6 +363,13 @@ fn cmd_serve(args: &[String]) -> Result<(), ApiError> {
                     return Err(ApiError::invalid("--queue-limit must be at least 1"));
                 }
             }
+            "--state-dir" => {
+                config.state_dir = Some(
+                    it.next()
+                        .ok_or_else(|| ApiError::invalid("--state-dir needs <dir>"))?
+                        .into(),
+                );
+            }
             "--balance" => {
                 let mode = it
                     .next()
@@ -415,6 +424,7 @@ fn cmd_serve(args: &[String]) -> Result<(), ApiError> {
             }
         }
     }
+    let durable = config.state_dir.is_some();
     let server = fv_net::Server::bind(&addr, config)
         .map_err(|e| ApiError::io(format!("bind {addr}: {e}")))?;
     println!(
@@ -422,6 +432,12 @@ fn cmd_serve(args: &[String]) -> Result<(), ApiError> {
         server.local_addr(),
         server.n_shards()
     );
+    if durable {
+        println!(
+            "fvtool: recovered {} session(s) from the state directory",
+            server.recovered()
+        );
+    }
     // Make the address visible immediately even when stdout is a pipe
     // (CI waits for it / parses the ephemeral port).
     use std::io::Write as _;
@@ -766,6 +782,9 @@ fn cmd_soak(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
         ));
     }
     let mut cfg = forestview_repro::soak::SoakConfig::default();
+    let mut restart_kills: Option<usize> = None;
+    let mut proc_shards = false;
+    let mut state_dir: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| {
@@ -829,10 +848,51 @@ fn cmd_soak(remote: Option<&str>, args: &[String]) -> Result<(), ApiError> {
                     .map_err(|_| ApiError::parse("bad --dally-ms"))?
             }
             "--no-replay" => cfg.verify_replay = false,
+            "--restart" => {
+                restart_kills = Some(
+                    value("--restart")?
+                        .parse()
+                        .map_err(|_| ApiError::parse("bad --restart"))?,
+                )
+            }
+            "--proc-shards" => proc_shards = true,
+            "--state-dir" => state_dir = Some(value("--state-dir")?.into()),
             other => {
                 return Err(ApiError::invalid(format!("unknown soak option {other:?}")));
             }
         }
+    }
+    if let Some(kills) = restart_kills {
+        // Durability mode: SIGKILL + reboot real `fvtool serve
+        // --state-dir` children (this very binary) instead of chaos
+        // against an in-process server.
+        let me = std::env::current_exe()
+            .map_err(|e| ApiError::io(format!("cannot locate own executable: {e}")))?;
+        let state_dir = state_dir.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("fv-restart-soak-{}", std::process::id()))
+        });
+        let rcfg = forestview_repro::soak::RestartConfig {
+            sessions: cfg.clients,
+            kills,
+            shards: cfg.shards,
+            proc_shards,
+            ..forestview_repro::soak::RestartConfig::new(me, state_dir)
+        };
+        let report = forestview_repro::soak::run_restart_soak(&rcfg)?;
+        println!("{}", report.render());
+        return if report.passed() {
+            Ok(())
+        } else {
+            Err(ApiError::new(
+                fv_api::ErrorCode::Internal,
+                format!("{} restart invariant(s) violated", report.failures.len()),
+            ))
+        };
+    }
+    if proc_shards || state_dir.is_some() {
+        return Err(ApiError::invalid(
+            "--proc-shards/--state-dir only apply to soak --restart",
+        ));
     }
     let report = forestview_repro::soak::run_soak(&cfg)?;
     println!("{}", report.render());
@@ -896,8 +956,24 @@ fn run(cmd: &str, rest: &[String], remote: Option<&str>) -> Result<(), Failure> 
         }
         "sessions" => {
             let addr = remote.ok_or_else(|| ApiError::invalid("sessions needs --remote <addr>"))?;
-            let sessions = fv_net::Client::connect(addr)?.list_sessions()?;
-            println!("{}", fv_api::format_sessions_reply(&sessions));
+            match rest {
+                [] => {
+                    let sessions = fv_net::Client::connect(addr)?.list_sessions()?;
+                    println!("{}", fv_api::format_sessions_reply(&sessions));
+                }
+                [flag] if flag == "--recovered" => {
+                    // How many sessions the server re-installed from its
+                    // state directory at boot — the crash-recovery gauge,
+                    // pulled from the typed stats snapshot.
+                    let stats = fv_net::Client::connect(addr)?.stats()?;
+                    println!("recovered={}", stats.recovered);
+                }
+                _ => {
+                    return Err(
+                        ApiError::invalid("sessions takes at most one flag: --recovered").into(),
+                    )
+                }
+            }
             return Ok(());
         }
         "migrate" => {

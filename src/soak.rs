@@ -29,16 +29,28 @@
 //!
 //! Everything is seeded; the only nondeterminism is scheduling, which
 //! the invariants are deliberately insensitive to.
+//!
+//! A second harness, [`run_restart_soak`], attacks durability instead
+//! of concurrency: it boots a REAL `fvtool serve --state-dir` child
+//! process, populates sessions over TCP, waits for the checkpoint
+//! cadence to capture them, SIGKILLs the server mid-flight, reboots it
+//! on the same state directory, and asserts that every session came
+//! back (`recovered=N` in the boot banner *and* in `stats`) with
+//! byte-identical probe transcripts and an identical session roster.
 
-use fv_api::{ApiError, EngineHub, ErrorCode, TraceEvent};
+use fv_api::{
+    parse_session_image, ApiError, EngineHub, ErrorCode, SessionId, SessionStore, TraceEvent,
+};
 use fv_net::frame::{read_reply, LineReader, MAX_LINE};
 use fv_net::{replay_on_hub, Client, Server, ServerConfig, Watcher};
 use fv_synth::workload::{generate, WorkloadKind, WorkloadSpec};
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Scene every soak server (and its replay hubs) runs — must divide
 /// evenly by the watcher grid.
@@ -609,6 +621,378 @@ fn watch_loop(
     }
 }
 
+// ------------------------------------------------------------------
+// Restart soak: SIGKILL a real server, reboot, demand every session back.
+
+/// Knobs of one restart soak. Unlike [`SoakConfig`] this drives a real
+/// child process (an in-process [`Server`] cannot be SIGKILL'd), so the
+/// caller must say which binary to boot — `fvtool soak --restart`
+/// passes its own executable, the e2e tests pass
+/// `env!("CARGO_BIN_EXE_fvtool")`.
+#[derive(Debug, Clone)]
+pub struct RestartConfig {
+    /// The `fvtool` binary to boot as the server process.
+    pub fvtool: PathBuf,
+    /// Durable state directory handed to `serve --state-dir`. Created
+    /// if missing; removed again after a passing run.
+    pub state_dir: PathBuf,
+    /// Sessions to create — all of them must survive every kill.
+    pub sessions: usize,
+    /// SIGKILL + reboot cycles.
+    pub kills: usize,
+    /// Server shard count.
+    pub shards: usize,
+    /// Run shards as child worker processes (`serve --shard-procs`).
+    pub proc_shards: bool,
+}
+
+impl RestartConfig {
+    /// CI-smoke shape: 3 sessions, 2 kills, 2 thread shards.
+    pub fn new(fvtool: impl Into<PathBuf>, state_dir: impl Into<PathBuf>) -> RestartConfig {
+        RestartConfig {
+            fvtool: fvtool.into(),
+            state_dir: state_dir.into(),
+            sessions: 3,
+            kills: 2,
+            shards: 2,
+            proc_shards: false,
+        }
+    }
+}
+
+/// What a restart soak observed. `failures` empty ⇔ all invariants held.
+#[derive(Debug, Default)]
+pub struct RestartReport {
+    pub sessions: usize,
+    pub kills: usize,
+    /// `"threads"` or `"procs"`.
+    pub backend: String,
+    /// Sum of the per-boot `recovered=` counters (should be
+    /// `sessions * kills`).
+    pub recovered_total: u64,
+    /// Session probe transcripts compared byte-for-byte across a kill.
+    pub probes_compared: usize,
+    pub failures: Vec<String>,
+}
+
+impl RestartReport {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Stable `key=value` summary, greppable by CI like
+    /// [`SoakReport::render`].
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "restart-soak sessions={} kills={} backend={} recovered_total={} \
+             probes_compared={} verdict={}",
+            self.sessions,
+            self.kills,
+            self.backend,
+            self.recovered_total,
+            self.probes_compared,
+            if self.passed() { "pass" } else { "FAIL" },
+        );
+        for f in &self.failures {
+            out.push_str("\n  invariant violated: ");
+            out.push_str(f);
+        }
+        out
+    }
+}
+
+/// Read-only probe replayed against every session before the kill and
+/// after the reboot; the two transcripts must match byte-for-byte.
+const PROBE_LINES: &[&str] = &["session_info", "list_datasets", "render 200 150"];
+
+/// One live `fvtool serve` child with its boot banner parsed. Dropping
+/// the guard SIGKILLs the child, so no server outlives a failed run;
+/// the stdout pipe is held open for the child's lifetime (the server
+/// prints its shutdown line late, and a closed pipe would turn that
+/// into an EPIPE panic).
+struct ServerProc {
+    /// `None` once killed or reaped — Drop then has nothing to do.
+    child: Option<std::process::Child>,
+    /// Held open for the child's lifetime, never read after boot.
+    _stdout: std::io::BufReader<std::process::ChildStdout>,
+    addr: String,
+    recovered: u64,
+}
+
+impl ServerProc {
+    fn boot(cfg: &RestartConfig) -> Result<ServerProc, ApiError> {
+        let shards = cfg.shards.max(1).to_string();
+        let mut cmd = std::process::Command::new(&cfg.fvtool);
+        cmd.arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            // Fast gather cadence so checkpoints land within the poll
+            // deadline instead of every 500ms.
+            .args(["--balance-interval-ms", "50"])
+            .arg("--state-dir")
+            .arg(&cfg.state_dir)
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit());
+        if cfg.proc_shards {
+            cmd.args(["--shard-procs", &shards]);
+        } else {
+            cmd.args(["--shards", &shards]);
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| ApiError::io(format!("spawn {}: {e}", cfg.fvtool.display())))?;
+        let mut stdout = std::io::BufReader::new(child.stdout.take().expect("stdout is piped"));
+        let banner = |reader: &mut std::io::BufReader<_>| -> Result<String, ApiError> {
+            use std::io::BufRead;
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| ApiError::io(format!("read server banner: {e}")))?;
+            if n == 0 {
+                return Err(ApiError::io("server exited before printing its banner"));
+            }
+            Ok(line.trim_end().to_string())
+        };
+        let serving = banner(&mut stdout)?;
+        let addr = serving
+            .strip_prefix("fvtool: serving on ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .ok_or_else(|| ApiError::parse(format!("unexpected serve banner {serving:?}")))?
+            .to_string();
+        let recovered_line = banner(&mut stdout)?;
+        let recovered = recovered_line
+            .strip_prefix("fvtool: recovered ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| {
+                ApiError::parse(format!("unexpected recovery banner {recovered_line:?}"))
+            })?;
+        Ok(ServerProc {
+            child: Some(child),
+            _stdout: stdout,
+            addr,
+            recovered,
+        })
+    }
+
+    /// SIGKILL — the crash under test. No flush, no goodbye.
+    fn kill(mut self) -> Result<(), ApiError> {
+        let mut child = self.child.take().expect("child not yet reaped");
+        let killed = child.kill();
+        let reaped = child.wait();
+        killed.map_err(|e| ApiError::io(format!("kill server: {e}")))?;
+        reaped.map_err(|e| ApiError::io(format!("reap server: {e}")))?;
+        Ok(())
+    }
+
+    /// Graceful end of the run: ask the server to shut down, then reap.
+    fn finish(mut self) -> Result<(), ApiError> {
+        Client::connect(&self.addr)?.shutdown_server()?;
+        let status = self
+            .child
+            .take()
+            .expect("child not yet reaped")
+            .wait()
+            .map_err(|e| ApiError::io(format!("reap server: {e}")))?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(ApiError::io(format!(
+                "server exited uncleanly after shutdown: {status}"
+            )))
+        }
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        if let Some(child) = self.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Play a few deterministic mutations into `name`. Distinct per session
+/// and per cycle so every reboot proves a *fresh* checkpoint rather
+/// than re-reading the first one. `setup` loads the datasets and is
+/// only valid once per session (`scenario` refuses duplicates).
+fn restart_burst(addr: &str, name: &str, salt: usize, setup: bool) -> Result<usize, ApiError> {
+    let mut lines = Vec::new();
+    if setup {
+        lines.push(format!("scenario 80 {salt}"));
+    }
+    lines.push("cluster_all".to_string());
+    lines.push(format!("scroll {}", salt % 7));
+    let mut client = Client::connect(addr)?;
+    client.use_session(name)?;
+    for line in &lines {
+        client
+            .roundtrip(line)?
+            .map_err(|e| ApiError::new(e.code, format!("{name} rejected {line:?}: {e}")))?;
+    }
+    Ok(lines.len())
+}
+
+/// Replay [`PROBE_LINES`] against `name` and fold the raw wire replies
+/// into one transcript blob for byte-comparison.
+fn probe_session(addr: &str, name: &str) -> Result<String, ApiError> {
+    let mut client = Client::connect(addr)?;
+    client.use_session(name)?;
+    let mut out = String::new();
+    for line in PROBE_LINES {
+        out.push_str(line);
+        out.push('\n');
+        match client.roundtrip(line)? {
+            Ok(text) => out.push_str(&text),
+            Err(e) => out.push_str(&e.to_string()),
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// The session roster as a comparison key: raw `list-sessions` reply
+/// lines, sorted so shard-gather order cannot flake the diff.
+fn roster(addr: &str) -> Result<String, ApiError> {
+    let text = Client::connect(addr)?.roundtrip("list-sessions")??;
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.sort_unstable();
+    Ok(lines.join("\n"))
+}
+
+/// Block until every session's checkpoint has caught up with the
+/// requests we know we attempted. The attempted-request counter travels
+/// inside the image and is what the cadence uses for dirtiness, so
+/// "checkpoint content matches the expectation" is race-free: once it
+/// matches, no further write can change it (no new traffic is
+/// arriving), and the server can be killed at any instant afterwards.
+fn wait_for_checkpoints(
+    store: &SessionStore,
+    expect: &BTreeMap<String, u64>,
+) -> Result<(), ApiError> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut lagging = None;
+        for (name, want) in expect {
+            let path = store.checkpoint_path(&SessionId::new(name.clone())?);
+            let got = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| parse_session_image(&text).ok())
+                .map(|image| image.requests);
+            if got != Some(*want) {
+                lagging = Some(format!("{name}: checkpoint at {got:?}, want {want}"));
+                break;
+            }
+        }
+        match lagging {
+            None => return Ok(()),
+            Some(what) if Instant::now() >= deadline => {
+                return Err(ApiError::io(format!(
+                    "checkpoint cadence never caught up: {what}"
+                )));
+            }
+            Some(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Run one restart soak: populate, checkpoint, SIGKILL, reboot, diff —
+/// `cfg.kills` times over. Transport/setup failures error out;
+/// invariant violations land in the report.
+pub fn run_restart_soak(cfg: &RestartConfig) -> Result<RestartReport, ApiError> {
+    let mut report = RestartReport {
+        sessions: cfg.sessions.max(1),
+        kills: cfg.kills.max(1),
+        backend: if cfg.proc_shards { "procs" } else { "threads" }.to_string(),
+        ..RestartReport::default()
+    };
+    std::fs::create_dir_all(&cfg.state_dir)
+        .map_err(|e| ApiError::io(format!("create {}: {e}", cfg.state_dir.display())))?;
+    // The store is only the layout authority here (checkpoint paths);
+    // the server process owns all writes.
+    let store = SessionStore::open(&cfg.state_dir)?;
+    let names: Vec<String> = (0..report.sessions)
+        .map(|i| format!("restart-{i}"))
+        .collect();
+    // Requests attempted per session, mirrored from what we send; the
+    // checkpointed image must converge to exactly these counters.
+    let mut attempted: BTreeMap<String, u64> = BTreeMap::new();
+
+    let mut server = ServerProc::boot(cfg)?;
+    if server.recovered != 0 {
+        report.failures.push(format!(
+            "fresh state dir, yet the first boot recovered {} session(s)",
+            server.recovered
+        ));
+    }
+    for (i, name) in names.iter().enumerate() {
+        let sent = restart_burst(&server.addr, name, i, true)?;
+        attempted.insert(name.clone(), sent as u64);
+    }
+
+    for cycle in 0..report.kills {
+        if cycle > 0 {
+            // Mutate between kills so the surviving checkpoints are the
+            // cadence's work, not leftovers of the first cycle.
+            for (i, name) in names.iter().enumerate() {
+                let sent = restart_burst(&server.addr, name, cycle * 100 + i, false)?;
+                *attempted.get_mut(name).expect("tracked session") += sent as u64;
+            }
+        }
+        let roster_before = roster(&server.addr)?;
+        let mut probes_before = Vec::with_capacity(names.len());
+        for name in &names {
+            probes_before.push(probe_session(&server.addr, name)?);
+            *attempted.get_mut(name).expect("tracked session") += PROBE_LINES.len() as u64;
+        }
+        wait_for_checkpoints(&store, &attempted)?;
+
+        server.kill()?;
+        server = ServerProc::boot(cfg)?;
+        report.recovered_total += server.recovered;
+        if server.recovered != names.len() as u64 {
+            report.failures.push(format!(
+                "cycle {cycle}: boot banner recovered {} of {} sessions",
+                server.recovered,
+                names.len()
+            ));
+        }
+        let stats = Client::connect(&server.addr)?.stats()?;
+        if stats.recovered != server.recovered {
+            report.failures.push(format!(
+                "cycle {cycle}: stats says recovered={} but the boot banner said {}",
+                stats.recovered, server.recovered
+            ));
+        }
+        let roster_after = roster(&server.addr)?;
+        if roster_after != roster_before {
+            report.failures.push(format!(
+                "cycle {cycle}: session roster changed across the kill:\n\
+                 before: {roster_before:?}\nafter:  {roster_after:?}"
+            ));
+        }
+        for (name, before) in names.iter().zip(&probes_before) {
+            let after = probe_session(&server.addr, name)?;
+            *attempted.get_mut(name).expect("tracked session") += PROBE_LINES.len() as u64;
+            if &after == before {
+                report.probes_compared += 1;
+            } else {
+                report.failures.push(format!(
+                    "cycle {cycle}: session {name} probe transcript changed across the \
+                     kill:\nbefore:\n{before}after:\n{after}"
+                ));
+            }
+        }
+    }
+
+    server.finish()?;
+    if report.passed() {
+        let _ = std::fs::remove_dir_all(&cfg.state_dir);
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -641,5 +1025,21 @@ mod tests {
         assert!(!r.passed());
         assert!(r.render().contains("verdict=FAIL"));
         assert!(r.render().contains("invariant violated: demo"));
+    }
+
+    /// The restart harness itself runs in `tests/restart_e2e.rs` (it
+    /// needs the built `fvtool` binary); this guards its report.
+    #[test]
+    fn restart_report_renders_failures_visibly() {
+        let mut r = RestartReport {
+            backend: "threads".into(),
+            ..RestartReport::default()
+        };
+        assert!(r.passed());
+        assert!(r.render().contains("verdict=pass"));
+        r.failures.push("lost a session".into());
+        assert!(!r.passed());
+        assert!(r.render().contains("verdict=FAIL"));
+        assert!(r.render().contains("invariant violated: lost a session"));
     }
 }

@@ -1,0 +1,202 @@
+//! End-to-end durability: a real `fvtool serve --state-dir` process is
+//! SIGKILL'd and rebooted, and every checkpointed session must come
+//! back byte-identically — the restart soak drives the full loop
+//! (populate → checkpoint → kill → reboot → diff rosters and probe
+//! transcripts) under both shard backends. A third test covers the
+//! refusal path: a checkpoint whose dataset file changed on disk is a
+//! stale image and must NOT be recovered.
+
+use forestview_repro::soak::{run_restart_soak, RestartConfig, RestartReport};
+use fv_api::{parse_session_image, SessionId, SessionStore};
+use fv_net::{Client, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fv_restart_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_full_recovery(report: &RestartReport) {
+    assert!(report.passed(), "{}", report.render());
+    let cycles = (report.sessions * report.kills) as u64;
+    assert_eq!(report.recovered_total, cycles, "{}", report.render());
+    assert_eq!(
+        report.probes_compared,
+        cycles as usize,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn sigkill_and_reboot_recovers_every_session_with_thread_shards() {
+    let cfg = RestartConfig {
+        sessions: 3,
+        kills: 2,
+        ..RestartConfig::new(env!("CARGO_BIN_EXE_fvtool"), state_dir("threads"))
+    };
+    let report = run_restart_soak(&cfg).expect("restart soak ran");
+    assert_full_recovery(&report);
+}
+
+#[test]
+fn sigkill_and_reboot_recovers_every_session_with_process_shards() {
+    let cfg = RestartConfig {
+        sessions: 2,
+        kills: 2,
+        proc_shards: true,
+        ..RestartConfig::new(env!("CARGO_BIN_EXE_fvtool"), state_dir("procs"))
+    };
+    let report = run_restart_soak(&cfg).expect("restart soak ran");
+    assert_full_recovery(&report);
+}
+
+/// Wait until `session`'s checkpoint lands with the expected
+/// attempted-request counter (the cadence piggy-backs on the balance
+/// gather, so it arrives within a tick or two).
+fn wait_for_checkpoint(store: &SessionStore, session: &str, requests: u64) {
+    let path = store.checkpoint_path(&SessionId::new(session).unwrap());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let got = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| parse_session_image(&text).ok())
+            .map(|image| image.requests);
+        if got == Some(requests) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "checkpoint for {session} stuck at {got:?}, want {requests}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn durable_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        shards: 2,
+        state_dir: Some(dir.to_path_buf()),
+        balance_interval: Duration::from_millis(50),
+        ..ServerConfig::default()
+    }
+}
+
+/// A checkpoint that references a dataset file which changed on disk is
+/// a stale image: the reboot must refuse it (`E_STALE_IMAGE` inside,
+/// `recovered=0` outside) instead of resurrecting a session whose
+/// replay no longer matches its data — and must leave the checkpoint
+/// file in place for the operator.
+#[test]
+fn reboot_refuses_checkpoints_whose_dataset_changed_on_disk() {
+    let dir = state_dir("stale");
+
+    // A real dataset file for the session to load.
+    let pcl = std::env::temp_dir().join(format!("fv_restart_e2e_stale_{}.pcl", std::process::id()));
+    {
+        let mut engine = fv_api::Engine::new();
+        engine
+            .execute(&fv_api::parse_request("scenario 80 7").unwrap())
+            .unwrap();
+        engine
+            .execute(&fv_api::parse_request(&format!("export_pcl 0 {}", pcl.display())).unwrap())
+            .unwrap();
+    }
+
+    // First life: load the file, let the checkpoint land, stop cleanly
+    // (a graceful stop keeps durable state — only `close` deletes it).
+    {
+        let server = Server::bind("127.0.0.1:0", durable_config(&dir)).unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        client.use_session("survivor").unwrap();
+        client
+            .roundtrip(&format!("load {}", pcl.display()))
+            .unwrap()
+            .unwrap();
+        let store = SessionStore::open(&dir).unwrap();
+        wait_for_checkpoint(&store, "survivor", 1);
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+
+    // Tamper with the dataset: same path, different bytes.
+    let mut text = std::fs::read_to_string(&pcl).unwrap();
+    text.push_str("TAMPERED\t0\t0\t1.0\n");
+    std::fs::write(&pcl, text).unwrap();
+
+    // Second life: the stale checkpoint must be refused, not loaded.
+    {
+        let server = Server::bind("127.0.0.1:0", durable_config(&dir)).unwrap();
+        assert_eq!(server.recovered(), 0, "stale image was recovered");
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        assert_eq!(client.list_sessions().unwrap().len(), 0);
+        // The refused checkpoint survives on disk for inspection.
+        let store = SessionStore::open(&dir).unwrap();
+        assert!(store
+            .checkpoint_path(&SessionId::new("survivor").unwrap())
+            .exists());
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+
+    let _ = std::fs::remove_file(&pcl);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The flip side of recovery: an explicit `close` deletes the durable
+/// checkpoint, so a closed session stays closed across a restart.
+#[test]
+fn closed_sessions_stay_closed_across_a_restart() {
+    let dir = state_dir("close");
+
+    {
+        let server = Server::bind("127.0.0.1:0", durable_config(&dir)).unwrap();
+        let addr = server.local_addr().to_string();
+        let store = SessionStore::open(&dir).unwrap();
+
+        let mut keeper = Client::connect(&addr).unwrap();
+        keeper.use_session("kept").unwrap();
+        keeper.roundtrip("scenario 80 1").unwrap().unwrap();
+        let mut goner = Client::connect(&addr).unwrap();
+        goner.use_session("gone").unwrap();
+        goner.roundtrip("scenario 80 2").unwrap().unwrap();
+        wait_for_checkpoint(&store, "kept", 1);
+        wait_for_checkpoint(&store, "gone", 1);
+
+        goner.close_session().unwrap();
+        let gone_path = store.checkpoint_path(&SessionId::new("gone").unwrap());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while gone_path.exists() {
+            assert!(
+                Instant::now() < deadline,
+                "close did not delete the durable checkpoint"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        keeper.shutdown_server().unwrap();
+        server.join();
+    }
+
+    {
+        let server = Server::bind("127.0.0.1:0", durable_config(&dir)).unwrap();
+        assert_eq!(server.recovered(), 1, "exactly the kept session returns");
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        let names: Vec<String> = client
+            .list_sessions()
+            .unwrap()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(names, ["kept"]);
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
